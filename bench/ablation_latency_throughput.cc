@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Ablation: the latency/throughput tradeoff of Section 4.1.
+ *
+ * "If the evaluation latency must be limited ... one can constrain
+ * the layer assignment such that layers for the same CLP are adjacent
+ * in the CNN structure ... one can reduce latency by limiting the
+ * number of CLPs, but this is achieved at the cost of throughput."
+ * This bench quantifies that sentence: adjacency-constrained designs
+ * with a sweep of CLP-count limits, against the unconstrained
+ * Multi-CLP and the Single-CLP baseline.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/schedule.h"
+#include "nn/zoo.h"
+#include "util/string_utils.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace mclp;
+
+} // namespace
+
+int
+main()
+{
+    bench::printBenchHeader(
+        "Ablation: latency vs throughput (adjacent-layer schedules)",
+        "the Section 4.1 latency discussion");
+
+    for (const char *net_name : {"alexnet", "googlenet"}) {
+        nn::Network network = nn::networkByName(net_name);
+        fpga::ResourceBudget budget =
+            fpga::standardBudget(fpga::virtex7_690t(), 100.0);
+
+        util::TextTable table({"schedule", "CLPs", "epoch (kcyc)",
+                               "img/s", "latency epochs",
+                               "latency (ms)", "in flight"});
+        table.setTitle(util::strprintf(
+            "%s, float, 690T @ 100 MHz", network.name().c_str()));
+
+        auto addRow = [&](const std::string &label,
+                          const core::OptimizationResult &result) {
+            auto canon = core::canonicalizeSchedule(result.design,
+                                                    network);
+            auto info = core::analyzeSchedule(canon, network);
+            table.addRow(
+                {label, std::to_string(result.design.clps.size()),
+                 bench::kcycles(result.metrics.epochCycles),
+                 util::strprintf("%.1f",
+                                 result.metrics.imagesPerSec(100.0)),
+                 std::to_string(info.latencyEpochs),
+                 util::strprintf(
+                     "%.1f", 1e3 * info.latencySeconds(
+                                       result.metrics.epochCycles,
+                                       100.0)),
+                 std::to_string(info.imagesInFlight)});
+        };
+
+        std::fprintf(stderr, "%s single...\n", net_name);
+        addRow("Single-CLP baseline",
+               core::optimizeSingleClp(network, fpga::DataType::Float32,
+                                       budget));
+        for (int max_clps : {2, 3, 4, 6}) {
+            std::fprintf(stderr, "%s adjacent <=%d...\n", net_name,
+                         max_clps);
+            core::OptimizerOptions options;
+            options.adjacentLayers = true;
+            options.maxClps = max_clps;
+            addRow(util::strprintf("adjacent, <=%d CLPs", max_clps),
+                   core::MultiClpOptimizer(network,
+                                           fpga::DataType::Float32,
+                                           budget, options)
+                       .run());
+        }
+        std::fprintf(stderr, "%s unconstrained...\n", net_name);
+        addRow("unconstrained Multi-CLP",
+               core::optimizeMultiClp(network, fpga::DataType::Float32,
+                                      budget));
+        std::printf("%s\n", table.render().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Ablation: layer-ordering heuristics (Section 4.3).
+ *
+ * OptimizeCompute only assigns contiguous runs of an ordered layer
+ * list, so the ordering heuristic decides which groupings are
+ * reachable. The paper proposes (N, M)-distance ordering for
+ * compute-bound designs and compute-to-data-ratio ordering for
+ * bandwidth-bound ones. This ablation runs all three orderings
+ * (including the naive pipeline order) on every network and reports
+ * the resulting epoch, isolating how much the heuristic matters.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/optimizer.h"
+#include "nn/zoo.h"
+#include "util/string_utils.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace mclp;
+
+} // namespace
+
+int
+main()
+{
+    bench::printBenchHeader(
+        "Ablation: layer-ordering heuristics in OptimizeCompute",
+        "the Section 4.3 design choice");
+
+    util::TextTable table({"network", "type", "nm-distance (kcyc)",
+                           "compute-to-data (kcyc)", "as-is (kcyc)",
+                           "best"});
+    table.setTitle("Multi-CLP epoch on the 690T by ordering heuristic");
+    table.addNote("kcyc = thousands of cycles per epoch; lower is "
+                  "better");
+
+    for (const std::string &net_name : nn::zooNetworkNames()) {
+        for (auto type :
+             {fpga::DataType::Float32, fpga::DataType::Fixed16}) {
+            nn::Network network = nn::networkByName(net_name);
+            double mhz = type == fpga::DataType::Float32 ? 100.0 : 170.0;
+            fpga::ResourceBudget budget =
+                fpga::standardBudget(fpga::virtex7_690t(), mhz);
+
+            std::vector<int64_t> epochs;
+            for (auto heuristic : {core::OrderHeuristic::NmDistance,
+                                   core::OrderHeuristic::ComputeToData,
+                                   core::OrderHeuristic::AsIs}) {
+                std::fprintf(stderr, "%s %s %s...\n", net_name.c_str(),
+                             fpga::dataTypeName(type).c_str(),
+                             core::orderHeuristicName(heuristic)
+                                 .c_str());
+                core::OptimizerOptions options;
+                options.heuristic = heuristic;
+                auto result = core::MultiClpOptimizer(network, type,
+                                                      budget, options)
+                                  .run();
+                epochs.push_back(result.metrics.epochCycles);
+            }
+            size_t best = 0;
+            for (size_t i = 1; i < epochs.size(); ++i)
+                if (epochs[i] < epochs[best])
+                    best = i;
+            const char *names[3] = {"nm-distance", "compute-to-data",
+                                    "as-is"};
+            table.addRow({net_name, fpga::dataTypeName(type),
+                          bench::kcycles(epochs[0]),
+                          bench::kcycles(epochs[1]),
+                          bench::kcycles(epochs[2]), names[best]});
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,105 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+#include "util/string_utils.h"
+
+namespace mclp {
+namespace bench {
+
+fpga::ResourceBudget
+Scenario::budget() const
+{
+    return fpga::standardBudget(device, frequencyMhz);
+}
+
+std::string
+Scenario::label() const
+{
+    return util::strprintf("%s / %s / %s @ %.0fMHz", networkName.c_str(),
+                           fpga::dataTypeName(dataType).c_str(),
+                           device.name.c_str(), frequencyMhz);
+}
+
+core::OptimizationResult
+runSingle(const Scenario &scenario, const nn::Network &network)
+{
+    return core::optimizeSingleClp(network, scenario.dataType,
+                                   scenario.budget());
+}
+
+core::OptimizationResult
+runMulti(const Scenario &scenario, const nn::Network &network,
+         int max_clps)
+{
+    return core::optimizeMultiClp(network, scenario.dataType,
+                                  scenario.budget(), max_clps);
+}
+
+std::string
+shapeStr(const model::ClpShape &shape)
+{
+    return util::strprintf("%lldx%lld",
+                           static_cast<long long>(shape.tn),
+                           static_cast<long long>(shape.tm));
+}
+
+std::string
+layerListStr(const model::ClpConfig &clp, const nn::Network &network)
+{
+    std::vector<std::string> names;
+    for (const auto &binding : clp.layers)
+        names.push_back(network.layer(binding.layerIdx).name);
+    return util::join(names, ",");
+}
+
+std::string
+kcycles(int64_t cycles)
+{
+    return util::withCommas((cycles + 500) / 1000);
+}
+
+std::string
+gbps(double bytes_per_cycle, double frequency_mhz)
+{
+    return util::strprintf("%.2f",
+                           bytes_per_cycle * frequency_mhz * 1e6 / 1e9);
+}
+
+model::MultiClpDesign
+compactDesign(const core::ComputePartition &partition,
+              const nn::Network &network, fpga::DataType type,
+              const fpga::ResourceBudget &budget, int64_t epoch_cap)
+{
+    core::MemoryOptimizer memory(network, type);
+    auto curve = memory.tradeoffCurve(partition);
+    const core::TradeoffPoint *pick = nullptr;
+    for (const auto &point : curve) {
+        if (point.totalBram > budget.bram18k)
+            continue;
+        auto metrics =
+            model::evaluateDesign(point.design, network, budget);
+        if (metrics.epochCycles > epoch_cap)
+            continue;
+        if (!pick || point.totalBram < pick->totalBram)
+            pick = &point;
+    }
+    if (!pick)
+        return curve.front().design;
+    return pick->design;
+}
+
+void
+printBenchHeader(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("Reproduces %s of Shen, Ferdman, Milder, \"Maximizing CNN\n",
+                paper_ref.c_str());
+    std::printf("Accelerator Efficiency Through Resource Partitioning\" "
+                "(ISCA 2017).\n");
+    std::printf("==============================================================\n\n");
+}
+
+} // namespace bench
+} // namespace mclp

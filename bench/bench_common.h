@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction harness. Every
+ * bench binary prints the paper's published values next to the values
+ * this library produces, so the output is self-auditing.
+ */
+
+#ifndef MCLP_BENCH_BENCH_COMMON_H
+#define MCLP_BENCH_BENCH_COMMON_H
+
+#include <string>
+
+#include "core/optimizer.h"
+#include "fpga/device.h"
+#include "model/metrics.h"
+#include "nn/network.h"
+
+namespace mclp {
+namespace bench {
+
+/** One evaluation scenario: network x data type x device x clock. */
+struct Scenario
+{
+    std::string networkName;
+    fpga::DataType dataType = fpga::DataType::Float32;
+    fpga::Device device;
+    double frequencyMhz = 100.0;
+
+    /** The paper's standard 80% budget, unconstrained bandwidth. */
+    fpga::ResourceBudget budget() const;
+
+    /** e.g. "AlexNet / float / 485T @ 100MHz". */
+    std::string label() const;
+};
+
+/** Optimize a Single-CLP (baseline) design for a scenario. */
+core::OptimizationResult runSingle(const Scenario &scenario,
+                                   const nn::Network &network);
+
+/** Optimize a Multi-CLP design for a scenario. */
+core::OptimizationResult runMulti(const Scenario &scenario,
+                                  const nn::Network &network,
+                                  int max_clps = 6);
+
+/** "Tn x Tm" formatting for shapes. */
+std::string shapeStr(const model::ClpShape &shape);
+
+/** Comma-separated layer names of a CLP. */
+std::string layerListStr(const model::ClpConfig &clp,
+                         const nn::Network &network);
+
+/** Cycles rendered in thousands, e.g. 1557504 -> "1,558". */
+std::string kcycles(int64_t cycles);
+
+/** Bytes/cycle rendered as GB/s at a clock frequency. */
+std::string gbps(double bytes_per_cycle, double frequency_mhz);
+
+/** Standard header naming the paper for every bench binary. */
+void printBenchHeader(const std::string &title,
+                      const std::string &paper_ref);
+
+/**
+ * Walk a partition's BRAM/bandwidth tradeoff curve to the
+ * smallest-BRAM point that still meets @p epoch_cap cycles under
+ * @p budget (the paper reports such compact points rather than the
+ * maximum-buffer designs the greedy walk starts from). Falls back to
+ * the minimum-bandwidth point when nothing qualifies.
+ */
+model::MultiClpDesign compactDesign(
+    const core::ComputePartition &partition, const nn::Network &network,
+    fpga::DataType type, const fpga::ResourceBudget &budget,
+    int64_t epoch_cap);
+
+} // namespace bench
+} // namespace mclp
+
+#endif // MCLP_BENCH_BENCH_COMMON_H

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 6: tradeoff between BRAM usage and off-chip memory bandwidth
+ * for the AlexNet float Multi-CLP designs on the 485T and 690T
+ * (Section 6.3). Every point has (nearly) identical throughput; only
+ * the buffer allocation differs. The series are printed and exported
+ * to fig6_tradeoff.csv for plotting.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/memory_optimizer.h"
+#include "core/paper_designs.h"
+#include "nn/zoo.h"
+#include "util/csv.h"
+#include "util/string_utils.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace mclp;
+
+} // namespace
+
+int
+main()
+{
+    bench::printBenchHeader(
+        "Figure 6: BRAM vs off-chip bandwidth tradeoff", "Figure 6");
+
+    std::printf(
+        "Paper reference points (Figure 6, 100 MHz):\n"
+        "  485T: A = (731 BRAM, 1.38 GB/s)   B = (619 BRAM, 1.46 GB/s)\n"
+        "  690T: C = (1238 BRAM, 1.49 GB/s)  D = (1075 BRAM, 2.44 GB/s)\n\n");
+
+    nn::Network network = nn::makeAlexNet();
+    util::CsvWriter csv({"device", "bram18k", "gbps"});
+
+    for (const char *device_name : {"485T", "690T"}) {
+        auto design = std::string(device_name) == "485T"
+                          ? core::paperAlexNetMulti485()
+                          : core::paperAlexNetMulti690();
+        auto partition = core::partitionFromDesign(design, network);
+        core::MemoryOptimizer memory(network, fpga::DataType::Float32);
+        auto curve = memory.tradeoffCurve(partition);
+
+        util::TextTable table({"BRAM-18K", "Bandwidth (GB/s)"});
+        table.setTitle(util::strprintf(
+            "Multi-CLP, %s (published CLP shapes, %zu frontier points)",
+            device_name, curve.size()));
+        // Print a readable subsample; the CSV holds the full curve.
+        size_t stride = std::max<size_t>(1, curve.size() / 24);
+        for (size_t i = 0; i < curve.size(); ++i) {
+            const auto &point = curve[i];
+            std::string gb = bench::gbps(point.peakBytesPerCycle, 100.0);
+            csv.addRow({device_name,
+                        std::to_string(point.totalBram), gb});
+            if (i % stride == 0 || i + 1 == curve.size())
+                table.addRow({util::withCommas(point.totalBram), gb});
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+
+    if (csv.writeFile("fig6_tradeoff.csv"))
+        std::printf("full series written to fig6_tradeoff.csv\n");
+    return 0;
+}

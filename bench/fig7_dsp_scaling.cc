@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 7: AlexNet float throughput at 100 MHz for Multi-CLP and
+ * Single-CLP designs as a function of the DSP-slice budget, from 100
+ * to 10,000 slices (Section 6.6). The BRAM budget scales as one
+ * BRAM-18K per 1.3 DSP slices, as in the paper. Exported to
+ * fig7_scaling.csv.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "nn/zoo.h"
+#include "util/csv.h"
+#include "util/string_utils.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace mclp;
+
+} // namespace
+
+int
+main()
+{
+    bench::printBenchHeader(
+        "Figure 7: throughput vs DSP slice budget", "Figure 7");
+
+    std::printf(
+        "Paper's headline: from 2,240 to 9,600 DSP slices the "
+        "Multi-CLP advantage grows from 1.3x to 3.3x.\n"
+        "Device capacities (dashed lines in the paper): 485T=2,800, "
+        "690T=3,600, VU9P=6,840, VU11P=9,216.\n\n");
+
+    nn::Network network = nn::makeAlexNet();
+    std::vector<int64_t> budgets{100,  250,  500,  750,  1000, 1500,
+                                 2000, 2240, 2500, 2880, 3500, 4000,
+                                 5000, 6000, 6840, 8000, 9216, 9600,
+                                 10000};
+
+    util::TextTable table({"DSP budget", "Single-CLP (img/s)",
+                           "Multi-CLP (img/s)", "Multi/Single"});
+    table.setTitle("AlexNet, 32-bit float, 100 MHz, BRAM = DSP / 1.3");
+    util::CsvWriter csv(
+        {"dsp", "single_img_s", "multi_img_s", "speedup"});
+
+    for (int64_t dsp : budgets) {
+        fpga::ResourceBudget budget;
+        budget.dspSlices = dsp;
+        budget.bram18k =
+            std::max<int64_t>(1, static_cast<int64_t>(dsp / 1.3));
+        budget.frequencyMhz = 100.0;
+        std::fprintf(stderr, "optimizing at %lld DSP slices...\n",
+                     static_cast<long long>(dsp));
+
+        auto single = core::optimizeSingleClp(
+            network, fpga::DataType::Float32, budget);
+        // AlexNet has ten conv layers, so up to ten CLPs can help at
+        // very large budgets.
+        auto multi = core::optimizeMultiClp(
+            network, fpga::DataType::Float32, budget, 10);
+        double s = single.metrics.imagesPerSec(100.0);
+        double m = multi.metrics.imagesPerSec(100.0);
+        table.addRow({util::withCommas(dsp),
+                      util::strprintf("%.1f", s),
+                      util::strprintf("%.1f", m),
+                      util::strprintf("%.2fx", m / s)});
+        csv.addRow({std::to_string(dsp), util::strprintf("%.2f", s),
+                    util::strprintf("%.2f", m),
+                    util::strprintf("%.3f", m / s)});
+    }
+
+    std::printf("%s\n", table.render().c_str());
+    if (csv.writeFile("fig7_scaling.csv"))
+        std::printf("full series written to fig7_scaling.csv\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Optimizer runtime microbenchmarks (google-benchmark). Section 4.3
+ * claims the C++ optimizer completes GoogLeNet in "several minutes"
+ * and Section 6.1 reports "less than a minute to less than an hour"
+ * overall; these benchmarks verify our implementation is comfortably
+ * inside that envelope.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/optimizer.h"
+#include "fpga/device.h"
+#include "nn/zoo.h"
+
+namespace {
+
+using namespace mclp;
+
+void
+BM_SingleClpAlexNetFloat485(benchmark::State &state)
+{
+    nn::Network net = nn::makeAlexNet();
+    auto budget = fpga::standardBudget(fpga::virtex7_485t(), 100.0);
+    for (auto _ : state) {
+        auto result =
+            core::optimizeSingleClp(net, fpga::DataType::Float32, budget);
+        benchmark::DoNotOptimize(result.metrics.epochCycles);
+    }
+}
+BENCHMARK(BM_SingleClpAlexNetFloat485)->Unit(benchmark::kMillisecond);
+
+void
+BM_MultiClpAlexNetFloat690(benchmark::State &state)
+{
+    nn::Network net = nn::makeAlexNet();
+    auto budget = fpga::standardBudget(fpga::virtex7_690t(), 100.0);
+    for (auto _ : state) {
+        auto result = core::optimizeMultiClp(net, fpga::DataType::Float32,
+                                             budget);
+        benchmark::DoNotOptimize(result.metrics.epochCycles);
+    }
+}
+BENCHMARK(BM_MultiClpAlexNetFloat690)->Unit(benchmark::kMillisecond);
+
+void
+BM_MultiClpSqueezeNetFixed690(benchmark::State &state)
+{
+    nn::Network net = nn::makeSqueezeNet();
+    auto budget = fpga::standardBudget(fpga::virtex7_690t(), 170.0);
+    for (auto _ : state) {
+        auto result = core::optimizeMultiClp(net, fpga::DataType::Fixed16,
+                                             budget, 6);
+        benchmark::DoNotOptimize(result.metrics.epochCycles);
+    }
+}
+BENCHMARK(BM_MultiClpSqueezeNetFixed690)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void
+BM_MultiClpGoogLeNetFloat690(benchmark::State &state)
+{
+    // The paper's runtime anchor: GoogLeNet completes in minutes.
+    nn::Network net = nn::makeGoogLeNet();
+    auto budget = fpga::standardBudget(fpga::virtex7_690t(), 100.0);
+    for (auto _ : state) {
+        auto result = core::optimizeMultiClp(net, fpga::DataType::Float32,
+                                             budget, 6);
+        benchmark::DoNotOptimize(result.metrics.epochCycles);
+    }
+}
+BENCHMARK(BM_MultiClpGoogLeNetFloat690)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+} // namespace
+
+BENCHMARK_MAIN();

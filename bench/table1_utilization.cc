@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Table 1: dynamic arithmetic-unit utilization of Single-CLP vs
+ * Multi-CLP designs across four networks, two data types, and two
+ * FPGAs, with bandwidth unconstrained (Section 6.2).
+ */
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "nn/zoo.h"
+#include "util/string_utils.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace mclp;
+
+/** Published Table 1 values for side-by-side comparison. */
+const std::map<std::string, std::pair<double, double>> kPaper = {
+    {"485T/float/alexnet", {0.741, 0.954}},
+    {"485T/float/vggnet-e", {0.968, 0.975}},
+    {"485T/float/squeezenet", {0.780, 0.958}},
+    {"485T/float/googlenet", {0.819, 0.969}},
+    {"690T/float/alexnet", {0.654, 0.990}},
+    {"690T/float/vggnet-e", {0.960, 0.987}},
+    {"690T/float/squeezenet", {0.764, 0.967}},
+    {"690T/float/googlenet", {0.781, 0.960}},
+    {"485T/fixed/alexnet", {0.310, 0.939}},
+    {"485T/fixed/vggnet-e", {0.897, 0.973}},
+    {"485T/fixed/squeezenet", {0.511, 0.936}},
+    {"485T/fixed/googlenet", {0.502, 0.938}},
+    {"690T/fixed/alexnet", {0.237, 0.906}},
+    {"690T/fixed/vggnet-e", {0.883, 0.961}},
+    {"690T/fixed/squeezenet", {0.420, 0.931}},
+    {"690T/fixed/googlenet", {0.440, 0.893}},
+};
+
+} // namespace
+
+int
+main()
+{
+    bench::printBenchHeader(
+        "Table 1: dynamic arithmetic unit utilization", "Table 1");
+
+    util::TextTable table({"FPGA", "type", "network", "S-CLP (paper)",
+                           "S-CLP (ours)", "M-CLP (paper)",
+                           "M-CLP (ours)", "speedup (ours)"});
+    table.setTitle("Dynamic arithmetic-unit utilization, bandwidth "
+                   "unconstrained");
+    table.addNote("paper columns are transcribed from Table 1 for "
+                  "comparison");
+    table.addNote("speedup = Single-CLP epoch / Multi-CLP epoch "
+                  "(equal-DSP designs)");
+
+    for (const char *device_name : {"485T", "690T"}) {
+        for (const char *type_name : {"float", "fixed"}) {
+            for (const std::string &net_name : nn::zooNetworkNames()) {
+                bench::Scenario scenario;
+                scenario.networkName = net_name;
+                scenario.dataType = fpga::dataTypeByName(type_name);
+                scenario.device = fpga::deviceByName(device_name);
+                scenario.frequencyMhz =
+                    scenario.dataType == fpga::DataType::Float32 ? 100.0
+                                                                 : 170.0;
+                nn::Network network = nn::networkByName(net_name);
+                std::fprintf(stderr, "optimizing %s...\n",
+                             scenario.label().c_str());
+                auto single = bench::runSingle(scenario, network);
+                auto multi = bench::runMulti(scenario, network);
+                double speedup =
+                    static_cast<double>(single.metrics.epochCycles) /
+                    static_cast<double>(multi.metrics.epochCycles);
+                auto paper = kPaper.at(std::string(device_name) + "/" +
+                                       type_name + "/" + net_name);
+                table.addRow({device_name, type_name, net_name,
+                              util::percent(paper.first),
+                              util::percent(single.metrics.utilization),
+                              util::percent(paper.second),
+                              util::percent(multi.metrics.utilization),
+                              util::strprintf("%.2fx", speedup)});
+            }
+        }
+        table.addSeparator();
+    }
+
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Table 2: AlexNet 32-bit floating-point Single-CLP and Multi-CLP
+ * accelerator configurations on the 485T and 690T: per-CLP (Tn, Tm),
+ * layer assignment, (Tr, Tc), and cycle counts (Section 6.3).
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/paper_designs.h"
+#include "model/cycle_model.h"
+#include "nn/zoo.h"
+#include "util/string_utils.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace mclp;
+
+void
+printDesign(const std::string &title,
+            const model::MultiClpDesign &design,
+            const nn::Network &network)
+{
+    util::TextTable table({"CLP", "Tn", "Tm", "layers", "Tr,Tc",
+                           "cycles x1000"});
+    table.setTitle(title);
+    int64_t epoch = 0;
+    for (size_t ci = 0; ci < design.clps.size(); ++ci) {
+        const model::ClpConfig &clp = design.clps[ci];
+        int64_t cycles = model::clpComputeCycles(clp, network);
+        epoch = std::max(epoch, cycles);
+        std::vector<std::string> tilings;
+        for (const auto &binding : clp.layers) {
+            tilings.push_back(util::strprintf(
+                "%lld,%lld",
+                static_cast<long long>(binding.tiling.tr),
+                static_cast<long long>(binding.tiling.tc)));
+        }
+        table.addRow({util::strprintf("CLP%zu", ci),
+                      std::to_string(clp.shape.tn),
+                      std::to_string(clp.shape.tm),
+                      bench::layerListStr(clp, network),
+                      util::join(tilings, " "), bench::kcycles(cycles)});
+    }
+    if (design.clps.size() == 1) {
+        table.addNote("overall cycles = sum over layers (sequential): " +
+                      bench::kcycles(epoch) + "k");
+    } else {
+        table.addNote("overall cycles = max over CLPs (concurrent): " +
+                      bench::kcycles(epoch) + "k");
+    }
+    std::printf("%s\n", table.render().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printBenchHeader(
+        "Table 2: AlexNet float accelerator configurations",
+        "Table 2 (a-d)");
+
+    nn::Network network = nn::makeAlexNet();
+
+    // Published designs first: these reproduce Table 2 verbatim.
+    printDesign("Table 2(a) [paper design]: 485T Single-CLP",
+                core::paperAlexNetSingle485(), network);
+    printDesign("Table 2(b) [paper design]: 690T Single-CLP",
+                core::paperAlexNetSingle690(), network);
+    printDesign("Table 2(c) [paper design]: 485T Multi-CLP",
+                core::paperAlexNetMulti485(), network);
+    printDesign("Table 2(d) [paper design]: 690T Multi-CLP",
+                core::paperAlexNetMulti690(), network);
+
+    // Then what our optimizer finds for the same budgets.
+    for (const char *device_name : {"485T", "690T"}) {
+        bench::Scenario scenario;
+        scenario.networkName = "alexnet";
+        scenario.dataType = fpga::DataType::Float32;
+        scenario.device = fpga::deviceByName(device_name);
+        scenario.frequencyMhz = 100.0;
+        auto single = bench::runSingle(scenario, network);
+        printDesign(util::strprintf(
+                        "[our optimizer]: %s Single-CLP", device_name),
+                    single.design, network);
+        auto multi = bench::runMulti(scenario, network);
+        printDesign(util::strprintf("[our optimizer]: %s Multi-CLP",
+                                    device_name),
+                    multi.design, network);
+    }
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Table 5: SqueezeNet fixed-point model-predicted resource usage and
+ * throughput at 170 MHz, bandwidth-optimized (Section 6.3).
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "model/bram_model.h"
+#include "model/dsp_model.h"
+#include "model/metrics.h"
+#include "nn/zoo.h"
+#include "util/string_utils.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace mclp;
+
+void
+addMetricsRow(util::TextTable &table, const std::string &label,
+              const model::MultiClpDesign &design,
+              const nn::Network &network,
+              const fpga::ResourceBudget &budget)
+{
+    double bw_need =
+        model::requiredBandwidthBytesPerCycle(design, network, budget);
+    fpga::ResourceBudget at_need = budget;
+    at_need.bandwidthBytesPerCycle = bw_need;
+    auto metrics = model::evaluateDesign(design, network, at_need);
+    table.addRow(
+        {label, util::withCommas(model::designBram(design, network)),
+         util::withCommas(model::designDsp(design)),
+         bench::gbps(bw_need, budget.frequencyMhz),
+         util::percent(metrics.utilization),
+         util::strprintf("%.1f",
+                         metrics.imagesPerSec(budget.frequencyMhz)),
+         util::strprintf("%.1f",
+                         metrics.gops(network, budget.frequencyMhz))});
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printBenchHeader(
+        "Table 5: SqueezeNet fixed16 resource usage and throughput",
+        "Table 5");
+
+    std::printf(
+        "Paper (Table 5):\n"
+        "  485T S-CLP: 400 BRAM, 2,176 DSP, 19.7 GB/s, 50.3%%, "
+        "480.0 img/s, 372.2 Gop/s\n"
+        "  485T M-CLP: 492 BRAM, 2,240 DSP, 15.3 GB/s, 93.0%%, "
+        "913.4 img/s, 708.3 Gop/s\n"
+        "  690T S-CLP: 480 BRAM, 2,784 DSP, 20.5 GB/s, 41.3%%, "
+        "504.1 img/s, 391.0 Gop/s\n"
+        "  690T M-CLP: 635 BRAM, 2,880 DSP, 19.5 GB/s, 92.9%%, "
+        "1173.0 img/s, 909.7 Gop/s\n\n");
+
+    nn::Network network = nn::makeSqueezeNet();
+    util::TextTable table({"design", "BRAM", "DSP", "B/w (GB/s)",
+                           "Arith Util", "Thr. (img/s)", "Gop/s"});
+    table.setTitle("Ours (bandwidth-optimized, 170 MHz)");
+    table.addNote("SqueezeNet is bandwidth-hungry: peak requirements "
+                  "far exceed AlexNet's (Section 6.3)");
+
+    for (const char *device_name : {"485T", "690T"}) {
+        bench::Scenario scenario;
+        scenario.networkName = "squeezenet";
+        scenario.dataType = fpga::DataType::Fixed16;
+        scenario.device = fpga::deviceByName(device_name);
+        scenario.frequencyMhz = 170.0;
+        // The paper expects these accelerators to be bandwidth bound
+        // (Section 6.3), so the optimizer runs with a platform cap.
+        // The paper does not state its DDR configuration; 21.3 GB/s
+        // (dual-channel DDR3-1333) brackets the 19.5-20.5 GB/s needs
+        // it reports.
+        fpga::ResourceBudget budget = scenario.budget();
+        budget.setBandwidthGbps(21.3);
+
+        auto single = core::optimizeSingleClp(
+            network, scenario.dataType, budget);
+        auto single_compact = bench::compactDesign(
+            single.partition, network, scenario.dataType, budget,
+            static_cast<int64_t>(1.02 * single.metrics.epochCycles));
+        addMetricsRow(table,
+                      util::strprintf("%s S-CLP", device_name),
+                      single_compact, network, budget);
+
+        auto multi = core::optimizeMultiClp(network, scenario.dataType,
+                                            budget, 6);
+        auto multi_compact = bench::compactDesign(
+            multi.partition, network, scenario.dataType, budget,
+            static_cast<int64_t>(1.02 * multi.metrics.epochCycles));
+        addMetricsRow(table,
+                      util::strprintf("%s M-CLP", device_name),
+                      multi_compact, network, budget);
+        table.addSeparator();
+    }
+
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Table 6: AlexNet float — comparison of model predictions with
+ * implementation results (Section 6.4). The paper's "impl." column
+ * comes from Vivado place & route; here it comes from the toolflow
+ * overhead estimator (sim::ImplEstimate). Additionally, this bench
+ * performs the paper's RTL-simulation cross-check: the cycle-level
+ * simulator's epoch versus the analytical model.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/paper_designs.h"
+#include "model/metrics.h"
+#include "nn/zoo.h"
+#include "sim/impl_estimate.h"
+#include "sim/system.h"
+#include "util/string_utils.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace mclp;
+
+struct PaperImpl
+{
+    int64_t bram;
+    int64_t dsp;
+};
+
+void
+printValidation(const std::string &title,
+                const model::MultiClpDesign &design,
+                const nn::Network &network,
+                const std::vector<PaperImpl> &paper_impl,
+                PaperImpl paper_total)
+{
+    auto est = sim::estimateImplementation(design, network);
+    util::TextTable table({"CLP", "BRAM model", "BRAM impl (ours)",
+                           "BRAM impl (paper)", "DSP model",
+                           "DSP impl (ours)", "DSP impl (paper)"});
+    table.setTitle(title);
+    for (size_t ci = 0; ci < est.clps.size(); ++ci) {
+        const auto &clp = est.clps[ci];
+        table.addRow({util::strprintf("CLP%zu", ci),
+                      util::withCommas(clp.bramModel),
+                      util::withCommas(clp.bramImpl),
+                      ci < paper_impl.size()
+                          ? util::withCommas(paper_impl[ci].bram)
+                          : "-",
+                      util::withCommas(clp.dspModel),
+                      util::withCommas(clp.dspImpl),
+                      ci < paper_impl.size()
+                          ? util::withCommas(paper_impl[ci].dsp)
+                          : "-"});
+    }
+    table.addSeparator();
+    table.addRow({"Overall", util::withCommas(est.bramModel),
+                  util::withCommas(est.bramImpl),
+                  util::withCommas(paper_total.bram),
+                  util::withCommas(est.dspModel),
+                  util::withCommas(est.dspImpl),
+                  util::withCommas(paper_total.dsp)});
+    table.addNote("impl (ours) = regression-based toolflow estimate; "
+                  "see DESIGN.md");
+    std::printf("%s\n", table.render().c_str());
+
+    // Cycle cross-check (the paper's RTL simulation step).
+    fpga::ResourceBudget unconstrained;
+    unconstrained.dspSlices = 1 << 20;
+    unconstrained.bram18k = 1 << 20;
+    unconstrained.frequencyMhz = 100.0;
+    auto metrics =
+        model::evaluateDesign(design, network, unconstrained);
+    sim::MultiClpSystem system(design, network, unconstrained);
+    auto simulated = system.simulateEpoch();
+    std::printf("  cycle cross-check: model %s cycles, simulator %s "
+                "cycles (exact match expected)\n\n",
+                util::withCommas(metrics.epochCycles).c_str(),
+                util::withCommas(
+                    static_cast<int64_t>(simulated.epochCycles))
+                    .c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printBenchHeader(
+        "Table 6: AlexNet model vs implementation", "Table 6");
+    nn::Network network = nn::makeAlexNet();
+
+    printValidation("485T Single-CLP", core::paperAlexNetSingle485(),
+                    network, {{698, 2309}}, {698, 2309});
+    printValidation("485T Multi-CLP", core::paperAlexNetMulti485(),
+                    network,
+                    {{132, 689}, {195, 529}, {242, 410}, {243, 815}},
+                    {812, 2443});
+    printValidation("690T Multi-CLP", core::paperAlexNetMulti690(),
+                    network,
+                    {{131, 369},
+                     {195, 529},
+                     {132, 689},
+                     {226, 290},
+                     {162, 290},
+                     {590, 1010}},
+                    {1436, 3177});
+    return 0;
+}

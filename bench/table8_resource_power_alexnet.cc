@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Table 8: AlexNet float — FPGA resource utilization and estimated
+ * power for the Single-CLP and Multi-CLP designs (Section 6.5).
+ * Resource percentages are relative to each device's capacity; the
+ * absolute numbers come from the toolflow overhead estimator.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/paper_designs.h"
+#include "nn/zoo.h"
+#include "sim/impl_estimate.h"
+#include "util/string_utils.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace mclp;
+
+std::string
+withPct(int64_t used, int64_t capacity)
+{
+    return util::strprintf("%s (%.0f%%)",
+                           util::withCommas(used).c_str(),
+                           100.0 * static_cast<double>(used) /
+                               static_cast<double>(capacity));
+}
+
+void
+addColumn(util::TextTable &table, const std::string &label,
+          const model::MultiClpDesign &design,
+          const nn::Network &network, const fpga::Device &device)
+{
+    auto est = sim::estimateImplementation(design, network);
+    table.addRow({label, withPct(est.bramImpl, device.bram18k),
+                  withPct(est.dspImpl, device.dspSlices),
+                  withPct(est.flipFlops, device.flipFlops),
+                  withPct(est.luts, device.luts),
+                  util::strprintf("%.1f W", est.powerWatts)});
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printBenchHeader(
+        "Table 8: AlexNet float resource utilization and power",
+        "Table 8");
+
+    std::printf(
+        "Paper (Table 8): 485T S-CLP 698 BRAM (34%%), 2,309 DSP "
+        "(82%%), 219,815 FF (36%%), 146,325 LUT (48%%), 6.6 W\n"
+        "                 485T M-CLP 812 BRAM (39%%), 2,443 DSP "
+        "(87%%), 270,991 FF (45%%), 176,876 LUT (58%%), 7.6 W\n"
+        "                 690T M-CLP 1,436 BRAM (49%%), 3,177 DSP "
+        "(88%%), 348,049 FF (40%%), 236,877 LUT (55%%), 10.2 W\n\n");
+
+    nn::Network network = nn::makeAlexNet();
+    util::TextTable table(
+        {"design", "BRAM-18K", "DSP", "FF", "LUT", "Power"});
+    table.setTitle("Ours (post-\"implementation\" estimates)");
+    addColumn(table, "485T Single-CLP", core::paperAlexNetSingle485(),
+              network, fpga::virtex7_485t());
+    addColumn(table, "485T Multi-CLP", core::paperAlexNetMulti485(),
+              network, fpga::virtex7_485t());
+    addColumn(table, "690T Multi-CLP", core::paperAlexNetMulti690(),
+              network, fpga::virtex7_690t());
+    table.addNote("estimates from sim::ImplEstimate regressions "
+                  "(DESIGN.md, Deviations)");
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

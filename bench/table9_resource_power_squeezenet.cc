@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Table 9: SqueezeNet 16-bit — FPGA resource utilization and power
+ * for the Multi-CLP system optimized for the 690T (Section 6.5).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "core/memory_optimizer.h"
+#include "core/paper_designs.h"
+#include "nn/zoo.h"
+#include "sim/impl_estimate.h"
+#include "util/string_utils.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace mclp;
+
+std::string
+withPct(int64_t used, int64_t capacity)
+{
+    return util::strprintf("%s (%.0f%%)",
+                           util::withCommas(used).c_str(),
+                           100.0 * static_cast<double>(used) /
+                               static_cast<double>(capacity));
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printBenchHeader(
+        "Table 9: SqueezeNet fixed16 resource utilization and power",
+        "Table 9");
+
+    std::printf("Paper (Table 9): 1,108 BRAM (38%%), 3,494 DSP (97%%), "
+                "161,411 FF (19%%), 133,854 LUT (31%%), 7.2 W\n\n");
+
+    nn::Network network = nn::makeSqueezeNet();
+    // The published operating point uses 635 model BRAMs (Table 5).
+    auto partition = core::partitionFromDesign(
+        core::paperSqueezeNetMulti690(), network);
+    core::MemoryOptimizer memory(network, fpga::DataType::Fixed16);
+    auto curve = memory.tradeoffCurve(partition);
+    const core::TradeoffPoint *pick = &curve.front();
+    for (const auto &point : curve) {
+        if (std::llabs(point.totalBram - 635) <
+            std::llabs(pick->totalBram - 635)) {
+            pick = &point;
+        }
+    }
+
+    fpga::Device device = fpga::virtex7_690t();
+    auto est = sim::estimateImplementation(pick->design, network);
+    util::TextTable table(
+        {"design", "BRAM-18K", "DSP", "FF", "LUT", "Power"});
+    table.setTitle("Ours (post-\"implementation\" estimates)");
+    table.addRow({"690T Multi-CLP",
+                  withPct(est.bramImpl, device.bram18k),
+                  withPct(est.dspImpl, device.dspSlices),
+                  withPct(est.flipFlops, device.flipFlops),
+                  withPct(est.luts, device.luts),
+                  util::strprintf("%.1f W", est.powerWatts)});
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

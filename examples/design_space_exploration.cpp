@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Design-space exploration for a deployment decision.
+ *
+ * Scenario: a datacenter team must pick an FPGA part and a DDR
+ * configuration for a GoogLeNet inference appliance. This example
+ * uses the library to answer three questions:
+ *   1. How does throughput scale with the DSP budget (which part)?
+ *   2. How much off-chip bandwidth does each design need (which DDR)?
+ *   3. How should BRAM be traded against bandwidth on the chosen
+ *      part (Figure 6-style frontier)?
+ *
+ * Usage: design_space_exploration [network] [float|fixed]
+ * (defaults: googlenet float)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/memory_optimizer.h"
+#include "core/optimizer.h"
+#include "fpga/device.h"
+#include "model/bram_model.h"
+#include "model/metrics.h"
+#include "nn/zoo.h"
+#include "util/string_utils.h"
+#include "util/table.h"
+
+using namespace mclp;
+
+int
+main(int argc, char **argv)
+{
+    std::string net_name = argc > 1 ? argv[1] : "googlenet";
+    fpga::DataType type =
+        fpga::dataTypeByName(argc > 2 ? argv[2] : "float");
+    double mhz = type == fpga::DataType::Float32 ? 100.0 : 170.0;
+    nn::Network network = nn::networkByName(net_name);
+    std::printf("exploring %s (%s, %.0f MHz)\n\n",
+                network.name().c_str(),
+                fpga::dataTypeName(type).c_str(), mhz);
+
+    // Question 1 + 2: throughput and bandwidth need per device.
+    util::TextTable devices({"device", "DSP budget", "CLPs",
+                             "utilization", "img/s", "needed GB/s"});
+    devices.setTitle("Part selection: Multi-CLP across the catalog");
+    core::OptimizationResult chosen;
+    for (const auto &device : fpga::deviceCatalog()) {
+        fpga::ResourceBudget budget = fpga::standardBudget(device, mhz);
+        std::fprintf(stderr, "optimizing for %s...\n",
+                     device.name.c_str());
+        auto result = core::optimizeMultiClp(network, type, budget);
+        double need_bpc = model::requiredBandwidthBytesPerCycle(
+            result.design, network, budget);
+        devices.addRow(
+            {device.name, util::withCommas(budget.dspSlices),
+             std::to_string(result.design.clps.size()),
+             util::percent(result.metrics.utilization),
+             util::strprintf("%.1f", result.metrics.imagesPerSec(mhz)),
+             util::strprintf("%.2f", need_bpc * mhz * 1e6 / 1e9)});
+        if (device.name == "Virtex-7 690T")
+            chosen = result;
+    }
+    std::printf("%s\n", devices.render().c_str());
+
+    // Question 3: BRAM vs bandwidth frontier on the chosen part.
+    core::MemoryOptimizer memory(network, type);
+    auto curve = memory.tradeoffCurve(chosen.partition);
+    util::TextTable frontier({"BRAM-18K", "needed GB/s"});
+    frontier.setTitle("BRAM/bandwidth frontier on the 690T "
+                      "(subsampled)");
+    size_t stride = std::max<size_t>(1, curve.size() / 16);
+    for (size_t i = 0; i < curve.size(); i += stride) {
+        frontier.addRow(
+            {util::withCommas(curve[i].totalBram),
+             util::strprintf("%.2f", curve[i].peakBytesPerCycle * mhz *
+                                         1e6 / 1e9)});
+    }
+    std::printf("%s\n", frontier.render().c_str());
+    std::printf("pick the frontier point matching your DDR "
+                "configuration; every point has the same epoch "
+                "length when bandwidth suffices.\n");
+    return 0;
+}

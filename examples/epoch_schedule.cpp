@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Visualizing the epoch schedule (the paper's Figure 5) and the
+ * latency/throughput tradeoff of Section 4.1.
+ *
+ * The cycle-level simulator reports when each layer executes on each
+ * CLP; this example renders that as an ASCII Gantt chart for the
+ * published AlexNet 485T Multi-CLP design, then compares the general
+ * schedule against adjacency-constrained designs with fewer CLPs
+ * (lower latency, possibly lower throughput).
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/optimizer.h"
+#include "core/paper_designs.h"
+#include "core/schedule.h"
+#include "nn/zoo.h"
+#include "sim/system.h"
+#include "util/string_utils.h"
+#include "util/table.h"
+
+using namespace mclp;
+
+namespace {
+
+/** Render one epoch of a design as an ASCII Gantt chart. */
+void
+printGantt(const model::MultiClpDesign &design,
+           const nn::Network &network)
+{
+    fpga::ResourceBudget budget;
+    budget.dspSlices = 1 << 20;
+    budget.bram18k = 1 << 20;
+    budget.frequencyMhz = 100.0;
+    sim::MultiClpSystem system(design, network, budget);
+    auto result = system.simulateEpoch();
+
+    const int width = 68;
+    double scale = result.epochCycles / static_cast<double>(width);
+    std::printf("one epoch = %s cycles; '#' spans show layer "
+                "execution, '.' is idle\n",
+                util::withCommas(
+                    static_cast<int64_t>(result.epochCycles))
+                    .c_str());
+    for (size_t ci = 0; ci < result.clps.size(); ++ci) {
+        std::string lane(width, '.');
+        std::string labels;
+        for (const auto &span : result.clps[ci].layerSpans) {
+            int begin = static_cast<int>(span.startCycle / scale);
+            int end = std::max(begin + 1,
+                               static_cast<int>(span.endCycle / scale));
+            for (int x = begin; x < end && x < width; ++x)
+                lane[x] = '#';
+            // Mark the boundary between consecutive layers.
+            if (begin > 0 && begin < width && lane[begin - 1] == '#')
+                lane[begin] = '|';
+            labels += network.layer(
+                              static_cast<size_t>(span.layerIdx))
+                          .name +
+                      " ";
+        }
+        std::printf("  CLP%zu |%s| %s\n", ci, lane.c_str(),
+                    labels.c_str());
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    nn::Network network = nn::makeAlexNet();
+
+    std::printf("=== Figure-5-style epoch schedule: published 485T "
+                "Multi-CLP ===\n\n");
+    printGantt(core::paperAlexNetMulti485(), network);
+
+    // Latency/throughput tradeoff (Section 4.1): adjacency-constrained
+    // designs with a capped CLP count.
+    std::printf("\n=== Latency vs throughput (adjacent-layer "
+                "schedules, 485T float) ===\n\n");
+    fpga::ResourceBudget budget =
+        fpga::standardBudget(fpga::virtex7_485t(), 100.0);
+    util::TextTable table({"max CLPs", "CLPs used", "epoch cycles",
+                           "img/s", "latency epochs", "latency (ms)",
+                           "images in flight"});
+    for (int max_clps : {1, 2, 3, 4, 6}) {
+        core::OptimizerOptions options;
+        options.adjacentLayers = true;
+        options.maxClps = max_clps;
+        auto result = core::MultiClpOptimizer(
+                          network, fpga::DataType::Float32, budget,
+                          options)
+                          .run();
+        auto canon =
+            core::canonicalizeSchedule(result.design, network);
+        auto info = core::analyzeSchedule(canon, network);
+        table.addRow(
+            {std::to_string(max_clps),
+             std::to_string(canon.clps.size()),
+             util::withCommas(result.metrics.epochCycles),
+             util::strprintf("%.1f",
+                             result.metrics.imagesPerSec(100.0)),
+             std::to_string(info.latencyEpochs),
+             util::strprintf("%.1f",
+                             1e3 * info.latencySeconds(
+                                       result.metrics.epochCycles,
+                                       100.0)),
+             std::to_string(info.imagesInFlight)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("fewer CLPs shorten the pipeline (lower latency, "
+                "fewer in-flight images) but give up the specialized "
+                "shapes that maximize throughput — exactly the "
+                "tradeoff Section 4.1 describes.\n");
+    return 0;
+}

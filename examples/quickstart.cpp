@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Quickstart: optimize a Multi-CLP accelerator for AlexNet on a
+ * Virtex-7 690T and compare it with the state-of-the-art Single-CLP
+ * baseline.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/optimizer.h"
+#include "fpga/device.h"
+#include "model/bram_model.h"
+#include "model/dsp_model.h"
+#include "model/metrics.h"
+#include "nn/zoo.h"
+#include "util/string_utils.h"
+
+using namespace mclp;
+
+int
+main()
+{
+    // 1. Pick a network from the zoo (or build your own nn::Network).
+    nn::Network network = nn::makeAlexNet();
+    std::printf("%s", network.toString().c_str());
+
+    // 2. Describe the resource budget: the paper uses 80% of the chip
+    //    and a 100 MHz clock for the float designs.
+    fpga::Device device = fpga::virtex7_690t();
+    fpga::ResourceBudget budget = fpga::standardBudget(device, 100.0);
+    std::printf("\nbudget: %lld DSP slices, %lld BRAM-18Kb on %s\n\n",
+                static_cast<long long>(budget.dspSlices),
+                static_cast<long long>(budget.bram18k),
+                device.name.c_str());
+
+    // 3. Baseline: one convolutional layer processor for all layers.
+    auto single = core::optimizeSingleClp(network,
+                                          fpga::DataType::Float32,
+                                          budget);
+    std::printf("Single-CLP: Tn=%lld Tm=%lld, %s cycles/image, "
+                "utilization %s\n",
+                static_cast<long long>(single.design.clps[0].shape.tn),
+                static_cast<long long>(single.design.clps[0].shape.tm),
+                util::withCommas(single.metrics.epochCycles).c_str(),
+                util::percent(single.metrics.utilization).c_str());
+
+    // 3b. Why is the Single-CLP slow? Ask the per-layer fit report:
+    //     layers whose (N, M) mismatch the 9x64 grid idle most lanes.
+    auto fits = model::layerFitReport(single.design, network);
+    std::printf("  worst-fitting layers on the single CLP:\n");
+    for (size_t i = 0; i < 3 && i < fits.size(); ++i) {
+        std::printf("    %-8s %s of the grid busy\n",
+                    network.layer(fits[i].layerIdx).name.c_str(),
+                    util::percent(fits[i].utilization).c_str());
+    }
+
+    // 4. The paper's contribution: partition the same resources into
+    //    multiple specialized CLPs working on independent images.
+    auto multi = core::optimizeMultiClp(network, fpga::DataType::Float32,
+                                        budget);
+    std::printf("Multi-CLP:  %zu CLPs, %s cycles/epoch, utilization "
+                "%s\n\n",
+                multi.design.clps.size(),
+                util::withCommas(multi.metrics.epochCycles).c_str(),
+                util::percent(multi.metrics.utilization).c_str());
+    std::printf("%s", multi.design.toString(network).c_str());
+
+    // 5. Compare throughput; both designs use the same arithmetic.
+    double s = single.metrics.imagesPerSec(100.0);
+    double m = multi.metrics.imagesPerSec(100.0);
+    std::printf("\nthroughput: %.2f img/s -> %.2f img/s (%.2fx) using "
+                "%lld DSP slices in both designs\n",
+                s, m, m / s,
+                static_cast<long long>(model::designDsp(multi.design)));
+    std::printf("BRAM: %lld (single) vs %lld (multi) of %lld\n",
+                static_cast<long long>(
+                    model::designBram(single.design, network)),
+                static_cast<long long>(
+                    model::designBram(multi.design, network)),
+                static_cast<long long>(budget.bram18k));
+    return 0;
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Running an optimized accelerator in the cycle-level simulator.
+ *
+ * Scenario: before committing to an FPGA build you want evidence that
+ * (a) the tiled CLP datapath computes the right answers and (b) the
+ * analytical model's throughput predictions hold once transfers and
+ * double-buffering are actually scheduled. This example optimizes a
+ * small CNN, checks the functional engine against the golden
+ * convolution on every layer, and sweeps the DRAM bandwidth to show
+ * where the accelerator turns transfer-bound.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/optimizer.h"
+#include "model/metrics.h"
+#include "nn/network.h"
+#include "nn/reference.h"
+#include "sim/clp_engine.h"
+#include "sim/system.h"
+#include "util/string_utils.h"
+#include "util/table.h"
+
+using namespace mclp;
+
+namespace {
+
+nn::Network
+makeTinyNet()
+{
+    // Small enough to run functionally in milliseconds, shaped enough
+    // (N from 3 to 64, K from 1 to 5) to exercise the datapath.
+    nn::Network net("TinyNet", {});
+    net.addLayer(nn::makeConvLayer("conv1", 3, 16, 32, 32, 5, 2));
+    net.addLayer(nn::makeConvLayer("conv2", 16, 32, 16, 16, 3, 1));
+    net.addLayer(nn::makeConvLayer("reduce", 32, 24, 16, 16, 1, 1));
+    net.addLayer(nn::makeConvLayer("conv3", 24, 64, 8, 8, 3, 1));
+    return net;
+}
+
+/** Find the CLP and tiling an optimized design uses for a layer. */
+std::pair<model::ClpShape, model::Tiling>
+bindingFor(const model::MultiClpDesign &design, size_t layer_idx)
+{
+    for (const auto &clp : design.clps)
+        for (const auto &binding : clp.layers)
+            if (binding.layerIdx == layer_idx)
+                return {clp.shape, binding.tiling};
+    util::fatal("layer %zu not bound in design", layer_idx);
+}
+
+} // namespace
+
+int
+main()
+{
+    nn::Network network = makeTinyNet();
+    fpga::ResourceBudget budget;
+    budget.dspSlices = 600;
+    budget.bram18k = 400;
+    budget.frequencyMhz = 150.0;
+
+    auto result = core::optimizeMultiClp(network,
+                                         fpga::DataType::Float32,
+                                         budget);
+    std::printf("optimized design:\n%s\n",
+                result.design.toString(network).c_str());
+
+    // Functional validation: run every layer through the tiled CLP
+    // engine and compare against the direct six-loop convolution.
+    std::printf("functional validation against the golden reference:\n");
+    for (size_t li = 0; li < network.numLayers(); ++li) {
+        const nn::ConvLayer &layer = network.layer(li);
+        auto [shape, tiling] = bindingFor(result.design, li);
+        auto input = nn::makeRandomInput<float>(layer, 1000 + li);
+        auto weights = nn::makeRandomWeights<float>(layer, 2000 + li);
+        auto expected = nn::referenceConv(layer, input, weights);
+        auto got =
+            sim::runLayerFunctional(layer, shape, tiling, input, weights);
+        double max_err = 0.0;
+        for (size_t i = 0; i < expected.raw().size(); ++i)
+            max_err = std::max(
+                max_err, std::abs(static_cast<double>(
+                             expected.raw()[i] - got.output.raw()[i])));
+        std::printf("  %-8s Tn=%lld Tm=%lld Tr=%lld Tc=%lld: "
+                    "max |err| = %.2e over %lld outputs  [%s]\n",
+                    layer.name.c_str(),
+                    static_cast<long long>(shape.tn),
+                    static_cast<long long>(shape.tm),
+                    static_cast<long long>(tiling.tr),
+                    static_cast<long long>(tiling.tc), max_err,
+                    static_cast<long long>(layer.outputWords()),
+                    max_err < 1e-3 ? "OK" : "MISMATCH");
+    }
+
+    // Timing validation: sweep DRAM bandwidth and watch the epoch.
+    std::printf("\nbandwidth sweep (timing simulation of one epoch):\n");
+    util::TextTable table({"bandwidth (GB/s)", "epoch (cycles)",
+                           "stall share", "utilization",
+                           "model epoch"});
+    for (double gbps : {0.1, 0.2, 0.5, 1.0, 2.0, 4.0, 0.0}) {
+        fpga::ResourceBudget b = budget;
+        if (gbps > 0.0)
+            b.setBandwidthGbps(gbps);
+        sim::MultiClpSystem system(result.design, network, b);
+        auto sim_result = system.simulateEpoch();
+        auto metrics = model::evaluateDesign(result.design, network, b);
+        double stall = 0.0;
+        for (const auto &clp : sim_result.clps)
+            stall = std::max(stall,
+                             clp.stallCycles / sim_result.epochCycles);
+        table.addRow({gbps > 0.0 ? util::strprintf("%.1f", gbps)
+                                 : std::string("unlimited"),
+                      util::withCommas(static_cast<int64_t>(
+                          sim_result.epochCycles)),
+                      util::percent(stall),
+                      util::percent(sim_result.utilization),
+                      util::withCommas(metrics.epochCycles)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nthe simulated epoch converges to the analytical "
+                "model as bandwidth grows; under starvation the CLPs "
+                "stall on transfers exactly as Section 4.2 models.\n");
+    return 0;
+}

@@ -1,0 +1,224 @@
+#include "core/compute_optimizer.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "model/cycle_model.h"
+#include "model/dsp_model.h"
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace mclp {
+namespace core {
+
+namespace {
+
+constexpr int64_t kInfinity = std::numeric_limits<int64_t>::max() / 4;
+
+} // namespace
+
+ComputeOptimizer::ComputeOptimizer(const nn::Network &network,
+                                   fpga::DataType type,
+                                   std::vector<size_t> order, int max_clps)
+    : network_(network), type_(type), order_(std::move(order)),
+      maxClps_(max_clps)
+{
+    if (order_.size() != network_.numLayers())
+        util::fatal("ComputeOptimizer: order length %zu != layer count "
+                    "%zu", order_.size(), network_.numLayers());
+    if (maxClps_ < 1)
+        util::fatal("ComputeOptimizer: max_clps must be >= 1");
+}
+
+std::optional<ComputeOptimizer::RangeChoice>
+ComputeOptimizer::bestShapeForRange(size_t i, size_t j,
+                                    int64_t dsp_budget,
+                                    int64_t cycle_target)
+{
+    // Per-layer dimensions for the range, gathered once.
+    std::vector<const nn::ConvLayer *> layers;
+    int64_t max_n = 0;
+    int64_t max_m = 0;
+    int64_t range_macs = 0;
+    for (size_t p = i; p <= j; ++p) {
+        const nn::ConvLayer &layer = network_.layer(order_[p]);
+        layers.push_back(&layer);
+        max_n = std::max(max_n, layer.n);
+        max_m = std::max(max_m, layer.m);
+        range_macs += layer.macs();
+    }
+
+    int64_t units_budget = model::macBudget(dsp_budget, type_);
+    // cycles >= macs / (Tn*Tm), so the target induces a unit floor.
+    int64_t min_units = util::ceilDiv(range_macs, cycle_target);
+    if (min_units > units_budget)
+        return std::nullopt;
+
+    // Cycles for the range with a given shape.
+    auto rangeCycles = [&](int64_t tn, int64_t tm) {
+        int64_t total = 0;
+        for (const nn::ConvLayer *layer : layers) {
+            total += layer->r * layer->c *
+                     util::ceilDiv(layer->n, tn) *
+                     util::ceilDiv(layer->m, tm) * layer->k * layer->k;
+            if (total > cycle_target)
+                return kInfinity;
+        }
+        return total;
+    };
+
+    std::optional<RangeChoice> best;
+    int64_t tn_cap = std::min(max_n, units_budget);
+    for (int64_t tn = 1; tn <= tn_cap; ++tn) {
+        // Skip Tn values that do not change any ceil(N/Tn): they cost
+        // at least as much DSP for identical cycle counts.
+        if (tn > 1) {
+            bool changes = false;
+            for (const nn::ConvLayer *layer : layers) {
+                if (util::ceilDiv(layer->n, tn) !=
+                    util::ceilDiv(layer->n, tn - 1)) {
+                    changes = true;
+                    break;
+                }
+            }
+            if (!changes)
+                continue;
+        }
+
+        int64_t tm_cap = std::min(max_m, units_budget / tn);
+        if (tm_cap < 1)
+            break;
+        // Prune: even the cheapest feasible Tm cannot beat the best.
+        int64_t tm_floor = util::ceilDiv(min_units, tn);
+        if (tm_floor > tm_cap)
+            continue;
+        if (best &&
+            model::clpDsp({tn, tm_floor}, type_) >= best->dsp)
+            continue;
+        if (rangeCycles(tn, tm_cap) > cycle_target)
+            continue;  // infeasible even at the largest Tm
+
+        // Cycles are non-increasing in Tm: binary search the minimum
+        // feasible Tm in [tm_floor, tm_cap].
+        int64_t lo = tm_floor;
+        int64_t hi = tm_cap;
+        while (lo < hi) {
+            int64_t mid = lo + (hi - lo) / 2;
+            if (rangeCycles(tn, mid) <= cycle_target)
+                hi = mid;
+            else
+                lo = mid + 1;
+        }
+        model::ClpShape shape{tn, lo};
+        int64_t dsp = model::clpDsp(shape, type_);
+        if (dsp > dsp_budget)
+            continue;
+        if (!best || dsp < best->dsp ||
+            (dsp == best->dsp &&
+             rangeCycles(tn, lo) < best->cycles)) {
+            best = RangeChoice{shape, dsp, rangeCycles(tn, lo)};
+        }
+    }
+    return best;
+}
+
+std::vector<ComputePartition>
+ComputeOptimizer::optimize(int64_t dsp_budget, int64_t cycle_target)
+{
+    if (dsp_budget <= 0 || cycle_target <= 0)
+        util::fatal("ComputeOptimizer::optimize: budget and target must "
+                    "be positive");
+
+    size_t count = order_.size();
+    int max_k = std::min<int>(maxClps_, static_cast<int>(count));
+
+    // Range table: best[i][j] = min-DSP shape for order_[i..j]. Only
+    // ranges a <= max_k partition can actually use are computed: with
+    // one CLP only the full span matters, with two CLPs a span must
+    // touch one end of the order.
+    std::vector<std::vector<std::optional<RangeChoice>>> range(
+        count, std::vector<std::optional<RangeChoice>>(count));
+    for (size_t i = 0; i < count; ++i) {
+        for (size_t j = i; j < count; ++j) {
+            bool usable = (i == 0 && j == count - 1) ||
+                          (max_k >= 2 && (i == 0 || j == count - 1)) ||
+                          max_k >= 3;
+            if (!usable)
+                continue;
+            range[i][j] = bestShapeForRange(i, j, dsp_budget,
+                                            cycle_target);
+            // Longer ranges only add work; once infeasible at full
+            // budget, every extension is too.
+            if (!range[i][j] && !(i == 0 && j + 1 == count)) {
+                break;
+            }
+        }
+    }
+
+    // DP over prefixes: cost[k][e] = min total DSP covering the first
+    // e ordered layers with exactly k CLPs.
+    std::vector<std::vector<int64_t>> cost(
+        max_k + 1, std::vector<int64_t>(count + 1, kInfinity));
+    std::vector<std::vector<size_t>> prev(
+        max_k + 1, std::vector<size_t>(count + 1, 0));
+    cost[0][0] = 0;
+    for (int k = 1; k <= max_k; ++k) {
+        for (size_t e = 1; e <= count; ++e) {
+            size_t b_min = static_cast<size_t>(k - 1) < e
+                               ? static_cast<size_t>(k - 1)
+                               : e;
+            for (size_t b = b_min; b < e; ++b) {
+                if (cost[k - 1][b] >= kInfinity)
+                    continue;
+                const auto &choice = range[b][e - 1];
+                if (!choice)
+                    continue;
+                int64_t total = cost[k - 1][b] + choice->dsp;
+                if (total < cost[k][e]) {
+                    cost[k][e] = total;
+                    prev[k][e] = b;
+                }
+            }
+        }
+    }
+
+    // One candidate per feasible CLP count, cheapest DSP first.
+    std::vector<ComputePartition> candidates;
+    for (int k = 1; k <= max_k; ++k) {
+        if (cost[k][count] > dsp_budget)
+            continue;
+        ComputePartition partition;
+        partition.totalDsp = cost[k][count];
+        size_t e = count;
+        std::vector<std::pair<size_t, size_t>> spans;
+        for (int kk = k; kk >= 1; --kk) {
+            size_t b = prev[kk][e];
+            spans.emplace_back(b, e - 1);
+            e = b;
+        }
+        std::reverse(spans.begin(), spans.end());
+        for (auto [b, last] : spans) {
+            const auto &choice = range[b][last];
+            if (!choice)
+                util::panic("ComputeOptimizer: DP reconstructed an "
+                            "infeasible range");
+            ComputeGroup group;
+            group.shape = choice->shape;
+            group.dsp = choice->dsp;
+            group.cycles = choice->cycles;
+            for (size_t p = b; p <= last; ++p)
+                group.layers.push_back(order_[p]);
+            partition.groups.push_back(std::move(group));
+        }
+        candidates.push_back(std::move(partition));
+    }
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const ComputePartition &a,
+                        const ComputePartition &b) {
+                         return a.totalDsp < b.totalDsp;
+                     });
+    return candidates;
+}
+
+} // namespace core
+} // namespace mclp

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * OptimizeCompute (Section 4.3, first step): partition the DSP budget.
+ *
+ * Given an ordered layer list and a cycle target, find partitions of
+ * the order into contiguous groups, one CLP per group, choosing each
+ * CLP's (Tn, Tm) with minimum DSP cost such that the CLP finishes all
+ * its layers within the target. A dynamic program over the order picks
+ * the partition minimizing total DSP for every CLP count up to the
+ * limit; every partition that fits the DSP budget becomes a candidate
+ * for OptimizeMemory.
+ */
+
+#ifndef MCLP_CORE_COMPUTE_OPTIMIZER_H
+#define MCLP_CORE_COMPUTE_OPTIMIZER_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fpga/data_type.h"
+#include "model/clp_config.h"
+#include "nn/network.h"
+
+namespace mclp {
+namespace core {
+
+/** One CLP of a compute-partition candidate (no tilings yet). */
+struct ComputeGroup
+{
+    model::ClpShape shape;
+    std::vector<size_t> layers;  ///< network layer indices
+    int64_t cycles = 0;          ///< sum of layer cycles on this shape
+    int64_t dsp = 0;             ///< DSP slices of the compute module
+};
+
+/** A compute-partition candidate: CLP shapes plus layer assignment. */
+struct ComputePartition
+{
+    std::vector<ComputeGroup> groups;
+    int64_t totalDsp = 0;
+
+    /** Epoch length: max over groups (CLPs run concurrently). */
+    int64_t
+    epochCycles() const
+    {
+        int64_t worst = 0;
+        for (const auto &group : groups)
+            worst = std::max(worst, group.cycles);
+        return worst;
+    }
+};
+
+/**
+ * The OptimizeCompute search. Construct once per (network, data type,
+ * order); optimize() may be called repeatedly with loosening targets,
+ * reusing internal memoization.
+ */
+class ComputeOptimizer
+{
+  public:
+    /**
+     * @param network the CNN
+     * @param type arithmetic data type (determines DSP per MAC)
+     * @param order heuristic-ordered layer indices (see layer_order.h)
+     * @param max_clps upper bound on CLPs per design
+     */
+    ComputeOptimizer(const nn::Network &network, fpga::DataType type,
+                     std::vector<size_t> order, int max_clps);
+
+    /**
+     * Find candidate partitions whose every CLP meets @p cycle_target
+     * and whose total DSP fits @p dsp_budget. Returns the min-DSP
+     * partition for each feasible CLP count (at most max_clps
+     * candidates), cheapest first. Empty when no partition fits.
+     */
+    std::vector<ComputePartition> optimize(int64_t dsp_budget,
+                                           int64_t cycle_target);
+
+  private:
+    /** Minimum-DSP shape for layers order_[i..j] within the target. */
+    struct RangeChoice
+    {
+        model::ClpShape shape;
+        int64_t dsp = 0;
+        int64_t cycles = 0;
+    };
+
+    std::optional<RangeChoice> bestShapeForRange(size_t i, size_t j,
+                                                 int64_t dsp_budget,
+                                                 int64_t cycle_target);
+
+    const nn::Network &network_;
+    fpga::DataType type_;
+    std::vector<size_t> order_;
+    int maxClps_;
+};
+
+} // namespace core
+} // namespace mclp
+
+#endif // MCLP_CORE_COMPUTE_OPTIMIZER_H

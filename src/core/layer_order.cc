@@ -1,0 +1,107 @@
+#include "core/layer_order.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace mclp {
+namespace core {
+
+std::string
+orderHeuristicName(OrderHeuristic heuristic)
+{
+    switch (heuristic) {
+      case OrderHeuristic::NmDistance:
+        return "nm-distance";
+      case OrderHeuristic::ComputeToData:
+        return "compute-to-data";
+      case OrderHeuristic::AsIs:
+        return "as-is";
+    }
+    util::panic("orderHeuristicName: bad heuristic");
+}
+
+namespace {
+
+/** Nearest-neighbour chain over (N, M), starting from min N+M. */
+std::vector<size_t>
+nmDistanceOrder(const nn::Network &network)
+{
+    size_t count = network.numLayers();
+    std::vector<bool> used(count, false);
+
+    size_t start = 0;
+    int64_t best_key = std::numeric_limits<int64_t>::max();
+    for (size_t i = 0; i < count; ++i) {
+        int64_t key = network.layer(i).n + network.layer(i).m;
+        if (key < best_key) {
+            best_key = key;
+            start = i;
+        }
+    }
+
+    std::vector<size_t> order;
+    order.reserve(count);
+    order.push_back(start);
+    used[start] = true;
+    while (order.size() < count) {
+        const nn::ConvLayer &cur = network.layer(order.back());
+        size_t next = count;
+        int64_t best_d2 = std::numeric_limits<int64_t>::max();
+        for (size_t i = 0; i < count; ++i) {
+            if (used[i])
+                continue;
+            const nn::ConvLayer &cand = network.layer(i);
+            int64_t d2 = util::distance2(cur.n, cur.m, cand.n, cand.m);
+            if (d2 < best_d2) {
+                best_d2 = d2;
+                next = i;
+            }
+        }
+        order.push_back(next);
+        used[next] = true;
+    }
+    return order;
+}
+
+/** Ascending compute-to-data ratio, ties toward lower index. */
+std::vector<size_t>
+computeToDataOrder(const nn::Network &network)
+{
+    std::vector<size_t> order(network.numLayers());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) {
+                         return network.layer(a).computeToDataRatio() <
+                                network.layer(b).computeToDataRatio();
+                     });
+    return order;
+}
+
+} // namespace
+
+std::vector<size_t>
+orderLayers(const nn::Network &network, OrderHeuristic heuristic)
+{
+    if (network.numLayers() == 0)
+        util::fatal("orderLayers: network %s has no layers",
+                    network.name().c_str());
+    switch (heuristic) {
+      case OrderHeuristic::NmDistance:
+        return nmDistanceOrder(network);
+      case OrderHeuristic::ComputeToData:
+        return computeToDataOrder(network);
+      case OrderHeuristic::AsIs: {
+        std::vector<size_t> order(network.numLayers());
+        std::iota(order.begin(), order.end(), size_t{0});
+        return order;
+      }
+    }
+    util::panic("orderLayers: bad heuristic");
+}
+
+} // namespace core
+} // namespace mclp

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Layer-ordering heuristics (Section 4.3).
+ *
+ * OptimizeCompute only assigns *contiguous* runs of an ordered layer
+ * list to CLPs, so the order determines which groupings are reachable.
+ * The paper orders by compute-to-data ratio for bandwidth-limited
+ * accelerators and by Euclidean distance between (N, M) pairs for
+ * compute-bound ones.
+ */
+
+#ifndef MCLP_CORE_LAYER_ORDER_H
+#define MCLP_CORE_LAYER_ORDER_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nn/network.h"
+
+namespace mclp {
+namespace core {
+
+/** Which ordering heuristic to apply. */
+enum class OrderHeuristic
+{
+    /** Greedy nearest-neighbour chain over (N, M) points. */
+    NmDistance,
+    /** Ascending compute-to-data ratio. */
+    ComputeToData,
+    /** Keep the network's natural pipeline order. */
+    AsIs,
+};
+
+/** Heuristic name for reports. */
+std::string orderHeuristicName(OrderHeuristic heuristic);
+
+/**
+ * Produce a permutation of layer indices per the heuristic.
+ * Deterministic: ties break toward lower layer index.
+ */
+std::vector<size_t> orderLayers(const nn::Network &network,
+                                OrderHeuristic heuristic);
+
+} // namespace core
+} // namespace mclp
+
+#endif // MCLP_CORE_LAYER_ORDER_H

@@ -1,0 +1,444 @@
+#include "core/memory_optimizer.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "model/bandwidth_model.h"
+#include "model/bram_model.h"
+#include "model/cycle_model.h"
+#include "model/dsp_model.h"
+#include "model/metrics.h"
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace mclp {
+namespace core {
+
+std::vector<TilingOption>
+paretoTilingOptions(const nn::ConvLayer &layer,
+                    const model::ClpShape &shape)
+{
+    std::vector<TilingOption> all;
+    all.reserve(static_cast<size_t>(layer.r * layer.c));
+    for (int64_t tr = 1; tr <= layer.r; ++tr) {
+        for (int64_t tc = 1; tc <= layer.c; ++tc) {
+            model::Tiling tiling{tr, tc};
+            TilingOption opt;
+            opt.tiling = tiling;
+            opt.inputBankBrams = model::bramsPerBank(
+                model::inputBankWords(layer, tiling), false);
+            opt.outputBankBrams = model::bramsPerBank(
+                model::outputBankWords(tiling), true);
+            opt.peakWordsPerCycle =
+                model::layerPeakWordsPerCycle(layer, shape, tiling);
+            all.push_back(opt);
+        }
+    }
+
+    // Sort by ascending peak; tie-break toward cheaper buffers so the
+    // staircase filter keeps the cheapest representative.
+    std::sort(all.begin(), all.end(),
+              [](const TilingOption &a, const TilingOption &b) {
+                  if (a.peakWordsPerCycle != b.peakWordsPerCycle)
+                      return a.peakWordsPerCycle < b.peakWordsPerCycle;
+                  if (a.inputBankBrams != b.inputBankBrams)
+                      return a.inputBankBrams < b.inputBankBrams;
+                  return a.outputBankBrams < b.outputBankBrams;
+              });
+
+    // 3-D Pareto filter: sweep in peak order and keep an option only
+    // if no kept option has both bank costs <= its. The staircase maps
+    // input cost -> smallest output cost seen at or below it.
+    std::map<int64_t, int64_t> staircase;
+    auto dominated = [&](int64_t in_cost, int64_t out_cost) {
+        auto it = staircase.upper_bound(in_cost);
+        if (it == staircase.begin())
+            return false;
+        --it;
+        return it->second <= out_cost;
+    };
+    auto insert = [&](int64_t in_cost, int64_t out_cost) {
+        auto it = staircase.lower_bound(in_cost);
+        while (it != staircase.end() && it->second >= out_cost)
+            it = staircase.erase(it);
+        staircase[in_cost] = out_cost;
+    };
+
+    std::vector<TilingOption> pareto;
+    for (const TilingOption &opt : all) {
+        if (dominated(opt.inputBankBrams, opt.outputBankBrams))
+            continue;
+        insert(opt.inputBankBrams, opt.outputBankBrams);
+        pareto.push_back(opt);
+    }
+    return pareto;
+}
+
+/**
+ * Mutable tiling state of one CLP during the greedy frontier walk:
+ * per-layer Pareto options, the currently chosen option per layer, and
+ * the implied per-bank BRAM cost caps.
+ */
+class MemoryOptimizer::ClpState
+{
+  public:
+    ClpState(const nn::Network &network, fpga::DataType type,
+             const ComputeGroup &group)
+        : network_(network), type_(type), shape_(group.shape),
+          layers_(group.layers)
+    {
+        int64_t weight_words = 0;
+        for (size_t idx : layers_) {
+            const nn::ConvLayer &layer = network_.layer(idx);
+            options_.push_back(paretoTilingOptions(layer, shape_));
+            weight_words =
+                std::max(weight_words, model::weightBankWords(layer));
+        }
+        weightBankBrams_ = model::bramsPerBank(weight_words, false);
+        chosen_.assign(layers_.size(), 0);
+        refreshCaps();
+    }
+
+    /** Current BRAM use of this CLP. */
+    int64_t bram() const { return bramAt(inCap_, outCap_); }
+
+    /** BRAM use at hypothetical per-bank cost caps. */
+    int64_t
+    bramAt(int64_t in_cap, int64_t out_cap) const
+    {
+        return model::effectiveBanks(shape_.tn, type_) * in_cap +
+               model::effectiveBanks(shape_.tn * shape_.tm, type_) *
+                   weightBankBrams_ +
+               model::effectiveBanks(shape_.tm, type_) * out_cap;
+    }
+
+    /** Current peak bandwidth of this CLP in words per cycle. */
+    double
+    peakWords() const
+    {
+        double peak = 0.0;
+        for (size_t li = 0; li < layers_.size(); ++li)
+            peak = std::max(
+                peak, options_[li][chosen_[li]].peakWordsPerCycle);
+        return peak;
+    }
+
+    /** A candidate buffer-shrinking move and its effect. */
+    struct Move
+    {
+        bool input = false;       ///< shrink input (else output) banks
+        int64_t newCap = 0;       ///< new per-bank BRAM cost cap
+        int64_t bramAfter = 0;
+        double peakAfter = 0.0;
+    };
+
+    /**
+     * Evaluate shrinking the input or output per-bank cost to the next
+     * lower achievable level. Returns nullopt when no lower level
+     * exists.
+     */
+    std::optional<Move>
+    probeMove(bool input) const
+    {
+        int64_t cap = input ? inCap_ : outCap_;
+        // The layers' options bound how low the cap can go: every
+        // layer must retain at least one option under both caps.
+        int64_t floor_cap = 0;
+        for (size_t li = 0; li < layers_.size(); ++li) {
+            int64_t layer_min = std::numeric_limits<int64_t>::max();
+            for (const TilingOption &opt : options_[li]) {
+                int64_t other =
+                    input ? opt.outputBankBrams : opt.inputBankBrams;
+                int64_t other_cap = input ? outCap_ : inCap_;
+                if (other > other_cap)
+                    continue;
+                layer_min = std::min(layer_min, input
+                                                    ? opt.inputBankBrams
+                                                    : opt.outputBankBrams);
+            }
+            if (layer_min == std::numeric_limits<int64_t>::max())
+                return std::nullopt;  // should not happen: cap covers it
+            floor_cap = std::max(floor_cap, layer_min);
+        }
+        if (cap <= floor_cap)
+            return std::nullopt;
+
+        // Largest achievable level strictly below the current cap.
+        int64_t new_cap = floor_cap;
+        for (size_t li = 0; li < layers_.size(); ++li) {
+            for (const TilingOption &opt : options_[li]) {
+                int64_t level =
+                    input ? opt.inputBankBrams : opt.outputBankBrams;
+                if (level < cap)
+                    new_cap = std::max(new_cap, level);
+            }
+        }
+
+        int64_t in_cap = input ? new_cap : inCap_;
+        int64_t out_cap = input ? outCap_ : new_cap;
+        double peak_after = 0.0;
+        for (size_t li = 0; li < layers_.size(); ++li) {
+            bool found = false;
+            for (const TilingOption &opt : options_[li]) {
+                if (opt.inputBankBrams <= in_cap &&
+                    opt.outputBankBrams <= out_cap) {
+                    peak_after =
+                        std::max(peak_after, opt.peakWordsPerCycle);
+                    found = true;
+                    break;  // options sorted by ascending peak
+                }
+            }
+            if (!found)
+                return std::nullopt;
+        }
+        Move move;
+        move.input = input;
+        move.newCap = new_cap;
+        move.bramAfter = bramAt(in_cap, out_cap);
+        move.peakAfter = peak_after;
+        return move;
+    }
+
+    /** Apply a previously probed move. */
+    void
+    applyMove(const Move &move)
+    {
+        if (move.input)
+            inCap_ = move.newCap;
+        else
+            outCap_ = move.newCap;
+        if (!repick())
+            util::panic("MemoryOptimizer: applying an infeasible move");
+        refreshCaps();
+    }
+
+    const model::ClpShape &shape() const { return shape_; }
+    const std::vector<size_t> &layers() const { return layers_; }
+
+    /** Currently chosen tiling of layer @p li (local index). */
+    const model::Tiling &
+    tiling(size_t li) const
+    {
+        return options_[li][chosen_[li]].tiling;
+    }
+
+  private:
+    /**
+     * Re-pick, for every layer, the minimum-peak option obeying the
+     * caps. Returns false if some layer has no such option.
+     */
+    bool
+    repick()
+    {
+        for (size_t li = 0; li < layers_.size(); ++li) {
+            bool found = false;
+            for (size_t oi = 0; oi < options_[li].size(); ++oi) {
+                const TilingOption &opt = options_[li][oi];
+                if (opt.inputBankBrams <= inCap_ &&
+                    opt.outputBankBrams <= outCap_) {
+                    chosen_[li] = oi;  // options sorted by peak
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                return false;
+        }
+        return true;
+    }
+
+    /** Tighten the caps down to the realized per-layer maxima. */
+    void
+    refreshCaps()
+    {
+        int64_t in_max = 0;
+        int64_t out_max = 0;
+        for (size_t li = 0; li < layers_.size(); ++li) {
+            in_max = std::max(in_max,
+                              options_[li][chosen_[li]].inputBankBrams);
+            out_max = std::max(out_max,
+                               options_[li][chosen_[li]].outputBankBrams);
+        }
+        inCap_ = in_max;
+        outCap_ = out_max;
+    }
+
+    const nn::Network &network_;
+    fpga::DataType type_;
+    model::ClpShape shape_;
+    std::vector<size_t> layers_;
+    std::vector<std::vector<TilingOption>> options_;
+    std::vector<size_t> chosen_;
+    int64_t weightBankBrams_ = 0;
+    int64_t inCap_ = 0;
+    int64_t outCap_ = 0;
+};
+
+MemoryOptimizer::MemoryOptimizer(const nn::Network &network,
+                                 fpga::DataType type)
+    : network_(network), type_(type)
+{
+}
+
+model::MultiClpDesign
+MemoryOptimizer::buildDesign(const ComputePartition &partition,
+                             const std::vector<ClpState> &states) const
+{
+    model::MultiClpDesign design;
+    design.dataType = type_;
+    for (size_t ci = 0; ci < partition.groups.size(); ++ci) {
+        model::ClpConfig clp;
+        clp.shape = partition.groups[ci].shape;
+        const ClpState &state = states[ci];
+        for (size_t li = 0; li < state.layers().size(); ++li) {
+            model::LayerBinding binding;
+            binding.layerIdx = state.layers()[li];
+            binding.tiling = state.tiling(li);
+            clp.layers.push_back(binding);
+        }
+        design.clps.push_back(std::move(clp));
+    }
+    return design;
+}
+
+std::optional<model::MultiClpDesign>
+MemoryOptimizer::walkFrontier(const ComputePartition &partition,
+                              int64_t bram_budget,
+                              std::vector<TradeoffPoint> *trace) const
+{
+    std::vector<ClpState> states;
+    states.reserve(partition.groups.size());
+    for (const ComputeGroup &group : partition.groups)
+        states.emplace_back(network_, type_, group);
+
+    auto totalBram = [&]() {
+        int64_t total = 0;
+        for (const ClpState &state : states)
+            total += state.bram();
+        return total;
+    };
+    auto totalPeakBytes = [&]() {
+        double total = 0.0;
+        for (const ClpState &state : states)
+            total += state.peakWords();
+        return total * static_cast<double>(fpga::wordBytes(type_));
+    };
+    auto record = [&]() {
+        if (!trace)
+            return;
+        TradeoffPoint point;
+        point.totalBram = totalBram();
+        point.peakBytesPerCycle = totalPeakBytes();
+        point.design = buildDesign(partition, states);
+        trace->push_back(std::move(point));
+    };
+
+    record();
+    while (bram_budget < 0 || totalBram() > bram_budget) {
+        // Probe a one-level shrink of each CLP's input and output
+        // buffers; take the one saving the most BRAM per unit of
+        // added peak bandwidth.
+        double cur_peak = totalPeakBytes();
+        int64_t cur_bram = totalBram();
+        double best_score = -1.0;
+        size_t best_clp = 0;
+        std::optional<ClpState::Move> best_move;
+        for (size_t ci = 0; ci < states.size(); ++ci) {
+            for (bool input : {true, false}) {
+                auto move = states[ci].probeMove(input);
+                if (!move)
+                    continue;
+                int64_t bram_delta =
+                    states[ci].bram() - move->bramAfter;
+                if (bram_delta <= 0)
+                    continue;
+                double others_peak =
+                    cur_peak - states[ci].peakWords() *
+                                   fpga::wordBytes(type_);
+                double peak_after =
+                    others_peak +
+                    move->peakAfter * fpga::wordBytes(type_);
+                double peak_delta = std::max(0.0, peak_after - cur_peak);
+                double score = static_cast<double>(bram_delta) /
+                               (peak_delta + 1e-9);
+                if (score > best_score) {
+                    best_score = score;
+                    best_clp = ci;
+                    best_move = move;
+                }
+            }
+        }
+        if (!best_move) {
+            if (bram_budget < 0)
+                break;  // curve exhausted
+            if (cur_bram > bram_budget)
+                return std::nullopt;
+            break;
+        }
+        states[best_clp].applyMove(*best_move);
+        record();
+    }
+
+    return buildDesign(partition, states);
+}
+
+std::optional<model::MultiClpDesign>
+MemoryOptimizer::optimize(const ComputePartition &partition,
+                          const fpga::ResourceBudget &budget,
+                          int64_t cycle_target) const
+{
+    budget.validate();
+    auto design = walkFrontier(partition, budget.bram18k, nullptr);
+    if (!design)
+        return std::nullopt;
+    if (budget.bandwidthLimited()) {
+        model::DesignMetrics metrics =
+            model::evaluateDesign(*design, network_, budget);
+        if (metrics.epochCycles > cycle_target)
+            return std::nullopt;
+    }
+    return design;
+}
+
+std::vector<TradeoffPoint>
+MemoryOptimizer::tradeoffCurve(const ComputePartition &partition) const
+{
+    std::vector<TradeoffPoint> trace;
+    walkFrontier(partition, -1, &trace);
+    return trace;
+}
+
+ComputePartition
+partitionFromDesign(const model::MultiClpDesign &design,
+                    const nn::Network &network)
+{
+    ComputePartition partition;
+    for (const model::ClpConfig &clp : design.clps) {
+        ComputeGroup group;
+        group.shape = clp.shape;
+        for (const model::LayerBinding &binding : clp.layers)
+            group.layers.push_back(binding.layerIdx);
+        group.dsp = model::clpDsp(clp.shape, design.dataType);
+        group.cycles = model::clpComputeCycles(clp, network);
+        partition.groups.push_back(std::move(group));
+        partition.totalDsp += partition.groups.back().dsp;
+    }
+    return partition;
+}
+
+std::optional<model::MultiClpDesign>
+retileDesign(const model::MultiClpDesign &design,
+             const nn::Network &network,
+             const fpga::ResourceBudget &budget)
+{
+    ComputePartition partition = partitionFromDesign(design, network);
+    MemoryOptimizer memory(network, design.dataType);
+    // Tiling never changes compute-bound cycles; accept any slowdown
+    // only up to the budget's own evaluation (no extra target here).
+    int64_t target = std::numeric_limits<int64_t>::max() / 4;
+    return memory.optimize(partition, budget, target);
+}
+
+} // namespace core
+} // namespace mclp

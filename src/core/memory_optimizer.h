@@ -1,0 +1,123 @@
+/**
+ * @file
+ * OptimizeMemory (Section 4.3, second step): partition the BRAM budget.
+ *
+ * For every layer of a compute-partition candidate, choose tiling
+ * factors (Tr, Tc) that minimize the CLP's peak off-chip bandwidth
+ * subject to the total BRAM budget. Larger tiles enlarge the on-chip
+ * buffers but reduce data re-transfer, so BRAM capacity and off-chip
+ * bandwidth trade off directly (Figure 6).
+ *
+ * Implementation: per layer we build the Pareto frontier of
+ * (input-bank BRAM cost, output-bank BRAM cost, peak bandwidth) over
+ * all (Tr, Tc); a design starts with every layer at its
+ * minimum-bandwidth point and a greedy walk repeatedly applies the
+ * buffer-shrinking move with the best BRAM-saved-per-bandwidth-added
+ * ratio until the budget is met. The walk's trace is the BRAM vs
+ * bandwidth tradeoff curve.
+ */
+
+#ifndef MCLP_CORE_MEMORY_OPTIMIZER_H
+#define MCLP_CORE_MEMORY_OPTIMIZER_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/compute_optimizer.h"
+#include "fpga/device.h"
+#include "model/clp_config.h"
+#include "nn/network.h"
+
+namespace mclp {
+namespace core {
+
+/** One feasible tiling of a layer, annotated with its costs. */
+struct TilingOption
+{
+    model::Tiling tiling;
+    int64_t inputBankBrams = 0;   ///< BRAMs per input bank at this tiling
+    int64_t outputBankBrams = 0;  ///< BRAMs per output bank
+    double peakWordsPerCycle = 0.0;
+};
+
+/**
+ * Pareto-optimal tiling options for @p layer on a CLP of @p shape,
+ * sorted by ascending peak bandwidth. Options dominated in all three
+ * of (input cost, output cost, peak) are removed.
+ */
+std::vector<TilingOption> paretoTilingOptions(const nn::ConvLayer &layer,
+                                              const model::ClpShape &shape);
+
+/** One point on the BRAM vs bandwidth tradeoff curve (Figure 6). */
+struct TradeoffPoint
+{
+    int64_t totalBram = 0;
+    double peakBytesPerCycle = 0.0;
+    model::MultiClpDesign design;
+};
+
+/** Memory-partitioning search over a compute-partition candidate. */
+class MemoryOptimizer
+{
+  public:
+    MemoryOptimizer(const nn::Network &network, fpga::DataType type);
+
+    /**
+     * Assign (Tr, Tc) to every layer of @p partition such that total
+     * BRAM fits the budget, minimizing peak bandwidth. When the budget
+     * carries a bandwidth cap, the finished design must additionally
+     * meet @p cycle_target under shared-bandwidth evaluation (possibly
+     * with transfer-blocked CLPs). Returns nullopt when infeasible.
+     */
+    std::optional<model::MultiClpDesign> optimize(
+        const ComputePartition &partition,
+        const fpga::ResourceBudget &budget, int64_t cycle_target) const;
+
+    /**
+     * The full BRAM/bandwidth frontier for a candidate: from the
+     * minimum-bandwidth design down to the minimum-BRAM design.
+     * Points are ordered by decreasing BRAM.
+     */
+    std::vector<TradeoffPoint> tradeoffCurve(
+        const ComputePartition &partition) const;
+
+  private:
+    class ClpState;
+
+    /**
+     * Run the greedy frontier walk. Stops as soon as total BRAM is
+     * within @p bram_budget (bram_budget < 0 walks the whole curve).
+     * Appends every visited point to @p trace when it is non-null.
+     */
+    std::optional<model::MultiClpDesign> walkFrontier(
+        const ComputePartition &partition, int64_t bram_budget,
+        std::vector<TradeoffPoint> *trace) const;
+
+    model::MultiClpDesign buildDesign(
+        const ComputePartition &partition,
+        const std::vector<ClpState> &states) const;
+
+    const nn::Network &network_;
+    fpga::DataType type_;
+};
+
+/**
+ * Re-run OptimizeMemory on an existing design, keeping its CLP shapes
+ * and layer assignment but re-deriving every (Tr, Tc) for the given
+ * budget. Used to complete published configurations whose tilings the
+ * paper does not report (Table 4). Returns nullopt when the BRAM
+ * budget cannot be met.
+ */
+std::optional<model::MultiClpDesign> retileDesign(
+    const model::MultiClpDesign &design, const nn::Network &network,
+    const fpga::ResourceBudget &budget);
+
+/** Convert a design back into a compute-partition description. */
+ComputePartition partitionFromDesign(const model::MultiClpDesign &design,
+                                     const nn::Network &network);
+
+} // namespace core
+} // namespace mclp
+
+#endif // MCLP_CORE_MEMORY_OPTIMIZER_H

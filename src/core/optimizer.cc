@@ -1,0 +1,150 @@
+#include "core/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/cycle_model.h"
+#include "model/dsp_model.h"
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace mclp {
+namespace core {
+
+MultiClpOptimizer::MultiClpOptimizer(const nn::Network &network,
+                                     fpga::DataType type,
+                                     fpga::ResourceBudget budget,
+                                     OptimizerOptions options)
+    : network_(network), type_(type), budget_(budget), options_(options)
+{
+    budget_.validate();
+    if (options_.maxClps < 1)
+        util::fatal("MultiClpOptimizer: maxClps must be >= 1");
+    if (options_.targetStep <= 0.0 || options_.targetStep >= 1.0)
+        util::fatal("MultiClpOptimizer: targetStep must be in (0, 1)");
+    if (network_.numLayers() == 0)
+        util::fatal("MultiClpOptimizer: network has no layers");
+}
+
+std::optional<OptimizationResult>
+MultiClpOptimizer::runWithOrder(OrderHeuristic heuristic) const
+{
+    int max_clps = options_.singleClp ? 1 : options_.maxClps;
+    std::vector<size_t> order = orderLayers(network_, heuristic);
+    ComputeOptimizer compute(network_, type_, order, max_clps);
+    MemoryOptimizer memory(network_, type_);
+
+    int64_t units = model::macBudget(budget_.dspSlices, type_);
+    if (units < 1)
+        util::fatal("MultiClpOptimizer: DSP budget %lld cannot build a "
+                    "single MAC unit",
+                    static_cast<long long>(budget_.dspSlices));
+    int64_t cycles_min = model::minimumPossibleCycles(network_, units);
+
+    double target = 1.0;
+    for (int iter = 1; iter <= options_.maxIterations; ++iter) {
+        int64_t cycle_target = static_cast<int64_t>(
+            std::ceil(static_cast<double>(cycles_min) / target));
+        std::vector<ComputePartition> candidates =
+            compute.optimize(budget_.dspSlices, cycle_target);
+
+        std::optional<OptimizationResult> best;
+        for (const ComputePartition &partition : candidates) {
+            auto design = memory.optimize(partition, budget_,
+                                          cycle_target);
+            if (!design)
+                continue;
+            model::DesignMetrics metrics =
+                model::evaluateDesign(*design, network_, budget_);
+            bool better =
+                !best ||
+                metrics.epochCycles < best->metrics.epochCycles ||
+                (metrics.epochCycles == best->metrics.epochCycles &&
+                 (metrics.peakBandwidthBytesPerCycle <
+                      best->metrics.peakBandwidthBytesPerCycle ||
+                  (metrics.peakBandwidthBytesPerCycle ==
+                       best->metrics.peakBandwidthBytesPerCycle &&
+                   design->clps.size() < best->design.clps.size())));
+            if (better) {
+                OptimizationResult result;
+                result.design = std::move(*design);
+                result.metrics = metrics;
+                result.partition = partition;
+                result.usedHeuristic = heuristic;
+                result.achievedTarget = target;
+                result.iterations = iter;
+                best = std::move(result);
+            }
+        }
+        if (best)
+            return best;
+
+        target -= options_.targetStep;
+        if (target <= options_.targetStep / 2.0)
+            break;
+    }
+    return std::nullopt;
+}
+
+OptimizationResult
+MultiClpOptimizer::run() const
+{
+    std::vector<OrderHeuristic> heuristics;
+    if (options_.adjacentLayers) {
+        // Section 4.1: contiguous runs of the pipeline order.
+        heuristics.push_back(OrderHeuristic::AsIs);
+    } else if (options_.heuristic) {
+        heuristics.push_back(*options_.heuristic);
+    } else if (options_.singleClp) {
+        // A single CLP computes all layers; the order is irrelevant.
+        heuristics.push_back(OrderHeuristic::AsIs);
+    } else if (budget_.bandwidthLimited()) {
+        heuristics.push_back(OrderHeuristic::ComputeToData);
+        heuristics.push_back(OrderHeuristic::NmDistance);
+        heuristics.push_back(OrderHeuristic::AsIs);
+    } else {
+        heuristics.push_back(OrderHeuristic::NmDistance);
+        heuristics.push_back(OrderHeuristic::ComputeToData);
+        heuristics.push_back(OrderHeuristic::AsIs);
+    }
+
+    std::optional<OptimizationResult> best;
+    for (OrderHeuristic heuristic : heuristics) {
+        auto result = runWithOrder(heuristic);
+        if (!result)
+            continue;
+        if (!best ||
+            result->metrics.epochCycles < best->metrics.epochCycles) {
+            best = std::move(result);
+        }
+    }
+    if (!best) {
+        util::fatal("MultiClpOptimizer: no feasible design for %s "
+                    "within %d iterations (DSP=%lld BRAM=%lld)",
+                    network_.name().c_str(), options_.maxIterations,
+                    static_cast<long long>(budget_.dspSlices),
+                    static_cast<long long>(budget_.bram18k));
+    }
+    return std::move(*best);
+}
+
+OptimizationResult
+optimizeSingleClp(const nn::Network &network, fpga::DataType type,
+                  const fpga::ResourceBudget &budget)
+{
+    OptimizerOptions options;
+    options.singleClp = true;
+    return MultiClpOptimizer(network, type, budget, options).run();
+}
+
+OptimizationResult
+optimizeMultiClp(const nn::Network &network, fpga::DataType type,
+                 const fpga::ResourceBudget &budget, int max_clps)
+{
+    OptimizerOptions options;
+    options.maxClps = max_clps;
+    return MultiClpOptimizer(network, type, budget, options).run();
+}
+
+} // namespace core
+} // namespace mclp

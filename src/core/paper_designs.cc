@@ -1,0 +1,164 @@
+#include "core/paper_designs.h"
+
+#include <initializer_list>
+
+#include "nn/zoo.h"
+#include "util/logging.h"
+
+namespace mclp {
+namespace core {
+
+namespace {
+
+/**
+ * Build a CLP from 1-based paper layer numbers. @p tilings supplies
+ * (Tr, Tc) pairs aligned with @p layer_numbers; when empty, each layer
+ * gets the whole-map tiling (Tr=R, Tc=C), which leaves cycle counts
+ * unchanged (Tables 2/4 cycle columns do not depend on Tr/Tc).
+ */
+model::ClpConfig
+makeClp(const nn::Network &network, int64_t tn, int64_t tm,
+        std::initializer_list<int> layer_numbers,
+        std::initializer_list<model::Tiling> tilings = {})
+{
+    if (tilings.size() != 0 && tilings.size() != layer_numbers.size())
+        util::panic("makeClp: tiling/layer arity mismatch");
+    model::ClpConfig clp;
+    clp.shape = model::ClpShape{tn, tm};
+    auto tiling_it = tilings.begin();
+    for (int number : layer_numbers) {
+        size_t idx = static_cast<size_t>(number - 1);
+        const nn::ConvLayer &layer = network.layer(idx);
+        model::LayerBinding binding;
+        binding.layerIdx = idx;
+        if (tilings.size() != 0)
+            binding.tiling = *tiling_it++;
+        else
+            binding.tiling = model::Tiling{layer.r, layer.c};
+        clp.layers.push_back(binding);
+    }
+    return clp;
+}
+
+} // namespace
+
+// AlexNet paper layer numbers: 1=1a, 2=1b, 3=2a, 4=2b, 5=3a, 6=3b,
+// 7=4a, 8=4b, 9=5a, 10=5b.
+
+model::MultiClpDesign
+paperAlexNetSingle485()
+{
+    nn::Network net = nn::makeAlexNet();
+    model::MultiClpDesign design;
+    design.dataType = fpga::DataType::Float32;
+    design.clps.push_back(makeClp(
+        net, 7, 64, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+        {{8, 8}, {8, 8}, {14, 27}, {14, 27}, {13, 13}, {13, 13},
+         {13, 13}, {13, 13}, {13, 13}, {13, 13}}));
+    return design;
+}
+
+model::MultiClpDesign
+paperAlexNetSingle690()
+{
+    model::MultiClpDesign design = paperAlexNetSingle485();
+    design.clps[0].shape = model::ClpShape{9, 64};
+    return design;
+}
+
+model::MultiClpDesign
+paperAlexNetMulti485()
+{
+    nn::Network net = nn::makeAlexNet();
+    model::MultiClpDesign design;
+    design.dataType = fpga::DataType::Float32;
+    design.clps.push_back(makeClp(net, 2, 64, {9, 10, 7, 8},
+                                  {{13, 13}, {13, 13}, {13, 13},
+                                   {13, 13}}));
+    design.clps.push_back(makeClp(net, 1, 96, {5, 6},
+                                  {{13, 13}, {13, 13}}));
+    design.clps.push_back(makeClp(net, 3, 24, {1, 2},
+                                  {{14, 19}, {14, 19}}));
+    design.clps.push_back(makeClp(net, 8, 19, {3, 4},
+                                  {{14, 27}, {14, 27}}));
+    return design;
+}
+
+model::MultiClpDesign
+paperAlexNetMulti690()
+{
+    nn::Network net = nn::makeAlexNet();
+    model::MultiClpDesign design;
+    design.dataType = fpga::DataType::Float32;
+    design.clps.push_back(makeClp(net, 1, 64, {9, 10},
+                                  {{13, 13}, {13, 13}}));
+    design.clps.push_back(makeClp(net, 1, 96, {7, 8},
+                                  {{13, 13}, {13, 13}}));
+    design.clps.push_back(makeClp(net, 2, 64, {5, 6},
+                                  {{13, 13}, {13, 13}}));
+    design.clps.push_back(makeClp(net, 1, 48, {1}, {{14, 19}}));
+    design.clps.push_back(makeClp(net, 1, 48, {2}, {{14, 14}}));
+    design.clps.push_back(makeClp(net, 3, 64, {3, 4},
+                                  {{27, 27}, {27, 27}}));
+    return design;
+}
+
+// SqueezeNet paper layer numbers are 1-based positions in the v1.1
+// conv-layer sequence (conv1, then squeeze/expand1x1/expand3x3 per
+// fire module, then conv10).
+
+model::MultiClpDesign
+paperSqueezeNetSingle485()
+{
+    nn::Network net = nn::makeSqueezeNet();
+    model::MultiClpDesign design;
+    design.dataType = fpga::DataType::Fixed16;
+    design.clps.push_back(makeClp(
+        net, 32, 68,
+        {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18,
+         19, 20, 21, 22, 23, 24, 25, 26}));
+    return design;
+}
+
+model::MultiClpDesign
+paperSqueezeNetSingle690()
+{
+    model::MultiClpDesign design = paperSqueezeNetSingle485();
+    design.clps[0].shape = model::ClpShape{32, 87};
+    return design;
+}
+
+model::MultiClpDesign
+paperSqueezeNetMulti485()
+{
+    nn::Network net = nn::makeSqueezeNet();
+    model::MultiClpDesign design;
+    design.dataType = fpga::DataType::Fixed16;
+    design.clps.push_back(makeClp(net, 6, 16, {2, 3, 6, 5}));
+    design.clps.push_back(makeClp(net, 3, 64, {1, 8, 9, 12}));
+    design.clps.push_back(
+        makeClp(net, 4, 64, {11, 14, 15, 17, 18, 20, 21, 23, 24}));
+    design.clps.push_back(makeClp(net, 8, 64, {7, 4, 16, 19}));
+    design.clps.push_back(makeClp(net, 8, 128, {26, 22, 25, 13}));
+    design.clps.push_back(makeClp(net, 16, 10, {10}));
+    return design;
+}
+
+model::MultiClpDesign
+paperSqueezeNetMulti690()
+{
+    nn::Network net = nn::makeSqueezeNet();
+    model::MultiClpDesign design;
+    design.dataType = fpga::DataType::Fixed16;
+    design.clps.push_back(makeClp(net, 8, 16, {2, 6, 3, 5}));
+    design.clps.push_back(makeClp(net, 3, 64, {1}));
+    design.clps.push_back(makeClp(
+        net, 11, 32, {8, 9, 11, 12, 14, 15, 17, 18, 20, 21, 23, 24}));
+    design.clps.push_back(makeClp(net, 8, 64, {7, 4, 16}));
+    design.clps.push_back(makeClp(net, 5, 256, {19, 26, 22, 25}));
+    design.clps.push_back(makeClp(net, 16, 26, {13, 10}));
+    return design;
+}
+
+} // namespace core
+} // namespace mclp

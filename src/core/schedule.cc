@@ -1,0 +1,66 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace mclp {
+namespace core {
+
+ScheduleInfo
+analyzeSchedule(const model::MultiClpDesign &design,
+                const nn::Network &network)
+{
+    design.validate(network);
+
+    ScheduleInfo info;
+    bool adjacent = true;
+    for (const model::ClpConfig &clp : design.clps) {
+        std::vector<size_t> indices;
+        for (const model::LayerBinding &binding : clp.layers)
+            indices.push_back(binding.layerIdx);
+        std::sort(indices.begin(), indices.end());
+        for (size_t i = 1; i < indices.size(); ++i) {
+            if (indices[i] != indices[i - 1] + 1) {
+                adjacent = false;
+                break;
+            }
+        }
+        if (!adjacent)
+            break;
+    }
+
+    info.adjacentLayers = adjacent;
+    if (adjacent) {
+        info.latencyEpochs = static_cast<int64_t>(design.clps.size());
+        info.imagesInFlight = static_cast<int64_t>(design.clps.size());
+    } else {
+        info.latencyEpochs = static_cast<int64_t>(network.numLayers());
+        info.imagesInFlight = static_cast<int64_t>(network.numLayers());
+    }
+    return info;
+}
+
+model::MultiClpDesign
+canonicalizeSchedule(const model::MultiClpDesign &design,
+                     const nn::Network &network)
+{
+    design.validate(network);
+    model::MultiClpDesign out = design;
+    for (model::ClpConfig &clp : out.clps) {
+        std::sort(clp.layers.begin(), clp.layers.end(),
+                  [](const model::LayerBinding &a,
+                     const model::LayerBinding &b) {
+                      return a.layerIdx < b.layerIdx;
+                  });
+    }
+    std::sort(out.clps.begin(), out.clps.end(),
+              [](const model::ClpConfig &a, const model::ClpConfig &b) {
+                  return a.layers.front().layerIdx <
+                         b.layers.front().layerIdx;
+              });
+    return out;
+}
+
+} // namespace core
+} // namespace mclp

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Epoch scheduling and latency accounting (Section 4.1).
+ *
+ * A Multi-CLP accelerator runs in epochs: each CLP sequentially
+ * processes its assigned layers, consuming only data produced in the
+ * previous epoch. In the general (throughput-oriented) schedule an
+ * image advances one layer per epoch, so evaluation latency is
+ * numLayers epochs with as many images in flight. Constraining each
+ * CLP to a run of *adjacent* layers lets a CLP carry an image through
+ * all of its layers within one epoch, cutting latency to numClps
+ * epochs (and in-flight images to numClps) at a possible cost in
+ * throughput.
+ */
+
+#ifndef MCLP_CORE_SCHEDULE_H
+#define MCLP_CORE_SCHEDULE_H
+
+#include <cstdint>
+#include <string>
+
+#include "model/clp_config.h"
+#include "model/metrics.h"
+#include "nn/network.h"
+
+namespace mclp {
+namespace core {
+
+/** Latency/pipelining properties of a design's epoch schedule. */
+struct ScheduleInfo
+{
+    /** True if every CLP computes a contiguous run of layers in the
+     *  network's own order (the Section 4.1 latency optimization). */
+    bool adjacentLayers = false;
+
+    /** Epochs from an image entering to its last layer finishing. */
+    int64_t latencyEpochs = 0;
+
+    /** Independent images resident in the pipeline. */
+    int64_t imagesInFlight = 0;
+
+    /** Latency in seconds for a given epoch length and clock. */
+    double
+    latencySeconds(int64_t epoch_cycles, double frequency_mhz) const
+    {
+        return static_cast<double>(latencyEpochs) *
+               static_cast<double>(epoch_cycles) /
+               (frequency_mhz * 1e6);
+    }
+};
+
+/**
+ * Classify a design's schedule. A design qualifies as
+ * adjacent-layers when each CLP's assignment is a contiguous,
+ * in-order run of the network's layers; then latency = numClps
+ * epochs, otherwise latency = numLayers epochs.
+ */
+ScheduleInfo analyzeSchedule(const model::MultiClpDesign &design,
+                             const nn::Network &network);
+
+/**
+ * Reorder the CLPs of a design by their first assigned layer and
+ * sort each CLP's layers into network order. This never changes
+ * cycles or resources, only presentation and schedule analysis.
+ */
+model::MultiClpDesign canonicalizeSchedule(
+    const model::MultiClpDesign &design, const nn::Network &network);
+
+} // namespace core
+} // namespace mclp
+
+#endif // MCLP_CORE_SCHEDULE_H

@@ -1,0 +1,44 @@
+#include "fpga/data_type.h"
+
+#include "util/logging.h"
+
+namespace mclp {
+namespace fpga {
+
+int64_t
+wordBytes(DataType type)
+{
+    return type == DataType::Float32 ? 4 : 2;
+}
+
+int64_t
+dspPerMac(DataType type)
+{
+    return type == DataType::Float32 ? 5 : 1;
+}
+
+bool
+packsBankPairs(DataType type)
+{
+    return type == DataType::Fixed16;
+}
+
+std::string
+dataTypeName(DataType type)
+{
+    return type == DataType::Float32 ? "float" : "fixed";
+}
+
+DataType
+dataTypeByName(const std::string &name)
+{
+    if (name == "float" || name == "float32" || name == "fp32")
+        return DataType::Float32;
+    if (name == "fixed" || name == "fixed16" || name == "int16")
+        return DataType::Fixed16;
+    util::fatal("unknown data type '%s' (use float or fixed)",
+                name.c_str());
+}
+
+} // namespace fpga
+} // namespace mclp

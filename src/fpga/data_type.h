@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Arithmetic data types and their FPGA cost characteristics
+ * (Section 4.2, "Modeling DSP Slice Usage").
+ */
+
+#ifndef MCLP_FPGA_DATA_TYPE_H
+#define MCLP_FPGA_DATA_TYPE_H
+
+#include <cstdint>
+#include <string>
+
+namespace mclp {
+namespace fpga {
+
+/** The two arithmetic configurations evaluated in the paper. */
+enum class DataType
+{
+    Float32,  ///< single-precision floating point
+    Fixed16,  ///< 16-bit fixed point
+};
+
+/** Bytes per word for a data type (4 for float32, 2 for fixed16). */
+int64_t wordBytes(DataType type);
+
+/**
+ * DSP slices per multiplier-adder pair.
+ *
+ * Float: each multiplier takes 2 DSP slices, each adder 3, so one
+ * MAC unit costs 5. Fixed16: a single DSP48 provides both, cost 1.
+ */
+int64_t dspPerMac(DataType type);
+
+/**
+ * True if pairs of words are packed into one 32-bit-wide BRAM,
+ * halving the number of memory banks (Section 4.2, BRAM model).
+ */
+bool packsBankPairs(DataType type);
+
+/** "float" or "fixed". */
+std::string dataTypeName(DataType type);
+
+/** Parse "float"/"float32"/"fixed"/"fixed16" (fatal on other input). */
+DataType dataTypeByName(const std::string &name);
+
+} // namespace fpga
+} // namespace mclp
+
+#endif // MCLP_FPGA_DATA_TYPE_H

@@ -1,0 +1,107 @@
+#include "fpga/device.h"
+
+#include <cctype>
+
+#include "util/logging.h"
+
+namespace mclp {
+namespace fpga {
+
+namespace {
+
+/** The paper provisions accelerators with 80% of chip resources. */
+constexpr double kBudgetFraction = 0.8;
+
+} // namespace
+
+int64_t
+Device::dspBudget() const
+{
+    return static_cast<int64_t>(dspSlices * kBudgetFraction);
+}
+
+int64_t
+Device::bramBudget() const
+{
+    return static_cast<int64_t>(bram18k * kBudgetFraction);
+}
+
+void
+ResourceBudget::validate() const
+{
+    if (dspSlices <= 0)
+        util::fatal("ResourceBudget: DSP budget must be positive");
+    if (bram18k <= 0)
+        util::fatal("ResourceBudget: BRAM budget must be positive");
+    if (frequencyMhz <= 0)
+        util::fatal("ResourceBudget: frequency must be positive");
+}
+
+Device
+virtex7_485t()
+{
+    // 80% budgets: 2,240 DSP and 1,648 BRAM-18K (Section 6.1).
+    return Device{"Virtex-7 485T", 2800, 2060, 607200, 303600};
+}
+
+Device
+virtex7_690t()
+{
+    // 80% budgets: 2,880 DSP and 2,352 BRAM-18K (Section 6.1).
+    return Device{"Virtex-7 690T", 3600, 2940, 866400, 433200};
+}
+
+Device
+ultrascale_vu9p()
+{
+    return Device{"Virtex UltraScale+ VU9P", 6840, 4320, 2364480,
+                  1182240};
+}
+
+Device
+ultrascale_vu11p()
+{
+    return Device{"Virtex UltraScale+ VU11P", 9216, 4032, 2592000,
+                  1296000};
+}
+
+std::vector<Device>
+deviceCatalog()
+{
+    return {virtex7_485t(), virtex7_690t(), ultrascale_vu9p(),
+            ultrascale_vu11p()};
+}
+
+Device
+deviceByName(const std::string &name)
+{
+    std::string lower;
+    for (char ch : name)
+        lower.push_back(
+            static_cast<char>(std::tolower(static_cast<unsigned char>(ch))));
+    if (lower == "485t" || lower == "virtex-7 485t" || lower == "v7-485t")
+        return virtex7_485t();
+    if (lower == "690t" || lower == "virtex-7 690t" || lower == "v7-690t")
+        return virtex7_690t();
+    if (lower == "vu9p")
+        return ultrascale_vu9p();
+    if (lower == "vu11p")
+        return ultrascale_vu11p();
+    util::fatal("unknown device '%s' (known: 485t, 690t, vu9p, vu11p)",
+                name.c_str());
+}
+
+ResourceBudget
+standardBudget(const Device &device, double frequency_mhz)
+{
+    ResourceBudget budget;
+    budget.dspSlices = device.dspBudget();
+    budget.bram18k = device.bramBudget();
+    budget.bandwidthBytesPerCycle = 0.0;
+    budget.frequencyMhz = frequency_mhz;
+    budget.validate();
+    return budget;
+}
+
+} // namespace fpga
+} // namespace mclp

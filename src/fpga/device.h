@@ -1,0 +1,99 @@
+/**
+ * @file
+ * FPGA device catalog and accelerator resource budgets.
+ *
+ * The paper evaluates on Xilinx Virtex-7 485T and 690T and projects to
+ * Virtex UltraScale+ 9P/11P (Section 6.6). Budgets for optimization are
+ * 80% of chip DSP/BRAM capacity (Section 6.1).
+ */
+
+#ifndef MCLP_FPGA_DEVICE_H
+#define MCLP_FPGA_DEVICE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpga/data_type.h"
+
+namespace mclp {
+namespace fpga {
+
+/** Physical capacities of an FPGA part. */
+struct Device
+{
+    std::string name;        ///< e.g. "Virtex-7 485T"
+    int64_t dspSlices = 0;   ///< DSP48 slices on the part
+    int64_t bram18k = 0;     ///< BRAM-18Kb units on the part
+    int64_t flipFlops = 0;   ///< FFs (for utilization reporting only)
+    int64_t luts = 0;        ///< LUTs (for utilization reporting only)
+
+    /** Budget at the standard 80% provisioning used by the paper. */
+    int64_t dspBudget() const;
+
+    /** BRAM-18K budget at the standard 80% provisioning. */
+    int64_t bramBudget() const;
+};
+
+/**
+ * Resource budget handed to the optimizer: DSP slices, BRAM-18Kb
+ * units, off-chip bandwidth in bytes per cycle, and the clock in MHz
+ * (used only to convert to/from GB/s and img/s).
+ */
+struct ResourceBudget
+{
+    int64_t dspSlices = 0;
+    int64_t bram18k = 0;
+    double bandwidthBytesPerCycle = 0.0;  ///< <= 0 means unconstrained
+    double frequencyMhz = 100.0;
+
+    /** Bandwidth in GB/s at the configured frequency. */
+    double
+    bandwidthGbps() const
+    {
+        return bandwidthBytesPerCycle * frequencyMhz * 1e6 / 1e9;
+    }
+
+    /** Set bandwidth from GB/s at the configured frequency. */
+    void
+    setBandwidthGbps(double gbps)
+    {
+        bandwidthBytesPerCycle = gbps * 1e9 / (frequencyMhz * 1e6);
+    }
+
+    /** True if off-chip bandwidth is a constraint. */
+    bool bandwidthLimited() const { return bandwidthBytesPerCycle > 0.0; }
+
+    /** fatal() unless DSP and BRAM budgets are positive. */
+    void validate() const;
+};
+
+/** Virtex-7 485T: 2,800 DSP, 2,060 BRAM-18K. */
+Device virtex7_485t();
+
+/** Virtex-7 690T: 3,600 DSP, 2,940 BRAM-18K. */
+Device virtex7_690t();
+
+/** Virtex UltraScale+ VU9P: 6,840 DSP. */
+Device ultrascale_vu9p();
+
+/** Virtex UltraScale+ VU11P: 9,216 DSP. */
+Device ultrascale_vu11p();
+
+/** All catalog devices. */
+std::vector<Device> deviceCatalog();
+
+/** Look up a device by short name ("485t", "690t", "vu9p", "vu11p"). */
+Device deviceByName(const std::string &name);
+
+/**
+ * The paper's standard budget for a device: 80% of DSP/BRAM, the given
+ * clock, and unconstrained bandwidth (callers add a bandwidth cap when
+ * studying bandwidth-bound behaviour).
+ */
+ResourceBudget standardBudget(const Device &device, double frequency_mhz);
+
+} // namespace fpga
+} // namespace mclp
+
+#endif // MCLP_FPGA_DEVICE_H

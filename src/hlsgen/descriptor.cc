@@ -1,0 +1,105 @@
+#include "hlsgen/descriptor.h"
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace mclp {
+namespace hlsgen {
+
+ArgumentDescriptor
+ArgumentDescriptor::fromLayer(const nn::ConvLayer &layer,
+                              const model::Tiling &tiling)
+{
+    ArgumentDescriptor desc;
+    desc.r = static_cast<uint32_t>(layer.r);
+    desc.c = static_cast<uint32_t>(layer.c);
+    desc.m = static_cast<uint32_t>(layer.m);
+    desc.n = static_cast<uint32_t>(layer.n);
+    desc.k = static_cast<uint32_t>(layer.k);
+    desc.s = static_cast<uint32_t>(layer.s);
+    desc.tr = static_cast<uint32_t>(tiling.tr);
+    desc.tc = static_cast<uint32_t>(tiling.tc);
+    desc.validate();
+    return desc;
+}
+
+std::array<uint8_t, 32>
+ArgumentDescriptor::encode() const
+{
+    std::array<uint8_t, 32> raw{};
+    const uint32_t fields[8] = {r, c, m, n, k, s, tr, tc};
+    for (size_t f = 0; f < 8; ++f) {
+        for (size_t b = 0; b < 4; ++b) {
+            raw[f * 4 + b] =
+                static_cast<uint8_t>((fields[f] >> (8 * b)) & 0xff);
+        }
+    }
+    return raw;
+}
+
+ArgumentDescriptor
+ArgumentDescriptor::decode(const std::array<uint8_t, 32> &raw)
+{
+    uint32_t fields[8] = {};
+    for (size_t f = 0; f < 8; ++f) {
+        for (size_t b = 0; b < 4; ++b) {
+            fields[f] |= static_cast<uint32_t>(raw[f * 4 + b])
+                         << (8 * b);
+        }
+    }
+    ArgumentDescriptor desc;
+    desc.r = fields[0];
+    desc.c = fields[1];
+    desc.m = fields[2];
+    desc.n = fields[3];
+    desc.k = fields[4];
+    desc.s = fields[5];
+    desc.tr = fields[6];
+    desc.tc = fields[7];
+    desc.validate();
+    return desc;
+}
+
+uint32_t
+ArgumentDescriptor::rsteps() const
+{
+    return util::ceilDiv(r, tr);
+}
+
+uint32_t
+ArgumentDescriptor::csteps() const
+{
+    return util::ceilDiv(c, tc);
+}
+
+uint32_t
+ArgumentDescriptor::msteps(int64_t tm) const
+{
+    if (tm <= 0)
+        util::panic("ArgumentDescriptor::msteps: non-positive Tm");
+    return static_cast<uint32_t>(
+        util::ceilDiv<int64_t>(m, tm));
+}
+
+uint32_t
+ArgumentDescriptor::nsteps(int64_t tn) const
+{
+    if (tn <= 0)
+        util::panic("ArgumentDescriptor::nsteps: non-positive Tn");
+    return static_cast<uint32_t>(
+        util::ceilDiv<int64_t>(n, tn));
+}
+
+void
+ArgumentDescriptor::validate() const
+{
+    if (r == 0 || c == 0 || m == 0 || n == 0 || k == 0 || s == 0 ||
+        tr == 0 || tc == 0) {
+        util::fatal("ArgumentDescriptor: all fields must be non-zero");
+    }
+    if (tr > r || tc > c)
+        util::fatal("ArgumentDescriptor: tile exceeds output extent");
+}
+
+} // namespace hlsgen
+} // namespace mclp

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The CLP argument descriptor (Section 5.1).
+ *
+ * At the start of CLP operation one AXI4 burst transfers a 32-byte
+ * descriptor holding the layer arguments (R, C, M, N, K, S, Tr, Tc) as
+ * eight 32-bit words; the CLP then derives its loop trip counts
+ * (rsteps, csteps, msteps, nsteps) from them. This module provides the
+ * host-side encoder and the device-side decoder used by the generated
+ * template and the simulator.
+ */
+
+#ifndef MCLP_HLSGEN_DESCRIPTOR_H
+#define MCLP_HLSGEN_DESCRIPTOR_H
+
+#include <array>
+#include <cstdint>
+
+#include "model/clp_config.h"
+#include "nn/conv_layer.h"
+
+namespace mclp {
+namespace hlsgen {
+
+/** Decoded layer arguments, exactly the fields of Section 5.1. */
+struct ArgumentDescriptor
+{
+    uint32_t r = 0;   ///< output rows (R)
+    uint32_t c = 0;   ///< output columns (C)
+    uint32_t m = 0;   ///< output feature maps (M)
+    uint32_t n = 0;   ///< input feature maps (N)
+    uint32_t k = 0;   ///< kernel size (K)
+    uint32_t s = 0;   ///< stride (S)
+    uint32_t tr = 0;  ///< row tile (Tr)
+    uint32_t tc = 0;  ///< column tile (Tc)
+
+    /** Build a descriptor for one layer binding. */
+    static ArgumentDescriptor fromLayer(const nn::ConvLayer &layer,
+                                        const model::Tiling &tiling);
+
+    /** Serialize to the 32-byte little-endian burst payload. */
+    std::array<uint8_t, 32> encode() const;
+
+    /** Parse a 32-byte burst payload (fatal on zero dimensions). */
+    static ArgumentDescriptor decode(const std::array<uint8_t, 32> &raw);
+
+    /** Derived trip count: ceil(R / Tr). */
+    uint32_t rsteps() const;
+
+    /** Derived trip count: ceil(C / Tc). */
+    uint32_t csteps() const;
+
+    /** Derived trip count over output maps for a Tm-wide CLP. */
+    uint32_t msteps(int64_t tm) const;
+
+    /** Derived trip count over input maps for a Tn-wide CLP. */
+    uint32_t nsteps(int64_t tn) const;
+
+    /** Basic sanity checks (positive dims, tiles within bounds). */
+    void validate() const;
+
+    bool operator==(const ArgumentDescriptor &other) const = default;
+};
+
+} // namespace hlsgen
+} // namespace mclp
+
+#endif // MCLP_HLSGEN_DESCRIPTOR_H

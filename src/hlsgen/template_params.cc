@@ -1,0 +1,69 @@
+#include "hlsgen/template_params.h"
+
+#include <algorithm>
+
+#include "model/bram_model.h"
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace mclp {
+namespace hlsgen {
+
+void
+TemplateParams::validate() const
+{
+    if (name.empty())
+        util::fatal("TemplateParams: instance name must not be empty");
+    if (tn <= 0 || tm <= 0 || mmax <= 0 || kmax <= 0 || insize <= 0 ||
+        outsize <= 0) {
+        util::fatal("TemplateParams(%s): sizes must be positive",
+                    name.c_str());
+    }
+    if (np <= 0 || wp <= 0 || mp <= 0)
+        util::fatal("TemplateParams(%s): port counts must be positive",
+                    name.c_str());
+    if (mp > tm)
+        util::fatal("TemplateParams(%s): MP=%lld exceeds Tm=%lld",
+                    name.c_str(), static_cast<long long>(mp),
+                    static_cast<long long>(tm));
+    if (np > tn)
+        util::fatal("TemplateParams(%s): NP=%lld exceeds Tn=%lld",
+                    name.c_str(), static_cast<long long>(np),
+                    static_cast<long long>(tn));
+}
+
+TemplateParams
+deriveParams(const model::ClpConfig &clp, const nn::Network &network,
+             fpga::DataType type, std::string name)
+{
+    if (clp.layers.empty())
+        util::fatal("deriveParams: CLP has no layers");
+
+    TemplateParams params;
+    params.name = std::move(name);
+    params.tn = clp.shape.tn;
+    params.tm = clp.shape.tm;
+    params.dataType = type;
+    for (const model::LayerBinding &binding : clp.layers) {
+        const nn::ConvLayer &layer = network.layer(binding.layerIdx);
+        params.mmax = std::max(params.mmax, layer.m);
+        params.kmax = std::max(params.kmax, layer.k);
+        params.insize =
+            std::max(params.insize,
+                     model::inputBankWords(layer, binding.tiling));
+        params.outsize = std::max(
+            params.outsize, model::outputBankWords(binding.tiling));
+    }
+    // Port policy: one output port per 64 dot-product units (wide
+    // write-out is the throughput-critical transfer), single input
+    // and weight ports (reads are long contiguous bursts).
+    params.mp = util::clamp<int64_t>(
+        util::ceilDiv<int64_t>(params.tm, 64), 1, params.tm);
+    params.np = 1;
+    params.wp = 1;
+    params.validate();
+    return params;
+}
+
+} // namespace hlsgen
+} // namespace mclp

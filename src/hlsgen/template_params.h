@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The nine parameters of the CLP HLS template (Section 5.1): Tn and
+ * Tm size the compute module; Mmax, Kmax, insize and outsize size the
+ * on-chip bias, weight, input and output buffers; NP, WP and MP give
+ * the number of AXI stream ports for input, weight and output data.
+ */
+
+#ifndef MCLP_HLSGEN_TEMPLATE_PARAMS_H
+#define MCLP_HLSGEN_TEMPLATE_PARAMS_H
+
+#include <cstdint>
+#include <string>
+
+#include "fpga/data_type.h"
+#include "model/clp_config.h"
+#include "nn/network.h"
+
+namespace mclp {
+namespace hlsgen {
+
+/** Template instantiation parameters for one CLP. */
+struct TemplateParams
+{
+    std::string name;       ///< instance name, e.g. "clp0"
+    int64_t tn = 0;         ///< dot-product width
+    int64_t tm = 0;         ///< dot-product unit count
+    int64_t mmax = 0;       ///< bias buffer depth (largest M)
+    int64_t kmax = 0;       ///< largest kernel (weight bank = Kmax^2)
+    int64_t insize = 0;     ///< input bank words (most demanding layer)
+    int64_t outsize = 0;    ///< output bank words
+    int64_t np = 1;         ///< input AXI stream ports (NP)
+    int64_t wp = 1;         ///< weight AXI stream ports (WP)
+    int64_t mp = 1;         ///< output AXI stream ports (MP)
+    fpga::DataType dataType = fpga::DataType::Float32;
+
+    /** fatal() unless all sizes are positive and ports divide work. */
+    void validate() const;
+};
+
+/**
+ * Derive the template parameters for one CLP of a design: buffer
+ * depths come from the most demanding assigned layer (the same maxima
+ * the BRAM model uses); port counts follow the transfer-partitioning
+ * policy of Section 5.1 (wide output arrays are split across MP
+ * ports, one port per 64 dot-product units).
+ */
+TemplateParams deriveParams(const model::ClpConfig &clp,
+                            const nn::Network &network,
+                            fpga::DataType type, std::string name);
+
+} // namespace hlsgen
+} // namespace mclp
+
+#endif // MCLP_HLSGEN_TEMPLATE_PARAMS_H

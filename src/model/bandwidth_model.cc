@@ -1,0 +1,138 @@
+#include "model/bandwidth_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/bram_model.h"
+#include "model/cycle_model.h"
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace mclp {
+namespace model {
+
+namespace {
+
+/** Sum over tile steps of the input rows/cols each step touches. */
+int64_t
+sumInputExtent(int64_t total, int64_t tile, int64_t stride, int64_t kernel)
+{
+    int64_t sum = 0;
+    for (int64_t start = 0; start < total; start += tile) {
+        int64_t loops = std::min(tile, total - start);
+        sum += (loops - 1) * stride + kernel;
+    }
+    return sum;
+}
+
+} // namespace
+
+LayerTraffic
+layerTraffic(const nn::ConvLayer &layer, const ClpShape &shape,
+             const Tiling &tiling)
+{
+    if (tiling.tr <= 0 || tiling.tc <= 0 || tiling.tr > layer.r ||
+        tiling.tc > layer.c) {
+        util::fatal("layerTraffic: invalid tiling Tr=%lld Tc=%lld for "
+                    "layer %s", static_cast<long long>(tiling.tr),
+                    static_cast<long long>(tiling.tc), layer.name.c_str());
+    }
+
+    int64_t msteps = util::ceilDiv(layer.m, shape.tm);
+    int64_t rsteps = util::ceilDiv(layer.r, tiling.tr);
+    int64_t csteps = util::ceilDiv(layer.c, tiling.tc);
+
+    // Input tiles are reloaded for every m step (Listing 2 refills
+    // Ibuf inside the m loop); across the n loop the valid input maps
+    // sum to N, and across (r,c) the touched rows/cols sum to the
+    // per-step extents below.
+    int64_t sum_rows = sumInputExtent(layer.r, tiling.tr, layer.s, layer.k);
+    int64_t sum_cols = sumInputExtent(layer.c, tiling.tc, layer.s, layer.k);
+
+    LayerTraffic traffic;
+    traffic.inputWords = msteps * layer.n * sum_rows * sum_cols;
+    // Weights are reloaded for every (r,c) tile; valid (m,n) pairs sum
+    // to M*N.
+    traffic.weightWords = rsteps * csteps * layer.m * layer.n *
+                          layer.k * layer.k;
+    // Each output word is written exactly once.
+    traffic.outputWords = layer.m * layer.r * layer.c;
+    return traffic;
+}
+
+double
+layerPeakWordsPerCycle(const nn::ConvLayer &layer, const ClpShape &shape,
+                       const Tiling &tiling)
+{
+    int64_t nsteps = util::ceilDiv(layer.n, shape.tn);
+    int64_t comp_cycles = layer.k * layer.k * tiling.tr * tiling.tc;
+    int64_t input_tile = shape.tn * inputBankWords(layer, tiling);
+    int64_t weight_tile = shape.tn * shape.tm * layer.k * layer.k;
+    // The output tile (Tm*Tr*Tc words) drains over the nsteps rounds
+    // of the following (r,c,m) iteration.
+    double output_rate =
+        static_cast<double>(shape.tm) /
+        (static_cast<double>(nsteps) * layer.k * layer.k);
+    return static_cast<double>(input_tile + weight_tile) /
+               static_cast<double>(comp_cycles) +
+           output_rate;
+}
+
+int64_t
+layerCyclesUnderBandwidth(const nn::ConvLayer &layer,
+                          const ClpShape &shape, const Tiling &tiling,
+                          fpga::DataType type, double bw_bytes_per_cycle)
+{
+    int64_t compute = layerCycles(layer, shape);
+    if (bw_bytes_per_cycle <= 0.0)
+        return compute;
+    LayerTraffic traffic = layerTraffic(layer, shape, tiling);
+    double bytes = static_cast<double>(traffic.totalWords()) *
+                   static_cast<double>(fpga::wordBytes(type));
+    double transfer = bytes / bw_bytes_per_cycle;
+    return std::max<int64_t>(compute,
+                             static_cast<int64_t>(std::ceil(transfer)));
+}
+
+double
+clpPeakBytesPerCycle(const ClpConfig &clp, const nn::Network &network,
+                     fpga::DataType type)
+{
+    double peak = 0.0;
+    for (const LayerBinding &binding : clp.layers) {
+        const nn::ConvLayer &layer = network.layer(binding.layerIdx);
+        peak = std::max(peak, layerPeakWordsPerCycle(layer, clp.shape,
+                                                     binding.tiling));
+    }
+    return peak * static_cast<double>(fpga::wordBytes(type));
+}
+
+int64_t
+clpTrafficBytes(const ClpConfig &clp, const nn::Network &network,
+                fpga::DataType type)
+{
+    int64_t words = 0;
+    for (const LayerBinding &binding : clp.layers) {
+        const nn::ConvLayer &layer = network.layer(binding.layerIdx);
+        words += layerTraffic(layer, clp.shape, binding.tiling)
+                     .totalWords();
+    }
+    return words * fpga::wordBytes(type);
+}
+
+int64_t
+clpCyclesUnderBandwidth(const ClpConfig &clp, const nn::Network &network,
+                        fpga::DataType type, double bw_bytes_per_cycle)
+{
+    int64_t total = 0;
+    for (const LayerBinding &binding : clp.layers) {
+        const nn::ConvLayer &layer = network.layer(binding.layerIdx);
+        total += layerCyclesUnderBandwidth(layer, clp.shape,
+                                           binding.tiling, type,
+                                           bw_bytes_per_cycle);
+    }
+    return total;
+}
+
+} // namespace model
+} // namespace mclp

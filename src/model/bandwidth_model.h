@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Off-chip bandwidth model (Section 4.2, "Modeling Bandwidth Usage").
+ *
+ * A CLP double-buffers every on-chip array, so the transfer for the
+ * next tile round overlaps the compute of the current one. One round
+ * is one iteration of the n loop in Listing 2: it loads an input tile
+ * (Tn maps of ((Tr-1)S+K) x ((Tc-1)S+K) words) and a weight tile
+ * (Tn*Tm*K^2 words) while computing K^2*Tr*Tc pipelined cycles; after
+ * the last n step of an (r,c,m) iteration the output tile (Tm*Tr*Tc
+ * words) drains while subsequent rounds proceed.
+ *
+ * The peak requirement is the per-round transfer divided by the
+ * per-round compute time, with the output drain amortized over the
+ * nsteps rounds available to it. Total traffic is counted exactly
+ * (boundary tiles transfer only their valid region).
+ */
+
+#ifndef MCLP_MODEL_BANDWIDTH_MODEL_H
+#define MCLP_MODEL_BANDWIDTH_MODEL_H
+
+#include <cstdint>
+
+#include "fpga/data_type.h"
+#include "model/clp_config.h"
+#include "nn/conv_layer.h"
+#include "nn/network.h"
+
+namespace mclp {
+namespace model {
+
+/** Exact per-layer off-chip traffic in words. */
+struct LayerTraffic
+{
+    int64_t inputWords = 0;
+    int64_t weightWords = 0;
+    int64_t outputWords = 0;
+
+    int64_t
+    totalWords() const
+    {
+        return inputWords + weightWords + outputWords;
+    }
+};
+
+/** Exact traffic for a layer processed with (Tn,Tm) and (Tr,Tc). */
+LayerTraffic layerTraffic(const nn::ConvLayer &layer,
+                          const ClpShape &shape, const Tiling &tiling);
+
+/**
+ * Peak bandwidth, in words per cycle, needed to keep the CLP's
+ * arithmetic units busy on this layer.
+ */
+double layerPeakWordsPerCycle(const nn::ConvLayer &layer,
+                              const ClpShape &shape, const Tiling &tiling);
+
+/**
+ * Cycles to process a layer when the CLP is granted
+ * @p bw_bytes_per_cycle of off-chip bandwidth. Equals the
+ * compute-bound cycle count when the bandwidth suffices; otherwise the
+ * transfer time dominates (double buffering overlaps the two
+ * completely, so the result is their maximum). Non-positive bandwidth
+ * means unconstrained.
+ */
+int64_t layerCyclesUnderBandwidth(const nn::ConvLayer &layer,
+                                  const ClpShape &shape,
+                                  const Tiling &tiling,
+                                  fpga::DataType type,
+                                  double bw_bytes_per_cycle);
+
+/** Peak bandwidth of a CLP: max over its (sequential) layers. */
+double clpPeakBytesPerCycle(const ClpConfig &clp,
+                            const nn::Network &network,
+                            fpga::DataType type);
+
+/** Total per-epoch traffic of a CLP in bytes. */
+int64_t clpTrafficBytes(const ClpConfig &clp, const nn::Network &network,
+                        fpga::DataType type);
+
+/**
+ * Epoch cycles of a CLP under a bandwidth grant (sum over its layers
+ * of layerCyclesUnderBandwidth).
+ */
+int64_t clpCyclesUnderBandwidth(const ClpConfig &clp,
+                                const nn::Network &network,
+                                fpga::DataType type,
+                                double bw_bytes_per_cycle);
+
+} // namespace model
+} // namespace mclp
+
+#endif // MCLP_MODEL_BANDWIDTH_MODEL_H

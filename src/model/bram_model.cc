@@ -1,0 +1,106 @@
+#include "model/bram_model.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace mclp {
+namespace model {
+
+namespace {
+
+/** Words per BRAM-18Kb block at 32-bit width. */
+constexpr int64_t kWordsPerBram = 512;
+
+/** Banks smaller than this become LUTRAM and cost no BRAM. */
+constexpr int64_t kLutramThreshold = 10;
+
+} // namespace
+
+int64_t
+inputBankWords(const nn::ConvLayer &layer, const Tiling &tiling)
+{
+    if (tiling.tr <= 0 || tiling.tc <= 0)
+        util::panic("inputBankWords: non-positive tiling");
+    return ((tiling.tr - 1) * layer.s + layer.k) *
+           ((tiling.tc - 1) * layer.s + layer.k);
+}
+
+int64_t
+outputBankWords(const Tiling &tiling)
+{
+    return tiling.tr * tiling.tc;
+}
+
+int64_t
+weightBankWords(const nn::ConvLayer &layer)
+{
+    return layer.k * layer.k;
+}
+
+int64_t
+bramsPerBank(int64_t words, bool needs_two_ports)
+{
+    if (words <= 0)
+        util::panic("bramsPerBank: bank size must be positive");
+    if (words < kLutramThreshold)
+        return 0;
+    // Two copies (ping/pong) of the bank, each ceil(words/512) BRAMs.
+    int64_t doubled = 2 * util::ceilDiv(words, kWordsPerBram);
+    if (needs_two_ports)
+        return std::max<int64_t>(2, doubled);
+    // A single BRAM already provides one read and one write port, so
+    // when both copies fit in half a BRAM each (<= 256 words), one
+    // BRAM suffices for the double-buffered bank.
+    if (words <= kWordsPerBram / 2)
+        return 1;
+    return doubled;
+}
+
+int64_t
+effectiveBanks(int64_t banks, fpga::DataType type)
+{
+    if (fpga::packsBankPairs(type))
+        return util::ceilDiv<int64_t>(banks, 2);
+    return banks;
+}
+
+BramBreakdown
+clpBram(const ClpConfig &clp, const nn::Network &network,
+        fpga::DataType type)
+{
+    if (clp.layers.empty())
+        util::fatal("clpBram: CLP has no layers assigned");
+
+    int64_t bi = 0;  // input bank words (most demanding layer)
+    int64_t bo = 0;  // output bank words
+    int64_t bw = 0;  // weight bank words
+    for (const LayerBinding &binding : clp.layers) {
+        const nn::ConvLayer &layer = network.layer(binding.layerIdx);
+        bi = std::max(bi, inputBankWords(layer, binding.tiling));
+        bo = std::max(bo, outputBankWords(binding.tiling));
+        bw = std::max(bw, weightBankWords(layer));
+    }
+
+    BramBreakdown out;
+    out.input = effectiveBanks(clp.shape.tn, type) *
+                bramsPerBank(bi, false);
+    out.weight = effectiveBanks(clp.shape.tn * clp.shape.tm, type) *
+                 bramsPerBank(bw, false);
+    out.output = effectiveBanks(clp.shape.tm, type) *
+                 bramsPerBank(bo, true);
+    return out;
+}
+
+int64_t
+designBram(const MultiClpDesign &design, const nn::Network &network)
+{
+    int64_t total = 0;
+    for (const auto &clp : design.clps)
+        total += clpBram(clp, network, design.dataType).total();
+    return total;
+}
+
+} // namespace model
+} // namespace mclp

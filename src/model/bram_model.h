@@ -1,0 +1,79 @@
+/**
+ * @file
+ * BRAM cost model (Section 4.2, "Modeling BRAM Usage").
+ *
+ * Buffers are banked for parallel access and double-buffered to
+ * overlap transfer with compute. The accounting unit is the Virtex-7
+ * BRAM-18Kb block: 512 32-bit words, one read port plus one write port
+ * in Simple Dual-Port mode. Rules implemented here:
+ *
+ * - Input buffer: Tn banks, each sized for the most demanding layer:
+ *   Bi = max over layers of ((Tr-1)S+K) * ((Tc-1)S+K) words.
+ * - Weight buffer: Tn*Tm banks of Bw = max K^2 words.
+ * - Output buffer: Tm banks of Bo = max Tr*Tc words; accumulation
+ *   needs a read and a write port on the working copy, so a
+ *   double-buffered output bank takes at least 2 BRAMs.
+ * - A double-buffered input/weight bank with Bi <= 256 words fits in
+ *   one BRAM (the single BRAM provides both ports and both copies).
+ * - Banks holding fewer than 10 words become LUTRAM and cost nothing.
+ * - For 16-bit fixed point, pairs of banks pack into one 32-bit-wide
+ *   BRAM, halving the bank count.
+ */
+
+#ifndef MCLP_MODEL_BRAM_MODEL_H
+#define MCLP_MODEL_BRAM_MODEL_H
+
+#include <cstdint>
+
+#include "fpga/data_type.h"
+#include "model/clp_config.h"
+#include "nn/conv_layer.h"
+#include "nn/network.h"
+
+namespace mclp {
+namespace model {
+
+/** Words one input-buffer bank must hold for a layer at a tiling. */
+int64_t inputBankWords(const nn::ConvLayer &layer, const Tiling &tiling);
+
+/** Words one output-buffer bank must hold for a tiling: Tr * Tc. */
+int64_t outputBankWords(const Tiling &tiling);
+
+/** Words one weight-buffer bank must hold for a layer: K^2. */
+int64_t weightBankWords(const nn::ConvLayer &layer);
+
+/**
+ * BRAM-18Kb blocks for one double-buffered bank of @p words 32-bit
+ * words. @p needs_two_ports marks accumulation (output) banks, which
+ * require at least two BRAMs.
+ */
+int64_t bramsPerBank(int64_t words, bool needs_two_ports);
+
+/** Effective bank count after 16-bit pair packing. */
+int64_t effectiveBanks(int64_t banks, fpga::DataType type);
+
+/** Per-buffer BRAM usage of one CLP. */
+struct BramBreakdown
+{
+    int64_t input = 0;
+    int64_t weight = 0;
+    int64_t output = 0;
+
+    int64_t total() const { return input + weight + output; }
+};
+
+/**
+ * BRAM usage of a CLP given its shape and per-layer tilings. Bank
+ * sizes are provisioned for the most demanding assigned layer.
+ */
+BramBreakdown clpBram(const ClpConfig &clp, const nn::Network &network,
+                      fpga::DataType type);
+
+/** Total BRAM-18Kb usage of a design. */
+int64_t designBram(const MultiClpDesign &design,
+                   const nn::Network &network);
+
+} // namespace model
+} // namespace mclp
+
+#endif // MCLP_MODEL_BRAM_MODEL_H

@@ -1,0 +1,82 @@
+#include "model/clp_config.h"
+
+#include <vector>
+
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+namespace mclp {
+namespace model {
+
+void
+MultiClpDesign::validate(const nn::Network &network) const
+{
+    if (clps.empty())
+        util::fatal("MultiClpDesign: design has no CLPs");
+
+    std::vector<int> seen(network.numLayers(), 0);
+    for (size_t ci = 0; ci < clps.size(); ++ci) {
+        const ClpConfig &clp = clps[ci];
+        if (clp.shape.tn <= 0 || clp.shape.tm <= 0) {
+            util::fatal("MultiClpDesign: CLP%zu has non-positive shape "
+                        "Tn=%lld Tm=%lld", ci,
+                        static_cast<long long>(clp.shape.tn),
+                        static_cast<long long>(clp.shape.tm));
+        }
+        if (clp.layers.empty())
+            util::fatal("MultiClpDesign: CLP%zu has no layers", ci);
+        for (const LayerBinding &binding : clp.layers) {
+            if (binding.layerIdx >= network.numLayers()) {
+                util::fatal("MultiClpDesign: CLP%zu references layer %zu "
+                            "but network %s has only %zu layers", ci,
+                            binding.layerIdx, network.name().c_str(),
+                            network.numLayers());
+            }
+            const nn::ConvLayer &layer = network.layer(binding.layerIdx);
+            const Tiling &t = binding.tiling;
+            if (t.tr <= 0 || t.tc <= 0 || t.tr > layer.r || t.tc > layer.c) {
+                util::fatal("MultiClpDesign: CLP%zu layer %s has invalid "
+                            "tiling Tr=%lld Tc=%lld (R=%lld C=%lld)", ci,
+                            layer.name.c_str(),
+                            static_cast<long long>(t.tr),
+                            static_cast<long long>(t.tc),
+                            static_cast<long long>(layer.r),
+                            static_cast<long long>(layer.c));
+            }
+            ++seen[binding.layerIdx];
+        }
+    }
+    for (size_t li = 0; li < seen.size(); ++li) {
+        if (seen[li] != 1) {
+            util::fatal("MultiClpDesign: layer %s assigned %d times "
+                        "(must be exactly once)",
+                        network.layer(li).name.c_str(), seen[li]);
+        }
+    }
+}
+
+std::string
+MultiClpDesign::toString(const nn::Network &network) const
+{
+    std::string out = util::strprintf(
+        "MultiClpDesign for %s (%zu CLPs, %s)\n", network.name().c_str(),
+        clps.size(), fpga::dataTypeName(dataType).c_str());
+    for (size_t ci = 0; ci < clps.size(); ++ci) {
+        const ClpConfig &clp = clps[ci];
+        out += util::strprintf("  CLP%zu: Tn=%lld Tm=%lld, layers:", ci,
+                               static_cast<long long>(clp.shape.tn),
+                               static_cast<long long>(clp.shape.tm));
+        for (const LayerBinding &binding : clp.layers) {
+            out += util::strprintf(
+                " %s(Tr=%lld,Tc=%lld)",
+                network.layer(binding.layerIdx).name.c_str(),
+                static_cast<long long>(binding.tiling.tr),
+                static_cast<long long>(binding.tiling.tc));
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace model
+} // namespace mclp

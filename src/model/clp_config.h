@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Configuration types for convolutional layer processors (CLPs).
+ *
+ * A CLP is parameterized by its compute-grid shape (Tn, Tm) and, for
+ * each CNN layer assigned to it, the on-chip tiling (Tr, Tc) that
+ * controls buffer sizes and data-transfer order (Sections 3.1, 4.2).
+ */
+
+#ifndef MCLP_MODEL_CLP_CONFIG_H
+#define MCLP_MODEL_CLP_CONFIG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpga/data_type.h"
+#include "nn/network.h"
+
+namespace mclp {
+namespace model {
+
+/** Per-layer spatial tiling factors (Tr, Tc). */
+struct Tiling
+{
+    int64_t tr = 0;
+    int64_t tc = 0;
+
+    bool operator==(const Tiling &other) const = default;
+};
+
+/** CLP compute-grid shape: Tm dot-product units of width Tn. */
+struct ClpShape
+{
+    int64_t tn = 0;
+    int64_t tm = 0;
+
+    /** Number of multiplier/adder (MAC) pairs: Tn * Tm. */
+    int64_t macUnits() const { return tn * tm; }
+
+    bool operator==(const ClpShape &other) const = default;
+};
+
+/** Binding of one CNN layer (by index into the Network) to a CLP. */
+struct LayerBinding
+{
+    size_t layerIdx = 0;
+    Tiling tiling;
+};
+
+/** One CLP: its shape plus the layers it computes each epoch. */
+struct ClpConfig
+{
+    ClpShape shape;
+    std::vector<LayerBinding> layers;
+};
+
+/**
+ * A complete accelerator: a set of CLPs covering every layer of the
+ * network exactly once, operating concurrently on independent images
+ * (Section 4.1).
+ */
+struct MultiClpDesign
+{
+    std::vector<ClpConfig> clps;
+    fpga::DataType dataType = fpga::DataType::Float32;
+
+    /** Total MAC units across all CLPs. */
+    int64_t
+    totalMacUnits() const
+    {
+        int64_t total = 0;
+        for (const auto &clp : clps)
+            total += clp.shape.macUnits();
+        return total;
+    }
+
+    /** True when the design is a conventional Single-CLP. */
+    bool isSingleClp() const { return clps.size() == 1; }
+
+    /**
+     * Check structural validity against @p network: at least one CLP,
+     * positive shapes and tilings, every layer assigned exactly once.
+     * Reports problems with util::fatal().
+     */
+    void validate(const nn::Network &network) const;
+
+    /** Multi-line human-readable dump. */
+    std::string toString(const nn::Network &network) const;
+};
+
+} // namespace model
+} // namespace mclp
+
+#endif // MCLP_MODEL_CLP_CONFIG_H

@@ -1,0 +1,45 @@
+#include "model/cycle_model.h"
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace mclp {
+namespace model {
+
+int64_t
+layerCycles(const nn::ConvLayer &layer, const ClpShape &shape)
+{
+    if (shape.tn <= 0 || shape.tm <= 0)
+        util::panic("layerCycles: non-positive CLP shape");
+    return layer.r * layer.c * util::ceilDiv(layer.n, shape.tn) *
+           util::ceilDiv(layer.m, shape.tm) * layer.k * layer.k;
+}
+
+int64_t
+clpComputeCycles(const ClpConfig &clp, const nn::Network &network)
+{
+    int64_t total = 0;
+    for (const LayerBinding &binding : clp.layers)
+        total += layerCycles(network.layer(binding.layerIdx), clp.shape);
+    return total;
+}
+
+double
+layerUtilization(const nn::ConvLayer &layer, const ClpShape &shape)
+{
+    int64_t cycles = layerCycles(layer, shape);
+    return static_cast<double>(layer.macs()) /
+           (static_cast<double>(shape.macUnits()) *
+            static_cast<double>(cycles));
+}
+
+int64_t
+minimumPossibleCycles(const nn::Network &network, int64_t mac_units)
+{
+    if (mac_units <= 0)
+        util::fatal("minimumPossibleCycles: MAC unit count must be > 0");
+    return util::ceilDiv(network.totalMacs(), mac_units);
+}
+
+} // namespace model
+} // namespace mclp

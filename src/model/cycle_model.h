@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Cycle-count model (Section 4.2, "Performance Model").
+ *
+ * With the tiled loop nest of Listing 2 and the (Tm, Tn) inner loops
+ * fully unrolled, computing one layer takes
+ *
+ *     Cycles = R * C * ceil(N/Tn) * ceil(M/Tm) * K^2
+ *
+ * This is exact for the compute-bound case; bandwidth-bound behaviour
+ * is modeled in bandwidth_model.h.
+ */
+
+#ifndef MCLP_MODEL_CYCLE_MODEL_H
+#define MCLP_MODEL_CYCLE_MODEL_H
+
+#include <cstdint>
+
+#include "model/clp_config.h"
+#include "nn/conv_layer.h"
+#include "nn/network.h"
+
+namespace mclp {
+namespace model {
+
+/** Compute-bound cycles for one layer on a (Tn, Tm) CLP. */
+int64_t layerCycles(const nn::ConvLayer &layer, const ClpShape &shape);
+
+/**
+ * Compute-bound cycles for a whole CLP: the sum over its assigned
+ * layers, since a CLP processes its layers sequentially in an epoch.
+ */
+int64_t clpComputeCycles(const ClpConfig &clp, const nn::Network &network);
+
+/**
+ * Dynamic arithmetic-unit utilization of one layer on a CLP: useful
+ * MACs divided by (MAC units * cycles). In [0, 1].
+ */
+double layerUtilization(const nn::ConvLayer &layer, const ClpShape &shape);
+
+/**
+ * Lower bound on epoch cycles for a whole network given a number of
+ * MAC units: total MACs / units, rounded up. Used as the starting
+ * target of the optimization loop (Listing 3, MinimumPossibleCycles).
+ */
+int64_t minimumPossibleCycles(const nn::Network &network,
+                              int64_t mac_units);
+
+} // namespace model
+} // namespace mclp
+
+#endif // MCLP_MODEL_CYCLE_MODEL_H

@@ -1,0 +1,34 @@
+#include "model/dsp_model.h"
+
+#include "util/logging.h"
+
+namespace mclp {
+namespace model {
+
+int64_t
+clpDsp(const ClpShape &shape, fpga::DataType type)
+{
+    if (shape.tn <= 0 || shape.tm <= 0)
+        util::panic("clpDsp: non-positive CLP shape");
+    return fpga::dspPerMac(type) * shape.macUnits();
+}
+
+int64_t
+designDsp(const MultiClpDesign &design)
+{
+    int64_t total = 0;
+    for (const auto &clp : design.clps)
+        total += clpDsp(clp.shape, design.dataType);
+    return total;
+}
+
+int64_t
+macBudget(int64_t dsp_budget, fpga::DataType type)
+{
+    if (dsp_budget <= 0)
+        util::fatal("macBudget: DSP budget must be positive");
+    return dsp_budget / fpga::dspPerMac(type);
+}
+
+} // namespace model
+} // namespace mclp

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * DSP-slice cost model (Section 4.2, "Modeling DSP Slice Usage").
+ *
+ * The dominant DSP use is the Tm dot-product units of width Tn plus Tm
+ * accumulator adders: Tn*Tm multipliers and Tn*Tm adders in total. For
+ * single-precision float a multiplier costs 2 DSP slices and an adder
+ * 3 (5 per MAC pair); for 16-bit fixed point one DSP48 slice provides
+ * both (1 per MAC pair).
+ */
+
+#ifndef MCLP_MODEL_DSP_MODEL_H
+#define MCLP_MODEL_DSP_MODEL_H
+
+#include <cstdint>
+
+#include "fpga/data_type.h"
+#include "model/clp_config.h"
+
+namespace mclp {
+namespace model {
+
+/** DSP slices used by a CLP's compute module. */
+int64_t clpDsp(const ClpShape &shape, fpga::DataType type);
+
+/** DSP slices used by all CLPs of a design. */
+int64_t designDsp(const MultiClpDesign &design);
+
+/** Largest Tn*Tm product affordable within a DSP budget. */
+int64_t macBudget(int64_t dsp_budget, fpga::DataType type);
+
+} // namespace model
+} // namespace mclp
+
+#endif // MCLP_MODEL_DSP_MODEL_H

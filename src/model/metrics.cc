@@ -1,0 +1,140 @@
+#include "model/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/bandwidth_model.h"
+#include "model/cycle_model.h"
+#include "model/dsp_model.h"
+#include "util/logging.h"
+
+namespace mclp {
+namespace model {
+
+DesignMetrics
+evaluateDesign(const MultiClpDesign &design, const nn::Network &network,
+               const fpga::ResourceBudget &budget)
+{
+    design.validate(network);
+
+    DesignMetrics metrics;
+    metrics.macUnits = design.totalMacUnits();
+    metrics.dspSlices = designDsp(design);
+    for (const auto &clp : design.clps) {
+        BramBreakdown b = clpBram(clp, network, design.dataType);
+        metrics.bram.input += b.input;
+        metrics.bram.weight += b.weight;
+        metrics.bram.output += b.output;
+    }
+
+    // Peak demand: every CLP simultaneously at its worst layer.
+    std::vector<double> peaks;
+    double peak_sum = 0.0;
+    for (const auto &clp : design.clps) {
+        double peak = clpPeakBytesPerCycle(clp, network, design.dataType);
+        peaks.push_back(peak);
+        peak_sum += peak;
+    }
+    metrics.peakBandwidthBytesPerCycle = peak_sum;
+
+    bool limited = budget.bandwidthLimited() &&
+                   peak_sum > budget.bandwidthBytesPerCycle;
+    metrics.clpCycles.resize(design.clps.size());
+    metrics.clpBandwidthBytesPerCycle.assign(design.clps.size(), 0.0);
+    for (size_t ci = 0; ci < design.clps.size(); ++ci) {
+        const ClpConfig &clp = design.clps[ci];
+        if (!limited) {
+            metrics.clpCycles[ci] = clpComputeCycles(clp, network);
+        } else {
+            // Proportional share of the constrained bandwidth.
+            double grant = budget.bandwidthBytesPerCycle *
+                           (peaks[ci] / peak_sum);
+            metrics.clpBandwidthBytesPerCycle[ci] = grant;
+            metrics.clpCycles[ci] = clpCyclesUnderBandwidth(
+                clp, network, design.dataType, grant);
+            if (metrics.clpCycles[ci] > clpComputeCycles(clp, network))
+                metrics.bandwidthBound = true;
+        }
+        metrics.epochCycles =
+            std::max(metrics.epochCycles, metrics.clpCycles[ci]);
+    }
+
+    metrics.utilization =
+        static_cast<double>(network.totalMacs()) /
+        (static_cast<double>(metrics.macUnits) *
+         static_cast<double>(metrics.epochCycles));
+    return metrics;
+}
+
+bool
+fitsBudget(const MultiClpDesign &design, const nn::Network &network,
+           const fpga::ResourceBudget &budget)
+{
+    if (designDsp(design) > budget.dspSlices)
+        return false;
+    return designBram(design, network) <= budget.bram18k;
+}
+
+double
+requiredBandwidthBytesPerCycle(const MultiClpDesign &design,
+                               const nn::Network &network,
+                               const fpga::ResourceBudget &budget,
+                               double slack)
+{
+    if (slack < 1.0)
+        util::fatal("requiredBandwidthBytesPerCycle: slack must be >= 1");
+
+    fpga::ResourceBudget unconstrained = budget;
+    unconstrained.bandwidthBytesPerCycle = 0.0;
+    DesignMetrics free_run = evaluateDesign(design, network, unconstrained);
+    int64_t allowed = static_cast<int64_t>(
+        std::floor(static_cast<double>(free_run.epochCycles) * slack));
+
+    auto epochAt = [&](double bw) {
+        fpga::ResourceBudget b = budget;
+        b.bandwidthBytesPerCycle = bw;
+        return evaluateDesign(design, network, b).epochCycles;
+    };
+
+    double hi = free_run.peakBandwidthBytesPerCycle;
+    if (hi <= 0.0)
+        return 0.0;
+    if (epochAt(hi) > allowed)
+        return hi;  // even full peak demand cannot hit the target
+    double lo = 0.0;
+    for (int iter = 0; iter < 60 && (hi - lo) > 1e-6 * hi; ++iter) {
+        double mid = 0.5 * (lo + hi);
+        if (epochAt(mid) <= allowed)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi;
+}
+
+std::vector<LayerFit>
+layerFitReport(const MultiClpDesign &design, const nn::Network &network)
+{
+    design.validate(network);
+    std::vector<LayerFit> fits;
+    for (size_t ci = 0; ci < design.clps.size(); ++ci) {
+        const ClpConfig &clp = design.clps[ci];
+        for (const LayerBinding &binding : clp.layers) {
+            const nn::ConvLayer &layer = network.layer(binding.layerIdx);
+            LayerFit fit;
+            fit.layerIdx = binding.layerIdx;
+            fit.clpIdx = ci;
+            fit.cycles = layerCycles(layer, clp.shape);
+            fit.utilization = layerUtilization(layer, clp.shape);
+            fits.push_back(fit);
+        }
+    }
+    std::sort(fits.begin(), fits.end(),
+              [](const LayerFit &a, const LayerFit &b) {
+                  return a.utilization < b.utilization;
+              });
+    return fits;
+}
+
+} // namespace model
+} // namespace mclp

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Whole-design evaluation: epoch length, throughput, dynamic
+ * arithmetic-unit utilization, and resource totals (Sections 4.1-4.2,
+ * the quantities reported in Tables 1, 3, and 5).
+ */
+
+#ifndef MCLP_MODEL_METRICS_H
+#define MCLP_MODEL_METRICS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "fpga/device.h"
+#include "model/bram_model.h"
+#include "model/clp_config.h"
+#include "nn/network.h"
+
+namespace mclp {
+namespace model {
+
+/** Evaluated properties of a Multi-CLP (or Single-CLP) design. */
+struct DesignMetrics
+{
+    /** Cycles per epoch: the max over CLPs (they run concurrently). */
+    int64_t epochCycles = 0;
+
+    /** Per-CLP cycles per epoch (compute or bandwidth bound). */
+    std::vector<int64_t> clpCycles;
+
+    /** Per-CLP bandwidth grant in bytes/cycle (0 if unconstrained). */
+    std::vector<double> clpBandwidthBytesPerCycle;
+
+    int64_t macUnits = 0;      ///< total Tn*Tm across CLPs
+    int64_t dspSlices = 0;     ///< compute-module DSP slices
+    BramBreakdown bram;        ///< summed BRAM usage
+
+    /** Peak off-chip bandwidth demand in bytes/cycle. */
+    double peakBandwidthBytesPerCycle = 0.0;
+
+    /** Dynamic arithmetic-unit utilization in [0, 1]. */
+    double utilization = 0.0;
+
+    /** True if any CLP is limited by data transfer. */
+    bool bandwidthBound = false;
+
+    /** Images per second at @p frequency_mhz. */
+    double
+    imagesPerSec(double frequency_mhz) const
+    {
+        return frequency_mhz * 1e6 / static_cast<double>(epochCycles);
+    }
+
+    /** GFlop/s over the convolutional layers at @p frequency_mhz. */
+    double
+    gflops(const nn::Network &network, double frequency_mhz) const
+    {
+        return static_cast<double>(network.totalFlops()) *
+               imagesPerSec(frequency_mhz) / 1e9;
+    }
+
+    /** Gop/s (fixed point reporting, 2 ops per MAC). */
+    double
+    gops(const nn::Network &network, double frequency_mhz) const
+    {
+        return gflops(network, frequency_mhz);
+    }
+};
+
+/**
+ * Evaluate a design against a network and budget. The bandwidth
+ * budget, when present, is shared among CLPs: if the sum of per-CLP
+ * peak demands fits, every CLP runs at full speed; otherwise grants
+ * are scaled proportionally to demand and transfer-blocked CLPs run
+ * at their bandwidth-bound rate (Section 4.3 allows such designs).
+ * DSP/BRAM budget violations are NOT checked here (see
+ * fitsBudget()), so that over-budget designs can still be inspected.
+ */
+DesignMetrics evaluateDesign(const MultiClpDesign &design,
+                             const nn::Network &network,
+                             const fpga::ResourceBudget &budget);
+
+/** True if the design's DSP and BRAM use fit the budget. */
+bool fitsBudget(const MultiClpDesign &design, const nn::Network &network,
+                const fpga::ResourceBudget &budget);
+
+/**
+ * Smallest bandwidth (bytes/cycle) at which the design's epoch is
+ * within @p slack (e.g. 1.02 for the paper's 2% margin) of its
+ * unconstrained epoch. Binary search over the shared-bandwidth
+ * evaluation; used to report the "B/w (GB/s)" columns of Tables 3/5.
+ */
+double requiredBandwidthBytesPerCycle(const MultiClpDesign &design,
+                                      const nn::Network &network,
+                                      const fpga::ResourceBudget &budget,
+                                      double slack = 1.02);
+
+/** How well one layer fits the CLP it is assigned to. */
+struct LayerFit
+{
+    size_t layerIdx = 0;
+    size_t clpIdx = 0;
+    int64_t cycles = 0;      ///< compute-bound cycles on its CLP
+    double utilization = 0;  ///< MACs / (units * cycles), in [0, 1]
+};
+
+/**
+ * Per-layer dynamic utilization on the assigned CLPs — the quantity
+ * whose mismatch Section 3.2 diagnoses (e.g. SqueezeNet layer 1 at
+ * 33.3% on a 9x64 grid). Sorted worst-fit first.
+ */
+std::vector<LayerFit> layerFitReport(const MultiClpDesign &design,
+                                     const nn::Network &network);
+
+} // namespace model
+} // namespace mclp
+
+#endif // MCLP_MODEL_METRICS_H

@@ -1,0 +1,51 @@
+#include "nn/conv_layer.h"
+
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+namespace mclp {
+namespace nn {
+
+void
+ConvLayer::validate() const
+{
+    if (n <= 0 || m <= 0 || r <= 0 || c <= 0 || k <= 0 || s <= 0) {
+        util::fatal("layer %s: all dimensions must be positive "
+                    "(N=%lld M=%lld R=%lld C=%lld K=%lld S=%lld)",
+                    name.c_str(), static_cast<long long>(n),
+                    static_cast<long long>(m), static_cast<long long>(r),
+                    static_cast<long long>(c), static_cast<long long>(k),
+                    static_cast<long long>(s));
+    }
+}
+
+std::string
+ConvLayer::toString() const
+{
+    return util::strprintf("%s N=%lld M=%lld R=%lld C=%lld K=%lld S=%lld",
+                           name.c_str(), static_cast<long long>(n),
+                           static_cast<long long>(m),
+                           static_cast<long long>(r),
+                           static_cast<long long>(c),
+                           static_cast<long long>(k),
+                           static_cast<long long>(s));
+}
+
+ConvLayer
+makeConvLayer(std::string name, int64_t n, int64_t m, int64_t r, int64_t c,
+              int64_t k, int64_t s)
+{
+    ConvLayer layer;
+    layer.name = std::move(name);
+    layer.n = n;
+    layer.m = m;
+    layer.r = r;
+    layer.c = c;
+    layer.k = k;
+    layer.s = s;
+    layer.validate();
+    return layer;
+}
+
+} // namespace nn
+} // namespace mclp

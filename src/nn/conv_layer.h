@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Convolutional-layer descriptor.
+ *
+ * A layer is described by the six dimensions the paper uses
+ * (Section 2, Figure 3): N input feature maps, M output feature maps,
+ * R x C output spatial size, K x K filters, stride S. Input spatial
+ * size is derived as (R-1)*S+K per Listing 1.
+ */
+
+#ifndef MCLP_NN_CONV_LAYER_H
+#define MCLP_NN_CONV_LAYER_H
+
+#include <cstdint>
+#include <string>
+
+namespace mclp {
+namespace nn {
+
+/**
+ * Dimensions of one convolutional layer plus derived work/data sizes.
+ * All counts are in elements (words), not bytes; byte sizing is the
+ * responsibility of the resource models, which know the data type.
+ */
+struct ConvLayer
+{
+    /** Human-readable name, e.g. "conv2a" or "fire3/expand3x3". */
+    std::string name;
+
+    int64_t n = 0;  ///< number of input feature maps (N)
+    int64_t m = 0;  ///< number of output feature maps (M)
+    int64_t r = 0;  ///< output feature map rows (R)
+    int64_t c = 0;  ///< output feature map columns (C)
+    int64_t k = 0;  ///< filter kernel size (K x K)
+    int64_t s = 1;  ///< convolution stride (S)
+
+    /** Input feature map height: (R-1)*S + K. */
+    int64_t inputRows() const { return (r - 1) * s + k; }
+
+    /** Input feature map width: (C-1)*S + K. */
+    int64_t inputCols() const { return (c - 1) * s + k; }
+
+    /** Total multiply-accumulate operations: R*C*K^2*N*M. */
+    int64_t macs() const { return r * c * k * k * n * m; }
+
+    /** Floating-point operations (2 per MAC). */
+    int64_t flops() const { return 2 * macs(); }
+
+    /** Total input words: N * inputRows * inputCols. */
+    int64_t inputWords() const { return n * inputRows() * inputCols(); }
+
+    /** Total output words: M * R * C. */
+    int64_t outputWords() const { return m * r * c; }
+
+    /** Total weight words: M * N * K * K. */
+    int64_t weightWords() const { return m * n * k * k; }
+
+    /**
+     * Compute-to-data ratio: MACs per word moved if every word is
+     * touched exactly once. Used as a layer-ordering heuristic for
+     * bandwidth-limited accelerators (Section 4.3).
+     */
+    double
+    computeToDataRatio() const
+    {
+        return static_cast<double>(macs()) /
+               static_cast<double>(inputWords() + outputWords() +
+                                   weightWords());
+    }
+
+    /** Validate dimensions; reports fatal() on nonsense values. */
+    void validate() const;
+
+    /** Equality on all dimensions (name ignored). */
+    bool
+    sameShape(const ConvLayer &other) const
+    {
+        return n == other.n && m == other.m && r == other.r &&
+               c == other.c && k == other.k && s == other.s;
+    }
+
+    /** One-line summary, e.g. "conv1a N=3 M=48 R=55 C=55 K=11 S=4". */
+    std::string toString() const;
+};
+
+/** Convenience constructor used by the network zoo. */
+ConvLayer makeConvLayer(std::string name, int64_t n, int64_t m, int64_t r,
+                        int64_t c, int64_t k, int64_t s);
+
+} // namespace nn
+} // namespace mclp
+
+#endif // MCLP_NN_CONV_LAYER_H

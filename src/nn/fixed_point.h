@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Q8.8 16-bit fixed-point arithmetic used by the functional simulator
+ * for the paper's "16-bit fixed point" configurations. Multiplication
+ * accumulates into 32 bits and is shifted back down, with saturation.
+ */
+
+#ifndef MCLP_NN_FIXED_POINT_H
+#define MCLP_NN_FIXED_POINT_H
+
+#include <algorithm>
+#include <cstdint>
+
+namespace mclp {
+namespace nn {
+
+/** Q8.8 fixed-point value in an int16_t container. */
+struct Fixed16
+{
+    static constexpr int kFracBits = 8;
+    static constexpr int32_t kOne = 1 << kFracBits;
+
+    int16_t bits = 0;
+
+    Fixed16() = default;
+
+    /** Convert from double with rounding and saturation. */
+    explicit Fixed16(double value)
+    {
+        double scaled = value * kOne;
+        scaled = std::min(scaled, 32767.0);
+        scaled = std::max(scaled, -32768.0);
+        bits = static_cast<int16_t>(scaled >= 0 ? scaled + 0.5
+                                                : scaled - 0.5);
+    }
+
+    /** Convert back to double. */
+    double
+    toDouble() const
+    {
+        return static_cast<double>(bits) / kOne;
+    }
+
+    bool operator==(const Fixed16 &other) const = default;
+};
+
+/**
+ * 32-bit accumulator for Q8.8 MAC chains; products are kept at Q16.16
+ * until the final shift so intermediate precision matches a DSP-slice
+ * accumulator.
+ */
+struct Fixed16Accumulator
+{
+    int64_t acc = 0;
+
+    /** acc += a * b (product in Q16.16). */
+    void
+    mac(Fixed16 a, Fixed16 b)
+    {
+        acc += static_cast<int64_t>(a.bits) * static_cast<int64_t>(b.bits);
+    }
+
+    /** Round/saturate the Q16.16 accumulator back to Q8.8. */
+    Fixed16
+    result() const
+    {
+        int64_t shifted = acc >> Fixed16::kFracBits;
+        shifted = std::min<int64_t>(shifted, 32767);
+        shifted = std::max<int64_t>(shifted, -32768);
+        Fixed16 out;
+        out.bits = static_cast<int16_t>(shifted);
+        return out;
+    }
+};
+
+} // namespace nn
+} // namespace mclp
+
+#endif // MCLP_NN_FIXED_POINT_H

@@ -1,0 +1,98 @@
+#include "nn/network.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace mclp {
+namespace nn {
+
+Network::Network(std::string name, std::vector<ConvLayer> layers)
+    : name_(std::move(name)), layers_(std::move(layers))
+{
+    for (const auto &layer : layers_)
+        layer.validate();
+}
+
+const ConvLayer &
+Network::layer(size_t idx) const
+{
+    if (idx >= layers_.size()) {
+        util::panic("Network::layer: index %zu out of range (%zu layers)",
+                    idx, layers_.size());
+    }
+    return layers_[idx];
+}
+
+void
+Network::addLayer(ConvLayer layer)
+{
+    layer.validate();
+    layers_.push_back(std::move(layer));
+}
+
+int64_t
+Network::totalMacs() const
+{
+    int64_t total = 0;
+    for (const auto &layer : layers_)
+        total += layer.macs();
+    return total;
+}
+
+int64_t
+Network::maxN() const
+{
+    int64_t best = 0;
+    for (const auto &layer : layers_)
+        best = std::max(best, layer.n);
+    return best;
+}
+
+int64_t
+Network::maxM() const
+{
+    int64_t best = 0;
+    for (const auto &layer : layers_)
+        best = std::max(best, layer.m);
+    return best;
+}
+
+int64_t
+Network::maxK() const
+{
+    int64_t best = 0;
+    for (const auto &layer : layers_)
+        best = std::max(best, layer.k);
+    return best;
+}
+
+Network
+concatenateNetworks(const std::vector<Network> &networks,
+                    std::string name)
+{
+    if (networks.empty())
+        util::fatal("concatenateNetworks: need at least one network");
+    Network joint(std::move(name), {});
+    for (const Network &net : networks) {
+        for (const ConvLayer &layer : net.layers()) {
+            ConvLayer copy = layer;
+            copy.name = net.name() + "/" + layer.name;
+            joint.addLayer(std::move(copy));
+        }
+    }
+    return joint;
+}
+
+std::string
+Network::toString() const
+{
+    std::string out = name_ + " (" + std::to_string(layers_.size()) +
+                      " conv layers)\n";
+    for (const auto &layer : layers_)
+        out += "  " + layer.toString() + "\n";
+    return out;
+}
+
+} // namespace nn
+} // namespace mclp

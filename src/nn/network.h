@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A CNN as the accelerator sees it: an ordered list of convolutional
+ * layers. Non-linear layers (ReLU, pooling) are omitted, as in the
+ * paper, because the convolutional layers dominate compute.
+ */
+
+#ifndef MCLP_NN_NETWORK_H
+#define MCLP_NN_NETWORK_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/conv_layer.h"
+
+namespace mclp {
+namespace nn {
+
+/** An ordered collection of convolutional layers with a name. */
+class Network
+{
+  public:
+    Network() = default;
+
+    /** Create a named network from a layer list (validated). */
+    Network(std::string name, std::vector<ConvLayer> layers);
+
+    const std::string &name() const { return name_; }
+    const std::vector<ConvLayer> &layers() const { return layers_; }
+    size_t numLayers() const { return layers_.size(); }
+
+    /** Layer access with bounds checking (panics on bad index). */
+    const ConvLayer &layer(size_t idx) const;
+
+    /** Append a layer (validated). */
+    void addLayer(ConvLayer layer);
+
+    /** Total MAC operations over all layers for one image. */
+    int64_t totalMacs() const;
+
+    /** Total floating-point ops (2 per MAC) for one image. */
+    int64_t totalFlops() const { return 2 * totalMacs(); }
+
+    /** Largest N across layers. */
+    int64_t maxN() const;
+
+    /** Largest M across layers. */
+    int64_t maxM() const;
+
+    /** Largest K across layers. */
+    int64_t maxK() const;
+
+    /** Multi-line human-readable summary. */
+    std::string toString() const;
+
+  private:
+    std::string name_;
+    std::vector<ConvLayer> layers_;
+};
+
+/**
+ * Concatenate several CNNs into one joint workload. Section 4.3 notes
+ * the optimization "can be simultaneously applied to multiple target
+ * CNNs to jointly optimize their performance": optimizing the
+ * concatenation partitions the FPGA across the layers of all the
+ * networks, and each epoch then advances one image of each network.
+ * Layer names are prefixed with their network's name.
+ */
+Network concatenateNetworks(const std::vector<Network> &networks,
+                            std::string name);
+
+} // namespace nn
+} // namespace mclp
+
+#endif // MCLP_NN_NETWORK_H

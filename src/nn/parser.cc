@@ -1,0 +1,87 @@
+#include "nn/parser.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+namespace mclp {
+namespace nn {
+
+Network
+parseNetwork(const std::string &text, const std::string &default_name)
+{
+    Network net(default_name, {});
+    std::istringstream input(text);
+    std::string line;
+    int line_no = 0;
+    bool renamed = false;
+    while (std::getline(input, line)) {
+        ++line_no;
+        // Strip comments.
+        size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream fields(line);
+        std::string first;
+        if (!(fields >> first))
+            continue;  // blank line
+
+        if (first == "network") {
+            std::string name;
+            if (!(fields >> name)) {
+                util::fatal("parseNetwork: line %d: 'network' needs a "
+                            "name", line_no);
+            }
+            if (renamed || net.numLayers() > 0) {
+                util::fatal("parseNetwork: line %d: 'network' must be "
+                            "the first directive", line_no);
+            }
+            net = Network(name, {});
+            renamed = true;
+            continue;
+        }
+
+        int64_t dims[6];
+        for (int d = 0; d < 6; ++d) {
+            if (!(fields >> dims[d])) {
+                util::fatal("parseNetwork: line %d: layer '%s' needs "
+                            "six integers (N M R C K S)", line_no,
+                            first.c_str());
+            }
+        }
+        std::string extra;
+        if (fields >> extra) {
+            util::fatal("parseNetwork: line %d: unexpected token '%s'",
+                        line_no, extra.c_str());
+        }
+        net.addLayer(makeConvLayer(first, dims[0], dims[1], dims[2],
+                                   dims[3], dims[4], dims[5]));
+    }
+    if (net.numLayers() == 0)
+        util::fatal("parseNetwork: no layers found");
+    return net;
+}
+
+Network
+parseNetworkFile(const std::string &path)
+{
+    std::ifstream ifs(path);
+    if (!ifs)
+        util::fatal("parseNetworkFile: cannot open '%s'", path.c_str());
+    std::stringstream buffer;
+    buffer << ifs.rdbuf();
+    // Default the network name to the file's basename.
+    std::string name = path;
+    size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos)
+        name = name.substr(slash + 1);
+    size_t dot = name.find_last_of('.');
+    if (dot != std::string::npos && dot > 0)
+        name = name.substr(0, dot);
+    return parseNetwork(buffer.str(), name);
+}
+
+} // namespace nn
+} // namespace mclp

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Plain-text network description parser, so the command-line tool can
+ * optimize CNNs that are not in the zoo.
+ *
+ * Format: one convolutional layer per line,
+ *
+ *     <name> <N> <M> <R> <C> <K> <S>
+ *
+ * '#' starts a comment; blank lines are ignored. An optional first
+ * directive `network <name>` names the network.
+ */
+
+#ifndef MCLP_NN_PARSER_H
+#define MCLP_NN_PARSER_H
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/network.h"
+
+namespace mclp {
+namespace nn {
+
+/** Parse a network description from text (fatal on syntax errors). */
+Network parseNetwork(const std::string &text,
+                     const std::string &default_name = "custom");
+
+/** Parse a network description file (fatal if unreadable). */
+Network parseNetworkFile(const std::string &path);
+
+} // namespace nn
+} // namespace mclp
+
+#endif // MCLP_NN_PARSER_H

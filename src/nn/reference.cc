@@ -1,0 +1,84 @@
+#include "nn/reference.h"
+
+#include "util/logging.h"
+
+namespace mclp {
+namespace nn {
+
+namespace {
+
+/** Check tensor shapes against the layer description. */
+template <typename T>
+void
+checkShapes(const ConvLayer &layer, const Tensor3<T> &input,
+            const Tensor3<T> &weights)
+{
+    if (input.dim0() != layer.n || input.dim1() != layer.inputRows() ||
+        input.dim2() != layer.inputCols()) {
+        util::fatal("referenceConv: input shape mismatch for layer %s",
+                    layer.name.c_str());
+    }
+    if (weights.dim0() != layer.m * layer.n || weights.dim1() != layer.k ||
+        weights.dim2() != layer.k) {
+        util::fatal("referenceConv: weight shape mismatch for layer %s",
+                    layer.name.c_str());
+    }
+}
+
+} // namespace
+
+Tensor3<float>
+referenceConv(const ConvLayer &layer, const Tensor3<float> &input,
+              const Tensor3<float> &weights)
+{
+    checkShapes(layer, input, weights);
+    Tensor3<float> output(layer.m, layer.r, layer.c);
+    for (int64_t m = 0; m < layer.m; ++m) {
+        for (int64_t n = 0; n < layer.n; ++n) {
+            for (int64_t r = 0; r < layer.r; ++r) {
+                for (int64_t c = 0; c < layer.c; ++c) {
+                    float acc = output.at(m, r, c);
+                    for (int64_t i = 0; i < layer.k; ++i) {
+                        for (int64_t j = 0; j < layer.k; ++j) {
+                            float wx = weights.at(m * layer.n + n, i, j);
+                            float ix = input.at(n, layer.s * r + i,
+                                                layer.s * c + j);
+                            acc += wx * ix;
+                        }
+                    }
+                    output.at(m, r, c) = acc;
+                }
+            }
+        }
+    }
+    return output;
+}
+
+Tensor3<Fixed16>
+referenceConv(const ConvLayer &layer, const Tensor3<Fixed16> &input,
+              const Tensor3<Fixed16> &weights)
+{
+    checkShapes(layer, input, weights);
+    Tensor3<Fixed16> output(layer.m, layer.r, layer.c);
+    for (int64_t m = 0; m < layer.m; ++m) {
+        for (int64_t r = 0; r < layer.r; ++r) {
+            for (int64_t c = 0; c < layer.c; ++c) {
+                Fixed16Accumulator acc;
+                for (int64_t n = 0; n < layer.n; ++n) {
+                    for (int64_t i = 0; i < layer.k; ++i) {
+                        for (int64_t j = 0; j < layer.k; ++j) {
+                            acc.mac(weights.at(m * layer.n + n, i, j),
+                                    input.at(n, layer.s * r + i,
+                                             layer.s * c + j));
+                        }
+                    }
+                }
+                output.at(m, r, c) = acc.result();
+            }
+        }
+    }
+    return output;
+}
+
+} // namespace nn
+} // namespace mclp

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Golden reference convolution (the direct six-loop nest of
+ * Listing 1). The cycle-level CLP simulator's functional output is
+ * checked against this bit-for-bit.
+ */
+
+#ifndef MCLP_NN_REFERENCE_H
+#define MCLP_NN_REFERENCE_H
+
+#include "nn/conv_layer.h"
+#include "nn/fixed_point.h"
+#include "nn/tensor.h"
+
+namespace mclp {
+namespace nn {
+
+/**
+ * Direct convolution, float. @p input is N x inputRows x inputCols,
+ * @p weights is (M*N) x K x K (index m*N+n), result is M x R x C.
+ */
+Tensor3<float> referenceConv(const ConvLayer &layer,
+                             const Tensor3<float> &input,
+                             const Tensor3<float> &weights);
+
+/**
+ * Direct convolution, Q8.8 fixed point with 32-bit accumulation,
+ * matching the simulator's fixed-point datapath.
+ */
+Tensor3<Fixed16> referenceConv(const ConvLayer &layer,
+                               const Tensor3<Fixed16> &input,
+                               const Tensor3<Fixed16> &weights);
+
+/** Allocate a random input tensor shaped for @p layer. */
+template <typename T>
+Tensor3<T>
+makeRandomInput(const ConvLayer &layer, uint64_t seed)
+{
+    Tensor3<T> t(layer.n, layer.inputRows(), layer.inputCols());
+    t.fillRandom(seed, 0.5);
+    return t;
+}
+
+/** Allocate a random weight tensor shaped for @p layer. */
+template <typename T>
+Tensor3<T>
+makeRandomWeights(const ConvLayer &layer, uint64_t seed)
+{
+    Tensor3<T> t(layer.m * layer.n, layer.k, layer.k);
+    t.fillRandom(seed, 0.25);
+    return t;
+}
+
+} // namespace nn
+} // namespace mclp
+
+#endif // MCLP_NN_REFERENCE_H

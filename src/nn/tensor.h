@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Dense row-major tensors used by the functional simulator and the
+ * golden reference convolution.
+ */
+
+#ifndef MCLP_NN_TENSOR_H
+#define MCLP_NN_TENSOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace mclp {
+namespace nn {
+
+/**
+ * A 3-D tensor (channels x rows x cols) stored contiguously in
+ * row-major order. Small and simple on purpose: this only needs to
+ * support the convolution data (input maps, output maps) and weights
+ * (flattened as (m*n) x K x K).
+ */
+template <typename T>
+class Tensor3
+{
+  public:
+    Tensor3() = default;
+
+    /** Allocate a zero-initialized d0 x d1 x d2 tensor. */
+    Tensor3(int64_t d0, int64_t d1, int64_t d2)
+        : d0_(d0), d1_(d1), d2_(d2),
+          data_(static_cast<size_t>(d0 * d1 * d2), T{})
+    {
+        if (d0 <= 0 || d1 <= 0 || d2 <= 0)
+            util::fatal("Tensor3: dimensions must be positive");
+    }
+
+    int64_t dim0() const { return d0_; }
+    int64_t dim1() const { return d1_; }
+    int64_t dim2() const { return d2_; }
+    int64_t size() const { return d0_ * d1_ * d2_; }
+
+    /** Element access (debug-checked). */
+    T &
+    at(int64_t i, int64_t j, int64_t k)
+    {
+        return data_[index(i, j, k)];
+    }
+
+    /** Element access (debug-checked, const). */
+    const T &
+    at(int64_t i, int64_t j, int64_t k) const
+    {
+        return data_[index(i, j, k)];
+    }
+
+    /** Raw storage access for bulk fills and comparisons. */
+    std::vector<T> &raw() { return data_; }
+    const std::vector<T> &raw() const { return data_; }
+
+    /** Fill with deterministic pseudo-random values in [-1, 1). */
+    void
+    fillRandom(uint64_t seed, double scale = 1.0)
+    {
+        util::SplitMix64 rng(seed);
+        for (auto &v : data_)
+            v = static_cast<T>(rng.nextSymmetric() * scale);
+    }
+
+    /** Set every element to @p value. */
+    void
+    fill(T value)
+    {
+        std::fill(data_.begin(), data_.end(), value);
+    }
+
+  private:
+    size_t
+    index(int64_t i, int64_t j, int64_t k) const
+    {
+        if (i < 0 || i >= d0_ || j < 0 || j >= d1_ || k < 0 || k >= d2_) {
+            util::panic("Tensor3 index (%lld,%lld,%lld) out of bounds "
+                        "(%lld,%lld,%lld)",
+                        static_cast<long long>(i), static_cast<long long>(j),
+                        static_cast<long long>(k),
+                        static_cast<long long>(d0_),
+                        static_cast<long long>(d1_),
+                        static_cast<long long>(d2_));
+        }
+        return static_cast<size_t>((i * d1_ + j) * d2_ + k);
+    }
+
+    int64_t d0_ = 0;
+    int64_t d1_ = 0;
+    int64_t d2_ = 0;
+    std::vector<T> data_;
+};
+
+} // namespace nn
+} // namespace mclp
+
+#endif // MCLP_NN_TENSOR_H

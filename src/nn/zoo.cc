@@ -1,0 +1,175 @@
+#include "nn/zoo.h"
+
+#include <cctype>
+
+#include "util/logging.h"
+
+namespace mclp {
+namespace nn {
+
+namespace {
+
+/** Append the six convolutions of one GoogLeNet inception module. */
+void
+addInception(std::vector<ConvLayer> &layers, const std::string &tag,
+             int64_t size, int64_t in, int64_t c1, int64_t r3, int64_t c3,
+             int64_t r5, int64_t c5, int64_t pp)
+{
+    layers.push_back(makeConvLayer(tag + "/1x1", in, c1, size, size, 1, 1));
+    layers.push_back(
+        makeConvLayer(tag + "/3x3_reduce", in, r3, size, size, 1, 1));
+    layers.push_back(makeConvLayer(tag + "/3x3", r3, c3, size, size, 3, 1));
+    layers.push_back(
+        makeConvLayer(tag + "/5x5_reduce", in, r5, size, size, 1, 1));
+    layers.push_back(makeConvLayer(tag + "/5x5", r5, c5, size, size, 5, 1));
+    layers.push_back(
+        makeConvLayer(tag + "/pool_proj", in, pp, size, size, 1, 1));
+}
+
+/** Append the three convolutions of one SqueezeNet fire module. */
+void
+addFire(std::vector<ConvLayer> &layers, const std::string &tag,
+        int64_t size, int64_t in, int64_t squeeze, int64_t expand)
+{
+    layers.push_back(
+        makeConvLayer(tag + "/squeeze1x1", in, squeeze, size, size, 1, 1));
+    layers.push_back(makeConvLayer(tag + "/expand1x1", squeeze, expand,
+                                   size, size, 1, 1));
+    layers.push_back(makeConvLayer(tag + "/expand3x3", squeeze, expand,
+                                   size, size, 3, 1));
+}
+
+} // namespace
+
+Network
+makeAlexNet()
+{
+    // Grouped convolutions appear as their two independent halves, as
+    // in the paper's Figure 2 (1a/1b .. 5a/5b). Layer 1's halves see
+    // the full 3-channel input; layers 2-5 are split on both N and M
+    // per the original AlexNet group structure, except layer 3 which
+    // has full input connectivity (N = 256).
+    std::vector<ConvLayer> layers;
+    for (const char *half : {"a", "b"})
+        layers.push_back(makeConvLayer(std::string("conv1") + half,
+                                       3, 48, 55, 55, 11, 4));
+    for (const char *half : {"a", "b"})
+        layers.push_back(makeConvLayer(std::string("conv2") + half,
+                                       48, 128, 27, 27, 5, 1));
+    for (const char *half : {"a", "b"})
+        layers.push_back(makeConvLayer(std::string("conv3") + half,
+                                       256, 192, 13, 13, 3, 1));
+    for (const char *half : {"a", "b"})
+        layers.push_back(makeConvLayer(std::string("conv4") + half,
+                                       192, 192, 13, 13, 3, 1));
+    for (const char *half : {"a", "b"})
+        layers.push_back(makeConvLayer(std::string("conv5") + half,
+                                       192, 128, 13, 13, 3, 1));
+
+    return Network("AlexNet", std::move(layers));
+}
+
+Network
+makeVggNetE()
+{
+    std::vector<ConvLayer> layers;
+    auto add = [&](const std::string &name, int64_t n, int64_t m,
+                   int64_t size) {
+        layers.push_back(makeConvLayer(name, n, m, size, size, 3, 1));
+    };
+    add("conv1_1", 3, 64, 224);
+    add("conv1_2", 64, 64, 224);
+    add("conv2_1", 64, 128, 112);
+    add("conv2_2", 128, 128, 112);
+    add("conv3_1", 128, 256, 56);
+    add("conv3_2", 256, 256, 56);
+    add("conv3_3", 256, 256, 56);
+    add("conv3_4", 256, 256, 56);
+    add("conv4_1", 256, 512, 28);
+    add("conv4_2", 512, 512, 28);
+    add("conv4_3", 512, 512, 28);
+    add("conv4_4", 512, 512, 28);
+    add("conv5_1", 512, 512, 14);
+    add("conv5_2", 512, 512, 14);
+    add("conv5_3", 512, 512, 14);
+    add("conv5_4", 512, 512, 14);
+    return Network("VGGNet-E", std::move(layers));
+}
+
+Network
+makeSqueezeNet()
+{
+    // SqueezeNet v1.1 on 227x227 input: conv1 (3->64, 3x3/2) -> 113,
+    // maxpool -> 56, fire2/3, maxpool -> 28, fire4/5, maxpool -> 14,
+    // fire6..9, conv10 (512->1000, 1x1).
+    std::vector<ConvLayer> layers;
+    layers.push_back(makeConvLayer("conv1", 3, 64, 113, 113, 3, 2));
+    addFire(layers, "fire2", 56, 64, 16, 64);
+    addFire(layers, "fire3", 56, 128, 16, 64);
+    addFire(layers, "fire4", 28, 128, 32, 128);
+    addFire(layers, "fire5", 28, 256, 32, 128);
+    addFire(layers, "fire6", 14, 256, 48, 192);
+    addFire(layers, "fire7", 14, 384, 48, 192);
+    addFire(layers, "fire8", 14, 384, 64, 256);
+    addFire(layers, "fire9", 14, 512, 64, 256);
+    layers.push_back(makeConvLayer("conv10", 512, 1000, 14, 14, 1, 1));
+    return Network("SqueezeNet", std::move(layers));
+}
+
+Network
+makeGoogLeNet()
+{
+    std::vector<ConvLayer> layers;
+    layers.push_back(makeConvLayer("conv1/7x7_s2", 3, 64, 112, 112, 7, 2));
+    layers.push_back(
+        makeConvLayer("conv2/3x3_reduce", 64, 64, 56, 56, 1, 1));
+    layers.push_back(makeConvLayer("conv2/3x3", 64, 192, 56, 56, 3, 1));
+    addInception(layers, "inception_3a", 28, 192, 64, 96, 128, 16, 32, 32);
+    addInception(layers, "inception_3b", 28, 256, 128, 128, 192, 32, 96,
+                 64);
+    addInception(layers, "inception_4a", 14, 480, 192, 96, 208, 16, 48,
+                 64);
+    addInception(layers, "inception_4b", 14, 512, 160, 112, 224, 24, 64,
+                 64);
+    addInception(layers, "inception_4c", 14, 512, 128, 128, 256, 24, 64,
+                 64);
+    addInception(layers, "inception_4d", 14, 512, 112, 144, 288, 32, 64,
+                 64);
+    addInception(layers, "inception_4e", 14, 528, 256, 160, 320, 32, 128,
+                 128);
+    addInception(layers, "inception_5a", 7, 832, 256, 160, 320, 32, 128,
+                 128);
+    addInception(layers, "inception_5b", 7, 832, 384, 192, 384, 48, 128,
+                 128);
+    return Network("GoogLeNet", std::move(layers));
+}
+
+std::vector<std::string>
+zooNetworkNames()
+{
+    return {"alexnet", "vggnet-e", "squeezenet", "googlenet"};
+}
+
+Network
+networkByName(const std::string &name)
+{
+    std::string lower;
+    for (char ch : name)
+        lower.push_back(
+            static_cast<char>(std::tolower(static_cast<unsigned char>(ch))));
+    if (lower == "alexnet")
+        return makeAlexNet();
+    if (lower == "vggnet-e" || lower == "vgg" || lower == "vgg19" ||
+        lower == "vggnete") {
+        return makeVggNetE();
+    }
+    if (lower == "squeezenet")
+        return makeSqueezeNet();
+    if (lower == "googlenet")
+        return makeGoogLeNet();
+    util::fatal("unknown network '%s' (known: alexnet, vggnet-e, "
+                "squeezenet, googlenet)", name.c_str());
+}
+
+} // namespace nn
+} // namespace mclp

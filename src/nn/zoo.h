@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The network zoo: the four CNNs the paper evaluates (Section 6).
+ *
+ * - AlexNet: grouped convolutions are split into their two halves
+ *   (1a/1b .. 5a/5b), 10 conv layers, exactly as in Figure 2.
+ * - VGGNet-E (VGG-19): 16 conv layers, all 3x3 stride 1.
+ * - SqueezeNet v1.1: 26 conv layers (conv1, 8 fire modules of
+ *   squeeze/expand1x1/expand3x3, conv10). v1.1 is identified by the
+ *   paper's quoted dimensions (layer 1 N,M = 3,64; layer 2 N,M = 64,16).
+ * - GoogLeNet v1: 57 conv layers (stem + 9 inception modules of 6
+ *   convolutions each).
+ */
+
+#ifndef MCLP_NN_ZOO_H
+#define MCLP_NN_ZOO_H
+
+#include <string>
+#include <vector>
+
+#include "nn/network.h"
+
+namespace mclp {
+namespace nn {
+
+/** AlexNet with grouped layers split in halves: 10 conv layers. */
+Network makeAlexNet();
+
+/** VGGNet-E (VGG-19): 16 conv layers. */
+Network makeVggNetE();
+
+/** SqueezeNet v1.1: 26 conv layers. */
+Network makeSqueezeNet();
+
+/** GoogLeNet (Inception v1): 57 conv layers. */
+Network makeGoogLeNet();
+
+/** Names accepted by networkByName(). */
+std::vector<std::string> zooNetworkNames();
+
+/**
+ * Look up a zoo network by name ("alexnet", "vggnet-e", "squeezenet",
+ * "googlenet"; case-insensitive). fatal() on unknown names.
+ */
+Network networkByName(const std::string &name);
+
+} // namespace nn
+} // namespace mclp
+
+#endif // MCLP_NN_ZOO_H

@@ -1,0 +1,212 @@
+#include "sim/clp_engine.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace mclp {
+namespace sim {
+
+namespace {
+
+/** Accumulator selection: float accumulates in float, Q8.8 in wide. */
+template <typename T>
+struct AccumTraits;
+
+template <>
+struct AccumTraits<float>
+{
+    using Acc = float;
+
+    static Acc zero() { return 0.0f; }
+
+    static void
+    mac(Acc &acc, float w, float x)
+    {
+        acc += w * x;
+    }
+
+    static float finalize(Acc acc) { return acc; }
+};
+
+template <>
+struct AccumTraits<nn::Fixed16>
+{
+    using Acc = int64_t;
+
+    static Acc zero() { return 0; }
+
+    static void
+    mac(Acc &acc, nn::Fixed16 w, nn::Fixed16 x)
+    {
+        acc += static_cast<int64_t>(w.bits) * static_cast<int64_t>(x.bits);
+    }
+
+    static nn::Fixed16
+    finalize(Acc acc)
+    {
+        nn::Fixed16Accumulator wide;
+        wide.acc = acc;
+        return wide.result();
+    }
+};
+
+/**
+ * The tiled execution of Listing 2/4 with explicit on-chip buffers.
+ * Buffer copies model the load/store phases; the compute phase walks
+ * (i, j, tr, tc) with the (tm, tn) grid innermost.
+ */
+template <typename T>
+FunctionalResult<T>
+runTiled(const nn::ConvLayer &layer, const model::ClpShape &shape,
+         const model::Tiling &tiling, const nn::Tensor3<T> &input,
+         const nn::Tensor3<T> &weights)
+{
+    using Traits = AccumTraits<T>;
+    using Acc = typename Traits::Acc;
+
+    if (input.dim0() != layer.n || input.dim1() != layer.inputRows() ||
+        input.dim2() != layer.inputCols()) {
+        util::fatal("runLayerFunctional: input shape mismatch for %s",
+                    layer.name.c_str());
+    }
+    if (weights.dim0() != layer.m * layer.n ||
+        weights.dim1() != layer.k || weights.dim2() != layer.k) {
+        util::fatal("runLayerFunctional: weight shape mismatch for %s",
+                    layer.name.c_str());
+    }
+    if (tiling.tr <= 0 || tiling.tc <= 0 || tiling.tr > layer.r ||
+        tiling.tc > layer.c) {
+        util::fatal("runLayerFunctional: invalid tiling for %s",
+                    layer.name.c_str());
+    }
+    if (shape.tn <= 0 || shape.tm <= 0)
+        util::fatal("runLayerFunctional: invalid CLP shape");
+
+    FunctionalResult<T> result;
+    result.output = nn::Tensor3<T>(layer.m, layer.r, layer.c);
+
+    const int64_t tn = shape.tn;
+    const int64_t tm = shape.tm;
+    const int64_t in_tile_rows = (tiling.tr - 1) * layer.s + layer.k;
+    const int64_t in_tile_cols = (tiling.tc - 1) * layer.s + layer.k;
+
+    // On-chip buffers (single copies; double buffering only affects
+    // timing, which the system simulator models).
+    std::vector<T> ibuf(
+        static_cast<size_t>(tn * in_tile_rows * in_tile_cols), T{});
+    std::vector<T> wbuf(
+        static_cast<size_t>(tm * tn * layer.k * layer.k), T{});
+    std::vector<Acc> obuf(
+        static_cast<size_t>(tm * tiling.tr * tiling.tc), Traits::zero());
+
+    auto ibufAt = [&](int64_t t, int64_t row, int64_t col) -> T & {
+        return ibuf[static_cast<size_t>(
+            (t * in_tile_rows + row) * in_tile_cols + col)];
+    };
+    auto wbufAt = [&](int64_t om, int64_t in, int64_t i,
+                      int64_t j) -> T & {
+        return wbuf[static_cast<size_t>(
+            ((om * tn + in) * layer.k + i) * layer.k + j)];
+    };
+    auto obufAt = [&](int64_t om, int64_t tr, int64_t tc) -> Acc & {
+        return obuf[static_cast<size_t>(
+            (om * tiling.tr + tr) * tiling.tc + tc)];
+    };
+
+    for (int64_t r = 0; r < layer.r; r += tiling.tr) {
+        int64_t rloops = std::min(tiling.tr, layer.r - r);
+        for (int64_t c = 0; c < layer.c; c += tiling.tc) {
+            int64_t cloops = std::min(tiling.tc, layer.c - c);
+            for (int64_t m = 0; m < layer.m; m += tm) {
+                int64_t mvalid = std::min(tm, layer.m - m);
+                std::fill(obuf.begin(), obuf.end(), Traits::zero());
+                for (int64_t n = 0; n < layer.n; n += tn) {
+                    int64_t nvalid = std::min(tn, layer.n - n);
+
+                    // Load phase: refill Ibuf and Wbuf for this round.
+                    for (int64_t t = 0; t < nvalid; ++t)
+                        for (int64_t row = 0;
+                             row < (rloops - 1) * layer.s + layer.k;
+                             ++row)
+                            for (int64_t col = 0;
+                                 col < (cloops - 1) * layer.s + layer.k;
+                                 ++col)
+                                ibufAt(t, row, col) = input.at(
+                                    n + t, r * layer.s + row,
+                                    c * layer.s + col);
+                    for (int64_t om = 0; om < mvalid; ++om)
+                        for (int64_t in = 0; in < nvalid; ++in)
+                            for (int64_t i = 0; i < layer.k; ++i)
+                                for (int64_t j = 0; j < layer.k; ++j)
+                                    wbufAt(om, in, i, j) = weights.at(
+                                        (m + om) * layer.n + (n + in),
+                                        i, j);
+
+                    // Compute phase: K*K outermost to avoid a
+                    // loop-carried dependence, (tm, tn) innermost as
+                    // the unrolled grid.
+                    for (int64_t i = 0; i < layer.k; ++i) {
+                        for (int64_t j = 0; j < layer.k; ++j) {
+                            for (int64_t tr = 0; tr < rloops; ++tr) {
+                                for (int64_t tc = 0; tc < cloops; ++tc) {
+                                    for (int64_t om = 0; om < mvalid;
+                                         ++om) {
+                                        Acc &acc = obufAt(om, tr, tc);
+                                        for (int64_t in = 0; in < nvalid;
+                                             ++in) {
+                                            Traits::mac(
+                                                acc,
+                                                wbufAt(om, in, i, j),
+                                                ibufAt(in,
+                                                       layer.s * tr + i,
+                                                       layer.s * tc + j));
+                                            ++result.macsPerformed;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    result.computeCycles +=
+                        layer.k * layer.k * rloops * cloops;
+                    ++result.rounds;
+                }
+                // Store phase: drain Obuf to the output maps.
+                for (int64_t om = 0; om < mvalid; ++om)
+                    for (int64_t tr = 0; tr < rloops; ++tr)
+                        for (int64_t tc = 0; tc < cloops; ++tc)
+                            result.output.at(m + om, r + tr, c + tc) =
+                                Traits::finalize(obufAt(om, tr, tc));
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace
+
+FunctionalResult<float>
+runLayerFunctional(const nn::ConvLayer &layer,
+                   const model::ClpShape &shape,
+                   const model::Tiling &tiling,
+                   const nn::Tensor3<float> &input,
+                   const nn::Tensor3<float> &weights)
+{
+    return runTiled<float>(layer, shape, tiling, input, weights);
+}
+
+FunctionalResult<nn::Fixed16>
+runLayerFunctional(const nn::ConvLayer &layer,
+                   const model::ClpShape &shape,
+                   const model::Tiling &tiling,
+                   const nn::Tensor3<nn::Fixed16> &input,
+                   const nn::Tensor3<nn::Fixed16> &weights)
+{
+    return runTiled<nn::Fixed16>(layer, shape, tiling, input, weights);
+}
+
+} // namespace sim
+} // namespace mclp

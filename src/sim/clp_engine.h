@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Functional CLP engine.
+ *
+ * Executes one convolutional layer exactly the way the HLS template of
+ * Listing 4 does: tile loops (r, c, m, n) around explicit on-chip
+ * buffers, with the (Tm, Tn) inner loops "unrolled" over the compute
+ * grid and accumulation kept in the output buffer across n steps.
+ * Produces the layer output (checked against the golden reference in
+ * tests) and the same cycle count the analytical model predicts.
+ */
+
+#ifndef MCLP_SIM_CLP_ENGINE_H
+#define MCLP_SIM_CLP_ENGINE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "model/clp_config.h"
+#include "nn/conv_layer.h"
+#include "nn/fixed_point.h"
+#include "nn/tensor.h"
+
+namespace mclp {
+namespace sim {
+
+/** Outcome of a functional layer execution. */
+template <typename T>
+struct FunctionalResult
+{
+    nn::Tensor3<T> output;
+    int64_t computeCycles = 0;  ///< K^2 * rloops * cloops per round
+    int64_t rounds = 0;         ///< tile rounds executed
+    int64_t macsPerformed = 0;  ///< useful MACs (valid lanes only)
+};
+
+/**
+ * Run @p layer on a (Tn, Tm) CLP with tiling (Tr, Tc) over real data.
+ * @p input is N x inputRows x inputCols; @p weights is (M*N) x K x K.
+ * Float accumulates in float (like the FPGA's FP adders); Fixed16
+ * accumulates in a wide integer until write-out (like a DSP-slice
+ * accumulator), making fixed-point results bit-exact with the
+ * reference convolution.
+ */
+FunctionalResult<float> runLayerFunctional(
+    const nn::ConvLayer &layer, const model::ClpShape &shape,
+    const model::Tiling &tiling, const nn::Tensor3<float> &input,
+    const nn::Tensor3<float> &weights);
+
+/** Fixed-point overload; see above. */
+FunctionalResult<nn::Fixed16> runLayerFunctional(
+    const nn::ConvLayer &layer, const model::ClpShape &shape,
+    const model::Tiling &tiling, const nn::Tensor3<nn::Fixed16> &input,
+    const nn::Tensor3<nn::Fixed16> &weights);
+
+} // namespace sim
+} // namespace mclp
+
+#endif // MCLP_SIM_CLP_ENGINE_H

@@ -1,0 +1,85 @@
+#include "sim/impl_estimate.h"
+
+#include <cmath>
+
+#include "model/bram_model.h"
+#include "model/dsp_model.h"
+
+namespace mclp {
+namespace sim {
+
+namespace {
+
+/**
+ * Control-logic DSP overhead per CLP: address calculation and loop
+ * indexing. Regression on Tables 6/7: float CLPs add ~50 slices each,
+ * fixed-point CLPs ~100 (narrower arithmetic shifts more of the
+ * addressing into DSP48s).
+ */
+int64_t
+controlDspPerClp(fpga::DataType type)
+{
+    return type == fpga::DataType::Float32 ? 50 : 100;
+}
+
+/**
+ * BRAM mapping overhead: ~2 blocks of AXI/DataMover FIFOs per CLP
+ * plus a proportional inflation from the tools' memory packing
+ * (10% observed for 32-bit designs, 65% for 16-bit designs whose
+ * paired banks the tools frequently split).
+ */
+int64_t
+bramOverhead(int64_t bram_model, fpga::DataType type)
+{
+    double factor = type == fpga::DataType::Float32 ? 0.10 : 0.65;
+    return 2 + static_cast<int64_t>(
+                   std::llround(factor * static_cast<double>(bram_model)));
+}
+
+} // namespace
+
+ImplEstimate
+estimateImplementation(const model::MultiClpDesign &design,
+                       const nn::Network &network)
+{
+    design.validate(network);
+    ImplEstimate est;
+    for (const model::ClpConfig &clp : design.clps) {
+        ClpImplEstimate ce;
+        ce.dspModel = model::clpDsp(clp.shape, design.dataType);
+        ce.dspImpl = ce.dspModel + controlDspPerClp(design.dataType);
+        ce.bramModel =
+            model::clpBram(clp, network, design.dataType).total();
+        ce.bramImpl =
+            ce.bramModel + bramOverhead(ce.bramModel, design.dataType);
+        est.dspModel += ce.dspModel;
+        est.dspImpl += ce.dspImpl;
+        est.bramModel += ce.bramModel;
+        est.bramImpl += ce.bramImpl;
+        est.clps.push_back(ce);
+    }
+
+    // FF/LUT regressions per implemented DSP slice (Tables 8/9):
+    // float Single-CLP ~95 FF and ~63 LUT per DSP, float Multi-CLP
+    // ~110/73 (extra control per CLP), fixed ~46/38.
+    bool is_float = design.dataType == fpga::DataType::Float32;
+    double ff_per_dsp =
+        is_float ? (design.isSingleClp() ? 95.0 : 110.0) : 46.0;
+    double lut_per_dsp =
+        is_float ? (design.isSingleClp() ? 63.0 : 73.0) : 38.0;
+    est.flipFlops = static_cast<int64_t>(
+        std::llround(ff_per_dsp * static_cast<double>(est.dspImpl)));
+    est.luts = static_cast<int64_t>(
+        std::llround(lut_per_dsp * static_cast<double>(est.dspImpl)));
+
+    // Power regression at the paper's operating points (100 MHz float,
+    // 170 MHz fixed): static ~0.5 W plus per-DSP and per-BRAM terms.
+    double dsp_coeff = is_float ? 0.0019 : 0.0011;
+    est.powerWatts = 0.5 +
+                     dsp_coeff * static_cast<double>(est.dspImpl) +
+                     0.0025 * static_cast<double>(est.bramImpl);
+    return est;
+}
+
+} // namespace sim
+} // namespace mclp

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Toolflow implementation estimates (Sections 6.4-6.5).
+ *
+ * The paper's "impl." columns come from Vivado synthesis and place &
+ * route, which we cannot run. The gap between the analytical model and
+ * the implementation is structural, however: address calculation, loop
+ * indexing and control logic add DSP slices per CLP; the tools' memory
+ * mapping and AXI FIFOs add BRAMs; FF/LUT/power scale with the DSP
+ * count. This module reproduces that gap with simple regressions
+ * anchored to the paper's published post-P&R numbers (Tables 6-9).
+ * It demonstrates the validation/reporting pipeline rather than an
+ * independent physical prediction; see DESIGN.md ("Deviations").
+ */
+
+#ifndef MCLP_SIM_IMPL_ESTIMATE_H
+#define MCLP_SIM_IMPL_ESTIMATE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "model/clp_config.h"
+#include "nn/network.h"
+
+namespace mclp {
+namespace sim {
+
+/** Model-vs-implementation resource pair for one CLP. */
+struct ClpImplEstimate
+{
+    int64_t dspModel = 0;
+    int64_t dspImpl = 0;
+    int64_t bramModel = 0;
+    int64_t bramImpl = 0;
+};
+
+/** Whole-design implementation estimate. */
+struct ImplEstimate
+{
+    std::vector<ClpImplEstimate> clps;
+    int64_t dspModel = 0;
+    int64_t dspImpl = 0;
+    int64_t bramModel = 0;
+    int64_t bramImpl = 0;
+    int64_t flipFlops = 0;
+    int64_t luts = 0;
+    double powerWatts = 0.0;
+};
+
+/** Estimate post-implementation resources for a design. */
+ImplEstimate estimateImplementation(const model::MultiClpDesign &design,
+                                    const nn::Network &network);
+
+} // namespace sim
+} // namespace mclp
+
+#endif // MCLP_SIM_IMPL_ESTIMATE_H

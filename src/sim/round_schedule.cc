@@ -1,0 +1,73 @@
+#include "sim/round_schedule.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace mclp {
+namespace sim {
+
+std::vector<Round>
+roundsForLayer(const nn::ConvLayer &layer, const model::ClpShape &shape,
+               const model::Tiling &tiling, int64_t layer_idx)
+{
+    if (tiling.tr <= 0 || tiling.tc <= 0 || tiling.tr > layer.r ||
+        tiling.tc > layer.c) {
+        util::fatal("roundsForLayer: invalid tiling for layer %s",
+                    layer.name.c_str());
+    }
+
+    int64_t nsteps = util::ceilDiv(layer.n, shape.tn);
+    std::vector<Round> rounds;
+    for (int64_t r = 0; r < layer.r; r += tiling.tr) {
+        int64_t rloops = std::min(tiling.tr, layer.r - r);
+        int64_t in_rows = (rloops - 1) * layer.s + layer.k;
+        for (int64_t c = 0; c < layer.c; c += tiling.tc) {
+            int64_t cloops = std::min(tiling.tc, layer.c - c);
+            int64_t in_cols = (cloops - 1) * layer.s + layer.k;
+            for (int64_t m = 0; m < layer.m; m += shape.tm) {
+                int64_t mvalid = std::min(shape.tm, layer.m - m);
+                for (int64_t nstep = 0; nstep < nsteps; ++nstep) {
+                    int64_t n = nstep * shape.tn;
+                    int64_t nvalid = std::min(shape.tn, layer.n - n);
+                    Round round;
+                    round.layerIdx = layer_idx;
+                    round.groupStart = (nstep == 0);
+                    round.inputWords = nvalid * in_rows * in_cols;
+                    round.weightWords =
+                        mvalid * nvalid * layer.k * layer.k;
+                    round.loadWords =
+                        round.inputWords + round.weightWords;
+                    round.computeCycles =
+                        layer.k * layer.k * rloops * cloops;
+                    if (nstep == nsteps - 1)
+                        round.storeWords = mvalid * rloops * cloops;
+                    rounds.push_back(round);
+                }
+            }
+        }
+    }
+    return rounds;
+}
+
+int64_t
+totalComputeCycles(const std::vector<Round> &rounds)
+{
+    int64_t total = 0;
+    for (const Round &round : rounds)
+        total += round.computeCycles;
+    return total;
+}
+
+int64_t
+totalTransferWords(const std::vector<Round> &rounds)
+{
+    int64_t total = 0;
+    for (const Round &round : rounds)
+        total += round.loadWords + round.storeWords;
+    return total;
+}
+
+} // namespace sim
+} // namespace mclp

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Tile-round schedules.
+ *
+ * One "round" is one iteration of the n loop in the tiled nest of
+ * Listing 2/4: it loads an input tile and a weight tile, computes
+ * K^2 * rloops * cloops pipelined cycles, and on the last n step of an
+ * (r,c,m) iteration emits an output-tile store. The timing simulator
+ * executes these rounds under double-buffer dependencies; the
+ * bandwidth model integrates over the same quantities analytically.
+ */
+
+#ifndef MCLP_SIM_ROUND_SCHEDULE_H
+#define MCLP_SIM_ROUND_SCHEDULE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "model/clp_config.h"
+#include "nn/conv_layer.h"
+
+namespace mclp {
+namespace sim {
+
+/** One tile round of a layer's execution. */
+struct Round
+{
+    int64_t inputWords = 0;    ///< input-tile words (NP ports)
+    int64_t weightWords = 0;   ///< weight-tile words (WP ports)
+    int64_t loadWords = 0;     ///< inputWords + weightWords
+    int64_t computeCycles = 0; ///< pipelined compute cycles
+    int64_t storeWords = 0;    ///< output words emitted (last n step)
+    bool groupStart = false;   ///< first n step of an (r,c,m) group
+    int64_t layerIdx = -1;     ///< network layer this round belongs to
+};
+
+/**
+ * Generate the round sequence for one layer on a CLP. Boundary tiles
+ * load/compute/store only their valid region, exactly as the
+ * bandwidth model counts them.
+ */
+std::vector<Round> roundsForLayer(const nn::ConvLayer &layer,
+                                  const model::ClpShape &shape,
+                                  const model::Tiling &tiling,
+                                  int64_t layer_idx = -1);
+
+/** Sum of computeCycles over a round sequence. */
+int64_t totalComputeCycles(const std::vector<Round> &rounds);
+
+/** Sum of load + store words over a round sequence. */
+int64_t totalTransferWords(const std::vector<Round> &rounds);
+
+} // namespace sim
+} // namespace mclp
+
+#endif // MCLP_SIM_ROUND_SCHEDULE_H

@@ -1,0 +1,322 @@
+#include "sim/system.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/round_schedule.h"
+#include "util/logging.h"
+
+namespace mclp {
+namespace sim {
+
+namespace {
+
+constexpr double kEps = 1e-7;
+constexpr double kNever = -1.0;
+
+/** One CLP's execution state during the epoch simulation. */
+struct ClpRuntime
+{
+    std::vector<Round> rounds;
+    std::vector<size_t> groupOf;        ///< group id per round
+    std::vector<size_t> groupLast;      ///< last round index per group
+    std::vector<int64_t> groupStore;    ///< store words per group
+
+    // A round's load uses separate input and weight AXI ports
+    // (Section 5.1); the round is loaded when both transfers finish.
+    std::vector<double> inputEnd;       ///< per round; kNever = pending
+    std::vector<double> weightEnd;      ///< per round
+    std::vector<double> compEnd;        ///< per round
+    std::vector<double> storeEnd;       ///< per group
+
+    bool
+    loadDone(size_t i) const
+    {
+        return inputEnd[i] >= 0.0 && weightEnd[i] >= 0.0;
+    }
+
+    size_t nextLoad = 0;
+    size_t nextComp = 0;
+    size_t nextStore = 0;
+
+    bool compActive = false;
+    double compEndTime = 0.0;
+    size_t compRound = 0;
+
+    int64_t wordBytes = 4;
+
+    bool
+    done() const
+    {
+        return nextComp == rounds.size() &&
+               nextStore == groupStore.size() && !compActive;
+    }
+};
+
+/** An in-flight off-chip transfer on the shared fluid channel. */
+struct Transfer
+{
+    enum class Kind { Input, Weight, Store };
+
+    size_t clp = 0;
+    Kind kind = Kind::Input;
+    size_t index = 0;       ///< round (loads) or group (store) index
+    double remaining = 0.0; ///< bytes left
+};
+
+} // namespace
+
+MultiClpSystem::MultiClpSystem(const model::MultiClpDesign &design,
+                               const nn::Network &network,
+                               const fpga::ResourceBudget &budget)
+    : design_(design), network_(network), budget_(budget)
+{
+    design_.validate(network_);
+}
+
+SimResult
+MultiClpSystem::simulateEpoch() const
+{
+    double bw = budget_.bandwidthBytesPerCycle;
+    bool unlimited = bw <= 0.0;
+
+    // Build per-CLP round schedules with group bookkeeping.
+    std::vector<ClpRuntime> clps;
+    for (const model::ClpConfig &clp : design_.clps) {
+        ClpRuntime rt;
+        rt.wordBytes = fpga::wordBytes(design_.dataType);
+        for (const model::LayerBinding &binding : clp.layers) {
+            const nn::ConvLayer &layer = network_.layer(binding.layerIdx);
+            auto layer_rounds = roundsForLayer(
+                layer, clp.shape, binding.tiling,
+                static_cast<int64_t>(binding.layerIdx));
+            rt.rounds.insert(rt.rounds.end(), layer_rounds.begin(),
+                             layer_rounds.end());
+        }
+        for (size_t i = 0; i < rt.rounds.size(); ++i) {
+            if (rt.rounds[i].groupStart) {
+                rt.groupLast.push_back(i);
+                rt.groupStore.push_back(0);
+            }
+            rt.groupLast.back() = i;
+            if (rt.rounds[i].storeWords > 0)
+                rt.groupStore.back() = rt.rounds[i].storeWords;
+            rt.groupOf.push_back(rt.groupStore.size() - 1);
+        }
+        rt.inputEnd.assign(rt.rounds.size(), kNever);
+        rt.weightEnd.assign(rt.rounds.size(), kNever);
+        rt.compEnd.assign(rt.rounds.size(), kNever);
+        rt.storeEnd.assign(rt.groupStore.size(), kNever);
+        clps.push_back(std::move(rt));
+    }
+
+    std::vector<Transfer> transfers;
+    std::vector<bool> loadInFlight(clps.size(), false);
+    std::vector<bool> storeInFlight(clps.size(), false);
+    double now = 0.0;
+
+    auto tryStart = [&]() {
+        bool progress = false;
+        for (size_t ci = 0; ci < clps.size(); ++ci) {
+            ClpRuntime &rt = clps[ci];
+
+            // Start the next round's loads (input and weight ports in
+            // parallel): the previous round's loads must be done and
+            // the ping-pong buffer used two rounds ago must be free.
+            if (!loadInFlight[ci] && rt.nextLoad < rt.rounds.size()) {
+                size_t i = rt.nextLoad;
+                bool prev_load_done = i == 0 || rt.loadDone(i - 1);
+                bool buffer_free = i < 2 || rt.compEnd[i - 2] >= 0.0;
+                if (prev_load_done && buffer_free) {
+                    if (unlimited) {
+                        rt.inputEnd[i] = now;
+                        rt.weightEnd[i] = now;
+                    } else {
+                        transfers.push_back(
+                            {ci, Transfer::Kind::Input, i,
+                             static_cast<double>(
+                                 rt.rounds[i].inputWords *
+                                 rt.wordBytes)});
+                        transfers.push_back(
+                            {ci, Transfer::Kind::Weight, i,
+                             static_cast<double>(
+                                 rt.rounds[i].weightWords *
+                                 rt.wordBytes)});
+                        loadInFlight[ci] = true;
+                    }
+                    ++rt.nextLoad;
+                    progress = true;
+                }
+            }
+
+            // Start the next compute: its load must be done, the
+            // previous compute finished, and (for a group's first
+            // round) the output ping-pong copy drained.
+            if (!rt.compActive && rt.nextComp < rt.rounds.size()) {
+                size_t i = rt.nextComp;
+                bool load_done = rt.loadDone(i);
+                bool prev_comp_done = i == 0 || rt.compEnd[i - 1] >= 0.0;
+                bool out_free = true;
+                if (rt.rounds[i].groupStart) {
+                    size_t g = rt.groupOf[i];
+                    out_free = g < 2 || rt.storeEnd[g - 2] >= 0.0;
+                }
+                if (load_done && prev_comp_done && out_free) {
+                    rt.compActive = true;
+                    rt.compRound = i;
+                    rt.compEndTime =
+                        now + static_cast<double>(
+                                  rt.rounds[i].computeCycles);
+                    ++rt.nextComp;
+                    progress = true;
+                }
+            }
+
+            // Start the next store: its group's compute must be done
+            // and the previous store drained (stores are in order).
+            if (!storeInFlight[ci] && rt.nextStore < rt.groupStore.size()) {
+                size_t g = rt.nextStore;
+                bool comp_done = rt.compEnd[rt.groupLast[g]] >= 0.0;
+                bool prev_store_done = g == 0 || rt.storeEnd[g - 1] >= 0.0;
+                if (comp_done && prev_store_done) {
+                    double bytes = static_cast<double>(
+                        rt.groupStore[g] * rt.wordBytes);
+                    if (unlimited) {
+                        rt.storeEnd[g] = now;
+                    } else {
+                        transfers.push_back(
+                            {ci, Transfer::Kind::Store, g, bytes});
+                        storeInFlight[ci] = true;
+                    }
+                    ++rt.nextStore;
+                    progress = true;
+                }
+            }
+        }
+        return progress;
+    };
+
+    auto allDone = [&]() {
+        for (const ClpRuntime &rt : clps)
+            if (!rt.done())
+                return false;
+        return transfers.empty();
+    };
+
+    size_t guard = 0;
+    const size_t guard_limit = 100000000;
+    while (true) {
+        while (tryStart()) {
+        }
+        if (allDone())
+            break;
+
+        // Next event: earliest compute end or transfer completion at
+        // the current fluid rates.
+        double share = transfers.empty()
+                           ? 0.0
+                           : bw / static_cast<double>(transfers.size());
+        double dt = std::numeric_limits<double>::infinity();
+        for (const ClpRuntime &rt : clps) {
+            if (rt.compActive)
+                dt = std::min(dt, rt.compEndTime - now);
+        }
+        for (const Transfer &t : transfers)
+            if (share > 0.0)
+                dt = std::min(dt, t.remaining / share);
+        if (!(dt < std::numeric_limits<double>::infinity())) {
+            util::panic("MultiClpSystem: simulation deadlock at cycle "
+                        "%.1f", now);
+        }
+        dt = std::max(dt, 0.0);
+        now += dt;
+
+        // Retire finished computes.
+        for (ClpRuntime &rt : clps) {
+            if (rt.compActive && rt.compEndTime <= now + kEps) {
+                rt.compActive = false;
+                rt.compEnd[rt.compRound] = rt.compEndTime;
+            }
+        }
+        // Progress and retire transfers.
+        for (auto it = transfers.begin(); it != transfers.end();) {
+            it->remaining -= share * dt;
+            if (it->remaining <= kEps) {
+                ClpRuntime &rt = clps[it->clp];
+                switch (it->kind) {
+                  case Transfer::Kind::Store:
+                    rt.storeEnd[it->index] = now;
+                    storeInFlight[it->clp] = false;
+                    break;
+                  case Transfer::Kind::Input:
+                    rt.inputEnd[it->index] = now;
+                    if (rt.loadDone(it->index))
+                        loadInFlight[it->clp] = false;
+                    break;
+                  case Transfer::Kind::Weight:
+                    rt.weightEnd[it->index] = now;
+                    if (rt.loadDone(it->index))
+                        loadInFlight[it->clp] = false;
+                    break;
+                }
+                it = transfers.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        if (++guard > guard_limit)
+            util::panic("MultiClpSystem: event limit exceeded");
+    }
+
+    // Gather statistics.
+    SimResult result;
+    int64_t total_units = design_.totalMacUnits();
+    for (size_t ci = 0; ci < clps.size(); ++ci) {
+        const ClpRuntime &rt = clps[ci];
+        ClpSimStats stats;
+        for (size_t i = 0; i < rt.rounds.size(); ++i)
+            stats.computeCycles += rt.rounds[i].computeCycles;
+        stats.rounds = static_cast<int64_t>(rt.rounds.size());
+        double finish = 0.0;
+        if (!rt.compEnd.empty())
+            finish = std::max(finish, rt.compEnd.back());
+        if (!rt.storeEnd.empty())
+            finish = std::max(finish, rt.storeEnd.back());
+        stats.finishCycle = finish;
+        stats.stallCycles =
+            finish - static_cast<double>(stats.computeCycles);
+        stats.transferBytes =
+            totalTransferWords(rt.rounds) * rt.wordBytes;
+        // Per-layer execution spans (compute plus output drain).
+        for (size_t i = 0; i < rt.rounds.size(); ++i) {
+            int64_t layer = rt.rounds[i].layerIdx;
+            double start = rt.compEnd[i] -
+                           static_cast<double>(rt.rounds[i].computeCycles);
+            double end = rt.compEnd[i];
+            if (stats.layerSpans.empty() ||
+                stats.layerSpans.back().layerIdx != layer) {
+                stats.layerSpans.push_back({layer, start, end});
+            } else {
+                stats.layerSpans.back().endCycle = end;
+            }
+        }
+        for (size_t g = 0; g < rt.groupStore.size(); ++g) {
+            int64_t layer = rt.rounds[rt.groupLast[g]].layerIdx;
+            for (auto &span : stats.layerSpans) {
+                if (span.layerIdx == layer)
+                    span.endCycle =
+                        std::max(span.endCycle, rt.storeEnd[g]);
+            }
+        }
+        result.totalTransferBytes += stats.transferBytes;
+        result.epochCycles = std::max(result.epochCycles, finish);
+        result.clps.push_back(stats);
+    }
+    result.utilization =
+        static_cast<double>(network_.totalMacs()) /
+        (static_cast<double>(total_units) * result.epochCycles);
+    return result;
+}
+
+} // namespace sim
+} // namespace mclp

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Cycle-level timing simulation of a complete Multi-CLP accelerator.
+ *
+ * Every CLP executes its tile rounds under double-buffer dependencies:
+ * the load for round i+1 overlaps the compute of round i, and the
+ * output store of an (r,c,m) group overlaps subsequent rounds; a CLP
+ * stalls when a needed transfer has not finished (Section 4.2). All
+ * CLP ports share the off-chip link, modeled as a fluid channel that
+ * splits bandwidth equally among in-flight transfers.
+ *
+ * With unconstrained bandwidth the simulated epoch equals the
+ * analytical model's compute-bound cycle count exactly; with a
+ * bandwidth cap it reproduces the transfer-blocked behaviour the
+ * optimizer's bandwidth model approximates. This plays the role the
+ * paper's RTL simulation plays in Section 6.4.
+ */
+
+#ifndef MCLP_SIM_SYSTEM_H
+#define MCLP_SIM_SYSTEM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "fpga/device.h"
+#include "model/clp_config.h"
+#include "nn/network.h"
+
+namespace mclp {
+namespace sim {
+
+/** Execution interval of one layer on its CLP within an epoch. */
+struct LayerSpan
+{
+    int64_t layerIdx = -1;
+    double startCycle = 0.0;  ///< first compute start
+    double endCycle = 0.0;    ///< last compute or store completion
+};
+
+/** Per-CLP outcome of an epoch simulation. */
+struct ClpSimStats
+{
+    double finishCycle = 0.0;    ///< last compute or store completion
+    int64_t computeCycles = 0;   ///< cycles spent computing
+    double stallCycles = 0.0;    ///< finish - compute (transfer waits)
+    int64_t transferBytes = 0;   ///< off-chip traffic this epoch
+    int64_t rounds = 0;          ///< tile rounds executed
+    std::vector<LayerSpan> layerSpans;  ///< Figure-5-style schedule
+};
+
+/** Whole-accelerator outcome of an epoch simulation. */
+struct SimResult
+{
+    double epochCycles = 0.0;    ///< max over CLP finish times
+    std::vector<ClpSimStats> clps;
+    double utilization = 0.0;    ///< useful MACs / (units * epoch)
+    int64_t totalTransferBytes = 0;
+
+    /** Average consumed bandwidth in bytes per cycle. */
+    double
+    avgBandwidthBytesPerCycle() const
+    {
+        return epochCycles > 0.0
+                   ? static_cast<double>(totalTransferBytes) / epochCycles
+                   : 0.0;
+    }
+};
+
+/** Timing simulator for a design on a network under a budget. */
+class MultiClpSystem
+{
+  public:
+    /**
+     * @param design accelerator configuration (validated)
+     * @param network the CNN
+     * @param budget supplies the bandwidth cap (DSP/BRAM are not
+     *        needed for timing) and frequency for reporting
+     */
+    MultiClpSystem(const model::MultiClpDesign &design,
+                   const nn::Network &network,
+                   const fpga::ResourceBudget &budget);
+
+    /** Simulate one steady-state epoch. */
+    SimResult simulateEpoch() const;
+
+  private:
+    const model::MultiClpDesign &design_;
+    const nn::Network &network_;
+    fpga::ResourceBudget budget_;
+};
+
+} // namespace sim
+} // namespace mclp
+
+#endif // MCLP_SIM_SYSTEM_H

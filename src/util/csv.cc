@@ -1,0 +1,75 @@
+#include "util/csv.h"
+
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace mclp {
+namespace util {
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        fatal("CsvWriter requires at least one column");
+}
+
+void
+CsvWriter::addRow(const std::vector<std::string> &row)
+{
+    if (row.size() != headers_.size()) {
+        fatal("CsvWriter row arity %zu does not match header arity %zu",
+              row.size(), headers_.size());
+    }
+    rows_.push_back(row);
+}
+
+std::string
+CsvWriter::escape(const std::string &field)
+{
+    bool needs_quotes = field.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes)
+        return field;
+    std::string out = "\"";
+    for (char ch : field) {
+        if (ch == '"')
+            out += "\"\"";
+        else
+            out.push_back(ch);
+    }
+    out += "\"";
+    return out;
+}
+
+std::string
+CsvWriter::serialize() const
+{
+    std::string out;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            if (i != 0)
+                out += ",";
+            out += escape(row[i]);
+        }
+        out += "\n";
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+    return out;
+}
+
+bool
+CsvWriter::writeFile(const std::string &path) const
+{
+    std::ofstream ofs(path);
+    if (!ofs) {
+        warn("CsvWriter: cannot open %s for writing", path.c_str());
+        return false;
+    }
+    ofs << serialize();
+    return static_cast<bool>(ofs);
+}
+
+} // namespace util
+} // namespace mclp

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Minimal CSV writer so benchmark series (Figures 6 and 7) can be
+ * exported for plotting alongside the textual output.
+ */
+
+#ifndef MCLP_UTIL_CSV_H
+#define MCLP_UTIL_CSV_H
+
+#include <string>
+#include <vector>
+
+namespace mclp {
+namespace util {
+
+/**
+ * Accumulates rows and writes an RFC-4180-ish CSV file. Fields
+ * containing commas, quotes, or newlines are quoted.
+ */
+class CsvWriter
+{
+  public:
+    /** Create a writer with the given column headers. */
+    explicit CsvWriter(std::vector<std::string> headers);
+
+    /** Append a data row; must match the header arity. */
+    void addRow(const std::vector<std::string> &row);
+
+    /** Serialize all rows (header first) to a string. */
+    std::string serialize() const;
+
+    /**
+     * Write the CSV to @p path. Returns true on success; failure to
+     * open the file is reported with warn() and returns false (bench
+     * output to stdout is the primary artifact).
+     */
+    bool writeFile(const std::string &path) const;
+
+    /** Number of data rows. */
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    static std::string escape(const std::string &field);
+
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace util
+} // namespace mclp
+
+#endif // MCLP_UTIL_CSV_H

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers.
+ *
+ * Follows the gem5 convention: fatal() is for user errors (bad
+ * configuration, impossible budgets) and exits cleanly; panic() is for
+ * internal invariant violations (library bugs) and aborts. inform() and
+ * warn() print status without stopping.
+ */
+
+#ifndef MCLP_UTIL_LOGGING_H
+#define MCLP_UTIL_LOGGING_H
+
+#include <cstdarg>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace mclp {
+namespace util {
+
+/** Verbosity levels for status messages. */
+enum class LogLevel { Quiet = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Get the process-wide log level (default Info). */
+LogLevel logLevel();
+
+/** Set the process-wide log level. */
+void setLogLevel(LogLevel level);
+
+/** printf-style formatting into a std::string. */
+std::string vstrprintf(const char *fmt, va_list ap);
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Informative status message (suppressed below LogLevel::Info). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Debug-level message (suppressed below LogLevel::Debug). */
+void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Warning about suspicious-but-survivable conditions. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Error raised by fatal(): the situation is the caller's fault
+ * (invalid argument, infeasible budget). Catchable so that tests can
+ * assert on failure paths.
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg) {}
+};
+
+/**
+ * Error raised by panic(): an internal invariant was violated; this
+ * indicates a bug in the library itself.
+ */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg) {}
+};
+
+/** Report an unrecoverable user-caused error. Throws FatalError. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an internal bug. Throws PanicError. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace util
+} // namespace mclp
+
+#endif // MCLP_UTIL_LOGGING_H

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Small integer-math helpers used throughout the models and optimizer.
+ */
+
+#ifndef MCLP_UTIL_MATH_H
+#define MCLP_UTIL_MATH_H
+
+#include <cstdint>
+#include <type_traits>
+
+#include "util/logging.h"
+
+namespace mclp {
+namespace util {
+
+/** Ceiling division for non-negative integers: ceil(a / b). */
+template <typename T>
+constexpr T
+ceilDiv(T a, T b)
+{
+    static_assert(std::is_integral_v<T>);
+    return (a + b - 1) / b;
+}
+
+/** Round @p a up to the next multiple of @p b. */
+template <typename T>
+constexpr T
+roundUp(T a, T b)
+{
+    static_assert(std::is_integral_v<T>);
+    return ceilDiv(a, b) * b;
+}
+
+/** Clamp @p v to [lo, hi]. */
+template <typename T>
+constexpr T
+clamp(T v, T lo, T hi)
+{
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/** Squared Euclidean distance between 2-D integer points. */
+inline int64_t
+distance2(int64_t x0, int64_t y0, int64_t x1, int64_t y1)
+{
+    int64_t dx = x0 - x1;
+    int64_t dy = y0 - y1;
+    return dx * dx + dy * dy;
+}
+
+/**
+ * Deterministic 64-bit RNG (splitmix64). Used for synthetic tensors
+ * and property tests; never seeded from the clock so all runs are
+ * reproducible.
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [lo, hi] (inclusive). */
+    int64_t
+    nextInt(int64_t lo, int64_t hi)
+    {
+        if (lo > hi)
+            panic("SplitMix64::nextInt: empty range [%lld, %lld]",
+                  static_cast<long long>(lo), static_cast<long long>(hi));
+        uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+        return lo + static_cast<int64_t>(next() % span);
+    }
+
+    /** Uniform float in [-1, 1). */
+    double
+    nextSymmetric()
+    {
+        return (static_cast<double>(next() >> 11) /
+                static_cast<double>(1ULL << 53)) * 2.0 - 1.0;
+    }
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace util
+} // namespace mclp
+
+#endif // MCLP_UTIL_MATH_H

@@ -1,0 +1,80 @@
+#include "util/string_utils.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace mclp {
+namespace util {
+
+std::string
+withCommas(int64_t value)
+{
+    bool negative = value < 0;
+    uint64_t v = negative ? static_cast<uint64_t>(-(value + 1)) + 1
+                          : static_cast<uint64_t>(value);
+    std::string digits = std::to_string(v);
+    std::string out;
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count != 0 && count % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    if (negative)
+        out.push_back('-');
+    return std::string(out.rbegin(), out.rend());
+}
+
+std::string
+percent(double ratio)
+{
+    return strprintf("%.1f%%", ratio * 100.0);
+}
+
+std::string
+fixed(double value, int decimals)
+{
+    return strprintf("%.*f", decimals, value);
+}
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i != 0)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::vector<std::string>
+split(const std::string &text, char delim)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char ch : text) {
+        if (ch == delim) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(ch);
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+bool
+startsWith(const std::string &text, const std::string &prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.compare(0, prefix.size(), prefix) == 0;
+}
+
+} // namespace util
+} // namespace mclp

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * String formatting helpers for human-readable bench output.
+ */
+
+#ifndef MCLP_UTIL_STRING_UTILS_H
+#define MCLP_UTIL_STRING_UTILS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+// strprintf() lives in logging.h but is re-exported here: formatting
+// helpers are expected to come as one set.
+#include "util/logging.h"
+
+namespace mclp {
+namespace util {
+
+/** Format an integer with thousands separators, e.g. 2006 -> "2,006". */
+std::string withCommas(int64_t value);
+
+/** Format a ratio as a percentage with one decimal, e.g. 0.741 -> "74.1%". */
+std::string percent(double ratio);
+
+/** Format a double with @p decimals decimal places. */
+std::string fixed(double value, int decimals);
+
+/** Join a list of strings with a separator. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Split a string on a delimiter character (no empty-token collapsing). */
+std::vector<std::string> split(const std::string &text, char delim);
+
+/** True if @p text starts with @p prefix. */
+bool startsWith(const std::string &text, const std::string &prefix);
+
+} // namespace util
+} // namespace mclp
+
+#endif // MCLP_UTIL_STRING_UTILS_H

@@ -1,0 +1,100 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace mclp {
+namespace util {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        fatal("TextTable requires at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != headers_.size()) {
+        fatal("TextTable row arity %zu does not match header arity %zu",
+              row.size(), headers_.size());
+    }
+    rows_.push_back(std::move(row));
+    ++numDataRows_;
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.push_back({kSeparatorTag});
+}
+
+void
+TextTable::setTitle(std::string title)
+{
+    title_ = std::move(title);
+}
+
+void
+TextTable::addNote(std::string note)
+{
+    notes_.push_back(std::move(note));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(headers_.size(), 0);
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        if (row.size() == 1 && row[0] == kSeparatorTag)
+            continue;
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto hline = [&]() {
+        std::string s = "+";
+        for (size_t w : widths)
+            s += std::string(w + 2, '-') + "+";
+        return s + "\n";
+    };
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        std::string s = "|";
+        for (size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell = c < row.size() ? row[c] : "";
+            s += " " + cell + std::string(widths[c] - cell.size(), ' ')
+                 + " |";
+        }
+        return s + "\n";
+    };
+
+    std::ostringstream out;
+    if (!title_.empty())
+        out << title_ << "\n";
+    out << hline() << emitRow(headers_) << hline();
+    for (const auto &row : rows_) {
+        if (row.size() == 1 && row[0] == kSeparatorTag)
+            out << hline();
+        else
+            out << emitRow(row);
+    }
+    out << hline();
+    for (const auto &note : notes_)
+        out << "  note: " << note << "\n";
+    return out.str();
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    os << render();
+}
+
+} // namespace util
+} // namespace mclp

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * ASCII table printer used by the benchmark harness to render the
+ * paper's tables in a terminal.
+ */
+
+#ifndef MCLP_UTIL_TABLE_H
+#define MCLP_UTIL_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mclp {
+namespace util {
+
+/**
+ * A simple column-aligned text table. Rows are vectors of strings; the
+ * printer pads every column to its maximum width. A title and optional
+ * per-table footnotes are supported so bench output is self-describing.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a data row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Set the table title printed above the header. */
+    void setTitle(std::string title);
+
+    /** Add a footnote line printed below the table. */
+    void addNote(std::string note);
+
+    /** Render the table to a string. */
+    std::string render() const;
+
+    /** Render the table to a stream. */
+    void print(std::ostream &os) const;
+
+    /** Number of data rows added so far. */
+    size_t rowCount() const { return numDataRows_; }
+
+  private:
+    static constexpr const char *kSeparatorTag = "\x01--";
+
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+    std::string title_;
+    std::vector<std::string> notes_;
+    size_t numDataRows_ = 0;
+};
+
+} // namespace util
+} // namespace mclp
+
+#endif // MCLP_UTIL_TABLE_H

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "core/compute_optimizer.h"
+#include "core/layer_order.h"
+#include "model/cycle_model.h"
+#include "model/dsp_model.h"
+#include "nn/zoo.h"
+#include "test_helpers.h"
+#include "util/logging.h"
+
+namespace mclp {
+namespace {
+
+std::vector<size_t>
+identityOrder(size_t count)
+{
+    std::vector<size_t> order(count);
+    std::iota(order.begin(), order.end(), size_t{0});
+    return order;
+}
+
+TEST(ComputeOptimizer, SingleClpReproducesZhangDesign)
+{
+    // With the 485T float budget and the optimal cycle target, the
+    // single-CLP search must find Tn=7, Tm=64 — the design of [32]
+    // (Section 6.3 confirms this equivalence).
+    nn::Network net = nn::makeAlexNet();
+    core::ComputeOptimizer opt(net, fpga::DataType::Float32,
+                               identityOrder(net.numLayers()), 1);
+    auto candidates = opt.optimize(2240, 2005892);
+    ASSERT_EQ(candidates.size(), 1u);
+    const auto &group = candidates[0].groups[0];
+    EXPECT_EQ(group.shape.tn, 7);
+    EXPECT_EQ(group.shape.tm, 64);
+    EXPECT_EQ(group.cycles, 2005892);
+    EXPECT_EQ(candidates[0].totalDsp, 2240);
+}
+
+TEST(ComputeOptimizer, SingleClpInfeasibleBelowOptimum)
+{
+    // No single CLP within 2,240 DSP slices can beat 2,005,748 cycles.
+    nn::Network net = nn::makeAlexNet();
+    core::ComputeOptimizer opt(net, fpga::DataType::Float32,
+                               identityOrder(net.numLayers()), 1);
+    EXPECT_TRUE(opt.optimize(2240, 2005891).empty());
+}
+
+TEST(ComputeOptimizer, SingleClp690ReproducesTable2b)
+{
+    nn::Network net = nn::makeAlexNet();
+    core::ComputeOptimizer opt(net, fpga::DataType::Float32,
+                               identityOrder(net.numLayers()), 1);
+    auto candidates = opt.optimize(2880, 1768724);
+    ASSERT_EQ(candidates.size(), 1u);
+    EXPECT_EQ(candidates[0].groups[0].shape.tn, 9);
+    EXPECT_EQ(candidates[0].groups[0].shape.tm, 64);
+    EXPECT_TRUE(opt.optimize(2880, 1768723).empty());
+}
+
+TEST(ComputeOptimizer, MultiClpMeetsPaperEpochOn690)
+{
+    // At the paper's 690T Multi-CLP operating point (1,168k cycles),
+    // a partition within 2,880 DSP slices must exist.
+    nn::Network net = nn::makeAlexNet();
+    auto order =
+        core::orderLayers(net, core::OrderHeuristic::NmDistance);
+    core::ComputeOptimizer opt(net, fpga::DataType::Float32, order, 6);
+    auto candidates = opt.optimize(2880, 1168128);
+    ASSERT_FALSE(candidates.empty());
+    for (const auto &candidate : candidates) {
+        EXPECT_LE(candidate.totalDsp, 2880);
+        EXPECT_LE(candidate.epochCycles(), 1168128);
+    }
+}
+
+TEST(ComputeOptimizer, CandidatesAreValidPartitions)
+{
+    nn::Network net = nn::makeSqueezeNet();
+    auto order =
+        core::orderLayers(net, core::OrderHeuristic::ComputeToData);
+    core::ComputeOptimizer opt(net, fpga::DataType::Fixed16, order, 6);
+    auto candidates = opt.optimize(2880, 200000);
+    ASSERT_FALSE(candidates.empty());
+    for (const auto &candidate : candidates) {
+        std::set<size_t> covered;
+        int64_t dsp = 0;
+        for (const auto &group : candidate.groups) {
+            EXPECT_GT(group.shape.tn, 0);
+            EXPECT_GT(group.shape.tm, 0);
+            EXPECT_LE(group.cycles, 200000);
+            EXPECT_EQ(group.dsp, model::clpDsp(group.shape,
+                                               fpga::DataType::Fixed16));
+            // Recompute the group cycles from the model.
+            int64_t cycles = 0;
+            for (size_t idx : group.layers) {
+                covered.insert(idx);
+                cycles +=
+                    model::layerCycles(net.layer(idx), group.shape);
+            }
+            EXPECT_EQ(cycles, group.cycles);
+            dsp += group.dsp;
+        }
+        EXPECT_EQ(covered.size(), net.numLayers());
+        EXPECT_EQ(dsp, candidate.totalDsp);
+        EXPECT_LE(candidate.totalDsp, 2880);
+    }
+}
+
+TEST(ComputeOptimizer, GroupsAreContiguousInOrder)
+{
+    nn::Network net = nn::makeAlexNet();
+    auto order =
+        core::orderLayers(net, core::OrderHeuristic::NmDistance);
+    std::vector<size_t> pos(order.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        pos[order[i]] = i;
+
+    core::ComputeOptimizer opt(net, fpga::DataType::Float32, order, 4);
+    auto candidates = opt.optimize(2240, 1600000);
+    ASSERT_FALSE(candidates.empty());
+    for (const auto &candidate : candidates) {
+        size_t expected_next = 0;
+        for (const auto &group : candidate.groups) {
+            for (size_t idx : group.layers) {
+                EXPECT_EQ(pos[idx], expected_next)
+                    << "groups must cover the order contiguously";
+                ++expected_next;
+            }
+        }
+    }
+}
+
+TEST(ComputeOptimizer, TighterTargetsNeedMoreDsp)
+{
+    nn::Network net = nn::makeAlexNet();
+    auto order =
+        core::orderLayers(net, core::OrderHeuristic::NmDistance);
+    core::ComputeOptimizer opt(net, fpga::DataType::Float32, order, 4);
+    auto loose = opt.optimize(1 << 20, 4000000);
+    auto tight = opt.optimize(1 << 20, 1500000);
+    ASSERT_FALSE(loose.empty());
+    ASSERT_FALSE(tight.empty());
+    EXPECT_LE(loose[0].totalDsp, tight[0].totalDsp);
+}
+
+TEST(ComputeOptimizer, ImpossibleTargetYieldsNoCandidates)
+{
+    nn::Network net = nn::makeAlexNet();
+    core::ComputeOptimizer opt(net, fpga::DataType::Float32,
+                               identityOrder(net.numLayers()), 6);
+    EXPECT_TRUE(opt.optimize(2240, 1000).empty());
+}
+
+TEST(ComputeOptimizer, RejectsBadArguments)
+{
+    nn::Network net = nn::makeAlexNet();
+    EXPECT_THROW(core::ComputeOptimizer(net, fpga::DataType::Float32,
+                                        {0, 1}, 6),
+                 util::FatalError);
+    core::ComputeOptimizer opt(net, fpga::DataType::Float32,
+                               identityOrder(net.numLayers()), 6);
+    EXPECT_THROW(opt.optimize(0, 100), util::FatalError);
+    EXPECT_THROW(opt.optimize(100, 0), util::FatalError);
+}
+
+TEST(ComputeOptimizer, MoreClpsAllowedNeverHurts)
+{
+    nn::Network net = nn::makeAlexNet();
+    auto order =
+        core::orderLayers(net, core::OrderHeuristic::NmDistance);
+    core::ComputeOptimizer narrow(net, fpga::DataType::Float32, order, 2);
+    core::ComputeOptimizer wide(net, fpga::DataType::Float32, order, 6);
+    // At a target only multi-CLP can hit, the wide search succeeds.
+    auto at2 = narrow.optimize(2240, 1558000);
+    auto at6 = wide.optimize(2240, 1558000);
+    EXPECT_FALSE(at6.empty());
+    if (!at2.empty()) {
+        EXPECT_LE(at6[0].totalDsp, 2240);
+    }
+}
+
+} // namespace
+} // namespace mclp

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Cross-validation of the Section 4.3 pruning: on networks small
+ * enough to brute-force every layer-to-CLP set partition, the pruned
+ * (contiguous-in-heuristic-order) optimizer must track the true
+ * optimum closely. Complements the runtime-focused ablation bench.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/optimizer.h"
+#include "model/cycle_model.h"
+#include "model/dsp_model.h"
+#include "test_helpers.h"
+#include "util/math.h"
+#include "util/string_utils.h"
+
+namespace mclp {
+namespace {
+
+/** Minimum-DSP cost for a group within a cycle target, brute force. */
+int64_t
+groupDsp(const nn::Network &network, const std::vector<size_t> &layers,
+         int64_t units_cap, int64_t target)
+{
+    int64_t max_n = 0;
+    int64_t max_m = 0;
+    for (size_t idx : layers) {
+        max_n = std::max(max_n, network.layer(idx).n);
+        max_m = std::max(max_m, network.layer(idx).m);
+    }
+    int64_t best = -1;
+    for (int64_t tn = 1; tn <= std::min(max_n, units_cap); ++tn) {
+        for (int64_t tm = 1; tm <= std::min(max_m, units_cap / tn);
+             ++tm) {
+            int64_t cycles = 0;
+            for (size_t idx : layers) {
+                cycles += model::layerCycles(network.layer(idx),
+                                             {tn, tm});
+                if (cycles > target)
+                    break;
+            }
+            if (cycles > target)
+                continue;
+            int64_t dsp = tn * tm;  // fixed16: 1 DSP per MAC
+            if (best < 0 || dsp < best)
+                best = dsp;
+        }
+    }
+    return best;
+}
+
+/** First feasible target over all set partitions into <= k groups. */
+int64_t
+exhaustiveOptimum(const nn::Network &network, int64_t dsp_budget,
+                  int max_clps)
+{
+    size_t count = network.numLayers();
+    std::vector<int> assign(count, 0);
+    std::vector<std::vector<std::vector<size_t>>> partitions;
+    while (true) {
+        int groups = 0;
+        for (int g : assign)
+            groups = std::max(groups, g + 1);
+        if (groups <= max_clps) {
+            std::vector<std::vector<size_t>> partition(
+                static_cast<size_t>(groups));
+            for (size_t i = 0; i < count; ++i)
+                partition[static_cast<size_t>(assign[i])].push_back(i);
+            partitions.push_back(std::move(partition));
+        }
+        int pos = static_cast<int>(count) - 1;
+        while (pos > 0) {
+            int prefix_max = 0;
+            for (int i = 0; i < pos; ++i)
+                prefix_max = std::max(prefix_max, assign[i]);
+            if (assign[pos] <= prefix_max) {
+                ++assign[pos];
+                for (size_t i = static_cast<size_t>(pos) + 1; i < count;
+                     ++i)
+                    assign[i] = 0;
+                break;
+            }
+            --pos;
+        }
+        if (pos == 0)
+            break;
+    }
+
+    int64_t units = dsp_budget;  // fixed16
+    int64_t cycles_min = model::minimumPossibleCycles(network, units);
+    for (double target = 1.0; target > 0.0025; target -= 0.005) {
+        int64_t allowed = static_cast<int64_t>(
+            std::ceil(static_cast<double>(cycles_min) / target));
+        for (const auto &partition : partitions) {
+            int64_t total = 0;
+            bool ok = true;
+            for (const auto &group : partition) {
+                int64_t dsp =
+                    groupDsp(network, group, units, allowed);
+                if (dsp < 0) {
+                    ok = false;
+                    break;
+                }
+                total += dsp;
+            }
+            if (ok && total <= dsp_budget)
+                return allowed;
+        }
+    }
+    return -1;
+}
+
+class PruningValidation : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PruningValidation, PrunedSearchTracksExhaustiveOptimum)
+{
+    util::SplitMix64 rng(static_cast<uint64_t>(GetParam()));
+    std::vector<nn::ConvLayer> layers;
+    for (size_t i = 0; i < 5; ++i) {
+        int64_t r = rng.nextInt(6, 16);
+        layers.push_back(test::layer(rng.nextInt(1, 40),
+                                     rng.nextInt(1, 40), r, r,
+                                     1 + 2 * rng.nextInt(0, 1), 1,
+                                     util::strprintf("l%zu", i)));
+    }
+    nn::Network network("exhaustive-check", layers);
+
+    fpga::ResourceBudget budget;
+    budget.dspSlices = 384;
+    budget.bram18k = 1 << 20;  // isolate OptimizeCompute
+    budget.frequencyMhz = 100.0;
+
+    int64_t optimum =
+        exhaustiveOptimum(network, budget.dspSlices, 4);
+    ASSERT_GT(optimum, 0);
+
+    auto pruned = core::optimizeMultiClp(network,
+                                         fpga::DataType::Fixed16,
+                                         budget, 4);
+    int64_t units = budget.dspSlices;
+    int64_t cycles_min = model::minimumPossibleCycles(network, units);
+    int64_t pruned_allowed = static_cast<int64_t>(
+        std::ceil(static_cast<double>(cycles_min) /
+                  pruned.achievedTarget));
+
+    // The pruned search can never beat the exhaustive optimum, and
+    // for these small cases it should be within a few percent of it.
+    EXPECT_GE(pruned_allowed, optimum);
+    EXPECT_LE(static_cast<double>(pruned_allowed),
+              1.05 * static_cast<double>(optimum))
+        << "pruning lost more than 5% vs the exhaustive optimum";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PruningValidation,
+                         ::testing::Values(11, 22, 33, 44));
+
+} // namespace
+} // namespace mclp

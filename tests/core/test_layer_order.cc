@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/layer_order.h"
+#include "nn/zoo.h"
+#include "test_helpers.h"
+#include "util/logging.h"
+
+namespace mclp {
+namespace {
+
+bool
+isPermutation(const std::vector<size_t> &order, size_t count)
+{
+    if (order.size() != count)
+        return false;
+    std::set<size_t> seen(order.begin(), order.end());
+    return seen.size() == count && *seen.rbegin() == count - 1;
+}
+
+TEST(LayerOrder, AllHeuristicsProducePermutations)
+{
+    for (auto heuristic :
+         {core::OrderHeuristic::NmDistance,
+          core::OrderHeuristic::ComputeToData,
+          core::OrderHeuristic::AsIs}) {
+        for (const auto &name : nn::zooNetworkNames()) {
+            nn::Network net = nn::networkByName(name);
+            auto order = core::orderLayers(net, heuristic);
+            EXPECT_TRUE(isPermutation(order, net.numLayers()))
+                << name << " " << core::orderHeuristicName(heuristic);
+        }
+    }
+}
+
+TEST(LayerOrder, AsIsIsIdentity)
+{
+    nn::Network net = nn::makeAlexNet();
+    auto order = core::orderLayers(net, core::OrderHeuristic::AsIs);
+    for (size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(LayerOrder, NmDistanceStartsFromSmallest)
+{
+    // AlexNet layer 1a/1b have the smallest N+M (3+48).
+    nn::Network net = nn::makeAlexNet();
+    auto order = core::orderLayers(net, core::OrderHeuristic::NmDistance);
+    EXPECT_EQ(order[0], 0u);
+    EXPECT_EQ(order[1], 1u);  // identical point is nearest
+}
+
+TEST(LayerOrder, NmDistanceKeepsPaperGroupsContiguous)
+{
+    // The published AlexNet groupings (Table 2) must be contiguous in
+    // the (N, M) nearest-neighbour order, or OptimizeCompute could
+    // never have produced them: {1a,1b}, {2a,2b}, {3a,3b}, {4a,4b},
+    // {5a,5b} as pairs.
+    nn::Network net = nn::makeAlexNet();
+    auto order = core::orderLayers(net, core::OrderHeuristic::NmDistance);
+    std::vector<size_t> pos(order.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        pos[order[i]] = i;
+    for (size_t pair = 0; pair < 10; pair += 2) {
+        EXPECT_EQ(std::abs(static_cast<long>(pos[pair]) -
+                           static_cast<long>(pos[pair + 1])),
+                  1)
+            << "pair " << pair;
+    }
+    // 4a/4b and 5a/5b must be adjacent as a block of four (Table 2c
+    // assigns them to one CLP).
+    std::vector<size_t> block{pos[6], pos[7], pos[8], pos[9]};
+    std::sort(block.begin(), block.end());
+    EXPECT_EQ(block.back() - block.front(), 3u);
+}
+
+TEST(LayerOrder, ComputeToDataIsSortedByRatio)
+{
+    nn::Network net = nn::makeSqueezeNet();
+    auto order =
+        core::orderLayers(net, core::OrderHeuristic::ComputeToData);
+    for (size_t i = 1; i < order.size(); ++i) {
+        EXPECT_LE(net.layer(order[i - 1]).computeToDataRatio(),
+                  net.layer(order[i]).computeToDataRatio());
+    }
+}
+
+TEST(LayerOrder, Deterministic)
+{
+    nn::Network net = nn::makeGoogLeNet();
+    auto a = core::orderLayers(net, core::OrderHeuristic::NmDistance);
+    auto b = core::orderLayers(net, core::OrderHeuristic::NmDistance);
+    EXPECT_EQ(a, b);
+}
+
+TEST(LayerOrder, EmptyNetworkRejected)
+{
+    nn::Network net;
+    EXPECT_THROW(
+        core::orderLayers(net, core::OrderHeuristic::NmDistance),
+        util::FatalError);
+}
+
+TEST(LayerOrder, HeuristicNames)
+{
+    EXPECT_EQ(core::orderHeuristicName(core::OrderHeuristic::NmDistance),
+              "nm-distance");
+    EXPECT_EQ(
+        core::orderHeuristicName(core::OrderHeuristic::ComputeToData),
+        "compute-to-data");
+    EXPECT_EQ(core::orderHeuristicName(core::OrderHeuristic::AsIs),
+              "as-is");
+}
+
+} // namespace
+} // namespace mclp

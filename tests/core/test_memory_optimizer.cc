@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include "core/memory_optimizer.h"
+#include "core/paper_designs.h"
+#include "model/bandwidth_model.h"
+#include "model/bram_model.h"
+#include "model/metrics.h"
+#include "nn/zoo.h"
+#include "test_helpers.h"
+#include "util/math.h"
+
+namespace mclp {
+namespace {
+
+TEST(ParetoTilingOptions, SortedAndNonDominated)
+{
+    nn::ConvLayer l = test::layer(48, 128, 27, 27, 5, 1);
+    auto options = core::paretoTilingOptions(l, {8, 19});
+    ASSERT_FALSE(options.empty());
+    for (size_t i = 1; i < options.size(); ++i)
+        EXPECT_LE(options[i - 1].peakWordsPerCycle,
+                  options[i].peakWordsPerCycle);
+    // No option dominates another in all three coordinates.
+    for (size_t i = 0; i < options.size(); ++i) {
+        for (size_t j = 0; j < options.size(); ++j) {
+            if (i == j)
+                continue;
+            bool dominates =
+                options[i].inputBankBrams <= options[j].inputBankBrams &&
+                options[i].outputBankBrams <=
+                    options[j].outputBankBrams &&
+                options[i].peakWordsPerCycle <=
+                    options[j].peakWordsPerCycle;
+            bool strictly =
+                options[i].inputBankBrams < options[j].inputBankBrams ||
+                options[i].outputBankBrams <
+                    options[j].outputBankBrams ||
+                options[i].peakWordsPerCycle <
+                    options[j].peakWordsPerCycle;
+            EXPECT_FALSE(dominates && strictly)
+                << i << " dominates " << j;
+        }
+    }
+}
+
+TEST(ParetoTilingOptions, CostsMatchBramModel)
+{
+    nn::ConvLayer l = test::layer(16, 64, 56, 56, 3, 1);
+    auto options = core::paretoTilingOptions(l, {8, 16});
+    for (const auto &opt : options) {
+        EXPECT_EQ(opt.inputBankBrams,
+                  model::bramsPerBank(
+                      model::inputBankWords(l, opt.tiling), false));
+        EXPECT_EQ(opt.outputBankBrams,
+                  model::bramsPerBank(
+                      model::outputBankWords(opt.tiling), true));
+        EXPECT_GE(opt.tiling.tr, 1);
+        EXPECT_LE(opt.tiling.tr, l.r);
+        EXPECT_GE(opt.tiling.tc, 1);
+        EXPECT_LE(opt.tiling.tc, l.c);
+    }
+}
+
+TEST(ParetoTilingOptions, FirstOptionMinimizesPeak)
+{
+    // The whole-map tiling minimizes re-transfer; nothing can beat it.
+    nn::ConvLayer l = test::layer(16, 64, 28, 28, 3, 1);
+    auto options = core::paretoTilingOptions(l, {4, 16});
+    double brute_min = 1e100;
+    for (int64_t tr = 1; tr <= l.r; ++tr)
+        for (int64_t tc = 1; tc <= l.c; ++tc)
+            brute_min = std::min(
+                brute_min,
+                model::layerPeakWordsPerCycle(l, {4, 16}, {tr, tc}));
+    EXPECT_DOUBLE_EQ(options.front().peakWordsPerCycle, brute_min);
+}
+
+TEST(MemoryOptimizer, FitsBudgetWhenPossible)
+{
+    nn::Network net = nn::makeAlexNet();
+    auto partition = core::partitionFromDesign(
+        core::paperAlexNetMulti485(), net);
+    core::MemoryOptimizer memory(net, fpga::DataType::Float32);
+
+    fpga::ResourceBudget budget =
+        fpga::standardBudget(fpga::virtex7_485t(), 100.0);
+    auto design = memory.optimize(partition, budget, 1558000);
+    ASSERT_TRUE(design.has_value());
+    design->dataType = fpga::DataType::Float32;
+    EXPECT_LE(model::designBram(*design, net), budget.bram18k);
+    EXPECT_NO_THROW(design->validate(net));
+}
+
+TEST(MemoryOptimizer, InfeasibleBramBudgetReturnsNullopt)
+{
+    nn::Network net = nn::makeAlexNet();
+    auto partition = core::partitionFromDesign(
+        core::paperAlexNetMulti485(), net);
+    core::MemoryOptimizer memory(net, fpga::DataType::Float32);
+    fpga::ResourceBudget budget =
+        fpga::standardBudget(fpga::virtex7_485t(), 100.0);
+    budget.bram18k = 3;  // hopeless: weight banks alone exceed this
+    EXPECT_FALSE(
+        memory.optimize(partition, budget, 1558000).has_value());
+}
+
+TEST(MemoryOptimizer, TradeoffCurveIsMonotone)
+{
+    // Figure 6's premise: walking the frontier trades BRAM for
+    // bandwidth monotonically.
+    nn::Network net = nn::makeAlexNet();
+    auto partition = core::partitionFromDesign(
+        core::paperAlexNetMulti485(), net);
+    core::MemoryOptimizer memory(net, fpga::DataType::Float32);
+    auto curve = memory.tradeoffCurve(partition);
+    ASSERT_GE(curve.size(), 3u);
+    for (size_t i = 1; i < curve.size(); ++i) {
+        EXPECT_LT(curve[i].totalBram, curve[i - 1].totalBram);
+        EXPECT_GE(curve[i].peakBytesPerCycle,
+                  curve[i - 1].peakBytesPerCycle - 1e-9);
+    }
+    // Every point is a valid design whose BRAM matches the bram model.
+    for (const auto &point : curve) {
+        EXPECT_NO_THROW(point.design.validate(net));
+        EXPECT_EQ(model::designBram(point.design, net), point.totalBram);
+    }
+}
+
+TEST(MemoryOptimizer, CurveEndsAtMinimalBuffers)
+{
+    nn::Network net = nn::makeAlexNet();
+    auto partition = core::partitionFromDesign(
+        core::paperAlexNetSingle485(), net);
+    core::MemoryOptimizer memory(net, fpga::DataType::Float32);
+    auto curve = memory.tradeoffCurve(partition);
+    ASSERT_FALSE(curve.empty());
+    // The last point's BRAM cannot be undercut by any budget.
+    fpga::ResourceBudget budget =
+        fpga::standardBudget(fpga::virtex7_485t(), 100.0);
+    budget.bram18k = curve.back().totalBram;
+    auto design = memory.optimize(partition, budget, 1LL << 40);
+    ASSERT_TRUE(design.has_value());
+    EXPECT_LE(model::designBram(*design, net), budget.bram18k);
+}
+
+TEST(MemoryOptimizer, BandwidthCapRejectsSlowDesigns)
+{
+    nn::Network net = nn::makeAlexNet();
+    auto partition = core::partitionFromDesign(
+        core::paperAlexNetMulti485(), net);
+    core::MemoryOptimizer memory(net, fpga::DataType::Float32);
+    fpga::ResourceBudget budget =
+        fpga::standardBudget(fpga::virtex7_485t(), 100.0);
+    budget.bandwidthBytesPerCycle = 0.05;  // absurdly small
+    // At a strict cycle target the bandwidth-starved design must be
+    // rejected...
+    EXPECT_FALSE(
+        memory.optimize(partition, budget, 1558000).has_value());
+    // ...but accepted when the target is generous enough to absorb
+    // the transfer-bound slowdown.
+    auto relaxed = memory.optimize(partition, budget, 1LL << 40);
+    EXPECT_TRUE(relaxed.has_value());
+}
+
+TEST(MemoryOptimizer, RetilePaperSqueezeNetDesigns)
+{
+    // Table 4 does not publish Tr/Tc; retiling must fit the 80%
+    // budgets used in Table 5.
+    nn::Network net = nn::makeSqueezeNet();
+    fpga::ResourceBudget b485 =
+        fpga::standardBudget(fpga::virtex7_485t(), 170.0);
+    fpga::ResourceBudget b690 =
+        fpga::standardBudget(fpga::virtex7_690t(), 170.0);
+    auto m485 =
+        core::retileDesign(core::paperSqueezeNetMulti485(), net, b485);
+    ASSERT_TRUE(m485.has_value());
+    EXPECT_LE(model::designBram(*m485, net), b485.bram18k);
+    auto m690 =
+        core::retileDesign(core::paperSqueezeNetMulti690(), net, b690);
+    ASSERT_TRUE(m690.has_value());
+    EXPECT_LE(model::designBram(*m690, net), b690.bram18k);
+}
+
+TEST(MemoryOptimizer, CurvePassesThroughPaperPointA)
+{
+    // Figure 6's point A for the 485T Multi-CLP is (731 BRAM,
+    // 1.38 GB/s at 100 MHz). Our frontier for the same CLP shapes
+    // must pass through that neighbourhood.
+    nn::Network net = nn::makeAlexNet();
+    auto partition = core::partitionFromDesign(
+        core::paperAlexNetMulti485(), net);
+    core::MemoryOptimizer memory(net, fpga::DataType::Float32);
+    auto curve = memory.tradeoffCurve(partition);
+    bool found = false;
+    for (const auto &point : curve) {
+        double gbps = point.peakBytesPerCycle * 100e6 / 1e9;
+        if (point.totalBram >= 680 && point.totalBram <= 860 &&
+            gbps >= 1.30 && gbps <= 1.50) {
+            found = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(found) << "frontier misses Figure 6's point A";
+}
+
+class MemoryOptimizerFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MemoryOptimizerFuzz, BudgetRespectedAndPeakMonotone)
+{
+    // Random CLPs and layers: the optimizer must fit any feasible
+    // BRAM budget, and tighter budgets can only need more bandwidth.
+    util::SplitMix64 rng(static_cast<uint64_t>(GetParam()));
+    std::vector<nn::ConvLayer> layers;
+    for (int i = 0; i < 4; ++i) {
+        int64_t r = rng.nextInt(8, 40);
+        layers.push_back(test::layer(rng.nextInt(1, 32),
+                                     rng.nextInt(1, 64), r, r,
+                                     1 + 2 * rng.nextInt(0, 2), 1,
+                                     "f" + std::to_string(i)));
+    }
+    nn::Network net("fuzz", layers);
+
+    core::ComputePartition partition;
+    size_t next = 0;
+    for (int g = 0; g < 2; ++g) {
+        core::ComputeGroup group;
+        group.shape = {rng.nextInt(1, 8), rng.nextInt(1, 32)};
+        group.layers = {next, next + 1};
+        next += 2;
+        partition.groups.push_back(group);
+    }
+
+    core::MemoryOptimizer memory(net, fpga::DataType::Float32);
+    auto curve = memory.tradeoffCurve(partition);
+    ASSERT_FALSE(curve.empty());
+    int64_t min_bram = curve.back().totalBram;
+    int64_t max_bram = curve.front().totalBram;
+
+    double prev_peak = -1.0;
+    for (int64_t budget_bram :
+         {max_bram + 10, (min_bram + max_bram) / 2, min_bram}) {
+        fpga::ResourceBudget budget;
+        budget.dspSlices = 1 << 20;
+        budget.bram18k = std::max<int64_t>(budget_bram, 1);
+        budget.frequencyMhz = 100.0;
+        auto design =
+            memory.optimize(partition, budget, 1LL << 40);
+        ASSERT_TRUE(design.has_value())
+            << "budget " << budget_bram << " should be feasible";
+        design->dataType = fpga::DataType::Float32;
+        EXPECT_LE(model::designBram(*design, net), budget.bram18k);
+        EXPECT_NO_THROW(design->validate(net));
+        double peak = 0.0;
+        for (const auto &clp : design->clps)
+            peak += model::clpPeakBytesPerCycle(
+                clp, net, fpga::DataType::Float32);
+        EXPECT_GE(peak, prev_peak - 1e-9)
+            << "tighter BRAM budgets must not need less bandwidth";
+        prev_peak = peak;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemoryOptimizerFuzz,
+                         ::testing::Values(7, 17, 27, 37, 47));
+
+TEST(MemoryOptimizer, PartitionFromDesignRoundTrips)
+{
+    nn::Network net = nn::makeAlexNet();
+    auto design = core::paperAlexNetMulti690();
+    auto partition = core::partitionFromDesign(design, net);
+    ASSERT_EQ(partition.groups.size(), design.clps.size());
+    EXPECT_EQ(partition.totalDsp, 2880);
+    EXPECT_EQ(partition.epochCycles(), 1168128);
+    for (size_t ci = 0; ci < partition.groups.size(); ++ci) {
+        EXPECT_EQ(partition.groups[ci].shape, design.clps[ci].shape);
+        ASSERT_EQ(partition.groups[ci].layers.size(),
+                  design.clps[ci].layers.size());
+    }
+}
+
+} // namespace
+} // namespace mclp

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "model/bram_model.h"
+#include "model/dsp_model.h"
+#include "model/metrics.h"
+#include "nn/zoo.h"
+#include "test_helpers.h"
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace mclp {
+namespace {
+
+fpga::ResourceBudget
+budget(const fpga::Device &device, double mhz = 100.0)
+{
+    return fpga::standardBudget(device, mhz);
+}
+
+TEST(Optimizer, SingleClpAlexNet485EquivalentToZhang)
+{
+    // Section 6.3: "our optimization yields the same parameters
+    // (Tn = 7 and Tm = 64) and the same speed (2.0 million cycles)"
+    // as Zhang et al. [32].
+    auto result =
+        core::optimizeSingleClp(nn::makeAlexNet(),
+                                fpga::DataType::Float32,
+                                budget(fpga::virtex7_485t()));
+    ASSERT_EQ(result.design.clps.size(), 1u);
+    EXPECT_EQ(result.design.clps[0].shape.tn, 7);
+    EXPECT_EQ(result.design.clps[0].shape.tm, 64);
+    EXPECT_EQ(result.metrics.epochCycles, 2005892);
+}
+
+TEST(Optimizer, SingleClpAlexNet690MatchesTable2b)
+{
+    auto result =
+        core::optimizeSingleClp(nn::makeAlexNet(),
+                                fpga::DataType::Float32,
+                                budget(fpga::virtex7_690t()));
+    EXPECT_EQ(result.design.clps[0].shape.tn, 9);
+    EXPECT_EQ(result.design.clps[0].shape.tm, 64);
+    EXPECT_EQ(result.metrics.epochCycles, 1768724);
+}
+
+TEST(Optimizer, MultiClpAlexNet485ReachesPaperThroughput)
+{
+    // Table 2(c): the published Multi-CLP runs at 1,558k cycles. Our
+    // optimizer must do at least as well within the same budget.
+    nn::Network net = nn::makeAlexNet();
+    fpga::ResourceBudget b = budget(fpga::virtex7_485t());
+    auto result =
+        core::optimizeMultiClp(net, fpga::DataType::Float32, b);
+    EXPECT_LE(result.metrics.epochCycles, 1557504);
+    EXPECT_GE(result.metrics.utilization, 0.95);
+    EXPECT_LE(model::designDsp(result.design), b.dspSlices);
+    EXPECT_LE(model::designBram(result.design, net), b.bram18k);
+    EXPECT_GT(result.design.clps.size(), 1u);
+}
+
+TEST(Optimizer, MultiClpAlexNet690ReachesPaperThroughput)
+{
+    // Table 2(d): 1,168k cycles, utilization 99.0%.
+    nn::Network net = nn::makeAlexNet();
+    fpga::ResourceBudget b = budget(fpga::virtex7_690t());
+    auto result =
+        core::optimizeMultiClp(net, fpga::DataType::Float32, b);
+    EXPECT_LE(result.metrics.epochCycles, 1168128);
+    EXPECT_GE(result.metrics.utilization, 0.985);
+    EXPECT_LE(model::designDsp(result.design), b.dspSlices);
+    EXPECT_LE(model::designBram(result.design, net), b.bram18k);
+}
+
+TEST(Optimizer, SqueezeNetFixedSingleMatchesTable4)
+{
+    // Table 4(a)/(b): 349k / 331k cycles on the 485T / 690T.
+    nn::Network net = nn::makeSqueezeNet();
+    auto r485 =
+        core::optimizeSingleClp(net, fpga::DataType::Fixed16,
+                                budget(fpga::virtex7_485t(), 170.0));
+    EXPECT_LE(r485.metrics.epochCycles, 348553);
+    EXPECT_GE(r485.metrics.epochCycles, 330000);
+    auto r690 =
+        core::optimizeSingleClp(net, fpga::DataType::Fixed16,
+                                budget(fpga::virtex7_690t(), 170.0));
+    EXPECT_LE(r690.metrics.epochCycles, 331305);
+    EXPECT_GE(r690.metrics.epochCycles, 300000);
+}
+
+TEST(Optimizer, SqueezeNetFixedMultiBeatsSingleLikePaper)
+{
+    // Table 1 (fixed): utilization jumps from ~50%/42% to >90%.
+    nn::Network net = nn::makeSqueezeNet();
+    fpga::ResourceBudget b = budget(fpga::virtex7_690t(), 170.0);
+    auto single =
+        core::optimizeSingleClp(net, fpga::DataType::Fixed16, b);
+    auto multi = core::optimizeMultiClp(net, fpga::DataType::Fixed16, b);
+    EXPECT_LT(single.metrics.utilization, 0.50);
+    EXPECT_GE(multi.metrics.utilization, 0.88);
+    double speedup = static_cast<double>(single.metrics.epochCycles) /
+                     static_cast<double>(multi.metrics.epochCycles);
+    EXPECT_GE(speedup, 1.9);  // paper reports 2.33x at this point
+    EXPECT_LE(model::designBram(multi.design, net), b.bram18k);
+    EXPECT_LE(model::designDsp(multi.design), b.dspSlices);
+}
+
+TEST(Optimizer, ResultDesignsAreValid)
+{
+    nn::Network net = nn::makeAlexNet();
+    for (bool single : {true, false}) {
+        core::OptimizerOptions options;
+        options.singleClp = single;
+        core::MultiClpOptimizer opt(net, fpga::DataType::Float32,
+                                    budget(fpga::virtex7_485t()),
+                                    options);
+        auto result = opt.run();
+        EXPECT_NO_THROW(result.design.validate(net));
+        EXPECT_GT(result.iterations, 0);
+        EXPECT_GT(result.achievedTarget, 0.0);
+        EXPECT_LE(result.achievedTarget, 1.0);
+        // Epoch can never beat the work/units bound.
+        int64_t units = result.design.totalMacUnits();
+        EXPECT_GE(result.metrics.epochCycles * units, net.totalMacs());
+    }
+}
+
+TEST(Optimizer, MaxClpsOneEqualsSingleClpMode)
+{
+    nn::Network net = nn::makeAlexNet();
+    core::OptimizerOptions options;
+    options.maxClps = 1;
+    auto limited = core::MultiClpOptimizer(net, fpga::DataType::Float32,
+                                           budget(fpga::virtex7_485t()),
+                                           options)
+                       .run();
+    EXPECT_EQ(limited.design.clps.size(), 1u);
+    EXPECT_EQ(limited.metrics.epochCycles, 2005892);
+}
+
+TEST(Optimizer, BandwidthCapProducesFeasibleDesign)
+{
+    // With a 2 GB/s cap at 100 MHz (20 B/cycle) the AlexNet float
+    // design is near the paper's operating regime and must optimize
+    // without violating the cap's epoch accounting.
+    nn::Network net = nn::makeAlexNet();
+    fpga::ResourceBudget b = budget(fpga::virtex7_485t());
+    b.setBandwidthGbps(2.0);
+    auto result = core::optimizeMultiClp(net, fpga::DataType::Float32, b);
+    EXPECT_NO_THROW(result.design.validate(net));
+    auto metrics = model::evaluateDesign(result.design, net, b);
+    EXPECT_EQ(metrics.epochCycles, result.metrics.epochCycles);
+    // The bandwidth-constrained epoch cannot beat the unconstrained
+    // bound of the same design.
+    fpga::ResourceBudget free_bw = b;
+    free_bw.bandwidthBytesPerCycle = 0.0;
+    auto unconstrained =
+        model::evaluateDesign(result.design, net, free_bw);
+    EXPECT_GE(metrics.epochCycles, unconstrained.epochCycles);
+}
+
+TEST(Optimizer, ForcedHeuristicIsRespected)
+{
+    nn::Network net = nn::makeAlexNet();
+    core::OptimizerOptions options;
+    options.heuristic = core::OrderHeuristic::ComputeToData;
+    auto result = core::MultiClpOptimizer(net, fpga::DataType::Float32,
+                                          budget(fpga::virtex7_485t()),
+                                          options)
+                      .run();
+    EXPECT_EQ(result.usedHeuristic, core::OrderHeuristic::ComputeToData);
+}
+
+TEST(Optimizer, HopelessBudgetFails)
+{
+    nn::Network net = nn::makeAlexNet();
+    fpga::ResourceBudget b = budget(fpga::virtex7_485t());
+    b.bram18k = 1;
+    core::OptimizerOptions options;
+    options.maxIterations = 50;
+    core::MultiClpOptimizer opt(net, fpga::DataType::Float32, b, options);
+    EXPECT_THROW(opt.run(), util::FatalError);
+}
+
+TEST(Optimizer, RejectsBadOptions)
+{
+    nn::Network net = nn::makeAlexNet();
+    core::OptimizerOptions options;
+    options.maxClps = 0;
+    EXPECT_THROW(core::MultiClpOptimizer(net, fpga::DataType::Float32,
+                                         budget(fpga::virtex7_485t()),
+                                         options),
+                 util::FatalError);
+    options.maxClps = 6;
+    options.targetStep = 0.0;
+    EXPECT_THROW(core::MultiClpOptimizer(net, fpga::DataType::Float32,
+                                         budget(fpga::virtex7_485t()),
+                                         options),
+                 util::FatalError);
+}
+
+TEST(Optimizer, SmallSyntheticNetworkEndToEnd)
+{
+    // Two very differently shaped layers: Multi-CLP must match or beat
+    // Single-CLP for the same budget (it can always fall back to one).
+    nn::Network net("tiny", {test::layer(2, 40, 16, 16, 3, 1, "wideM"),
+                             test::layer(40, 4, 16, 16, 3, 1, "wideN")});
+    fpga::ResourceBudget b;
+    b.dspSlices = 400;
+    b.bram18k = 300;
+    b.frequencyMhz = 100.0;
+    auto single =
+        core::optimizeSingleClp(net, fpga::DataType::Float32, b);
+    auto multi = core::optimizeMultiClp(net, fpga::DataType::Float32, b);
+    EXPECT_LE(multi.metrics.epochCycles, single.metrics.epochCycles);
+    EXPECT_NO_THROW(multi.design.validate(net));
+    EXPECT_LE(model::designDsp(multi.design), b.dspSlices);
+    EXPECT_LE(model::designBram(multi.design, net), b.bram18k);
+}
+
+class OptimizerPropertySweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(OptimizerPropertySweep, RandomNetworksProduceValidDesigns)
+{
+    auto [seed, layer_count] = GetParam();
+    util::SplitMix64 rng(static_cast<uint64_t>(seed));
+    std::vector<nn::ConvLayer> layers;
+    for (int i = 0; i < layer_count; ++i) {
+        int64_t k = 1 + 2 * rng.nextInt(0, 2);  // 1, 3, or 5
+        int64_t r = rng.nextInt(4, 28);
+        layers.push_back(test::layer(rng.nextInt(1, 64),
+                                     rng.nextInt(1, 64), r, r, k, 1,
+                                     "l" + std::to_string(i)));
+    }
+    nn::Network net("random", layers);
+    fpga::ResourceBudget b;
+    b.dspSlices = 1000;
+    b.bram18k = 500;
+    b.frequencyMhz = 100.0;
+    auto result = core::optimizeMultiClp(net, fpga::DataType::Fixed16, b,
+                                         4);
+    EXPECT_NO_THROW(result.design.validate(net));
+    EXPECT_LE(model::designDsp(result.design), b.dspSlices);
+    EXPECT_LE(model::designBram(result.design, net), b.bram18k);
+    EXPECT_GE(result.metrics.utilization, 0.0);
+    EXPECT_LE(result.metrics.utilization, 1.0 + 1e-12);
+    EXPECT_GE(result.metrics.epochCycles * result.design.totalMacUnits(),
+              net.totalMacs());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, OptimizerPropertySweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(2, 5, 9)));
+
+} // namespace
+} // namespace mclp

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "core/paper_designs.h"
+#include "model/cycle_model.h"
+#include "model/dsp_model.h"
+#include "nn/zoo.h"
+
+namespace mclp {
+namespace {
+
+TEST(PaperDesigns, AllValidate)
+{
+    nn::Network alexnet = nn::makeAlexNet();
+    EXPECT_NO_THROW(core::paperAlexNetSingle485().validate(alexnet));
+    EXPECT_NO_THROW(core::paperAlexNetSingle690().validate(alexnet));
+    EXPECT_NO_THROW(core::paperAlexNetMulti485().validate(alexnet));
+    EXPECT_NO_THROW(core::paperAlexNetMulti690().validate(alexnet));
+    nn::Network squeezenet = nn::makeSqueezeNet();
+    EXPECT_NO_THROW(core::paperSqueezeNetSingle485().validate(squeezenet));
+    EXPECT_NO_THROW(core::paperSqueezeNetSingle690().validate(squeezenet));
+    EXPECT_NO_THROW(core::paperSqueezeNetMulti485().validate(squeezenet));
+    EXPECT_NO_THROW(core::paperSqueezeNetMulti690().validate(squeezenet));
+}
+
+TEST(PaperDesigns, ClpCounts)
+{
+    EXPECT_EQ(core::paperAlexNetSingle485().clps.size(), 1u);
+    EXPECT_EQ(core::paperAlexNetMulti485().clps.size(), 4u);
+    EXPECT_EQ(core::paperAlexNetMulti690().clps.size(), 6u);
+    EXPECT_EQ(core::paperSqueezeNetMulti485().clps.size(), 6u);
+    EXPECT_EQ(core::paperSqueezeNetMulti690().clps.size(), 6u);
+}
+
+TEST(PaperDesigns, AlexNetMulti485PerClpCyclesMatchTable2c)
+{
+    nn::Network net = nn::makeAlexNet();
+    auto design = core::paperAlexNetMulti485();
+    std::vector<int64_t> expected{584064 + 876096, 1557504, 1464100,
+                                  1530900};
+    for (size_t ci = 0; ci < design.clps.size(); ++ci) {
+        EXPECT_EQ(model::clpComputeCycles(design.clps[ci], net),
+                  expected[ci])
+            << "CLP" << ci;
+    }
+}
+
+TEST(PaperDesigns, AlexNetMulti690PerClpCyclesMatchTable2d)
+{
+    nn::Network net = nn::makeAlexNet();
+    auto design = core::paperAlexNetMulti690();
+    std::vector<int64_t> expected{1168128, 1168128, 1168128,
+                                  1098075, 1098075, 1166400};
+    for (size_t ci = 0; ci < design.clps.size(); ++ci) {
+        EXPECT_EQ(model::clpComputeCycles(design.clps[ci], net),
+                  expected[ci])
+            << "CLP" << ci;
+    }
+}
+
+TEST(PaperDesigns, SqueezeNetSingleCyclesMatchTable4)
+{
+    nn::Network net = nn::makeSqueezeNet();
+    // Table 4(a): 349k cycles; Table 4(b): 331k cycles.
+    EXPECT_EQ(model::clpComputeCycles(
+                  core::paperSqueezeNetSingle485().clps[0], net),
+              348553);
+    EXPECT_EQ(model::clpComputeCycles(
+                  core::paperSqueezeNetSingle690().clps[0], net),
+              331305);
+}
+
+TEST(PaperDesigns, SqueezeNetMulti690PerClpCyclesMatchTable4d)
+{
+    nn::Network net = nn::makeSqueezeNet();
+    auto design = core::paperSqueezeNetMulti690();
+    // Table 4(d): 125/115/133/145/144/141 kcycles.
+    std::vector<int64_t> expected{125440, 114921, 132888, 144648,
+                                  144256, 141120};
+    for (size_t ci = 0; ci < design.clps.size(); ++ci) {
+        EXPECT_EQ(model::clpComputeCycles(design.clps[ci], net),
+                  expected[ci])
+            << "CLP" << ci;
+    }
+}
+
+TEST(PaperDesigns, SqueezeNetMulti485EpochMatchesTable4c)
+{
+    nn::Network net = nn::makeSqueezeNet();
+    auto design = core::paperSqueezeNetMulti485();
+    // Table 4(c): per-CLP 179/183/165/176/185/183 kcycles, epoch 185k.
+    std::vector<int64_t> expected{179, 183, 165, 176, 185, 183};
+    int64_t epoch = 0;
+    for (size_t ci = 0; ci < design.clps.size(); ++ci) {
+        int64_t cycles =
+            model::clpComputeCycles(design.clps[ci], net);
+        EXPECT_NEAR(static_cast<double>(cycles) / 1000.0,
+                    static_cast<double>(expected[ci]), 0.5)
+            << "CLP" << ci;
+        epoch = std::max(epoch, cycles);
+    }
+    EXPECT_NEAR(static_cast<double>(epoch) / 1000.0, 185.0, 0.5);
+}
+
+} // namespace
+} // namespace mclp

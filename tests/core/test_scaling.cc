@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 7 as invariants: the Multi-CLP advantage over Single-CLP
+ * grows with the DSP budget, and the 2,240-slice crossover point
+ * matches the paper's 1.3x.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "test_helpers.h"
+#include "nn/zoo.h"
+
+namespace mclp {
+namespace {
+
+double
+speedupAt(const nn::Network &network, int64_t dsp)
+{
+    fpga::ResourceBudget budget;
+    budget.dspSlices = dsp;
+    budget.bram18k =
+        std::max<int64_t>(1, static_cast<int64_t>(dsp / 1.3));
+    budget.frequencyMhz = 100.0;
+    auto single =
+        core::optimizeSingleClp(network, fpga::DataType::Float32,
+                                budget);
+    auto multi = core::optimizeMultiClp(network, fpga::DataType::Float32,
+                                        budget, 10);
+    return static_cast<double>(single.metrics.epochCycles) /
+           static_cast<double>(multi.metrics.epochCycles);
+}
+
+TEST(Scaling, PaperCrossoverAt2240Dsp)
+{
+    // Section 6.6: at 2,240 DSP slices Multi-CLP is 1.3x faster.
+    nn::Network network = nn::makeAlexNet();
+    EXPECT_NEAR(speedupAt(network, 2240), 1.31, 0.03);
+}
+
+TEST(Scaling, AdvantageGrowsWithBudget)
+{
+    // The headline scaling claim: the Single-CLP struggles to use
+    // more arithmetic, the Multi-CLP does not.
+    nn::Network network = nn::makeAlexNet();
+    double at2240 = speedupAt(network, 2240);
+    double at5000 = speedupAt(network, 5000);
+    double at9600 = speedupAt(network, 9600);
+    EXPECT_GT(at5000, at2240);
+    EXPECT_GT(at9600, at5000);
+    EXPECT_GE(at9600, 2.5);  // paper reports 3.3x, ours ~2.9x
+}
+
+TEST(Scaling, MultiNeverLosesToSingle)
+{
+    // A Multi-CLP search that can fall back to one CLP can never be
+    // slower than the Single-CLP baseline at any budget.
+    nn::Network network = nn::makeAlexNet();
+    for (int64_t dsp : {100, 500, 1500, 2880}) {
+        EXPECT_GE(speedupAt(network, dsp), 1.0 - 1e-9)
+            << "at " << dsp << " DSP slices";
+    }
+}
+
+} // namespace
+} // namespace mclp

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "core/paper_designs.h"
+#include "core/schedule.h"
+#include "nn/zoo.h"
+#include "test_helpers.h"
+
+namespace mclp {
+namespace {
+
+TEST(Schedule, PaperAlexNetDesignsAreAdjacencyCapable)
+{
+    // Every CLP of the published AlexNet Multi-CLP designs happens to
+    // own a contiguous run of the pipeline (e.g. {5a,5b,4a,4b}), so
+    // their latency is numClps epochs, not numLayers.
+    nn::Network net = nn::makeAlexNet();
+    auto info485 =
+        core::analyzeSchedule(core::paperAlexNetMulti485(), net);
+    EXPECT_TRUE(info485.adjacentLayers);
+    EXPECT_EQ(info485.latencyEpochs, 4);
+    EXPECT_EQ(info485.imagesInFlight, 4);
+    auto info690 =
+        core::analyzeSchedule(core::paperAlexNetMulti690(), net);
+    EXPECT_TRUE(info690.adjacentLayers);
+    EXPECT_EQ(info690.latencyEpochs, 6);
+}
+
+TEST(Schedule, ScatteredAssignmentFallsBackToLayerCount)
+{
+    // The SqueezeNet groupings interleave layers from different fire
+    // modules, so an image needs one epoch per layer.
+    nn::Network net = nn::makeSqueezeNet();
+    auto info =
+        core::analyzeSchedule(core::paperSqueezeNetMulti690(), net);
+    EXPECT_FALSE(info.adjacentLayers);
+    EXPECT_EQ(info.latencyEpochs, 26);
+    EXPECT_EQ(info.imagesInFlight, 26);
+}
+
+TEST(Schedule, SingleClpIsAdjacent)
+{
+    nn::Network net = nn::makeAlexNet();
+    auto info =
+        core::analyzeSchedule(core::paperAlexNetSingle485(), net);
+    EXPECT_TRUE(info.adjacentLayers);
+    EXPECT_EQ(info.latencyEpochs, 1);
+    EXPECT_EQ(info.imagesInFlight, 1);
+}
+
+TEST(Schedule, LatencySecondsMath)
+{
+    core::ScheduleInfo info;
+    info.latencyEpochs = 4;
+    // 4 epochs x 1,000,000 cycles at 100 MHz = 40 ms.
+    EXPECT_DOUBLE_EQ(info.latencySeconds(1000000, 100.0), 0.04);
+}
+
+TEST(Schedule, CanonicalizeOrdersClpsAndLayers)
+{
+    nn::Network net = nn::makeAlexNet();
+    auto design = core::paperAlexNetMulti485();
+    auto canon = core::canonicalizeSchedule(design, net);
+    size_t prev_first = 0;
+    for (const auto &clp : canon.clps) {
+        for (size_t i = 1; i < clp.layers.size(); ++i)
+            EXPECT_LT(clp.layers[i - 1].layerIdx,
+                      clp.layers[i].layerIdx);
+        EXPECT_GE(clp.layers.front().layerIdx, prev_first);
+        prev_first = clp.layers.front().layerIdx;
+    }
+    // Canonicalization must not change cost or validity.
+    EXPECT_NO_THROW(canon.validate(net));
+    EXPECT_EQ(canon.totalMacUnits(), design.totalMacUnits());
+}
+
+TEST(Schedule, AdjacentLayersOptionConstrainsOptimizer)
+{
+    nn::Network net = nn::makeAlexNet();
+    fpga::ResourceBudget budget =
+        fpga::standardBudget(fpga::virtex7_690t(), 100.0);
+
+    core::OptimizerOptions options;
+    options.adjacentLayers = true;
+    auto constrained = core::MultiClpOptimizer(
+                           net, fpga::DataType::Float32, budget, options)
+                           .run();
+    auto info = core::analyzeSchedule(
+        core::canonicalizeSchedule(constrained.design, net), net);
+    EXPECT_TRUE(info.adjacentLayers);
+    EXPECT_LE(info.latencyEpochs,
+              static_cast<int64_t>(constrained.design.clps.size()));
+
+    // The free optimizer can only be at least as fast.
+    auto free_run =
+        core::optimizeMultiClp(net, fpga::DataType::Float32, budget);
+    EXPECT_LE(free_run.metrics.epochCycles,
+              constrained.metrics.epochCycles);
+}
+
+TEST(Schedule, AdjacencyReducesLatencyOnAlexNet)
+{
+    // The whole point of Section 4.1's constraint: latency in epochs
+    // drops from numLayers to numClps.
+    nn::Network net = nn::makeAlexNet();
+    fpga::ResourceBudget budget =
+        fpga::standardBudget(fpga::virtex7_485t(), 100.0);
+    core::OptimizerOptions options;
+    options.adjacentLayers = true;
+    options.maxClps = 3;
+    auto result = core::MultiClpOptimizer(net, fpga::DataType::Float32,
+                                          budget, options)
+                      .run();
+    auto info = core::analyzeSchedule(
+        core::canonicalizeSchedule(result.design, net), net);
+    EXPECT_LE(info.latencyEpochs, 3);
+    EXPECT_LT(info.latencyEpochs,
+              static_cast<int64_t>(net.numLayers()));
+}
+
+} // namespace
+} // namespace mclp

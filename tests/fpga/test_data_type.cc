@@ -1,0 +1,45 @@
+#include <gtest/gtest.h>
+
+#include "fpga/data_type.h"
+#include "util/logging.h"
+
+namespace mclp {
+namespace {
+
+TEST(DataType, WordBytes)
+{
+    EXPECT_EQ(fpga::wordBytes(fpga::DataType::Float32), 4);
+    EXPECT_EQ(fpga::wordBytes(fpga::DataType::Fixed16), 2);
+}
+
+TEST(DataType, DspPerMacMatchesPaper)
+{
+    // Section 4.2: float multiplier = 2 DSP, adder = 3 (5 per MAC);
+    // one DSP slice provides a fixed-point multiplier and adder.
+    EXPECT_EQ(fpga::dspPerMac(fpga::DataType::Float32), 5);
+    EXPECT_EQ(fpga::dspPerMac(fpga::DataType::Fixed16), 1);
+}
+
+TEST(DataType, BankPairPackingOnlyForFixed)
+{
+    EXPECT_FALSE(fpga::packsBankPairs(fpga::DataType::Float32));
+    EXPECT_TRUE(fpga::packsBankPairs(fpga::DataType::Fixed16));
+}
+
+TEST(DataType, Names)
+{
+    EXPECT_EQ(fpga::dataTypeName(fpga::DataType::Float32), "float");
+    EXPECT_EQ(fpga::dataTypeName(fpga::DataType::Fixed16), "fixed");
+}
+
+TEST(DataType, ByName)
+{
+    EXPECT_EQ(fpga::dataTypeByName("float"), fpga::DataType::Float32);
+    EXPECT_EQ(fpga::dataTypeByName("fp32"), fpga::DataType::Float32);
+    EXPECT_EQ(fpga::dataTypeByName("fixed16"), fpga::DataType::Fixed16);
+    EXPECT_EQ(fpga::dataTypeByName("int16"), fpga::DataType::Fixed16);
+    EXPECT_THROW(fpga::dataTypeByName("bfloat16"), util::FatalError);
+}
+
+} // namespace
+} // namespace mclp

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "fpga/device.h"
+#include "util/logging.h"
+
+namespace mclp {
+namespace {
+
+TEST(Device, PaperBudgets)
+{
+    // Section 6.1: 80% budgets are 2,240 DSP / 1,648 BRAM on the 485T
+    // and 2,880 DSP / 2,352 BRAM on the 690T.
+    fpga::Device v485 = fpga::virtex7_485t();
+    EXPECT_EQ(v485.dspBudget(), 2240);
+    EXPECT_EQ(v485.bramBudget(), 1648);
+    fpga::Device v690 = fpga::virtex7_690t();
+    EXPECT_EQ(v690.dspBudget(), 2880);
+    EXPECT_EQ(v690.bramBudget(), 2352);
+}
+
+TEST(Device, UltrascaleCapacities)
+{
+    // Figure 7's dashed lines: VU9P and VU11P DSP capacities.
+    EXPECT_EQ(fpga::ultrascale_vu9p().dspSlices, 6840);
+    EXPECT_EQ(fpga::ultrascale_vu11p().dspSlices, 9216);
+}
+
+TEST(Device, CatalogAndLookup)
+{
+    EXPECT_EQ(fpga::deviceCatalog().size(), 4u);
+    EXPECT_EQ(fpga::deviceByName("485t").name, "Virtex-7 485T");
+    EXPECT_EQ(fpga::deviceByName("690T").name, "Virtex-7 690T");
+    EXPECT_EQ(fpga::deviceByName("vu9p").dspSlices, 6840);
+    EXPECT_THROW(fpga::deviceByName("arria10"), util::FatalError);
+}
+
+TEST(ResourceBudget, StandardBudget)
+{
+    fpga::ResourceBudget budget =
+        fpga::standardBudget(fpga::virtex7_485t(), 100.0);
+    EXPECT_EQ(budget.dspSlices, 2240);
+    EXPECT_EQ(budget.bram18k, 1648);
+    EXPECT_FALSE(budget.bandwidthLimited());
+    EXPECT_DOUBLE_EQ(budget.frequencyMhz, 100.0);
+}
+
+TEST(ResourceBudget, BandwidthConversionRoundTrips)
+{
+    fpga::ResourceBudget budget =
+        fpga::standardBudget(fpga::virtex7_690t(), 100.0);
+    budget.setBandwidthGbps(1.49);
+    EXPECT_TRUE(budget.bandwidthLimited());
+    EXPECT_NEAR(budget.bandwidthGbps(), 1.49, 1e-12);
+    // 1.49 GB/s at 100 MHz = 14.9 bytes/cycle.
+    EXPECT_NEAR(budget.bandwidthBytesPerCycle, 14.9, 1e-12);
+}
+
+TEST(ResourceBudget, ValidationRejectsNonsense)
+{
+    fpga::ResourceBudget budget;
+    budget.dspSlices = 0;
+    budget.bram18k = 100;
+    EXPECT_THROW(budget.validate(), util::FatalError);
+    budget.dspSlices = 100;
+    budget.bram18k = 0;
+    EXPECT_THROW(budget.validate(), util::FatalError);
+    budget.bram18k = 100;
+    budget.frequencyMhz = 0.0;
+    EXPECT_THROW(budget.validate(), util::FatalError);
+}
+
+} // namespace
+} // namespace mclp

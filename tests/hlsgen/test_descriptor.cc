@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "hlsgen/descriptor.h"
+#include "test_helpers.h"
+#include "util/logging.h"
+
+namespace mclp {
+namespace {
+
+TEST(Descriptor, FromLayerCapturesAllFields)
+{
+    nn::ConvLayer l = test::layer(48, 128, 27, 27, 5, 1);
+    auto desc = hlsgen::ArgumentDescriptor::fromLayer(l, {14, 27});
+    EXPECT_EQ(desc.r, 27u);
+    EXPECT_EQ(desc.c, 27u);
+    EXPECT_EQ(desc.m, 128u);
+    EXPECT_EQ(desc.n, 48u);
+    EXPECT_EQ(desc.k, 5u);
+    EXPECT_EQ(desc.s, 1u);
+    EXPECT_EQ(desc.tr, 14u);
+    EXPECT_EQ(desc.tc, 27u);
+}
+
+TEST(Descriptor, EncodeIs32ByteLittleEndian)
+{
+    nn::ConvLayer l = test::layer(3, 48, 55, 55, 11, 4);
+    auto desc = hlsgen::ArgumentDescriptor::fromLayer(l, {8, 8});
+    auto raw = desc.encode();
+    static_assert(sizeof(raw) == 32);
+    // R = 55 in the first word, little-endian.
+    EXPECT_EQ(raw[0], 55);
+    EXPECT_EQ(raw[1], 0);
+    // M = 48 in the third word.
+    EXPECT_EQ(raw[8], 48);
+    // K = 11 in the fifth word.
+    EXPECT_EQ(raw[16], 11);
+}
+
+TEST(Descriptor, RoundTripsThroughEncoding)
+{
+    nn::ConvLayer l = test::layer(256, 192, 13, 13, 3, 1);
+    auto desc = hlsgen::ArgumentDescriptor::fromLayer(l, {13, 13});
+    auto decoded = hlsgen::ArgumentDescriptor::decode(desc.encode());
+    EXPECT_EQ(decoded, desc);
+}
+
+TEST(Descriptor, DerivedStepsMatchCeil)
+{
+    nn::ConvLayer l = test::layer(48, 128, 27, 27, 5, 1);
+    auto desc = hlsgen::ArgumentDescriptor::fromLayer(l, {14, 27});
+    EXPECT_EQ(desc.rsteps(), 2u);
+    EXPECT_EQ(desc.csteps(), 1u);
+    EXPECT_EQ(desc.msteps(19), 7u);
+    EXPECT_EQ(desc.nsteps(8), 6u);
+    EXPECT_THROW(desc.msteps(0), util::PanicError);
+}
+
+TEST(Descriptor, ValidationRejectsBadFields)
+{
+    hlsgen::ArgumentDescriptor desc;
+    desc.r = 8;
+    desc.c = 8;
+    desc.m = 4;
+    desc.n = 4;
+    desc.k = 3;
+    desc.s = 1;
+    desc.tr = 9;  // > R
+    desc.tc = 8;
+    EXPECT_THROW(desc.validate(), util::FatalError);
+    desc.tr = 8;
+    desc.k = 0;
+    EXPECT_THROW(desc.validate(), util::FatalError);
+}
+
+} // namespace
+} // namespace mclp

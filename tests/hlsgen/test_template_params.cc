@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "core/paper_designs.h"
+#include "hlsgen/template_params.h"
+#include "nn/zoo.h"
+#include "util/logging.h"
+
+namespace mclp {
+namespace {
+
+TEST(TemplateParams, DeriveFromPaperSingleClp)
+{
+    // 485T Single-CLP (Table 2a): buffer depths must equal the maxima
+    // the BRAM model uses — Bi = 1521 (layer 1 at Tr=Tc=8), Bo = 378
+    // (layer 2 at Tr=14, Tc=27), Kmax = 11, Mmax = 192.
+    nn::Network net = nn::makeAlexNet();
+    auto design = core::paperAlexNetSingle485();
+    auto params = hlsgen::deriveParams(design.clps[0], net,
+                                       design.dataType, "clp0");
+    EXPECT_EQ(params.tn, 7);
+    EXPECT_EQ(params.tm, 64);
+    EXPECT_EQ(params.kmax, 11);
+    EXPECT_EQ(params.mmax, 192);
+    EXPECT_EQ(params.insize, 39 * 39);
+    EXPECT_EQ(params.outsize, 14 * 27);
+    EXPECT_EQ(params.mp, 1);
+    EXPECT_EQ(params.name, "clp0");
+}
+
+TEST(TemplateParams, WideOutputGetsMorePorts)
+{
+    // CLP4 of the 690T SqueezeNet design has Tm = 256 -> 4 output
+    // ports under the one-per-64-units policy.
+    nn::Network net = nn::makeSqueezeNet();
+    auto design = core::paperSqueezeNetMulti690();
+    auto params = hlsgen::deriveParams(design.clps[4], net,
+                                       design.dataType, "clp4");
+    EXPECT_EQ(params.tm, 256);
+    EXPECT_EQ(params.mp, 4);
+}
+
+TEST(TemplateParams, ValidationCatchesNonsense)
+{
+    hlsgen::TemplateParams params;
+    params.name = "x";
+    params.tn = 2;
+    params.tm = 4;
+    params.mmax = 8;
+    params.kmax = 3;
+    params.insize = 10;
+    params.outsize = 10;
+    EXPECT_NO_THROW(params.validate());
+    params.mp = 8;  // > Tm
+    EXPECT_THROW(params.validate(), util::FatalError);
+    params.mp = 1;
+    params.insize = 0;
+    EXPECT_THROW(params.validate(), util::FatalError);
+    params.insize = 10;
+    params.name.clear();
+    EXPECT_THROW(params.validate(), util::FatalError);
+}
+
+} // namespace
+} // namespace mclp

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "core/paper_designs.h"
+#include "model/bram_model.h"
+#include "nn/zoo.h"
+#include "test_helpers.h"
+#include "util/logging.h"
+
+namespace mclp {
+namespace {
+
+TEST(BramModel, BankWordFormulas)
+{
+    nn::ConvLayer l = test::layer(3, 48, 55, 55, 11, 4);
+    // Input tile for Tr=8, Tc=8: ((8-1)*4+11)^2 = 39*39.
+    EXPECT_EQ(model::inputBankWords(l, {8, 8}), 39 * 39);
+    EXPECT_EQ(model::outputBankWords({8, 8}), 64);
+    EXPECT_EQ(model::weightBankWords(l), 121);
+}
+
+TEST(BramModel, BramsPerBankRules)
+{
+    // < 10 words: LUTRAM, free.
+    EXPECT_EQ(model::bramsPerBank(9, false), 0);
+    EXPECT_EQ(model::bramsPerBank(9, true), 0);
+    EXPECT_EQ(model::bramsPerBank(1, false), 0);
+    // <= 256 words: a single BRAM covers both double-buffer copies.
+    EXPECT_EQ(model::bramsPerBank(10, false), 1);
+    EXPECT_EQ(model::bramsPerBank(256, false), 1);
+    // Larger banks: two copies of ceil(words/512).
+    EXPECT_EQ(model::bramsPerBank(257, false), 2);
+    EXPECT_EQ(model::bramsPerBank(512, false), 2);
+    EXPECT_EQ(model::bramsPerBank(513, false), 4);
+    EXPECT_EQ(model::bramsPerBank(1521, false), 6);
+    // Accumulation banks need both ports: at least 2 BRAMs.
+    EXPECT_EQ(model::bramsPerBank(10, true), 2);
+    EXPECT_EQ(model::bramsPerBank(256, true), 2);
+    EXPECT_EQ(model::bramsPerBank(378, true), 2);
+    EXPECT_EQ(model::bramsPerBank(513, true), 4);
+    EXPECT_THROW(model::bramsPerBank(0, false), util::PanicError);
+}
+
+TEST(BramModel, EffectiveBanksHalvedForFixed)
+{
+    EXPECT_EQ(model::effectiveBanks(7, fpga::DataType::Float32), 7);
+    EXPECT_EQ(model::effectiveBanks(7, fpga::DataType::Fixed16), 4);
+    EXPECT_EQ(model::effectiveBanks(448, fpga::DataType::Fixed16), 224);
+}
+
+TEST(BramModel, AlexNetSingle485MatchesTable3)
+{
+    // Table 3 / Table 6: the 485T float Single-CLP uses 618 BRAMs:
+    // 448 weight + 42 input + 128 output (derived in DESIGN.md).
+    auto design = core::paperAlexNetSingle485();
+    nn::Network net = nn::makeAlexNet();
+    model::BramBreakdown b =
+        model::clpBram(design.clps[0], net, design.dataType);
+    EXPECT_EQ(b.weight, 448);
+    EXPECT_EQ(b.input, 42);
+    EXPECT_EQ(b.output, 128);
+    EXPECT_EQ(b.total(), 618);
+}
+
+TEST(BramModel, AlexNetMulti485MatchesTable6)
+{
+    // Table 6 model column: CLP0..CLP3 = 130, 193, 186, 222; 731 total.
+    auto design = core::paperAlexNetMulti485();
+    nn::Network net = nn::makeAlexNet();
+    std::vector<int64_t> expected{130, 193, 186, 222};
+    int64_t total = 0;
+    for (size_t ci = 0; ci < design.clps.size(); ++ci) {
+        int64_t got =
+            model::clpBram(design.clps[ci], net, design.dataType).total();
+        EXPECT_EQ(got, expected[ci]) << "CLP" << ci;
+        total += got;
+    }
+    EXPECT_EQ(total, 731);
+    EXPECT_EQ(model::designBram(design, net), 731);
+}
+
+TEST(BramModel, AlexNetMulti690MatchesTable6)
+{
+    // Table 6 model column: 129, 193, 130, 166, 160, 460; 1,238 total.
+    auto design = core::paperAlexNetMulti690();
+    nn::Network net = nn::makeAlexNet();
+    std::vector<int64_t> expected{129, 193, 130, 166, 160, 460};
+    for (size_t ci = 0; ci < design.clps.size(); ++ci) {
+        EXPECT_EQ(
+            model::clpBram(design.clps[ci], net, design.dataType).total(),
+            expected[ci])
+            << "CLP" << ci;
+    }
+    EXPECT_EQ(model::designBram(design, net), 1238);
+}
+
+TEST(BramModel, FixedPointHalvesBankCount)
+{
+    // Same CLP in fixed point must use at most half the float BRAMs
+    // (bank pairing), modulo the per-bank rounding rules.
+    nn::Network net = nn::makeAlexNet();
+    auto fdesign = core::paperAlexNetSingle485();
+    model::ClpConfig clp = fdesign.clps[0];
+    model::BramBreakdown as_float =
+        model::clpBram(clp, net, fpga::DataType::Float32);
+    model::BramBreakdown as_fixed =
+        model::clpBram(clp, net, fpga::DataType::Fixed16);
+    EXPECT_LE(as_fixed.total(), (as_float.total() + 1) / 2 + 3);
+    EXPECT_GT(as_fixed.total(), 0);
+}
+
+TEST(BramModel, WeightBanksFreeForSmallKernels)
+{
+    // K=3 weight banks hold 9 words -> LUTRAM (crucial: SqueezeNet's
+    // Tn*Tm=2176 weight banks would otherwise dwarf the chip).
+    auto design = core::paperSqueezeNetSingle485();
+    nn::Network net = nn::makeSqueezeNet();
+    model::BramBreakdown b =
+        model::clpBram(design.clps[0], net, design.dataType);
+    EXPECT_EQ(b.weight, 0);
+}
+
+TEST(BramModel, ProvisionedForMostDemandingLayer)
+{
+    // A CLP computing two layers sizes banks for the bigger need.
+    nn::Network net("pair", {test::layer(4, 8, 16, 16, 3, 1, "small"),
+                             test::layer(4, 8, 16, 16, 5, 2, "big")});
+    model::ClpConfig clp;
+    clp.shape = {2, 4};
+    clp.layers.push_back({0, {16, 16}});
+    clp.layers.push_back({1, {16, 16}});
+    model::BramBreakdown both =
+        model::clpBram(clp, net, fpga::DataType::Float32);
+
+    model::ClpConfig only_small = clp;
+    only_small.layers.resize(1);
+    model::BramBreakdown small =
+        model::clpBram(only_small, net, fpga::DataType::Float32);
+    EXPECT_GE(both.input, small.input);
+    EXPECT_GE(both.weight, small.weight);
+    // Input bank: big layer needs ((16-1)*2+5)^2 = 1225 words.
+    EXPECT_EQ(both.input, 2 * 2 * 3);  // 2 banks * 2*ceil(1225/512)
+}
+
+TEST(BramModel, MonotoneInTiling)
+{
+    nn::ConvLayer l = test::layer(8, 8, 32, 32, 3, 1);
+    for (int64_t tr = 1; tr <= 32; tr *= 2) {
+        for (int64_t tc = 1; tc < 32; tc *= 2) {
+            EXPECT_LE(model::inputBankWords(l, {tr, tc}),
+                      model::inputBankWords(l, {tr * 1, tc * 2}));
+            EXPECT_LE(model::inputBankWords(l, {tr, tc}),
+                      model::inputBankWords(l, {std::min<int64_t>(
+                                                    tr * 2, 32),
+                                                tc}));
+        }
+    }
+}
+
+} // namespace
+} // namespace mclp

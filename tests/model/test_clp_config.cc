@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "model/clp_config.h"
+#include "nn/zoo.h"
+#include "test_helpers.h"
+#include "util/logging.h"
+
+namespace mclp {
+namespace {
+
+TEST(ClpConfig, ShapeMacUnits)
+{
+    model::ClpShape shape{7, 64};
+    EXPECT_EQ(shape.macUnits(), 448);
+}
+
+TEST(MultiClpDesign, ValidDesignPasses)
+{
+    nn::Network net = nn::makeAlexNet();
+    auto design = test::coverAll(net, 7, 64);
+    EXPECT_NO_THROW(design.validate(net));
+    EXPECT_TRUE(design.isSingleClp());
+    EXPECT_EQ(design.totalMacUnits(), 448);
+}
+
+TEST(MultiClpDesign, EmptyDesignRejected)
+{
+    nn::Network net = nn::makeAlexNet();
+    model::MultiClpDesign design;
+    EXPECT_THROW(design.validate(net), util::FatalError);
+}
+
+TEST(MultiClpDesign, MissingLayerRejected)
+{
+    nn::Network net = nn::makeAlexNet();
+    auto design = test::coverAll(net, 7, 64);
+    design.clps[0].layers.pop_back();
+    EXPECT_THROW(design.validate(net), util::FatalError);
+}
+
+TEST(MultiClpDesign, DoubleAssignmentRejected)
+{
+    nn::Network net = nn::makeAlexNet();
+    auto design = test::coverAll(net, 7, 64);
+    design.clps[0].layers.push_back(design.clps[0].layers.front());
+    EXPECT_THROW(design.validate(net), util::FatalError);
+}
+
+TEST(MultiClpDesign, BadTilingRejected)
+{
+    nn::Network net = nn::makeAlexNet();
+    auto design = test::coverAll(net, 7, 64);
+    design.clps[0].layers[0].tiling = {0, 13};
+    EXPECT_THROW(design.validate(net), util::FatalError);
+    design.clps[0].layers[0].tiling = {56, 13};  // Tr > R
+    EXPECT_THROW(design.validate(net), util::FatalError);
+}
+
+TEST(MultiClpDesign, BadShapeRejected)
+{
+    nn::Network net = nn::makeAlexNet();
+    auto design = test::coverAll(net, 7, 64);
+    design.clps[0].shape.tn = 0;
+    EXPECT_THROW(design.validate(net), util::FatalError);
+}
+
+TEST(MultiClpDesign, OutOfRangeLayerRejected)
+{
+    nn::Network net = nn::makeAlexNet();
+    auto design = test::coverAll(net, 7, 64);
+    design.clps[0].layers[0].layerIdx = 99;
+    EXPECT_THROW(design.validate(net), util::FatalError);
+}
+
+TEST(MultiClpDesign, EmptyClpRejected)
+{
+    nn::Network net = nn::makeAlexNet();
+    auto design = test::coverAll(net, 7, 64);
+    model::ClpConfig empty;
+    empty.shape = {1, 1};
+    design.clps.push_back(empty);
+    EXPECT_THROW(design.validate(net), util::FatalError);
+}
+
+TEST(MultiClpDesign, ToStringListsClpsAndTilings)
+{
+    nn::Network net = nn::makeAlexNet();
+    auto design = test::coverAll(net, 7, 64);
+    std::string s = design.toString(net);
+    EXPECT_NE(s.find("CLP0: Tn=7 Tm=64"), std::string::npos);
+    EXPECT_NE(s.find("conv1a(Tr=55,Tc=55)"), std::string::npos);
+}
+
+} // namespace
+} // namespace mclp

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "core/paper_designs.h"
+#include "model/dsp_model.h"
+#include "util/logging.h"
+
+namespace mclp {
+namespace {
+
+TEST(DspModel, FloatCostsFivePerMac)
+{
+    EXPECT_EQ(model::clpDsp({7, 64}, fpga::DataType::Float32), 2240);
+    EXPECT_EQ(model::clpDsp({9, 64}, fpga::DataType::Float32), 2880);
+    EXPECT_EQ(model::clpDsp({1, 1}, fpga::DataType::Float32), 5);
+}
+
+TEST(DspModel, FixedCostsOnePerMac)
+{
+    EXPECT_EQ(model::clpDsp({32, 68}, fpga::DataType::Fixed16), 2176);
+    EXPECT_EQ(model::clpDsp({32, 87}, fpga::DataType::Fixed16), 2784);
+}
+
+TEST(DspModel, MacBudget)
+{
+    EXPECT_EQ(model::macBudget(2240, fpga::DataType::Float32), 448);
+    EXPECT_EQ(model::macBudget(2880, fpga::DataType::Float32), 576);
+    EXPECT_EQ(model::macBudget(2240, fpga::DataType::Fixed16), 2240);
+    EXPECT_EQ(model::macBudget(2243, fpga::DataType::Float32), 448);
+    EXPECT_THROW(model::macBudget(0, fpga::DataType::Float32),
+                 util::FatalError);
+}
+
+TEST(DspModel, PaperMultiClpDesignsUseFullBudget)
+{
+    // Section 6.3: the Multi-CLP designs use exactly the same number
+    // of arithmetic units as the Single-CLP (448 on 485T, 576 on
+    // 690T), spread across CLPs.
+    auto m485 = core::paperAlexNetMulti485();
+    EXPECT_EQ(m485.totalMacUnits(), 448);
+    EXPECT_EQ(model::designDsp(m485), 2240);
+    auto m690 = core::paperAlexNetMulti690();
+    EXPECT_EQ(m690.totalMacUnits(), 576);
+    EXPECT_EQ(model::designDsp(m690), 2880);
+}
+
+TEST(DspModel, PaperSqueezeNetDesignsWithinBudget)
+{
+    // Table 5: 2,240 and 2,880 DSP for the Multi-CLP fixed designs.
+    EXPECT_EQ(model::designDsp(core::paperSqueezeNetMulti485()), 2240);
+    EXPECT_EQ(model::designDsp(core::paperSqueezeNetMulti690()), 2880);
+    EXPECT_EQ(model::designDsp(core::paperSqueezeNetSingle485()), 2176);
+    EXPECT_EQ(model::designDsp(core::paperSqueezeNetSingle690()), 2784);
+}
+
+} // namespace
+} // namespace mclp

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "nn/conv_layer.h"
+#include "test_helpers.h"
+#include "util/logging.h"
+
+namespace mclp {
+namespace {
+
+TEST(ConvLayer, DerivedDimensions)
+{
+    // AlexNet layer 1a: N=3, M=48, R=C=55, K=11, S=4.
+    nn::ConvLayer l = test::layer(3, 48, 55, 55, 11, 4);
+    EXPECT_EQ(l.inputRows(), (55 - 1) * 4 + 11);
+    EXPECT_EQ(l.inputCols(), 227);
+    EXPECT_EQ(l.macs(), 55LL * 55 * 121 * 3 * 48);
+    EXPECT_EQ(l.flops(), 2 * l.macs());
+    EXPECT_EQ(l.inputWords(), 3LL * 227 * 227);
+    EXPECT_EQ(l.outputWords(), 48LL * 55 * 55);
+    EXPECT_EQ(l.weightWords(), 48LL * 3 * 11 * 11);
+}
+
+TEST(ConvLayer, UnitStrideUnitKernel)
+{
+    nn::ConvLayer l = test::layer(1, 1, 4, 6, 1, 1);
+    EXPECT_EQ(l.inputRows(), 4);
+    EXPECT_EQ(l.inputCols(), 6);
+    EXPECT_EQ(l.macs(), 24);
+}
+
+TEST(ConvLayer, ComputeToDataRatioMatchesDefinition)
+{
+    nn::ConvLayer l = test::layer(16, 64, 56, 56, 3, 1);
+    double expected =
+        static_cast<double>(l.macs()) /
+        static_cast<double>(l.inputWords() + l.outputWords() +
+                            l.weightWords());
+    EXPECT_DOUBLE_EQ(l.computeToDataRatio(), expected);
+    EXPECT_GT(l.computeToDataRatio(), 0.0);
+}
+
+TEST(ConvLayer, ValidateRejectsNonPositiveDims)
+{
+    EXPECT_THROW(test::layer(0, 1, 1, 1, 1, 1), util::FatalError);
+    EXPECT_THROW(test::layer(1, -1, 1, 1, 1, 1), util::FatalError);
+    EXPECT_THROW(test::layer(1, 1, 0, 1, 1, 1), util::FatalError);
+    EXPECT_THROW(test::layer(1, 1, 1, 0, 1, 1), util::FatalError);
+    EXPECT_THROW(test::layer(1, 1, 1, 1, 0, 1), util::FatalError);
+    EXPECT_THROW(test::layer(1, 1, 1, 1, 1, 0), util::FatalError);
+}
+
+TEST(ConvLayer, SameShapeIgnoresName)
+{
+    nn::ConvLayer a = test::layer(3, 48, 55, 55, 11, 4, "a");
+    nn::ConvLayer b = test::layer(3, 48, 55, 55, 11, 4, "b");
+    nn::ConvLayer c = test::layer(3, 48, 55, 55, 11, 2, "a");
+    EXPECT_TRUE(a.sameShape(b));
+    EXPECT_FALSE(a.sameShape(c));
+}
+
+TEST(ConvLayer, ToStringContainsAllDims)
+{
+    std::string s = test::layer(3, 48, 55, 54, 11, 4, "conv1a").toString();
+    EXPECT_NE(s.find("conv1a"), std::string::npos);
+    EXPECT_NE(s.find("N=3"), std::string::npos);
+    EXPECT_NE(s.find("M=48"), std::string::npos);
+    EXPECT_NE(s.find("R=55"), std::string::npos);
+    EXPECT_NE(s.find("C=54"), std::string::npos);
+    EXPECT_NE(s.find("K=11"), std::string::npos);
+    EXPECT_NE(s.find("S=4"), std::string::npos);
+}
+
+} // namespace
+} // namespace mclp

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "nn/network.h"
+#include "test_helpers.h"
+#include "util/logging.h"
+
+namespace mclp {
+namespace {
+
+nn::Network
+twoLayerNet()
+{
+    return nn::Network("two", {test::layer(3, 8, 10, 10, 3, 1, "a"),
+                               test::layer(8, 16, 5, 5, 3, 1, "b")});
+}
+
+TEST(Network, Accessors)
+{
+    nn::Network net = twoLayerNet();
+    EXPECT_EQ(net.name(), "two");
+    EXPECT_EQ(net.numLayers(), 2u);
+    EXPECT_EQ(net.layer(0).name, "a");
+    EXPECT_EQ(net.layer(1).name, "b");
+}
+
+TEST(Network, TotalsAndMaxima)
+{
+    nn::Network net = twoLayerNet();
+    int64_t macs_a = 3LL * 8 * 10 * 10 * 9;
+    int64_t macs_b = 8LL * 16 * 5 * 5 * 9;
+    EXPECT_EQ(net.totalMacs(), macs_a + macs_b);
+    EXPECT_EQ(net.totalFlops(), 2 * (macs_a + macs_b));
+    EXPECT_EQ(net.maxN(), 8);
+    EXPECT_EQ(net.maxM(), 16);
+    EXPECT_EQ(net.maxK(), 3);
+}
+
+TEST(Network, AddLayerValidates)
+{
+    nn::Network net;
+    nn::ConvLayer bad;
+    bad.name = "bad";
+    EXPECT_THROW(net.addLayer(bad), util::FatalError);
+    net.addLayer(test::layer(1, 1, 1, 1, 1, 1));
+    EXPECT_EQ(net.numLayers(), 1u);
+}
+
+TEST(Network, OutOfRangeIndexPanics)
+{
+    nn::Network net = twoLayerNet();
+    EXPECT_THROW(net.layer(2), util::PanicError);
+}
+
+TEST(Network, ConcatenatePrefixesNamesAndPreservesOrder)
+{
+    nn::Network a("netA", {test::layer(1, 2, 3, 3, 1, 1, "x")});
+    nn::Network b("netB", {test::layer(2, 4, 3, 3, 3, 1, "y"),
+                           test::layer(4, 8, 3, 3, 1, 1, "z")});
+    nn::Network joint = nn::concatenateNetworks({a, b}, "joint");
+    ASSERT_EQ(joint.numLayers(), 3u);
+    EXPECT_EQ(joint.name(), "joint");
+    EXPECT_EQ(joint.layer(0).name, "netA/x");
+    EXPECT_EQ(joint.layer(1).name, "netB/y");
+    EXPECT_EQ(joint.layer(2).name, "netB/z");
+    EXPECT_EQ(joint.totalMacs(), a.totalMacs() + b.totalMacs());
+}
+
+TEST(Network, ConcatenateRejectsEmptyList)
+{
+    EXPECT_THROW(nn::concatenateNetworks({}, "joint"),
+                 util::FatalError);
+}
+
+TEST(Network, ToStringListsLayers)
+{
+    std::string s = twoLayerNet().toString();
+    EXPECT_NE(s.find("two (2 conv layers)"), std::string::npos);
+    EXPECT_NE(s.find("a N=3"), std::string::npos);
+    EXPECT_NE(s.find("b N=8"), std::string::npos);
+}
+
+} // namespace
+} // namespace mclp

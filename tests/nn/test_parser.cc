@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "nn/parser.h"
+#include "util/logging.h"
+
+namespace mclp {
+namespace {
+
+TEST(Parser, ParsesLayersAndComments)
+{
+    std::string text =
+        "network demo\n"
+        "# a comment line\n"
+        "conv1 3 16 32 32 5 2   # trailing comment\n"
+        "\n"
+        "conv2 16 32 16 16 3 1\n";
+    nn::Network net = nn::parseNetwork(text);
+    EXPECT_EQ(net.name(), "demo");
+    ASSERT_EQ(net.numLayers(), 2u);
+    EXPECT_EQ(net.layer(0).name, "conv1");
+    EXPECT_EQ(net.layer(0).n, 3);
+    EXPECT_EQ(net.layer(0).k, 5);
+    EXPECT_EQ(net.layer(0).s, 2);
+    EXPECT_EQ(net.layer(1).m, 32);
+}
+
+TEST(Parser, DefaultNameWithoutDirective)
+{
+    nn::Network net =
+        nn::parseNetwork("l0 1 1 4 4 1 1\n", "fallback");
+    EXPECT_EQ(net.name(), "fallback");
+}
+
+TEST(Parser, RejectsShortLines)
+{
+    EXPECT_THROW(nn::parseNetwork("conv1 3 16 32 32 5\n"),
+                 util::FatalError);
+}
+
+TEST(Parser, RejectsTrailingGarbage)
+{
+    EXPECT_THROW(nn::parseNetwork("conv1 3 16 32 32 5 2 9\n"),
+                 util::FatalError);
+}
+
+TEST(Parser, RejectsNonPositiveDimensions)
+{
+    EXPECT_THROW(nn::parseNetwork("conv1 0 16 32 32 5 2\n"),
+                 util::FatalError);
+}
+
+TEST(Parser, RejectsEmptyInput)
+{
+    EXPECT_THROW(nn::parseNetwork("# only comments\n"),
+                 util::FatalError);
+}
+
+TEST(Parser, RejectsLateNetworkDirective)
+{
+    EXPECT_THROW(
+        nn::parseNetwork("l0 1 1 4 4 1 1\nnetwork late\n"),
+        util::FatalError);
+}
+
+TEST(Parser, ReadsFileAndDerivesName)
+{
+    std::string path = ::testing::TempDir() + "/plate_net.txt";
+    {
+        std::ofstream ofs(path);
+        ofs << "stem 3 8 16 16 3 2\n";
+    }
+    nn::Network net = nn::parseNetworkFile(path);
+    EXPECT_EQ(net.name(), "plate_net");
+    EXPECT_EQ(net.numLayers(), 1u);
+    std::remove(path.c_str());
+    EXPECT_THROW(nn::parseNetworkFile("/nonexistent/net.txt"),
+                 util::FatalError);
+}
+
+} // namespace
+} // namespace mclp

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "nn/reference.h"
+#include "test_helpers.h"
+#include "util/logging.h"
+
+namespace mclp {
+namespace {
+
+TEST(ReferenceConv, IdentityOneByOneKernel)
+{
+    nn::ConvLayer l = test::layer(1, 1, 3, 3, 1, 1);
+    nn::Tensor3<float> input(1, 3, 3);
+    for (int64_t r = 0; r < 3; ++r)
+        for (int64_t c = 0; c < 3; ++c)
+            input.at(0, r, c) = static_cast<float>(r * 3 + c);
+    nn::Tensor3<float> weights(1, 1, 1);
+    weights.at(0, 0, 0) = 2.0f;
+
+    auto out = nn::referenceConv(l, input, weights);
+    for (int64_t r = 0; r < 3; ++r)
+        for (int64_t c = 0; c < 3; ++c)
+            EXPECT_FLOAT_EQ(out.at(0, r, c), 2.0f * (r * 3 + c));
+}
+
+TEST(ReferenceConv, HandComputedThreeByThree)
+{
+    // 1 input map 4x4, one 3x3 all-ones filter, stride 1: each output
+    // is the sum of the 3x3 window.
+    nn::ConvLayer l = test::layer(1, 1, 2, 2, 3, 1);
+    nn::Tensor3<float> input(1, 4, 4);
+    float v = 1.0f;
+    for (int64_t r = 0; r < 4; ++r)
+        for (int64_t c = 0; c < 4; ++c)
+            input.at(0, r, c) = v++;
+    nn::Tensor3<float> weights(1, 3, 3);
+    weights.fill(1.0f);
+
+    auto out = nn::referenceConv(l, input, weights);
+    // Window sums of the 4x4 ramp 1..16.
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 54.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 1), 63.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 1, 0), 90.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 1, 1), 99.0f);
+}
+
+TEST(ReferenceConv, StrideTwoSelectsWindows)
+{
+    nn::ConvLayer l = test::layer(1, 1, 2, 2, 1, 2);
+    nn::Tensor3<float> input(1, 3, 3);
+    float v = 0.0f;
+    for (int64_t r = 0; r < 3; ++r)
+        for (int64_t c = 0; c < 3; ++c)
+            input.at(0, r, c) = v++;
+    nn::Tensor3<float> weights(1, 1, 1);
+    weights.at(0, 0, 0) = 1.0f;
+    auto out = nn::referenceConv(l, input, weights);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 1), 2.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 1, 0), 6.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 1, 1), 8.0f);
+}
+
+TEST(ReferenceConv, SumsAcrossInputMaps)
+{
+    nn::ConvLayer l = test::layer(3, 2, 1, 1, 1, 1);
+    nn::Tensor3<float> input(3, 1, 1);
+    input.at(0, 0, 0) = 1.0f;
+    input.at(1, 0, 0) = 10.0f;
+    input.at(2, 0, 0) = 100.0f;
+    nn::Tensor3<float> weights(6, 1, 1);
+    // Output map 0 weights: 1,1,1; map 1: 2,0,1.
+    weights.at(0, 0, 0) = 1.0f;
+    weights.at(1, 0, 0) = 1.0f;
+    weights.at(2, 0, 0) = 1.0f;
+    weights.at(3, 0, 0) = 2.0f;
+    weights.at(4, 0, 0) = 0.0f;
+    weights.at(5, 0, 0) = 1.0f;
+    auto out = nn::referenceConv(l, input, weights);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 111.0f);
+    EXPECT_FLOAT_EQ(out.at(1, 0, 0), 102.0f);
+}
+
+TEST(ReferenceConv, Linearity)
+{
+    nn::ConvLayer l = test::layer(2, 3, 4, 4, 3, 1);
+    auto input = nn::makeRandomInput<float>(l, 1);
+    auto w1 = nn::makeRandomWeights<float>(l, 2);
+    auto w2 = nn::makeRandomWeights<float>(l, 3);
+
+    nn::Tensor3<float> w_sum(l.m * l.n, l.k, l.k);
+    for (size_t i = 0; i < w_sum.raw().size(); ++i)
+        w_sum.raw()[i] = w1.raw()[i] + w2.raw()[i];
+
+    auto o1 = nn::referenceConv(l, input, w1);
+    auto o2 = nn::referenceConv(l, input, w2);
+    auto o_sum = nn::referenceConv(l, input, w_sum);
+    for (size_t i = 0; i < o_sum.raw().size(); ++i)
+        EXPECT_NEAR(o_sum.raw()[i], o1.raw()[i] + o2.raw()[i], 1e-4f);
+}
+
+TEST(ReferenceConv, FixedTracksFloat)
+{
+    nn::ConvLayer l = test::layer(3, 4, 5, 5, 3, 1);
+    auto fin = nn::makeRandomInput<float>(l, 10);
+    auto fw = nn::makeRandomWeights<float>(l, 11);
+
+    nn::Tensor3<nn::Fixed16> qin(l.n, l.inputRows(), l.inputCols());
+    nn::Tensor3<nn::Fixed16> qw(l.m * l.n, l.k, l.k);
+    for (size_t i = 0; i < fin.raw().size(); ++i)
+        qin.raw()[i] = nn::Fixed16(fin.raw()[i]);
+    for (size_t i = 0; i < fw.raw().size(); ++i)
+        qw.raw()[i] = nn::Fixed16(fw.raw()[i]);
+
+    auto fout = nn::referenceConv(l, fin, fw);
+    auto qout = nn::referenceConv(l, qin, qw);
+    // Quantization error bound: inputs within 1/512 of float values.
+    for (size_t i = 0; i < fout.raw().size(); ++i)
+        EXPECT_NEAR(qout.raw()[i].toDouble(), fout.raw()[i], 0.1);
+}
+
+TEST(ReferenceConv, ShapeMismatchRejected)
+{
+    nn::ConvLayer l = test::layer(2, 2, 3, 3, 3, 1);
+    nn::Tensor3<float> bad_input(1, 5, 5);
+    nn::Tensor3<float> weights(4, 3, 3);
+    EXPECT_THROW(nn::referenceConv(l, bad_input, weights),
+                 util::FatalError);
+    nn::Tensor3<float> input(2, 5, 5);
+    nn::Tensor3<float> bad_weights(4, 2, 2);
+    EXPECT_THROW(nn::referenceConv(l, input, bad_weights),
+                 util::FatalError);
+}
+
+} // namespace
+} // namespace mclp

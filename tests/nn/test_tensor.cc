@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "nn/fixed_point.h"
+#include "nn/tensor.h"
+#include "util/logging.h"
+
+namespace mclp {
+namespace {
+
+TEST(Tensor3, ShapeAndSize)
+{
+    nn::Tensor3<float> t(2, 3, 4);
+    EXPECT_EQ(t.dim0(), 2);
+    EXPECT_EQ(t.dim1(), 3);
+    EXPECT_EQ(t.dim2(), 4);
+    EXPECT_EQ(t.size(), 24);
+    EXPECT_EQ(t.raw().size(), 24u);
+}
+
+TEST(Tensor3, ZeroInitialized)
+{
+    nn::Tensor3<float> t(2, 2, 2);
+    for (float v : t.raw())
+        EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor3, RowMajorLayout)
+{
+    nn::Tensor3<float> t(2, 3, 4);
+    t.at(1, 2, 3) = 7.0f;
+    EXPECT_EQ(t.raw()[(1 * 3 + 2) * 4 + 3], 7.0f);
+}
+
+TEST(Tensor3, BoundsChecked)
+{
+    nn::Tensor3<float> t(2, 3, 4);
+    EXPECT_THROW(t.at(2, 0, 0), util::PanicError);
+    EXPECT_THROW(t.at(0, 3, 0), util::PanicError);
+    EXPECT_THROW(t.at(0, 0, 4), util::PanicError);
+    EXPECT_THROW(t.at(-1, 0, 0), util::PanicError);
+}
+
+TEST(Tensor3, RejectsEmptyDimensions)
+{
+    EXPECT_THROW(nn::Tensor3<float>(0, 1, 1), util::FatalError);
+}
+
+TEST(Tensor3, FillRandomDeterministic)
+{
+    nn::Tensor3<float> a(3, 3, 3);
+    nn::Tensor3<float> b(3, 3, 3);
+    a.fillRandom(123);
+    b.fillRandom(123);
+    EXPECT_EQ(a.raw(), b.raw());
+    b.fillRandom(124);
+    EXPECT_NE(a.raw(), b.raw());
+}
+
+TEST(Tensor3, FillRandomScaleBounds)
+{
+    nn::Tensor3<float> t(4, 4, 4);
+    t.fillRandom(9, 0.5);
+    for (float v : t.raw()) {
+        EXPECT_GE(v, -0.5f);
+        EXPECT_LE(v, 0.5f);
+    }
+}
+
+TEST(Tensor3, FixedPointElementType)
+{
+    nn::Tensor3<nn::Fixed16> t(2, 2, 2);
+    t.fillRandom(5);
+    t.at(0, 0, 0) = nn::Fixed16(1.5);
+    EXPECT_DOUBLE_EQ(t.at(0, 0, 0).toDouble(), 1.5);
+}
+
+} // namespace
+} // namespace mclp

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Whole-network functional chaining: feed each layer's tiled-engine
+ * output into the next layer, exactly as the Multi-CLP epochs do via
+ * off-chip memory, and compare the final maps against the chained
+ * golden reference. Fixed point must match bit-for-bit end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/reference.h"
+#include "sim/clp_engine.h"
+#include "test_helpers.h"
+
+namespace mclp {
+namespace {
+
+/** A 3-layer chain whose shapes connect (output -> next input). */
+nn::Network
+chainNet()
+{
+    // L0: 2->3 maps, 8x8 out (input 10x10), K=3.
+    // L1: 3->4 maps, 6x6 out (input 8x8), K=3.
+    // L2: 4->2 maps, 6x6 out (input 6x6), K=1.
+    return nn::Network("chain",
+                       {test::layer(2, 3, 8, 8, 3, 1, "c0"),
+                        test::layer(3, 4, 6, 6, 3, 1, "c1"),
+                        test::layer(4, 2, 6, 6, 1, 1, "c2")});
+}
+
+/** Per-layer CLP shapes/tilings exercising awkward fits. */
+struct Binding
+{
+    model::ClpShape shape;
+    model::Tiling tiling;
+};
+
+std::vector<Binding>
+chainBindings()
+{
+    return {{{2, 2}, {3, 5}}, {{2, 3}, {6, 4}}, {{3, 2}, {2, 6}}};
+}
+
+TEST(FunctionalChain, FixedPointBitExactThroughThreeLayers)
+{
+    nn::Network net = chainNet();
+    auto bindings = chainBindings();
+
+    auto ref_data = nn::makeRandomInput<nn::Fixed16>(net.layer(0), 77);
+    auto eng_data = ref_data;
+    for (size_t li = 0; li < net.numLayers(); ++li) {
+        const nn::ConvLayer &layer = net.layer(li);
+        auto weights =
+            nn::makeRandomWeights<nn::Fixed16>(layer, 88 + li);
+        auto ref_out = nn::referenceConv(layer, ref_data, weights);
+        auto eng_out = sim::runLayerFunctional(
+            layer, bindings[li].shape, bindings[li].tiling, eng_data,
+            weights);
+        ASSERT_EQ(ref_out.size(), eng_out.output.size());
+        for (size_t i = 0; i < ref_out.raw().size(); ++i) {
+            ASSERT_EQ(ref_out.raw()[i].bits,
+                      eng_out.output.raw()[i].bits)
+                << "layer " << layer.name << " output " << i;
+        }
+        ref_data = std::move(ref_out);
+        eng_data = std::move(eng_out.output);
+    }
+}
+
+TEST(FunctionalChain, FloatStaysWithinToleranceThroughChain)
+{
+    nn::Network net = chainNet();
+    auto bindings = chainBindings();
+
+    auto ref_data = nn::makeRandomInput<float>(net.layer(0), 99);
+    auto eng_data = ref_data;
+    for (size_t li = 0; li < net.numLayers(); ++li) {
+        const nn::ConvLayer &layer = net.layer(li);
+        auto weights = nn::makeRandomWeights<float>(layer, 111 + li);
+        auto ref_out = nn::referenceConv(layer, ref_data, weights);
+        auto eng_out = sim::runLayerFunctional(
+            layer, bindings[li].shape, bindings[li].tiling, eng_data,
+            weights);
+        for (size_t i = 0; i < ref_out.raw().size(); ++i) {
+            float e = ref_out.raw()[i];
+            float g = eng_out.output.raw()[i];
+            ASSERT_NEAR(g, e, 1e-3f * (1.0f + std::abs(e)))
+                << "layer " << layer.name << " output " << i;
+        }
+        ref_data = std::move(ref_out);
+        eng_data = std::move(eng_out.output);
+    }
+}
+
+TEST(FunctionalChain, MacCountAccumulatesAcrossLayers)
+{
+    nn::Network net = chainNet();
+    auto bindings = chainBindings();
+    auto data = nn::makeRandomInput<float>(net.layer(0), 5);
+    int64_t macs = 0;
+    for (size_t li = 0; li < net.numLayers(); ++li) {
+        const nn::ConvLayer &layer = net.layer(li);
+        auto weights = nn::makeRandomWeights<float>(layer, 6 + li);
+        auto out = sim::runLayerFunctional(layer, bindings[li].shape,
+                                           bindings[li].tiling, data,
+                                           weights);
+        macs += out.macsPerformed;
+        data = std::move(out.output);
+    }
+    EXPECT_EQ(macs, net.totalMacs());
+}
+
+} // namespace
+} // namespace mclp

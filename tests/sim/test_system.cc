@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "core/paper_designs.h"
+#include "model/bandwidth_model.h"
+#include "model/cycle_model.h"
+#include "model/metrics.h"
+#include "nn/zoo.h"
+#include "sim/system.h"
+#include "test_helpers.h"
+
+namespace mclp {
+namespace {
+
+fpga::ResourceBudget
+unlimited(double mhz = 100.0)
+{
+    fpga::ResourceBudget b;
+    b.dspSlices = 1 << 20;
+    b.bram18k = 1 << 20;
+    b.bandwidthBytesPerCycle = 0.0;
+    b.frequencyMhz = mhz;
+    return b;
+}
+
+TEST(System, UnconstrainedSingleClpMatchesModelExactly)
+{
+    // Section 6.4: simulated cycles equal the model up to pipeline
+    // depth; our simulator matches exactly in the unconstrained case.
+    nn::Network net = nn::makeAlexNet();
+    auto design = core::paperAlexNetSingle485();
+    sim::MultiClpSystem system(design, net, unlimited());
+    auto result = system.simulateEpoch();
+    EXPECT_DOUBLE_EQ(result.epochCycles, 2005892.0);
+    EXPECT_NEAR(result.utilization, 0.741, 0.001);
+    ASSERT_EQ(result.clps.size(), 1u);
+    EXPECT_DOUBLE_EQ(result.clps[0].stallCycles, 0.0);
+}
+
+TEST(System, UnconstrainedMultiClpMatchesModelExactly)
+{
+    nn::Network net = nn::makeAlexNet();
+    for (auto design : {core::paperAlexNetMulti485(),
+                        core::paperAlexNetMulti690()}) {
+        auto metrics = model::evaluateDesign(design, net, unlimited());
+        sim::MultiClpSystem system(design, net, unlimited());
+        auto result = system.simulateEpoch();
+        EXPECT_DOUBLE_EQ(result.epochCycles,
+                         static_cast<double>(metrics.epochCycles));
+        EXPECT_NEAR(result.utilization, metrics.utilization, 1e-9);
+        for (size_t ci = 0; ci < result.clps.size(); ++ci) {
+            EXPECT_DOUBLE_EQ(
+                result.clps[ci].finishCycle,
+                static_cast<double>(metrics.clpCycles[ci]));
+        }
+    }
+}
+
+TEST(System, TransferBytesMatchTrafficModel)
+{
+    nn::Network net = nn::makeAlexNet();
+    auto design = core::paperAlexNetMulti485();
+    sim::MultiClpSystem system(design, net, unlimited());
+    auto result = system.simulateEpoch();
+    int64_t expected = 0;
+    for (const auto &clp : design.clps)
+        expected += model::clpTrafficBytes(clp, net, design.dataType);
+    EXPECT_EQ(result.totalTransferBytes, expected);
+}
+
+TEST(System, AmpleBandwidthMatchesUnconstrained)
+{
+    nn::Network net = nn::makeAlexNet();
+    auto design = core::paperAlexNetMulti485();
+    fpga::ResourceBudget b = unlimited();
+    b.bandwidthBytesPerCycle = 1e6;
+    sim::MultiClpSystem system(design, net, b);
+    auto result = system.simulateEpoch();
+    // Pipeline fill (first load) is the only deviation and is tiny.
+    EXPECT_NEAR(result.epochCycles, 1557504.0, 200.0);
+}
+
+TEST(System, StarvedBandwidthStallsClps)
+{
+    nn::Network net = nn::makeAlexNet();
+    auto design = core::paperAlexNetMulti485();
+    fpga::ResourceBudget b = unlimited();
+    b.bandwidthBytesPerCycle = 2.0;
+    sim::MultiClpSystem system(design, net, b);
+    auto result = system.simulateEpoch();
+    EXPECT_GT(result.epochCycles, 1557504.0);
+    // Transfer time lower-bounds the epoch: total bytes / bandwidth.
+    double transfer_bound =
+        static_cast<double>(result.totalTransferBytes) /
+        b.bandwidthBytesPerCycle;
+    EXPECT_GE(result.epochCycles, transfer_bound - 1.0);
+    bool any_stall = false;
+    for (const auto &clp : result.clps)
+        any_stall |= clp.stallCycles > 1.0;
+    EXPECT_TRUE(any_stall);
+    // Consumed bandwidth cannot exceed the cap.
+    EXPECT_LE(result.avgBandwidthBytesPerCycle(),
+              b.bandwidthBytesPerCycle + 1e-6);
+}
+
+TEST(System, EpochMonotoneInBandwidth)
+{
+    nn::Network net = nn::makeAlexNet();
+    auto design = core::paperAlexNetMulti485();
+    double prev = 1e18;
+    for (double bw : {1.0, 2.0, 4.0, 8.0, 16.0, 64.0}) {
+        fpga::ResourceBudget b = unlimited();
+        b.bandwidthBytesPerCycle = bw;
+        sim::MultiClpSystem system(design, net, b);
+        auto result = system.simulateEpoch();
+        EXPECT_LE(result.epochCycles, prev + 1e-6) << "bw=" << bw;
+        prev = result.epochCycles;
+    }
+}
+
+TEST(System, ModelBandwidthEstimateTracksSimulation)
+{
+    // The analytical bandwidth-bound model (max of compute and
+    // transfer) should track the simulated epoch within ~15% in the
+    // heavily-starved regime.
+    nn::Network net = nn::makeAlexNet();
+    auto design = core::paperAlexNetSingle485();
+    fpga::ResourceBudget b = unlimited();
+    b.bandwidthBytesPerCycle = 1.5;
+    auto metrics = model::evaluateDesign(design, net, b);
+    sim::MultiClpSystem system(design, net, b);
+    auto result = system.simulateEpoch();
+    double ratio = result.epochCycles /
+                   static_cast<double>(metrics.epochCycles);
+    EXPECT_GT(ratio, 0.85);
+    EXPECT_LT(ratio, 1.15);
+}
+
+TEST(System, FixedPointDesignSimulates)
+{
+    nn::Network net = nn::makeSqueezeNet();
+    auto design = core::paperSqueezeNetMulti690();
+    sim::MultiClpSystem system(design, net, unlimited(170.0));
+    auto result = system.simulateEpoch();
+    EXPECT_DOUBLE_EQ(result.epochCycles, 144648.0);
+    EXPECT_NEAR(result.utilization, 0.93, 0.01);
+}
+
+TEST(System, LayerSpansCoverTheEpochInOrder)
+{
+    nn::Network net = nn::makeAlexNet();
+    auto design = core::paperAlexNetMulti485();
+    sim::MultiClpSystem system(design, net, unlimited());
+    auto result = system.simulateEpoch();
+    for (size_t ci = 0; ci < result.clps.size(); ++ci) {
+        const auto &stats = result.clps[ci];
+        ASSERT_EQ(stats.layerSpans.size(),
+                  design.clps[ci].layers.size());
+        double prev_start = -1.0;
+        for (size_t li = 0; li < stats.layerSpans.size(); ++li) {
+            const auto &span = stats.layerSpans[li];
+            EXPECT_EQ(span.layerIdx,
+                      static_cast<int64_t>(
+                          design.clps[ci].layers[li].layerIdx));
+            EXPECT_GT(span.startCycle, prev_start)
+                << "layers execute in assignment order";
+            EXPECT_GT(span.endCycle, span.startCycle);
+            prev_start = span.startCycle;
+        }
+        EXPECT_LE(stats.layerSpans.back().endCycle,
+                  stats.finishCycle + 1e-9);
+    }
+}
+
+TEST(System, LayerSpanDurationsMatchModelWhenUnconstrained)
+{
+    nn::Network net = nn::makeAlexNet();
+    auto design = core::paperAlexNetMulti690();
+    sim::MultiClpSystem system(design, net, unlimited());
+    auto result = system.simulateEpoch();
+    for (size_t ci = 0; ci < result.clps.size(); ++ci) {
+        for (size_t li = 0; li < result.clps[ci].layerSpans.size();
+             ++li) {
+            const auto &span = result.clps[ci].layerSpans[li];
+            const auto &binding = design.clps[ci].layers[li];
+            int64_t expected = model::layerCycles(
+                net.layer(binding.layerIdx), design.clps[ci].shape);
+            EXPECT_DOUBLE_EQ(span.endCycle - span.startCycle,
+                             static_cast<double>(expected));
+        }
+    }
+}
+
+TEST(System, SmallDesignWithSharing)
+{
+    // Two tiny CLPs contending for one channel: the epoch must exceed
+    // each CLP's isolated time but respect the combined transfer
+    // bound.
+    nn::Network net("pair", {test::layer(4, 8, 8, 8, 3, 1, "a"),
+                             test::layer(8, 4, 8, 8, 3, 1, "b")});
+    model::MultiClpDesign design;
+    design.dataType = fpga::DataType::Float32;
+    design.clps.push_back({{4, 8}, {{0, {8, 8}}}});
+    design.clps.push_back({{8, 4}, {{1, {8, 8}}}});
+
+    fpga::ResourceBudget b = unlimited();
+    b.bandwidthBytesPerCycle = 4.0;
+    sim::MultiClpSystem system(design, net, b);
+    auto result = system.simulateEpoch();
+    EXPECT_GT(result.epochCycles, 0.0);
+    double transfer_bound =
+        static_cast<double>(result.totalTransferBytes) /
+        b.bandwidthBytesPerCycle;
+    EXPECT_GE(result.epochCycles, transfer_bound - 1e-6);
+}
+
+} // namespace
+} // namespace mclp

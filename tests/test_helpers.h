@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared helpers for the test suite.
+ */
+
+#ifndef MCLP_TESTS_TEST_HELPERS_H
+#define MCLP_TESTS_TEST_HELPERS_H
+
+#include <cstdint>
+#include <string>
+
+#include "fpga/device.h"
+#include "model/clp_config.h"
+#include "nn/conv_layer.h"
+#include "nn/network.h"
+
+namespace mclp {
+namespace test {
+
+/** Terse layer constructor for tests. */
+inline nn::ConvLayer
+layer(int64_t n, int64_t m, int64_t r, int64_t c, int64_t k, int64_t s,
+      const std::string &name = "L")
+{
+    return nn::makeConvLayer(name, n, m, r, c, k, s);
+}
+
+/** A single-layer network. */
+inline nn::Network
+singleLayerNet(const nn::ConvLayer &conv)
+{
+    return nn::Network("test-net", {conv});
+}
+
+/** A single-CLP design covering every layer of @p network. */
+inline model::MultiClpDesign
+coverAll(const nn::Network &network, int64_t tn, int64_t tm,
+         fpga::DataType type = fpga::DataType::Float32)
+{
+    model::MultiClpDesign design;
+    design.dataType = type;
+    model::ClpConfig clp;
+    clp.shape = model::ClpShape{tn, tm};
+    for (size_t i = 0; i < network.numLayers(); ++i) {
+        const nn::ConvLayer &l = network.layer(i);
+        clp.layers.push_back({i, model::Tiling{l.r, l.c}});
+    }
+    design.clps.push_back(std::move(clp));
+    return design;
+}
+
+/** An unconstrained-bandwidth budget with generous DSP/BRAM. */
+inline fpga::ResourceBudget
+looseBudget()
+{
+    fpga::ResourceBudget budget;
+    budget.dspSlices = 1 << 20;
+    budget.bram18k = 1 << 20;
+    budget.bandwidthBytesPerCycle = 0.0;
+    budget.frequencyMhz = 100.0;
+    return budget;
+}
+
+} // namespace test
+} // namespace mclp
+
+#endif // MCLP_TESTS_TEST_HELPERS_H

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/csv.h"
+#include "util/logging.h"
+
+namespace mclp {
+namespace {
+
+TEST(CsvWriter, SerializesHeaderAndRows)
+{
+    util::CsvWriter csv({"dsp", "throughput"});
+    csv.addRow({"2240", "63.98"});
+    csv.addRow({"2880", "85.55"});
+    EXPECT_EQ(csv.serialize(),
+              "dsp,throughput\n2240,63.98\n2880,85.55\n");
+    EXPECT_EQ(csv.rowCount(), 2u);
+}
+
+TEST(CsvWriter, EscapesSpecialCharacters)
+{
+    util::CsvWriter csv({"a", "b"});
+    csv.addRow({"x,y", "he said \"hi\"\nbye"});
+    EXPECT_EQ(csv.serialize(),
+              "a,b\n\"x,y\",\"he said \"\"hi\"\"\nbye\"\n");
+}
+
+TEST(CsvWriter, ArityChecked)
+{
+    util::CsvWriter csv({"a", "b"});
+    EXPECT_THROW(csv.addRow({"1"}), util::FatalError);
+}
+
+TEST(CsvWriter, WritesFile)
+{
+    std::string path = ::testing::TempDir() + "/mclp_csv_test.csv";
+    util::CsvWriter csv({"k"});
+    csv.addRow({"v"});
+    ASSERT_TRUE(csv.writeFile(path));
+    std::ifstream ifs(path);
+    std::string content((std::istreambuf_iterator<char>(ifs)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(content, "k\nv\n");
+    std::remove(path.c_str());
+}
+
+TEST(CsvWriter, UnwritablePathReturnsFalse)
+{
+    util::CsvWriter csv({"k"});
+    EXPECT_FALSE(csv.writeFile("/nonexistent-dir/zzz/out.csv"));
+}
+
+} // namespace
+} // namespace mclp

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace mclp {
+namespace {
+
+TEST(Strprintf, FormatsLikePrintf)
+{
+    EXPECT_EQ(util::strprintf("%d-%s", 42, "x"), "42-x");
+    EXPECT_EQ(util::strprintf("%.2f", 1.005), "1.00");
+    EXPECT_EQ(util::strprintf("plain"), "plain");
+}
+
+TEST(Strprintf, LongOutput)
+{
+    std::string big(5000, 'a');
+    EXPECT_EQ(util::strprintf("%s", big.c_str()).size(), 5000u);
+}
+
+TEST(Fatal, ThrowsFatalErrorWithMessage)
+{
+    try {
+        util::fatal("bad %s %d", "input", 7);
+        FAIL() << "fatal() returned";
+    } catch (const util::FatalError &err) {
+        EXPECT_STREQ(err.what(), "bad input 7");
+    }
+}
+
+TEST(Panic, ThrowsPanicError)
+{
+    EXPECT_THROW(util::panic("invariant"), util::PanicError);
+}
+
+TEST(Panic, IsNotFatalError)
+{
+    // The two error classes must stay distinguishable so tests can
+    // assert on user-error vs internal-bug paths.
+    try {
+        util::panic("x");
+    } catch (const util::FatalError &) {
+        FAIL() << "panic threw FatalError";
+    } catch (const util::PanicError &) {
+        SUCCEED();
+    }
+}
+
+TEST(LogLevel, RoundTrips)
+{
+    util::LogLevel before = util::logLevel();
+    util::setLogLevel(util::LogLevel::Debug);
+    EXPECT_EQ(util::logLevel(), util::LogLevel::Debug);
+    util::setLogLevel(util::LogLevel::Quiet);
+    EXPECT_EQ(util::logLevel(), util::LogLevel::Quiet);
+    // warn/inform/debug must be callable at any level without dying.
+    util::warn("suppressed %d", 1);
+    util::inform("suppressed %d", 2);
+    util::debug("suppressed %d", 3);
+    util::setLogLevel(before);
+}
+
+} // namespace
+} // namespace mclp

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/math.h"
+
+namespace mclp {
+namespace {
+
+TEST(CeilDiv, ExactAndInexact)
+{
+    EXPECT_EQ(util::ceilDiv<int64_t>(10, 5), 2);
+    EXPECT_EQ(util::ceilDiv<int64_t>(11, 5), 3);
+    EXPECT_EQ(util::ceilDiv<int64_t>(1, 5), 1);
+    EXPECT_EQ(util::ceilDiv<int64_t>(0, 5), 0);
+    EXPECT_EQ(util::ceilDiv<int64_t>(48, 7), 7);
+    EXPECT_EQ(util::ceilDiv<int64_t>(64, 9), 8);
+}
+
+class CeilDivProperty : public ::testing::TestWithParam<int64_t>
+{
+};
+
+TEST_P(CeilDivProperty, MatchesDefinition)
+{
+    int64_t b = GetParam();
+    for (int64_t a = 0; a <= 200; ++a) {
+        int64_t q = util::ceilDiv(a, b);
+        EXPECT_GE(q * b, a);
+        EXPECT_LT((q - 1) * b, a) << "a=" << a << " b=" << b;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Divisors, CeilDivProperty,
+                         ::testing::Values(1, 2, 3, 7, 9, 13, 64, 199));
+
+TEST(RoundUp, Basics)
+{
+    EXPECT_EQ(util::roundUp<int64_t>(10, 4), 12);
+    EXPECT_EQ(util::roundUp<int64_t>(12, 4), 12);
+    EXPECT_EQ(util::roundUp<int64_t>(0, 4), 0);
+}
+
+TEST(Clamp, Basics)
+{
+    EXPECT_EQ(util::clamp(5, 0, 10), 5);
+    EXPECT_EQ(util::clamp(-5, 0, 10), 0);
+    EXPECT_EQ(util::clamp(15, 0, 10), 10);
+}
+
+TEST(Distance2, Basics)
+{
+    EXPECT_EQ(util::distance2(0, 0, 3, 4), 25);
+    EXPECT_EQ(util::distance2(3, 48, 3, 48), 0);
+    EXPECT_EQ(util::distance2(-1, -1, 1, 1), 8);
+}
+
+TEST(SplitMix64, Deterministic)
+{
+    util::SplitMix64 a(42);
+    util::SplitMix64 b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer)
+{
+    util::SplitMix64 a(1);
+    util::SplitMix64 b(2);
+    bool any_diff = false;
+    for (int i = 0; i < 10; ++i)
+        any_diff |= a.next() != b.next();
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(SplitMix64, IntRangeRespected)
+{
+    util::SplitMix64 rng(7);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = rng.nextInt(-3, 5);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 5);
+        seen.insert(v);
+    }
+    // Every value of a small range should appear in 1000 draws.
+    EXPECT_EQ(seen.size(), 9u);
+}
+
+TEST(SplitMix64, EmptyRangePanics)
+{
+    util::SplitMix64 rng(7);
+    EXPECT_THROW(rng.nextInt(5, 4), util::PanicError);
+}
+
+TEST(SplitMix64, SymmetricRange)
+{
+    util::SplitMix64 rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.nextSymmetric();
+        EXPECT_GE(v, -1.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+} // namespace
+} // namespace mclp

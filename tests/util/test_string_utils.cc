@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "util/string_utils.h"
+
+namespace mclp {
+namespace {
+
+TEST(WithCommas, GroupsThousands)
+{
+    EXPECT_EQ(util::withCommas(0), "0");
+    EXPECT_EQ(util::withCommas(999), "999");
+    EXPECT_EQ(util::withCommas(1000), "1,000");
+    EXPECT_EQ(util::withCommas(2006), "2,006");
+    EXPECT_EQ(util::withCommas(1558000), "1,558,000");
+    EXPECT_EQ(util::withCommas(-1234567), "-1,234,567");
+}
+
+TEST(Percent, OneDecimal)
+{
+    EXPECT_EQ(util::percent(0.741), "74.1%");
+    EXPECT_EQ(util::percent(0.989), "98.9%");
+    EXPECT_EQ(util::percent(1.0), "100.0%");
+}
+
+TEST(Fixed, Decimals)
+{
+    EXPECT_EQ(util::fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(util::fixed(2.0, 0), "2");
+}
+
+TEST(JoinSplit, RoundTrip)
+{
+    std::vector<std::string> parts{"a", "bb", "", "c"};
+    std::string joined = util::join(parts, ",");
+    EXPECT_EQ(joined, "a,bb,,c");
+    EXPECT_EQ(util::split(joined, ','), parts);
+}
+
+TEST(Split, NoDelimiter)
+{
+    EXPECT_EQ(util::split("abc", ','),
+              std::vector<std::string>{"abc"});
+}
+
+TEST(StartsWith, Basics)
+{
+    EXPECT_TRUE(util::startsWith("conv1a", "conv"));
+    EXPECT_FALSE(util::startsWith("conv", "conv1a"));
+    EXPECT_TRUE(util::startsWith("x", ""));
+}
+
+} // namespace
+} // namespace mclp

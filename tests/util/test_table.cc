@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace mclp {
+namespace {
+
+TEST(TextTable, RendersAlignedCells)
+{
+    util::TextTable table({"name", "value"});
+    table.addRow({"x", "1"});
+    table.addRow({"longer", "22"});
+    std::string out = table.render();
+    EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+    EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(TextTable, TitleAndNotes)
+{
+    util::TextTable table({"a"});
+    table.setTitle("Table 1: utilization");
+    table.addNote("bandwidth unconstrained");
+    table.addRow({"v"});
+    std::string out = table.render();
+    EXPECT_EQ(out.rfind("Table 1: utilization", 0), 0u);
+    EXPECT_NE(out.find("note: bandwidth unconstrained"),
+              std::string::npos);
+}
+
+TEST(TextTable, SeparatorAddsLine)
+{
+    util::TextTable table({"a"});
+    table.addRow({"1"});
+    table.addSeparator();
+    table.addRow({"2"});
+    std::string out = table.render();
+    // top + below-header + separator + bottom = 4 horizontal lines
+    size_t lines = 0;
+    for (size_t pos = out.find("+---"); pos != std::string::npos;
+         pos = out.find("+---", pos + 1))
+        ++lines;
+    EXPECT_EQ(lines, 4u);
+}
+
+TEST(TextTable, RowArityChecked)
+{
+    util::TextTable table({"a", "b"});
+    EXPECT_THROW(table.addRow({"only-one"}), util::FatalError);
+}
+
+TEST(TextTable, EmptyHeaderRejected)
+{
+    EXPECT_THROW(util::TextTable({}), util::FatalError);
+}
+
+} // namespace
+} // namespace mclp

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * mclp-opt — the command-line front end to the Multi-CLP optimizer.
+ *
+ * Examples:
+ *   mclp-opt --network alexnet --device 690t
+ *   mclp-opt --network squeezenet --type fixed --mhz 170 \
+ *            --bandwidth-gbps 21.3 --max-clps 6 --sim
+ *   mclp-opt --layers mynet.txt --device 485t --single
+ *   mclp-opt --network alexnet --device 485t --hls-out out_dir
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "core/optimizer.h"
+#include "core/schedule.h"
+#include "hlsgen/codegen.h"
+#include "model/bram_model.h"
+#include "model/dsp_model.h"
+#include "nn/parser.h"
+#include "nn/zoo.h"
+#include "sim/system.h"
+#include "util/string_utils.h"
+
+using namespace mclp;
+
+namespace {
+
+void
+printUsage()
+{
+    std::printf(
+        "mclp-opt: optimize a Multi-CLP CNN accelerator "
+        "(Shen/Ferdman/Milder, ISCA 2017)\n\n"
+        "usage: mclp-opt [options]\n"
+        "  --network NAME       zoo network: alexnet, vggnet-e,\n"
+        "                       squeezenet, googlenet\n"
+        "  --layers FILE        custom network file (name N M R C K S\n"
+        "                       per line)\n"
+        "  --device NAME        485t | 690t | vu9p | vu11p "
+        "(default 690t)\n"
+        "  --type T             float | fixed (default float)\n"
+        "  --mhz F              clock frequency (default 100)\n"
+        "  --bandwidth-gbps X   off-chip bandwidth cap (default: "
+        "unconstrained)\n"
+        "  --max-clps N         CLP limit (default 6)\n"
+        "  --single             Single-CLP baseline mode\n"
+        "  --adjacent           adjacent-layers (low-latency) "
+        "schedule\n"
+        "  --sim                run the cycle-level epoch simulation\n"
+        "  --hls-out DIR        emit HLS template sources into DIR\n"
+        "  --help               this text\n");
+}
+
+struct Options
+{
+    std::string network = "alexnet";
+    std::optional<std::string> layersFile;
+    std::string device = "690t";
+    std::string type = "float";
+    double mhz = 100.0;
+    double bandwidthGbps = 0.0;
+    int maxClps = 6;
+    bool single = false;
+    bool adjacent = false;
+    bool sim = false;
+    std::optional<std::string> hlsOut;
+};
+
+std::optional<Options>
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    auto need_value = [&](int &i, const char *flag) -> const char * {
+        if (i + 1 >= argc)
+            util::fatal("%s needs a value", flag);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            printUsage();
+            return std::nullopt;
+        } else if (arg == "--network") {
+            opts.network = need_value(i, "--network");
+        } else if (arg == "--layers") {
+            opts.layersFile = need_value(i, "--layers");
+        } else if (arg == "--device") {
+            opts.device = need_value(i, "--device");
+        } else if (arg == "--type") {
+            opts.type = need_value(i, "--type");
+        } else if (arg == "--mhz") {
+            opts.mhz = std::atof(need_value(i, "--mhz"));
+        } else if (arg == "--bandwidth-gbps") {
+            opts.bandwidthGbps =
+                std::atof(need_value(i, "--bandwidth-gbps"));
+        } else if (arg == "--max-clps") {
+            opts.maxClps = std::atoi(need_value(i, "--max-clps"));
+        } else if (arg == "--single") {
+            opts.single = true;
+        } else if (arg == "--adjacent") {
+            opts.adjacent = true;
+        } else if (arg == "--sim") {
+            opts.sim = true;
+        } else if (arg == "--hls-out") {
+            opts.hlsOut = need_value(i, "--hls-out");
+        } else {
+            util::fatal("unknown option '%s' (try --help)",
+                        arg.c_str());
+        }
+    }
+    return opts;
+}
+
+int
+runTool(const Options &opts)
+{
+    nn::Network network = opts.layersFile
+                              ? nn::parseNetworkFile(*opts.layersFile)
+                              : nn::networkByName(opts.network);
+    fpga::DataType type = fpga::dataTypeByName(opts.type);
+    fpga::Device device = fpga::deviceByName(opts.device);
+    fpga::ResourceBudget budget =
+        fpga::standardBudget(device, opts.mhz);
+    if (opts.bandwidthGbps > 0.0)
+        budget.setBandwidthGbps(opts.bandwidthGbps);
+
+    std::printf("network: %s (%zu conv layers, %.2f GFlop/image)\n",
+                network.name().c_str(), network.numLayers(),
+                static_cast<double>(network.totalFlops()) / 1e9);
+    std::printf("target:  %s, %s, %.0f MHz, %lld DSP / %lld BRAM-18K "
+                "budget%s\n\n",
+                device.name.c_str(), fpga::dataTypeName(type).c_str(),
+                opts.mhz, static_cast<long long>(budget.dspSlices),
+                static_cast<long long>(budget.bram18k),
+                budget.bandwidthLimited()
+                    ? util::strprintf(", %.1f GB/s",
+                                      budget.bandwidthGbps())
+                          .c_str()
+                    : "");
+
+    core::OptimizerOptions options;
+    options.singleClp = opts.single;
+    options.adjacentLayers = opts.adjacent;
+    options.maxClps = opts.maxClps;
+    auto result =
+        core::MultiClpOptimizer(network, type, budget, options).run();
+    auto design = core::canonicalizeSchedule(result.design, network);
+
+    std::printf("%s\n", design.toString(network).c_str());
+    std::printf("epoch:        %s cycles (%.2f img/s)\n",
+                util::withCommas(result.metrics.epochCycles).c_str(),
+                result.metrics.imagesPerSec(opts.mhz));
+    std::printf("utilization:  %s\n",
+                util::percent(result.metrics.utilization).c_str());
+    std::printf("DSP slices:   %s of %s\n",
+                util::withCommas(model::designDsp(design)).c_str(),
+                util::withCommas(budget.dspSlices).c_str());
+    std::printf("BRAM-18K:     %s of %s\n",
+                util::withCommas(
+                    model::designBram(design, network))
+                    .c_str(),
+                util::withCommas(budget.bram18k).c_str());
+    auto info = core::analyzeSchedule(design, network);
+    std::printf("schedule:     %s; latency %lld epochs (%.1f ms), "
+                "%lld images in flight\n",
+                info.adjacentLayers ? "adjacent-layers" : "pipelined",
+                static_cast<long long>(info.latencyEpochs),
+                1e3 * info.latencySeconds(result.metrics.epochCycles,
+                                          opts.mhz),
+                static_cast<long long>(info.imagesInFlight));
+
+    if (opts.sim) {
+        sim::MultiClpSystem system(design, network, budget);
+        auto sim_result = system.simulateEpoch();
+        std::printf("\ncycle-level simulation: epoch %s cycles, "
+                    "utilization %s, avg bandwidth %.2f GB/s\n",
+                    util::withCommas(static_cast<int64_t>(
+                                         sim_result.epochCycles))
+                        .c_str(),
+                    util::percent(sim_result.utilization).c_str(),
+                    sim_result.avgBandwidthBytesPerCycle() * opts.mhz *
+                        1e6 / 1e9);
+        for (size_t ci = 0; ci < sim_result.clps.size(); ++ci) {
+            std::printf("  CLP%zu: finish %s, stalls %s cycles\n", ci,
+                        util::withCommas(static_cast<int64_t>(
+                                             sim_result.clps[ci]
+                                                 .finishCycle))
+                            .c_str(),
+                        util::withCommas(static_cast<int64_t>(
+                                             sim_result.clps[ci]
+                                                 .stallCycles))
+                            .c_str());
+        }
+    }
+
+    if (opts.hlsOut) {
+        auto files = hlsgen::generateAccelerator(design, network);
+        std::filesystem::create_directories(*opts.hlsOut);
+        for (const auto &file : files) {
+            std::ofstream ofs(std::filesystem::path(*opts.hlsOut) /
+                              file.filename);
+            ofs << file.contents;
+        }
+        std::printf("\nwrote %zu HLS files to %s/\n", files.size(),
+                    opts.hlsOut->c_str());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        auto opts = parseArgs(argc, argv);
+        if (!opts)
+            return 0;
+        return runTool(*opts);
+    } catch (const util::FatalError &err) {
+        std::fprintf(stderr, "mclp-opt: %s\n", err.what());
+        return 1;
+    }
+}
