@@ -17,6 +17,24 @@ namespace {
 
 using namespace mclp;
 
+/**
+ * The engine-comparison pairs below feed BENCH_optimizer.json: the
+ * Reference engine re-runs the seed's Listing-3 loop (linear target
+ * scan, full shape enumeration) while the Frontier engine (the
+ * default used by every other benchmark here) answers from Pareto
+ * frontiers with a bisection search. Both produce identical designs.
+ */
+core::OptimizationResult
+runMulti(const nn::Network &net, fpga::DataType type,
+         const fpga::ResourceBudget &budget, core::OptimizerEngine engine,
+         int threads = 1)
+{
+    core::OptimizerOptions options;
+    options.engine = engine;
+    options.threads = threads;
+    return core::MultiClpOptimizer(net, type, budget, options).run();
+}
+
 void
 BM_SingleClpAlexNetFloat485(benchmark::State &state)
 {
@@ -42,6 +60,49 @@ BM_MultiClpAlexNetFloat690(benchmark::State &state)
     }
 }
 BENCHMARK(BM_MultiClpAlexNetFloat690)->Unit(benchmark::kMillisecond);
+
+void
+BM_MultiClpAlexNetFloat690Reference(benchmark::State &state)
+{
+    nn::Network net = nn::makeAlexNet();
+    auto budget = fpga::standardBudget(fpga::virtex7_690t(), 100.0);
+    for (auto _ : state) {
+        auto result = runMulti(net, fpga::DataType::Float32, budget,
+                               core::OptimizerEngine::Reference);
+        benchmark::DoNotOptimize(result.metrics.epochCycles);
+    }
+}
+BENCHMARK(BM_MultiClpAlexNetFloat690Reference)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_MultiClpAlexNetFloat690AllThreads(benchmark::State &state)
+{
+    nn::Network net = nn::makeAlexNet();
+    auto budget = fpga::standardBudget(fpga::virtex7_690t(), 100.0);
+    for (auto _ : state) {
+        auto result = runMulti(net, fpga::DataType::Float32, budget,
+                               core::OptimizerEngine::Frontier, 0);
+        benchmark::DoNotOptimize(result.metrics.epochCycles);
+    }
+}
+BENCHMARK(BM_MultiClpAlexNetFloat690AllThreads)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_MultiClpSqueezeNetFixed690Reference(benchmark::State &state)
+{
+    nn::Network net = nn::makeSqueezeNet();
+    auto budget = fpga::standardBudget(fpga::virtex7_690t(), 170.0);
+    for (auto _ : state) {
+        auto result = runMulti(net, fpga::DataType::Fixed16, budget,
+                               core::OptimizerEngine::Reference);
+        benchmark::DoNotOptimize(result.metrics.epochCycles);
+    }
+}
+BENCHMARK(BM_MultiClpSqueezeNetFixed690Reference)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 void
 BM_MultiClpSqueezeNetFixed690(benchmark::State &state)

@@ -19,9 +19,11 @@ constexpr int64_t kInfinity = std::numeric_limits<int64_t>::max() / 4;
 
 ComputeOptimizer::ComputeOptimizer(const nn::Network &network,
                                    fpga::DataType type,
-                                   std::vector<size_t> order, int max_clps)
+                                   std::vector<size_t> order, int max_clps,
+                                   ComputeEngine engine,
+                                   util::ThreadPool *pool)
     : network_(network), type_(type), order_(std::move(order)),
-      maxClps_(max_clps)
+      maxClps_(max_clps), engine_(engine), pool_(pool)
 {
     if (order_.size() != network_.numLayers())
         util::fatal("ComputeOptimizer: order length %zu != layer count "
@@ -89,11 +91,12 @@ ComputeOptimizer::bestShapeForRange(size_t i, size_t j,
         if (tm_cap < 1)
             break;
         // Prune: even the cheapest feasible Tm cannot beat the best.
+        // (A tie is not pruned — it may still win on fewer cycles.)
         int64_t tm_floor = util::ceilDiv(min_units, tn);
         if (tm_floor > tm_cap)
             continue;
         if (best &&
-            model::clpDsp({tn, tm_floor}, type_) >= best->dsp)
+            model::clpDsp({tn, tm_floor}, type_) > best->dsp)
             continue;
         if (rangeCycles(tn, tm_cap) > cycle_target)
             continue;  // infeasible even at the largest Tm
@@ -113,31 +116,21 @@ ComputeOptimizer::bestShapeForRange(size_t i, size_t j,
         int64_t dsp = model::clpDsp(shape, type_);
         if (dsp > dsp_budget)
             continue;
+        int64_t cycles = rangeCycles(tn, lo);
         if (!best || dsp < best->dsp ||
-            (dsp == best->dsp &&
-             rangeCycles(tn, lo) < best->cycles)) {
-            best = RangeChoice{shape, dsp, rangeCycles(tn, lo)};
+            (dsp == best->dsp && cycles < best->cycles)) {
+            best = RangeChoice{shape, dsp, cycles};
         }
     }
     return best;
 }
 
-std::vector<ComputePartition>
-ComputeOptimizer::optimize(int64_t dsp_budget, int64_t cycle_target)
+void
+ComputeOptimizer::fillRangesReference(
+    std::vector<std::vector<std::optional<RangeChoice>>> &range,
+    int max_k, int64_t dsp_budget, int64_t cycle_target)
 {
-    if (dsp_budget <= 0 || cycle_target <= 0)
-        util::fatal("ComputeOptimizer::optimize: budget and target must "
-                    "be positive");
-
     size_t count = order_.size();
-    int max_k = std::min<int>(maxClps_, static_cast<int>(count));
-
-    // Range table: best[i][j] = min-DSP shape for order_[i..j]. Only
-    // ranges a <= max_k partition can actually use are computed: with
-    // one CLP only the full span matters, with two CLPs a span must
-    // touch one end of the order.
-    std::vector<std::vector<std::optional<RangeChoice>>> range(
-        count, std::vector<std::optional<RangeChoice>>(count));
     for (size_t i = 0; i < count; ++i) {
         for (size_t j = i; j < count; ++j) {
             bool usable = (i == 0 && j == count - 1) ||
@@ -154,6 +147,50 @@ ComputeOptimizer::optimize(int64_t dsp_budget, int64_t cycle_target)
             }
         }
     }
+}
+
+void
+ComputeOptimizer::fillRangesFrontier(
+    std::vector<std::vector<std::optional<RangeChoice>>> &range,
+    int max_k, int64_t dsp_budget, int64_t cycle_target)
+{
+    if (!frontiers_)
+        frontiers_.emplace(network_, type_, order_, maxClps_);
+    frontiers_->prepare(dsp_budget, cycle_target, pool_);
+
+    size_t count = order_.size();
+    for (size_t i = 0; i < count; ++i) {
+        for (size_t j = i; j < count; ++j) {
+            auto point = frontiers_->choose(i, j);
+            if (!point)
+                continue;
+            range[i][j] = RangeChoice{point->shape, point->dsp,
+                                      point->cycles};
+        }
+    }
+    (void)max_k;  // the frontier table already encodes range usability
+}
+
+std::vector<ComputePartition>
+ComputeOptimizer::optimize(int64_t dsp_budget, int64_t cycle_target)
+{
+    if (dsp_budget <= 0 || cycle_target <= 0)
+        util::fatal("ComputeOptimizer::optimize: budget and target must "
+                    "be positive");
+
+    size_t count = order_.size();
+    int max_k = std::min<int>(maxClps_, static_cast<int>(count));
+
+    // Range table: best[i][j] = min-DSP shape for order_[i..j]. Only
+    // ranges a <= max_k partition can actually use are filled: with
+    // one CLP only the full span matters, with two CLPs a span must
+    // touch one end of the order.
+    std::vector<std::vector<std::optional<RangeChoice>>> range(
+        count, std::vector<std::optional<RangeChoice>>(count));
+    if (engine_ == ComputeEngine::Frontier)
+        fillRangesFrontier(range, max_k, dsp_budget, cycle_target);
+    else
+        fillRangesReference(range, max_k, dsp_budget, cycle_target);
 
     // DP over prefixes: cost[k][e] = min total DSP covering the first
     // e ordered layers with exactly k CLPs.

@@ -9,6 +9,12 @@
  * the partition minimizing total DSP for every CLP count up to the
  * limit; every partition that fits the DSP budget becomes a candidate
  * for OptimizeMemory.
+ *
+ * Two interchangeable shape-search engines back the per-range choice:
+ * the reference engine re-enumerates shapes on every call (the paper's
+ * Listing-3 behaviour), while the frontier engine answers from
+ * precomputed Pareto frontiers (see shape_frontier.h) and is the
+ * default. Both produce bit-identical partitions.
  */
 
 #ifndef MCLP_CORE_COMPUTE_OPTIMIZER_H
@@ -18,12 +24,23 @@
 #include <optional>
 #include <vector>
 
+#include "core/shape_frontier.h"
 #include "fpga/data_type.h"
 #include "model/clp_config.h"
 #include "nn/network.h"
+#include "util/thread_pool.h"
 
 namespace mclp {
 namespace core {
+
+/** Which shape-search implementation ComputeOptimizer uses. */
+enum class ComputeEngine
+{
+    /** Pareto-frontier cache + binary search (fast path, default). */
+    Frontier,
+    /** Full shape re-enumeration per call (seed-equivalent baseline). */
+    Reference,
+};
 
 /** One CLP of a compute-partition candidate (no tilings yet). */
 struct ComputeGroup
@@ -64,9 +81,13 @@ class ComputeOptimizer
      * @param type arithmetic data type (determines DSP per MAC)
      * @param order heuristic-ordered layer indices (see layer_order.h)
      * @param max_clps upper bound on CLPs per design
+     * @param engine shape-search implementation
+     * @param pool optional pool for parallel frontier construction
      */
     ComputeOptimizer(const nn::Network &network, fpga::DataType type,
-                     std::vector<size_t> order, int max_clps);
+                     std::vector<size_t> order, int max_clps,
+                     ComputeEngine engine = ComputeEngine::Frontier,
+                     util::ThreadPool *pool = nullptr);
 
     /**
      * Find candidate partitions whose every CLP meets @p cycle_target
@@ -90,10 +111,23 @@ class ComputeOptimizer
                                                  int64_t dsp_budget,
                                                  int64_t cycle_target);
 
+    /** Fill the usable-range table with the reference enumeration. */
+    void fillRangesReference(
+        std::vector<std::vector<std::optional<RangeChoice>>> &range,
+        int max_k, int64_t dsp_budget, int64_t cycle_target);
+
+    /** Fill the usable-range table from the frontier cache. */
+    void fillRangesFrontier(
+        std::vector<std::vector<std::optional<RangeChoice>>> &range,
+        int max_k, int64_t dsp_budget, int64_t cycle_target);
+
     const nn::Network &network_;
     fpga::DataType type_;
     std::vector<size_t> order_;
     int maxClps_;
+    ComputeEngine engine_;
+    util::ThreadPool *pool_;
+    std::optional<FrontierTable> frontiers_;
 };
 
 } // namespace core

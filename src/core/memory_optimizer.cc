@@ -1,6 +1,8 @@
 #include "core/memory_optimizer.h"
 
 #include <algorithm>
+#include <array>
+#include <cstring>
 #include <limits>
 #include <map>
 
@@ -75,6 +77,26 @@ paretoTilingOptions(const nn::ConvLayer &layer,
     return pareto;
 }
 
+TilingOptionCache::Options
+TilingOptionCache::get(const nn::ConvLayer &layer,
+                       const model::ClpShape &shape)
+{
+    Key key{layer.n, layer.m, layer.r, layer.c,
+            layer.k, layer.s, shape.tn, shape.tm};
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = table_.find(key);
+        if (it != table_.end())
+            return it->second;
+    }
+    // Compute outside the lock; a concurrent duplicate computation is
+    // harmless (the function is pure) and the first insert wins.
+    auto options = std::make_shared<const std::vector<TilingOption>>(
+        paretoTilingOptions(layer, shape));
+    std::lock_guard<std::mutex> lock(mutex_);
+    return table_.emplace(key, std::move(options)).first->second;
+}
+
 /**
  * Mutable tiling state of one CLP during the greedy frontier walk:
  * per-layer Pareto options, the currently chosen option per layer, and
@@ -84,14 +106,14 @@ class MemoryOptimizer::ClpState
 {
   public:
     ClpState(const nn::Network &network, fpga::DataType type,
-             const ComputeGroup &group)
+             const ComputeGroup &group, TilingOptionCache &cache)
         : network_(network), type_(type), shape_(group.shape),
           layers_(group.layers)
     {
         int64_t weight_words = 0;
         for (size_t idx : layers_) {
             const nn::ConvLayer &layer = network_.layer(idx);
-            options_.push_back(paretoTilingOptions(layer, shape_));
+            options_.push_back(cache.get(layer, shape_));
             weight_words =
                 std::max(weight_words, model::weightBankWords(layer));
         }
@@ -120,7 +142,7 @@ class MemoryOptimizer::ClpState
         double peak = 0.0;
         for (size_t li = 0; li < layers_.size(); ++li)
             peak = std::max(
-                peak, options_[li][chosen_[li]].peakWordsPerCycle);
+                peak, (*options_[li])[chosen_[li]].peakWordsPerCycle);
         return peak;
     }
 
@@ -147,7 +169,7 @@ class MemoryOptimizer::ClpState
         int64_t floor_cap = 0;
         for (size_t li = 0; li < layers_.size(); ++li) {
             int64_t layer_min = std::numeric_limits<int64_t>::max();
-            for (const TilingOption &opt : options_[li]) {
+            for (const TilingOption &opt : *options_[li]) {
                 int64_t other =
                     input ? opt.outputBankBrams : opt.inputBankBrams;
                 int64_t other_cap = input ? outCap_ : inCap_;
@@ -167,7 +189,7 @@ class MemoryOptimizer::ClpState
         // Largest achievable level strictly below the current cap.
         int64_t new_cap = floor_cap;
         for (size_t li = 0; li < layers_.size(); ++li) {
-            for (const TilingOption &opt : options_[li]) {
+            for (const TilingOption &opt : *options_[li]) {
                 int64_t level =
                     input ? opt.inputBankBrams : opt.outputBankBrams;
                 if (level < cap)
@@ -180,7 +202,7 @@ class MemoryOptimizer::ClpState
         double peak_after = 0.0;
         for (size_t li = 0; li < layers_.size(); ++li) {
             bool found = false;
-            for (const TilingOption &opt : options_[li]) {
+            for (const TilingOption &opt : *options_[li]) {
                 if (opt.inputBankBrams <= in_cap &&
                     opt.outputBankBrams <= out_cap) {
                     peak_after =
@@ -220,7 +242,7 @@ class MemoryOptimizer::ClpState
     const model::Tiling &
     tiling(size_t li) const
     {
-        return options_[li][chosen_[li]].tiling;
+        return (*options_[li])[chosen_[li]].tiling;
     }
 
   private:
@@ -233,8 +255,8 @@ class MemoryOptimizer::ClpState
     {
         for (size_t li = 0; li < layers_.size(); ++li) {
             bool found = false;
-            for (size_t oi = 0; oi < options_[li].size(); ++oi) {
-                const TilingOption &opt = options_[li][oi];
+            for (size_t oi = 0; oi < options_[li]->size(); ++oi) {
+                const TilingOption &opt = (*options_[li])[oi];
                 if (opt.inputBankBrams <= inCap_ &&
                     opt.outputBankBrams <= outCap_) {
                     chosen_[li] = oi;  // options sorted by peak
@@ -256,9 +278,9 @@ class MemoryOptimizer::ClpState
         int64_t out_max = 0;
         for (size_t li = 0; li < layers_.size(); ++li) {
             in_max = std::max(in_max,
-                              options_[li][chosen_[li]].inputBankBrams);
+                              (*options_[li])[chosen_[li]].inputBankBrams);
             out_max = std::max(out_max,
-                               options_[li][chosen_[li]].outputBankBrams);
+                               (*options_[li])[chosen_[li]].outputBankBrams);
         }
         inCap_ = in_max;
         outCap_ = out_max;
@@ -268,7 +290,7 @@ class MemoryOptimizer::ClpState
     fpga::DataType type_;
     model::ClpShape shape_;
     std::vector<size_t> layers_;
-    std::vector<std::vector<TilingOption>> options_;
+    std::vector<TilingOptionCache::Options> options_;
     std::vector<size_t> chosen_;
     int64_t weightBankBrams_ = 0;
     int64_t inCap_ = 0;
@@ -276,9 +298,12 @@ class MemoryOptimizer::ClpState
 };
 
 MemoryOptimizer::MemoryOptimizer(const nn::Network &network,
-                                 fpga::DataType type)
-    : network_(network), type_(type)
+                                 fpga::DataType type,
+                                 std::shared_ptr<TilingOptionCache> cache)
+    : network_(network), type_(type), cache_(std::move(cache))
 {
+    if (!cache_)
+        cache_ = std::make_shared<TilingOptionCache>();
 }
 
 model::MultiClpDesign
@@ -310,7 +335,7 @@ MemoryOptimizer::walkFrontier(const ComputePartition &partition,
     std::vector<ClpState> states;
     states.reserve(partition.groups.size());
     for (const ComputeGroup &group : partition.groups)
-        states.emplace_back(network_, type_, group);
+        states.emplace_back(network_, type_, group, *cache_);
 
     auto totalBram = [&]() {
         int64_t total = 0;
@@ -334,6 +359,13 @@ MemoryOptimizer::walkFrontier(const ComputePartition &partition,
         trace->push_back(std::move(point));
     };
 
+    // probeMove depends only on its own CLP's state, so probes stay
+    // valid until that CLP moves; only the mover is re-probed each
+    // round (the scores still compare in the original order).
+    std::vector<std::array<std::optional<ClpState::Move>, 2>> probes(
+        states.size());
+    std::vector<bool> stale(states.size(), true);
+
     record();
     while (bram_budget < 0 || totalBram() > bram_budget) {
         // Probe a one-level shrink of each CLP's input and output
@@ -345,8 +377,12 @@ MemoryOptimizer::walkFrontier(const ComputePartition &partition,
         size_t best_clp = 0;
         std::optional<ClpState::Move> best_move;
         for (size_t ci = 0; ci < states.size(); ++ci) {
-            for (bool input : {true, false}) {
-                auto move = states[ci].probeMove(input);
+            if (stale[ci]) {
+                probes[ci][0] = states[ci].probeMove(true);
+                probes[ci][1] = states[ci].probeMove(false);
+                stale[ci] = false;
+            }
+            for (const auto &move : probes[ci]) {
                 if (!move)
                     continue;
                 int64_t bram_delta =
@@ -377,6 +413,7 @@ MemoryOptimizer::walkFrontier(const ComputePartition &partition,
             break;
         }
         states[best_clp].applyMove(*best_move);
+        stale[best_clp] = true;
         record();
     }
 
@@ -389,16 +426,45 @@ MemoryOptimizer::optimize(const ComputePartition &partition,
                           int64_t cycle_target) const
 {
     budget.validate();
-    auto design = walkFrontier(partition, budget.bram18k, nullptr);
-    if (!design)
-        return std::nullopt;
+
+    // The result depends on the partition, the BRAM budget, and — only
+    // when bandwidth is constrained — the bandwidth cap and the cycle
+    // target the finished design must meet.
+    std::vector<int64_t> key;
+    key.reserve(4 + partition.groups.size() * 8);
+    key.push_back(budget.bram18k);
     if (budget.bandwidthLimited()) {
+        int64_t bw_bits;
+        static_assert(sizeof(bw_bits) == sizeof(double));
+        std::memcpy(&bw_bits, &budget.bandwidthBytesPerCycle,
+                    sizeof(bw_bits));
+        key.push_back(bw_bits);
+        key.push_back(cycle_target);
+    }
+    for (const ComputeGroup &group : partition.groups) {
+        key.push_back(-1);  // group delimiter
+        key.push_back(group.shape.tn);
+        key.push_back(group.shape.tm);
+        for (size_t idx : group.layers)
+            key.push_back(static_cast<int64_t>(idx));
+    }
+    {
+        std::lock_guard<std::mutex> lock(memoMutex_);
+        auto it = memo_.find(key);
+        if (it != memo_.end())
+            return it->second;
+    }
+
+    auto design = walkFrontier(partition, budget.bram18k, nullptr);
+    if (design && budget.bandwidthLimited()) {
         model::DesignMetrics metrics =
             model::evaluateDesign(*design, network_, budget);
         if (metrics.epochCycles > cycle_target)
-            return std::nullopt;
+            design = std::nullopt;
     }
-    return design;
+    std::lock_guard<std::mutex> lock(memoMutex_);
+    return memo_.emplace(std::move(key), std::move(design))
+        .first->second;
 }
 
 std::vector<TradeoffPoint>

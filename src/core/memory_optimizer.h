@@ -20,8 +20,13 @@
 #ifndef MCLP_CORE_MEMORY_OPTIMIZER_H
 #define MCLP_CORE_MEMORY_OPTIMIZER_H
 
+#include <array>
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <tuple>
 #include <vector>
 
 #include "core/compute_optimizer.h"
@@ -49,6 +54,31 @@ struct TilingOption
 std::vector<TilingOption> paretoTilingOptions(const nn::ConvLayer &layer,
                                               const model::ClpShape &shape);
 
+/**
+ * Memoizes paretoTilingOptions by (layer dimensions, shape). The
+ * optimization loop re-derives tilings for the same layer-on-shape
+ * pairing at every target step and across ordering heuristics, and
+ * networks repeat layer dimensions (grouped convolutions, fire
+ * modules); the table computes each distinct pairing once and hands
+ * out shared immutable vectors. Thread safe — concurrent heuristic
+ * runs share one cache.
+ */
+class TilingOptionCache
+{
+  public:
+    using Options = std::shared_ptr<const std::vector<TilingOption>>;
+
+    /** Options for @p layer on @p shape. */
+    Options get(const nn::ConvLayer &layer, const model::ClpShape &shape);
+
+  private:
+    /** (N, M, R, C, K, S, Tn, Tm) — everything the options depend on. */
+    using Key = std::array<int64_t, 8>;
+
+    std::mutex mutex_;
+    std::map<Key, Options> table_;
+};
+
 /** One point on the BRAM vs bandwidth tradeoff curve (Figure 6). */
 struct TradeoffPoint
 {
@@ -61,7 +91,13 @@ struct TradeoffPoint
 class MemoryOptimizer
 {
   public:
-    MemoryOptimizer(const nn::Network &network, fpga::DataType type);
+    /**
+     * @param cache optional shared tiling memo; when null the
+     * optimizer creates a private one, so repeated optimize() calls
+     * still reuse tables within this instance.
+     */
+    MemoryOptimizer(const nn::Network &network, fpga::DataType type,
+                    std::shared_ptr<TilingOptionCache> cache = nullptr);
 
     /**
      * Assign (Tr, Tc) to every layer of @p partition such that total
@@ -100,6 +136,19 @@ class MemoryOptimizer
 
     const nn::Network &network_;
     fpga::DataType type_;
+    std::shared_ptr<TilingOptionCache> cache_;
+
+    /**
+     * Memo for optimize(): the loosening-target loop re-proposes the
+     * same compute partitions at step after step, and the greedy walk
+     * is deterministic, so each (partition, budget, effective target)
+     * is solved once. The key serializes exactly the inputs the
+     * result depends on.
+     */
+    mutable std::mutex memoMutex_;
+    mutable std::map<std::vector<int64_t>,
+                     std::optional<model::MultiClpDesign>>
+        memo_;
 };
 
 /**

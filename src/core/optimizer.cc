@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "model/cycle_model.h"
 #include "model/dsp_model.h"
@@ -10,6 +11,30 @@
 
 namespace mclp {
 namespace core {
+
+namespace {
+
+/**
+ * The exact target sequence of Listing 3: 1.0 stepped down by `step`
+ * until the next value would fall to step/2, bounded by the iteration
+ * cap. Materialized with the same floating-point recurrence as the
+ * reference loop, so both engines evaluate bit-identical targets.
+ */
+std::vector<double>
+targetSequence(double step, int max_iterations)
+{
+    std::vector<double> targets;
+    double target = 1.0;
+    for (int iter = 1; iter <= max_iterations; ++iter) {
+        targets.push_back(target);
+        target -= step;
+        if (target <= step / 2.0)
+            break;
+    }
+    return targets;
+}
+
+} // namespace
 
 MultiClpOptimizer::MultiClpOptimizer(const nn::Network &network,
                                      fpga::DataType type,
@@ -22,17 +47,68 @@ MultiClpOptimizer::MultiClpOptimizer(const nn::Network &network,
         util::fatal("MultiClpOptimizer: maxClps must be >= 1");
     if (options_.targetStep <= 0.0 || options_.targetStep >= 1.0)
         util::fatal("MultiClpOptimizer: targetStep must be in (0, 1)");
+    if (options_.threads < 0)
+        util::fatal("MultiClpOptimizer: threads must be >= 0");
     if (network_.numLayers() == 0)
         util::fatal("MultiClpOptimizer: network has no layers");
 }
 
 std::optional<OptimizationResult>
-MultiClpOptimizer::runWithOrder(OrderHeuristic heuristic) const
+MultiClpOptimizer::evaluateTarget(ComputeOptimizer &compute,
+                                  const MemoryOptimizer &memory,
+                                  OrderHeuristic heuristic,
+                                  int64_t cycles_min, double target,
+                                  int iter) const
+{
+    int64_t cycle_target = static_cast<int64_t>(
+        std::ceil(static_cast<double>(cycles_min) / target));
+    std::vector<ComputePartition> candidates =
+        compute.optimize(budget_.dspSlices, cycle_target);
+
+    std::optional<OptimizationResult> best;
+    for (const ComputePartition &partition : candidates) {
+        auto design = memory.optimize(partition, budget_, cycle_target);
+        if (!design)
+            continue;
+        model::DesignMetrics metrics =
+            model::evaluateDesign(*design, network_, budget_);
+        bool better =
+            !best ||
+            metrics.epochCycles < best->metrics.epochCycles ||
+            (metrics.epochCycles == best->metrics.epochCycles &&
+             (metrics.peakBandwidthBytesPerCycle <
+                  best->metrics.peakBandwidthBytesPerCycle ||
+              (metrics.peakBandwidthBytesPerCycle ==
+                   best->metrics.peakBandwidthBytesPerCycle &&
+               design->clps.size() < best->design.clps.size())));
+        if (better) {
+            OptimizationResult result;
+            result.design = std::move(*design);
+            result.metrics = metrics;
+            result.partition = partition;
+            result.usedHeuristic = heuristic;
+            result.achievedTarget = target;
+            result.iterations = iter;
+            best = std::move(result);
+        }
+    }
+    return best;
+}
+
+std::optional<OptimizationResult>
+MultiClpOptimizer::runWithOrder(OrderHeuristic heuristic,
+                                util::ThreadPool *pool,
+                                std::shared_ptr<TilingOptionCache> cache)
+    const
 {
     int max_clps = options_.singleClp ? 1 : options_.maxClps;
+    bool frontier = options_.engine == OptimizerEngine::Frontier;
     std::vector<size_t> order = orderLayers(network_, heuristic);
-    ComputeOptimizer compute(network_, type_, order, max_clps);
-    MemoryOptimizer memory(network_, type_);
+    ComputeOptimizer compute(network_, type_, order, max_clps,
+                             frontier ? ComputeEngine::Frontier
+                                      : ComputeEngine::Reference,
+                             pool);
+    MemoryOptimizer memory(network_, type_, std::move(cache));
 
     int64_t units = model::macBudget(budget_.dspSlices, type_);
     if (units < 1)
@@ -41,49 +117,68 @@ MultiClpOptimizer::runWithOrder(OrderHeuristic heuristic) const
                     static_cast<long long>(budget_.dspSlices));
     int64_t cycles_min = model::minimumPossibleCycles(network_, units);
 
-    double target = 1.0;
-    for (int iter = 1; iter <= options_.maxIterations; ++iter) {
-        int64_t cycle_target = static_cast<int64_t>(
-            std::ceil(static_cast<double>(cycles_min) / target));
-        std::vector<ComputePartition> candidates =
-            compute.optimize(budget_.dspSlices, cycle_target);
+    std::vector<double> targets =
+        targetSequence(options_.targetStep, options_.maxIterations);
+    size_t limit = targets.size();
+    if (limit == 0)
+        return std::nullopt;  // maxIterations <= 0: nothing to probe
 
-        std::optional<OptimizationResult> best;
-        for (const ComputePartition &partition : candidates) {
-            auto design = memory.optimize(partition, budget_,
-                                          cycle_target);
-            if (!design)
-                continue;
-            model::DesignMetrics metrics =
-                model::evaluateDesign(*design, network_, budget_);
-            bool better =
-                !best ||
-                metrics.epochCycles < best->metrics.epochCycles ||
-                (metrics.epochCycles == best->metrics.epochCycles &&
-                 (metrics.peakBandwidthBytesPerCycle <
-                      best->metrics.peakBandwidthBytesPerCycle ||
-                  (metrics.peakBandwidthBytesPerCycle ==
-                       best->metrics.peakBandwidthBytesPerCycle &&
-                   design->clps.size() < best->design.clps.size())));
-            if (better) {
-                OptimizationResult result;
-                result.design = std::move(*design);
-                result.metrics = metrics;
-                result.partition = partition;
-                result.usedHeuristic = heuristic;
-                result.achievedTarget = target;
-                result.iterations = iter;
-                best = std::move(result);
-            }
+    auto probe = [&](size_t k) {
+        return evaluateTarget(compute, memory, heuristic, cycles_min,
+                              targets[k - 1], static_cast<int>(k));
+    };
+
+    // With a bandwidth cap, OptimizeMemory re-checks each design
+    // against the *current* target, so a looser step can reject a
+    // design an earlier step accepted — feasibility is not monotone
+    // and bisection could land past the first feasible step. Keep
+    // Listing 3's linear scan there (the frontier cache still
+    // accelerates every step); bisect only compute-bound searches.
+    if (!frontier || budget_.bandwidthLimited()) {
+        // Listing 3 verbatim: first feasible target wins.
+        for (size_t k = 1; k <= limit; ++k) {
+            auto result = probe(k);
+            if (result)
+                return result;
         }
-        if (best)
-            return best;
-
-        target -= options_.targetStep;
-        if (target <= options_.targetStep / 2.0)
-            break;
+        return std::nullopt;
     }
-    return std::nullopt;
+
+    // Compute-bound feasibility is treated as monotone along the
+    // loosening target sequence: a partition meeting a tight target
+    // meets every looser one, and BRAM pressure generally eases as
+    // shapes shrink. That lets galloping + bisection find the first
+    // feasible step in O(log k) probes with Listing 3's semantics.
+    // The assumption is not a theorem — a looser step's cheaper
+    // partition could regroup layers into a worse BRAM footprint — so
+    // it is guarded empirically by the cross-engine parity tests in
+    // tests/core/test_shape_frontier.cc (fixed and randomized
+    // networks); a divergence there means this fast path must fall
+    // back to the linear scan for the affected budget class, as the
+    // bandwidth-limited case above already does.
+    std::optional<OptimizationResult> found;
+    size_t lo = 0;  // highest step known infeasible
+    size_t hi = 1;
+    for (;;) {
+        found = probe(hi);
+        if (found)
+            break;
+        lo = hi;
+        if (hi >= limit)
+            return std::nullopt;
+        hi = std::min(limit, hi * 2);
+    }
+    while (hi - lo > 1) {
+        size_t mid = lo + (hi - lo) / 2;
+        auto result = probe(mid);
+        if (result) {
+            found = std::move(result);
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    return found;
 }
 
 OptimizationResult
@@ -108,9 +203,32 @@ MultiClpOptimizer::run() const
         heuristics.push_back(OrderHeuristic::AsIs);
     }
 
+    bool frontier = options_.engine == OptimizerEngine::Frontier;
+    std::unique_ptr<util::ThreadPool> pool;
+    if (frontier && util::resolveThreads(options_.threads) > 1)
+        pool = std::make_unique<util::ThreadPool>(options_.threads);
+    // One tiling memo across heuristic runs: the same layer lands on
+    // the same shapes under different orders. The Reference engine
+    // keeps per-run tables so its timings stay closer to the seed
+    // baseline (it still memoizes within a run; BENCH_optimizer.json
+    // records the true pre-engine seed numbers separately).
+    auto cache =
+        frontier ? std::make_shared<TilingOptionCache>() : nullptr;
+
+    std::vector<std::optional<OptimizationResult>> results(
+        heuristics.size());
+    auto evaluate = [&](size_t hi) {
+        results[hi] = runWithOrder(heuristics[hi], pool.get(), cache);
+    };
+    if (pool && heuristics.size() > 1) {
+        pool->parallelFor(heuristics.size(), evaluate);
+    } else {
+        for (size_t hi = 0; hi < heuristics.size(); ++hi)
+            evaluate(hi);
+    }
+
     std::optional<OptimizationResult> best;
-    for (OrderHeuristic heuristic : heuristics) {
-        auto result = runWithOrder(heuristic);
+    for (std::optional<OptimizationResult> &result : results) {
         if (!result)
             continue;
         if (!best ||

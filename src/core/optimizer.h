@@ -25,15 +25,43 @@
 #include "model/clp_config.h"
 #include "model/metrics.h"
 #include "nn/network.h"
+#include "util/thread_pool.h"
 
 namespace mclp {
 namespace core {
+
+/** Which end-to-end search implementation MultiClpOptimizer runs. */
+enum class OptimizerEngine
+{
+    /**
+     * Pareto-frontier shape cache, galloping + bisection over the
+     * monotone target sequence, and (with threads > 1) parallel
+     * frontier construction and heuristic runs. Produces the same
+     * designs as Reference. Default.
+     */
+    Frontier,
+    /**
+     * The paper's Listing-3 loop verbatim: linear target scan with
+     * full shape re-enumeration per step. Kept as the seed-equivalent
+     * baseline for benchmarking and differential testing.
+     */
+    Reference,
+};
 
 /** Knobs of the optimization procedure. */
 struct OptimizerOptions
 {
     /** Upper bound on CLPs (the paper limits SqueezeNet runs to 6). */
     int maxClps = 6;
+
+    /** Search implementation; see OptimizerEngine. */
+    OptimizerEngine engine = OptimizerEngine::Frontier;
+
+    /**
+     * Worker threads for the Frontier engine (0 = hardware
+     * concurrency). Thread count never changes results.
+     */
+    int threads = 1;
 
     /** Target decrement per iteration (Listing 3's `step`). */
     double targetStep = 0.005;
@@ -88,8 +116,25 @@ class MultiClpOptimizer
     OptimizationResult run() const;
 
   private:
+    /**
+     * One full search for a fixed layer order: Listing 3's linear scan
+     * under the Reference engine, galloping + bisection over the same
+     * target sequence under the Frontier engine. @p cache (optional)
+     * shares tiling tables across concurrent heuristic runs.
+     */
     std::optional<OptimizationResult> runWithOrder(
-        OrderHeuristic heuristic) const;
+        OrderHeuristic heuristic, util::ThreadPool *pool,
+        std::shared_ptr<TilingOptionCache> cache) const;
+
+    /**
+     * Evaluate one target step (Listing 3's loop body): propose
+     * compute partitions, fit their buffers, keep the best feasible
+     * design. nullopt when the step is infeasible.
+     */
+    std::optional<OptimizationResult> evaluateTarget(
+        ComputeOptimizer &compute, const MemoryOptimizer &memory,
+        OrderHeuristic heuristic, int64_t cycles_min, double target,
+        int iter) const;
 
     const nn::Network &network_;
     fpga::DataType type_;

@@ -1,0 +1,358 @@
+#include "core/shape_frontier.h"
+
+#include <algorithm>
+
+#include "model/dsp_model.h"
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace mclp {
+namespace core {
+
+const BreakpointCache::Table &
+BreakpointCache::table(int64_t d)
+{
+    auto it = tables_.find(d);
+    if (it != tables_.end())
+        return it->second;
+    if (d < 1)
+        util::panic("BreakpointCache: dimension must be positive");
+
+    // Jump divisor-style: from breakpoint t with q = ceil(d/t), the
+    // next tile size with a smaller ceiling is (d-1)/(q-1) + 1.
+    Table table;
+    int64_t t = 1;
+    while (t <= d) {
+        int64_t q = util::ceilDiv(d, t);
+        table.bps.push_back(t);
+        table.ceils.push_back(q);
+        if (q == 1)
+            break;
+        t = (d - 1) / (q - 1) + 1;
+    }
+    return tables_.emplace(d, std::move(table)).first->second;
+}
+
+void
+ShapeFrontier::Builder::reset()
+{
+    layers_.clear();
+    seenN_.clear();
+    seenM_.clear();
+    maxN_ = 0;
+    maxM_ = 0;
+    tnBps_.clear();
+    tmBps_.clear();
+    grid_.clear();
+}
+
+bool
+ShapeFrontier::Builder::mergeBps(std::vector<int64_t> &into,
+                                 const std::vector<int64_t> &from)
+{
+    size_t before = into.size();
+    size_t mid = before;
+    into.insert(into.end(), from.begin(), from.end());
+    std::inplace_merge(into.begin(),
+                       into.begin() + static_cast<ptrdiff_t>(mid),
+                       into.end());
+    into.erase(std::unique(into.begin(), into.end()), into.end());
+    return into.size() != before;
+}
+
+void
+ShapeFrontier::Builder::expandGrid(const std::vector<int64_t> &old_tn,
+                                   const std::vector<int64_t> &old_tm)
+{
+    // Cycle counts are constant between breakpoints, so the value at a
+    // new breakpoint is the value at the largest old breakpoint at or
+    // under it. Old lists are subsets of the new ones, so a moving
+    // cursor maps every new index.
+    size_t new_w = tmBps_.size();
+    size_t old_w = old_tm.size();
+    scratch_.assign(grid_.begin(), grid_.end());
+    grid_.assign(tnBps_.size() * new_w, 0);
+    if (old_w == 0)
+        return;
+
+    std::vector<size_t> mcol(new_w, 0);
+    for (size_t mi = 0, o = 0; mi < new_w; ++mi) {
+        while (o + 1 < old_w && old_tm[o + 1] <= tmBps_[mi])
+            ++o;
+        mcol[mi] = o;
+    }
+    for (size_t ti = 0, o = 0; ti < tnBps_.size(); ++ti) {
+        while (o + 1 < old_tn.size() && old_tn[o + 1] <= tnBps_[ti])
+            ++o;
+        const int64_t *src = scratch_.data() + o * old_w;
+        int64_t *dst = grid_.data() + ti * new_w;
+        for (size_t mi = 0; mi < new_w; ++mi)
+            dst[mi] = src[mcol[mi]];
+    }
+}
+
+void
+ShapeFrontier::Builder::addLayer(const nn::ConvLayer &layer,
+                                 BreakpointCache &scratch)
+{
+    layers_.push_back(&layer);
+    maxN_ = std::max(maxN_, layer.n);
+    maxM_ = std::max(maxM_, layer.m);
+
+    const BreakpointCache::Table &ntab = scratch.table(layer.n);
+    const BreakpointCache::Table &mtab = scratch.table(layer.m);
+
+    // A repeated dimension value adds no new breakpoints; the grid
+    // keeps its geometry and only absorbs the rank-1 update below.
+    bool n_new = std::find(seenN_.begin(), seenN_.end(), layer.n) ==
+                 seenN_.end();
+    bool m_new = std::find(seenM_.begin(), seenM_.end(), layer.m) ==
+                 seenM_.end();
+    if (n_new || m_new) {
+        std::vector<int64_t> old_tn;
+        std::vector<int64_t> old_tm;
+        if (!grid_.empty()) {
+            old_tn = tnBps_;
+            old_tm = tmBps_;
+        }
+        bool changed = false;
+        if (n_new) {
+            seenN_.push_back(layer.n);
+            changed |= mergeBps(tnBps_, ntab.bps);
+        }
+        if (m_new) {
+            seenM_.push_back(layer.m);
+            changed |= mergeBps(tmBps_, mtab.bps);
+        }
+        if (grid_.empty())
+            grid_.assign(tnBps_.size() * tmBps_.size(), 0);
+        else if (changed)
+            expandGrid(old_tn, old_tm);
+    }
+
+    // Rank-1 update: cycles(tn, tm) += R*C*K^2 * ceil(N/tn) *
+    // ceil(M/tm). Per-breakpoint ceilings come from the layer's own
+    // tables with moving cursors — no divisions.
+    size_t w = tmBps_.size();
+    scratch_.resize(w);
+    for (size_t mi = 0, k = 0; mi < w; ++mi) {
+        while (k + 1 < mtab.bps.size() && mtab.bps[k + 1] <= tmBps_[mi])
+            ++k;
+        scratch_[mi] = mtab.ceils[k];
+    }
+    int64_t rck2 = layer.r * layer.c * layer.k * layer.k;
+    for (size_t ti = 0, k = 0; ti < tnBps_.size(); ++ti) {
+        while (k + 1 < ntab.bps.size() && ntab.bps[k + 1] <= tnBps_[ti])
+            ++k;
+        int64_t area = rck2 * ntab.ceils[k];
+        int64_t *row = grid_.data() + ti * w;
+        const int64_t *cm = scratch_.data();
+        for (size_t mi = 0; mi < w; ++mi)
+            row[mi] += area * cm[mi];
+    }
+}
+
+ShapeFrontier
+ShapeFrontier::Builder::build(fpga::DataType type, int64_t units_budget)
+{
+    ShapeFrontier frontier;
+    if (layers_.empty())
+        util::panic("ShapeFrontier: empty layer range");
+    if (units_budget < 1)
+        return frontier;  // not a single MAC unit
+
+    size_t max_units = static_cast<size_t>(
+        std::min(units_budget,
+                 std::min(maxN_, units_budget) * maxM_));
+    if (buckets_.size() < max_units + 1)
+        buckets_.resize(max_units + 1);
+
+    // Read the grid: per MAC count keep the best (fewest cycles; ties
+    // toward the first, i.e. smallest, Tn) shape within the budget.
+    int64_t tn_cap = std::min(maxN_, units_budget);
+    size_t w = tmBps_.size();
+    for (size_t ti = 0; ti < tnBps_.size(); ++ti) {
+        int64_t tn = tnBps_[ti];
+        if (tn > tn_cap)
+            break;
+        int64_t tm_cap = units_budget / tn;
+        size_t hi = static_cast<size_t>(
+            std::upper_bound(tmBps_.begin(), tmBps_.end(), tm_cap) -
+            tmBps_.begin());
+        const int64_t *row = grid_.data() + ti * w;
+        for (size_t mi = 0; mi < hi; ++mi) {
+            size_t units = static_cast<size_t>(tn * tmBps_[mi]);
+            int64_t cycles = row[mi];
+            Bucket &slot = buckets_[units];
+            if (slot.cycles < 0 || cycles < slot.cycles) {
+                slot.cycles = cycles;
+                slot.tn = static_cast<int32_t>(tn);
+                slot.tm = static_cast<int32_t>(tmBps_[mi]);
+            }
+        }
+    }
+
+    // Ascending-units sweep keeps only the Pareto staircase: strictly
+    // increasing DSP, strictly decreasing cycles. Buckets reset along
+    // the way.
+    int64_t per_mac = fpga::dspPerMac(type);
+    int64_t best_cycles = -1;
+    for (size_t units = 1; units <= max_units; ++units) {
+        Bucket &slot = buckets_[units];
+        if (slot.cycles < 0)
+            continue;
+        if (best_cycles < 0 || slot.cycles < best_cycles) {
+            best_cycles = slot.cycles;
+            FrontierPoint point;
+            point.shape = model::ClpShape{slot.tn, slot.tm};
+            point.dsp = per_mac * static_cast<int64_t>(units);
+            point.cycles = slot.cycles;
+            frontier.points_.push_back(point);
+        }
+        slot.cycles = -1;  // reset for the next build
+    }
+    return frontier;
+}
+
+ShapeFrontier::ShapeFrontier(
+    const std::vector<const nn::ConvLayer *> &layers, fpga::DataType type,
+    int64_t units_budget, BreakpointCache &scratch)
+{
+    Builder builder;
+    for (const nn::ConvLayer *layer : layers)
+        builder.addLayer(*layer, scratch);
+    *this = builder.build(type, units_budget);
+}
+
+const FrontierPoint *
+ShapeFrontier::query(int64_t cycle_target) const
+{
+    // Cycles decrease along the frontier; the first point at or under
+    // the target is the cheapest one (ties already resolved toward
+    // fewer cycles, then smaller Tn, during construction).
+    auto it = std::partition_point(
+        points_.begin(), points_.end(), [&](const FrontierPoint &p) {
+            return p.cycles > cycle_target;
+        });
+    return it == points_.end() ? nullptr : &*it;
+}
+
+FrontierTable::FrontierTable(const nn::Network &network,
+                             fpga::DataType type, std::vector<size_t> order,
+                             int max_clps)
+    : network_(network), type_(type), order_(std::move(order)),
+      maxClps_(max_clps)
+{
+    if (order_.size() != network_.numLayers())
+        util::panic("FrontierTable: order length %zu != layer count %zu",
+                    order_.size(), network_.numLayers());
+    // Warm the breakpoint tables for every dimension the builders will
+    // touch, so the parallel phase only reads them.
+    for (size_t idx : order_) {
+        breakpoints_.breakpoints(network_.layer(idx).n);
+        breakpoints_.breakpoints(network_.layer(idx).m);
+    }
+}
+
+bool
+FrontierTable::usable(size_t i, size_t j) const
+{
+    size_t count = order_.size();
+    return (i == 0 && j == count - 1) ||
+           (maxClps_ >= 2 && (i == 0 || j == count - 1)) || maxClps_ >= 3;
+}
+
+void
+FrontierTable::extendRow(size_t i, int64_t cycle_target)
+{
+    Row &row = rows_[i];
+    if (row.exhausted)
+        return;
+    size_t count = order_.size();
+    // The usable j for a row are contiguous up to count-1 (maxClps >= 3
+    // or i == 0), or just the full-suffix range {count-1}.
+    size_t j = usable(i, i) ? i + row.frontiers.size() : count - 1;
+    // Bring the incremental builder up to [i..j].
+    for (size_t p = i + row.builderLayers; p <= j; ++p)
+        row.builder.addLayer(network_.layer(order_[p]), breakpoints_);
+    row.builderLayers = j - i + 1;
+
+    while (true) {
+        row.frontiers.push_back(row.builder.build(type_, unitsBudget_));
+        const ShapeFrontier &frontier = row.frontiers.back();
+        if (frontier.empty()) {
+            // No affordable shape at any target; extensions only add
+            // cycles, so this row is finished for good.
+            row.exhausted = true;
+            return;
+        }
+        if (j + 1 >= count) {
+            row.exhausted = true;
+            return;
+        }
+        if (frontier.minCycles() > cycle_target)
+            return;  // resume here when the target loosens
+        ++j;
+        if (!usable(i, j)) {
+            row.exhausted = true;  // next usable j is not contiguous
+            return;
+        }
+        row.builder.addLayer(network_.layer(order_[j]), breakpoints_);
+        row.builderLayers = j - i + 1;
+    }
+}
+
+void
+FrontierTable::prepare(int64_t dsp_budget, int64_t cycle_target,
+                       util::ThreadPool *pool)
+{
+    if (dsp_budget != dspBudget_) {
+        rows_.clear();
+        dspBudget_ = dsp_budget;
+        unitsBudget_ = model::macBudget(dsp_budget, type_);
+    }
+    cycleTarget_ = cycle_target;
+    size_t count = order_.size();
+    if (rows_.empty())
+        rows_.resize(count);
+
+    std::vector<size_t> pending;
+    for (size_t i = 0; i < count; ++i) {
+        if (rows_[i].exhausted)
+            continue;
+        if (!usable(i, i) && !usable(i, count - 1))
+            continue;  // no usable range starts at i
+        if (!rows_[i].frontiers.empty() &&
+            rows_[i].frontiers.back().minCycles() > cycle_target)
+            continue;  // still blocked at this target
+        pending.push_back(i);
+    }
+    if (pool && pending.size() > 1) {
+        pool->parallelFor(pending.size(), [&](size_t p) {
+            extendRow(pending[p], cycle_target);
+        });
+    } else {
+        for (size_t i : pending)
+            extendRow(i, cycle_target);
+    }
+}
+
+std::optional<FrontierPoint>
+FrontierTable::choose(size_t i, size_t j) const
+{
+    if (!usable(i, j))
+        return std::nullopt;
+    const Row &row = rows_[i];
+    // Rows are contiguous from j = i when usable(i, i); otherwise the
+    // only usable range is the full suffix, stored at slot 0.
+    size_t idx = usable(i, i) ? j - i : 0;
+    if (idx >= row.frontiers.size())
+        return std::nullopt;  // infeasible at every target so far
+    const FrontierPoint *point = row.frontiers[idx].query(cycleTarget_);
+    if (!point)
+        return std::nullopt;
+    return *point;
+}
+
+} // namespace core
+} // namespace mclp

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Pareto-frontier shape cache for the OptimizeCompute search.
+ *
+ * For a fixed run of layers, the cost of a CLP shape (Tn, Tm) is two
+ * monotone quantities: DSP (increasing in Tn*Tm) and compute cycles
+ * (non-increasing in Tn and Tm). The Listing-3 loop re-evaluates the
+ * same layer ranges for up to 2000 cycle targets, re-enumerating every
+ * shape each time; but the answer it seeks — the minimum-DSP shape
+ * meeting the target — always lies on the Pareto frontier of
+ * (dsp, cycles) over all shapes, and that frontier does not depend on
+ * the target at all. ShapeFrontier precomputes the frontier once per
+ * range, reducing every subsequent target query to a binary search.
+ *
+ * Only shapes that can ever win are enumerated: Tn values where some
+ * layer's ceil(N/Tn) changes (a larger Tn with identical ceilings
+ * costs more DSP for the same cycles) crossed with, per Tn, the Tm
+ * values where the range's cycle count steps. Per-dimension breakpoint
+ * tables are shared network-wide through BreakpointCache, so frontier
+ * construction skips redundant tile sizes in O(1).
+ *
+ * FrontierTable manages the frontiers of every range the partition DP
+ * can use, building them lazily as loosening targets make longer
+ * ranges relevant, optionally fanning construction out over a thread
+ * pool. Queries reproduce the brute-force search bit-exactly
+ * (tie-breaks included), which tests/core/test_shape_frontier.cc
+ * asserts against randomized ranges.
+ */
+
+#ifndef MCLP_CORE_SHAPE_FRONTIER_H
+#define MCLP_CORE_SHAPE_FRONTIER_H
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "fpga/data_type.h"
+#include "model/clp_config.h"
+#include "nn/network.h"
+#include "util/thread_pool.h"
+
+namespace mclp {
+namespace core {
+
+/**
+ * Shared per-dimension breakpoint tables. For a dimension size d, the
+ * breakpoints are the tile sizes t (ascending, starting at 1) where
+ * ceil(d/t) differs from ceil(d/(t-1)); all other tile sizes are
+ * redundant. Each breakpoint carries its ceiling, so consumers never
+ * divide. Tables are memoized by d, so every layer sharing a channel
+ * count is computed once per network.
+ */
+class BreakpointCache
+{
+  public:
+    struct Table
+    {
+        std::vector<int64_t> bps;    ///< ascending, starts at 1
+        std::vector<int64_t> ceils;  ///< ceil(d / bps[k])
+    };
+
+    /** Breakpoints of ceil(d/t) for t in [1, d], with their values. */
+    const Table &table(int64_t d);
+
+    /** Convenience: just the breakpoints. */
+    const std::vector<int64_t> &
+    breakpoints(int64_t d)
+    {
+        return table(d).bps;
+    }
+
+  private:
+    std::unordered_map<int64_t, Table> tables_;
+};
+
+/** One Pareto-optimal shape of a layer range. */
+struct FrontierPoint
+{
+    model::ClpShape shape;
+    int64_t dsp = 0;     ///< strictly increasing along the frontier
+    int64_t cycles = 0;  ///< strictly decreasing along the frontier
+};
+
+/**
+ * The (dsp, cycles) Pareto frontier over all CLP shapes for one run of
+ * layers, under a fixed DSP budget.
+ */
+class ShapeFrontier
+{
+  public:
+    class Builder;
+
+    /**
+     * Enumerate shapes for @p layers (in range order) and keep the
+     * frontier. @p units_budget caps Tn*Tm (the MAC budget implied by
+     * the DSP budget); shapes beyond it can never fit and are not
+     * stored. @p scratch supplies the breakpoint tables.
+     */
+    ShapeFrontier(const std::vector<const nn::ConvLayer *> &layers,
+                  fpga::DataType type, int64_t units_budget,
+                  BreakpointCache &scratch);
+
+    /**
+     * Minimum-DSP shape finishing the range within @p cycle_target,
+     * breaking DSP ties toward fewer cycles, then smaller Tn — the
+     * exact choice of the brute-force enumeration. nullopt when no
+     * stored shape meets the target.
+     */
+    const FrontierPoint *query(int64_t cycle_target) const;
+
+    /** True when not even the largest affordable shape can help. */
+    bool empty() const { return points_.empty(); }
+
+    /** Fewest cycles any affordable shape achieves on this range. */
+    int64_t
+    minCycles() const
+    {
+        return points_.empty() ? 0 : points_.back().cycles;
+    }
+
+    const std::vector<FrontierPoint> &points() const { return points_; }
+
+  private:
+    friend class Builder;
+
+    ShapeFrontier() = default;
+
+    std::vector<FrontierPoint> points_;
+};
+
+/**
+ * Reusable frontier constructor for one growing run of layers. A row
+ * of the range table extends one layer at a time ([i..j] to [i..j+1]).
+ *
+ * Shape cost is additive over layers, so the builder keeps a dense
+ * grid of exact cycle counts over (merged Tn breakpoints x merged Tm
+ * breakpoints): appending a layer is one rank-1 update
+ * (grid += area[tn] * mceil[tm]) and building a frontier is a pure
+ * read of the grid — no per-extension re-enumeration at all. When a
+ * layer introduces new breakpoints the grid re-expands by run-length
+ * copying (cycle counts are constant between breakpoints); layers
+ * repeating already-seen channel counts (grouped convolutions,
+ * inception modules) add no breakpoints and skip that entirely.
+ */
+class ShapeFrontier::Builder
+{
+  public:
+    /** Forget all layers (scratch capacity is kept). */
+    void reset();
+
+    /** Append the next layer of the run. */
+    void addLayer(const nn::ConvLayer &layer, BreakpointCache &scratch);
+
+    /** Frontier over the layers added so far. */
+    ShapeFrontier build(fpga::DataType type, int64_t units_budget);
+
+  private:
+    struct Bucket
+    {
+        int64_t cycles = -1;
+        int32_t tn = 0;
+        int32_t tm = 0;
+    };
+
+    /** Merge a table's breakpoints into a sorted union; true if new. */
+    static bool mergeBps(std::vector<int64_t> &into,
+                         const std::vector<int64_t> &from);
+
+    /** Re-expand grid_ after the breakpoint lists changed. */
+    void expandGrid(const std::vector<int64_t> &old_tn,
+                    const std::vector<int64_t> &old_tm);
+
+    std::vector<const nn::ConvLayer *> layers_;
+    std::vector<int64_t> seenN_;  ///< distinct N values so far
+    std::vector<int64_t> seenM_;  ///< distinct M values so far
+    int64_t maxN_ = 0;
+    int64_t maxM_ = 0;
+    std::vector<int64_t> tnBps_;  ///< merged Tn breakpoints, ascending
+    std::vector<int64_t> tmBps_;  ///< merged Tm breakpoints, ascending
+    /** cycles of the range at (tnBps_[ti], tmBps_[mi]), row-major. */
+    std::vector<int64_t> grid_;
+    std::vector<int64_t> scratch_;  ///< expansion / per-bp ceilings
+    std::vector<Bucket> buckets_;   ///< by MAC count; reset after use
+};
+
+/**
+ * Lazily built frontiers for every layer range the partition DP may
+ * consult, i.e. ranges of a fixed heuristic order usable by some
+ * partition into at most max_clps contiguous groups.
+ */
+class FrontierTable
+{
+  public:
+    FrontierTable(const nn::Network &network, fpga::DataType type,
+                  std::vector<size_t> order, int max_clps);
+
+    /**
+     * Make sure every range that could satisfy @p cycle_target under
+     * @p dsp_budget has its frontier built, extending each start row
+     * until the range becomes infeasible for the target (extending an
+     * infeasible range only adds cycles, so the rest of the row cannot
+     * matter yet). Ranges already built are kept; a change of
+     * dsp_budget discards the table. Row construction fans out over
+     * @p pool when given.
+     */
+    void prepare(int64_t dsp_budget, int64_t cycle_target,
+                 util::ThreadPool *pool);
+
+    /**
+     * Frontier query for order[i..j] at the budget/target of the last
+     * prepare() call. nullopt when the range cannot meet the target.
+     */
+    std::optional<FrontierPoint> choose(size_t i, size_t j) const;
+
+    size_t size() const { return order_.size(); }
+
+  private:
+    struct Row
+    {
+        ShapeFrontier::Builder builder;        ///< incremental scratch
+        size_t builderLayers = 0;              ///< layers added so far
+        std::vector<ShapeFrontier> frontiers;  ///< [i..i], [i..i+1], ...
+        bool exhausted = false;  ///< row is complete to its last range
+    };
+
+    bool usable(size_t i, size_t j) const;
+    void extendRow(size_t i, int64_t cycle_target);
+
+    const nn::Network &network_;
+    fpga::DataType type_;
+    std::vector<size_t> order_;
+    int maxClps_;
+    int64_t unitsBudget_ = 0;
+    int64_t dspBudget_ = -1;
+    int64_t cycleTarget_ = 0;
+    std::vector<Row> rows_;
+    BreakpointCache breakpoints_;
+};
+
+} // namespace core
+} // namespace mclp
+
+#endif // MCLP_CORE_SHAPE_FRONTIER_H

@@ -49,6 +49,10 @@ printUsage()
         "  --bandwidth-gbps X   off-chip bandwidth cap (default: "
         "unconstrained)\n"
         "  --max-clps N         CLP limit (default 6)\n"
+        "  --threads N          optimizer worker threads (0 = all\n"
+        "                       cores; default 0)\n"
+        "  --engine E           frontier | reference (default\n"
+        "                       frontier; both give identical designs)\n"
         "  --single             Single-CLP baseline mode\n"
         "  --adjacent           adjacent-layers (low-latency) "
         "schedule\n"
@@ -66,6 +70,8 @@ struct Options
     double mhz = 100.0;
     double bandwidthGbps = 0.0;
     int maxClps = 6;
+    int threads = 0;
+    std::string engine = "frontier";
     bool single = false;
     bool adjacent = false;
     bool sim = false;
@@ -101,6 +107,10 @@ parseArgs(int argc, char **argv)
                 std::atof(need_value(i, "--bandwidth-gbps"));
         } else if (arg == "--max-clps") {
             opts.maxClps = std::atoi(need_value(i, "--max-clps"));
+        } else if (arg == "--threads") {
+            opts.threads = std::atoi(need_value(i, "--threads"));
+        } else if (arg == "--engine") {
+            opts.engine = need_value(i, "--engine");
         } else if (arg == "--single") {
             opts.single = true;
         } else if (arg == "--adjacent") {
@@ -148,6 +158,12 @@ runTool(const Options &opts)
     options.singleClp = opts.single;
     options.adjacentLayers = opts.adjacent;
     options.maxClps = opts.maxClps;
+    options.threads = opts.threads;
+    if (opts.engine == "reference")
+        options.engine = core::OptimizerEngine::Reference;
+    else if (opts.engine != "frontier")
+        util::fatal("unknown engine '%s' (frontier | reference)",
+                    opts.engine.c_str());
     auto result =
         core::MultiClpOptimizer(network, type, budget, options).run();
     auto design = core::canonicalizeSchedule(result.design, network);
