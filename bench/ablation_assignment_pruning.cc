@@ -138,7 +138,12 @@ main()
     table.setTitle("Pruned (contiguous-in-order) search vs full "
                    "set-partition search, fixed16, 512-DSP budget");
 
+    // Deterministic inputs first (the generator is sequential), then
+    // the five independent trials fan out; rows render in trial order.
+    // Trial timings are each measured inside their own job, so the
+    // exhaustive-vs-pruned comparison stays like-for-like.
     util::SplitMix64 rng(2024);
+    std::vector<nn::Network> networks;
     for (int trial = 0; trial < 5; ++trial) {
         size_t layer_count = 5 + static_cast<size_t>(trial % 2);
         std::vector<nn::ConvLayer> layers;
@@ -149,8 +154,20 @@ main()
                 rng.nextInt(1, 48), r, r, 1 + 2 * rng.nextInt(0, 1),
                 1));
         }
-        nn::Network network(util::strprintf("synthetic%d", trial),
-                            layers);
+        networks.emplace_back(util::strprintf("synthetic%d", trial),
+                              layers);
+    }
+
+    struct Trial
+    {
+        int64_t exhaustive = 0;
+        int64_t prunedAllowed = 0;
+        double msExh = 0.0;
+        double msPruned = 0.0;
+    };
+    std::vector<Trial> trials(networks.size());
+    bench::parallelScenarios(networks.size(), [&](size_t trial) {
+        const nn::Network &network = networks[trial];
         fpga::ResourceBudget budget;
         budget.dspSlices = 512;
         budget.bram18k = 1 << 20;  // isolate the compute step
@@ -164,9 +181,11 @@ main()
             network, fpga::DataType::Fixed16, budget, 4);
         auto t2 = std::chrono::steady_clock::now();
 
-        double ms_exh =
+        Trial &out = trials[trial];
+        out.exhaustive = exhaustive;
+        out.msExh =
             std::chrono::duration<double, std::milli>(t1 - t0).count();
-        double ms_pruned =
+        out.msPruned =
             std::chrono::duration<double, std::milli>(t2 - t1).count();
         // Compare like with like: both searches stop at the first
         // feasible target, so compare the target-cycle bounds.
@@ -174,24 +193,30 @@ main()
             model::macBudget(budget.dspSlices, fpga::DataType::Fixed16);
         int64_t cycles_min =
             model::minimumPossibleCycles(network, units);
-        int64_t pruned_allowed = static_cast<int64_t>(
+        out.prunedAllowed = static_cast<int64_t>(
             std::ceil(static_cast<double>(cycles_min) /
                       pruned.achievedTarget));
+    });
+
+    for (size_t trial = 0; trial < networks.size(); ++trial) {
+        const Trial &out = trials[trial];
+        size_t layer_count = networks[trial].numLayers();
         double gap =
-            exhaustive > 0
+            out.exhaustive > 0
                 ? 100.0 *
-                      (static_cast<double>(pruned_allowed) -
-                       static_cast<double>(exhaustive)) /
-                      static_cast<double>(exhaustive)
+                      (static_cast<double>(out.prunedAllowed) -
+                       static_cast<double>(out.exhaustive)) /
+                      static_cast<double>(out.exhaustive)
                 : 0.0;
         int64_t bell[] = {1, 1, 2, 5, 15, 52, 203, 877};
-        table.addRow({network.name(), std::to_string(layer_count),
+        table.addRow({networks[trial].name(),
+                      std::to_string(layer_count),
                       util::withCommas(bell[layer_count]),
-                      util::withCommas(exhaustive),
-                      util::withCommas(pruned_allowed),
+                      util::withCommas(out.exhaustive),
+                      util::withCommas(out.prunedAllowed),
                       util::strprintf("%+.1f%%", gap),
-                      util::strprintf("%.1f", ms_exh),
-                      util::strprintf("%.1f", ms_pruned)});
+                      util::strprintf("%.1f", out.msExh),
+                      util::strprintf("%.1f", out.msPruned)});
     }
     std::printf("%s\n", table.render().c_str());
     std::printf("the pruned search tracks the exhaustive optimum "

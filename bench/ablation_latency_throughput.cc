@@ -32,24 +32,66 @@ main()
         "Ablation: latency vs throughput (adjacent-layer schedules)",
         "the Section 4.1 latency discussion");
 
-    for (const char *net_name : {"alexnet", "googlenet"}) {
-        nn::Network network = nn::networkByName(net_name);
+    // Six independent schedules per network; evaluate all twelve in
+    // parallel and render per network in the original order.
+    const char *nets[] = {"alexnet", "googlenet"};
+    struct Job
+    {
+        std::string label;
+        int maxClps = 0;    ///< adjacent-layers CLP cap; 0 = special
+        int kind = 0;       ///< 0 single, 1 adjacent, 2 unconstrained
+        core::OptimizationResult result;
+    };
+    std::vector<std::vector<Job>> jobs(2);
+    for (auto &net_jobs : jobs) {
+        net_jobs.push_back({"Single-CLP baseline", 0, 0, {}});
+        for (int max_clps : {2, 3, 4, 6})
+            net_jobs.push_back(
+                {util::strprintf("adjacent, <=%d CLPs", max_clps),
+                 max_clps, 1, {}});
+        net_jobs.push_back({"unconstrained Multi-CLP", 0, 2, {}});
+    }
+
+    bench::parallelScenarios(jobs[0].size() * 2, [&](size_t flat) {
+        size_t ni = flat / jobs[0].size();
+        Job &job = jobs[ni][flat % jobs[0].size()];
+        nn::Network network = nn::networkByName(nets[ni]);
         fpga::ResourceBudget budget =
             fpga::standardBudget(fpga::virtex7_690t(), 100.0);
+        std::fprintf(stderr, "%s %s...\n", nets[ni],
+                     job.label.c_str());
+        if (job.kind == 0) {
+            job.result = core::optimizeSingleClp(
+                network, fpga::DataType::Float32, budget);
+        } else if (job.kind == 1) {
+            core::OptimizerOptions options;
+            options.adjacentLayers = true;
+            options.maxClps = job.maxClps;
+            job.result = core::MultiClpOptimizer(
+                             network, fpga::DataType::Float32, budget,
+                             options)
+                             .run();
+        } else {
+            job.result = core::optimizeMultiClp(
+                network, fpga::DataType::Float32, budget);
+        }
+    });
 
+    for (size_t ni = 0; ni < 2; ++ni) {
+        nn::Network network = nn::networkByName(nets[ni]);
         util::TextTable table({"schedule", "CLPs", "epoch (kcyc)",
                                "img/s", "latency epochs",
                                "latency (ms)", "in flight"});
         table.setTitle(util::strprintf(
             "%s, float, 690T @ 100 MHz", network.name().c_str()));
-
-        auto addRow = [&](const std::string &label,
-                          const core::OptimizationResult &result) {
+        for (const Job &job : jobs[ni]) {
+            const core::OptimizationResult &result = job.result;
             auto canon = core::canonicalizeSchedule(result.design,
                                                     network);
             auto info = core::analyzeSchedule(canon, network);
             table.addRow(
-                {label, std::to_string(result.design.clps.size()),
+                {job.label,
+                 std::to_string(result.design.clps.size()),
                  bench::kcycles(result.metrics.epochCycles),
                  util::strprintf("%.1f",
                                  result.metrics.imagesPerSec(100.0)),
@@ -59,28 +101,7 @@ main()
                                        result.metrics.epochCycles,
                                        100.0)),
                  std::to_string(info.imagesInFlight)});
-        };
-
-        std::fprintf(stderr, "%s single...\n", net_name);
-        addRow("Single-CLP baseline",
-               core::optimizeSingleClp(network, fpga::DataType::Float32,
-                                       budget));
-        for (int max_clps : {2, 3, 4, 6}) {
-            std::fprintf(stderr, "%s adjacent <=%d...\n", net_name,
-                         max_clps);
-            core::OptimizerOptions options;
-            options.adjacentLayers = true;
-            options.maxClps = max_clps;
-            addRow(util::strprintf("adjacent, <=%d CLPs", max_clps),
-                   core::MultiClpOptimizer(network,
-                                           fpga::DataType::Float32,
-                                           budget, options)
-                       .run());
         }
-        std::fprintf(stderr, "%s unconstrained...\n", net_name);
-        addRow("unconstrained Multi-CLP",
-               core::optimizeMultiClp(network, fpga::DataType::Float32,
-                                      budget));
         std::printf("%s\n", table.render().c_str());
     }
     return 0;

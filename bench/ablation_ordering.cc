@@ -39,40 +39,59 @@ main()
     table.addNote("kcyc = thousands of cycles per epoch; lower is "
                   "better");
 
-    for (const std::string &net_name : nn::zooNetworkNames()) {
+    // Every (network, type, heuristic) run is independent: fan all of
+    // them out and render rows in the original order afterwards.
+    const core::OrderHeuristic heuristics[3] = {
+        core::OrderHeuristic::NmDistance,
+        core::OrderHeuristic::ComputeToData,
+        core::OrderHeuristic::AsIs};
+    struct Job
+    {
+        std::string netName;
+        fpga::DataType type;
+        size_t heuristic;
+        int64_t epoch = 0;
+    };
+    std::vector<Job> jobs;
+    for (const std::string &net_name : nn::zooNetworkNames())
         for (auto type :
-             {fpga::DataType::Float32, fpga::DataType::Fixed16}) {
-            nn::Network network = nn::networkByName(net_name);
-            double mhz = type == fpga::DataType::Float32 ? 100.0 : 170.0;
-            fpga::ResourceBudget budget =
-                fpga::standardBudget(fpga::virtex7_690t(), mhz);
+             {fpga::DataType::Float32, fpga::DataType::Fixed16})
+            for (size_t h = 0; h < 3; ++h)
+                jobs.push_back({net_name, type, h, 0});
 
-            std::vector<int64_t> epochs;
-            for (auto heuristic : {core::OrderHeuristic::NmDistance,
-                                   core::OrderHeuristic::ComputeToData,
-                                   core::OrderHeuristic::AsIs}) {
-                std::fprintf(stderr, "%s %s %s...\n", net_name.c_str(),
-                             fpga::dataTypeName(type).c_str(),
-                             core::orderHeuristicName(heuristic)
-                                 .c_str());
-                core::OptimizerOptions options;
-                options.heuristic = heuristic;
-                auto result = core::MultiClpOptimizer(network, type,
-                                                      budget, options)
-                                  .run();
-                epochs.push_back(result.metrics.epochCycles);
-            }
-            size_t best = 0;
-            for (size_t i = 1; i < epochs.size(); ++i)
-                if (epochs[i] < epochs[best])
-                    best = i;
-            const char *names[3] = {"nm-distance", "compute-to-data",
-                                    "as-is"};
-            table.addRow({net_name, fpga::dataTypeName(type),
-                          bench::kcycles(epochs[0]),
-                          bench::kcycles(epochs[1]),
-                          bench::kcycles(epochs[2]), names[best]});
-        }
+    bench::parallelScenarios(jobs.size(), [&](size_t i) {
+        Job &job = jobs[i];
+        nn::Network network = nn::networkByName(job.netName);
+        double mhz =
+            job.type == fpga::DataType::Float32 ? 100.0 : 170.0;
+        fpga::ResourceBudget budget =
+            fpga::standardBudget(fpga::virtex7_690t(), mhz);
+        std::fprintf(stderr, "%s %s %s...\n", job.netName.c_str(),
+                     fpga::dataTypeName(job.type).c_str(),
+                     core::orderHeuristicName(heuristics[job.heuristic])
+                         .c_str());
+        core::OptimizerOptions options;
+        options.heuristic = heuristics[job.heuristic];
+        auto result =
+            core::MultiClpOptimizer(network, job.type, budget, options)
+                .run();
+        job.epoch = result.metrics.epochCycles;
+    });
+
+    for (size_t i = 0; i < jobs.size(); i += 3) {
+        int64_t epochs[3] = {jobs[i].epoch, jobs[i + 1].epoch,
+                             jobs[i + 2].epoch};
+        size_t best = 0;
+        for (size_t k = 1; k < 3; ++k)
+            if (epochs[k] < epochs[best])
+                best = k;
+        const char *names[3] = {"nm-distance", "compute-to-data",
+                                "as-is"};
+        table.addRow({jobs[i].netName,
+                      fpga::dataTypeName(jobs[i].type),
+                      bench::kcycles(epochs[0]),
+                      bench::kcycles(epochs[1]),
+                      bench::kcycles(epochs[2]), names[best]});
     }
     std::printf("%s\n", table.render().c_str());
     return 0;

@@ -1,8 +1,10 @@
 #include "bench_common.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "util/string_utils.h"
+#include "util/thread_pool.h"
 
 namespace mclp {
 namespace bench {
@@ -87,6 +89,29 @@ compactDesign(const core::ComputePartition &partition,
     if (!pick)
         return curve.front().design;
     return pick->design;
+}
+
+double
+msSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+void
+parallelScenarios(size_t n, const std::function<void(size_t)> &fn)
+{
+    int threads = 0;  // 0 = hardware concurrency
+    if (const char *env = std::getenv("MCLP_BENCH_THREADS"))
+        threads = std::atoi(env);
+    if (n <= 1 || util::resolveThreads(threads) <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    util::ThreadPool pool(threads);
+    pool.parallelFor(n, fn);
 }
 
 void

@@ -8,6 +8,9 @@
 #ifndef MCLP_BENCH_BENCH_COMMON_H
 #define MCLP_BENCH_BENCH_COMMON_H
 
+#include <chrono>
+#include <cstddef>
+#include <functional>
 #include <string>
 
 #include "core/optimizer.h"
@@ -55,9 +58,22 @@ std::string kcycles(int64_t cycles);
 /** Bytes/cycle rendered as GB/s at a clock frequency. */
 std::string gbps(double bytes_per_cycle, double frequency_mhz);
 
+/** Milliseconds elapsed since @p start (timing printouts). */
+double msSince(std::chrono::steady_clock::time_point start);
+
 /** Standard header naming the paper for every bench binary. */
 void printBenchHeader(const std::string &title,
                       const std::string &paper_ref);
+
+/**
+ * Run fn(0), ..., fn(n - 1) — independent scenario evaluations — over
+ * a work-stealing pool (all cores by default; MCLP_BENCH_THREADS
+ * overrides, 1 forces serial). Harnesses compute results into indexed
+ * slots here and render afterwards, so output row order is
+ * deterministic and identical to a serial run; each evaluation is an
+ * independent optimizer run, so thread count never changes values.
+ */
+void parallelScenarios(size_t n, const std::function<void(size_t)> &fn);
 
 /**
  * Walk a partition's BRAM/bandwidth tradeoff curve to the

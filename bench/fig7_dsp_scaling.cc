@@ -5,12 +5,22 @@
  * to 10,000 slices (Section 6.6). The BRAM budget scales as one
  * BRAM-18K per 1.3 DSP slices, as in the paper. Exported to
  * fig7_scaling.csv.
+ *
+ * Both series run through one warm core::DseSession, so the shape
+ * frontiers, tiling options, and memory tradeoff curves are built
+ * once for the whole ladder; per-budget designs are bit-identical to
+ * independent cold optimizations (pass --compare-cold to re-verify
+ * and time the difference in-process; tests/core/test_dse_session.cc
+ * pins the same property).
  */
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "bench_common.h"
+#include "core/dse_session.h"
 #include "nn/zoo.h"
 #include "util/csv.h"
 #include "util/string_utils.h"
@@ -23,8 +33,14 @@ using namespace mclp;
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bool compare_cold = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--compare-cold") == 0)
+            compare_cold = true;
+    }
+
     bench::printBenchHeader(
         "Figure 7: throughput vs DSP slice budget", "Figure 7");
 
@@ -35,10 +51,27 @@ main()
         "690T=3,600, VU9P=6,840, VU11P=9,216.\n\n");
 
     nn::Network network = nn::makeAlexNet();
-    std::vector<int64_t> budgets{100,  250,  500,  750,  1000, 1500,
-                                 2000, 2240, 2500, 2880, 3500, 4000,
-                                 5000, 6000, 6840, 8000, 9216, 9600,
-                                 10000};
+    std::vector<int64_t> dsp_ladder{100,  250,  500,  750,  1000, 1500,
+                                    2000, 2240, 2500, 2880, 3500, 4000,
+                                    5000, 6000, 6840, 8000, 9216, 9600,
+                                    10000};
+    std::vector<fpga::ResourceBudget> budgets =
+        core::dspLadder(dsp_ladder, 100.0);
+
+    core::OptimizerOptions single_opts;
+    single_opts.singleClp = true;
+    // AlexNet has ten conv layers, so up to ten CLPs can help at very
+    // large budgets.
+    core::OptimizerOptions multi_opts;
+    multi_opts.maxClps = 10;
+
+    core::DseSession session(network, fpga::DataType::Float32);
+    std::fprintf(stderr, "optimizing %zu budgets (warm session)...\n",
+                 budgets.size());
+    auto warm_start = std::chrono::steady_clock::now();
+    auto singles = session.sweep(budgets, single_opts);
+    auto multis = session.sweep(budgets, multi_opts);
+    double warm_ms = bench::msSince(warm_start);
 
     util::TextTable table({"DSP budget", "Single-CLP (img/s)",
                            "Multi-CLP (img/s)", "Multi/Single"});
@@ -46,23 +79,10 @@ main()
     util::CsvWriter csv(
         {"dsp", "single_img_s", "multi_img_s", "speedup"});
 
-    for (int64_t dsp : budgets) {
-        fpga::ResourceBudget budget;
-        budget.dspSlices = dsp;
-        budget.bram18k =
-            std::max<int64_t>(1, static_cast<int64_t>(dsp / 1.3));
-        budget.frequencyMhz = 100.0;
-        std::fprintf(stderr, "optimizing at %lld DSP slices...\n",
-                     static_cast<long long>(dsp));
-
-        auto single = core::optimizeSingleClp(
-            network, fpga::DataType::Float32, budget);
-        // AlexNet has ten conv layers, so up to ten CLPs can help at
-        // very large budgets.
-        auto multi = core::optimizeMultiClp(
-            network, fpga::DataType::Float32, budget, 10);
-        double s = single.metrics.imagesPerSec(100.0);
-        double m = multi.metrics.imagesPerSec(100.0);
+    for (size_t i = 0; i < budgets.size(); ++i) {
+        int64_t dsp = dsp_ladder[i];
+        double s = singles[i].metrics.imagesPerSec(100.0);
+        double m = multis[i].metrics.imagesPerSec(100.0);
         table.addRow({util::withCommas(dsp),
                       util::strprintf("%.1f", s),
                       util::strprintf("%.1f", m),
@@ -73,6 +93,32 @@ main()
     }
 
     std::printf("%s\n", table.render().c_str());
+    std::printf("warm session: %.1f ms for the %zu-budget ladder, both "
+                "series (one frontier build for the whole sweep)\n",
+                warm_ms, budgets.size());
+
+    if (compare_cold) {
+        auto cold_start = std::chrono::steady_clock::now();
+        size_t mismatches = 0;
+        for (size_t i = 0; i < budgets.size(); ++i) {
+            auto cold_single = core::optimizeSingleClp(
+                network, fpga::DataType::Float32, budgets[i]);
+            auto cold_multi = core::optimizeMultiClp(
+                network, fpga::DataType::Float32, budgets[i], 10);
+            if (!(cold_single.design == singles[i].design) ||
+                !(cold_multi.design == multis[i].design))
+                ++mismatches;
+        }
+        double cold_ms = bench::msSince(cold_start);
+        std::printf("cold baseline: %.1f ms (independent per-budget "
+                    "runs); speedup %.1fx; designs %s\n",
+                    cold_ms, cold_ms / warm_ms,
+                    mismatches == 0 ? "bit-identical"
+                                    : "MISMATCHED (bug!)");
+        if (mismatches != 0)
+            return 1;
+    }
+
     if (csv.writeFile("fig7_scaling.csv"))
         std::printf("full series written to fig7_scaling.csv\n");
     return 0;

@@ -57,35 +57,52 @@ main()
     table.addNote("speedup = Single-CLP epoch / Multi-CLP epoch "
                   "(equal-DSP designs)");
 
-    for (const char *device_name : {"485T", "690T"}) {
-        for (const char *type_name : {"float", "fixed"}) {
-            for (const std::string &net_name : nn::zooNetworkNames()) {
-                bench::Scenario scenario;
-                scenario.networkName = net_name;
-                scenario.dataType = fpga::dataTypeByName(type_name);
-                scenario.device = fpga::deviceByName(device_name);
-                scenario.frequencyMhz =
-                    scenario.dataType == fpga::DataType::Float32 ? 100.0
-                                                                 : 170.0;
-                nn::Network network = nn::networkByName(net_name);
-                std::fprintf(stderr, "optimizing %s...\n",
-                             scenario.label().c_str());
-                auto single = bench::runSingle(scenario, network);
-                auto multi = bench::runMulti(scenario, network);
-                double speedup =
-                    static_cast<double>(single.metrics.epochCycles) /
-                    static_cast<double>(multi.metrics.epochCycles);
-                auto paper = kPaper.at(std::string(device_name) + "/" +
-                                       type_name + "/" + net_name);
-                table.addRow({device_name, type_name, net_name,
-                              util::percent(paper.first),
-                              util::percent(single.metrics.utilization),
-                              util::percent(paper.second),
-                              util::percent(multi.metrics.utilization),
-                              util::strprintf("%.2fx", speedup)});
-            }
-        }
-        table.addSeparator();
+    // Scenario list first, evaluation fanned out over the pool, then
+    // rendering in the original order.
+    struct Job
+    {
+        const char *deviceName;
+        const char *typeName;
+        std::string netName;
+        core::OptimizationResult single;
+        core::OptimizationResult multi;
+    };
+    std::vector<Job> jobs;
+    for (const char *device_name : {"485T", "690T"})
+        for (const char *type_name : {"float", "fixed"})
+            for (const std::string &net_name : nn::zooNetworkNames())
+                jobs.push_back({device_name, type_name, net_name, {}, {}});
+
+    bench::parallelScenarios(jobs.size(), [&](size_t i) {
+        Job &job = jobs[i];
+        bench::Scenario scenario;
+        scenario.networkName = job.netName;
+        scenario.dataType = fpga::dataTypeByName(job.typeName);
+        scenario.device = fpga::deviceByName(job.deviceName);
+        scenario.frequencyMhz =
+            scenario.dataType == fpga::DataType::Float32 ? 100.0 : 170.0;
+        nn::Network network = nn::networkByName(job.netName);
+        std::fprintf(stderr, "optimizing %s...\n",
+                     scenario.label().c_str());
+        job.single = bench::runSingle(scenario, network);
+        job.multi = bench::runMulti(scenario, network);
+    });
+
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        const Job &job = jobs[i];
+        double speedup =
+            static_cast<double>(job.single.metrics.epochCycles) /
+            static_cast<double>(job.multi.metrics.epochCycles);
+        auto paper = kPaper.at(std::string(job.deviceName) + "/" +
+                               job.typeName + "/" + job.netName);
+        table.addRow({job.deviceName, job.typeName, job.netName,
+                      util::percent(paper.first),
+                      util::percent(job.single.metrics.utilization),
+                      util::percent(paper.second),
+                      util::percent(job.multi.metrics.utilization),
+                      util::strprintf("%.2fx", speedup)});
+        if (i % 8 == 7)
+            table.addSeparator();
     }
 
     std::printf("%s\n", table.render().c_str());

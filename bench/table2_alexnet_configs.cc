@@ -75,21 +75,27 @@ main()
     printDesign("Table 2(d) [paper design]: 690T Multi-CLP",
                 core::paperAlexNetMulti690(), network);
 
-    // Then what our optimizer finds for the same budgets.
-    for (const char *device_name : {"485T", "690T"}) {
+    // Then what our optimizer finds for the same budgets: scenarios
+    // evaluated in parallel, printed in the original order.
+    const char *devices[] = {"485T", "690T"};
+    std::pair<core::OptimizationResult, core::OptimizationResult>
+        results[2];
+    bench::parallelScenarios(2, [&](size_t i) {
         bench::Scenario scenario;
         scenario.networkName = "alexnet";
         scenario.dataType = fpga::DataType::Float32;
-        scenario.device = fpga::deviceByName(device_name);
+        scenario.device = fpga::deviceByName(devices[i]);
         scenario.frequencyMhz = 100.0;
-        auto single = bench::runSingle(scenario, network);
+        results[i] = {bench::runSingle(scenario, network),
+                      bench::runMulti(scenario, network)};
+    });
+    for (size_t i = 0; i < 2; ++i) {
         printDesign(util::strprintf(
-                        "[our optimizer]: %s Single-CLP", device_name),
-                    single.design, network);
-        auto multi = bench::runMulti(scenario, network);
+                        "[our optimizer]: %s Single-CLP", devices[i]),
+                    results[i].first.design, network);
         printDesign(util::strprintf("[our optimizer]: %s Multi-CLP",
-                                    device_name),
-                    multi.design, network);
+                                    devices[i]),
+                    results[i].second.design, network);
     }
     return 0;
 }

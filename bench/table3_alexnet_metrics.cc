@@ -114,13 +114,22 @@ main()
     table.setTitle("Ours (bandwidth-optimized, 100 MHz)");
     table.addNote("throughput carries the paper's 2% bandwidth margin");
 
-    for (const char *device_name : {"485T", "690T"}) {
+    const char *devices[] = {"485T", "690T"};
+    struct DeviceRows
+    {
+        fpga::ResourceBudget budget;
+        model::MultiClpDesign singleCompact;
+        model::MultiClpDesign multiIso;
+    };
+    DeviceRows rows[2];
+    bench::parallelScenarios(2, [&](size_t i) {
         bench::Scenario scenario;
         scenario.networkName = "alexnet";
         scenario.dataType = fpga::DataType::Float32;
-        scenario.device = fpga::deviceByName(device_name);
+        scenario.device = fpga::deviceByName(devices[i]);
         scenario.frequencyMhz = 100.0;
         fpga::ResourceBudget budget = scenario.budget();
+        rows[i].budget = budget;
 
         // Single-CLP: walk to the compact end of the frontier's flat
         // region (extra BRAM that buys no bandwidth is not reported
@@ -128,24 +137,24 @@ main()
         auto single = bench::runSingle(scenario, network);
         double single_min_bw = model::requiredBandwidthBytesPerCycle(
             single.design, network, budget);
-        model::MultiClpDesign single_compact = isoBandwidthPoint(
+        rows[i].singleCompact = isoBandwidthPoint(
             single.partition, network, scenario.dataType, budget,
             single_min_bw);
-        addMetricsRow(table,
-                      util::strprintf("%s S-CLP", device_name),
-                      single_compact, network, budget);
         double single_bw = model::requiredBandwidthBytesPerCycle(
-            single_compact, network, budget);
+            rows[i].singleCompact, network, budget);
 
         // Multi-CLP: the paper picks the point roughly matching the
         // Single-CLP bandwidth (points A and C in Figure 6).
         auto multi = bench::runMulti(scenario, network);
-        model::MultiClpDesign iso =
+        rows[i].multiIso =
             isoBandwidthPoint(multi.partition, network,
                               scenario.dataType, budget, single_bw);
-        addMetricsRow(table,
-                      util::strprintf("%s M-CLP", device_name), iso,
-                      network, budget);
+    });
+    for (size_t i = 0; i < 2; ++i) {
+        addMetricsRow(table, util::strprintf("%s S-CLP", devices[i]),
+                      rows[i].singleCompact, network, rows[i].budget);
+        addMetricsRow(table, util::strprintf("%s M-CLP", devices[i]),
+                      rows[i].multiIso, network, rows[i].budget);
         table.addSeparator();
     }
 

@@ -63,11 +63,14 @@ main()
     printDesign("Table 4(d) [paper design]: 690T Multi-CLP (145k)",
                 core::paperSqueezeNetMulti690(), network);
 
-    for (const char *device_name : {"485T", "690T"}) {
+    const char *devices[] = {"485T", "690T"};
+    std::pair<core::OptimizationResult, core::OptimizationResult>
+        results[2];
+    bench::parallelScenarios(2, [&](size_t i) {
         bench::Scenario scenario;
         scenario.networkName = "squeezenet";
         scenario.dataType = fpga::DataType::Fixed16;
-        scenario.device = fpga::deviceByName(device_name);
+        scenario.device = fpga::deviceByName(devices[i]);
         scenario.frequencyMhz = 170.0;
         // Bandwidth-aware, like the paper (Section 6.3 uses the
         // compute-to-data grouping because these designs are expected
@@ -75,17 +78,19 @@ main()
         // compute-bound values, as in the published table.
         fpga::ResourceBudget budget = scenario.budget();
         budget.setBandwidthGbps(21.3);
-        auto single = core::optimizeSingleClp(network,
-                                              scenario.dataType, budget);
+        results[i] = {core::optimizeSingleClp(network,
+                                              scenario.dataType, budget),
+                      core::optimizeMultiClp(network, scenario.dataType,
+                                             budget, 6)};
+    });
+    for (size_t i = 0; i < 2; ++i) {
         printDesign(util::strprintf(
-                        "[our optimizer]: %s Single-CLP", device_name),
-                    single.design, network);
-        auto multi = core::optimizeMultiClp(network, scenario.dataType,
-                                            budget, 6);
+                        "[our optimizer]: %s Single-CLP", devices[i]),
+                    results[i].first.design, network);
         printDesign(util::strprintf("[our optimizer]: %s Multi-CLP "
                                     "(max 6 CLPs)",
-                                    device_name),
-                    multi.design, network);
+                                    devices[i]),
+                    results[i].second.design, network);
     }
     return 0;
 }

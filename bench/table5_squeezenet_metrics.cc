@@ -67,11 +67,19 @@ main()
     table.addNote("SqueezeNet is bandwidth-hungry: peak requirements "
                   "far exceed AlexNet's (Section 6.3)");
 
-    for (const char *device_name : {"485T", "690T"}) {
+    const char *devices[] = {"485T", "690T"};
+    struct DeviceRows
+    {
+        fpga::ResourceBudget budget;
+        model::MultiClpDesign singleCompact;
+        model::MultiClpDesign multiCompact;
+    };
+    DeviceRows rows[2];
+    bench::parallelScenarios(2, [&](size_t i) {
         bench::Scenario scenario;
         scenario.networkName = "squeezenet";
         scenario.dataType = fpga::DataType::Fixed16;
-        scenario.device = fpga::deviceByName(device_name);
+        scenario.device = fpga::deviceByName(devices[i]);
         scenario.frequencyMhz = 170.0;
         // The paper expects these accelerators to be bandwidth bound
         // (Section 6.3), so the optimizer runs with a platform cap.
@@ -80,24 +88,25 @@ main()
         // it reports.
         fpga::ResourceBudget budget = scenario.budget();
         budget.setBandwidthGbps(21.3);
+        rows[i].budget = budget;
 
         auto single = core::optimizeSingleClp(
             network, scenario.dataType, budget);
-        auto single_compact = bench::compactDesign(
+        rows[i].singleCompact = bench::compactDesign(
             single.partition, network, scenario.dataType, budget,
             static_cast<int64_t>(1.02 * single.metrics.epochCycles));
-        addMetricsRow(table,
-                      util::strprintf("%s S-CLP", device_name),
-                      single_compact, network, budget);
 
         auto multi = core::optimizeMultiClp(network, scenario.dataType,
                                             budget, 6);
-        auto multi_compact = bench::compactDesign(
+        rows[i].multiCompact = bench::compactDesign(
             multi.partition, network, scenario.dataType, budget,
             static_cast<int64_t>(1.02 * multi.metrics.epochCycles));
-        addMetricsRow(table,
-                      util::strprintf("%s M-CLP", device_name),
-                      multi_compact, network, budget);
+    });
+    for (size_t i = 0; i < 2; ++i) {
+        addMetricsRow(table, util::strprintf("%s S-CLP", devices[i]),
+                      rows[i].singleCompact, network, rows[i].budget);
+        addMetricsRow(table, util::strprintf("%s M-CLP", devices[i]),
+                      rows[i].multiCompact, network, rows[i].budget);
         table.addSeparator();
     }
 

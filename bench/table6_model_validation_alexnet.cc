@@ -29,12 +29,12 @@ struct PaperImpl
     int64_t dsp;
 };
 
-void
-printValidation(const std::string &title,
-                const model::MultiClpDesign &design,
-                const nn::Network &network,
-                const std::vector<PaperImpl> &paper_impl,
-                PaperImpl paper_total)
+std::string
+renderValidation(const std::string &title,
+                 const model::MultiClpDesign &design,
+                 const nn::Network &network,
+                 const std::vector<PaperImpl> &paper_impl,
+                 PaperImpl paper_total)
 {
     auto est = sim::estimateImplementation(design, network);
     util::TextTable table({"CLP", "BRAM model", "BRAM impl (ours)",
@@ -64,7 +64,6 @@ printValidation(const std::string &title,
                   util::withCommas(paper_total.dsp)});
     table.addNote("impl (ours) = regression-based toolflow estimate; "
                   "see DESIGN.md");
-    std::printf("%s\n", table.render().c_str());
 
     // Cycle cross-check (the paper's RTL simulation step).
     fpga::ResourceBudget unconstrained;
@@ -75,12 +74,14 @@ printValidation(const std::string &title,
         model::evaluateDesign(design, network, unconstrained);
     sim::MultiClpSystem system(design, network, unconstrained);
     auto simulated = system.simulateEpoch();
-    std::printf("  cycle cross-check: model %s cycles, simulator %s "
-                "cycles (exact match expected)\n\n",
-                util::withCommas(metrics.epochCycles).c_str(),
-                util::withCommas(
-                    static_cast<int64_t>(simulated.epochCycles))
-                    .c_str());
+    return table.render() + "\n" +
+           util::strprintf(
+               "  cycle cross-check: model %s cycles, simulator %s "
+               "cycles (exact match expected)\n\n",
+               util::withCommas(metrics.epochCycles).c_str(),
+               util::withCommas(
+                   static_cast<int64_t>(simulated.epochCycles))
+                   .c_str());
 }
 
 } // namespace
@@ -92,20 +93,31 @@ main()
         "Table 6: AlexNet model vs implementation", "Table 6");
     nn::Network network = nn::makeAlexNet();
 
-    printValidation("485T Single-CLP", core::paperAlexNetSingle485(),
-                    network, {{698, 2309}}, {698, 2309});
-    printValidation("485T Multi-CLP", core::paperAlexNetMulti485(),
-                    network,
-                    {{132, 689}, {195, 529}, {242, 410}, {243, 815}},
-                    {812, 2443});
-    printValidation("690T Multi-CLP", core::paperAlexNetMulti690(),
-                    network,
-                    {{131, 369},
-                     {195, 529},
-                     {132, 689},
-                     {226, 290},
-                     {162, 290},
-                     {590, 1010}},
-                    {1436, 3177});
+    // The three validations are independent scenarios: estimate and
+    // simulate them in parallel, print in the original order.
+    std::string sections[3];
+    bench::parallelScenarios(3, [&](size_t i) {
+        if (i == 0)
+            sections[0] = renderValidation(
+                "485T Single-CLP", core::paperAlexNetSingle485(),
+                network, {{698, 2309}}, {698, 2309});
+        else if (i == 1)
+            sections[1] = renderValidation(
+                "485T Multi-CLP", core::paperAlexNetMulti485(), network,
+                {{132, 689}, {195, 529}, {242, 410}, {243, 815}},
+                {812, 2443});
+        else
+            sections[2] = renderValidation(
+                "690T Multi-CLP", core::paperAlexNetMulti690(), network,
+                {{131, 369},
+                 {195, 529},
+                 {132, 689},
+                 {226, 290},
+                 {162, 290},
+                 {590, 1010}},
+                {1436, 3177});
+    });
+    for (const std::string &section : sections)
+        std::printf("%s", section.c_str());
     return 0;
 }

@@ -32,6 +32,8 @@ main()
     bench::printBenchHeader(
         "Table 7: SqueezeNet fixed16 model vs implementation",
         "Table 7");
+    // Single-scenario harness (one device, one published design):
+    // nothing independent to fan out over bench::parallelScenarios.
     nn::Network network = nn::makeSqueezeNet();
 
     // Select the frontier point closest to the paper's 635 BRAMs.

@@ -30,10 +30,8 @@ withPct(int64_t used, int64_t capacity)
 
 void
 addColumn(util::TextTable &table, const std::string &label,
-          const model::MultiClpDesign &design,
-          const nn::Network &network, const fpga::Device &device)
+          const sim::ImplEstimate &est, const fpga::Device &device)
 {
-    auto est = sim::estimateImplementation(design, network);
     table.addRow({label, withPct(est.bramImpl, device.bram18k),
                   withPct(est.dspImpl, device.dspSlices),
                   withPct(est.flipFlops, device.flipFlops),
@@ -62,12 +60,18 @@ main()
     util::TextTable table(
         {"design", "BRAM-18K", "DSP", "FF", "LUT", "Power"});
     table.setTitle("Ours (post-\"implementation\" estimates)");
-    addColumn(table, "485T Single-CLP", core::paperAlexNetSingle485(),
-              network, fpga::virtex7_485t());
-    addColumn(table, "485T Multi-CLP", core::paperAlexNetMulti485(),
-              network, fpga::virtex7_485t());
-    addColumn(table, "690T Multi-CLP", core::paperAlexNetMulti690(),
-              network, fpga::virtex7_690t());
+    // Three independent design estimates, fanned out; rows keep the
+    // published order.
+    const model::MultiClpDesign designs[3] = {
+        core::paperAlexNetSingle485(), core::paperAlexNetMulti485(),
+        core::paperAlexNetMulti690()};
+    sim::ImplEstimate ests[3];
+    bench::parallelScenarios(3, [&](size_t i) {
+        ests[i] = sim::estimateImplementation(designs[i], network);
+    });
+    addColumn(table, "485T Single-CLP", ests[0], fpga::virtex7_485t());
+    addColumn(table, "485T Multi-CLP", ests[1], fpga::virtex7_485t());
+    addColumn(table, "690T Multi-CLP", ests[2], fpga::virtex7_690t());
     table.addNote("estimates from sim::ImplEstimate regressions "
                   "(DESIGN.md, Deviations)");
     std::printf("%s\n", table.render().c_str());

@@ -40,6 +40,8 @@ main()
     std::printf("Paper (Table 9): 1,108 BRAM (38%%), 3,494 DSP (97%%), "
                 "161,411 FF (19%%), 133,854 LUT (31%%), 7.2 W\n\n");
 
+    // Single-scenario harness (one device, one published design):
+    // nothing independent to fan out over bench::parallelScenarios.
     nn::Network network = nn::makeSqueezeNet();
     // The published operating point uses 635 model BRAMs (Table 5).
     auto partition = core::partitionFromDesign(

@@ -21,15 +21,22 @@ ComputeOptimizer::ComputeOptimizer(const nn::Network &network,
                                    fpga::DataType type,
                                    std::vector<size_t> order, int max_clps,
                                    ComputeEngine engine,
-                                   util::ThreadPool *pool)
+                                   util::ThreadPool *pool,
+                                   FrontierTable *shared_frontiers)
     : network_(network), type_(type), order_(std::move(order)),
-      maxClps_(max_clps), engine_(engine), pool_(pool)
+      maxClps_(max_clps), engine_(engine), pool_(pool),
+      sharedFrontiers_(shared_frontiers)
 {
     if (order_.size() != network_.numLayers())
         util::fatal("ComputeOptimizer: order length %zu != layer count "
                     "%zu", order_.size(), network_.numLayers());
     if (maxClps_ < 1)
         util::fatal("ComputeOptimizer: max_clps must be >= 1");
+    if (sharedFrontiers_ &&
+        (sharedFrontiers_->order() != order_ ||
+         sharedFrontiers_->maxClps() != maxClps_))
+        util::fatal("ComputeOptimizer: shared FrontierTable was built "
+                    "for a different order or CLP limit");
 }
 
 std::optional<ComputeOptimizer::RangeChoice>
@@ -154,14 +161,28 @@ ComputeOptimizer::fillRangesFrontier(
     std::vector<std::vector<std::optional<RangeChoice>>> &range,
     int max_k, int64_t dsp_budget, int64_t cycle_target)
 {
-    if (!frontiers_)
-        frontiers_.emplace(network_, type_, order_, maxClps_);
-    frontiers_->prepare(dsp_budget, cycle_target, pool_);
+    FrontierTable *table = sharedFrontiers_;
+    if (!table) {
+        if (!frontiers_)
+            frontiers_.emplace(network_, type_, order_, maxClps_);
+        table = &*frontiers_;
+    }
+    // Shared tables can be hit by concurrent runs (a DseSession sweep
+    // fanning budgets over a pool); hold the table lock across the
+    // prepare + query sequence. Private tables pay an uncontended lock.
+    // A shared table must not fan prepare() out over the pool: the
+    // pool's help-while-waiting stealing could pick up another run's
+    // work on this thread and re-enter this (non-recursive) mutex —
+    // holding it only across lock-free serial work rules every such
+    // cycle out.
+    std::lock_guard<std::mutex> lock(table->mutex());
+    table->prepare(dsp_budget, cycle_target,
+                   sharedFrontiers_ ? nullptr : pool_);
 
     size_t count = order_.size();
     for (size_t i = 0; i < count; ++i) {
         for (size_t j = i; j < count; ++j) {
-            auto point = frontiers_->choose(i, j);
+            auto point = table->choose(i, j, dsp_budget, cycle_target);
             if (!point)
                 continue;
             range[i][j] = RangeChoice{point->shape, point->dsp,
@@ -177,6 +198,8 @@ ComputeOptimizer::optimize(int64_t dsp_budget, int64_t cycle_target)
     if (dsp_budget <= 0 || cycle_target <= 0)
         util::fatal("ComputeOptimizer::optimize: budget and target must "
                     "be positive");
+    if (dsp_budget == lastBudget_ && cycle_target == lastTarget_)
+        return lastCandidates_;
 
     size_t count = order_.size();
     int max_k = std::min<int>(maxClps_, static_cast<int>(count));
@@ -184,9 +207,13 @@ ComputeOptimizer::optimize(int64_t dsp_budget, int64_t cycle_target)
     // Range table: best[i][j] = min-DSP shape for order_[i..j]. Only
     // ranges a <= max_k partition can actually use are filled: with
     // one CLP only the full span matters, with two CLPs a span must
-    // touch one end of the order.
-    std::vector<std::vector<std::optional<RangeChoice>>> range(
-        count, std::vector<std::optional<RangeChoice>>(count));
+    // touch one end of the order. Scratch tables persist across calls
+    // (the target search probes this dozens of times per run).
+    auto &range = rangeScratch_;
+    range.resize(count);
+    for (auto &row : range) {
+        row.assign(count, std::nullopt);
+    }
     if (engine_ == ComputeEngine::Frontier)
         fillRangesFrontier(range, max_k, dsp_budget, cycle_target);
     else
@@ -194,10 +221,14 @@ ComputeOptimizer::optimize(int64_t dsp_budget, int64_t cycle_target)
 
     // DP over prefixes: cost[k][e] = min total DSP covering the first
     // e ordered layers with exactly k CLPs.
-    std::vector<std::vector<int64_t>> cost(
-        max_k + 1, std::vector<int64_t>(count + 1, kInfinity));
-    std::vector<std::vector<size_t>> prev(
-        max_k + 1, std::vector<size_t>(count + 1, 0));
+    auto &cost = costScratch_;
+    auto &prev = prevScratch_;
+    cost.resize(static_cast<size_t>(max_k) + 1);
+    prev.resize(static_cast<size_t>(max_k) + 1);
+    for (auto &row : cost)
+        row.assign(count + 1, kInfinity);
+    for (auto &row : prev)
+        row.assign(count + 1, 0);
     cost[0][0] = 0;
     for (int k = 1; k <= max_k; ++k) {
         for (size_t e = 1; e <= count; ++e) {
@@ -254,6 +285,9 @@ ComputeOptimizer::optimize(int64_t dsp_budget, int64_t cycle_target)
                         const ComputePartition &b) {
                          return a.totalDsp < b.totalDsp;
                      });
+    lastBudget_ = dsp_budget;
+    lastTarget_ = cycle_target;
+    lastCandidates_ = candidates;
     return candidates;
 }
 

@@ -83,11 +83,17 @@ class ComputeOptimizer
      * @param max_clps upper bound on CLPs per design
      * @param engine shape-search implementation
      * @param pool optional pool for parallel frontier construction
+     * @param shared_frontiers optional warm FrontierTable owned by a
+     * DseSession; must have been built for the same network, order and
+     * max_clps. When null the optimizer lazily builds a private table.
+     * Sharing never changes results — frontiers are budget-free and
+     * queries are exact — it only skips reconstruction.
      */
     ComputeOptimizer(const nn::Network &network, fpga::DataType type,
                      std::vector<size_t> order, int max_clps,
                      ComputeEngine engine = ComputeEngine::Frontier,
-                     util::ThreadPool *pool = nullptr);
+                     util::ThreadPool *pool = nullptr,
+                     FrontierTable *shared_frontiers = nullptr);
 
     /**
      * Find candidate partitions whose every CLP meets @p cycle_target
@@ -127,7 +133,22 @@ class ComputeOptimizer
     int maxClps_;
     ComputeEngine engine_;
     util::ThreadPool *pool_;
+    FrontierTable *sharedFrontiers_;
     std::optional<FrontierTable> frontiers_;
+
+    /** optimize() scratch, reused across calls (probes are frequent). */
+    std::vector<std::vector<std::optional<RangeChoice>>> rangeScratch_;
+    std::vector<std::vector<int64_t>> costScratch_;
+    std::vector<std::vector<size_t>> prevScratch_;
+
+    /**
+     * Memo of the latest optimize() call: the target search's
+     * feasibility probe and the subsequent full evaluation ask for
+     * the same (budget, target) back to back.
+     */
+    int64_t lastBudget_ = -1;
+    int64_t lastTarget_ = -1;
+    std::vector<ComputePartition> lastCandidates_;
 };
 
 } // namespace core

@@ -21,32 +21,111 @@ std::vector<TilingOption>
 paretoTilingOptions(const nn::ConvLayer &layer,
                     const model::ClpShape &shape)
 {
-    std::vector<TilingOption> all;
-    all.reserve(static_cast<size_t>(layer.r * layer.c));
+    // Bank costs are non-decreasing step functions of the tile sizes,
+    // and within a run of Tc sharing identical bank costs the peak is
+    // monotone: peak(Tc) = A + B / (k^2*Tr*Tc) with the per-row
+    // constant B = Tn*rowext*(k-s) + Tn*Tm*k^2, decreasing when
+    // B > 0 (every s <= k layer) and increasing when B < 0 (possible
+    // when the stride exceeds the kernel; B = 0 makes the plateau
+    // flat and the deterministic larger-(Tr,Tc) tie-break applies).
+    // The plateau's minimum therefore sits on one known edge, so
+    // emitting just that edge covers every Pareto-optimal tiling
+    // while keeping the candidate set at the number of cost steps
+    // instead of R*C. A second exact reduction collapses candidates
+    // sharing a (input, output) cost pair: the staircase filter below
+    // keeps at most one of them, so the dedup map can pick that
+    // winner directly and the sort runs over distinct cost pairs
+    // only.
+    std::unordered_map<uint64_t, TilingOption> best_per_cost;
     for (int64_t tr = 1; tr <= layer.r; ++tr) {
-        for (int64_t tc = 1; tc <= layer.c; ++tc) {
+        // Sign of B decides which plateau edge holds the peak minimum
+        // (ties go right, matching the larger-(Tr,Tc) rule).
+        int64_t rowext = (tr - 1) * layer.s + layer.k;
+        bool left_edge_wins =
+            shape.tn * rowext * (layer.k - layer.s) +
+                shape.tn * shape.tm * layer.k * layer.k <
+            0;
+        auto costsAt = [&](int64_t tc) {
             model::Tiling tiling{tr, tc};
-            TilingOption opt;
-            opt.tiling = tiling;
-            opt.inputBankBrams = model::bramsPerBank(
+            int64_t in = model::bramsPerBank(
                 model::inputBankWords(layer, tiling), false);
-            opt.outputBankBrams = model::bramsPerBank(
+            int64_t out = model::bramsPerBank(
                 model::outputBankWords(tiling), true);
+            return std::make_pair(in, out);
+        };
+        auto emit = [&](int64_t tc, int64_t in, int64_t out) {
+            TilingOption opt;
+            opt.tiling = model::Tiling{tr, tc};
+            opt.inputBankBrams = in;
+            opt.outputBankBrams = out;
             opt.peakWordsPerCycle =
-                model::layerPeakWordsPerCycle(layer, shape, tiling);
-            all.push_back(opt);
+                model::layerPeakWordsPerCycle(layer, shape, opt.tiling);
+            uint64_t cost_key = (static_cast<uint64_t>(in) << 32) |
+                                static_cast<uint64_t>(out);
+            auto [it, inserted] = best_per_cost.try_emplace(cost_key, opt);
+            if (!inserted) {
+                TilingOption &best = it->second;
+                // Min peak; exact peak ties resolve toward the larger
+                // (Tr, Tc), matching the historical selection among
+                // equivalent tilings.
+                if (opt.peakWordsPerCycle < best.peakWordsPerCycle ||
+                    (opt.peakWordsPerCycle == best.peakWordsPerCycle &&
+                     (opt.tiling.tr > best.tiling.tr ||
+                      (opt.tiling.tr == best.tiling.tr &&
+                       opt.tiling.tc > best.tiling.tc))))
+                    best = opt;
+            }
+        };
+        // Both costs are non-decreasing in Tc, so each plateau's
+        // right edge is found by galloping + bisection instead of
+        // evaluating every Tc of long constant runs.
+        int64_t tc = 1;
+        auto cur = costsAt(tc);
+        while (true) {
+            // Largest lo in [tc, c] with costs equal to cur.
+            int64_t lo = tc;
+            int64_t step = 1;
+            while (lo + step <= layer.c &&
+                   costsAt(lo + step) == cur) {
+                lo += step;
+                step *= 2;
+            }
+            int64_t hi = std::min(lo + step, layer.c + 1);
+            while (hi - lo > 1) {
+                int64_t mid = lo + (hi - lo) / 2;
+                if (costsAt(mid) == cur)
+                    lo = mid;
+                else
+                    hi = mid;
+            }
+            emit(left_edge_wins ? tc : lo, cur.first, cur.second);
+            if (hi > layer.c)
+                break;
+            tc = hi;
+            cur = costsAt(tc);
         }
     }
 
+    std::vector<TilingOption> all;
+    all.reserve(best_per_cost.size());
+    for (const auto &entry : best_per_cost)
+        all.push_back(entry.second);
+
     // Sort by ascending peak; tie-break toward cheaper buffers so the
-    // staircase filter keeps the cheapest representative.
+    // staircase filter keeps the cheapest representative, then by
+    // descending (Tr, Tc) so exact ties resolve deterministically (and
+    // as the historical selection did).
     std::sort(all.begin(), all.end(),
               [](const TilingOption &a, const TilingOption &b) {
                   if (a.peakWordsPerCycle != b.peakWordsPerCycle)
                       return a.peakWordsPerCycle < b.peakWordsPerCycle;
                   if (a.inputBankBrams != b.inputBankBrams)
                       return a.inputBankBrams < b.inputBankBrams;
-                  return a.outputBankBrams < b.outputBankBrams;
+                  if (a.outputBankBrams != b.outputBankBrams)
+                      return a.outputBankBrams < b.outputBankBrams;
+                  if (a.tiling.tr != b.tiling.tr)
+                      return a.tiling.tr > b.tiling.tr;
+                  return a.tiling.tc > b.tiling.tc;
               });
 
     // 3-D Pareto filter: sweep in peak order and keep an option only
@@ -81,8 +160,13 @@ TilingOptionCache::Options
 TilingOptionCache::get(const nn::ConvLayer &layer,
                        const model::ClpShape &shape)
 {
-    Key key{layer.n, layer.m, layer.r, layer.c,
-            layer.k, layer.s, shape.tn, shape.tm};
+    // Everything paretoTilingOptions consumes: the enumeration bounds
+    // (R, C), the buffer geometry (K, S), the shape, and N only
+    // through ceil(N/Tn) in the peak formula — M not at all. Layers
+    // repeating this signature (fire modules, inception branches,
+    // grouped convolutions) share one entry even when N and M differ.
+    Key key{layer.r, layer.c,  layer.k,  layer.s,
+            shape.tn, shape.tm, util::ceilDiv(layer.n, shape.tn), 0};
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = table_.find(key);
@@ -97,6 +181,91 @@ TilingOptionCache::get(const nn::ConvLayer &layer,
     return table_.emplace(key, std::move(options)).first->second;
 }
 
+const TradeoffCurveCache::ProbePair *
+TradeoffCurveCache::GroupCurve::find(int64_t in_cap,
+                                     int64_t out_cap) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = states_.find({in_cap, out_cap});
+    // Map nodes are stable and values immutable after insertion, so
+    // the pointer stays valid past the lock.
+    return it == states_.end() ? nullptr : &it->second;
+}
+
+const TradeoffCurveCache::ProbePair &
+TradeoffCurveCache::GroupCurve::insert(int64_t in_cap, int64_t out_cap,
+                                       ProbePair probes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return states_.emplace(std::make_pair(in_cap, out_cap),
+                           std::move(probes))
+        .first->second;
+}
+
+std::shared_ptr<TradeoffCurveCache::GroupCurve>
+TradeoffCurveCache::curve(fpga::DataType type,
+                          const model::ClpShape &shape,
+                          const nn::Network &network,
+                          const std::vector<size_t> &layers)
+{
+    // Everything a probe depends on: data type (bank geometry and
+    // word width), CLP shape, and each layer's tiling signature (the
+    // same reduction TilingOptionCache::get applies).
+    std::vector<int64_t> key;
+    key.reserve(3 + layers.size() * 5);
+    key.push_back(static_cast<int64_t>(type));
+    key.push_back(shape.tn);
+    key.push_back(shape.tm);
+    for (size_t idx : layers) {
+        const nn::ConvLayer &layer = network.layer(idx);
+        key.push_back(layer.r);
+        key.push_back(layer.c);
+        key.push_back(layer.k);
+        key.push_back(layer.s);
+        key.push_back(util::ceilDiv(layer.n, shape.tn));
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = curves_.find(key);
+    if (it != curves_.end())
+        return it->second;
+    auto curve = std::make_shared<GroupCurve>();
+    return curves_.emplace(std::move(key), std::move(curve))
+        .first->second;
+}
+
+std::shared_ptr<TradeoffCurveCache::PartitionTrace>
+TradeoffCurveCache::partitionTrace(fpga::DataType type,
+                                   const nn::Network &network,
+                                   const ComputePartition &partition)
+{
+    // The walk depends on the data type and, per group in order, the
+    // CLP shape and layer tiling signatures — layer *indices* never
+    // enter the probes, so index-shifted twins of a partition share a
+    // trace.
+    std::vector<int64_t> key;
+    key.push_back(static_cast<int64_t>(type));
+    for (const ComputeGroup &group : partition.groups) {
+        key.push_back(-1);  // group delimiter
+        key.push_back(group.shape.tn);
+        key.push_back(group.shape.tm);
+        for (size_t idx : group.layers) {
+            const nn::ConvLayer &layer = network.layer(idx);
+            key.push_back(layer.r);
+            key.push_back(layer.c);
+            key.push_back(layer.k);
+            key.push_back(layer.s);
+            key.push_back(util::ceilDiv(layer.n, group.shape.tn));
+        }
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = traces_.find(key);
+    if (it != traces_.end())
+        return it->second;
+    auto trace = std::make_shared<PartitionTrace>();
+    return traces_.emplace(std::move(key), std::move(trace))
+        .first->second;
+}
+
 /**
  * Mutable tiling state of one CLP during the greedy frontier walk:
  * per-layer Pareto options, the currently chosen option per layer, and
@@ -106,14 +275,16 @@ class MemoryOptimizer::ClpState
 {
   public:
     ClpState(const nn::Network &network, fpga::DataType type,
-             const ComputeGroup &group, TilingOptionCache &cache)
+             const ComputeGroup &group,
+             std::vector<TilingOptionCache::Options> options,
+             std::shared_ptr<TradeoffCurveCache::GroupCurve> curve)
         : network_(network), type_(type), shape_(group.shape),
-          layers_(group.layers)
+          layers_(group.layers), curve_(std::move(curve)),
+          options_(std::move(options))
     {
         int64_t weight_words = 0;
         for (size_t idx : layers_) {
             const nn::ConvLayer &layer = network_.layer(idx);
-            options_.push_back(cache.get(layer, shape_));
             weight_words =
                 std::max(weight_words, model::weightBankWords(layer));
         }
@@ -122,8 +293,8 @@ class MemoryOptimizer::ClpState
         refreshCaps();
     }
 
-    /** Current BRAM use of this CLP. */
-    int64_t bram() const { return bramAt(inCap_, outCap_); }
+    /** Current BRAM use of this CLP (cached; see refreshCaps). */
+    int64_t bram() const { return bram_; }
 
     /** BRAM use at hypothetical per-bank cost caps. */
     int64_t
@@ -136,24 +307,27 @@ class MemoryOptimizer::ClpState
     }
 
     /** Current peak bandwidth of this CLP in words per cycle. */
-    double
-    peakWords() const
+    double peakWords() const { return peak_; }
+
+    /**
+     * Both shrink probes at the current cap state, answered from the
+     * group's curve memo when possible. A probe is a pure function of
+     * (group, caps), so cached and fresh results are identical.
+     */
+    TradeoffCurveCache::ProbePair
+    probes() const
     {
-        double peak = 0.0;
-        for (size_t li = 0; li < layers_.size(); ++li)
-            peak = std::max(
-                peak, (*options_[li])[chosen_[li]].peakWordsPerCycle);
-        return peak;
+        if (curve_) {
+            if (const auto *hit = curve_->find(inCap_, outCap_))
+                return *hit;
+            ProbePair pair{probeMove(true), probeMove(false)};
+            return curve_->insert(inCap_, outCap_, pair);
+        }
+        return {probeMove(true), probeMove(false)};
     }
 
-    /** A candidate buffer-shrinking move and its effect. */
-    struct Move
-    {
-        bool input = false;       ///< shrink input (else output) banks
-        int64_t newCap = 0;       ///< new per-bank BRAM cost cap
-        int64_t bramAfter = 0;
-        double peakAfter = 0.0;
-    };
+    using Move = BufferMove;
+    using ProbePair = TradeoffCurveCache::ProbePair;
 
     /**
      * Evaluate shrinking the input or output per-bank cost to the next
@@ -237,6 +411,24 @@ class MemoryOptimizer::ClpState
 
     const model::ClpShape &shape() const { return shape_; }
     const std::vector<size_t> &layers() const { return layers_; }
+    int64_t inCap() const { return inCap_; }
+    int64_t outCap() const { return outCap_; }
+
+    /**
+     * Jump to a trace-recorded state: the caps a walk recorded after
+     * a move (post tightening) reproduce that walk point's exact
+     * tilings through one re-pick, because re-picking is idempotent
+     * across the tightening step.
+     */
+    void
+    setCaps(int64_t in_cap, int64_t out_cap)
+    {
+        inCap_ = in_cap;
+        outCap_ = out_cap;
+        if (!repick())
+            util::panic("MemoryOptimizer: trace caps are infeasible");
+        refreshCaps();
+    }
 
     /** Currently chosen tiling of layer @p li (local index). */
     const model::Tiling &
@@ -270,40 +462,53 @@ class MemoryOptimizer::ClpState
         return true;
     }
 
-    /** Tighten the caps down to the realized per-layer maxima. */
+    /**
+     * Tighten the caps down to the realized per-layer maxima and
+     * refresh the cached BRAM/peak totals.
+     */
     void
     refreshCaps()
     {
         int64_t in_max = 0;
         int64_t out_max = 0;
+        double peak = 0.0;
         for (size_t li = 0; li < layers_.size(); ++li) {
-            in_max = std::max(in_max,
-                              (*options_[li])[chosen_[li]].inputBankBrams);
-            out_max = std::max(out_max,
-                               (*options_[li])[chosen_[li]].outputBankBrams);
+            const TilingOption &opt = (*options_[li])[chosen_[li]];
+            in_max = std::max(in_max, opt.inputBankBrams);
+            out_max = std::max(out_max, opt.outputBankBrams);
+            peak = std::max(peak, opt.peakWordsPerCycle);
         }
         inCap_ = in_max;
         outCap_ = out_max;
+        bram_ = bramAt(inCap_, outCap_);
+        peak_ = peak;
     }
 
     const nn::Network &network_;
     fpga::DataType type_;
     model::ClpShape shape_;
     std::vector<size_t> layers_;
+    std::shared_ptr<TradeoffCurveCache::GroupCurve> curve_;
     std::vector<TilingOptionCache::Options> options_;
     std::vector<size_t> chosen_;
     int64_t weightBankBrams_ = 0;
     int64_t inCap_ = 0;
     int64_t outCap_ = 0;
+    int64_t bram_ = 0;   ///< cached bramAt(inCap_, outCap_)
+    double peak_ = 0.0;  ///< cached max chosen peakWordsPerCycle
 };
 
 MemoryOptimizer::MemoryOptimizer(const nn::Network &network,
                                  fpga::DataType type,
-                                 std::shared_ptr<TilingOptionCache> cache)
-    : network_(network), type_(type), cache_(std::move(cache))
+                                 std::shared_ptr<TilingOptionCache> cache,
+                                 std::shared_ptr<TradeoffCurveCache> curves)
+    : network_(network), type_(type), cache_(std::move(cache)),
+      curves_(std::move(curves))
 {
     if (!cache_)
         cache_ = std::make_shared<TilingOptionCache>();
+    if (!curves_)
+        curves_ = std::make_shared<TradeoffCurveCache>();
 }
 
 model::MultiClpDesign
@@ -327,15 +532,78 @@ MemoryOptimizer::buildDesign(const ComputePartition &partition,
     return design;
 }
 
-std::optional<model::MultiClpDesign>
-MemoryOptimizer::walkFrontier(const ComputePartition &partition,
-                              int64_t bram_budget,
-                              std::vector<TradeoffPoint> *trace) const
+std::vector<MemoryOptimizer::ClpState>
+MemoryOptimizer::makeStates(const ComputePartition &partition,
+                            TradeoffCurveCache::PartitionTrace &trace)
+    const
 {
+    if (trace.groupOptions.empty()) {
+        trace.groupOptions.reserve(partition.groups.size());
+        trace.groupCurves.reserve(partition.groups.size());
+        for (const ComputeGroup &group : partition.groups) {
+            std::vector<TilingOptionCache::Options> options;
+            options.reserve(group.layers.size());
+            for (size_t idx : group.layers)
+                options.push_back(
+                    cache_->get(network_.layer(idx), group.shape));
+            trace.groupOptions.push_back(std::move(options));
+            trace.groupCurves.push_back(curves_->curve(
+                type_, group.shape, network_, group.layers));
+        }
+    }
     std::vector<ClpState> states;
     states.reserve(partition.groups.size());
-    for (const ComputeGroup &group : partition.groups)
-        states.emplace_back(network_, type_, group, *cache_);
+    for (size_t ci = 0; ci < partition.groups.size(); ++ci) {
+        states.emplace_back(network_, type_, partition.groups[ci],
+                            trace.groupOptions[ci],
+                            trace.groupCurves[ci]);
+    }
+    return states;
+}
+
+std::vector<MemoryOptimizer::ClpState>
+MemoryOptimizer::statesAt(const ComputePartition &partition,
+                          TradeoffCurveCache::PartitionTrace &trace,
+                          ptrdiff_t idx) const
+{
+    std::vector<ClpState> states = makeStates(partition, trace);
+    // Each CLP's state is determined by its last recorded caps within
+    // the step prefix (its construction state when it never moved).
+    std::vector<ptrdiff_t> last(states.size(), -1);
+    for (ptrdiff_t s = 0; s <= idx; ++s)
+        last[trace.steps[static_cast<size_t>(s)].clp] = s;
+    for (size_t ci = 0; ci < states.size(); ++ci) {
+        if (last[ci] < 0)
+            continue;
+        const auto &step = trace.steps[static_cast<size_t>(last[ci])];
+        states[ci].setCaps(step.inCap, step.outCap);
+    }
+    return states;
+}
+
+void
+MemoryOptimizer::extendTrace(const ComputePartition &partition,
+                             TradeoffCurveCache::PartitionTrace &trace,
+                             int64_t bram_budget) const
+{
+    if (trace.complete)
+        return;
+    if (trace.initialized) {
+        // Nothing to do if the stored prefix already answers the
+        // budget (total BRAM strictly decreases along the steps).
+        int64_t known = trace.steps.empty() ? trace.initialBram
+                                            : trace.steps.back().totalBram;
+        if (bram_budget >= 0 && known <= bram_budget)
+            return;
+    }
+
+    // Resume the walk from the end of the stored prefix; a fresh
+    // trace resumes from the initial maximum-buffer point. The loop
+    // below is the uncached greedy walk verbatim, so a first cold
+    // call does exactly the work it always did.
+    std::vector<ClpState> states =
+        statesAt(partition, trace,
+                 static_cast<ptrdiff_t>(trace.steps.size()) - 1);
 
     auto totalBram = [&]() {
         int64_t total = 0;
@@ -349,37 +617,31 @@ MemoryOptimizer::walkFrontier(const ComputePartition &partition,
             total += state.peakWords();
         return total * static_cast<double>(fpga::wordBytes(type_));
     };
-    auto record = [&]() {
-        if (!trace)
-            return;
-        TradeoffPoint point;
-        point.totalBram = totalBram();
-        point.peakBytesPerCycle = totalPeakBytes();
-        point.design = buildDesign(partition, states);
-        trace->push_back(std::move(point));
-    };
 
-    // probeMove depends only on its own CLP's state, so probes stay
-    // valid until that CLP moves; only the mover is re-probed each
-    // round (the scores still compare in the original order).
-    std::vector<std::array<std::optional<ClpState::Move>, 2>> probes(
-        states.size());
+    if (!trace.initialized) {
+        trace.initialBram = totalBram();
+        trace.initialPeak = totalPeakBytes();
+        trace.initialized = true;
+    }
+
+    // Probes depend only on their own CLP's state, so they stay valid
+    // until that CLP moves; only the mover is re-probed each round
+    // (the scores still compare in the original order), and re-probes
+    // of states any earlier walk visited hit the curve memo.
+    std::vector<ClpState::ProbePair> probes(states.size());
     std::vector<bool> stale(states.size(), true);
 
-    record();
     while (bram_budget < 0 || totalBram() > bram_budget) {
         // Probe a one-level shrink of each CLP's input and output
         // buffers; take the one saving the most BRAM per unit of
         // added peak bandwidth.
         double cur_peak = totalPeakBytes();
-        int64_t cur_bram = totalBram();
         double best_score = -1.0;
         size_t best_clp = 0;
         std::optional<ClpState::Move> best_move;
         for (size_t ci = 0; ci < states.size(); ++ci) {
             if (stale[ci]) {
-                probes[ci][0] = states[ci].probeMove(true);
-                probes[ci][1] = states[ci].probeMove(false);
+                probes[ci] = states[ci].probes();
                 stale[ci] = false;
             }
             for (const auto &move : probes[ci]) {
@@ -406,18 +668,20 @@ MemoryOptimizer::walkFrontier(const ComputePartition &partition,
             }
         }
         if (!best_move) {
-            if (bram_budget < 0)
-                break;  // curve exhausted
-            if (cur_bram > bram_budget)
-                return std::nullopt;
-            break;
+            trace.complete = true;  // bottom of the curve
+            return;
         }
         states[best_clp].applyMove(*best_move);
         stale[best_clp] = true;
-        record();
-    }
 
-    return buildDesign(partition, states);
+        TradeoffCurveCache::PartitionStep step;
+        step.clp = static_cast<uint32_t>(best_clp);
+        step.inCap = states[best_clp].inCap();
+        step.outCap = states[best_clp].outCap();
+        step.totalBram = totalBram();
+        step.totalPeak = totalPeakBytes();
+        trace.steps.push_back(step);
+    }
 }
 
 std::optional<model::MultiClpDesign>
@@ -455,7 +719,33 @@ MemoryOptimizer::optimize(const ComputePartition &partition,
             return it->second;
     }
 
-    auto design = walkFrontier(partition, budget.bram18k, nullptr);
+    // Walk the partition's memoized trace to the first point within
+    // the BRAM budget (extending it only when no earlier query went
+    // deep enough), then rebuild that point's design.
+    std::optional<model::MultiClpDesign> design;
+    {
+        auto trace = curves_->partitionTrace(type_, network_, partition);
+        std::lock_guard<std::mutex> lock(trace->mutex);
+        extendTrace(partition, *trace, budget.bram18k);
+        if (trace->initialBram <= budget.bram18k) {
+            design = buildDesign(partition,
+                                 statesAt(partition, *trace, -1));
+        } else {
+            // Total BRAM strictly decreases along the steps; the walk
+            // stops at the first step within budget.
+            auto it = std::partition_point(
+                trace->steps.begin(), trace->steps.end(),
+                [&](const TradeoffCurveCache::PartitionStep &step) {
+                    return step.totalBram > budget.bram18k;
+                });
+            if (it != trace->steps.end()) {
+                design = buildDesign(
+                    partition,
+                    statesAt(partition, *trace,
+                             it - trace->steps.begin()));
+            }
+        }
+    }
     if (design && budget.bandwidthLimited()) {
         model::DesignMetrics metrics =
             model::evaluateDesign(*design, network_, budget);
@@ -470,9 +760,30 @@ MemoryOptimizer::optimize(const ComputePartition &partition,
 std::vector<TradeoffPoint>
 MemoryOptimizer::tradeoffCurve(const ComputePartition &partition) const
 {
-    std::vector<TradeoffPoint> trace;
-    walkFrontier(partition, -1, &trace);
-    return trace;
+    auto trace = curves_->partitionTrace(type_, network_, partition);
+    std::lock_guard<std::mutex> lock(trace->mutex);
+    extendTrace(partition, *trace, -1);
+
+    std::vector<TradeoffPoint> points;
+    points.reserve(trace->steps.size() + 1);
+    // The walk visits the initial maximum-buffer point first, then
+    // one point per move. Rebuilding states step by step (instead of
+    // statesAt per point) keeps this linear in the curve length.
+    std::vector<ClpState> states = statesAt(partition, *trace, -1);
+    TradeoffPoint initial;
+    initial.totalBram = trace->initialBram;
+    initial.peakBytesPerCycle = trace->initialPeak;
+    initial.design = buildDesign(partition, states);
+    points.push_back(std::move(initial));
+    for (const auto &step : trace->steps) {
+        states[step.clp].setCaps(step.inCap, step.outCap);
+        TradeoffPoint point;
+        point.totalBram = step.totalBram;
+        point.peakBytesPerCycle = step.totalPeak;
+        point.design = buildDesign(partition, states);
+        points.push_back(std::move(point));
+    }
+    return points;
 }
 
 ComputePartition

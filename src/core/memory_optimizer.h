@@ -21,12 +21,14 @@
 #define MCLP_CORE_MEMORY_OPTIMIZER_H
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <tuple>
+#include <unordered_map>
 #include <vector>
 
 #include "core/compute_optimizer.h"
@@ -54,6 +56,18 @@ struct TilingOption
 std::vector<TilingOption> paretoTilingOptions(const nn::ConvLayer &layer,
                                               const model::ClpShape &shape);
 
+/** FNV-1a over an int64 sequence; the memo tables' shared hash. */
+inline size_t
+hashInt64Words(const int64_t *words, size_t count)
+{
+    uint64_t hash = 1469598103934665603ULL;
+    for (size_t i = 0; i < count; ++i) {
+        hash ^= static_cast<uint64_t>(words[i]);
+        hash *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(hash);
+}
+
 /**
  * Memoizes paretoTilingOptions by (layer dimensions, shape). The
  * optimization loop re-derives tilings for the same layer-on-shape
@@ -72,11 +86,24 @@ class TilingOptionCache
     Options get(const nn::ConvLayer &layer, const model::ClpShape &shape);
 
   private:
-    /** (N, M, R, C, K, S, Tn, Tm) — everything the options depend on. */
+    /**
+     * (R, C, K, S, Tn, Tm, ceil(N/Tn), pad) — everything the options
+     * depend on (see get() for why N enters only through its ceiling
+     * and M not at all).
+     */
     using Key = std::array<int64_t, 8>;
 
+    struct KeyHash
+    {
+        size_t
+        operator()(const Key &key) const
+        {
+            return hashInt64Words(key.data(), key.size());
+        }
+    };
+
     std::mutex mutex_;
-    std::map<Key, Options> table_;
+    std::unordered_map<Key, Options, KeyHash> table_;
 };
 
 /** One point on the BRAM vs bandwidth tradeoff curve (Figure 6). */
@@ -87,6 +114,134 @@ struct TradeoffPoint
     model::MultiClpDesign design;
 };
 
+struct Int64VectorHash
+{
+    size_t
+    operator()(const std::vector<int64_t> &words) const
+    {
+        return hashInt64Words(words.data(), words.size());
+    }
+};
+
+/**
+ * One buffer-shrinking move of the greedy memory walk: lower a CLP's
+ * input- or output-bank BRAM cost cap to the next achievable level.
+ */
+struct BufferMove
+{
+    bool input = false;      ///< shrink input (else output) banks
+    int64_t newCap = 0;      ///< new per-bank BRAM cost cap
+    int64_t bramAfter = 0;   ///< CLP BRAM use after the move
+    double peakAfter = 0.0;  ///< CLP peak bandwidth after (words/cycle)
+};
+
+/**
+ * Cross-run memo of per-CLP-group tradeoff curves. The greedy walk's
+ * probes are pure functions of (data type, CLP shape, layer
+ * dimensions, current buffer caps): nothing about the surrounding
+ * partition, BRAM budget, or cycle target enters them. A group's walk
+ * therefore traverses a fixed state graph — the group's BRAM vs
+ * bandwidth tradeoff curve — and this cache memoizes that graph keyed
+ * by (range dims, shape, data type), so tradeoffCurve() and
+ * budget-capped optimize() calls stop re-walking identical curves
+ * across candidates, across targets, and across budgets of a sweep.
+ * Values are exact, never heuristic: cached and recomputed walks are
+ * bit-identical. Thread safe; a DseSession shares one instance across
+ * every run of the session.
+ */
+class TradeoffCurveCache
+{
+  public:
+    /** Probe results at one cap state, indexed [input, output]. */
+    using ProbePair = std::array<std::optional<BufferMove>, 2>;
+
+    /** One group's memoized walk states: (inCap, outCap) -> probes. */
+    class GroupCurve
+    {
+      public:
+        /** Cached probes at a cap state, or null when not yet seen. */
+        const ProbePair *find(int64_t in_cap, int64_t out_cap) const;
+
+        /** Record probes for a state; the first insert wins. */
+        const ProbePair &insert(int64_t in_cap, int64_t out_cap,
+                                ProbePair probes);
+
+      private:
+        mutable std::mutex mutex_;
+        std::map<std::pair<int64_t, int64_t>, ProbePair> states_;
+    };
+
+    /**
+     * The curve memo for @p shape over @p layers (network indices).
+     * Groups with identical dims share one curve even across
+     * different layer indices and different partitions.
+     */
+    std::shared_ptr<GroupCurve> curve(fpga::DataType type,
+                                      const model::ClpShape &shape,
+                                      const nn::Network &network,
+                                      const std::vector<size_t> &layers);
+
+    /**
+     * One applied move of a partition's greedy walk. The recorded
+     * caps are the mover's buffer-cost caps after the move (post
+     * tightening), which — by the idempotence of the cap/re-pick
+     * cycle — are all that is needed to reconstruct the mover's exact
+     * tilings at that point of the walk.
+     */
+    struct PartitionStep
+    {
+        uint32_t clp = 0;         ///< which CLP moved
+        int64_t inCap = 0;        ///< mover's input cap after the move
+        int64_t outCap = 0;       ///< mover's output cap after
+        int64_t totalBram = 0;    ///< partition BRAM after the move
+        double totalPeak = 0.0;   ///< partition peak bytes/cycle after
+    };
+
+    /**
+     * A partition's walk trace: the deterministic move sequence of
+     * the greedy frontier walk, which does not depend on the BRAM
+     * budget or cycle target. Total BRAM strictly decreases along the
+     * steps, so any budget's stopping point is a binary search, and
+     * the design there is rebuilt from the recorded caps — no
+     * re-walking. Extended lazily (a cold run stops exactly where the
+     * uncached walk would have) and resumed when a later query needs
+     * to go deeper. Guarded by its mutex; managed by MemoryOptimizer.
+     */
+    struct PartitionTrace
+    {
+        std::mutex mutex;
+        bool initialized = false;
+        int64_t initialBram = 0;
+        double initialPeak = 0.0;
+        std::vector<PartitionStep> steps;
+        bool complete = false;  ///< walked to the bottom of the curve
+        /** Per-group per-layer options, fetched once for every
+         * state reconstruction against this trace. */
+        std::vector<std::vector<TilingOptionCache::Options>>
+            groupOptions;
+        /** Per-group probe memos, resolved once per trace. */
+        std::vector<std::shared_ptr<GroupCurve>> groupCurves;
+    };
+
+    /**
+     * The walk-trace memo for a whole partition, keyed by (data type,
+     * per-group shape and layer dims). Partitions with identical
+     * signatures share one trace even when their layer indices differ.
+     */
+    std::shared_ptr<PartitionTrace>
+    partitionTrace(fpga::DataType type, const nn::Network &network,
+                   const ComputePartition &partition);
+
+  private:
+    std::mutex mutex_;
+    std::unordered_map<std::vector<int64_t>, std::shared_ptr<GroupCurve>,
+                       Int64VectorHash>
+        curves_;
+    std::unordered_map<std::vector<int64_t>,
+                       std::shared_ptr<PartitionTrace>, Int64VectorHash>
+        traces_;
+};
+
 /** Memory-partitioning search over a compute-partition candidate. */
 class MemoryOptimizer
 {
@@ -95,9 +250,14 @@ class MemoryOptimizer
      * @param cache optional shared tiling memo; when null the
      * optimizer creates a private one, so repeated optimize() calls
      * still reuse tables within this instance.
+     * @param curves optional shared tradeoff-curve memo; when null a
+     * private one is created (probes still dedup across candidates
+     * and targets within this instance). A DseSession passes its warm
+     * cache here to reuse curves across budgets.
      */
     MemoryOptimizer(const nn::Network &network, fpga::DataType type,
-                    std::shared_ptr<TilingOptionCache> cache = nullptr);
+                    std::shared_ptr<TilingOptionCache> cache = nullptr,
+                    std::shared_ptr<TradeoffCurveCache> curves = nullptr);
 
     /**
      * Assign (Tr, Tc) to every layer of @p partition such that total
@@ -122,13 +282,33 @@ class MemoryOptimizer
     class ClpState;
 
     /**
-     * Run the greedy frontier walk. Stops as soon as total BRAM is
-     * within @p bram_budget (bram_budget < 0 walks the whole curve).
-     * Appends every visited point to @p trace when it is non-null.
+     * Fresh maximum-buffer states, one per partition group, sharing
+     * the trace's pre-fetched tiling options (filled on first use).
      */
-    std::optional<model::MultiClpDesign> walkFrontier(
-        const ComputePartition &partition, int64_t bram_budget,
-        std::vector<TradeoffPoint> *trace) const;
+    std::vector<ClpState> makeStates(
+        const ComputePartition &partition,
+        TradeoffCurveCache::PartitionTrace &trace) const;
+
+    /**
+     * Run the greedy frontier walk from wherever @p trace currently
+     * ends, appending one PartitionStep per move, until total BRAM is
+     * within @p bram_budget (walking the whole curve when
+     * bram_budget < 0). A cold first call stops exactly where the
+     * never-cached walk would have stopped; later calls resume. The
+     * caller holds the trace mutex.
+     */
+    void extendTrace(const ComputePartition &partition,
+                     TradeoffCurveCache::PartitionTrace &trace,
+                     int64_t bram_budget) const;
+
+    /**
+     * Reconstruct every CLP's exact state at step @p idx of the trace
+     * (-1 = the initial maximum-buffer point) from the recorded caps.
+     */
+    std::vector<ClpState> statesAt(
+        const ComputePartition &partition,
+        TradeoffCurveCache::PartitionTrace &trace,
+        ptrdiff_t idx) const;
 
     model::MultiClpDesign buildDesign(
         const ComputePartition &partition,
@@ -137,6 +317,7 @@ class MemoryOptimizer
     const nn::Network &network_;
     fpga::DataType type_;
     std::shared_ptr<TilingOptionCache> cache_;
+    std::shared_ptr<TradeoffCurveCache> curves_;
 
     /**
      * Memo for optimize(): the loosening-target loop re-proposes the
@@ -146,8 +327,9 @@ class MemoryOptimizer
      * result depends on.
      */
     mutable std::mutex memoMutex_;
-    mutable std::map<std::vector<int64_t>,
-                     std::optional<model::MultiClpDesign>>
+    mutable std::unordered_map<std::vector<int64_t>,
+                               std::optional<model::MultiClpDesign>,
+                               Int64VectorHash>
         memo_;
 };
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "core/dse_session.h"
 #include "model/cycle_model.h"
 #include "model/dsp_model.h"
 #include "util/logging.h"
@@ -65,11 +66,11 @@ MultiClpOptimizer::evaluateTarget(ComputeOptimizer &compute,
     std::vector<ComputePartition> candidates =
         compute.optimize(budget_.dspSlices, cycle_target);
 
-    std::optional<OptimizationResult> best;
-    for (const ComputePartition &partition : candidates) {
+    auto evaluate = [&](const ComputePartition &partition,
+                        std::optional<OptimizationResult> &best) {
         auto design = memory.optimize(partition, budget_, cycle_target);
         if (!design)
-            continue;
+            return;
         model::DesignMetrics metrics =
             model::evaluateDesign(*design, network_, budget_);
         bool better =
@@ -91,7 +92,43 @@ MultiClpOptimizer::evaluateTarget(ComputeOptimizer &compute,
             result.iterations = iter;
             best = std::move(result);
         }
+    };
+
+    std::optional<OptimizationResult> best;
+    if (!budget_.bandwidthLimited()) {
+        // With unconstrained bandwidth a design's epoch equals its
+        // partition's compute epoch — tilings never enter it — and
+        // epoch dominates the selection order. Walking candidates in
+        // ascending compute-epoch groups lets the first group with a
+        // BRAM-feasible member win without optimizing the buffers of
+        // provably worse candidates. The result is bit-identical to
+        // evaluating everything (peak/CLP-count tie-breaks only apply
+        // within an equal-epoch group, which is evaluated in full).
+        std::vector<size_t> order(candidates.size());
+        for (size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        std::stable_sort(order.begin(), order.end(),
+                         [&](size_t a, size_t b) {
+                             return candidates[a].epochCycles() <
+                                    candidates[b].epochCycles();
+                         });
+        for (size_t gi = 0; gi < order.size();) {
+            int64_t epoch = candidates[order[gi]].epochCycles();
+            size_t ge = gi;
+            while (ge < order.size() &&
+                   candidates[order[ge]].epochCycles() == epoch)
+                ++ge;
+            for (size_t k = gi; k < ge; ++k)
+                evaluate(candidates[order[k]], best);
+            if (best)
+                return best;
+            gi = ge;
+        }
+        return best;
     }
+
+    for (const ComputePartition &partition : candidates)
+        evaluate(partition, best);
     return best;
 }
 
@@ -104,11 +141,20 @@ MultiClpOptimizer::runWithOrder(OrderHeuristic heuristic,
     int max_clps = options_.singleClp ? 1 : options_.maxClps;
     bool frontier = options_.engine == OptimizerEngine::Frontier;
     std::vector<size_t> order = orderLayers(network_, heuristic);
+    // A warm session hands the run its budget-free FrontierTable and
+    // tradeoff-curve memo; both are value-preserving, so warm and cold
+    // runs produce bit-identical designs.
+    FrontierTable *shared_frontiers = nullptr;
+    if (options_.caches && frontier)
+        shared_frontiers = &options_.caches->frontierTable(
+            network_, type_, order, max_clps);
     ComputeOptimizer compute(network_, type_, order, max_clps,
                              frontier ? ComputeEngine::Frontier
                                       : ComputeEngine::Reference,
-                             pool);
-    MemoryOptimizer memory(network_, type_, std::move(cache));
+                             pool, shared_frontiers);
+    MemoryOptimizer memory(network_, type_, std::move(cache),
+                           options_.caches ? options_.caches->curves()
+                                           : nullptr);
 
     int64_t units = model::macBudget(budget_.dspSlices, type_);
     if (units < 1)
@@ -153,12 +199,45 @@ MultiClpOptimizer::runWithOrder(OrderHeuristic heuristic,
     // partition could regroup layers into a worse BRAM footprint — so
     // it is guarded empirically by the cross-engine parity tests in
     // tests/core/test_shape_frontier.cc (fixed and randomized
-    // networks); a divergence there means this fast path must fall
-    // back to the linear scan for the affected budget class, as the
-    // bandwidth-limited case above already does.
-    std::optional<OptimizationResult> found;
-    size_t lo = 0;  // highest step known infeasible
+    // networks) and the warm/cold sweep parity tests in
+    // tests/core/test_dse_session.cc; a divergence there means this
+    // fast path must fall back to the linear scan for the affected
+    // budget class, as the bandwidth-limited case above already does.
+    //
+    // The search runs in two phases. Compute-only feasibility ("does
+    // any partition meet the target at all?") is exactly monotone and
+    // needs no memory optimization, no tilings, and no design
+    // evaluation, so the bisection first converges on that cheap
+    // superset test; only the convergence step pays for a full
+    // evaluation. When OptimizeMemory rejects that step (BRAM-starved
+    // budgets), the search continues past it with full probes under
+    // the same monotone-feasibility contract.
+    auto computeFeasible = [&](size_t k) {
+        int64_t cycle_target = static_cast<int64_t>(
+            std::ceil(static_cast<double>(cycles_min) / targets[k - 1]));
+        return !compute.optimize(budget_.dspSlices, cycle_target)
+                    .empty();
+    };
+    size_t lo = 0;  // highest step known compute-infeasible
     size_t hi = 1;
+    for (;;) {
+        if (computeFeasible(hi))
+            break;
+        lo = hi;
+        if (hi >= limit)
+            return std::nullopt;
+        hi = std::min(limit, hi * 2);
+    }
+    while (hi - lo > 1) {
+        size_t mid = lo + (hi - lo) / 2;
+        if (computeFeasible(mid))
+            hi = mid;
+        else
+            lo = mid;
+    }
+
+    // Full evaluation from the first compute-feasible step.
+    std::optional<OptimizationResult> found;
     for (;;) {
         found = probe(hi);
         if (found)
@@ -203,6 +282,24 @@ MultiClpOptimizer::run() const
         heuristics.push_back(OrderHeuristic::AsIs);
     }
 
+    // Heuristics that resolve to the same layer order would run the
+    // identical search twice (and, warm, contend on the same shared
+    // FrontierTable); only the first occurrence can ever win the
+    // strict best-result comparison, so duplicates are dropped.
+    {
+        std::vector<std::vector<size_t>> orders;
+        std::vector<OrderHeuristic> unique;
+        for (OrderHeuristic heuristic : heuristics) {
+            std::vector<size_t> order = orderLayers(network_, heuristic);
+            if (std::find(orders.begin(), orders.end(), order) !=
+                orders.end())
+                continue;
+            orders.push_back(std::move(order));
+            unique.push_back(heuristic);
+        }
+        heuristics = std::move(unique);
+    }
+
     bool frontier = options_.engine == OptimizerEngine::Frontier;
     std::unique_ptr<util::ThreadPool> pool;
     if (frontier && util::resolveThreads(options_.threads) > 1)
@@ -211,9 +308,13 @@ MultiClpOptimizer::run() const
     // the same shapes under different orders. The Reference engine
     // keeps per-run tables so its timings stay closer to the seed
     // baseline (it still memoizes within a run; BENCH_optimizer.json
-    // records the true pre-engine seed numbers separately).
-    auto cache =
-        frontier ? std::make_shared<TilingOptionCache>() : nullptr;
+    // records the true pre-engine seed numbers separately). A warm
+    // session's memo additionally persists across runs and budgets.
+    std::shared_ptr<TilingOptionCache> cache;
+    if (options_.caches)
+        cache = options_.caches->tilings();
+    else if (frontier)
+        cache = std::make_shared<TilingOptionCache>();
 
     std::vector<std::optional<OptimizationResult>> results(
         heuristics.size());

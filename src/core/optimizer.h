@@ -15,6 +15,7 @@
 #define MCLP_CORE_OPTIMIZER_H
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -29,6 +30,8 @@
 
 namespace mclp {
 namespace core {
+
+class DseCaches;  // warm cross-run caches; see dse_session.h
 
 /** Which end-to-end search implementation MultiClpOptimizer runs. */
 enum class OptimizerEngine
@@ -88,6 +91,15 @@ struct OptimizerOptions
 
     /** Safety bound on target iterations. */
     int maxIterations = 2000;
+
+    /**
+     * Warm cross-run caches (frontier tables, tradeoff curves, tiling
+     * options) shared by every run of a DSE session. Normally set by
+     * DseSession, not by hand; must have been created for the same
+     * network and data type. Caches are value-preserving: runs with
+     * and without them produce bit-identical designs.
+     */
+    std::shared_ptr<DseCaches> caches;
 };
 
 /** The outcome of an optimization run. */

@@ -44,6 +44,7 @@ ShapeFrontier::Builder::reset()
     tnBps_.clear();
     tmBps_.clear();
     grid_.clear();
+    cands_.clear();
 }
 
 bool
@@ -152,6 +153,19 @@ ShapeFrontier::Builder::addLayer(const nn::ConvLayer &layer,
     }
 }
 
+namespace {
+
+/**
+ * Above this unit range the dense staircase sweep's O(max_units) scan
+ * and bucket storage stop paying off and the sparse sort takes over.
+ * Every budget-capped build of a real device sits far below it (a
+ * 10,000-DSP float budget is 2,000 units); only budget-free builds of
+ * wide networks go sparse, and those are built once per session.
+ */
+constexpr int64_t kDenseUnitsLimit = 1 << 16;
+
+} // namespace
+
 ShapeFrontier
 ShapeFrontier::Builder::build(fpga::DataType type, int64_t units_budget)
 {
@@ -161,16 +175,65 @@ ShapeFrontier::Builder::build(fpga::DataType type, int64_t units_budget)
     if (units_budget < 1)
         return frontier;  // not a single MAC unit
 
-    size_t max_units = static_cast<size_t>(
-        std::min(units_budget,
-                 std::min(maxN_, units_budget) * maxM_));
-    if (buckets_.size() < max_units + 1)
-        buckets_.resize(max_units + 1);
-
-    // Read the grid: per MAC count keep the best (fewest cycles; ties
-    // toward the first, i.e. smallest, Tn) shape within the budget.
+    int64_t per_mac = fpga::dspPerMac(type);
     int64_t tn_cap = std::min(maxN_, units_budget);
+    int64_t max_units = std::min(units_budget, tn_cap * maxM_);
     size_t w = tmBps_.size();
+
+    if (max_units <= kDenseUnitsLimit) {
+        // Dense sweep: per MAC count keep the best (fewest cycles;
+        // ties toward the first, i.e. smallest, Tn) shape within the
+        // budget, then walk unit counts in order.
+        if (buckets_.size() < static_cast<size_t>(max_units) + 1)
+            buckets_.resize(static_cast<size_t>(max_units) + 1);
+        for (size_t ti = 0; ti < tnBps_.size(); ++ti) {
+            int64_t tn = tnBps_[ti];
+            if (tn > tn_cap)
+                break;
+            int64_t tm_cap = units_budget / tn;
+            size_t hi = static_cast<size_t>(
+                std::upper_bound(tmBps_.begin(), tmBps_.end(), tm_cap) -
+                tmBps_.begin());
+            const int64_t *row = grid_.data() + ti * w;
+            for (size_t mi = 0; mi < hi; ++mi) {
+                size_t units = static_cast<size_t>(tn * tmBps_[mi]);
+                int64_t cycles = row[mi];
+                Bucket &slot = buckets_[units];
+                if (slot.cycles < 0 || cycles < slot.cycles) {
+                    slot.cycles = cycles;
+                    slot.tn = static_cast<int32_t>(tn);
+                    slot.tm = static_cast<int32_t>(tmBps_[mi]);
+                }
+            }
+        }
+
+        // Ascending-units sweep keeps only the Pareto staircase:
+        // strictly increasing DSP, strictly decreasing cycles.
+        // Buckets reset along the way.
+        int64_t best_cycles = -1;
+        for (int64_t units = 1; units <= max_units; ++units) {
+            Bucket &slot = buckets_[static_cast<size_t>(units)];
+            if (slot.cycles < 0)
+                continue;
+            if (best_cycles < 0 || slot.cycles < best_cycles) {
+                best_cycles = slot.cycles;
+                FrontierPoint point;
+                point.shape = model::ClpShape{slot.tn, slot.tm};
+                point.dsp = per_mac * units;
+                point.cycles = slot.cycles;
+                frontier.points_.push_back(point);
+            }
+            slot.cycles = -1;  // reset for the next build
+        }
+        return frontier;
+    }
+
+    // Sparse sweep for huge unit ranges (budget-free builds of wide
+    // networks): the candidate count is bounded by the breakpoint
+    // products, not by the unit count. The (units, cycles, tn) sort
+    // replicates the dense sweep's tie-breaks exactly: per unit count
+    // the fewest-cycles shape wins, ties toward the smallest Tn.
+    cands_.clear();
     for (size_t ti = 0; ti < tnBps_.size(); ++ti) {
         int64_t tn = tnBps_[ti];
         if (tn > tn_cap)
@@ -181,36 +244,38 @@ ShapeFrontier::Builder::build(fpga::DataType type, int64_t units_budget)
             tmBps_.begin());
         const int64_t *row = grid_.data() + ti * w;
         for (size_t mi = 0; mi < hi; ++mi) {
-            size_t units = static_cast<size_t>(tn * tmBps_[mi]);
-            int64_t cycles = row[mi];
-            Bucket &slot = buckets_[units];
-            if (slot.cycles < 0 || cycles < slot.cycles) {
-                slot.cycles = cycles;
-                slot.tn = static_cast<int32_t>(tn);
-                slot.tm = static_cast<int32_t>(tmBps_[mi]);
-            }
+            Candidate cand;
+            cand.units = tn * tmBps_[mi];
+            cand.cycles = row[mi];
+            cand.tn = static_cast<int32_t>(tn);
+            cand.tm = static_cast<int32_t>(tmBps_[mi]);
+            cands_.push_back(cand);
         }
     }
-
-    // Ascending-units sweep keeps only the Pareto staircase: strictly
-    // increasing DSP, strictly decreasing cycles. Buckets reset along
-    // the way.
-    int64_t per_mac = fpga::dspPerMac(type);
+    std::sort(cands_.begin(), cands_.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  if (a.units != b.units)
+                      return a.units < b.units;
+                  if (a.cycles != b.cycles)
+                      return a.cycles < b.cycles;
+                  return a.tn < b.tn;
+              });
     int64_t best_cycles = -1;
-    for (size_t units = 1; units <= max_units; ++units) {
-        Bucket &slot = buckets_[units];
-        if (slot.cycles < 0)
-            continue;
-        if (best_cycles < 0 || slot.cycles < best_cycles) {
-            best_cycles = slot.cycles;
+    int64_t last_units = 0;
+    for (const Candidate &cand : cands_) {
+        if (cand.units == last_units)
+            continue;  // only the best shape per unit count competes
+        if (best_cycles < 0 || cand.cycles < best_cycles) {
+            best_cycles = cand.cycles;
+            last_units = cand.units;
             FrontierPoint point;
-            point.shape = model::ClpShape{slot.tn, slot.tm};
-            point.dsp = per_mac * static_cast<int64_t>(units);
-            point.cycles = slot.cycles;
+            point.shape = model::ClpShape{cand.tn, cand.tm};
+            point.dsp = per_mac * cand.units;
+            point.cycles = cand.cycles;
             frontier.points_.push_back(point);
         }
-        slot.cycles = -1;  // reset for the next build
     }
+    cands_.clear();
     return frontier;
 }
 
@@ -225,16 +290,34 @@ ShapeFrontier::ShapeFrontier(
 }
 
 const FrontierPoint *
-ShapeFrontier::query(int64_t cycle_target) const
+ShapeFrontier::query(int64_t cycle_target, int64_t max_dsp) const
 {
-    // Cycles decrease along the frontier; the first point at or under
-    // the target is the cheapest one (ties already resolved toward
-    // fewer cycles, then smaller Tn, during construction).
-    auto it = std::partition_point(
+    // DSP increases strictly along the frontier, so the shapes
+    // affordable under max_dsp are a prefix; cycles decrease, so the
+    // first prefix point at or under the target is the cheapest one
+    // (ties already resolved toward fewer cycles, then smaller Tn,
+    // during construction).
+    auto end = std::partition_point(
         points_.begin(), points_.end(), [&](const FrontierPoint &p) {
+            return p.dsp <= max_dsp;
+        });
+    auto it = std::partition_point(
+        points_.begin(), end, [&](const FrontierPoint &p) {
             return p.cycles > cycle_target;
         });
-    return it == points_.end() ? nullptr : &*it;
+    return it == end ? nullptr : &*it;
+}
+
+int64_t
+ShapeFrontier::minCycles(int64_t max_dsp) const
+{
+    auto end = std::partition_point(
+        points_.begin(), points_.end(), [&](const FrontierPoint &p) {
+            return p.dsp <= max_dsp;
+        });
+    if (end == points_.begin())
+        return kUnboundedResources;  // nothing affordable
+    return (end - 1)->cycles;
 }
 
 FrontierTable::FrontierTable(const nn::Network &network,
@@ -263,7 +346,7 @@ FrontierTable::usable(size_t i, size_t j) const
 }
 
 void
-FrontierTable::extendRow(size_t i, int64_t cycle_target)
+FrontierTable::extendRow(size_t i, int64_t dsp_cap, int64_t cycle_target)
 {
     Row &row = rows_[i];
     if (row.exhausted)
@@ -278,11 +361,16 @@ FrontierTable::extendRow(size_t i, int64_t cycle_target)
     row.builderLayers = j - i + 1;
 
     while (true) {
-        row.frontiers.push_back(row.builder.build(type_, unitsBudget_));
+        // Build at the table's units cap (unbounded for budget-free
+        // tables, the current budget otherwise); either way a query's
+        // affordable shapes are a prefix, so only the extension
+        // stopping rule looks at the current budget.
+        row.frontiers.push_back(row.builder.build(type_, buildUnits_));
         const ShapeFrontier &frontier = row.frontiers.back();
         if (frontier.empty()) {
-            // No affordable shape at any target; extensions only add
-            // cycles, so this row is finished for good.
+            // No affordable shape at any target (capped build only;
+            // budget-free builds always store 1x1); extensions only
+            // add cycles, so this row is finished for good.
             row.exhausted = true;
             return;
         }
@@ -290,8 +378,8 @@ FrontierTable::extendRow(size_t i, int64_t cycle_target)
             row.exhausted = true;
             return;
         }
-        if (frontier.minCycles() > cycle_target)
-            return;  // resume here when the target loosens
+        if (frontier.minCycles(dsp_cap) > cycle_target)
+            return;  // resume when the target loosens or budget grows
         ++j;
         if (!usable(i, j)) {
             row.exhausted = true;  // next usable j is not contiguous
@@ -303,15 +391,22 @@ FrontierTable::extendRow(size_t i, int64_t cycle_target)
 }
 
 void
+FrontierTable::reserveUnits(int64_t units_cap)
+{
+    if (units_cap <= buildUnits_)
+        return;
+    // Stored frontiers only hold shapes affordable under the cap they
+    // were built with; a larger cap rebuilds. Smaller budgets keep the
+    // rows (their shapes are a prefix of the stored staircases).
+    rows_.clear();
+    buildUnits_ = units_cap;
+}
+
+void
 FrontierTable::prepare(int64_t dsp_budget, int64_t cycle_target,
                        util::ThreadPool *pool)
 {
-    if (dsp_budget != dspBudget_) {
-        rows_.clear();
-        dspBudget_ = dsp_budget;
-        unitsBudget_ = model::macBudget(dsp_budget, type_);
-    }
-    cycleTarget_ = cycle_target;
+    reserveUnits(model::macBudget(dsp_budget, type_));
     size_t count = order_.size();
     if (rows_.empty())
         rows_.resize(count);
@@ -323,22 +418,24 @@ FrontierTable::prepare(int64_t dsp_budget, int64_t cycle_target,
         if (!usable(i, i) && !usable(i, count - 1))
             continue;  // no usable range starts at i
         if (!rows_[i].frontiers.empty() &&
-            rows_[i].frontiers.back().minCycles() > cycle_target)
-            continue;  // still blocked at this target
+            rows_[i].frontiers.back().minCycles(dsp_budget) >
+                cycle_target)
+            continue;  // still blocked at this budget and target
         pending.push_back(i);
     }
     if (pool && pending.size() > 1) {
         pool->parallelFor(pending.size(), [&](size_t p) {
-            extendRow(pending[p], cycle_target);
+            extendRow(pending[p], dsp_budget, cycle_target);
         });
     } else {
         for (size_t i : pending)
-            extendRow(i, cycle_target);
+            extendRow(i, dsp_budget, cycle_target);
     }
 }
 
 std::optional<FrontierPoint>
-FrontierTable::choose(size_t i, size_t j) const
+FrontierTable::choose(size_t i, size_t j, int64_t dsp_budget,
+                      int64_t cycle_target) const
 {
     if (!usable(i, j))
         return std::nullopt;
@@ -348,7 +445,8 @@ FrontierTable::choose(size_t i, size_t j) const
     size_t idx = usable(i, i) ? j - i : 0;
     if (idx >= row.frontiers.size())
         return std::nullopt;  // infeasible at every target so far
-    const FrontierPoint *point = row.frontiers[idx].query(cycleTarget_);
+    const FrontierPoint *point =
+        row.frontiers[idx].query(cycle_target, dsp_budget);
     if (!point)
         return std::nullopt;
     return *point;

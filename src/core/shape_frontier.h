@@ -19,6 +19,14 @@
  * tables are shared network-wide through BreakpointCache, so frontier
  * construction skips redundant tile sizes in O(1).
  *
+ * The frontier is sorted by strictly increasing DSP, so a DSP budget
+ * never requires a rebuild either: the shapes affordable under any
+ * budget are a prefix of the budget-free frontier, and a capped query
+ * is an upper-bound binary search. FrontierTable exploits this by
+ * building every range's frontier exactly once with no units cap and
+ * answering (budget, target) pairs by prefix truncation — one build
+ * serves an entire budget sweep (see core::DseSession).
+ *
  * FrontierTable manages the frontiers of every range the partition DP
  * can use, building them lazily as loosening targets make longer
  * ranges relevant, optionally fanning construction out over a thread
@@ -31,6 +39,8 @@
 #define MCLP_CORE_SHAPE_FRONTIER_H
 
 #include <cstdint>
+#include <limits>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -74,6 +84,10 @@ class BreakpointCache
     std::unordered_map<int64_t, Table> tables_;
 };
 
+/** "No constraint" sentinel for unit/DSP caps (never overflows). */
+constexpr int64_t kUnboundedResources =
+    std::numeric_limits<int64_t>::max() / 4;
+
 /** One Pareto-optimal shape of a layer range. */
 struct FrontierPoint
 {
@@ -105,9 +119,14 @@ class ShapeFrontier
      * Minimum-DSP shape finishing the range within @p cycle_target,
      * breaking DSP ties toward fewer cycles, then smaller Tn — the
      * exact choice of the brute-force enumeration. nullopt when no
-     * stored shape meets the target.
+     * stored shape meets the target. @p max_dsp restricts the search
+     * to the affordable prefix (DSP is strictly increasing along the
+     * frontier), so a budget-free frontier answers any budget without
+     * a rebuild.
      */
-    const FrontierPoint *query(int64_t cycle_target) const;
+    const FrontierPoint *
+    query(int64_t cycle_target,
+          int64_t max_dsp = kUnboundedResources) const;
 
     /** True when not even the largest affordable shape can help. */
     bool empty() const { return points_.empty(); }
@@ -118,6 +137,13 @@ class ShapeFrontier
     {
         return points_.empty() ? 0 : points_.back().cycles;
     }
+
+    /**
+     * Fewest cycles achievable with shapes costing at most @p max_dsp
+     * slices; kUnboundedResources when no stored shape is affordable
+     * (the range cannot meet any target under that budget).
+     */
+    int64_t minCycles(int64_t max_dsp) const;
 
     const std::vector<FrontierPoint> &points() const { return points_; }
 
@@ -156,9 +182,19 @@ class ShapeFrontier::Builder
     ShapeFrontier build(fpga::DataType type, int64_t units_budget);
 
   private:
+    /** Per-unit-count slot of the dense staircase sweep. */
     struct Bucket
     {
         int64_t cycles = -1;
+        int32_t tn = 0;
+        int32_t tm = 0;
+    };
+
+    /** One enumerated shape, keyed for the sparse staircase sweep. */
+    struct Candidate
+    {
+        int64_t units = 0;   ///< Tn * Tm
+        int64_t cycles = 0;  ///< exact range cycles from the grid
         int32_t tn = 0;
         int32_t tm = 0;
     };
@@ -180,14 +216,27 @@ class ShapeFrontier::Builder
     std::vector<int64_t> tmBps_;  ///< merged Tm breakpoints, ascending
     /** cycles of the range at (tnBps_[ti], tmBps_[mi]), row-major. */
     std::vector<int64_t> grid_;
-    std::vector<int64_t> scratch_;  ///< expansion / per-bp ceilings
-    std::vector<Bucket> buckets_;   ///< by MAC count; reset after use
+    std::vector<int64_t> scratch_;   ///< expansion / per-bp ceilings
+    std::vector<Bucket> buckets_;    ///< dense sweep; reset after use
+    std::vector<Candidate> cands_;   ///< sparse sweep scratch
 };
 
 /**
  * Lazily built frontiers for every layer range the partition DP may
  * consult, i.e. ranges of a fixed heuristic order usable by some
  * partition into at most max_clps contiguous groups.
+ *
+ * The table's frontiers are built capped at the largest budget it has
+ * ever been asked about (the grow-only units cap): any query at or
+ * under that budget is a prefix of the stored staircase, so answers
+ * for every budget of a descending or repeated ladder come from one
+ * build. Only a budget *increase* discards stored rows; a warm
+ * DseSession avoids even that by reserving the ladder's maximum up
+ * front (reserveUnits()) before the first run touches the table.
+ *
+ * The table is not internally synchronized; callers that share it
+ * (ComputeOptimizer, DseSession) must hold mutex() across a
+ * reserveUnits()/prepare()/choose() sequence.
  */
 class FrontierTable
 {
@@ -196,24 +245,42 @@ class FrontierTable
                   std::vector<size_t> order, int max_clps);
 
     /**
+     * Grow the units cap to at least @p units_cap, discarding stored
+     * rows if they were built under a smaller cap. A session calls
+     * this with the largest budget of a sweep before the first run,
+     * so no mid-sweep rebuild ever happens.
+     */
+    void reserveUnits(int64_t units_cap);
+
+    /**
      * Make sure every range that could satisfy @p cycle_target under
      * @p dsp_budget has its frontier built, extending each start row
      * until the range becomes infeasible for the target (extending an
      * infeasible range only adds cycles, so the rest of the row cannot
-     * matter yet). Ranges already built are kept; a change of
-     * dsp_budget discards the table. Row construction fans out over
-     * @p pool when given.
+     * matter yet). Ranges already built are kept across prepare()
+     * calls; only a budget above every earlier one rebuilds (see
+     * reserveUnits()). Row construction fans out over @p pool when
+     * given.
      */
     void prepare(int64_t dsp_budget, int64_t cycle_target,
                  util::ThreadPool *pool);
 
     /**
-     * Frontier query for order[i..j] at the budget/target of the last
-     * prepare() call. nullopt when the range cannot meet the target.
+     * Frontier query for order[i..j]: minimum-DSP shape fitting
+     * @p dsp_budget and finishing within @p cycle_target. nullopt when
+     * the range cannot meet the target under the budget. Queries are
+     * stateless, so distinct (budget, target) pairs can interleave.
      */
-    std::optional<FrontierPoint> choose(size_t i, size_t j) const;
+    std::optional<FrontierPoint> choose(size_t i, size_t j,
+                                        int64_t dsp_budget,
+                                        int64_t cycle_target) const;
 
     size_t size() const { return order_.size(); }
+    const std::vector<size_t> &order() const { return order_; }
+    int maxClps() const { return maxClps_; }
+
+    /** Lock guarding prepare()/choose() when the table is shared. */
+    std::mutex &mutex() const { return mutex_; }
 
   private:
     struct Row
@@ -225,17 +292,16 @@ class FrontierTable
     };
 
     bool usable(size_t i, size_t j) const;
-    void extendRow(size_t i, int64_t cycle_target);
+    void extendRow(size_t i, int64_t dsp_cap, int64_t cycle_target);
 
     const nn::Network &network_;
     fpga::DataType type_;
     std::vector<size_t> order_;
     int maxClps_;
-    int64_t unitsBudget_ = 0;
-    int64_t dspBudget_ = -1;
-    int64_t cycleTarget_ = 0;
+    int64_t buildUnits_ = 0;  ///< grow-only units cap of stored rows
     std::vector<Row> rows_;
     BreakpointCache breakpoints_;
+    mutable std::mutex mutex_;
 };
 
 } // namespace core

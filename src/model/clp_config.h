@@ -46,6 +46,8 @@ struct LayerBinding
 {
     size_t layerIdx = 0;
     Tiling tiling;
+
+    bool operator==(const LayerBinding &other) const = default;
 };
 
 /** One CLP: its shape plus the layers it computes each epoch. */
@@ -53,6 +55,8 @@ struct ClpConfig
 {
     ClpShape shape;
     std::vector<LayerBinding> layers;
+
+    bool operator==(const ClpConfig &other) const = default;
 };
 
 /**
@@ -87,6 +91,9 @@ struct MultiClpDesign
 
     /** Multi-line human-readable dump. */
     std::string toString(const nn::Network &network) const;
+
+    /** Exact structural equality (shapes, assignment, tilings). */
+    bool operator==(const MultiClpDesign &other) const = default;
 };
 
 } // namespace model

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+
 #include "core/memory_optimizer.h"
 #include "core/paper_designs.h"
 #include "model/bandwidth_model.h"
@@ -11,6 +14,94 @@
 
 namespace mclp {
 namespace {
+
+/**
+ * Full-enumeration oracle for paretoTilingOptions: every (Tr, Tc)
+ * evaluated, same total-order sort, same staircase filter. The
+ * production path only enumerates cost-plateau edges; this pins that
+ * the reduction loses nothing, including for stride > kernel layers,
+ * where peak bandwidth *increases* with tile size and the plateau
+ * minimum sits on the left edge.
+ */
+std::vector<core::TilingOption>
+bruteForceTilingOptions(const nn::ConvLayer &layer,
+                        const model::ClpShape &shape)
+{
+    std::vector<core::TilingOption> all;
+    for (int64_t tr = 1; tr <= layer.r; ++tr) {
+        for (int64_t tc = 1; tc <= layer.c; ++tc) {
+            model::Tiling tiling{tr, tc};
+            core::TilingOption opt;
+            opt.tiling = tiling;
+            opt.inputBankBrams = model::bramsPerBank(
+                model::inputBankWords(layer, tiling), false);
+            opt.outputBankBrams = model::bramsPerBank(
+                model::outputBankWords(tiling), true);
+            opt.peakWordsPerCycle =
+                model::layerPeakWordsPerCycle(layer, shape, tiling);
+            all.push_back(opt);
+        }
+    }
+    std::sort(all.begin(), all.end(),
+              [](const core::TilingOption &a,
+                 const core::TilingOption &b) {
+                  if (a.peakWordsPerCycle != b.peakWordsPerCycle)
+                      return a.peakWordsPerCycle < b.peakWordsPerCycle;
+                  if (a.inputBankBrams != b.inputBankBrams)
+                      return a.inputBankBrams < b.inputBankBrams;
+                  if (a.outputBankBrams != b.outputBankBrams)
+                      return a.outputBankBrams < b.outputBankBrams;
+                  if (a.tiling.tr != b.tiling.tr)
+                      return a.tiling.tr > b.tiling.tr;
+                  return a.tiling.tc > b.tiling.tc;
+              });
+    std::map<int64_t, int64_t> staircase;
+    std::vector<core::TilingOption> pareto;
+    for (const core::TilingOption &opt : all) {
+        auto it = staircase.upper_bound(opt.inputBankBrams);
+        if (it != staircase.begin() &&
+            std::prev(it)->second <= opt.outputBankBrams)
+            continue;
+        it = staircase.lower_bound(opt.inputBankBrams);
+        while (it != staircase.end() &&
+               it->second >= opt.outputBankBrams)
+            it = staircase.erase(it);
+        staircase[opt.inputBankBrams] = opt.outputBankBrams;
+        pareto.push_back(opt);
+    }
+    return pareto;
+}
+
+TEST(ParetoTilingOptions, PlateauEdgeEnumerationMatchesBruteForce)
+{
+    util::SplitMix64 rng(20170627);
+    for (int trial = 0; trial < 60; ++trial) {
+        // Skew toward awkward geometry; every third trial forces
+        // stride > kernel (the non-monotone-peak regime).
+        int64_t k = 1 + 2 * rng.nextInt(0, 2);
+        int64_t s = trial % 3 == 0 ? k + rng.nextInt(1, 5)
+                                   : rng.nextInt(1, k);
+        nn::ConvLayer l = test::layer(
+            rng.nextInt(1, 64), rng.nextInt(1, 512),
+            rng.nextInt(1, 60), rng.nextInt(1, 60), k, s, "L");
+        model::ClpShape shape{rng.nextInt(1, 48), rng.nextInt(1, 48)};
+
+        auto expect = bruteForceTilingOptions(l, shape);
+        auto got = core::paretoTilingOptions(l, shape);
+        ASSERT_EQ(expect.size(), got.size())
+            << "trial " << trial << " layer r=" << l.r << " c=" << l.c
+            << " k=" << k << " s=" << s;
+        for (size_t i = 0; i < expect.size(); ++i) {
+            EXPECT_EQ(expect[i].tiling, got[i].tiling) << "trial "
+                                                       << trial;
+            EXPECT_EQ(expect[i].inputBankBrams, got[i].inputBankBrams);
+            EXPECT_EQ(expect[i].outputBankBrams,
+                      got[i].outputBankBrams);
+            EXPECT_EQ(expect[i].peakWordsPerCycle,
+                      got[i].peakWordsPerCycle);
+        }
+    }
+}
 
 TEST(ParetoTilingOptions, SortedAndNonDominated)
 {

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * dse-sweep — budget-sweep front end to the warm DSE session layer.
+ *
+ * Optimizes one network for a ladder of DSP budgets through a single
+ * core::DseSession, so the shape frontiers, tiling options, and
+ * memory tradeoff curves are built once and every budget is answered
+ * by truncation. Results are bit-identical to independent cold
+ * mclp-opt runs per budget, which --compare-cold verifies in-process
+ * (and times, reporting the warm-session speedup).
+ *
+ * Examples:
+ *   dse-sweep --network alexnet --sweep 500:4000:500
+ *   dse-sweep --network alexnet --budgets 2240,2880,9600 --single
+ *   dse-sweep --network squeezenet --device 690t --budgets 1000,2880 \
+ *             --max-clps 6 --compare-cold
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/dse_session.h"
+#include "model/bram_model.h"
+#include "model/dsp_model.h"
+#include "nn/parser.h"
+#include "nn/zoo.h"
+#include "util/csv.h"
+#include "util/string_utils.h"
+#include "util/table.h"
+
+using namespace mclp;
+
+namespace {
+
+double
+msSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+void
+printUsage()
+{
+    std::printf(
+        "dse-sweep: optimize one CNN for a ladder of DSP budgets "
+        "through a warm DSE session\n\n"
+        "usage: dse-sweep [options]\n"
+        "  --network NAME       zoo network: alexnet, vggnet-e,\n"
+        "                       squeezenet, googlenet (default alexnet)\n"
+        "  --layers FILE        custom network file (name N M R C K S\n"
+        "                       per line)\n"
+        "  --budgets A,B,C      explicit DSP-slice ladder\n"
+        "  --sweep LO:HI:STEP   arithmetic DSP-slice ladder\n"
+        "  --device NAME        485t | 690t | vu9p | vu11p: take BRAM\n"
+        "                       and clock context from this part\n"
+        "                       (default: BRAM = DSP / 1.3, Figure 7)\n"
+        "  --type T             float | fixed (default float)\n"
+        "  --mhz F              clock frequency (default 100)\n"
+        "  --bandwidth-gbps X   off-chip bandwidth cap per budget\n"
+        "  --max-clps N         CLP limit (default 6)\n"
+        "  --single             Single-CLP baseline designs\n"
+        "  --threads N          sweep worker threads (0 = all cores;\n"
+        "                       default 1; never changes results)\n"
+        "  --csv FILE           write the full series to FILE\n"
+        "  --compare-cold       also run per-budget cold optimizations,\n"
+        "                       check bit-identical designs, and report\n"
+        "                       the warm-session speedup\n"
+        "  --help               this text\n");
+}
+
+struct Options
+{
+    std::string network = "alexnet";
+    std::optional<std::string> layersFile;
+    std::vector<int64_t> dspBudgets;
+    std::optional<std::string> device;
+    std::string type = "float";
+    double mhz = 100.0;
+    double bandwidthGbps = 0.0;
+    int maxClps = 6;
+    bool single = false;
+    int threads = 1;
+    std::optional<std::string> csvFile;
+    bool compareCold = false;
+};
+
+std::optional<Options>
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    auto need_value = [&](int &i, const char *flag) -> const char * {
+        if (i + 1 >= argc)
+            util::fatal("%s needs a value", flag);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            printUsage();
+            return std::nullopt;
+        } else if (arg == "--network") {
+            opts.network = need_value(i, "--network");
+        } else if (arg == "--layers") {
+            opts.layersFile = need_value(i, "--layers");
+        } else if (arg == "--budgets" || arg == "--sweep") {
+            opts.dspBudgets =
+                core::parseDspLadderSpec(need_value(i, arg.c_str()));
+        } else if (arg == "--device") {
+            opts.device = need_value(i, "--device");
+        } else if (arg == "--type") {
+            opts.type = need_value(i, "--type");
+        } else if (arg == "--mhz") {
+            opts.mhz = std::atof(need_value(i, "--mhz"));
+        } else if (arg == "--bandwidth-gbps") {
+            opts.bandwidthGbps =
+                std::atof(need_value(i, "--bandwidth-gbps"));
+        } else if (arg == "--max-clps") {
+            opts.maxClps = std::atoi(need_value(i, "--max-clps"));
+        } else if (arg == "--single") {
+            opts.single = true;
+        } else if (arg == "--threads") {
+            opts.threads = std::atoi(need_value(i, "--threads"));
+        } else if (arg == "--csv") {
+            opts.csvFile = need_value(i, "--csv");
+        } else if (arg == "--compare-cold") {
+            opts.compareCold = true;
+        } else {
+            util::fatal("unknown option '%s' (try --help)",
+                        arg.c_str());
+        }
+    }
+    if (opts.dspBudgets.empty())
+        util::fatal("one of --budgets or --sweep is required "
+                    "(try --help)");
+    return opts;
+}
+
+int
+runTool(const Options &opts)
+{
+    nn::Network network = opts.layersFile
+                              ? nn::parseNetworkFile(*opts.layersFile)
+                              : nn::networkByName(opts.network);
+    fpga::DataType type = fpga::dataTypeByName(opts.type);
+
+    std::optional<fpga::ResourceBudget> base;
+    if (opts.device) {
+        base = fpga::standardBudget(fpga::deviceByName(*opts.device),
+                                    opts.mhz);
+    }
+    std::vector<fpga::ResourceBudget> budgets = core::dspLadder(
+        opts.dspBudgets, opts.mhz, 1.3, base ? &*base : nullptr);
+    if (opts.bandwidthGbps > 0.0) {
+        for (fpga::ResourceBudget &budget : budgets)
+            budget.setBandwidthGbps(opts.bandwidthGbps);
+    }
+
+    core::OptimizerOptions options;
+    options.singleClp = opts.single;
+    options.maxClps = opts.maxClps;
+
+    std::printf("network: %s (%zu conv layers), %s, %s, %.0f MHz\n",
+                network.name().c_str(), network.numLayers(),
+                fpga::dataTypeName(type).c_str(),
+                opts.single
+                    ? "Single-CLP"
+                    : util::strprintf("Multi-CLP (<=%d)", opts.maxClps)
+                          .c_str(),
+                opts.mhz);
+    std::printf("sweep:   %zu DSP budgets, %s BRAM context%s\n\n",
+                budgets.size(),
+                opts.device ? opts.device->c_str() : "DSP/1.3",
+                budgets.front().bandwidthLimited()
+                    ? util::strprintf(", %.1f GB/s cap",
+                                      budgets.front().bandwidthGbps())
+                          .c_str()
+                    : "");
+
+    core::DseSession session(network, type, opts.threads);
+    auto warm_start = std::chrono::steady_clock::now();
+    std::vector<core::OptimizationResult> results =
+        session.sweep(budgets, options);
+    double warm_ms = msSince(warm_start);
+
+    util::TextTable table({"DSP budget", "BRAM", "CLPs", "epoch (kcyc)",
+                           "img/s", "DSP used", "BRAM used"});
+    table.setTitle("warm DseSession sweep");
+    util::CsvWriter csv({"dsp", "bram", "clps", "epoch_cycles", "img_s",
+                         "dsp_used", "bram_used"});
+    for (size_t i = 0; i < budgets.size(); ++i) {
+        const auto &result = results[i];
+        int64_t dsp_used = model::designDsp(result.design);
+        int64_t bram_used = model::designBram(result.design, network);
+        table.addRow({util::withCommas(budgets[i].dspSlices),
+                      util::withCommas(budgets[i].bram18k),
+                      std::to_string(result.design.clps.size()),
+                      util::withCommas(
+                          (result.metrics.epochCycles + 500) / 1000),
+                      util::strprintf(
+                          "%.1f", result.metrics.imagesPerSec(opts.mhz)),
+                      util::withCommas(dsp_used),
+                      util::withCommas(bram_used)});
+        csv.addRow({std::to_string(budgets[i].dspSlices),
+                    std::to_string(budgets[i].bram18k),
+                    std::to_string(result.design.clps.size()),
+                    std::to_string(result.metrics.epochCycles),
+                    util::strprintf(
+                        "%.2f", result.metrics.imagesPerSec(opts.mhz)),
+                    std::to_string(dsp_used),
+                    std::to_string(bram_used)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("warm session: %.1f ms for %zu budgets "
+                "(one frontier build for the whole ladder)\n",
+                warm_ms, budgets.size());
+
+    if (opts.compareCold) {
+        auto cold_start = std::chrono::steady_clock::now();
+        size_t mismatches = 0;
+        for (size_t i = 0; i < budgets.size(); ++i) {
+            auto cold = core::MultiClpOptimizer(network, type,
+                                                budgets[i], options)
+                            .run();
+            if (!(cold.design == results[i].design) ||
+                cold.metrics.epochCycles !=
+                    results[i].metrics.epochCycles) {
+                ++mismatches;
+                std::fprintf(stderr,
+                             "PARITY MISMATCH at %lld DSP slices\n",
+                             static_cast<long long>(
+                                 budgets[i].dspSlices));
+            }
+        }
+        double cold_ms = msSince(cold_start);
+        std::printf("cold runs:    %.1f ms for %zu budgets "
+                    "(independent optimizations)\n",
+                    cold_ms, budgets.size());
+        std::printf("speedup:      %.1fx, designs %s\n", cold_ms / warm_ms,
+                    mismatches == 0 ? "bit-identical"
+                                    : "MISMATCHED (bug!)");
+        if (mismatches != 0)
+            return 1;
+    }
+
+    if (opts.csvFile && csv.writeFile(*opts.csvFile))
+        std::printf("full series written to %s\n", opts.csvFile->c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        auto opts = parseArgs(argc, argv);
+        if (!opts)
+            return 0;
+        return runTool(*opts);
+    } catch (const util::FatalError &err) {
+        std::fprintf(stderr, "dse-sweep: %s\n", err.what());
+        return 1;
+    }
+}

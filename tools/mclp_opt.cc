@@ -17,6 +17,7 @@
 #include <optional>
 #include <string>
 
+#include "core/dse_session.h"
 #include "core/optimizer.h"
 #include "core/schedule.h"
 #include "hlsgen/codegen.h"
@@ -26,6 +27,7 @@
 #include "nn/zoo.h"
 #include "sim/system.h"
 #include "util/string_utils.h"
+#include "util/table.h"
 
 using namespace mclp;
 
@@ -54,6 +56,11 @@ printUsage()
         "  --engine E           frontier | reference (default\n"
         "                       frontier; both give identical designs)\n"
         "  --single             Single-CLP baseline mode\n"
+        "  --budgets A,B,C      optimize a ladder of DSP budgets\n"
+        "                       through one warm DseSession (device\n"
+        "                       BRAM/bandwidth kept; designs identical\n"
+        "                       to per-budget runs)\n"
+        "  --sweep LO:HI:STEP   like --budgets, arithmetic ladder\n"
         "  --adjacent           adjacent-layers (low-latency) "
         "schedule\n"
         "  --sim                run the cycle-level epoch simulation\n"
@@ -72,6 +79,7 @@ struct Options
     int maxClps = 6;
     int threads = 0;
     std::string engine = "frontier";
+    std::vector<int64_t> sweepBudgets;
     bool single = false;
     bool adjacent = false;
     bool sim = false;
@@ -111,6 +119,10 @@ parseArgs(int argc, char **argv)
             opts.threads = std::atoi(need_value(i, "--threads"));
         } else if (arg == "--engine") {
             opts.engine = need_value(i, "--engine");
+        } else if (arg == "--budgets" || arg == "--sweep") {
+            // Last flag wins, like every other option.
+            opts.sweepBudgets =
+                core::parseDspLadderSpec(need_value(i, arg.c_str()));
         } else if (arg == "--single") {
             opts.single = true;
         } else if (arg == "--adjacent") {
@@ -164,6 +176,41 @@ runTool(const Options &opts)
     else if (opts.engine != "frontier")
         util::fatal("unknown engine '%s' (frontier | reference)",
                     opts.engine.c_str());
+
+    if (!opts.sweepBudgets.empty()) {
+        // Ladder mode: one warm DseSession answers every DSP budget
+        // from a single frontier build; the device's BRAM and
+        // bandwidth context applies to every rung.
+        if (opts.sim || opts.hlsOut)
+            util::fatal("--sim/--hls-out need a single design; drop "
+                        "--budgets/--sweep or run the chosen budget "
+                        "alone");
+        std::vector<fpga::ResourceBudget> budgets = core::dspLadder(
+            opts.sweepBudgets, opts.mhz, 1.3, &budget);
+        core::DseSession session(network, type, opts.threads);
+        auto results = session.sweep(budgets, options);
+        util::TextTable table({"DSP budget", "CLPs", "epoch (kcyc)",
+                               "img/s", "DSP used", "BRAM used"});
+        table.setTitle(util::strprintf(
+            "%s on %s BRAM/bandwidth context, warm DseSession sweep",
+            network.name().c_str(), device.name.c_str()));
+        for (size_t i = 0; i < budgets.size(); ++i) {
+            const auto &result = results[i];
+            table.addRow(
+                {util::withCommas(budgets[i].dspSlices),
+                 std::to_string(result.design.clps.size()),
+                 util::withCommas(
+                     (result.metrics.epochCycles + 500) / 1000),
+                 util::strprintf(
+                     "%.1f", result.metrics.imagesPerSec(opts.mhz)),
+                 util::withCommas(model::designDsp(result.design)),
+                 util::withCommas(
+                     model::designBram(result.design, network))});
+        }
+        std::printf("%s\n", table.render().c_str());
+        return 0;
+    }
+
     auto result =
         core::MultiClpOptimizer(network, type, budget, options).run();
     auto design = core::canonicalizeSchedule(result.design, network);
