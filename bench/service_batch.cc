@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Batch DSE service benchmark: the mclp-serve scenario in-process.
+ *
+ * One DseService answers the same mixed-network request batch twice.
+ * The first batch builds every session cold (frontier tables, tiling
+ * options, walk traces); the second batch hits the registry and the
+ * cross-network frontier-row store, so it measures pure serving
+ * overhead + truncation queries. The two outputs must be
+ * byte-identical — warmth is a speed property, never a results
+ * property — and the timings land in BENCH_optimizer.json.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "core/session_registry.h"
+#include "service/dse_service.h"
+#include "util/string_utils.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace mclp;
+
+std::vector<std::string>
+mixedBatch()
+{
+    // Two AlexNet ladders (different devices), a SqueezeNet ladder, a
+    // latency-mode ladder, and a GoogLeNet rung (the 57-layer stress
+    // case; inception twins make it the heaviest intra-network user
+    // of the shared frontier-row store). Cross-*network* row sharing
+    // is exercised by tests/core/test_session_registry.cc.
+    return {
+        "dse id=a690 net=alexnet device=690t budgets=500,1000,2240,2880",
+        "dse id=a485 net=alexnet device=485t mode=single "
+        "budgets=250,750,2000",
+        "dse id=s690 net=squeezenet device=690t type=fixed mhz=170 "
+        "budgets=1000,2000,2880",
+        "dse id=alat net=alexnet budgets=500,2880 mode=latency",
+        "dse id=g690 net=googlenet device=690t budgets=2880",
+    };
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printBenchHeader(
+        "Batch DSE service: cold first batch vs warm second batch",
+        "Section 4.3 (service harness)");
+
+    service::ServiceOptions options;
+    options.threads = 1;  // measure serving cost, not parallelism
+    if (const char *env = std::getenv("MCLP_BENCH_THREADS"))
+        options.threads = std::atoi(env);
+    service::DseService service(options);
+    std::vector<std::string> batch = mixedBatch();
+
+    auto cold_start = std::chrono::steady_clock::now();
+    std::vector<std::string> first = service.handleBatch(batch);
+    double cold_ms = bench::msSince(cold_start);
+
+    auto warm_start = std::chrono::steady_clock::now();
+    std::vector<std::string> second = service.handleBatch(batch);
+    double warm_ms = bench::msSince(warm_start);
+
+    size_t mismatched = 0;
+    for (size_t i = 0; i < batch.size(); ++i) {
+        if (first[i] != second[i])
+            ++mismatched;
+    }
+
+    core::SessionRegistry::Stats reg = service.registry().stats();
+    core::FrontierRowStore::Stats rows =
+        service.registry().rowStore()->stats();
+
+    util::TextTable table({"batch", "requests", "wallclock (ms)",
+                           "per request (ms)"});
+    table.setTitle("one DseService, mixed AlexNet / SqueezeNet / "
+                   "GoogLeNet batch");
+    table.addRow({"first (cold sessions)",
+                  std::to_string(batch.size()),
+                  util::strprintf("%.1f", cold_ms),
+                  util::strprintf("%.2f",
+                                  cold_ms /
+                                      static_cast<double>(
+                                          batch.size()))});
+    table.addRow({"second (warm registry)",
+                  std::to_string(batch.size()),
+                  util::strprintf("%.1f", warm_ms),
+                  util::strprintf("%.2f",
+                                  warm_ms /
+                                      static_cast<double>(
+                                          batch.size()))});
+    table.addNote(util::strprintf(
+        "speedup %.1fx; responses %s", cold_ms / warm_ms,
+        mismatched == 0 ? "byte-identical" : "MISMATCHED (bug!)"));
+    table.addNote(util::strprintf(
+        "registry: %zu sessions, %zu hits / %zu misses, ~%zu KiB",
+        reg.sessions, reg.hits, reg.misses, reg.bytes / 1024));
+    table.addNote(util::strprintf(
+        "frontier-row store: %zu rows, %zu hits / %zu builds",
+        rows.rows, rows.hits, rows.misses));
+    std::printf("%s\n", table.render().c_str());
+    return mismatched == 0 ? 0 : 1;
+}

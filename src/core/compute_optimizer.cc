@@ -167,17 +167,13 @@ ComputeOptimizer::fillRangesFrontier(
             frontiers_.emplace(network_, type_, order_, maxClps_);
         table = &*frontiers_;
     }
-    // Shared tables can be hit by concurrent runs (a DseSession sweep
-    // fanning budgets over a pool); hold the table lock across the
-    // prepare + query sequence. Private tables pay an uncontended lock.
-    // A shared table must not fan prepare() out over the pool: the
-    // pool's help-while-waiting stealing could pick up another run's
-    // work on this thread and re-enter this (non-recursive) mutex —
-    // holding it only across lock-free serial work rules every such
-    // cycle out.
-    std::lock_guard<std::mutex> lock(table->mutex());
-    table->prepare(dsp_budget, cycle_target,
-                   sharedFrontiers_ ? nullptr : pool_);
+    // Tables lock per row (and choose() self-heals rows a concurrent
+    // run rebuilt), so shared tables no longer serialize a sweep's
+    // concurrent budgets behind one mutex — and prepare() can fan out
+    // over the pool even when shared: tasks hold only their own row's
+    // lock and never steal while holding it, so the
+    // help-while-waiting pool cannot re-enter a held mutex.
+    table->prepare(dsp_budget, cycle_target, pool_);
 
     size_t count = order_.size();
     for (size_t i = 0; i < count; ++i) {

@@ -1,0 +1,136 @@
+#include "core/dse_request.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "core/dse_session.h"
+#include "nn/zoo.h"
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+namespace mclp {
+namespace core {
+
+std::string
+dseModeName(DseMode mode)
+{
+    switch (mode) {
+      case DseMode::Throughput:
+        return "throughput";
+      case DseMode::Latency:
+        return "latency";
+      case DseMode::SingleClp:
+        return "single";
+    }
+    util::panic("dseModeName: bad mode %d", static_cast<int>(mode));
+}
+
+DseMode
+dseModeByName(const std::string &name)
+{
+    std::string lower = name;
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (lower == "throughput")
+        return DseMode::Throughput;
+    if (lower == "latency" || lower == "adjacent")
+        return DseMode::Latency;
+    if (lower == "single" || lower == "single-clp")
+        return DseMode::SingleClp;
+    util::fatal("unknown DSE mode '%s' (throughput | latency | single)",
+                name.c_str());
+}
+
+void
+DseRequest::validate() const
+{
+    if (network.empty() && layers.empty())
+        util::fatal("DseRequest: a network name or inline layers are "
+                    "required");
+    if (device.empty() && dspBudgets.empty())
+        util::fatal("DseRequest: without a device, an explicit DSP "
+                    "ladder is required (the BRAM = DSP/1.3 rule needs "
+                    "a DSP count)");
+    if (mhz <= 0.0)
+        util::fatal("DseRequest: clock must be positive, got %g", mhz);
+    if (maxClps < 1)
+        util::fatal("DseRequest: maxClps must be >= 1, got %d", maxClps);
+    if (threads < 0)
+        util::fatal("DseRequest: threads must be >= 0, got %d",
+                    threads);
+    for (int64_t dsp : dspBudgets) {
+        if (dsp <= 0)
+            util::fatal("DseRequest: DSP budgets must be positive, got "
+                        "%lld", static_cast<long long>(dsp));
+    }
+}
+
+nn::Network
+resolveNetwork(const DseRequest &request)
+{
+    if (!request.layers.empty()) {
+        return nn::Network(request.network.empty() ? "custom"
+                                                   : request.network,
+                           request.layers);
+    }
+    return nn::networkByName(request.network);
+}
+
+std::vector<fpga::ResourceBudget>
+requestBudgets(const DseRequest &request)
+{
+    request.validate();
+    std::vector<fpga::ResourceBudget> budgets;
+    if (!request.device.empty()) {
+        fpga::ResourceBudget base = fpga::standardBudget(
+            fpga::deviceByName(request.device), request.mhz);
+        if (request.dspBudgets.empty())
+            budgets.push_back(base);
+        else
+            budgets = dspLadder(request.dspBudgets, request.mhz, 1.3,
+                                &base);
+    } else {
+        budgets = dspLadder(request.dspBudgets, request.mhz, 1.3);
+    }
+    if (request.bandwidthGbps > 0.0) {
+        for (fpga::ResourceBudget &budget : budgets)
+            budget.setBandwidthGbps(request.bandwidthGbps);
+    }
+    return budgets;
+}
+
+OptimizerOptions
+requestOptions(const DseRequest &request)
+{
+    OptimizerOptions options;
+    options.maxClps = request.maxClps;
+    options.singleClp = request.mode == DseMode::SingleClp;
+    options.adjacentLayers = request.mode == DseMode::Latency;
+    options.threads = request.threads;
+    if (request.referenceEngine)
+        options.engine = OptimizerEngine::Reference;
+    return options;
+}
+
+std::string
+networkSignature(const nn::Network &network)
+{
+    std::vector<int64_t> words;
+    words.reserve(network.numLayers() * 6);
+    for (const nn::ConvLayer &layer : network.layers()) {
+        words.push_back(layer.n);
+        words.push_back(layer.m);
+        words.push_back(layer.r);
+        words.push_back(layer.c);
+        words.push_back(layer.k);
+        words.push_back(layer.s);
+    }
+    return util::strprintf(
+        "%zuL:%016llx", network.numLayers(),
+        static_cast<unsigned long long>(
+            util::hashInt64Words(words.data(), words.size())));
+}
+
+} // namespace core
+} // namespace mclp

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The DSE plan layer: one value type describing a whole optimization
+ * request — which network, which device context, which data type,
+ * which budget ladder, which schedule mode — and one describing the
+ * complete answer. mclp-opt, dse-sweep, and mclp-serve all build a
+ * DseRequest and hand it to service::answerRequest(), so the CLI
+ * tools and the batch service execute the same code path and their
+ * outputs can be diffed byte for byte (the wire forms live in
+ * src/service/dse_codec.h).
+ */
+
+#ifndef MCLP_CORE_DSE_REQUEST_H
+#define MCLP_CORE_DSE_REQUEST_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "core/schedule.h"
+#include "fpga/data_type.h"
+#include "fpga/device.h"
+#include "nn/network.h"
+
+namespace mclp {
+namespace core {
+
+/** Which schedule objective a request optimizes (Section 4.1). */
+enum class DseMode
+{
+    /** Pipelined epochs: maximum throughput, latency = numLayers. */
+    Throughput,
+    /** Adjacent-layers schedule: latency drops to numClps epochs. */
+    Latency,
+    /** Conventional Single-CLP baseline (Zhang et al. [32]). */
+    SingleClp,
+};
+
+/** Mode name for reports and the wire codec. */
+std::string dseModeName(DseMode mode);
+
+/** Inverse of dseModeName (case-insensitive); fatal() on unknown. */
+DseMode dseModeByName(const std::string &name);
+
+/**
+ * One self-contained optimization request. Defaults mirror the CLI
+ * defaults, so an empty request plus a network name is runnable.
+ */
+struct DseRequest
+{
+    /** Client-chosen tag echoed in the response (batch correlation). */
+    std::string id;
+
+    /** Zoo network name, or the display name of @ref layers. */
+    std::string network = "alexnet";
+
+    /** Inline layer list; when non-empty it overrides the zoo. */
+    std::vector<nn::ConvLayer> layers;
+
+    /**
+     * Device catalog short name supplying the BRAM/bandwidth context
+     * for every rung; empty means the Figure-7 rule (BRAM = DSP/1.3),
+     * which then requires an explicit ladder.
+     */
+    std::string device;
+
+    fpga::DataType type = fpga::DataType::Float32;
+    double mhz = 100.0;
+
+    /** Off-chip bandwidth cap in GB/s; <= 0 means unconstrained. */
+    double bandwidthGbps = 0.0;
+
+    int maxClps = 6;
+    DseMode mode = DseMode::Throughput;
+
+    /**
+     * DSP-slice ladder; empty means one run at the device's standard
+     * 80% budget.
+     */
+    std::vector<int64_t> dspBudgets;
+
+    /** Run the Listing-3 Reference engine (differential testing). */
+    bool referenceEngine = false;
+
+    /**
+     * Optimizer worker threads for this request (0 = hardware
+     * concurrency). Execution knob only — thread count never changes
+     * the response — so the codec omits it at the default.
+     */
+    int threads = 1;
+
+    /** fatal() unless the request is well-formed and resolvable. */
+    void validate() const;
+};
+
+/** One optimized rung of a request's ladder. */
+struct DsePoint
+{
+    fpga::ResourceBudget budget;
+    model::MultiClpDesign design;  ///< canonicalized (schedule order)
+    int64_t epochCycles = 0;
+    int64_t dspUsed = 0;
+    int64_t bramUsed = 0;
+    ScheduleInfo schedule;
+};
+
+/** The complete answer to one DseRequest. */
+struct DseResponse
+{
+    std::string id;       ///< echoed from the request
+    bool ok = false;
+    std::string error;    ///< set when !ok; points is then empty
+    std::string network;  ///< resolved network name
+    std::vector<DsePoint> points;  ///< one per budget, ladder order
+};
+
+/** Resolve the request's network (inline layers or the zoo). */
+nn::Network resolveNetwork(const DseRequest &request);
+
+/**
+ * The request's budget ladder: the device's standard budget as the
+ * base when a device is named (BRAM/bandwidth kept across rungs, as
+ * mclp-opt --budgets does), the Figure-7 BRAM = DSP/1.3 rule
+ * otherwise, with the request's bandwidth cap applied to every rung.
+ * fatal() when neither a device nor a ladder is given.
+ */
+std::vector<fpga::ResourceBudget> requestBudgets(const DseRequest &request);
+
+/** OptimizerOptions equivalent to the request's mode and knobs. */
+OptimizerOptions requestOptions(const DseRequest &request);
+
+/**
+ * Identity-free digest of a network: a hash over the layer-dims
+ * sequence, rendered as "<layers>L:<hex>". Two networks with the same
+ * layer dimensions in the same order share a signature (and can share
+ * a registry session) even when their names differ; any dimension
+ * change separates them.
+ */
+std::string networkSignature(const nn::Network &network);
+
+} // namespace core
+} // namespace mclp
+
+#endif // MCLP_CORE_DSE_REQUEST_H

@@ -10,8 +10,9 @@
 namespace mclp {
 namespace core {
 
-DseCaches::DseCaches(const nn::Network &network, fpga::DataType type)
-    : network_(network), type_(type),
+DseCaches::DseCaches(const nn::Network &network, fpga::DataType type,
+                     std::shared_ptr<FrontierRowStore> store)
+    : network_(network), type_(type), store_(std::move(store)),
       tilings_(std::make_shared<TilingOptionCache>()),
       curves_(std::make_shared<TradeoffCurveCache>())
 {
@@ -32,16 +33,13 @@ DseCaches::frontierTable(const nn::Network &network, fpga::DataType type,
         it = frontiers_
                  .emplace(std::move(key),
                           std::make_unique<FrontierTable>(
-                              network_, type_, order, max_clps))
+                              network_, type_, order, max_clps, store_))
                  .first;
     }
     FrontierTable &table = *it->second;
-    {
-        // Apply the session's reservation so the table is built once
-        // at the largest announced budget (see reserveDspBudget()).
-        std::lock_guard<std::mutex> table_lock(table.mutex());
-        table.reserveUnits(unitsCap_);
-    }
+    // Apply the session's reservation so the table is built once at
+    // the largest announced budget (see reserveDspBudget()).
+    table.reserveUnits(unitsCap_);
     return table;
 }
 
@@ -53,16 +51,28 @@ DseCaches::reserveDspBudget(int64_t dsp_budget)
     if (units <= unitsCap_)
         return;
     unitsCap_ = units;
-    for (auto &entry : frontiers_) {
-        std::lock_guard<std::mutex> table_lock(entry.second->mutex());
+    for (auto &entry : frontiers_)
         entry.second->reserveUnits(unitsCap_);
+}
+
+size_t
+DseCaches::memoryBytes()
+{
+    size_t bytes = tilings_->memoryBytes() + curves_->memoryBytes();
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &entry : frontiers_) {
+        bytes += entry.first.first.capacity() * sizeof(size_t) +
+                 entry.second->memoryBytes();
     }
+    return bytes;
 }
 
 DseSession::DseSession(const nn::Network &network, fpga::DataType type,
-                       int threads)
+                       int threads,
+                       std::shared_ptr<FrontierRowStore> store)
     : network_(network), type_(type),
-      caches_(std::make_shared<DseCaches>(network, type))
+      caches_(std::make_shared<DseCaches>(network, type,
+                                          std::move(store)))
 {
     if (threads < 0)
         util::fatal("DseSession: threads must be >= 0");

@@ -48,7 +48,13 @@ namespace core {
 class DseCaches
 {
   public:
-    DseCaches(const nn::Network &network, fpga::DataType type);
+    /**
+     * @param store optional cross-network frontier-row pool; when
+     * given, the session's FrontierTables share built rows through it
+     * (a SessionRegistry passes one store to every session it owns).
+     */
+    DseCaches(const nn::Network &network, fpga::DataType type,
+              std::shared_ptr<FrontierRowStore> store = nullptr);
 
     const std::shared_ptr<TilingOptionCache> &tilings() const
     {
@@ -81,9 +87,18 @@ class DseCaches
      */
     void reserveDspBudget(int64_t dsp_budget);
 
+    /**
+     * Rough resident bytes of the session's private caches (frontier
+     * tables, tiling options, tradeoff curves). Rows shared through
+     * an external FrontierRowStore are counted by the store, not
+     * here, so a registry's total never double-counts them.
+     */
+    size_t memoryBytes();
+
   private:
     const nn::Network &network_;
     fpga::DataType type_;
+    std::shared_ptr<FrontierRowStore> store_;
     std::shared_ptr<TilingOptionCache> tilings_;
     std::shared_ptr<TradeoffCurveCache> curves_;
     std::mutex mutex_;
@@ -106,9 +121,12 @@ class DseSession
     /**
      * @param threads worker threads for sweep() fan-out (0 = hardware
      * concurrency, 1 = serial). Thread count never changes results.
+     * @param store optional cross-network frontier-row pool shared
+     * with other sessions (see DseCaches).
      */
     DseSession(const nn::Network &network, fpga::DataType type,
-               int threads = 1);
+               int threads = 1,
+               std::shared_ptr<FrontierRowStore> store = nullptr);
 
     /**
      * One warm optimization run: MultiClpOptimizer under @p options
@@ -140,6 +158,9 @@ class DseSession
 
     const nn::Network &network() const { return network_; }
     fpga::DataType dataType() const { return type_; }
+
+    /** Rough resident bytes of the session's private warm state. */
+    size_t memoryBytes() const { return caches_->memoryBytes(); }
 
   private:
     const nn::Network &network_;

@@ -266,6 +266,64 @@ TradeoffCurveCache::partitionTrace(fpga::DataType type,
         .first->second;
 }
 
+size_t
+TilingOptionCache::memoryBytes()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t bytes = table_.size() * (sizeof(Key) + 4 * sizeof(void *));
+    for (const auto &entry : table_) {
+        bytes += sizeof(std::vector<TilingOption>) +
+                 entry.second->capacity() * sizeof(TilingOption);
+    }
+    return bytes;
+}
+
+size_t
+TradeoffCurveCache::GroupCurve::memoryBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // One red-black node per state: key pair + probes + tree overhead.
+    return states_.size() *
+           (sizeof(std::pair<int64_t, int64_t>) + sizeof(ProbePair) +
+            4 * sizeof(void *));
+}
+
+size_t
+TradeoffCurveCache::memoryBytes()
+{
+    // Two phases, never holding mutex_ and a trace mutex together: an
+    // optimizer walk holds its trace mutex while fetching group
+    // curves (which takes mutex_), so locking a trace under mutex_
+    // here would be an AB-BA deadlock with any in-flight walk.
+    size_t bytes = 0;
+    std::vector<std::shared_ptr<PartitionTrace>> traces;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &entry : curves_) {
+            bytes += entry.first.capacity() * sizeof(int64_t) +
+                     sizeof(GroupCurve) + entry.second->memoryBytes();
+        }
+        traces.reserve(traces_.size());
+        for (const auto &entry : traces_) {
+            bytes += entry.first.capacity() * sizeof(int64_t) +
+                     sizeof(PartitionTrace);
+            traces.push_back(entry.second);
+        }
+    }
+    for (const auto &trace_ptr : traces) {
+        PartitionTrace &trace = *trace_ptr;
+        std::lock_guard<std::mutex> trace_lock(trace.mutex);
+        bytes += trace.steps.capacity() * sizeof(PartitionStep);
+        // Options vectors are shared with TilingOptionCache and the
+        // curves are counted above; only the pointer tables are new.
+        for (const auto &group : trace.groupOptions)
+            bytes += group.capacity() * sizeof(TilingOptionCache::Options);
+        bytes += trace.groupCurves.capacity() *
+                 sizeof(std::shared_ptr<GroupCurve>);
+    }
+    return bytes;
+}
+
 /**
  * Mutable tiling state of one CLP during the greedy frontier walk:
  * per-layer Pareto options, the currently chosen option per layer, and

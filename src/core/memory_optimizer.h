@@ -35,6 +35,7 @@
 #include "fpga/device.h"
 #include "model/clp_config.h"
 #include "nn/network.h"
+#include "util/hash.h"
 
 namespace mclp {
 namespace core {
@@ -56,17 +57,10 @@ struct TilingOption
 std::vector<TilingOption> paretoTilingOptions(const nn::ConvLayer &layer,
                                               const model::ClpShape &shape);
 
-/** FNV-1a over an int64 sequence; the memo tables' shared hash. */
-inline size_t
-hashInt64Words(const int64_t *words, size_t count)
-{
-    uint64_t hash = 1469598103934665603ULL;
-    for (size_t i = 0; i < count; ++i) {
-        hash ^= static_cast<uint64_t>(words[i]);
-        hash *= 1099511628211ULL;
-    }
-    return static_cast<size_t>(hash);
-}
+// The memo tables' shared hash lives in util/hash.h so the frontier
+// row store (shape_frontier.h) can key by the same flattened dims
+// sequences; these aliases keep the historical core:: spellings.
+using util::hashInt64Words;
 
 /**
  * Memoizes paretoTilingOptions by (layer dimensions, shape). The
@@ -84,6 +78,13 @@ class TilingOptionCache
 
     /** Options for @p layer on @p shape. */
     Options get(const nn::ConvLayer &layer, const model::ClpShape &shape);
+
+    /**
+     * Rough resident-size estimate (keys + option vectors), for the
+     * SessionRegistry's byte budget. Exactness is not needed there;
+     * proportionality is.
+     */
+    size_t memoryBytes();
 
   private:
     /**
@@ -114,14 +115,7 @@ struct TradeoffPoint
     model::MultiClpDesign design;
 };
 
-struct Int64VectorHash
-{
-    size_t
-    operator()(const std::vector<int64_t> &words) const
-    {
-        return hashInt64Words(words.data(), words.size());
-    }
-};
+using util::Int64VectorHash;
 
 /**
  * One buffer-shrinking move of the greedy memory walk: lower a CLP's
@@ -165,6 +159,9 @@ class TradeoffCurveCache
         /** Record probes for a state; the first insert wins. */
         const ProbePair &insert(int64_t in_cap, int64_t out_cap,
                                 ProbePair probes);
+
+        /** Rough resident-size estimate of the memoized states. */
+        size_t memoryBytes() const;
 
       private:
         mutable std::mutex mutex_;
@@ -231,6 +228,9 @@ class TradeoffCurveCache
     std::shared_ptr<PartitionTrace>
     partitionTrace(fpga::DataType type, const nn::Network &network,
                    const ComputePartition &partition);
+
+    /** Rough resident-size estimate (see TilingOptionCache). */
+    size_t memoryBytes();
 
   private:
     std::mutex mutex_;

@@ -1,0 +1,141 @@
+#include "core/session_registry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/dse_request.h"
+#include "util/logging.h"
+
+namespace mclp {
+namespace core {
+
+SessionRegistry::SessionRegistry(size_t max_sessions, size_t max_bytes,
+                                 int session_threads)
+    : maxSessions_(std::max<size_t>(1, max_sessions)),
+      maxBytes_(max_bytes), sessionThreads_(session_threads),
+      store_(std::make_shared<FrontierRowStore>())
+{
+}
+
+namespace {
+
+bool
+sameDims(const nn::Network &a, const nn::Network &b)
+{
+    if (a.numLayers() != b.numLayers())
+        return false;
+    for (size_t i = 0; i < a.numLayers(); ++i) {
+        if (!a.layer(i).sameShape(b.layer(i)))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::shared_ptr<DseSession>
+SessionRegistry::session(const nn::Network &network,
+                         const std::string &device, fpga::DataType type)
+{
+    SessionKey key{networkSignature(network), device, type};
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    // The signature is a 64-bit dims hash and inline-layer requests
+    // control the dims, so a hit must be verified against the actual
+    // layer sequence; a true collision is disambiguated by probing
+    // suffixed keys rather than silently answering with another
+    // network's session.
+    while (it != entries_.end() &&
+           !sameDims(it->second->network, network)) {
+        key.signature += "+";
+        it = entries_.find(key);
+    }
+    if (it == entries_.end()) {
+        ++misses_;
+        auto entry = std::make_shared<Entry>();
+        entry->network = network;
+        entry->session = std::make_unique<DseSession>(
+            entry->network, type, sessionThreads_, store_);
+        it = entries_.emplace(std::move(key), std::move(entry)).first;
+    } else {
+        ++hits_;
+    }
+    it->second->lastUse = ++tick_;
+    std::shared_ptr<Entry> entry = it->second;
+    enforceCapsLocked(entry.get());
+    // Alias the entry so the handle pins the network the session
+    // references, even after an eviction drops the registry's copy.
+    return std::shared_ptr<DseSession>(entry, entry->session.get());
+}
+
+void
+SessionRegistry::enforceCapsLocked(const Entry *keep)
+{
+    auto evict_lru = [&]() -> bool {
+        auto victim = entries_.end();
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (it->second.get() == keep)
+                continue;
+            if (victim == entries_.end() ||
+                it->second->lastUse < victim->second->lastUse)
+                victim = it;
+        }
+        if (victim == entries_.end())
+            return false;
+        entries_.erase(victim);
+        ++evictions_;
+        return true;
+    };
+
+    bool evicted = false;
+    while (entries_.size() > maxSessions_ && evict_lru())
+        evicted = true;
+    if (evicted) {
+        // Frontier rows only the evicted sessions referenced would
+        // otherwise stay resident forever (the store holds them at
+        // use count 1); reclaim them with the session.
+        store_->purgeUnshared();
+    }
+    if (maxBytes_ == 0)
+        return;
+    // The byte budget counts shared rows once (the store owns them);
+    // purge store rows orphaned by each eviction so the measurement
+    // reflects what eviction actually freed.
+    while (entries_.size() > 1 && memoryBytesLocked() > maxBytes_) {
+        if (!evict_lru())
+            break;
+        store_->purgeUnshared();
+    }
+}
+
+size_t
+SessionRegistry::memoryBytesLocked()
+{
+    size_t bytes = store_->memoryBytes();
+    for (const auto &entry : entries_)
+        bytes += entry.second->session->memoryBytes();
+    return bytes;
+}
+
+size_t
+SessionRegistry::memoryBytes()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return memoryBytesLocked();
+}
+
+SessionRegistry::Stats
+SessionRegistry::stats()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats stats;
+    stats.hits = hits_;
+    stats.misses = misses_;
+    stats.evictions = evictions_;
+    stats.sessions = entries_.size();
+    stats.bytes = memoryBytesLocked();
+    return stats;
+}
+
+} // namespace core
+} // namespace mclp

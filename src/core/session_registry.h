@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The session registry: one long-lived process owning warm DseSessions
+ * for many (network, device, data type) keys at once — the dispatcher
+ * state behind the batch DSE service (tools/mclp_serve.cc).
+ *
+ * Sessions are keyed by the *dims signature* of a network, not its
+ * name, so renamed or inline-submitted copies of the same CNN reuse
+ * one session; and every session shares one FrontierRowStore, so
+ * dims-identical layer ranges (fire modules repeated across
+ * SqueezeNet variants, inception twins across GoogLeNet tweaks) are
+ * built once process-wide even across *different* networks. The
+ * registry evicts least-recently-used sessions beyond a session-count
+ * cap or a resident-byte budget; eviction never changes results, only
+ * how warm the next request starts (which
+ * tests/core/test_session_registry.cc pins).
+ */
+
+#ifndef MCLP_CORE_SESSION_REGISTRY_H
+#define MCLP_CORE_SESSION_REGISTRY_H
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/dse_session.h"
+#include "fpga/data_type.h"
+#include "nn/network.h"
+
+namespace mclp {
+namespace core {
+
+/** Registry key: network dims signature x device context x type. */
+struct SessionKey
+{
+    std::string signature;  ///< core::networkSignature()
+    std::string device;     ///< catalog short name, "" = ladder rule
+    fpga::DataType type = fpga::DataType::Float32;
+
+    bool operator<(const SessionKey &other) const
+    {
+        if (signature != other.signature)
+            return signature < other.signature;
+        if (device != other.device)
+            return device < other.device;
+        return type < other.type;
+    }
+};
+
+class SessionRegistry
+{
+  public:
+    struct Stats
+    {
+        size_t hits = 0;       ///< acquisitions answered warm
+        size_t misses = 0;     ///< acquisitions that built a session
+        size_t evictions = 0;  ///< sessions dropped by LRU/byte caps
+        size_t sessions = 0;   ///< currently resident sessions
+        size_t bytes = 0;      ///< rough resident bytes (with store)
+    };
+
+    /**
+     * @param max_sessions LRU capacity (>= 1; clamped).
+     * @param max_bytes rough resident-byte budget across all sessions
+     * plus the shared row store; 0 = unlimited. Enforced after each
+     * acquisition, never against the session just returned.
+     * @param session_threads worker threads each session uses for
+     * budget-ladder fan-out (1 = serial; thread count never changes
+     * results).
+     */
+    explicit SessionRegistry(size_t max_sessions = 8,
+                             size_t max_bytes = 0,
+                             int session_threads = 1);
+
+    /**
+     * The warm session for (@p network dims, @p device, @p type),
+     * created on first use (the registry copies the network, so the
+     * caller's copy may die). The returned handle pins the session:
+     * eviction only drops the registry's reference, so in-flight
+     * requests on an evicted session finish safely.
+     */
+    std::shared_ptr<DseSession> session(const nn::Network &network,
+                                        const std::string &device,
+                                        fpga::DataType type);
+
+    /** The cross-network frontier-row pool all sessions share. */
+    const std::shared_ptr<FrontierRowStore> &rowStore() const
+    {
+        return store_;
+    }
+
+    Stats stats();
+
+    /** Rough resident bytes (sessions + shared row store). */
+    size_t memoryBytes();
+
+  private:
+    struct Entry
+    {
+        nn::Network network;  ///< owned; the session references it
+        std::unique_ptr<DseSession> session;
+        uint64_t lastUse = 0;
+    };
+
+    /** Enforce the caps; caller holds mutex_. @p keep is never
+     * evicted (the entry just acquired). */
+    void enforceCapsLocked(const Entry *keep);
+
+    size_t memoryBytesLocked();
+
+    std::mutex mutex_;
+    size_t maxSessions_;
+    size_t maxBytes_;
+    int sessionThreads_;
+    std::shared_ptr<FrontierRowStore> store_;
+    uint64_t tick_ = 0;
+    std::map<SessionKey, std::shared_ptr<Entry>> entries_;
+    size_t hits_ = 0;
+    size_t misses_ = 0;
+    size_t evictions_ = 0;
+};
+
+} // namespace core
+} // namespace mclp
+
+#endif // MCLP_CORE_SESSION_REGISTRY_H

@@ -320,11 +320,90 @@ ShapeFrontier::minCycles(int64_t max_dsp) const
     return (end - 1)->cycles;
 }
 
+size_t
+ShapeFrontier::Builder::memoryBytes() const
+{
+    return sizeof(*this) +
+           (layers_.capacity() + seenN_.capacity() + seenM_.capacity()) *
+               sizeof(int64_t) +
+           (tnBps_.capacity() + tmBps_.capacity() + grid_.capacity() +
+            scratch_.capacity()) *
+               sizeof(int64_t) +
+           buckets_.capacity() * sizeof(Bucket) +
+           cands_.capacity() * sizeof(Candidate);
+}
+
+std::shared_ptr<const ShapeFrontier>
+FrontierRowStore::lookup(const std::vector<int64_t> &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = rows_.find(key);
+    if (it != rows_.end()) {
+        ++hits_;
+        return it->second;
+    }
+    ++misses_;
+    return nullptr;
+}
+
+std::shared_ptr<const ShapeFrontier>
+FrontierRowStore::insert(const std::vector<int64_t> &key,
+                         ShapeFrontier frontier)
+{
+    auto row = std::make_shared<const ShapeFrontier>(std::move(frontier));
+    std::lock_guard<std::mutex> lock(mutex_);
+    // The first insert wins, so racing builders (which produced
+    // bit-identical frontiers anyway) converge on one shared row.
+    return rows_.emplace(key, std::move(row)).first->second;
+}
+
+FrontierRowStore::Stats
+FrontierRowStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats stats;
+    stats.hits = hits_;
+    stats.misses = misses_;
+    stats.rows = rows_.size();
+    return stats;
+}
+
+size_t
+FrontierRowStore::memoryBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t bytes = 0;
+    for (const auto &entry : rows_) {
+        bytes += entry.first.capacity() * sizeof(int64_t) +
+                 entry.second->memoryBytes() + 4 * sizeof(void *);
+    }
+    return bytes;
+}
+
+size_t
+FrontierRowStore::purgeUnshared()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t freed = 0;
+    for (auto it = rows_.begin(); it != rows_.end();) {
+        if (it->second.use_count() == 1) {
+            it = rows_.erase(it);
+            ++freed;
+        } else {
+            ++it;
+        }
+    }
+    return freed;
+}
+
 FrontierTable::FrontierTable(const nn::Network &network,
                              fpga::DataType type, std::vector<size_t> order,
-                             int max_clps)
+                             int max_clps,
+                             std::shared_ptr<FrontierRowStore> store)
     : network_(network), type_(type), order_(std::move(order)),
-      maxClps_(max_clps)
+      maxClps_(max_clps), store_(std::move(store)),
+      rows_(order_.size()),
+      rowLocks_(std::make_unique<std::mutex[]>(order_.size()))
 {
     if (order_.size() != network_.numLayers())
         util::panic("FrontierTable: order length %zu != layer count %zu",
@@ -345,32 +424,82 @@ FrontierTable::usable(size_t i, size_t j) const
            (maxClps_ >= 2 && (i == 0 || j == count - 1)) || maxClps_ >= 3;
 }
 
+std::vector<int64_t>
+FrontierTable::rangeKey(size_t i, size_t j, int64_t units_cap) const
+{
+    // Everything a range frontier depends on: data type (DSP per MAC),
+    // the cap it was built under, and per layer the two breakpoint
+    // dimensions plus the per-ceiling cycle weight R*C*K^2. Network
+    // identity and layer indices never enter, so dims-identical ranges
+    // of different networks share one row.
+    std::vector<int64_t> key;
+    key.reserve(2 + 3 * (j - i + 1));
+    key.push_back(static_cast<int64_t>(type_));
+    key.push_back(units_cap);
+    for (size_t p = i; p <= j; ++p) {
+        const nn::ConvLayer &layer = network_.layer(order_[p]);
+        key.push_back(layer.n);
+        key.push_back(layer.m);
+        key.push_back(layer.r * layer.c * layer.k * layer.k);
+    }
+    return key;
+}
+
 void
-FrontierTable::extendRow(size_t i, int64_t dsp_cap, int64_t cycle_target)
+FrontierTable::extendRowLocked(size_t i, int64_t dsp_budget,
+                               int64_t cycle_target)
 {
     Row &row = rows_[i];
+    int64_t needed = model::macBudget(dsp_budget, type_);
+    if (row.builtUnits < needed) {
+        // Built under a smaller cap than this budget can afford: the
+        // stored staircases may miss now-affordable shapes. Rebuild
+        // the row at the table cap (>= needed, since callers reserve
+        // before querying). Only this row pays; others rebuild when
+        // (and if) a big-budget query reaches them.
+        row.builder.reset();
+        row.builderLayers = 0;
+        row.frontiers.clear();
+        row.exhausted = false;
+        row.builtUnits = std::max(buildUnits_.load(), needed);
+    }
     if (row.exhausted)
         return;
     size_t count = order_.size();
-    // The usable j for a row are contiguous up to count-1 (maxClps >= 3
-    // or i == 0), or just the full-suffix range {count-1}.
-    size_t j = usable(i, i) ? i + row.frontiers.size() : count - 1;
-    // Bring the incremental builder up to [i..j].
-    for (size_t p = i + row.builderLayers; p <= j; ++p)
-        row.builder.addLayer(network_.layer(order_[p]), breakpoints_);
-    row.builderLayers = j - i + 1;
-
     while (true) {
-        // Build at the table's units cap (unbounded for budget-free
-        // tables, the current budget otherwise); either way a query's
-        // affordable shapes are a prefix, so only the extension
-        // stopping rule looks at the current budget.
-        row.frontiers.push_back(row.builder.build(type_, buildUnits_));
-        const ShapeFrontier &frontier = row.frontiers.back();
-        if (frontier.empty()) {
-            // No affordable shape at any target (capped build only;
-            // budget-free builds always store 1x1); extensions only
-            // add cycles, so this row is finished for good.
+        if (!row.frontiers.empty() &&
+            row.frontiers.back()->minCycles(dsp_budget) > cycle_target)
+            return;  // resume when the target loosens or budget grows
+        // The usable j for a row are contiguous up from i (maxClps >= 3
+        // or i == 0), or just the full-suffix range {count-1}.
+        size_t j = usable(i, i) ? i + row.frontiers.size() : count - 1;
+        if (!row.frontiers.empty() && !usable(i, j)) {
+            row.exhausted = true;  // next usable j is not contiguous
+            return;
+        }
+        // Bring the incremental builder up to [i..j], unless the row
+        // store already has this range (then the grid work waits until
+        // a miss actually needs it).
+        std::shared_ptr<const ShapeFrontier> frontier;
+        if (store_)
+            frontier = store_->lookup(rangeKey(i, j, row.builtUnits));
+        if (!frontier) {
+            for (size_t p = i + row.builderLayers; p <= j; ++p)
+                row.builder.addLayer(network_.layer(order_[p]),
+                                     breakpoints_);
+            row.builderLayers = j - i + 1;
+            ShapeFrontier built =
+                row.builder.build(type_, row.builtUnits);
+            frontier = store_ ? store_->insert(
+                                    rangeKey(i, j, row.builtUnits),
+                                    std::move(built))
+                              : std::make_shared<const ShapeFrontier>(
+                                    std::move(built));
+        }
+        row.frontiers.push_back(std::move(frontier));
+        if (row.frontiers.back()->empty()) {
+            // No affordable shape at any target (sub-MAC cap only);
+            // extensions only add cycles, so this row is finished.
             row.exhausted = true;
             return;
         }
@@ -378,28 +507,18 @@ FrontierTable::extendRow(size_t i, int64_t dsp_cap, int64_t cycle_target)
             row.exhausted = true;
             return;
         }
-        if (frontier.minCycles(dsp_cap) > cycle_target)
-            return;  // resume when the target loosens or budget grows
-        ++j;
-        if (!usable(i, j)) {
-            row.exhausted = true;  // next usable j is not contiguous
-            return;
-        }
-        row.builder.addLayer(network_.layer(order_[j]), breakpoints_);
-        row.builderLayers = j - i + 1;
     }
 }
 
 void
 FrontierTable::reserveUnits(int64_t units_cap)
 {
-    if (units_cap <= buildUnits_)
-        return;
-    // Stored frontiers only hold shapes affordable under the cap they
-    // were built with; a larger cap rebuilds. Smaller budgets keep the
-    // rows (their shapes are a prefix of the stored staircases).
-    rows_.clear();
-    buildUnits_ = units_cap;
+    // Grow-only watermark; rows rebuild lazily when a query needs more
+    // units than they were built under (see extendRowLocked()).
+    int64_t cur = buildUnits_.load();
+    while (units_cap > cur &&
+           !buildUnits_.compare_exchange_weak(cur, units_cap)) {
+    }
 }
 
 void
@@ -408,48 +527,76 @@ FrontierTable::prepare(int64_t dsp_budget, int64_t cycle_target,
 {
     reserveUnits(model::macBudget(dsp_budget, type_));
     size_t count = order_.size();
-    if (rows_.empty())
-        rows_.resize(count);
-
     std::vector<size_t> pending;
     for (size_t i = 0; i < count; ++i) {
-        if (rows_[i].exhausted)
-            continue;
-        if (!usable(i, i) && !usable(i, count - 1))
-            continue;  // no usable range starts at i
-        if (!rows_[i].frontiers.empty() &&
-            rows_[i].frontiers.back().minCycles(dsp_budget) >
-                cycle_target)
-            continue;  // still blocked at this budget and target
-        pending.push_back(i);
+        if (usable(i, i) || usable(i, count - 1))
+            pending.push_back(i);
     }
-    if (pool && pending.size() > 1) {
-        pool->parallelFor(pending.size(), [&](size_t p) {
-            extendRow(pending[p], dsp_budget, cycle_target);
-        });
-    } else {
-        for (size_t i : pending)
-            extendRow(i, dsp_budget, cycle_target);
-    }
+    // Each task locks only its own row, so concurrent prepare() calls
+    // (a sweep fanning budgets over a pool) extend disjoint rows in
+    // parallel and collide — briefly — only on shared rows.
+    auto extend = [&](size_t p) {
+        size_t i = pending[p];
+        std::lock_guard<std::mutex> lock(rowLocks_[i]);
+        extendRowLocked(i, dsp_budget, cycle_target);
+    };
+    if (pool && pending.size() > 1)
+        pool->parallelFor(pending.size(), extend);
+    else
+        for (size_t p = 0; p < pending.size(); ++p)
+            extend(p);
 }
 
 std::optional<FrontierPoint>
 FrontierTable::choose(size_t i, size_t j, int64_t dsp_budget,
-                      int64_t cycle_target) const
+                      int64_t cycle_target)
 {
     if (!usable(i, j))
         return std::nullopt;
-    const Row &row = rows_[i];
     // Rows are contiguous from j = i when usable(i, i); otherwise the
     // only usable range is the full suffix, stored at slot 0.
     size_t idx = usable(i, i) ? j - i : 0;
-    if (idx >= row.frontiers.size())
-        return std::nullopt;  // infeasible at every target so far
+    std::shared_ptr<const ShapeFrontier> frontier;
+    {
+        std::lock_guard<std::mutex> lock(rowLocks_[i]);
+        Row &row = rows_[i];
+        if (idx >= row.frontiers.size() ||
+            row.builtUnits < model::macBudget(dsp_budget, type_)) {
+            // Not built far enough for this (budget, target) — a
+            // concurrent rebuild, a bigger budget, or a prepare() that
+            // stopped earlier. Extend in place; if the row still ends
+            // short, some prefix range already misses the target under
+            // this budget, and extensions only add cycles, so [i..j]
+            // is provably infeasible.
+            extendRowLocked(i, dsp_budget, cycle_target);
+            if (idx >= row.frontiers.size())
+                return std::nullopt;
+        }
+        frontier = row.frontiers[idx];
+    }
+    // The frontier itself is immutable; query outside the row lock.
     const FrontierPoint *point =
-        row.frontiers[idx].query(cycle_target, dsp_budget);
+        frontier->query(cycle_target, dsp_budget);
     if (!point)
         return std::nullopt;
     return *point;
+}
+
+size_t
+FrontierTable::memoryBytes() const
+{
+    size_t bytes = sizeof(*this) + order_.capacity() * sizeof(size_t);
+    for (size_t i = 0; i < rows_.size(); ++i) {
+        std::lock_guard<std::mutex> lock(rowLocks_[i]);
+        const Row &row = rows_[i];
+        bytes += row.builder.memoryBytes();
+        for (const auto &frontier : row.frontiers) {
+            // Shared rows are accounted once, by the store.
+            bytes += store_ ? sizeof(frontier)
+                            : frontier->memoryBytes();
+        }
+    }
+    return bytes;
 }
 
 } // namespace core

@@ -38,8 +38,10 @@
 #ifndef MCLP_CORE_SHAPE_FRONTIER_H
 #define MCLP_CORE_SHAPE_FRONTIER_H
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -48,6 +50,7 @@
 #include "fpga/data_type.h"
 #include "model/clp_config.h"
 #include "nn/network.h"
+#include "util/hash.h"
 #include "util/thread_pool.h"
 
 namespace mclp {
@@ -147,6 +150,13 @@ class ShapeFrontier
 
     const std::vector<FrontierPoint> &points() const { return points_; }
 
+    /** Resident bytes of the stored staircase. */
+    size_t
+    memoryBytes() const
+    {
+        return sizeof(*this) + points_.capacity() * sizeof(FrontierPoint);
+    }
+
   private:
     friend class Builder;
 
@@ -180,6 +190,9 @@ class ShapeFrontier::Builder
 
     /** Frontier over the layers added so far. */
     ShapeFrontier build(fpga::DataType type, int64_t units_budget);
+
+    /** Resident bytes of the incremental scratch state. */
+    size_t memoryBytes() const;
 
   private:
     /** Per-unit-count slot of the dense staircase sweep. */
@@ -222,33 +235,93 @@ class ShapeFrontier::Builder
 };
 
 /**
+ * Cross-table pool of built range frontiers, keyed by what a frontier
+ * actually depends on — the layer-dims sequence of the range (per
+ * layer: N, M, R*C*K^2), the data type, and the units cap it was
+ * built under — never by network identity. Fire modules repeated
+ * within SqueezeNet, inception twins within GoogLeNet, and identical
+ * module stacks across network *variants* all hash to the same rows,
+ * so a registry serving many networks builds each distinct range
+ * exactly once (the same sharing TilingOptionCache already performs
+ * for tiling signatures). Entries are immutable ShapeFrontiers, so a
+ * hit is bit-identical to a private rebuild. Thread safe.
+ */
+class FrontierRowStore
+{
+  public:
+    struct Stats
+    {
+        size_t hits = 0;    ///< lookups answered by an existing row
+        size_t misses = 0;  ///< lookups that forced a build
+        size_t rows = 0;    ///< rows currently resident
+    };
+
+    /** The stored frontier for @p key, or nullptr (counts hit/miss). */
+    std::shared_ptr<const ShapeFrontier>
+    lookup(const std::vector<int64_t> &key);
+
+    /**
+     * Add a freshly built frontier; returns the canonical entry (the
+     * first insert wins, so concurrent builders converge on one row).
+     */
+    std::shared_ptr<const ShapeFrontier>
+    insert(const std::vector<int64_t> &key, ShapeFrontier frontier);
+
+    Stats stats() const;
+
+    /** Rough resident bytes of all stored rows. */
+    size_t memoryBytes() const;
+
+    /**
+     * Drop rows no table currently references (use count 1), e.g.
+     * after the SessionRegistry evicts sessions. Returns rows freed.
+     */
+    size_t purgeUnshared();
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<std::vector<int64_t>,
+                       std::shared_ptr<const ShapeFrontier>,
+                       util::Int64VectorHash>
+        rows_;
+    size_t hits_ = 0;
+    size_t misses_ = 0;
+};
+
+/**
  * Lazily built frontiers for every layer range the partition DP may
  * consult, i.e. ranges of a fixed heuristic order usable by some
  * partition into at most max_clps contiguous groups.
  *
- * The table's frontiers are built capped at the largest budget it has
- * ever been asked about (the grow-only units cap): any query at or
- * under that budget is a prefix of the stored staircase, so answers
+ * Rows are built capped at the largest budget the table has ever been
+ * asked about (the grow-only units cap): any query at or under a
+ * row's build cap reads a prefix of the stored staircase, so answers
  * for every budget of a descending or repeated ladder come from one
- * build. Only a budget *increase* discards stored rows; a warm
- * DseSession avoids even that by reserving the ladder's maximum up
- * front (reserveUnits()) before the first run touches the table.
+ * build, and a budget increase rebuilds only the rows it touches,
+ * lazily. A warm DseSession avoids even that by reserving the
+ * ladder's maximum up front (reserveUnits()) before the first run.
  *
- * The table is not internally synchronized; callers that share it
- * (ComputeOptimizer, DseSession) must hold mutex() across a
- * reserveUnits()/prepare()/choose() sequence.
+ * Locking is per row: every row carries its own mutex, prepare()
+ * extends rows independently (optionally fanning over a pool), and
+ * choose() self-heals — it extends the row on demand when a
+ * concurrent rebuild or a larger budget left a gap — so concurrent
+ * runs of a budget ladder never serialize on a whole-table lock and
+ * still read bit-identical answers. When @p store is given, built
+ * rows are shared through it across tables and networks.
  */
 class FrontierTable
 {
   public:
     FrontierTable(const nn::Network &network, fpga::DataType type,
-                  std::vector<size_t> order, int max_clps);
+                  std::vector<size_t> order, int max_clps,
+                  std::shared_ptr<FrontierRowStore> store = nullptr);
 
     /**
-     * Grow the units cap to at least @p units_cap, discarding stored
-     * rows if they were built under a smaller cap. A session calls
-     * this with the largest budget of a sweep before the first run,
-     * so no mid-sweep rebuild ever happens.
+     * Grow the units cap to at least @p units_cap. Rows built under a
+     * smaller cap are rebuilt lazily the next time a query needs more
+     * than they stored. A session calls this with the largest budget
+     * of a sweep before the first run, so no mid-sweep rebuild ever
+     * happens.
      */
     void reserveUnits(int64_t units_cap);
 
@@ -258,9 +331,9 @@ class FrontierTable
      * until the range becomes infeasible for the target (extending an
      * infeasible range only adds cycles, so the rest of the row cannot
      * matter yet). Ranges already built are kept across prepare()
-     * calls; only a budget above every earlier one rebuilds (see
-     * reserveUnits()). Row construction fans out over @p pool when
-     * given.
+     * calls. Row construction fans out over @p pool when given; rows
+     * lock independently, so concurrent prepare() calls at different
+     * budgets interleave instead of serializing.
      */
     void prepare(int64_t dsp_budget, int64_t cycle_target,
                  util::ThreadPool *pool);
@@ -268,40 +341,58 @@ class FrontierTable
     /**
      * Frontier query for order[i..j]: minimum-DSP shape fitting
      * @p dsp_budget and finishing within @p cycle_target. nullopt when
-     * the range cannot meet the target under the budget. Queries are
-     * stateless, so distinct (budget, target) pairs can interleave.
+     * the range cannot meet the target under the budget. Takes the
+     * row's lock and extends the row in place when it has not been
+     * built far enough for this (budget, target) — prepare() is an
+     * optimization, not a correctness precondition.
      */
     std::optional<FrontierPoint> choose(size_t i, size_t j,
                                         int64_t dsp_budget,
-                                        int64_t cycle_target) const;
+                                        int64_t cycle_target);
 
     size_t size() const { return order_.size(); }
     const std::vector<size_t> &order() const { return order_; }
     int maxClps() const { return maxClps_; }
 
-    /** Lock guarding prepare()/choose() when the table is shared. */
-    std::mutex &mutex() const { return mutex_; }
+    /** Rough resident bytes (builders + frontiers it owns alone). */
+    size_t memoryBytes() const;
 
   private:
     struct Row
     {
-        ShapeFrontier::Builder builder;        ///< incremental scratch
-        size_t builderLayers = 0;              ///< layers added so far
-        std::vector<ShapeFrontier> frontiers;  ///< [i..i], [i..i+1], ...
+        ShapeFrontier::Builder builder;  ///< incremental scratch
+        size_t builderLayers = 0;        ///< layers added so far
+        /** Frontiers of [i..i], [i..i+1], ... (suffix-only rows store
+         * just [i..count-1] at slot 0); shared via the row store. */
+        std::vector<std::shared_ptr<const ShapeFrontier>> frontiers;
         bool exhausted = false;  ///< row is complete to its last range
+        int64_t builtUnits = 0;  ///< units cap the frontiers hold
     };
 
     bool usable(size_t i, size_t j) const;
-    void extendRow(size_t i, int64_t dsp_cap, int64_t cycle_target);
+
+    /**
+     * Under rowLocks_[i]: rebuild the row if its cap is below what
+     * @p dsp_budget needs, then extend it range by range while the
+     * stopping rule allows (last range still meets @p cycle_target
+     * under @p dsp_budget and a usable extension exists).
+     */
+    void extendRowLocked(size_t i, int64_t dsp_budget,
+                         int64_t cycle_target);
+
+    /** Store key of order_[i..j] at @p units_cap (dims, type, cap). */
+    std::vector<int64_t> rangeKey(size_t i, size_t j,
+                                  int64_t units_cap) const;
 
     const nn::Network &network_;
     fpga::DataType type_;
     std::vector<size_t> order_;
     int maxClps_;
-    int64_t buildUnits_ = 0;  ///< grow-only units cap of stored rows
-    std::vector<Row> rows_;
-    BreakpointCache breakpoints_;
-    mutable std::mutex mutex_;
+    std::shared_ptr<FrontierRowStore> store_;
+    std::atomic<int64_t> buildUnits_{0};  ///< grow-only units cap
+    std::vector<Row> rows_;               ///< fixed size() entries
+    std::unique_ptr<std::mutex[]> rowLocks_;  ///< one per row
+    BreakpointCache breakpoints_;  ///< fully warmed in ctor, then read-only
 };
 
 } // namespace core

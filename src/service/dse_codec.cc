@@ -1,0 +1,373 @@
+#include "service/dse_codec.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+namespace mclp {
+namespace service {
+
+namespace {
+
+/** Reject values that would corrupt the space/;/:-delimited framing. */
+void
+checkToken(const std::string &value, const char *what)
+{
+    if (value.empty())
+        util::fatal("dse codec: %s must not be empty", what);
+    if (value.find_first_of(" \t\n:;,=") != std::string::npos)
+        util::fatal("dse codec: %s '%s' contains a delimiter character",
+                    what, value.c_str());
+}
+
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> tokens;
+    size_t pos = 0;
+    while (pos < line.size()) {
+        size_t end = line.find(' ', pos);
+        if (end == std::string::npos)
+            end = line.size();
+        if (end > pos)
+            tokens.push_back(line.substr(pos, end - pos));
+        pos = end + 1;
+    }
+    return tokens;
+}
+
+/** Split "key=value"; fatal() when there is no '='. */
+std::pair<std::string, std::string>
+keyValue(const std::string &token)
+{
+    size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0)
+        util::fatal("dse codec: expected key=value, got '%s'",
+                    token.c_str());
+    return {token.substr(0, eq), token.substr(eq + 1)};
+}
+
+int64_t
+parseInt(const std::string &value, const char *what)
+{
+    char *end = nullptr;
+    int64_t parsed = std::strtoll(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+        util::fatal("dse codec: bad %s '%s'", what, value.c_str());
+    return parsed;
+}
+
+double
+parseDouble(const std::string &value, const char *what)
+{
+    char *end = nullptr;
+    double parsed = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0')
+        util::fatal("dse codec: bad %s '%s'", what, value.c_str());
+    return parsed;
+}
+
+std::string
+encodeLayers(const std::vector<nn::ConvLayer> &layers)
+{
+    std::vector<std::string> parts;
+    parts.reserve(layers.size());
+    for (const nn::ConvLayer &layer : layers) {
+        checkToken(layer.name, "layer name");
+        parts.push_back(util::strprintf(
+            "%s:%lld:%lld:%lld:%lld:%lld:%lld", layer.name.c_str(),
+            static_cast<long long>(layer.n),
+            static_cast<long long>(layer.m),
+            static_cast<long long>(layer.r),
+            static_cast<long long>(layer.c),
+            static_cast<long long>(layer.k),
+            static_cast<long long>(layer.s)));
+    }
+    return util::join(parts, ";");
+}
+
+std::vector<nn::ConvLayer>
+decodeLayers(const std::string &spec)
+{
+    std::vector<nn::ConvLayer> layers;
+    for (const std::string &part : util::split(spec, ';')) {
+        auto fields = util::split(part, ':');
+        if (fields.size() != 7)
+            util::fatal("dse codec: layer spec '%s' wants "
+                        "name:n:m:r:c:k:s", part.c_str());
+        layers.push_back(nn::makeConvLayer(
+            fields[0], parseInt(fields[1], "layer N"),
+            parseInt(fields[2], "layer M"),
+            parseInt(fields[3], "layer R"),
+            parseInt(fields[4], "layer C"),
+            parseInt(fields[5], "layer K"),
+            parseInt(fields[6], "layer S")));
+    }
+    return layers;
+}
+
+std::string
+encodeBudgetList(const std::vector<int64_t> &budgets)
+{
+    std::vector<std::string> parts;
+    parts.reserve(budgets.size());
+    for (int64_t dsp : budgets)
+        parts.push_back(std::to_string(dsp));
+    return util::join(parts, ",");
+}
+
+} // namespace
+
+std::string
+encodeRequest(const core::DseRequest &request)
+{
+    std::string id = request.id.empty() ? "-" : request.id;
+    checkToken(id, "id");
+    std::string line = "dse id=" + id;
+    checkToken(request.network, "network name");
+    line += " net=" + request.network;
+    if (!request.layers.empty())
+        line += " layers=" + encodeLayers(request.layers);
+    if (!request.device.empty()) {
+        checkToken(request.device, "device name");
+        line += " device=" + request.device;
+    }
+    line += " type=" + fpga::dataTypeName(request.type);
+    line += util::strprintf(" mhz=%.17g", request.mhz);
+    if (request.bandwidthGbps > 0.0)
+        line += util::strprintf(" bw=%.17g", request.bandwidthGbps);
+    line += util::strprintf(" maxclps=%d", request.maxClps);
+    line += " mode=" + core::dseModeName(request.mode);
+    if (!request.dspBudgets.empty())
+        line += " budgets=" + encodeBudgetList(request.dspBudgets);
+    if (request.referenceEngine)
+        line += " engine=reference";
+    if (request.threads != 1)
+        line += util::strprintf(" threads=%d", request.threads);
+    return line;
+}
+
+core::DseRequest
+decodeRequest(const std::string &line)
+{
+    auto tokens = tokenize(line);
+    if (tokens.empty() || tokens[0] != "dse")
+        util::fatal("dse codec: request line must start with 'dse'");
+    core::DseRequest request;
+    request.network.clear();
+    for (size_t t = 1; t < tokens.size(); ++t) {
+        auto [key, value] = keyValue(tokens[t]);
+        if (key == "id") {
+            request.id = value;
+        } else if (key == "net") {
+            request.network = value;
+        } else if (key == "layers") {
+            request.layers = decodeLayers(value);
+        } else if (key == "device") {
+            request.device = value;
+        } else if (key == "type") {
+            request.type = fpga::dataTypeByName(value);
+        } else if (key == "mhz") {
+            request.mhz = parseDouble(value, "mhz");
+        } else if (key == "bw") {
+            request.bandwidthGbps = parseDouble(value, "bw");
+        } else if (key == "maxclps") {
+            request.maxClps =
+                static_cast<int>(parseInt(value, "maxclps"));
+        } else if (key == "mode") {
+            request.mode = core::dseModeByName(value);
+        } else if (key == "budgets") {
+            request.dspBudgets.clear();
+            for (const std::string &item : util::split(value, ','))
+                request.dspBudgets.push_back(
+                    parseInt(item, "DSP budget"));
+        } else if (key == "engine") {
+            if (value == "reference")
+                request.referenceEngine = true;
+            else if (value != "frontier")
+                util::fatal("dse codec: unknown engine '%s'",
+                            value.c_str());
+        } else if (key == "threads") {
+            request.threads =
+                static_cast<int>(parseInt(value, "threads"));
+        } else {
+            util::fatal("dse codec: unknown request field '%s'",
+                        key.c_str());
+        }
+    }
+    request.validate();
+    return request;
+}
+
+std::string
+encodeDesign(const model::MultiClpDesign &design)
+{
+    std::vector<std::string> clps;
+    clps.reserve(design.clps.size());
+    for (const model::ClpConfig &clp : design.clps) {
+        std::string spec = util::strprintf(
+            "%lldx%lld@", static_cast<long long>(clp.shape.tn),
+            static_cast<long long>(clp.shape.tm));
+        std::vector<std::string> layers;
+        layers.reserve(clp.layers.size());
+        for (const model::LayerBinding &binding : clp.layers) {
+            layers.push_back(util::strprintf(
+                "%zu:%lld:%lld", binding.layerIdx,
+                static_cast<long long>(binding.tiling.tr),
+                static_cast<long long>(binding.tiling.tc)));
+        }
+        clps.push_back(spec + util::join(layers, ","));
+    }
+    return util::join(clps, "/");
+}
+
+model::MultiClpDesign
+decodeDesign(const std::string &spec, fpga::DataType type)
+{
+    model::MultiClpDesign design;
+    design.dataType = type;
+    for (const std::string &clp_spec : util::split(spec, '/')) {
+        size_t at = clp_spec.find('@');
+        size_t x = clp_spec.find('x');
+        if (at == std::string::npos || x == std::string::npos || x > at)
+            util::fatal("dse codec: bad CLP spec '%s'",
+                        clp_spec.c_str());
+        model::ClpConfig clp;
+        clp.shape.tn = parseInt(clp_spec.substr(0, x), "Tn");
+        clp.shape.tm =
+            parseInt(clp_spec.substr(x + 1, at - x - 1), "Tm");
+        for (const std::string &layer_spec :
+             util::split(clp_spec.substr(at + 1), ',')) {
+            auto fields = util::split(layer_spec, ':');
+            if (fields.size() != 3)
+                util::fatal("dse codec: bad layer binding '%s'",
+                            layer_spec.c_str());
+            model::LayerBinding binding;
+            binding.layerIdx = static_cast<size_t>(
+                parseInt(fields[0], "layer index"));
+            binding.tiling.tr = parseInt(fields[1], "Tr");
+            binding.tiling.tc = parseInt(fields[2], "Tc");
+            clp.layers.push_back(binding);
+        }
+        design.clps.push_back(std::move(clp));
+    }
+    return design;
+}
+
+std::string
+encodeResponse(const core::DseResponse &response)
+{
+    if (!response.ok) {
+        // msg= must stay last: everything after it, spaces included,
+        // is the message.
+        return "err id=" + response.id + " msg=" + response.error;
+    }
+    std::string line = "ok id=" + response.id;
+    line += " net=" + response.network;
+    line += util::strprintf(" points=%zu", response.points.size());
+    for (const core::DsePoint &point : response.points) {
+        line += util::strprintf(
+            " point dsp=%lld bram=%lld mhz=%.17g bw=%.17g "
+            "type=%s epoch=%lld dsp_used=%lld bram_used=%lld "
+            "latency_epochs=%lld inflight=%lld adjacent=%d",
+            static_cast<long long>(point.budget.dspSlices),
+            static_cast<long long>(point.budget.bram18k),
+            point.budget.frequencyMhz,
+            point.budget.bandwidthBytesPerCycle,
+            fpga::dataTypeName(point.design.dataType).c_str(),
+            static_cast<long long>(point.epochCycles),
+            static_cast<long long>(point.dspUsed),
+            static_cast<long long>(point.bramUsed),
+            static_cast<long long>(point.schedule.latencyEpochs),
+            static_cast<long long>(point.schedule.imagesInFlight),
+            point.schedule.adjacentLayers ? 1 : 0);
+        line += " design=" + encodeDesign(point.design);
+    }
+    return line;
+}
+
+core::DseResponse
+decodeResponse(const std::string &line)
+{
+    core::DseResponse response;
+    if (util::startsWith(line, "err ")) {
+        auto tokens = tokenize(line);
+        if (tokens.size() < 2)
+            util::fatal("dse codec: short err line");
+        auto [id_key, id_value] = keyValue(tokens[1]);
+        if (id_key != "id")
+            util::fatal("dse codec: err line wants id= first");
+        response.id = id_value;
+        size_t msg = line.find(" msg=");
+        response.error =
+            msg == std::string::npos ? "" : line.substr(msg + 5);
+        return response;
+    }
+    if (!util::startsWith(line, "ok "))
+        util::fatal("dse codec: response line must start with ok/err");
+    response.ok = true;
+    auto tokens = tokenize(line);
+    core::DsePoint *point = nullptr;
+    size_t expected = 0;
+    for (size_t t = 1; t < tokens.size(); ++t) {
+        if (tokens[t] == "point") {
+            response.points.emplace_back();
+            point = &response.points.back();
+            continue;
+        }
+        auto [key, value] = keyValue(tokens[t]);
+        if (!point) {
+            if (key == "id")
+                response.id = value;
+            else if (key == "net")
+                response.network = value;
+            else if (key == "points")
+                expected =
+                    static_cast<size_t>(parseInt(value, "points"));
+            else
+                util::fatal("dse codec: unknown response field '%s'",
+                            key.c_str());
+            continue;
+        }
+        if (key == "dsp")
+            point->budget.dspSlices = parseInt(value, "dsp");
+        else if (key == "bram")
+            point->budget.bram18k = parseInt(value, "bram");
+        else if (key == "mhz")
+            point->budget.frequencyMhz = parseDouble(value, "mhz");
+        else if (key == "bw")
+            point->budget.bandwidthBytesPerCycle =
+                parseDouble(value, "bw");
+        else if (key == "type")
+            point->design.dataType = fpga::dataTypeByName(value);
+        else if (key == "epoch")
+            point->epochCycles = parseInt(value, "epoch");
+        else if (key == "dsp_used")
+            point->dspUsed = parseInt(value, "dsp_used");
+        else if (key == "bram_used")
+            point->bramUsed = parseInt(value, "bram_used");
+        else if (key == "latency_epochs")
+            point->schedule.latencyEpochs =
+                parseInt(value, "latency_epochs");
+        else if (key == "inflight")
+            point->schedule.imagesInFlight =
+                parseInt(value, "inflight");
+        else if (key == "adjacent")
+            point->schedule.adjacentLayers =
+                parseInt(value, "adjacent") != 0;
+        else if (key == "design")
+            point->design =
+                decodeDesign(value, point->design.dataType);
+        else
+            util::fatal("dse codec: unknown point field '%s'",
+                        key.c_str());
+    }
+    if (response.points.size() != expected)
+        util::fatal("dse codec: points=%zu but %zu decoded", expected,
+                    response.points.size());
+    return response;
+}
+
+} // namespace service
+} // namespace mclp

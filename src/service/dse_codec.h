@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Text codec of the batch DSE service: one request per line, one
+ * response per line (the mclp-serve wire protocol).
+ *
+ * Request lines are space-separated key=value tokens after a "dse"
+ * verb; response lines start with "ok" or "err" and carry every
+ * optimized rung — budget, metrics, and the complete design (shapes,
+ * layer assignment, tilings) — so a response pins the optimizer's
+ * answer bit for bit. Encoding is deterministic (fixed field order,
+ * round-trip float formatting): two responses are byte-identical
+ * exactly when their designs and metrics are, which the CI smoke
+ * exploits by diffing mclp-serve output against cold mclp-opt
+ * --response output.
+ *
+ *   dse id=a1 net=alexnet device=690t type=float maxclps=6
+ *   dse id=s1 net=squeezenet device=690t type=fixed budgets=1000,2880
+ *   dse id=c1 net=mini layers=conv1:3:64:55:55:11:4;conv2:64:16:27:27:1:1 \
+ *       budgets=500 mode=latency
+ */
+
+#ifndef MCLP_SERVICE_DSE_CODEC_H
+#define MCLP_SERVICE_DSE_CODEC_H
+
+#include <string>
+
+#include "core/dse_request.h"
+
+namespace mclp {
+namespace service {
+
+/** One-line wire form of a request (no trailing newline). */
+std::string encodeRequest(const core::DseRequest &request);
+
+/** Parse a request line; fatal() on malformed input. */
+core::DseRequest decodeRequest(const std::string &line);
+
+/** One-line wire form of a response (no trailing newline). */
+std::string encodeResponse(const core::DseResponse &response);
+
+/** Parse a response line; fatal() on malformed input. */
+core::DseResponse decodeResponse(const std::string &line);
+
+/**
+ * Compact design spec used inside response lines: CLPs joined by '/',
+ * each "TNxTM@layer:tr:tc,layer:tr:tc,...". Exposed for tests.
+ */
+std::string encodeDesign(const model::MultiClpDesign &design);
+
+/** Inverse of encodeDesign; @p type fills the design's data type. */
+model::MultiClpDesign decodeDesign(const std::string &spec,
+                                   fpga::DataType type);
+
+} // namespace service
+} // namespace mclp
+
+#endif // MCLP_SERVICE_DSE_CODEC_H

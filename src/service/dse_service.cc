@@ -1,0 +1,283 @@
+#include "service/dse_service.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "core/schedule.h"
+#include "model/bram_model.h"
+#include "model/dsp_model.h"
+#include "service/dse_codec.h"
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+namespace mclp {
+namespace service {
+
+namespace {
+
+/** Best-effort id recovery from a line that failed to decode. */
+std::string
+scavengeId(const std::string &line)
+{
+    size_t pos = line.find("id=");
+    if (pos == std::string::npos ||
+        (pos > 0 && line[pos - 1] != ' '))
+        return "-";
+    size_t end = line.find(' ', pos);
+    std::string id = line.substr(
+        pos + 3, end == std::string::npos ? std::string::npos
+                                          : end - pos - 3);
+    return id.empty() ? "-" : id;
+}
+
+std::string
+trimmed(const std::string &line)
+{
+    size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos)
+        return "";
+    size_t end = line.find_last_not_of(" \t\r");
+    return line.substr(begin, end - begin + 1);
+}
+
+} // namespace
+
+core::DseResponse
+answerRequest(const core::DseRequest &request,
+              core::SessionRegistry *registry)
+{
+    core::DseResponse response;
+    response.id = request.id.empty() ? "-" : request.id;
+    try {
+        request.validate();
+        nn::Network network = core::resolveNetwork(request);
+        response.network = network.name();
+        std::vector<fpga::ResourceBudget> budgets =
+            core::requestBudgets(request);
+        core::OptimizerOptions options = core::requestOptions(request);
+
+        std::vector<core::OptimizationResult> results;
+        std::shared_ptr<core::DseSession> session;  // pins its network
+        const nn::Network *result_network = &network;
+        if (registry) {
+            session = registry->session(network, request.device,
+                                        request.type);
+            results = session->sweep(budgets, options);
+            // Build the response against the network copy the session
+            // owns (identical layers; the handle keeps it alive).
+            result_network = &session->network();
+        } else {
+            results.reserve(budgets.size());
+            for (const fpga::ResourceBudget &budget : budgets)
+                results.push_back(
+                    core::MultiClpOptimizer(network, request.type,
+                                            budget, options)
+                        .run());
+        }
+
+        response.points.reserve(results.size());
+        for (size_t i = 0; i < results.size(); ++i) {
+            core::DsePoint point;
+            point.budget = budgets[i];
+            point.design = core::canonicalizeSchedule(
+                results[i].design, *result_network);
+            point.epochCycles = results[i].metrics.epochCycles;
+            point.dspUsed = model::designDsp(point.design);
+            point.bramUsed =
+                model::designBram(point.design, *result_network);
+            point.schedule =
+                core::analyzeSchedule(point.design, *result_network);
+            response.points.push_back(std::move(point));
+        }
+        response.ok = true;
+    } catch (const util::FatalError &err) {
+        response.ok = false;
+        response.points.clear();
+        response.error = err.what();
+    }
+    return response;
+}
+
+DseService::DseService(ServiceOptions options)
+    : options_(options),
+      registry_(options.maxSessions, options.maxBytes,
+                options.sessionThreads)
+{
+    if (util::resolveThreads(options_.threads) > 1)
+        pool_ = std::make_unique<util::ThreadPool>(options_.threads);
+}
+
+std::string
+DseService::handleLine(const std::string &line)
+{
+    std::string text = trimmed(line);
+    if (text.empty() || text[0] == '#')
+        return "";
+    if (text == "stats") {
+        core::SessionRegistry::Stats reg = registry_.stats();
+        core::FrontierRowStore::Stats rows =
+            registry_.rowStore()->stats();
+        return util::strprintf(
+            "ok stats sessions=%zu bytes=%zu hits=%zu misses=%zu "
+            "evictions=%zu rows=%zu row_hits=%zu row_misses=%zu",
+            reg.sessions, reg.bytes, reg.hits, reg.misses,
+            reg.evictions, rows.rows, rows.hits, rows.misses);
+    }
+    if (text == "shutdown")
+        return "ok shutdown";
+    try {
+        core::DseRequest request = decodeRequest(text);
+        // Execution resources are the dispatcher's policy, not the
+        // client's: sessions stay serial under concurrent serving
+        // (see ServiceOptions::sessionThreads), and a wire-supplied
+        // thread count must never be able to exhaust the host.
+        request.threads = options_.sessionThreads;
+        return encodeResponse(answerRequest(
+            request, options_.cold ? nullptr : &registry_));
+    } catch (const util::FatalError &err) {
+        core::DseResponse response;
+        response.id = scavengeId(text);
+        response.error = err.what();
+        return encodeResponse(response);
+    } catch (const std::exception &err) {
+        // A long-lived server contains everything — allocation
+        // failures, internal panics — as an err line; one bad request
+        // must not take down the batch (and parallelFor's fn must not
+        // throw).
+        core::DseResponse response;
+        response.id = scavengeId(text);
+        response.error =
+            std::string("internal error: ") + err.what();
+        return encodeResponse(response);
+    }
+}
+
+std::vector<std::string>
+DseService::handleBatch(const std::vector<std::string> &lines)
+{
+    std::vector<std::string> responses(lines.size());
+    if (pool_ && lines.size() > 1) {
+        pool_->parallelFor(lines.size(), [&](size_t i) {
+            responses[i] = handleLine(lines[i]);
+        });
+    } else {
+        for (size_t i = 0; i < lines.size(); ++i)
+            responses[i] = handleLine(lines[i]);
+    }
+    return responses;
+}
+
+void
+DseService::serveStream(std::istream &in, std::ostream &out)
+{
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    for (const std::string &response : handleBatch(lines)) {
+        if (!response.empty())
+            out << response << '\n';
+    }
+    out.flush();
+}
+
+int
+DseService::serveSocket(const std::string &path, int max_connections)
+{
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path)) {
+        util::warn("mclp-serve: socket path '%s' too long",
+                   path.c_str());
+        return 1;
+    }
+    int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd < 0) {
+        util::warn("mclp-serve: socket(): %s", std::strerror(errno));
+        return 1;
+    }
+    ::unlink(path.c_str());
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::bind(listen_fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0 ||
+        ::listen(listen_fd, 8) < 0) {
+        util::warn("mclp-serve: bind/listen on '%s': %s", path.c_str(),
+                   std::strerror(errno));
+        ::close(listen_fd);
+        return 1;
+    }
+
+    bool shutdown_seen = false;
+    int served = 0;
+    while (!shutdown_seen &&
+           (max_connections < 0 || served < max_connections)) {
+        int conn = ::accept(listen_fd, nullptr, nullptr);
+        if (conn < 0) {
+            if (errno == EINTR)
+                continue;
+            util::warn("mclp-serve: accept(): %s",
+                       std::strerror(errno));
+            break;
+        }
+        // One connection = one batch: read until the client shuts
+        // down its write side, answer every line in order, close.
+        std::string input;
+        char buffer[4096];
+        while (true) {
+            ssize_t got = ::read(conn, buffer, sizeof(buffer));
+            if (got > 0) {
+                input.append(buffer, static_cast<size_t>(got));
+            } else if (got < 0 && errno == EINTR) {
+                continue;  // a signal mid-read is not end-of-batch
+            } else {
+                break;
+            }
+        }
+
+        std::vector<std::string> lines;
+        size_t pos = 0;
+        while (pos < input.size()) {
+            size_t end = input.find('\n', pos);
+            if (end == std::string::npos)
+                end = input.size();
+            lines.push_back(input.substr(pos, end - pos));
+            pos = end + 1;
+        }
+        for (const std::string &request : lines) {
+            if (trimmed(request) == "shutdown")
+                shutdown_seen = true;
+        }
+        std::string output;
+        for (const std::string &response : handleBatch(lines)) {
+            if (!response.empty()) {
+                output += response;
+                output += '\n';
+            }
+        }
+        size_t written = 0;
+        while (written < output.size()) {
+            ssize_t put = ::write(conn, output.data() + written,
+                                  output.size() - written);
+            if (put < 0 && errno == EINTR)
+                continue;
+            if (put <= 0)
+                break;
+            written += static_cast<size_t>(put);
+        }
+        ::close(conn);
+        ++served;
+    }
+    ::close(listen_fd);
+    ::unlink(path.c_str());
+    return 0;
+}
+
+} // namespace service
+} // namespace mclp

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The batch DSE service: a long-lived dispatcher that owns a
+ * SessionRegistry and answers streams of DseRequest lines — the
+ * serving layer between the warm session machinery (core/dse_session)
+ * and the mclp-serve front end.
+ *
+ * Requests arrive one per line (see service/dse_codec.h), fan out
+ * over a work-stealing pool, and are answered strictly in input
+ * order. Answers never depend on concurrency, batch composition, or
+ * registry warmth: every response is bit-identical to a cold
+ * MultiClpOptimizer run of the same request, which
+ * tests/service/test_dse_service.cc pins and the CI smoke re-checks
+ * end to end against mclp-opt --response.
+ */
+
+#ifndef MCLP_SERVICE_DSE_SERVICE_H
+#define MCLP_SERVICE_DSE_SERVICE_H
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dse_request.h"
+#include "core/session_registry.h"
+#include "util/thread_pool.h"
+
+namespace mclp {
+namespace service {
+
+/**
+ * Execute one request end to end: resolve the network, build the
+ * budget ladder, optimize every rung, and package designs + metrics.
+ * With @p registry the run goes through the warm session for the
+ * request's (network dims, device, type) key; without it every rung
+ * is an independent cold MultiClpOptimizer run. Both paths produce
+ * bit-identical responses. User errors (unknown network, impossible
+ * budget) come back as an err response, never an exception.
+ */
+core::DseResponse answerRequest(const core::DseRequest &request,
+                                core::SessionRegistry *registry);
+
+/** Dispatcher knobs (mclp-serve flags map onto these). */
+struct ServiceOptions
+{
+    /** Request fan-out worker threads (0 = hardware concurrency,
+     * 1 = serial). Never changes responses. */
+    int threads = 1;
+
+    /** SessionRegistry LRU capacity. */
+    size_t maxSessions = 8;
+
+    /** SessionRegistry byte budget (0 = unlimited). */
+    size_t maxBytes = 0;
+
+    /** Threads each session spends on its own budget ladder; kept at
+     * 1 under concurrent serving so the pool is not oversubscribed. */
+    int sessionThreads = 1;
+
+    /** Bypass the registry: every request runs cold (the parity
+     * baseline the warm path is diffed against). */
+    bool cold = false;
+};
+
+class DseService
+{
+  public:
+    explicit DseService(ServiceOptions options = {});
+
+    /**
+     * Answer one input line: a "dse ..." request (decoded, executed,
+     * encoded), "stats" (registry/row-store counters), or malformed
+     * input (an err line). Blank lines and '#' comments return "".
+     */
+    std::string handleLine(const std::string &line);
+
+    /**
+     * Answer a batch of lines concurrently; responses[i] always
+     * corresponds to lines[i] (deterministic ordered responses).
+     */
+    std::vector<std::string>
+    handleBatch(const std::vector<std::string> &lines);
+
+    /**
+     * Read request lines from @p in until EOF, answer the whole batch
+     * over the pool, write one response line each (blank/comment
+     * lines produce no output). The stdin/stdout mode of mclp-serve.
+     */
+    void serveStream(std::istream &in, std::ostream &out);
+
+    /**
+     * Listen on a Unix stream socket at @p path. Each connection is
+     * one batch: the client writes request lines and shuts down its
+     * write side; the server answers them in order and closes. Serves
+     * until @p max_connections connections were handled (-1 =
+     * forever) or a connection sends a "shutdown" line. Returns 0 on
+     * clean exit, 1 on socket errors.
+     */
+    int serveSocket(const std::string &path, int max_connections = -1);
+
+    core::SessionRegistry &registry() { return registry_; }
+
+  private:
+    ServiceOptions options_;
+    core::SessionRegistry registry_;
+    std::unique_ptr<util::ThreadPool> pool_;
+};
+
+} // namespace service
+} // namespace mclp
+
+#endif // MCLP_SERVICE_DSE_SERVICE_H

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The wire codec must be an exact round trip: requests and responses
+ * decode back to the values that were encoded (designs included,
+ * since responses pin the optimizer's answer bit for bit), encoding
+ * is deterministic, and malformed lines are rejected as user errors,
+ * never accepted half-parsed.
+ */
+
+#include <gtest/gtest.h>
+
+#include "service/dse_codec.h"
+#include "test_helpers.h"
+#include "util/logging.h"
+
+namespace mclp {
+namespace {
+
+TEST(DseCodec, RequestRoundTripsAllFields)
+{
+    core::DseRequest request;
+    request.id = "r42";
+    request.network = "mini";
+    request.layers = {test::layer(3, 64, 55, 55, 11, 4, "conv1"),
+                      test::layer(64, 16, 27, 27, 1, 1, "fire1")};
+    request.device = "690t";
+    request.type = fpga::DataType::Fixed16;
+    request.mhz = 170.0;
+    request.bandwidthGbps = 21.3;
+    request.maxClps = 4;
+    request.mode = core::DseMode::Latency;
+    request.dspBudgets = {500, 1000, 2880};
+    request.referenceEngine = true;
+    request.threads = 2;
+
+    core::DseRequest decoded =
+        service::decodeRequest(service::encodeRequest(request));
+    EXPECT_EQ(decoded.id, request.id);
+    EXPECT_EQ(decoded.network, request.network);
+    ASSERT_EQ(decoded.layers.size(), request.layers.size());
+    for (size_t i = 0; i < request.layers.size(); ++i) {
+        EXPECT_EQ(decoded.layers[i].name, request.layers[i].name);
+        EXPECT_TRUE(decoded.layers[i].sameShape(request.layers[i]));
+    }
+    EXPECT_EQ(decoded.device, request.device);
+    EXPECT_EQ(decoded.type, request.type);
+    EXPECT_EQ(decoded.mhz, request.mhz);
+    EXPECT_EQ(decoded.bandwidthGbps, request.bandwidthGbps);
+    EXPECT_EQ(decoded.maxClps, request.maxClps);
+    EXPECT_EQ(decoded.mode, request.mode);
+    EXPECT_EQ(decoded.dspBudgets, request.dspBudgets);
+    EXPECT_EQ(decoded.referenceEngine, request.referenceEngine);
+    EXPECT_EQ(decoded.threads, request.threads);
+
+    // Deterministic: re-encoding the decoded request is a fixpoint.
+    EXPECT_EQ(service::encodeRequest(decoded),
+              service::encodeRequest(request));
+}
+
+TEST(DseCodec, RequestDefaultsSurviveMinimalLine)
+{
+    core::DseRequest decoded =
+        service::decodeRequest("dse id=a net=alexnet device=690t");
+    EXPECT_EQ(decoded.id, "a");
+    EXPECT_EQ(decoded.network, "alexnet");
+    EXPECT_EQ(decoded.type, fpga::DataType::Float32);
+    EXPECT_EQ(decoded.mhz, 100.0);
+    EXPECT_EQ(decoded.maxClps, 6);
+    EXPECT_EQ(decoded.mode, core::DseMode::Throughput);
+    EXPECT_TRUE(decoded.dspBudgets.empty());
+    EXPECT_FALSE(decoded.referenceEngine);
+}
+
+TEST(DseCodec, MalformedRequestsAreRejected)
+{
+    EXPECT_THROW(service::decodeRequest("optimize alexnet"),
+                 util::FatalError);
+    EXPECT_THROW(service::decodeRequest("dse id=a net=alexnet "
+                                        "frobnicate=1 device=690t"),
+                 util::FatalError);
+    EXPECT_THROW(service::decodeRequest("dse id=a net=alexnet "
+                                        "device=690t maxclps=zero"),
+                 util::FatalError);
+    // No device and no ladder: the BRAM rule has no DSP count.
+    EXPECT_THROW(service::decodeRequest("dse id=a net=alexnet"),
+                 util::FatalError);
+    EXPECT_THROW(service::decodeRequest(
+                     "dse id=a net=mini layers=bad:1:2:3 budgets=100"),
+                 util::FatalError);
+}
+
+TEST(DseCodec, DesignRoundTrips)
+{
+    model::MultiClpDesign design;
+    design.dataType = fpga::DataType::Fixed16;
+    model::ClpConfig clp0;
+    clp0.shape = {3, 32};
+    clp0.layers = {{0, {27, 27}}, {2, {13, 13}}};
+    model::ClpConfig clp1;
+    clp1.shape = {1, 48};
+    clp1.layers = {{1, {55, 55}}};
+    design.clps = {clp0, clp1};
+
+    std::string spec = service::encodeDesign(design);
+    EXPECT_EQ(spec, "3x32@0:27:27,2:13:13/1x48@1:55:55");
+    model::MultiClpDesign decoded =
+        service::decodeDesign(spec, fpga::DataType::Fixed16);
+    EXPECT_TRUE(decoded == design);
+}
+
+TEST(DseCodec, ResponseRoundTripsPointsAndErrors)
+{
+    core::DseResponse response;
+    response.id = "r1";
+    response.ok = true;
+    response.network = "AlexNet";
+    core::DsePoint point;
+    point.budget.dspSlices = 2880;
+    point.budget.bram18k = 2352;
+    point.budget.frequencyMhz = 170.0;
+    point.budget.bandwidthBytesPerCycle = 1.25;
+    point.design = test::coverAll(
+        test::singleLayerNet(test::layer(3, 64, 55, 55, 11, 4)), 3, 32);
+    point.epochCycles = 1168128;
+    point.dspUsed = 480;
+    point.bramUsed = 99;
+    point.schedule.adjacentLayers = true;
+    point.schedule.latencyEpochs = 6;
+    point.schedule.imagesInFlight = 6;
+    response.points = {point};
+
+    core::DseResponse decoded =
+        service::decodeResponse(service::encodeResponse(response));
+    EXPECT_TRUE(decoded.ok);
+    EXPECT_EQ(decoded.id, "r1");
+    EXPECT_EQ(decoded.network, "AlexNet");
+    ASSERT_EQ(decoded.points.size(), 1u);
+    const core::DsePoint &got = decoded.points[0];
+    EXPECT_EQ(got.budget.dspSlices, point.budget.dspSlices);
+    EXPECT_EQ(got.budget.bram18k, point.budget.bram18k);
+    EXPECT_EQ(got.budget.frequencyMhz, point.budget.frequencyMhz);
+    EXPECT_EQ(got.budget.bandwidthBytesPerCycle,
+              point.budget.bandwidthBytesPerCycle);
+    EXPECT_TRUE(got.design == point.design);
+    EXPECT_EQ(got.epochCycles, point.epochCycles);
+    EXPECT_EQ(got.dspUsed, point.dspUsed);
+    EXPECT_EQ(got.bramUsed, point.bramUsed);
+    EXPECT_EQ(got.schedule.adjacentLayers,
+              point.schedule.adjacentLayers);
+    EXPECT_EQ(got.schedule.latencyEpochs,
+              point.schedule.latencyEpochs);
+    EXPECT_EQ(got.schedule.imagesInFlight,
+              point.schedule.imagesInFlight);
+
+    core::DseResponse error;
+    error.id = "bad1";
+    error.error = "unknown network 'nope' (with spaces kept)";
+    core::DseResponse decoded_error =
+        service::decodeResponse(service::encodeResponse(error));
+    EXPECT_FALSE(decoded_error.ok);
+    EXPECT_EQ(decoded_error.id, "bad1");
+    EXPECT_EQ(decoded_error.error, error.error);
+}
+
+} // namespace
+} // namespace mclp

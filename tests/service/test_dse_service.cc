@@ -1,0 +1,219 @@
+/**
+ * @file
+ * The batch DSE service must be invisible in results: responses are
+ * bit-identical to cold MultiClpOptimizer runs of the same requests,
+ * regardless of batch composition, concurrency, registry warmth, or
+ * transport (in-process, stream, or Unix socket). Ordering is pinned
+ * too — responses[i] always answers lines[i], with malformed lines
+ * answered in place by err lines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "core/schedule.h"
+#include "model/metrics.h"
+#include "service/dse_codec.h"
+#include "service/dse_service.h"
+#include "util/string_utils.h"
+
+namespace mclp {
+namespace {
+
+/** The reference answer: independent cold runs, wire-encoded. */
+std::string
+coldReference(const std::string &request_line)
+{
+    core::DseRequest request = service::decodeRequest(request_line);
+    return service::encodeResponse(
+        service::answerRequest(request, nullptr));
+}
+
+std::vector<std::string>
+mixedBatch()
+{
+    return {
+        "dse id=a1 net=alexnet device=690t",
+        "dse id=s1 net=squeezenet device=690t type=fixed mhz=170 "
+        "budgets=1000,2880",
+        "dse id=a2 net=alexnet device=485t mode=single",
+        "dse id=l1 net=alexnet budgets=500,2880 mode=latency",
+        "dse id=c1 net=mini "
+        "layers=conv1:3:16:14:14:3:1;conv2:16:24:7:7:3:1 budgets=200",
+    };
+}
+
+TEST(DseService, MixedBatchMatchesColdRunsInOrder)
+{
+    service::ServiceOptions options;
+    options.threads = 1;
+    service::DseService dse(options);
+    std::vector<std::string> lines = mixedBatch();
+    std::vector<std::string> responses = dse.handleBatch(lines);
+    ASSERT_EQ(responses.size(), lines.size());
+    for (size_t i = 0; i < lines.size(); ++i) {
+        EXPECT_EQ(responses[i], coldReference(lines[i]))
+            << "request " << lines[i];
+    }
+}
+
+TEST(DseService, ConcurrencyAndWarmthNeverChangeResponses)
+{
+    service::ServiceOptions serial;
+    serial.threads = 1;
+    service::DseService cold_service(serial);
+
+    service::ServiceOptions parallel;
+    parallel.threads = 4;
+    service::DseService warm_service(parallel);
+
+    std::vector<std::string> lines = mixedBatch();
+    std::vector<std::string> first = cold_service.handleBatch(lines);
+    std::vector<std::string> threaded = warm_service.handleBatch(lines);
+    EXPECT_EQ(first, threaded);
+
+    // A warm second batch (every session already resident) must be
+    // byte-identical to the first.
+    std::vector<std::string> second = warm_service.handleBatch(lines);
+    EXPECT_EQ(first, second);
+
+    core::SessionRegistry::Stats stats =
+        warm_service.registry().stats();
+    EXPECT_GE(stats.hits, lines.size() - 1)
+        << "second batch should reuse resident sessions";
+}
+
+TEST(DseService, MalformedLinesAnswerInPlace)
+{
+    service::DseService dse{service::ServiceOptions{}};
+    std::vector<std::string> lines{
+        "dse id=ok1 net=alexnet budgets=500",
+        "dse id=bad1 net=no-such-network device=690t",
+        "not a request at all",
+        "",
+        "# comment",
+        "dse id=ok2 net=alexnet budgets=500",
+    };
+    std::vector<std::string> responses = dse.handleBatch(lines);
+    ASSERT_EQ(responses.size(), lines.size());
+    EXPECT_TRUE(util::startsWith(responses[0], "ok id=ok1 "));
+    EXPECT_TRUE(util::startsWith(responses[1], "err id=bad1 "));
+    EXPECT_TRUE(util::startsWith(responses[2], "err id=- "));
+    EXPECT_EQ(responses[3], "");
+    EXPECT_EQ(responses[4], "");
+    EXPECT_TRUE(util::startsWith(responses[5], "ok id=ok2 "));
+    // The two well-formed requests got identical answers.
+    EXPECT_EQ(responses[0].substr(9), responses[5].substr(9));
+}
+
+TEST(DseService, WireThreadCountIsServerPolicyNotClientChoice)
+{
+    // A hostile threads= value must not be able to exhaust the host:
+    // the dispatcher overrides it with its own session policy, and
+    // the answer matches the plain request bit for bit (thread count
+    // never changes results anyway).
+    service::DseService dse{service::ServiceOptions{}};
+    std::string greedy = dse.handleLine(
+        "dse id=t net=alexnet budgets=500 threads=500000");
+    EXPECT_TRUE(util::startsWith(greedy, "ok id=t "));
+    std::string plain =
+        dse.handleLine("dse id=t net=alexnet budgets=500");
+    EXPECT_EQ(greedy, plain);
+}
+
+TEST(DseService, StreamModeAnswersEveryRequestLine)
+{
+    service::DseService dse{service::ServiceOptions{}};
+    std::istringstream in("dse id=x net=alexnet budgets=400\n"
+                          "# comment\n"
+                          "stats\n");
+    std::ostringstream out;
+    dse.serveStream(in, out);
+    std::vector<std::string> lines =
+        util::split(out.str(), '\n');
+    ASSERT_GE(lines.size(), 2u);
+    EXPECT_TRUE(util::startsWith(lines[0], "ok id=x "));
+    EXPECT_TRUE(util::startsWith(lines[1], "ok stats sessions=1 "));
+}
+
+TEST(DseService, ResponsesDecodeToDesignsThatReproduceMetrics)
+{
+    service::DseService dse{service::ServiceOptions{}};
+    std::string line = "dse id=q net=squeezenet device=485t "
+                       "type=fixed budgets=800";
+    core::DseResponse response =
+        service::decodeResponse(dse.handleLine(line));
+    ASSERT_TRUE(response.ok);
+    ASSERT_EQ(response.points.size(), 1u);
+    const core::DsePoint &point = response.points[0];
+
+    // Rebuild the network and re-evaluate the decoded design: the
+    // response's metrics must be reproducible from its own design.
+    core::DseRequest request = service::decodeRequest(line);
+    nn::Network network = core::resolveNetwork(request);
+    auto metrics =
+        model::evaluateDesign(point.design, network, point.budget);
+    EXPECT_EQ(metrics.epochCycles, point.epochCycles);
+}
+
+TEST(DseService, UnixSocketServesABatch)
+{
+    std::string path = util::strprintf("/tmp/mclp_test_%d.sock",
+                                       static_cast<int>(::getpid()));
+    service::DseService dse{service::ServiceOptions{}};
+    std::thread server(
+        [&] { EXPECT_EQ(dse.serveSocket(path, 1), 0); });
+
+    // Wait for the listener, then run one batch over the socket.
+    int fd = -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    for (int attempt = 0; attempt < 200; ++attempt) {
+        fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) == 0)
+            break;
+        ::close(fd);
+        fd = -1;
+        ::usleep(10000);
+    }
+    ASSERT_GE(fd, 0) << "could not connect to " << path;
+
+    std::string batch = "dse id=u1 net=alexnet budgets=500\n"
+                        "dse id=u2 net=alexnet budgets=500 "
+                        "mode=single\n";
+    ASSERT_EQ(::write(fd, batch.data(), batch.size()),
+              static_cast<ssize_t>(batch.size()));
+    ::shutdown(fd, SHUT_WR);
+
+    std::string reply;
+    char buffer[4096];
+    ssize_t got;
+    while ((got = ::read(fd, buffer, sizeof(buffer))) > 0)
+        reply.append(buffer, static_cast<size_t>(got));
+    ::close(fd);
+    server.join();
+
+    std::vector<std::string> lines = util::split(reply, '\n');
+    ASSERT_GE(lines.size(), 2u);
+    EXPECT_EQ(lines[0],
+              coldReference("dse id=u1 net=alexnet budgets=500"));
+    EXPECT_EQ(lines[1], coldReference("dse id=u2 net=alexnet "
+                                      "budgets=500 mode=single"));
+}
+
+} // namespace
+} // namespace mclp

@@ -2,18 +2,25 @@
  * @file
  * dse-sweep — budget-sweep front end to the warm DSE session layer.
  *
- * Optimizes one network for a ladder of DSP budgets through a single
- * core::DseSession, so the shape frontiers, tiling options, and
- * memory tradeoff curves are built once and every budget is answered
- * by truncation. Results are bit-identical to independent cold
- * mclp-opt runs per budget, which --compare-cold verifies in-process
- * (and times, reporting the warm-session speedup).
+ * A thin client of the DSE plan layer: flags build a core::DseRequest
+ * ladder, service::answerRequest() executes it through a local
+ * one-session registry (shape frontiers, tiling options, and memory
+ * tradeoff curves built once; every budget answered by truncation),
+ * and this file renders. Results are bit-identical to independent
+ * cold mclp-opt runs per budget, which --compare-cold verifies
+ * in-process (and times, reporting the warm-session speedup).
+ *
+ * --adjacent additionally optimizes every rung under the Section-4.1
+ * adjacent-layers schedule and prints the latency/throughput tradeoff
+ * next to the throughput designs: latency drops from numLayers to
+ * numClps epochs, at a possible cost in img/s.
  *
  * Examples:
  *   dse-sweep --network alexnet --sweep 500:4000:500
  *   dse-sweep --network alexnet --budgets 2240,2880,9600 --single
  *   dse-sweep --network squeezenet --device 690t --budgets 1000,2880 \
  *             --max-clps 6 --compare-cold
+ *   dse-sweep --network alexnet --budgets 500,1000,2880 --adjacent
  */
 
 #include <chrono>
@@ -22,11 +29,12 @@
 #include <string>
 #include <vector>
 
+#include "core/dse_request.h"
 #include "core/dse_session.h"
-#include "model/bram_model.h"
-#include "model/dsp_model.h"
+#include "core/session_registry.h"
 #include "nn/parser.h"
 #include "nn/zoo.h"
+#include "service/dse_service.h"
 #include "util/csv.h"
 #include "util/string_utils.h"
 #include "util/table.h"
@@ -64,6 +72,9 @@ printUsage()
         "  --bandwidth-gbps X   off-chip bandwidth cap per budget\n"
         "  --max-clps N         CLP limit (default 6)\n"
         "  --single             Single-CLP baseline designs\n"
+        "  --adjacent           also optimize the adjacent-layers\n"
+        "                       (low-latency) schedule per rung and\n"
+        "                       print the latency/throughput tradeoff\n"
         "  --threads N          sweep worker threads (0 = all cores;\n"
         "                       default 1; never changes results)\n"
         "  --csv FILE           write the full series to FILE\n"
@@ -75,16 +86,8 @@ printUsage()
 
 struct Options
 {
-    std::string network = "alexnet";
-    std::optional<std::string> layersFile;
-    std::vector<int64_t> dspBudgets;
-    std::optional<std::string> device;
-    std::string type = "float";
-    double mhz = 100.0;
-    double bandwidthGbps = 0.0;
-    int maxClps = 6;
-    bool single = false;
-    int threads = 1;
+    core::DseRequest request;
+    bool adjacent = false;
     std::optional<std::string> csvFile;
     bool compareCold = false;
 };
@@ -93,6 +96,7 @@ std::optional<Options>
 parseArgs(int argc, char **argv)
 {
     Options opts;
+    core::DseRequest &request = opts.request;
     auto need_value = [&](int &i, const char *flag) -> const char * {
         if (i + 1 >= argc)
             util::fatal("%s needs a value", flag);
@@ -104,27 +108,33 @@ parseArgs(int argc, char **argv)
             printUsage();
             return std::nullopt;
         } else if (arg == "--network") {
-            opts.network = need_value(i, "--network");
+            request.network = need_value(i, "--network");
         } else if (arg == "--layers") {
-            opts.layersFile = need_value(i, "--layers");
+            nn::Network parsed =
+                nn::parseNetworkFile(need_value(i, "--layers"));
+            request.network = parsed.name();
+            request.layers = parsed.layers();
         } else if (arg == "--budgets" || arg == "--sweep") {
-            opts.dspBudgets =
+            request.dspBudgets =
                 core::parseDspLadderSpec(need_value(i, arg.c_str()));
         } else if (arg == "--device") {
-            opts.device = need_value(i, "--device");
+            request.device = need_value(i, "--device");
         } else if (arg == "--type") {
-            opts.type = need_value(i, "--type");
+            request.type =
+                fpga::dataTypeByName(need_value(i, "--type"));
         } else if (arg == "--mhz") {
-            opts.mhz = std::atof(need_value(i, "--mhz"));
+            request.mhz = std::atof(need_value(i, "--mhz"));
         } else if (arg == "--bandwidth-gbps") {
-            opts.bandwidthGbps =
+            request.bandwidthGbps =
                 std::atof(need_value(i, "--bandwidth-gbps"));
         } else if (arg == "--max-clps") {
-            opts.maxClps = std::atoi(need_value(i, "--max-clps"));
+            request.maxClps = std::atoi(need_value(i, "--max-clps"));
         } else if (arg == "--single") {
-            opts.single = true;
+            request.mode = core::DseMode::SingleClp;
+        } else if (arg == "--adjacent") {
+            opts.adjacent = true;
         } else if (arg == "--threads") {
-            opts.threads = std::atoi(need_value(i, "--threads"));
+            request.threads = std::atoi(need_value(i, "--threads"));
         } else if (arg == "--csv") {
             opts.csvFile = need_value(i, "--csv");
         } else if (arg == "--compare-cold") {
@@ -134,113 +144,188 @@ parseArgs(int argc, char **argv)
                         arg.c_str());
         }
     }
-    if (opts.dspBudgets.empty())
+    if (request.dspBudgets.empty())
         util::fatal("one of --budgets or --sweep is required "
                     "(try --help)");
+    if (opts.adjacent && request.mode == core::DseMode::SingleClp)
+        util::fatal("--adjacent studies Multi-CLP schedules; drop "
+                    "--single");
     return opts;
+}
+
+double
+imgPerSec(const core::DsePoint &point, double mhz)
+{
+    return mhz * 1e6 / static_cast<double>(point.epochCycles);
+}
+
+/** Run the request cold (per-rung MultiClpOptimizer), for parity. */
+size_t
+compareCold(const core::DseRequest &request,
+            const core::DseResponse &warm)
+{
+    nn::Network network = core::resolveNetwork(request);
+    std::vector<fpga::ResourceBudget> budgets =
+        core::requestBudgets(request);
+    core::OptimizerOptions options = core::requestOptions(request);
+    size_t mismatches = 0;
+    for (size_t i = 0; i < budgets.size(); ++i) {
+        auto cold = core::MultiClpOptimizer(network, request.type,
+                                            budgets[i], options)
+                        .run();
+        auto cold_design =
+            core::canonicalizeSchedule(cold.design, network);
+        if (!(cold_design == warm.points[i].design) ||
+            cold.metrics.epochCycles != warm.points[i].epochCycles) {
+            ++mismatches;
+            std::fprintf(stderr,
+                         "PARITY MISMATCH (%s) at %lld DSP slices\n",
+                         core::dseModeName(request.mode).c_str(),
+                         static_cast<long long>(
+                             budgets[i].dspSlices));
+        }
+    }
+    return mismatches;
 }
 
 int
 runTool(const Options &opts)
 {
-    nn::Network network = opts.layersFile
-                              ? nn::parseNetworkFile(*opts.layersFile)
-                              : nn::networkByName(opts.network);
-    fpga::DataType type = fpga::dataTypeByName(opts.type);
-
-    std::optional<fpga::ResourceBudget> base;
-    if (opts.device) {
-        base = fpga::standardBudget(fpga::deviceByName(*opts.device),
-                                    opts.mhz);
-    }
-    std::vector<fpga::ResourceBudget> budgets = core::dspLadder(
-        opts.dspBudgets, opts.mhz, 1.3, base ? &*base : nullptr);
-    if (opts.bandwidthGbps > 0.0) {
-        for (fpga::ResourceBudget &budget : budgets)
-            budget.setBandwidthGbps(opts.bandwidthGbps);
-    }
-
-    core::OptimizerOptions options;
-    options.singleClp = opts.single;
-    options.maxClps = opts.maxClps;
+    const core::DseRequest &request = opts.request;
+    nn::Network network = core::resolveNetwork(request);
+    std::vector<fpga::ResourceBudget> budgets =
+        core::requestBudgets(request);
 
     std::printf("network: %s (%zu conv layers), %s, %s, %.0f MHz\n",
                 network.name().c_str(), network.numLayers(),
-                fpga::dataTypeName(type).c_str(),
-                opts.single
+                fpga::dataTypeName(request.type).c_str(),
+                request.mode == core::DseMode::SingleClp
                     ? "Single-CLP"
-                    : util::strprintf("Multi-CLP (<=%d)", opts.maxClps)
+                    : util::strprintf("Multi-CLP (<=%d)",
+                                      request.maxClps)
                           .c_str(),
-                opts.mhz);
-    std::printf("sweep:   %zu DSP budgets, %s BRAM context%s\n\n",
+                request.mhz);
+    std::printf("sweep:   %zu DSP budgets, %s BRAM context%s%s\n\n",
                 budgets.size(),
-                opts.device ? opts.device->c_str() : "DSP/1.3",
+                !request.device.empty() ? request.device.c_str()
+                                        : "DSP/1.3",
                 budgets.front().bandwidthLimited()
                     ? util::strprintf(", %.1f GB/s cap",
                                       budgets.front().bandwidthGbps())
                           .c_str()
-                    : "");
+                    : "",
+                opts.adjacent ? ", + adjacent-layers ladder" : "");
 
-    core::DseSession session(network, type, opts.threads);
+    // Both ladders (and --compare-cold reruns) share one registry
+    // session: one frontier build for the whole tool invocation.
+    core::SessionRegistry registry(1, 0, request.threads);
     auto warm_start = std::chrono::steady_clock::now();
-    std::vector<core::OptimizationResult> results =
-        session.sweep(budgets, options);
+    core::DseResponse response =
+        service::answerRequest(request, &registry);
+    if (!response.ok)
+        util::fatal("%s", response.error.c_str());
+
+    core::DseRequest latency_request = request;
+    core::DseResponse latency_response;
+    if (opts.adjacent) {
+        latency_request.mode = core::DseMode::Latency;
+        latency_response =
+            service::answerRequest(latency_request, &registry);
+        if (!latency_response.ok)
+            util::fatal("%s", latency_response.error.c_str());
+    }
     double warm_ms = msSince(warm_start);
 
     util::TextTable table({"DSP budget", "BRAM", "CLPs", "epoch (kcyc)",
                            "img/s", "DSP used", "BRAM used"});
     table.setTitle("warm DseSession sweep");
-    util::CsvWriter csv({"dsp", "bram", "clps", "epoch_cycles", "img_s",
-                         "dsp_used", "bram_used"});
-    for (size_t i = 0; i < budgets.size(); ++i) {
-        const auto &result = results[i];
-        int64_t dsp_used = model::designDsp(result.design);
-        int64_t bram_used = model::designBram(result.design, network);
-        table.addRow({util::withCommas(budgets[i].dspSlices),
-                      util::withCommas(budgets[i].bram18k),
-                      std::to_string(result.design.clps.size()),
-                      util::withCommas(
-                          (result.metrics.epochCycles + 500) / 1000),
-                      util::strprintf(
-                          "%.1f", result.metrics.imagesPerSec(opts.mhz)),
-                      util::withCommas(dsp_used),
-                      util::withCommas(bram_used)});
-        csv.addRow({std::to_string(budgets[i].dspSlices),
-                    std::to_string(budgets[i].bram18k),
-                    std::to_string(result.design.clps.size()),
-                    std::to_string(result.metrics.epochCycles),
-                    util::strprintf(
-                        "%.2f", result.metrics.imagesPerSec(opts.mhz)),
-                    std::to_string(dsp_used),
-                    std::to_string(bram_used)});
+    std::vector<std::string> csv_columns{
+        "dsp", "bram", "clps", "epoch_cycles", "img_s", "dsp_used",
+        "bram_used"};
+    if (opts.adjacent)
+        csv_columns.insert(csv_columns.begin(), "mode");
+    util::CsvWriter csv(csv_columns);
+    auto csv_row = [&](const char *mode, const core::DsePoint &point) {
+        std::vector<std::string> row{
+            std::to_string(point.budget.dspSlices),
+            std::to_string(point.budget.bram18k),
+            std::to_string(point.design.clps.size()),
+            std::to_string(point.epochCycles),
+            util::strprintf("%.2f", imgPerSec(point, request.mhz)),
+            std::to_string(point.dspUsed),
+            std::to_string(point.bramUsed)};
+        if (opts.adjacent)
+            row.insert(row.begin(), mode);
+        csv.addRow(row);
+    };
+    for (const core::DsePoint &point : response.points) {
+        table.addRow({util::withCommas(point.budget.dspSlices),
+                      util::withCommas(point.budget.bram18k),
+                      std::to_string(point.design.clps.size()),
+                      util::withCommas((point.epochCycles + 500) / 1000),
+                      util::strprintf("%.1f",
+                                      imgPerSec(point, request.mhz)),
+                      util::withCommas(point.dspUsed),
+                      util::withCommas(point.bramUsed)});
+        csv_row("throughput", point);
     }
     std::printf("%s\n", table.render().c_str());
-    std::printf("warm session: %.1f ms for %zu budgets "
+
+    if (opts.adjacent) {
+        // Section 4.1: constraining CLPs to adjacent layers cuts
+        // latency (and in-flight images) from numLayers to numClps
+        // epochs, possibly costing throughput.
+        util::TextTable tradeoff(
+            {"DSP budget", "img/s tput", "img/s adj", "tput cost",
+             "latency tput", "latency adj", "in-flight adj"});
+        tradeoff.setTitle(
+            "latency/throughput tradeoff (adjacent-layers ladder)");
+        for (size_t i = 0; i < latency_response.points.size(); ++i) {
+            const core::DsePoint &tput = response.points[i];
+            const core::DsePoint &adj = latency_response.points[i];
+            double tput_imgs = imgPerSec(tput, request.mhz);
+            double adj_imgs = imgPerSec(adj, request.mhz);
+            tradeoff.addRow(
+                {util::withCommas(adj.budget.dspSlices),
+                 util::strprintf("%.1f", tput_imgs),
+                 util::strprintf("%.1f", adj_imgs),
+                 util::percent(1.0 - adj_imgs / tput_imgs),
+                 util::strprintf(
+                     "%lld ep (%.1f ms)",
+                     static_cast<long long>(
+                         tput.schedule.latencyEpochs),
+                     1e3 * tput.schedule.latencySeconds(
+                               tput.epochCycles, request.mhz)),
+                 util::strprintf(
+                     "%lld ep (%.1f ms)",
+                     static_cast<long long>(
+                         adj.schedule.latencyEpochs),
+                     1e3 * adj.schedule.latencySeconds(
+                               adj.epochCycles, request.mhz)),
+                 std::to_string(adj.schedule.imagesInFlight)});
+            csv_row("latency", adj);
+        }
+        std::printf("%s\n", tradeoff.render().c_str());
+    }
+
+    std::printf("warm session: %.1f ms for %zu budgets%s "
                 "(one frontier build for the whole ladder)\n",
-                warm_ms, budgets.size());
+                warm_ms,
+                budgets.size(),
+                opts.adjacent ? " x 2 schedules" : "");
 
     if (opts.compareCold) {
         auto cold_start = std::chrono::steady_clock::now();
-        size_t mismatches = 0;
-        for (size_t i = 0; i < budgets.size(); ++i) {
-            auto cold = core::MultiClpOptimizer(network, type,
-                                                budgets[i], options)
-                            .run();
-            if (!(cold.design == results[i].design) ||
-                cold.metrics.epochCycles !=
-                    results[i].metrics.epochCycles) {
-                ++mismatches;
-                std::fprintf(stderr,
-                             "PARITY MISMATCH at %lld DSP slices\n",
-                             static_cast<long long>(
-                                 budgets[i].dspSlices));
-            }
-        }
+        size_t mismatches = compareCold(request, response);
+        if (opts.adjacent)
+            mismatches +=
+                compareCold(latency_request, latency_response);
         double cold_ms = msSince(cold_start);
-        std::printf("cold runs:    %.1f ms for %zu budgets "
+        std::printf("cold runs:    %.1f ms for the same queries "
                     "(independent optimizations)\n",
-                    cold_ms, budgets.size());
-        std::printf("speedup:      %.1fx, designs %s\n", cold_ms / warm_ms,
+                    cold_ms);
+        std::printf("speedup:      %.1fx, designs %s\n",
+                    cold_ms / warm_ms,
                     mismatches == 0 ? "bit-identical"
                                     : "MISMATCHED (bug!)");
         if (mismatches != 0)
@@ -248,7 +333,8 @@ runTool(const Options &opts)
     }
 
     if (opts.csvFile && csv.writeFile(*opts.csvFile))
-        std::printf("full series written to %s\n", opts.csvFile->c_str());
+        std::printf("full series written to %s\n",
+                    opts.csvFile->c_str());
     return 0;
 }
 

@@ -2,12 +2,20 @@
  * @file
  * mclp-opt — the command-line front end to the Multi-CLP optimizer.
  *
+ * A thin client of the DSE plan layer: flags build a core::DseRequest,
+ * service::answerRequest() executes it (through a local one-session
+ * registry, so budget ladders stay warm), and this file only renders.
+ * mclp-serve runs the same answerRequest() on the same requests, which
+ * is why --response output (independent cold runs, wire-encoded) can
+ * be diffed byte for byte against server responses.
+ *
  * Examples:
  *   mclp-opt --network alexnet --device 690t
  *   mclp-opt --network squeezenet --type fixed --mhz 170 \
  *            --bandwidth-gbps 21.3 --max-clps 6 --sim
  *   mclp-opt --layers mynet.txt --device 485t --single
  *   mclp-opt --network alexnet --device 485t --hls-out out_dir
+ *   mclp-opt --network alexnet --device 690t --request-id a1 --response
  */
 
 #include <cstdio>
@@ -17,14 +25,17 @@
 #include <optional>
 #include <string>
 
+#include "core/dse_request.h"
 #include "core/dse_session.h"
-#include "core/optimizer.h"
 #include "core/schedule.h"
 #include "hlsgen/codegen.h"
 #include "model/bram_model.h"
 #include "model/dsp_model.h"
+#include "model/metrics.h"
 #include "nn/parser.h"
 #include "nn/zoo.h"
+#include "service/dse_codec.h"
+#include "service/dse_service.h"
 #include "sim/system.h"
 #include "util/string_utils.h"
 #include "util/table.h"
@@ -57,12 +68,16 @@ printUsage()
         "                       frontier; both give identical designs)\n"
         "  --single             Single-CLP baseline mode\n"
         "  --budgets A,B,C      optimize a ladder of DSP budgets\n"
-        "                       through one warm DseSession (device\n"
+        "                       through one warm session (device\n"
         "                       BRAM/bandwidth kept; designs identical\n"
         "                       to per-budget runs)\n"
         "  --sweep LO:HI:STEP   like --budgets, arithmetic ladder\n"
         "  --adjacent           adjacent-layers (low-latency) "
         "schedule\n"
+        "  --request-id ID      id echoed in --response output\n"
+        "  --response           print the wire-encoded DseResponse of\n"
+        "                       independent cold runs (the mclp-serve\n"
+        "                       parity reference) instead of tables\n"
         "  --sim                run the cycle-level epoch simulation\n"
         "  --hls-out DIR        emit HLS template sources into DIR\n"
         "  --help               this text\n");
@@ -70,18 +85,9 @@ printUsage()
 
 struct Options
 {
-    std::string network = "alexnet";
+    core::DseRequest request;
     std::optional<std::string> layersFile;
-    std::string device = "690t";
-    std::string type = "float";
-    double mhz = 100.0;
-    double bandwidthGbps = 0.0;
-    int maxClps = 6;
-    int threads = 0;
-    std::string engine = "frontier";
-    std::vector<int64_t> sweepBudgets;
-    bool single = false;
-    bool adjacent = false;
+    bool response = false;
     bool sim = false;
     std::optional<std::string> hlsOut;
 };
@@ -90,43 +96,58 @@ std::optional<Options>
 parseArgs(int argc, char **argv)
 {
     Options opts;
+    core::DseRequest &request = opts.request;
+    request.device = "690t";
+    request.threads = 0;
     auto need_value = [&](int &i, const char *flag) -> const char * {
         if (i + 1 >= argc)
             util::fatal("%s needs a value", flag);
         return argv[++i];
     };
+    bool single = false;
+    bool adjacent = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
             printUsage();
             return std::nullopt;
         } else if (arg == "--network") {
-            opts.network = need_value(i, "--network");
+            request.network = need_value(i, "--network");
         } else if (arg == "--layers") {
             opts.layersFile = need_value(i, "--layers");
         } else if (arg == "--device") {
-            opts.device = need_value(i, "--device");
+            request.device = need_value(i, "--device");
         } else if (arg == "--type") {
-            opts.type = need_value(i, "--type");
+            request.type =
+                fpga::dataTypeByName(need_value(i, "--type"));
         } else if (arg == "--mhz") {
-            opts.mhz = std::atof(need_value(i, "--mhz"));
+            request.mhz = std::atof(need_value(i, "--mhz"));
         } else if (arg == "--bandwidth-gbps") {
-            opts.bandwidthGbps =
+            request.bandwidthGbps =
                 std::atof(need_value(i, "--bandwidth-gbps"));
         } else if (arg == "--max-clps") {
-            opts.maxClps = std::atoi(need_value(i, "--max-clps"));
+            request.maxClps = std::atoi(need_value(i, "--max-clps"));
         } else if (arg == "--threads") {
-            opts.threads = std::atoi(need_value(i, "--threads"));
+            request.threads = std::atoi(need_value(i, "--threads"));
         } else if (arg == "--engine") {
-            opts.engine = need_value(i, "--engine");
+            std::string engine = need_value(i, "--engine");
+            if (engine == "reference")
+                request.referenceEngine = true;
+            else if (engine != "frontier")
+                util::fatal("unknown engine '%s' (frontier | "
+                            "reference)", engine.c_str());
         } else if (arg == "--budgets" || arg == "--sweep") {
             // Last flag wins, like every other option.
-            opts.sweepBudgets =
+            request.dspBudgets =
                 core::parseDspLadderSpec(need_value(i, arg.c_str()));
         } else if (arg == "--single") {
-            opts.single = true;
+            single = true;
         } else if (arg == "--adjacent") {
-            opts.adjacent = true;
+            adjacent = true;
+        } else if (arg == "--request-id") {
+            request.id = need_value(i, "--request-id");
+        } else if (arg == "--response") {
+            opts.response = true;
         } else if (arg == "--sim") {
             opts.sim = true;
         } else if (arg == "--hls-out") {
@@ -136,110 +157,120 @@ parseArgs(int argc, char **argv)
                         arg.c_str());
         }
     }
+    if (single && adjacent)
+        util::fatal("--single and --adjacent are mutually exclusive: "
+                    "the adjacent-layers study (Section 4.1) concerns "
+                    "Multi-CLP schedules");
+    if (single)
+        request.mode = core::DseMode::SingleClp;
+    else if (adjacent)
+        request.mode = core::DseMode::Latency;
+    if (opts.layersFile) {
+        nn::Network parsed = nn::parseNetworkFile(*opts.layersFile);
+        request.network = parsed.name();
+        request.layers = parsed.layers();
+    }
     return opts;
 }
 
 int
 runTool(const Options &opts)
 {
-    nn::Network network = opts.layersFile
-                              ? nn::parseNetworkFile(*opts.layersFile)
-                              : nn::networkByName(opts.network);
-    fpga::DataType type = fpga::dataTypeByName(opts.type);
-    fpga::Device device = fpga::deviceByName(opts.device);
-    fpga::ResourceBudget budget =
-        fpga::standardBudget(device, opts.mhz);
-    if (opts.bandwidthGbps > 0.0)
-        budget.setBandwidthGbps(opts.bandwidthGbps);
+    const core::DseRequest &request = opts.request;
+    nn::Network network = core::resolveNetwork(request);
+    fpga::Device device = fpga::deviceByName(request.device);
 
+    if (opts.response) {
+        // The parity reference: independent cold runs, wire form.
+        core::DseResponse response =
+            service::answerRequest(request, nullptr);
+        std::printf("%s\n", service::encodeResponse(response).c_str());
+        return response.ok ? 0 : 1;
+    }
+
+    std::vector<fpga::ResourceBudget> budgets =
+        core::requestBudgets(request);
     std::printf("network: %s (%zu conv layers, %.2f GFlop/image)\n",
                 network.name().c_str(), network.numLayers(),
                 static_cast<double>(network.totalFlops()) / 1e9);
     std::printf("target:  %s, %s, %.0f MHz, %lld DSP / %lld BRAM-18K "
                 "budget%s\n\n",
-                device.name.c_str(), fpga::dataTypeName(type).c_str(),
-                opts.mhz, static_cast<long long>(budget.dspSlices),
-                static_cast<long long>(budget.bram18k),
-                budget.bandwidthLimited()
+                device.name.c_str(),
+                fpga::dataTypeName(request.type).c_str(), request.mhz,
+                static_cast<long long>(budgets.back().dspSlices),
+                static_cast<long long>(budgets.back().bram18k),
+                budgets.back().bandwidthLimited()
                     ? util::strprintf(", %.1f GB/s",
-                                      budget.bandwidthGbps())
+                                      budgets.back().bandwidthGbps())
                           .c_str()
                     : "");
 
-    core::OptimizerOptions options;
-    options.singleClp = opts.single;
-    options.adjacentLayers = opts.adjacent;
-    options.maxClps = opts.maxClps;
-    options.threads = opts.threads;
-    if (opts.engine == "reference")
-        options.engine = core::OptimizerEngine::Reference;
-    else if (opts.engine != "frontier")
-        util::fatal("unknown engine '%s' (frontier | reference)",
-                    opts.engine.c_str());
+    if (!request.dspBudgets.empty() && (opts.sim || opts.hlsOut))
+        util::fatal("--sim/--hls-out need a single design; drop "
+                    "--budgets/--sweep or run the chosen budget "
+                    "alone");
 
-    if (!opts.sweepBudgets.empty()) {
-        // Ladder mode: one warm DseSession answers every DSP budget
-        // from a single frontier build; the device's BRAM and
-        // bandwidth context applies to every rung.
-        if (opts.sim || opts.hlsOut)
-            util::fatal("--sim/--hls-out need a single design; drop "
-                        "--budgets/--sweep or run the chosen budget "
-                        "alone");
-        std::vector<fpga::ResourceBudget> budgets = core::dspLadder(
-            opts.sweepBudgets, opts.mhz, 1.3, &budget);
-        core::DseSession session(network, type, opts.threads);
-        auto results = session.sweep(budgets, options);
+    // One-session registry: single runs behave like a cold optimizer,
+    // ladders reuse one frontier build across every rung.
+    core::SessionRegistry registry(1, 0, request.threads);
+    core::DseResponse response =
+        service::answerRequest(request, &registry);
+    if (!response.ok) {
+        std::fprintf(stderr, "mclp-opt: %s\n", response.error.c_str());
+        return 1;
+    }
+
+    if (!request.dspBudgets.empty()) {
+        // Ladder mode: one row per rung.
         util::TextTable table({"DSP budget", "CLPs", "epoch (kcyc)",
                                "img/s", "DSP used", "BRAM used"});
         table.setTitle(util::strprintf(
-            "%s on %s BRAM/bandwidth context, warm DseSession sweep",
+            "%s on %s BRAM/bandwidth context, warm session sweep",
             network.name().c_str(), device.name.c_str()));
-        for (size_t i = 0; i < budgets.size(); ++i) {
-            const auto &result = results[i];
+        for (const core::DsePoint &point : response.points) {
             table.addRow(
-                {util::withCommas(budgets[i].dspSlices),
-                 std::to_string(result.design.clps.size()),
-                 util::withCommas(
-                     (result.metrics.epochCycles + 500) / 1000),
-                 util::strprintf(
-                     "%.1f", result.metrics.imagesPerSec(opts.mhz)),
-                 util::withCommas(model::designDsp(result.design)),
-                 util::withCommas(
-                     model::designBram(result.design, network))});
+                {util::withCommas(point.budget.dspSlices),
+                 std::to_string(point.design.clps.size()),
+                 util::withCommas((point.epochCycles + 500) / 1000),
+                 util::strprintf("%.1f",
+                                 request.mhz * 1e6 /
+                                     static_cast<double>(
+                                         point.epochCycles)),
+                 util::withCommas(point.dspUsed),
+                 util::withCommas(point.bramUsed)});
         }
         std::printf("%s\n", table.render().c_str());
         return 0;
     }
 
-    auto result =
-        core::MultiClpOptimizer(network, type, budget, options).run();
-    auto design = core::canonicalizeSchedule(result.design, network);
+    const core::DsePoint &point = response.points.front();
+    const model::MultiClpDesign &design = point.design;
+    auto metrics =
+        model::evaluateDesign(design, network, point.budget);
 
     std::printf("%s\n", design.toString(network).c_str());
     std::printf("epoch:        %s cycles (%.2f img/s)\n",
-                util::withCommas(result.metrics.epochCycles).c_str(),
-                result.metrics.imagesPerSec(opts.mhz));
+                util::withCommas(metrics.epochCycles).c_str(),
+                metrics.imagesPerSec(request.mhz));
     std::printf("utilization:  %s\n",
-                util::percent(result.metrics.utilization).c_str());
+                util::percent(metrics.utilization).c_str());
     std::printf("DSP slices:   %s of %s\n",
-                util::withCommas(model::designDsp(design)).c_str(),
-                util::withCommas(budget.dspSlices).c_str());
+                util::withCommas(point.dspUsed).c_str(),
+                util::withCommas(point.budget.dspSlices).c_str());
     std::printf("BRAM-18K:     %s of %s\n",
-                util::withCommas(
-                    model::designBram(design, network))
-                    .c_str(),
-                util::withCommas(budget.bram18k).c_str());
-    auto info = core::analyzeSchedule(design, network);
+                util::withCommas(point.bramUsed).c_str(),
+                util::withCommas(point.budget.bram18k).c_str());
     std::printf("schedule:     %s; latency %lld epochs (%.1f ms), "
                 "%lld images in flight\n",
-                info.adjacentLayers ? "adjacent-layers" : "pipelined",
-                static_cast<long long>(info.latencyEpochs),
-                1e3 * info.latencySeconds(result.metrics.epochCycles,
-                                          opts.mhz),
-                static_cast<long long>(info.imagesInFlight));
+                point.schedule.adjacentLayers ? "adjacent-layers"
+                                              : "pipelined",
+                static_cast<long long>(point.schedule.latencyEpochs),
+                1e3 * point.schedule.latencySeconds(
+                          metrics.epochCycles, request.mhz),
+                static_cast<long long>(point.schedule.imagesInFlight));
 
     if (opts.sim) {
-        sim::MultiClpSystem system(design, network, budget);
+        sim::MultiClpSystem system(design, network, point.budget);
         auto sim_result = system.simulateEpoch();
         std::printf("\ncycle-level simulation: epoch %s cycles, "
                     "utilization %s, avg bandwidth %.2f GB/s\n",
@@ -247,8 +278,8 @@ runTool(const Options &opts)
                                          sim_result.epochCycles))
                         .c_str(),
                     util::percent(sim_result.utilization).c_str(),
-                    sim_result.avgBandwidthBytesPerCycle() * opts.mhz *
-                        1e6 / 1e9);
+                    sim_result.avgBandwidthBytesPerCycle() *
+                        request.mhz * 1e6 / 1e9);
         for (size_t ci = 0; ci < sim_result.clps.size(); ++ci) {
             std::printf("  CLP%zu: finish %s, stalls %s cycles\n", ci,
                         util::withCommas(static_cast<int64_t>(

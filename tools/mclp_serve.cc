@@ -1,0 +1,126 @@
+/**
+ * @file
+ * mclp-serve — the batch DSE service front end: one long-lived
+ * process, many networks, shared frontiers.
+ *
+ * Reads DseRequest lines (see src/service/dse_codec.h) from stdin or
+ * a Unix stream socket, answers them in input order through a warm
+ * SessionRegistry, and prints one response line per request.
+ * Responses are bit-identical to cold mclp-opt runs of the same
+ * requests (mclp-opt --response emits the same wire form, which CI
+ * diffs against).
+ *
+ * Examples:
+ *   printf 'dse id=a net=alexnet device=690t\n' | mclp-serve
+ *   mclp-serve --socket /tmp/mclp.sock --accept 4
+ *   mclp-serve --threads 8 --max-sessions 16 --max-bytes-mb 256
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "service/dse_service.h"
+#include "util/logging.h"
+
+using namespace mclp;
+
+namespace {
+
+void
+printUsage()
+{
+    std::printf(
+        "mclp-serve: batch DSE service over stdin/stdout or a Unix "
+        "socket\n\n"
+        "usage: mclp-serve [options]\n"
+        "  --socket PATH        listen on a Unix stream socket instead\n"
+        "                       of stdin/stdout (one batch per\n"
+        "                       connection)\n"
+        "  --accept N           exit after N connections (socket mode;\n"
+        "                       default: serve until a 'shutdown' line)\n"
+        "  --threads N          request fan-out threads (0 = all\n"
+        "                       cores; default 1; never changes\n"
+        "                       responses)\n"
+        "  --max-sessions N     warm-session LRU capacity (default 8)\n"
+        "  --max-bytes-mb N     evict sessions beyond a rough resident\n"
+        "                       byte budget (default: unlimited)\n"
+        "  --cold               bypass the registry; every request\n"
+        "                       runs cold (parity baseline)\n"
+        "  --help               this text\n\n"
+        "protocol: one request per line --\n"
+        "  dse id=ID net=NAME [device=D] [type=float|fixed] [mhz=F]\n"
+        "      [bw=GBPS] [maxclps=N] [mode=throughput|latency|single]\n"
+        "      [budgets=A,B,C] [layers=name:n:m:r:c:k:s;...]\n"
+        "  stats      registry / frontier-row-store counters\n"
+        "  shutdown   stop the server after this batch\n");
+}
+
+struct Options
+{
+    std::optional<std::string> socketPath;
+    int accept = -1;
+    service::ServiceOptions service;
+};
+
+std::optional<Options>
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    auto need_value = [&](int &i, const char *flag) -> const char * {
+        if (i + 1 >= argc)
+            util::fatal("%s needs a value", flag);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            printUsage();
+            return std::nullopt;
+        } else if (arg == "--socket") {
+            opts.socketPath = need_value(i, "--socket");
+        } else if (arg == "--accept") {
+            opts.accept = std::atoi(need_value(i, "--accept"));
+        } else if (arg == "--threads") {
+            opts.service.threads =
+                std::atoi(need_value(i, "--threads"));
+        } else if (arg == "--max-sessions") {
+            opts.service.maxSessions = static_cast<size_t>(
+                std::atoll(need_value(i, "--max-sessions")));
+        } else if (arg == "--max-bytes-mb") {
+            opts.service.maxBytes =
+                static_cast<size_t>(
+                    std::atoll(need_value(i, "--max-bytes-mb"))) *
+                1024 * 1024;
+        } else if (arg == "--cold") {
+            opts.service.cold = true;
+        } else {
+            util::fatal("unknown option '%s' (try --help)",
+                        arg.c_str());
+        }
+    }
+    return opts;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        auto opts = parseArgs(argc, argv);
+        if (!opts)
+            return 0;
+        service::DseService service(opts->service);
+        if (opts->socketPath)
+            return service.serveSocket(*opts->socketPath,
+                                       opts->accept);
+        service.serveStream(std::cin, std::cout);
+        return 0;
+    } catch (const util::FatalError &err) {
+        std::fprintf(stderr, "mclp-serve: %s\n", err.what());
+        return 1;
+    }
+}
