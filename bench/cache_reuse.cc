@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Persistent-cache benchmark: the three warmth tiers of the DSE
+ * engine, measured on one mixed request set.
+ *
+ *   cold          nothing shared: every request through a fresh
+ *                 registry with no cache directory (what any single
+ *                 pre-PR-4 CLI invocation cost).
+ *   process-warm  the same registry answers the set a second time
+ *                 (PR 2/3 behaviour: sessions + row store resident).
+ *   disk-warm     a *fresh* process image — new FrontierCache, new
+ *                 registry, new sessions — on a populated cache
+ *                 directory, so all reuse comes from disk.
+ *
+ * All three tiers must produce byte-identical responses (the exit
+ * code enforces it); the timings land in BENCH_optimizer.json under
+ * "cache".
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/frontier_cache.h"
+#include "core/session_registry.h"
+#include "service/dse_codec.h"
+#include "service/dse_service.h"
+#include "util/string_utils.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace mclp;
+
+std::vector<std::string>
+requestSet()
+{
+    // The service_batch mix minus GoogLeNet's 57-layer rung twice
+    // over: ladders on two networks plus a latency-mode ladder keeps
+    // the populate pass around a quarter second while still touching
+    // frontier rows, tiling options, and walk traces.
+    return {
+        "dse id=a690 net=alexnet device=690t budgets=500,1000,2240,2880",
+        "dse id=s690 net=squeezenet device=690t type=fixed mhz=170 "
+        "budgets=1000,2000,2880",
+        "dse id=alat net=alexnet budgets=500,2880 mode=latency",
+        "dse id=g690 net=googlenet device=690t budgets=2880",
+    };
+}
+
+std::vector<std::string>
+answerAll(core::SessionRegistry &registry,
+          const std::vector<std::string> &lines)
+{
+    std::vector<std::string> responses;
+    responses.reserve(lines.size());
+    for (const std::string &line : lines) {
+        responses.push_back(service::encodeResponse(
+            service::answerRequest(service::decodeRequest(line),
+                                   &registry)));
+    }
+    return responses;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printBenchHeader(
+        "Persistent frontier cache: cold vs process-warm vs disk-warm",
+        "ROADMAP 'persist warm state' (PR 4)");
+
+    namespace fs = std::filesystem;
+    fs::path dir = fs::temp_directory_path() / "mclp_cache_reuse_bench";
+    fs::remove_all(dir);
+
+    std::vector<std::string> lines = requestSet();
+
+    // Tier 1: cold (no cache directory, fresh registry).
+    auto cold_start = std::chrono::steady_clock::now();
+    std::vector<std::string> cold;
+    {
+        core::SessionRegistry registry(8, 0, 1);
+        cold = answerAll(registry, lines);
+    }
+    double cold_ms = bench::msSince(cold_start);
+
+    // Populate the cache directory (timed: cold work + flush cost).
+    auto populate_start = std::chrono::steady_clock::now();
+    std::vector<std::string> populate;
+    std::vector<std::string> process_warm;
+    double process_warm_ms;
+    {
+        auto cache =
+            std::make_shared<core::FrontierCache>(dir.string());
+        core::SessionRegistry registry(8, 0, 1, cache);
+        populate = answerAll(registry, lines);
+        // Tier 2: process-warm (same registry, second pass).
+        auto warm_start = std::chrono::steady_clock::now();
+        process_warm = answerAll(registry, lines);
+        process_warm_ms = bench::msSince(warm_start);
+    }
+    double populate_ms =
+        bench::msSince(populate_start) - process_warm_ms;
+
+    // Tier 3: disk-warm (fresh cache + registry on the populated
+    // directory — only the files survive from the passes above).
+    auto disk_start = std::chrono::steady_clock::now();
+    std::vector<std::string> disk_warm;
+    core::FrontierCache::Stats disk_stats;
+    {
+        auto cache =
+            std::make_shared<core::FrontierCache>(dir.string());
+        core::SessionRegistry registry(8, 0, 1, cache);
+        disk_warm = answerAll(registry, lines);
+        disk_stats = cache->stats();
+    }
+    double disk_ms = bench::msSince(disk_start);
+    fs::remove_all(dir);
+
+    size_t mismatched = 0;
+    for (size_t i = 0; i < lines.size(); ++i) {
+        if (cold[i] != populate[i] || cold[i] != process_warm[i] ||
+            cold[i] != disk_warm[i])
+            ++mismatched;
+    }
+
+    util::TextTable table(
+        {"tier", "wallclock (ms)", "vs cold", "reuse source"});
+    table.setTitle("4 mixed requests (AlexNet / SqueezeNet / "
+                   "latency ladders + GoogLeNet rung)");
+    auto speedup = [&](double ms) {
+        return util::strprintf("%.1fx", cold_ms / ms);
+    };
+    table.addRow({"cold", util::strprintf("%.1f", cold_ms), "1.0x",
+                  "none"});
+    table.addRow({"populate (+flush)",
+                  util::strprintf("%.1f", populate_ms),
+                  speedup(populate_ms), "none; writes cache dir"});
+    table.addRow({"process-warm",
+                  util::strprintf("%.1f", process_warm_ms),
+                  speedup(process_warm_ms),
+                  "resident sessions (PR 3)"});
+    table.addRow({"disk-warm", util::strprintf("%.1f", disk_ms),
+                  speedup(disk_ms), "cache dir only (PR 4)"});
+    table.addNote(util::strprintf(
+        "disk-warm loaded %zu rows / %zu traces, hit %zu / %zu; "
+        "responses %s",
+        disk_stats.rowsLoaded, disk_stats.tracesLoaded,
+        disk_stats.rowHits, disk_stats.traceHits,
+        mismatched == 0 ? "byte-identical across all tiers"
+                        : "MISMATCHED (bug!)"));
+    std::printf("%s\n", table.render().c_str());
+    return mismatched == 0 ? 0 : 1;
+}

@@ -11,11 +11,14 @@ namespace mclp {
 namespace core {
 
 DseCaches::DseCaches(const nn::Network &network, fpga::DataType type,
-                     std::shared_ptr<FrontierRowStore> store)
+                     std::shared_ptr<FrontierRowStore> store,
+                     std::shared_ptr<FrontierCache> cache)
     : network_(network), type_(type), store_(std::move(store)),
       tilings_(std::make_shared<TilingOptionCache>()),
       curves_(std::make_shared<TradeoffCurveCache>())
 {
+    if (cache)
+        curves_->attachCache(std::move(cache));
 }
 
 FrontierTable &
@@ -69,10 +72,12 @@ DseCaches::memoryBytes()
 
 DseSession::DseSession(const nn::Network &network, fpga::DataType type,
                        int threads,
-                       std::shared_ptr<FrontierRowStore> store)
+                       std::shared_ptr<FrontierRowStore> store,
+                       std::shared_ptr<FrontierCache> cache)
     : network_(network), type_(type),
       caches_(std::make_shared<DseCaches>(network, type,
-                                          std::move(store)))
+                                          std::move(store),
+                                          std::move(cache)))
 {
     if (threads < 0)
         util::fatal("DseSession: threads must be >= 0");

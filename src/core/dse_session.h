@@ -52,9 +52,14 @@ class DseCaches
      * @param store optional cross-network frontier-row pool; when
      * given, the session's FrontierTables share built rows through it
      * (a SessionRegistry passes one store to every session it owns).
+     * @param cache optional persistent frontier cache; when given,
+     * the session's tradeoff-curve cache seeds walk traces from disk
+     * and notes fresh ones for write-back (frontier rows go through
+     * @p store, which its owner attaches to the same cache).
      */
     DseCaches(const nn::Network &network, fpga::DataType type,
-              std::shared_ptr<FrontierRowStore> store = nullptr);
+              std::shared_ptr<FrontierRowStore> store = nullptr,
+              std::shared_ptr<FrontierCache> cache = nullptr);
 
     const std::shared_ptr<TilingOptionCache> &tilings() const
     {
@@ -123,10 +128,14 @@ class DseSession
      * concurrency, 1 = serial). Thread count never changes results.
      * @param store optional cross-network frontier-row pool shared
      * with other sessions (see DseCaches).
+     * @param cache optional persistent frontier cache shared with
+     * other sessions (see DseCaches); never changes results, only
+     * how warm a fresh process starts.
      */
     DseSession(const nn::Network &network, fpga::DataType type,
                int threads = 1,
-               std::shared_ptr<FrontierRowStore> store = nullptr);
+               std::shared_ptr<FrontierRowStore> store = nullptr,
+               std::shared_ptr<FrontierCache> cache = nullptr);
 
     /**
      * One warm optimization run: MultiClpOptimizer under @p options

@@ -1,0 +1,565 @@
+#include "core/frontier_cache.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <string_view>
+#include <utility>
+
+#include "model/bandwidth_model.h"
+#include "model/bram_model.h"
+#include "model/cycle_model.h"
+#include "model/dsp_model.h"
+#include "nn/conv_layer.h"
+#include "util/logging.h"
+#include "util/record_file.h"
+
+namespace mclp {
+namespace core {
+
+uint64_t
+modelFormulaFingerprint()
+{
+    // Hash probe *evaluations* of every analytical model a cached
+    // artifact bakes in: staircases bake the cycle and DSP models;
+    // walk traces bake the BRAM and bandwidth models (their caps and
+    // peaks come straight out of them). Changing any model constant
+    // changes some probe value, so stale caches self-invalidate; the
+    // probe set is fixed forever — extending it would itself
+    // invalidate every cache, which is exactly the safe failure mode.
+    static const uint64_t fingerprint = [] {
+        std::vector<int64_t> words;
+        auto put = [&](int64_t value) { words.push_back(value); };
+        auto putf = [&](double value) {
+            int64_t bits;
+            static_assert(sizeof(bits) == sizeof(value));
+            std::memcpy(&bits, &value, sizeof(bits));
+            words.push_back(bits);
+        };
+
+        nn::ConvLayer probe =
+            nn::makeConvLayer("fingerprint", 48, 128, 27, 27, 5, 1);
+        nn::ConvLayer strided =
+            nn::makeConvLayer("fingerprint-s", 3, 96, 55, 55, 11, 4);
+        model::ClpShape shape{7, 64};
+        model::Tiling tiling{13, 14};
+
+        for (fpga::DataType type :
+             {fpga::DataType::Float32, fpga::DataType::Fixed16}) {
+            put(fpga::dspPerMac(type));
+            put(fpga::wordBytes(type));
+            put(model::clpDsp(shape, type));
+            put(model::macBudget(2880, type));
+            put(model::effectiveBanks(7, type));
+            put(model::layerCyclesUnderBandwidth(probe, shape, tiling,
+                                                 type, 3.5));
+        }
+        put(model::layerCycles(probe, shape));
+        put(model::layerCycles(strided, shape));
+        putf(model::layerUtilization(probe, shape));
+        put(model::inputBankWords(probe, tiling));
+        put(model::inputBankWords(strided, tiling));
+        put(model::outputBankWords(tiling));
+        put(model::weightBankWords(probe));
+        for (int64_t w : {9LL, 10LL, 256LL, 257LL, 512LL, 513LL}) {
+            put(model::bramsPerBank(w, false));
+            put(model::bramsPerBank(w, true));
+        }
+        model::LayerTraffic traffic =
+            model::layerTraffic(probe, shape, tiling);
+        put(traffic.inputWords);
+        put(traffic.weightWords);
+        put(traffic.outputWords);
+        putf(model::layerPeakWordsPerCycle(probe, shape, tiling));
+        putf(model::layerPeakWordsPerCycle(strided, shape, tiling));
+
+        return static_cast<uint64_t>(
+            util::hashInt64Words(words.data(), words.size()));
+    }();
+    return fingerprint;
+}
+
+namespace {
+
+constexpr uint8_t kKindRow = 1;
+constexpr uint8_t kKindTrace = 2;
+
+/** Keys and payloads are capped to reject absurd corrupt lengths. */
+constexpr uint32_t kMaxKeyWords = 1 << 20;
+constexpr uint32_t kMaxListEntries = 1 << 24;
+
+std::string
+headerPayload(uint64_t fingerprint)
+{
+    util::ByteWriter out;
+    out.u64(kFrontierCacheMagic);
+    out.u32(kFrontierCacheFormatVersion);
+    out.u64(fingerprint);
+    return out.bytes();
+}
+
+// Staircases serialize/deserialize as flat i64 blocks (tn, tm, dsp,
+// cycles per point), so the hot load path is one bounds-checked
+// memcpy per row instead of four field reads per point.
+static_assert(sizeof(FrontierPoint) == 4 * sizeof(int64_t) &&
+              offsetof(FrontierPoint, dsp) == 2 * sizeof(int64_t) &&
+              offsetof(FrontierPoint, cycles) == 3 * sizeof(int64_t));
+
+bool
+readKey(util::ByteReader &in, std::vector<int64_t> &key)
+{
+    uint32_t count = 0;
+    if (!in.u32(count) || count == 0 || count > kMaxKeyWords)
+        return false;
+    key.resize(count);
+    return in.i64Words(key.data(), count);
+}
+
+void
+writeKey(util::ByteWriter &out, const std::vector<int64_t> &key)
+{
+    out.u32(static_cast<uint32_t>(key.size()));
+    out.i64Words(key.data(), key.size());
+}
+
+std::string
+encodeRow(const std::vector<int64_t> &key, const ShapeFrontier &row)
+{
+    util::ByteWriter out;
+    out.u8(kKindRow);
+    writeKey(out, key);
+    out.u32(static_cast<uint32_t>(row.points().size()));
+    out.i64Words(
+        reinterpret_cast<const int64_t *>(row.points().data()),
+        row.points().size() * 4);
+    return out.bytes();
+}
+
+std::string
+encodeTrace(const std::vector<int64_t> &key, bool complete,
+            int64_t initial_bram, double initial_peak,
+            const std::vector<TradeoffCurveCache::PartitionStep> &steps)
+{
+    util::ByteWriter out;
+    out.u8(kKindTrace);
+    writeKey(out, key);
+    out.u8(complete ? 1 : 0);
+    out.i64(initial_bram);
+    out.f64(initial_peak);
+    out.u32(static_cast<uint32_t>(steps.size()));
+    for (const TradeoffCurveCache::PartitionStep &step : steps) {
+        out.u32(step.clp);
+        out.i64(step.inCap);
+        out.i64(step.outCap);
+        out.i64(step.totalBram);
+        out.f64(step.totalPeak);
+    }
+    return out.bytes();
+}
+
+/** Groups in a partition-trace key = the -1 delimiters it contains. */
+size_t
+traceKeyGroups(const std::vector<int64_t> &key)
+{
+    return static_cast<size_t>(
+        std::count(key.begin(), key.end(), int64_t{-1}));
+}
+
+} // namespace
+
+FrontierCache::FrontierCache(std::string dir)
+    : dir_(std::move(dir)), fingerprint_(modelFormulaFingerprint())
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(dir_, ec);  // best effort; load just misses
+    filePath_ = (fs::path(dir_) / kFrontierCacheFileName).string();
+    lockPath_ = (fs::path(dir_) / kFrontierCacheLockName).string();
+    // Loading under the advisory lock keeps the sequence simple to
+    // reason about when several CLIs share the directory; the lock is
+    // held only for the read.
+    util::FileLock lock(lockPath_);
+    loadLocked();
+}
+
+void
+FrontierCache::loadLocked()
+{
+    util::RecordFileReader reader(filePath_);
+    if (!reader.opened())
+        return;  // no cache yet: clean cold start
+
+    std::string payload;
+    if (!reader.header(payload)) {
+        loadedClean_ = !reader.sawCorruption();
+        if (!loadedClean_)
+            util::warn("frontier cache: %s has a corrupt header; "
+                       "starting cold", filePath_.c_str());
+        return;
+    }
+    {
+        util::ByteReader in(payload);
+        uint64_t magic = 0;
+        uint32_t version = 0;
+        uint64_t fingerprint = 0;
+        if (!in.u64(magic) || magic != kFrontierCacheMagic) {
+            loadedClean_ = false;
+            util::warn("frontier cache: %s is not a frontier cache "
+                       "file; starting cold", filePath_.c_str());
+            return;
+        }
+        if (!in.u32(version) || version != kFrontierCacheFormatVersion ||
+            !in.u64(fingerprint) || fingerprint != fingerprint_) {
+            // Expected invalidation (older binary, changed model
+            // formulas): stay clean and quiet; the next flush
+            // rewrites the file under the current header.
+            util::inform("frontier cache: %s was written under a "
+                         "different format/model version; rebuilding",
+                         filePath_.c_str());
+            return;
+        }
+    }
+
+    std::string_view record;
+    while (reader.next(record)) {
+        util::ByteReader in(record);
+        uint8_t kind = 0;
+        std::vector<int64_t> key;
+        if (!in.u8(kind) || !readKey(in, key)) {
+            loadedClean_ = false;
+            break;
+        }
+        if (kind == kKindRow) {
+            uint32_t count = 0;
+            if (!in.u32(count) || count > kMaxListEntries) {
+                loadedClean_ = false;
+                break;
+            }
+            std::vector<FrontierPoint> points(count);
+            in.i64Words(reinterpret_cast<int64_t *>(points.data()),
+                        static_cast<size_t>(count) * 4);
+            auto frontier = in.ok() && in.atEnd()
+                                ? ShapeFrontier::fromPoints(
+                                      std::move(points))
+                                : std::nullopt;
+            if (!frontier) {
+                loadedClean_ = false;
+                break;
+            }
+            diskRows_[std::move(key)] =
+                std::make_shared<const ShapeFrontier>(
+                    std::move(*frontier));
+            ++rowsLoaded_;
+        } else if (kind == kKindTrace) {
+            TraceImage image;
+            uint8_t complete = 0;
+            uint32_t count = 0;
+            if (!in.u8(complete) || !in.i64(image.initialBram) ||
+                !in.f64(image.initialPeak) || !in.u32(count) ||
+                count > kMaxListEntries) {
+                loadedClean_ = false;
+                break;
+            }
+            image.complete = complete != 0;
+            image.steps.resize(count);
+            for (uint32_t i = 0; i < count; ++i) {
+                TradeoffCurveCache::PartitionStep &step = image.steps[i];
+                if (!in.u32(step.clp) || !in.i64(step.inCap) ||
+                    !in.i64(step.outCap) || !in.i64(step.totalBram) ||
+                    !in.f64(step.totalPeak))
+                    break;
+            }
+            // Semantic validation: the walk's invariants (strictly
+            // decreasing total BRAM, finite peaks, mover indices
+            // within the key's group count) must hold or the trace is
+            // untrustworthy regardless of its checksum.
+            bool valid = in.ok() && in.atEnd() &&
+                         image.initialBram >= 0 &&
+                         std::isfinite(image.initialPeak);
+            size_t groups = traceKeyGroups(key);
+            int64_t prev_bram = image.initialBram;
+            for (const auto &step : image.steps) {
+                if (!valid)
+                    break;
+                valid = step.clp < groups && step.inCap >= 0 &&
+                        step.outCap >= 0 && step.totalBram >= 0 &&
+                        step.totalBram < prev_bram &&
+                        std::isfinite(step.totalPeak);
+                prev_bram = step.totalBram;
+            }
+            if (!valid) {
+                loadedClean_ = false;
+                break;
+            }
+            diskTraces_[std::move(key)] = std::move(image);
+            ++tracesLoaded_;
+        } else {
+            loadedClean_ = false;
+            break;
+        }
+    }
+    if (reader.sawCorruption())
+        loadedClean_ = false;
+    if (!loadedClean_)
+        util::warn("frontier cache: %s is truncated or corrupt past "
+                   "%zu rows / %zu traces; the valid prefix is kept "
+                   "and the rest rebuilds cold",
+                   filePath_.c_str(), rowsLoaded_, tracesLoaded_);
+}
+
+std::shared_ptr<const ShapeFrontier>
+FrontierCache::loadRow(const std::vector<int64_t> &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = diskRows_.find(key);
+    if (it == diskRows_.end())
+        return nullptr;
+    ++rowHits_;
+    return it->second;
+}
+
+void
+FrontierCache::noteRow(const std::vector<int64_t> &key,
+                       std::shared_ptr<const ShapeFrontier> row)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (diskRows_.count(key))
+        return;  // already persistent
+    pendingRows_.emplace(key, std::move(row));
+}
+
+bool
+FrontierCache::seedTrace(const std::vector<int64_t> &key,
+                         TradeoffCurveCache::PartitionTrace &trace)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = diskTraces_.find(key);
+    if (it == diskTraces_.end())
+        return false;
+    const TraceImage &image = it->second;
+    trace.initialized = true;
+    trace.initialBram = image.initialBram;
+    trace.initialPeak = image.initialPeak;
+    trace.steps = image.steps;
+    trace.complete = image.complete;
+    ++traceHits_;
+    return true;
+}
+
+void
+FrontierCache::noteTrace(
+    const std::vector<int64_t> &key,
+    std::shared_ptr<TradeoffCurveCache::PartitionTrace> trace)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    notedTraces_.emplace(key, std::move(trace));
+}
+
+bool
+FrontierCache::flush()
+{
+    // Phase 1: snapshot under our mutex (never hold it across file
+    // I/O or trace mutexes — walks holding a trace mutex re-enter
+    // other caches, and lookups call into us under the store mutex).
+    RowMap pending_rows;
+    std::vector<std::pair<
+        std::vector<int64_t>,
+        std::shared_ptr<TradeoffCurveCache::PartitionTrace>>>
+        noted;
+    /** What disk held at load/last flush: key -> (steps, complete). */
+    std::unordered_map<std::vector<int64_t>, std::pair<size_t, bool>,
+                       util::Int64VectorHash>
+        known;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        pending_rows = pendingRows_;
+        noted.assign(notedTraces_.begin(), notedTraces_.end());
+        for (const auto &[key, image] : diskTraces_)
+            known.emplace(key, std::make_pair(image.steps.size(),
+                                              image.complete));
+    }
+
+    // Phase 2: snapshot each live trace under its own mutex, keeping
+    // only traces that outgrew what this process knows is on disk.
+    TraceMap trace_images;
+    for (const auto &[key, trace] : noted) {
+        std::lock_guard<std::mutex> trace_lock(trace->mutex);
+        if (!trace->initialized)
+            continue;
+        auto it = known.find(key);
+        if (it != known.end() &&
+            (it->second.first > trace->steps.size() ||
+             (it->second.first == trace->steps.size() &&
+              it->second.second == trace->complete)))
+            continue;
+        TraceImage image;
+        image.complete = trace->complete;
+        image.initialBram = trace->initialBram;
+        image.initialPeak = trace->initialPeak;
+        image.steps = trace->steps;
+        trace_images.emplace(key, std::move(image));
+    }
+
+    // Nothing new? Then the file — whatever concurrent CLIs did to it
+    // since — holds at least everything we could add: skip the lock
+    // and the whole read-merge-write round trip. This keeps a
+    // disk-warm process's shutdown free instead of re-parsing the
+    // file it never changed.
+    if (pending_rows.empty() && trace_images.empty())
+        return true;
+
+    // Phase 3: merge with the file's *current* contents under the
+    // advisory lock and rewrite atomically. Another process may have
+    // flushed since we loaded, so the file is re-read here; records
+    // are deterministic functions of their keys, so "first writer
+    // wins" is exact for rows, and the deeper prefix wins for traces.
+    util::FileLock lock(lockPath_);
+    if (!lock.locked()) {
+        util::warn("frontier cache: cannot lock %s; skipping flush",
+                   lockPath_.c_str());
+        return false;
+    }
+
+    struct DiskRecord
+    {
+        /** Views into the (still-alive) reader's buffer for existing
+         * records, or into `fresh` for newly encoded ones — the
+         * merge never copies a multi-megabyte file's payloads. */
+        std::string_view payload;
+        size_t steps = 0;     ///< traces only
+        bool complete = false;
+    };
+    std::unordered_map<std::vector<int64_t>, DiskRecord,
+                       util::Int64VectorHash>
+        rows, traces;
+    std::deque<std::string> fresh;  ///< owns newly encoded payloads
+    bool rewrite = false;  // anything to change on disk?
+    util::RecordFileReader reader(filePath_);  // alive through the write
+    {
+        std::string header;
+        bool header_ok = reader.opened() && reader.header(header) &&
+                         header == headerPayload(fingerprint_);
+        if (header_ok) {
+            std::string_view payload;
+            while (reader.next(payload)) {
+                util::ByteReader in(payload);
+                uint8_t kind = 0;
+                std::vector<int64_t> key;
+                if (!in.u8(kind) || !readKey(in, key))
+                    break;
+                DiskRecord record;
+                record.payload = payload;
+                if (kind == kKindTrace) {
+                    uint8_t complete = 0;
+                    int64_t bram;
+                    double peak;
+                    uint32_t count = 0;
+                    if (!in.u8(complete) || !in.i64(bram) ||
+                        !in.f64(peak) || !in.u32(count))
+                        break;
+                    record.steps = count;
+                    record.complete = complete != 0;
+                    traces.emplace(std::move(key), record);
+                } else if (kind == kKindRow) {
+                    rows.emplace(std::move(key), record);
+                } else {
+                    break;
+                }
+            }
+            // A corrupt tail is dropped by rewriting the valid set.
+            rewrite = reader.sawCorruption();
+        } else if (reader.opened()) {
+            rewrite = true;  // stale or damaged file: replace wholesale
+        }
+    }
+
+    for (const auto &[key, row] : pending_rows) {
+        if (rows.count(key))
+            continue;  // a concurrent CLI beat us to an identical row
+        fresh.push_back(encodeRow(key, *row));
+        rows[key] = {fresh.back(), 0, false};
+        rewrite = true;
+    }
+    std::vector<const std::vector<int64_t> *> written_traces;
+    for (const auto &[key, image] : trace_images) {
+        auto it = traces.find(key);
+        // The deeper walk prefix wins; at equal depth a complete
+        // trace beats an incomplete one, and an identical trace is
+        // left alone. A losing image must NOT enter our disk mirror
+        // below — recording it as "what disk holds" would make later
+        // seedTrace() calls hand out less warmth than disk has.
+        bool ours_deeper =
+            it == traces.end() || image.steps.size() > it->second.steps ||
+            (image.steps.size() == it->second.steps && image.complete &&
+             !it->second.complete);
+        if (!ours_deeper)
+            continue;
+        fresh.push_back(encodeTrace(key, image.complete,
+                                    image.initialBram,
+                                    image.initialPeak, image.steps));
+        traces[key] = {fresh.back(), image.steps.size(),
+                       image.complete};
+        written_traces.push_back(&key);
+        rewrite = true;
+    }
+
+    // Absorb everything this flush made persistent — whether we wrote
+    // it or found a concurrent CLI already had — so the next flush
+    // only considers genuinely new state (and stats stop reporting it
+    // as pending).
+    auto absorb = [&](bool wrote) {
+        std::lock_guard<std::mutex> lock_state(mutex_);
+        for (auto &[key, row] : pending_rows) {
+            diskRows_.emplace(key, std::move(row));
+            pendingRows_.erase(key);
+        }
+        for (const std::vector<int64_t> *key : written_traces)
+            diskTraces_[*key] = std::move(trace_images[*key]);
+        if (wrote)
+            ++flushes_;
+    };
+
+    if (!rewrite) {
+        // Disk already holds at least everything we know (every
+        // pending row matched an on-disk record, every trace lost to
+        // a deeper on-disk prefix).
+        absorb(false);
+        return true;
+    }
+
+    util::RecordFileWriter writer(filePath_,
+                                  headerPayload(fingerprint_));
+    for (const auto &[key, record] : rows)
+        writer.append(record.payload);
+    for (const auto &[key, record] : traces)
+        writer.append(record.payload);
+    if (!writer.commit()) {
+        util::warn("frontier cache: writing %s failed; previous cache "
+                   "file kept", filePath_.c_str());
+        return false;
+    }
+    absorb(true);
+    return true;
+}
+
+FrontierCache::Stats
+FrontierCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats stats;
+    stats.rowsLoaded = rowsLoaded_;
+    stats.tracesLoaded = tracesLoaded_;
+    stats.rowHits = rowHits_;
+    stats.traceHits = traceHits_;
+    stats.rowsPending = pendingRows_.size();
+    stats.tracesNoted = notedTraces_.size();
+    stats.flushes = flushes_;
+    stats.loadedClean = loadedClean_;
+    return stats;
+}
+
+} // namespace core
+} // namespace mclp

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * The persistent frontier cache: warm DSE state that survives the
+ * process.
+ *
+ * PR 2/3 made warm state the engine's superpower — one frontier build
+ * answers a whole budget ladder, one registry serves many networks —
+ * but every fresh mclp-opt/dse-sweep invocation and every mclp-serve
+ * restart rebuilt the same Pareto staircases from scratch.
+ * FrontierCache serializes the two expensive, budget-independent
+ * artifacts to disk:
+ *
+ *  - ShapeFrontier staircases, keyed by the FrontierRowStore's
+ *    dims-sequence keys (type, units cap, per-layer n/m/r*c*k^2) —
+ *    network identity never enters, so a cache populated by one CNN
+ *    warms dims-identical ranges of another;
+ *  - MemoryOptimizer greedy-walk traces, keyed by the
+ *    TradeoffCurveCache partition signatures (type, per-group shape
+ *    and layer tiling dims).
+ *
+ * Invalidation is versioned, never heuristic: the file header carries
+ * a format version and a *model-formula fingerprint* — a hash over
+ * probe evaluations of the cycle/DSP/BRAM/bandwidth models — so a
+ * cache written by a binary with different model constants is
+ * rejected wholesale and rebuilt, rather than silently corrupting
+ * results. Within a valid file, every record is checksummed; a
+ * truncated or bit-rotted tail degrades to a cold build of exactly
+ * the affected entries.
+ *
+ * The cache is a read-through/write-back layer: FrontierRowStore and
+ * TradeoffCurveCache consult it on a miss and note fresh builds, and
+ * flush() merges pending entries with whatever is on disk *now*
+ * (concurrent CLIs interleave safely under a per-file advisory lock;
+ * writes are staged in a temp file and renamed atomically, so a crash
+ * never leaves a half-written cache). SessionRegistry flushes on
+ * destruction, which covers mclp-opt, dse-sweep, and mclp-serve
+ * shutdown alike.
+ *
+ * The project invariant extends to disk: designs answered from a
+ * disk-warm cache are byte-for-byte identical to cold runs
+ * (tests/core/test_frontier_cache.cc pins this on fixed and random
+ * networks; the CI smoke diffs whole mclp-opt responses).
+ */
+
+#ifndef MCLP_CORE_FRONTIER_CACHE_H
+#define MCLP_CORE_FRONTIER_CACHE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/memory_optimizer.h"
+#include "core/shape_frontier.h"
+#include "util/hash.h"
+
+namespace mclp {
+namespace core {
+
+/** First bytes of a cache file ("MCLPFC01", little-endian u64). */
+constexpr uint64_t kFrontierCacheMagic = 0x31304346504C434DULL;
+
+/** Bump on any change to the record layout below. */
+constexpr uint32_t kFrontierCacheFormatVersion = 1;
+
+/** Cache file and lock file names inside the cache directory. */
+constexpr const char *kFrontierCacheFileName = "frontier_cache.bin";
+constexpr const char *kFrontierCacheLockName = "frontier_cache.lock";
+
+/**
+ * Digest of the analytical models a cached artifact depends on,
+ * computed by hashing probe evaluations of the cycle, DSP, BRAM, and
+ * bandwidth models (not source text — exactly the formulas). Any
+ * constant tweak in those models changes the fingerprint, and every
+ * cache file written under the old formulas self-invalidates.
+ */
+uint64_t modelFormulaFingerprint();
+
+/**
+ * One process's view of an on-disk cache directory. Thread safe; one
+ * instance is shared by every session of a SessionRegistry.
+ */
+class FrontierCache
+{
+  public:
+    struct Stats
+    {
+        size_t rowsLoaded = 0;     ///< staircases decoded from disk
+        size_t tracesLoaded = 0;   ///< walk traces decoded from disk
+        size_t rowHits = 0;        ///< lookups answered from disk
+        size_t traceHits = 0;      ///< trace seeds answered from disk
+        size_t rowsPending = 0;    ///< fresh rows awaiting flush
+        size_t tracesNoted = 0;    ///< live traces tracked for flush
+        size_t flushes = 0;        ///< successful flush() commits
+        /** File was absent, or its whole tail validated. A stale
+         * version/fingerprint also counts as clean (expected
+         * invalidation); truncation and bit rot do not. */
+        bool loadedClean = true;
+    };
+
+    /**
+     * Open (and create if needed) cache directory @p dir and load the
+     * cache file. Any defect — missing directory, stale version or
+     * fingerprint, truncation, checksum mismatch — degrades to an
+     * empty (cold) cache; construction never throws for file reasons.
+     */
+    explicit FrontierCache(std::string dir);
+
+    const std::string &dir() const { return dir_; }
+
+    /**
+     * The disk-loaded staircase for a FrontierRowStore key, or null.
+     * Loaded rows stay resident for the process lifetime (they mirror
+     * the file), so repeated lookups share one immutable object.
+     */
+    std::shared_ptr<const ShapeFrontier>
+    loadRow(const std::vector<int64_t> &key);
+
+    /** Record a freshly built staircase for the next flush(). */
+    void noteRow(const std::vector<int64_t> &key,
+                 std::shared_ptr<const ShapeFrontier> row);
+
+    /**
+     * Seed a just-created PartitionTrace from disk. @p trace must not
+     * be shared with other threads yet (it is filled unlocked).
+     * Returns false — leaving the trace untouched — when the key is
+     * absent or the stored trace fails validation.
+     */
+    bool seedTrace(const std::vector<int64_t> &key,
+                   TradeoffCurveCache::PartitionTrace &trace);
+
+    /**
+     * Track a live trace for write-back: at flush() time its current
+     * walk prefix is serialized when it goes deeper than what disk
+     * already holds. Tracking keeps the trace alive; traces are small
+     * (a step sequence), so this pins negligible memory.
+     */
+    void noteTrace(
+        const std::vector<int64_t> &key,
+        std::shared_ptr<TradeoffCurveCache::PartitionTrace> trace);
+
+    /**
+     * Write-back: merge pending rows and grown traces with the file's
+     * *current* contents under the advisory lock (a concurrent CLI
+     * may have flushed since we loaded), stage to a temp file, and
+     * rename atomically. No-op (returning true) when nothing new
+     * exists. False on I/O failure — the previous file survives.
+     */
+    bool flush();
+
+    Stats stats() const;
+
+  private:
+    struct TraceImage
+    {
+        bool complete = false;
+        int64_t initialBram = 0;
+        double initialPeak = 0.0;
+        std::vector<TradeoffCurveCache::PartitionStep> steps;
+    };
+
+    using RowMap =
+        std::unordered_map<std::vector<int64_t>,
+                           std::shared_ptr<const ShapeFrontier>,
+                           util::Int64VectorHash>;
+    using TraceMap = std::unordered_map<std::vector<int64_t>, TraceImage,
+                                        util::Int64VectorHash>;
+
+    void loadLocked();
+
+    std::string dir_;
+    std::string filePath_;
+    std::string lockPath_;
+    uint64_t fingerprint_;
+
+    mutable std::mutex mutex_;
+    RowMap diskRows_;    ///< rows as loaded from (or flushed to) disk
+    TraceMap diskTraces_;  ///< trace images the file holds
+    RowMap pendingRows_;   ///< built this process, not yet flushed
+    /** Live traces to serialize at flush; deduped by key, first noted
+     * wins (concurrent sessions converge on one trace per key in
+     * their own caches anyway). */
+    std::unordered_map<
+        std::vector<int64_t>,
+        std::shared_ptr<TradeoffCurveCache::PartitionTrace>,
+        util::Int64VectorHash>
+        notedTraces_;
+    size_t rowsLoaded_ = 0;
+    size_t tracesLoaded_ = 0;
+    size_t rowHits_ = 0;
+    size_t traceHits_ = 0;
+    size_t flushes_ = 0;
+    bool loadedClean_ = true;
+};
+
+} // namespace core
+} // namespace mclp
+
+#endif // MCLP_CORE_FRONTIER_CACHE_H

@@ -6,6 +6,7 @@
 #include <limits>
 #include <map>
 
+#include "core/frontier_cache.h"
 #include "model/bandwidth_model.h"
 #include "model/bram_model.h"
 #include "model/cycle_model.h"
@@ -257,13 +258,38 @@ TradeoffCurveCache::partitionTrace(fpga::DataType type,
             key.push_back(util::ceilDiv(layer.n, group.shape.tn));
         }
     }
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = traces_.find(key);
-    if (it != traces_.end())
-        return it->second;
+    std::shared_ptr<FrontierCache> cache;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = traces_.find(key);
+        if (it != traces_.end())
+            return it->second;
+        cache = cache_;
+    }
+    // Seed outside mutex_ (the disk cache locks trace mutexes during
+    // its flush, and walks holding a trace mutex re-enter mutex_ via
+    // curve() — touching the cache under mutex_ would close an
+    // AB-BA-CA cycle). The trace is still private here.
     auto trace = std::make_shared<PartitionTrace>();
-    return traces_.emplace(std::move(key), std::move(trace))
-        .first->second;
+    if (cache)
+        cache->seedTrace(key, *trace);
+    std::shared_ptr<PartitionTrace> winner;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        winner = traces_.emplace(key, trace).first->second;
+    }
+    // Only the canonical trace is tracked for write-back (a losing
+    // racer's copy is dropped along with its seed).
+    if (cache && winner == trace)
+        cache->noteTrace(key, winner);
+    return winner;
+}
+
+void
+TradeoffCurveCache::attachCache(std::shared_ptr<FrontierCache> cache)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_ = std::move(cache);
 }
 
 size_t

@@ -143,11 +143,24 @@ struct BufferMove
  * bit-identical. Thread safe; a DseSession shares one instance across
  * every run of the session.
  */
+class FrontierCache;
+
 class TradeoffCurveCache
 {
   public:
     /** Probe results at one cap state, indexed [input, output]. */
     using ProbePair = std::array<std::optional<BufferMove>, 2>;
+
+    /**
+     * Attach a persistent cache (core/frontier_cache.h): newly
+     * created partition traces are seeded from disk when their key is
+     * there, and live traces are noted for write-back at the cache's
+     * next flush. Attach before first use. Seeded and cold traces are
+     * interchangeable — the walk resumes from wherever the stored
+     * prefix ends, and a prefix deeper than a query needs is answered
+     * by the same binary search the process-warm path already uses.
+     */
+    void attachCache(std::shared_ptr<FrontierCache> cache);
 
     /** One group's memoized walk states: (inCap, outCap) -> probes. */
     class GroupCurve
@@ -234,6 +247,7 @@ class TradeoffCurveCache
 
   private:
     std::mutex mutex_;
+    std::shared_ptr<FrontierCache> cache_;  ///< optional disk layer
     std::unordered_map<std::vector<int64_t>, std::shared_ptr<GroupCurve>,
                        Int64VectorHash>
         curves_;

@@ -1,20 +1,36 @@
 #include "core/session_registry.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "core/dse_request.h"
+#include "core/frontier_cache.h"
+#include "model/dsp_model.h"
 #include "util/logging.h"
 
 namespace mclp {
 namespace core {
 
 SessionRegistry::SessionRegistry(size_t max_sessions, size_t max_bytes,
-                                 int session_threads)
+                                 int session_threads,
+                                 std::shared_ptr<FrontierCache> cache)
     : maxSessions_(std::max<size_t>(1, max_sessions)),
       maxBytes_(max_bytes), sessionThreads_(session_threads),
+      cache_(std::move(cache)),
       store_(std::make_shared<FrontierRowStore>())
 {
+    if (cache_)
+        store_->attachCache(cache_);
+}
+
+SessionRegistry::~SessionRegistry()
+{
+    // Write-back on session close: every tool and the service own
+    // their registry, so registry death is the one reliable "process
+    // is done exploring" hook.
+    if (cache_)
+        cache_->flush();
 }
 
 namespace {
@@ -33,12 +49,56 @@ sameDims(const nn::Network &a, const nn::Network &b)
 
 } // namespace
 
+size_t
+SessionRegistry::estimateSessionBytes(const nn::Network &network,
+                                      fpga::DataType type,
+                                      int64_t max_dsp_budget)
+{
+    if (max_dsp_budget <= 0)
+        return 0;
+    // Saturating arithmetic: the codec deliberately accepts budgets
+    // up to INT64_MAX, and a wrapped product here would silently skip
+    // the very admission check such a request exists to trigger.
+    uint64_t units =
+        static_cast<uint64_t>(model::macBudget(max_dsp_budget, type));
+    uint64_t bytes;
+    if (__builtin_mul_overflow(units, uint64_t{sizeof(FrontierPoint)},
+                               &bytes) ||
+        __builtin_mul_overflow(
+            bytes, static_cast<uint64_t>(network.numLayers()), &bytes) ||
+        bytes > std::numeric_limits<size_t>::max())
+        return std::numeric_limits<size_t>::max();
+    return static_cast<size_t>(bytes);
+}
+
 std::shared_ptr<DseSession>
 SessionRegistry::session(const nn::Network &network,
-                         const std::string &device, fpga::DataType type)
+                         const std::string &device, fpga::DataType type,
+                         int64_t max_dsp_budget)
 {
     SessionKey key{networkSignature(network), device, type};
     std::lock_guard<std::mutex> lock(mutex_);
+    size_t estimate = 0;
+    if (maxBytes_ > 0) {
+        // Admission control, checked on hits and misses alike so the
+        // answer never depends on warmth: a request whose estimated
+        // warm state could never fit the whole byte budget is
+        // rejected as the user error it is — even when its session
+        // is already resident (serving it would grow that session's
+        // tables to the oversized cap, re-opening the overshoot this
+        // check exists to prevent).
+        estimate = estimateSessionBytes(network, type, max_dsp_budget);
+        if (estimate > maxBytes_) {
+            util::fatal(
+                "session registry: %s (%zu layers) at %lld DSP "
+                "slices is estimated at ~%zu KiB of warm state, "
+                "over the whole %zu KiB registry budget; raise "
+                "--max-bytes-mb or trim the budget ladder",
+                network.name().c_str(), network.numLayers(),
+                static_cast<long long>(max_dsp_budget),
+                estimate / 1024, maxBytes_ / 1024);
+        }
+    }
     auto it = entries_.find(key);
     // The signature is a 64-bit dims hash and inline-layer requests
     // control the dims, so a hit must be verified against the actual
@@ -51,11 +111,23 @@ SessionRegistry::session(const nn::Network &network,
         it = entries_.find(key);
     }
     if (it == entries_.end()) {
+        // Enforcing the byte budget only after the build would let a
+        // burst of giant networks transiently blow it: evict up
+        // front until the estimated newcomer fits. Pre-eviction only
+        // helps when eviction can actually free what the newcomer
+        // will allocate — with a persistent cache attached, built
+        // rows are immediately pinned by the cache mirror (and
+        // excluded from the byte measurement), so the reject check
+        // above is the protection there.
+        while (!cache_ && estimate > 0 &&
+               memoryBytesLocked() + estimate > maxBytes_ &&
+               evictLruLocked(nullptr)) {
+        }
         ++misses_;
         auto entry = std::make_shared<Entry>();
         entry->network = network;
         entry->session = std::make_unique<DseSession>(
-            entry->network, type, sessionThreads_, store_);
+            entry->network, type, sessionThreads_, store_, cache_);
         it = entries_.emplace(std::move(key), std::move(entry)).first;
     } else {
         ++hits_;
@@ -68,43 +140,41 @@ SessionRegistry::session(const nn::Network &network,
     return std::shared_ptr<DseSession>(entry, entry->session.get());
 }
 
+bool
+SessionRegistry::evictLruLocked(const Entry *keep)
+{
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->second.get() == keep)
+            continue;
+        if (victim == entries_.end() ||
+            it->second->lastUse < victim->second->lastUse)
+            victim = it;
+    }
+    if (victim == entries_.end())
+        return false;
+    entries_.erase(victim);
+    ++evictions_;
+    // Frontier rows only the evicted session referenced would
+    // otherwise stay resident forever (the store holds them at use
+    // count 1); reclaim them with the session so byte measurements
+    // reflect what eviction actually freed. Rows mirrored by the
+    // persistent cache stay pinned by it — they are the disk image.
+    store_->purgeUnshared();
+    return true;
+}
+
 void
 SessionRegistry::enforceCapsLocked(const Entry *keep)
 {
-    auto evict_lru = [&]() -> bool {
-        auto victim = entries_.end();
-        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-            if (it->second.get() == keep)
-                continue;
-            if (victim == entries_.end() ||
-                it->second->lastUse < victim->second->lastUse)
-                victim = it;
-        }
-        if (victim == entries_.end())
-            return false;
-        entries_.erase(victim);
-        ++evictions_;
-        return true;
-    };
-
-    bool evicted = false;
-    while (entries_.size() > maxSessions_ && evict_lru())
-        evicted = true;
-    if (evicted) {
-        // Frontier rows only the evicted sessions referenced would
-        // otherwise stay resident forever (the store holds them at
-        // use count 1); reclaim them with the session.
-        store_->purgeUnshared();
+    while (entries_.size() > maxSessions_ && evictLruLocked(keep)) {
     }
     if (maxBytes_ == 0)
         return;
-    // The byte budget counts shared rows once (the store owns them);
-    // purge store rows orphaned by each eviction so the measurement
-    // reflects what eviction actually freed.
+    // The byte budget counts shared rows once (the store owns them).
     while (entries_.size() > 1 && memoryBytesLocked() > maxBytes_) {
-        if (!evict_lru())
+        if (!evictLruLocked(keep))
             break;
-        store_->purgeUnshared();
     }
 }
 

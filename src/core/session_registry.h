@@ -66,14 +66,28 @@ class SessionRegistry
      * @param max_sessions LRU capacity (>= 1; clamped).
      * @param max_bytes rough resident-byte budget across all sessions
      * plus the shared row store; 0 = unlimited. Enforced after each
-     * acquisition, never against the session just returned.
+     * acquisition, never against the session just returned, and — for
+     * acquisitions carrying a budget hint — *before* a new session is
+     * built (see session()). The budget governs *evictable* state:
+     * with a persistent cache attached, rows mirrored by the cache
+     * are pinned for the process lifetime (eviction could not free
+     * them) and are excluded from the measurement.
      * @param session_threads worker threads each session uses for
      * budget-ladder fan-out (1 = serial; thread count never changes
      * results).
+     * @param cache optional persistent frontier cache: attached to
+     * the shared row store and to every session's tradeoff-curve
+     * cache, and flushed when the registry dies. Warmth only — never
+     * results.
      */
     explicit SessionRegistry(size_t max_sessions = 8,
                              size_t max_bytes = 0,
-                             int session_threads = 1);
+                             int session_threads = 1,
+                             std::shared_ptr<FrontierCache> cache =
+                                 nullptr);
+
+    /** Flushes the persistent cache (when attached). */
+    ~SessionRegistry();
 
     /**
      * The warm session for (@p network dims, @p device, @p type),
@@ -81,10 +95,34 @@ class SessionRegistry
      * caller's copy may die). The returned handle pins the session:
      * eviction only drops the registry's reference, so in-flight
      * requests on an evicted session finish safely.
+     *
+     * @p max_dsp_budget is the admission-control hint: the largest
+     * DSP budget the caller will run on this session (0 = unknown).
+     * Under a byte budget, a miss with a hint first evicts LRU
+     * sessions until the estimated cost of the new session fits —
+     * so a burst of giant networks can no longer transiently blow
+     * the cap — and fatal()s (a user error, not a crash) when the
+     * estimate alone exceeds the whole budget. With a persistent
+     * cache attached the pre-eviction is skipped (built rows are
+     * pinned by the cache mirror, so eviction could not make room);
+     * the reject check still guards total process residency.
      */
     std::shared_ptr<DseSession> session(const nn::Network &network,
                                         const std::string &device,
-                                        fpga::DataType type);
+                                        fpga::DataType type,
+                                        int64_t max_dsp_budget = 0);
+
+    /**
+     * Rough pre-build cost estimate of a warm session: layer count x
+     * the ladder maximum's MAC-unit cap x the staircase point size
+     * (frontier rows dominate warm-session memory, and a row's total
+     * point count is bounded by the units cap because DSP strictly
+     * increases along a staircase). Proportionality is what admission
+     * control needs, not exactness.
+     */
+    static size_t estimateSessionBytes(const nn::Network &network,
+                                       fpga::DataType type,
+                                       int64_t max_dsp_budget);
 
     /** The cross-network frontier-row pool all sessions share. */
     const std::shared_ptr<FrontierRowStore> &rowStore() const
@@ -109,12 +147,18 @@ class SessionRegistry
      * evicted (the entry just acquired). */
     void enforceCapsLocked(const Entry *keep);
 
+    /** Evict the least-recently-used entry other than @p keep and
+     * reclaim its orphaned store rows; false when nothing evictable
+     * is left. Caller holds mutex_. */
+    bool evictLruLocked(const Entry *keep);
+
     size_t memoryBytesLocked();
 
     std::mutex mutex_;
     size_t maxSessions_;
     size_t maxBytes_;
     int sessionThreads_;
+    std::shared_ptr<FrontierCache> cache_;
     std::shared_ptr<FrontierRowStore> store_;
     uint64_t tick_ = 0;
     std::map<SessionKey, std::shared_ptr<Entry>> entries_;

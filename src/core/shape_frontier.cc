@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/frontier_cache.h"
 #include "model/dsp_model.h"
 #include "util/logging.h"
 #include "util/math.h"
@@ -333,6 +334,30 @@ ShapeFrontier::Builder::memoryBytes() const
            cands_.capacity() * sizeof(Candidate);
 }
 
+std::optional<ShapeFrontier>
+ShapeFrontier::fromPoints(std::vector<FrontierPoint> points)
+{
+    for (size_t i = 0; i < points.size(); ++i) {
+        const FrontierPoint &point = points[i];
+        if (point.shape.tn < 1 || point.shape.tm < 1 ||
+            point.dsp < 1 || point.cycles < 1)
+            return std::nullopt;
+        if (i > 0 && (point.dsp <= points[i - 1].dsp ||
+                      point.cycles >= points[i - 1].cycles))
+            return std::nullopt;  // not a staircase
+    }
+    ShapeFrontier frontier;
+    frontier.points_ = std::move(points);
+    return frontier;
+}
+
+void
+FrontierRowStore::attachCache(std::shared_ptr<FrontierCache> cache)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_ = std::move(cache);
+}
+
 std::shared_ptr<const ShapeFrontier>
 FrontierRowStore::lookup(const std::vector<int64_t> &key)
 {
@@ -341,6 +366,17 @@ FrontierRowStore::lookup(const std::vector<int64_t> &key)
     if (it != rows_.end()) {
         ++hits_;
         return it->second;
+    }
+    if (cache_) {
+        // Read through to disk: a loaded staircase is as good as a
+        // resident one (immutable, validated at load), so it joins
+        // the store and counts as a hit — no build happened.
+        if (auto row = cache_->loadRow(key)) {
+            rows_.emplace(key, row);
+            ++hits_;
+            ++diskHits_;
+            return row;
+        }
     }
     ++misses_;
     return nullptr;
@@ -354,7 +390,10 @@ FrontierRowStore::insert(const std::vector<int64_t> &key,
     std::lock_guard<std::mutex> lock(mutex_);
     // The first insert wins, so racing builders (which produced
     // bit-identical frontiers anyway) converge on one shared row.
-    return rows_.emplace(key, std::move(row)).first->second;
+    auto [it, inserted] = rows_.emplace(key, std::move(row));
+    if (inserted && cache_)
+        cache_->noteRow(key, it->second);  // write-back at flush
+    return it->second;
 }
 
 FrontierRowStore::Stats
@@ -365,6 +404,7 @@ FrontierRowStore::stats() const
     stats.hits = hits_;
     stats.misses = misses_;
     stats.rows = rows_.size();
+    stats.diskHits = diskHits_;
     return stats;
 }
 
@@ -375,7 +415,17 @@ FrontierRowStore::memoryBytes() const
     size_t bytes = 0;
     for (const auto &entry : rows_) {
         bytes += entry.first.capacity() * sizeof(int64_t) +
-                 entry.second->memoryBytes() + 4 * sizeof(void *);
+                 4 * sizeof(void *);
+        // With a disk cache attached, every row is pinned by the
+        // cache's in-memory mirror (loaded rows and pending
+        // write-backs) for the process lifetime, so eviction cannot
+        // free it. Counting pinned rows against the SessionRegistry's
+        // byte budget would make the cap unreachable and turn the
+        // eviction loop into pure session thrash; the mirror is the
+        // price of --cache-dir, bounded by the cache file, and
+        // accounted to the cache, not to evictable registry state.
+        if (!cache_)
+            bytes += entry.second->memoryBytes();
     }
     return bytes;
 }

@@ -109,6 +109,17 @@ class ShapeFrontier
     class Builder;
 
     /**
+     * Rebuild a frontier from stored points — the decode path of the
+     * persistent cache (core/frontier_cache.h). Validates the
+     * staircase invariants (positive shapes, strictly increasing DSP,
+     * strictly decreasing cycles) and returns nullopt on any
+     * violation, so a corrupt-but-checksummed file can never
+     * masquerade as a frontier.
+     */
+    static std::optional<ShapeFrontier>
+    fromPoints(std::vector<FrontierPoint> points);
+
+    /**
      * Enumerate shapes for @p layers (in range order) and keep the
      * frontier. @p units_budget caps Tn*Tm (the MAC budget implied by
      * the DSP budget); shapes beyond it can never fit and are not
@@ -246,15 +257,28 @@ class ShapeFrontier::Builder
  * for tiling signatures). Entries are immutable ShapeFrontiers, so a
  * hit is bit-identical to a private rebuild. Thread safe.
  */
+class FrontierCache;
+
 class FrontierRowStore
 {
   public:
     struct Stats
     {
-        size_t hits = 0;    ///< lookups answered by an existing row
-        size_t misses = 0;  ///< lookups that forced a build
-        size_t rows = 0;    ///< rows currently resident
+        size_t hits = 0;      ///< lookups answered by an existing row
+        size_t misses = 0;    ///< lookups that forced a build
+        size_t rows = 0;      ///< rows currently resident
+        size_t diskHits = 0;  ///< hits answered by the disk cache
     };
+
+    /**
+     * Attach a persistent cache: lookup() falls through to it on a
+     * miss (a disk hit counts as a hit and avoids the build), and
+     * insert() notes fresh rows for write-back. Attach before first
+     * use; the store never flushes — its owner does. The cache pins
+     * every row it mirrors for the process lifetime, so memoryBytes()
+     * then reports only evictable overhead (see its definition).
+     */
+    void attachCache(std::shared_ptr<FrontierCache> cache);
 
     /** The stored frontier for @p key, or nullptr (counts hit/miss). */
     std::shared_ptr<const ShapeFrontier>
@@ -280,12 +304,14 @@ class FrontierRowStore
 
   private:
     mutable std::mutex mutex_;
+    std::shared_ptr<FrontierCache> cache_;  ///< optional disk layer
     std::unordered_map<std::vector<int64_t>,
                        std::shared_ptr<const ShapeFrontier>,
                        util::Int64VectorHash>
         rows_;
     size_t hits_ = 0;
     size_t misses_ = 0;
+    size_t diskHits_ = 0;
 };
 
 /**

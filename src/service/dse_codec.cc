@@ -1,5 +1,6 @@
 #include "service/dse_codec.h"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "util/logging.h"
@@ -51,20 +52,34 @@ keyValue(const std::string &token)
 int64_t
 parseInt(const std::string &value, const char *what)
 {
+    // strtoll saturates to LLONG_MIN/MAX on overflow and only
+    // reports it through errno, so an unchecked parse would turn an
+    // out-of-range wire value into a plausible-looking bogus request
+    // instead of a codec error.
+    errno = 0;
     char *end = nullptr;
     int64_t parsed = std::strtoll(value.c_str(), &end, 10);
     if (end == value.c_str() || *end != '\0')
         util::fatal("dse codec: bad %s '%s'", what, value.c_str());
+    if (errno == ERANGE)
+        util::fatal("dse codec: %s '%s' is out of range", what,
+                    value.c_str());
     return parsed;
 }
 
 double
 parseDouble(const std::string &value, const char *what)
 {
+    // Same errno discipline as parseInt: strtod signals overflow
+    // (+-HUGE_VAL) and underflow only through ERANGE.
+    errno = 0;
     char *end = nullptr;
     double parsed = std::strtod(value.c_str(), &end);
     if (end == value.c_str() || *end != '\0')
         util::fatal("dse codec: bad %s '%s'", what, value.c_str());
+    if (errno == ERANGE)
+        util::fatal("dse codec: %s '%s' is out of range", what,
+                    value.c_str());
     return parsed;
 }
 

@@ -4,11 +4,13 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <istream>
 #include <ostream>
 
+#include "core/frontier_cache.h"
 #include "core/schedule.h"
 #include "model/bram_model.h"
 #include "model/dsp_model.h"
@@ -66,8 +68,14 @@ answerRequest(const core::DseRequest &request,
         std::shared_ptr<core::DseSession> session;  // pins its network
         const nn::Network *result_network = &network;
         if (registry) {
+            // The ladder maximum doubles as the admission-control
+            // hint: the registry can cost the session before building
+            // it (and evict or reject under a byte budget).
+            int64_t max_dsp = 0;
+            for (const fpga::ResourceBudget &budget : budgets)
+                max_dsp = std::max(max_dsp, budget.dspSlices);
             session = registry->session(network, request.device,
-                                        request.type);
+                                        request.type, max_dsp);
             results = session->sweep(budgets, options);
             // Build the response against the network copy the session
             // owns (identical layers; the handle keeps it alive).
@@ -106,8 +114,12 @@ answerRequest(const core::DseRequest &request,
 
 DseService::DseService(ServiceOptions options)
     : options_(options),
+      cache_(options.cacheDir.empty()
+                 ? nullptr
+                 : std::make_shared<core::FrontierCache>(
+                       options.cacheDir)),
       registry_(options.maxSessions, options.maxBytes,
-                options.sessionThreads)
+                options.sessionThreads, cache_)
 {
     if (util::resolveThreads(options_.threads) > 1)
         pool_ = std::make_unique<util::ThreadPool>(options_.threads);
@@ -125,9 +137,23 @@ DseService::handleLine(const std::string &line)
             registry_.rowStore()->stats();
         return util::strprintf(
             "ok stats sessions=%zu bytes=%zu hits=%zu misses=%zu "
-            "evictions=%zu rows=%zu row_hits=%zu row_misses=%zu",
+            "evictions=%zu rows=%zu row_hits=%zu row_misses=%zu "
+            "row_disk_hits=%zu",
             reg.sessions, reg.bytes, reg.hits, reg.misses,
-            reg.evictions, rows.rows, rows.hits, rows.misses);
+            reg.evictions, rows.rows, rows.hits, rows.misses,
+            rows.diskHits);
+    }
+    if (text == "cache-stats") {
+        if (!cache_)
+            return "ok cache-stats enabled=0";
+        core::FrontierCache::Stats stats = cache_->stats();
+        return util::strprintf(
+            "ok cache-stats enabled=1 rows_loaded=%zu "
+            "traces_loaded=%zu row_hits=%zu trace_hits=%zu "
+            "rows_pending=%zu traces_noted=%zu flushes=%zu clean=%d",
+            stats.rowsLoaded, stats.tracesLoaded, stats.rowHits,
+            stats.traceHits, stats.rowsPending, stats.tracesNoted,
+            stats.flushes, stats.loadedClean ? 1 : 0);
     }
     if (text == "shutdown")
         return "ok shutdown";
@@ -230,6 +256,7 @@ DseService::serveSocket(const std::string &path, int max_connections)
         // down its write side, answer every line in order, close.
         std::string input;
         char buffer[4096];
+        bool conn_dead = false;
         while (true) {
             ssize_t got = ::read(conn, buffer, sizeof(buffer));
             if (got > 0) {
@@ -237,8 +264,20 @@ DseService::serveSocket(const std::string &path, int max_connections)
             } else if (got < 0 && errno == EINTR) {
                 continue;  // a signal mid-read is not end-of-batch
             } else {
+                if (got < 0) {
+                    // A dying client (ECONNRESET et al.) costs only
+                    // its own connection, never the server.
+                    util::warn("mclp-serve: read(): %s",
+                               std::strerror(errno));
+                    conn_dead = true;
+                }
                 break;
             }
+        }
+        if (conn_dead) {
+            ::close(conn);
+            ++served;
+            continue;
         }
 
         std::vector<std::string> lines;
@@ -261,14 +300,24 @@ DseService::serveSocket(const std::string &path, int max_connections)
                 output += '\n';
             }
         }
+        // MSG_NOSIGNAL: a client that disconnected mid-response turns
+        // the write into EPIPE instead of a process-killing SIGPIPE
+        // (the library must not rely on the front end's signal
+        // disposition). Any write error is a per-connection failure:
+        // log it, drop the connection, keep serving.
         size_t written = 0;
         while (written < output.size()) {
-            ssize_t put = ::write(conn, output.data() + written,
-                                  output.size() - written);
+            ssize_t put = ::send(conn, output.data() + written,
+                                 output.size() - written, MSG_NOSIGNAL);
             if (put < 0 && errno == EINTR)
                 continue;
-            if (put <= 0)
+            if (put <= 0) {
+                util::warn("mclp-serve: client dropped mid-response "
+                           "(%zu of %zu bytes sent): %s",
+                           written, output.size(),
+                           put < 0 ? std::strerror(errno) : "EOF");
                 break;
+            }
             written += static_cast<size_t>(put);
         }
         ::close(conn);

@@ -61,6 +61,16 @@ struct ServiceOptions
     /** Bypass the registry: every request runs cold (the parity
      * baseline the warm path is diffed against). */
     bool cold = false;
+
+    /**
+     * Directory of the persistent frontier cache (mclp-serve
+     * --cache-dir); empty disables it. Frontier staircases and
+     * memory-walk traces load from here on a miss and flush back on
+     * shutdown, so a restarted server starts disk-warm. Responses
+     * never change — the cache self-invalidates on format or model
+     * changes (core/frontier_cache.h).
+     */
+    std::string cacheDir;
 };
 
 class DseService
@@ -70,8 +80,9 @@ class DseService
 
     /**
      * Answer one input line: a "dse ..." request (decoded, executed,
-     * encoded), "stats" (registry/row-store counters), or malformed
-     * input (an err line). Blank lines and '#' comments return "".
+     * encoded), "stats" (registry/row-store counters), "cache-stats"
+     * (persistent-cache counters), or malformed input (an err line).
+     * Blank lines and '#' comments return "".
      */
     std::string handleLine(const std::string &line);
 
@@ -94,15 +105,26 @@ class DseService
      * one batch: the client writes request lines and shuts down its
      * write side; the server answers them in order and closes. Serves
      * until @p max_connections connections were handled (-1 =
-     * forever) or a connection sends a "shutdown" line. Returns 0 on
-     * clean exit, 1 on socket errors.
+     * forever) or a connection sends a "shutdown" line. A client that
+     * dies mid-batch (read error, or the response write hitting
+     * EPIPE/ECONNRESET) costs only its own connection — sends use
+     * MSG_NOSIGNAL, so no SIGPIPE ever reaches the process, and the
+     * accept loop keeps serving. Returns 0 on clean exit, 1 on
+     * listener-level socket errors.
      */
     int serveSocket(const std::string &path, int max_connections = -1);
 
     core::SessionRegistry &registry() { return registry_; }
 
+    /** The persistent cache, when --cache-dir enabled one. */
+    const std::shared_ptr<core::FrontierCache> &cache() const
+    {
+        return cache_;
+    }
+
   private:
     ServiceOptions options_;
+    std::shared_ptr<core::FrontierCache> cache_;  ///< before registry_
     core::SessionRegistry registry_;
     std::unique_ptr<util::ThreadPool> pool_;
 };

@@ -1,0 +1,294 @@
+#include "util/record_file.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+namespace mclp {
+namespace util {
+
+uint64_t
+fnv1aBytes(const void *data, size_t count)
+{
+    const unsigned char *bytes = static_cast<const unsigned char *>(data);
+    uint64_t hash = 1469598103934665603ULL;
+    size_t i = 0;
+    for (; i + 8 <= count; i += 8) {
+        uint64_t word;
+        std::memcpy(&word, bytes + i, sizeof(word));
+        hash ^= word;
+        hash *= 1099511628211ULL;
+    }
+    for (; i < count; ++i) {
+        hash ^= bytes[i];
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
+namespace {
+
+void
+putLe(std::string &buf, uint64_t value, size_t bytes)
+{
+    for (size_t i = 0; i < bytes; ++i)
+        buf.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+}
+
+} // namespace
+
+void
+ByteWriter::u8(uint8_t value)
+{
+    putLe(buf_, value, 1);
+}
+
+void
+ByteWriter::u32(uint32_t value)
+{
+    putLe(buf_, value, 4);
+}
+
+void
+ByteWriter::u64(uint64_t value)
+{
+    putLe(buf_, value, 8);
+}
+
+void
+ByteWriter::f64(double value)
+{
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    u64(bits);
+}
+
+void
+ByteWriter::i64Words(const int64_t *words, size_t count)
+{
+    if constexpr (std::endian::native == std::endian::little) {
+        buf_.append(reinterpret_cast<const char *>(words),
+                    count * sizeof(int64_t));
+    } else {
+        for (size_t i = 0; i < count; ++i)
+            i64(words[i]);
+    }
+}
+
+bool
+ByteReader::take(void *out, size_t count)
+{
+    if (!ok_ || data_.size() - pos_ < count) {
+        ok_ = false;
+        return false;
+    }
+    std::memcpy(out, data_.data() + pos_, count);
+    pos_ += count;
+    return true;
+}
+
+bool
+ByteReader::u8(uint8_t &value)
+{
+    return take(&value, 1);
+}
+
+bool
+ByteReader::u32(uint32_t &value)
+{
+    unsigned char raw[4];
+    if (!take(raw, sizeof(raw)))
+        return false;
+    value = 0;
+    for (size_t i = 0; i < sizeof(raw); ++i)
+        value |= static_cast<uint32_t>(raw[i]) << (8 * i);
+    return true;
+}
+
+bool
+ByteReader::u64(uint64_t &value)
+{
+    unsigned char raw[8];
+    if (!take(raw, sizeof(raw)))
+        return false;
+    value = 0;
+    for (size_t i = 0; i < sizeof(raw); ++i)
+        value |= static_cast<uint64_t>(raw[i]) << (8 * i);
+    return true;
+}
+
+bool
+ByteReader::i64(int64_t &value)
+{
+    uint64_t raw;
+    if (!u64(raw))
+        return false;
+    value = static_cast<int64_t>(raw);
+    return true;
+}
+
+bool
+ByteReader::f64(double &value)
+{
+    uint64_t bits;
+    if (!u64(bits))
+        return false;
+    std::memcpy(&value, &bits, sizeof(value));
+    return true;
+}
+
+bool
+ByteReader::i64Words(int64_t *words, size_t count)
+{
+    if constexpr (std::endian::native == std::endian::little)
+        return take(words, count * sizeof(int64_t));
+    for (size_t i = 0; i < count; ++i) {
+        if (!i64(words[i]))
+            return false;
+    }
+    return true;
+}
+
+FileLock::FileLock(const std::string &path)
+{
+    fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd_ < 0)
+        return;
+    if (::flock(fd_, LOCK_EX) != 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+FileLock::~FileLock()
+{
+    if (fd_ >= 0) {
+        ::flock(fd_, LOCK_UN);
+        ::close(fd_);
+    }
+}
+
+RecordFileWriter::RecordFileWriter(std::string path,
+                                   std::string_view header)
+    : path_(std::move(path)), tmpPath_(path_ + ".tmp")
+{
+    file_ = std::fopen(tmpPath_.c_str(), "wb");
+    ok_ = file_ != nullptr;
+    if (ok_)
+        append(header);
+}
+
+RecordFileWriter::~RecordFileWriter()
+{
+    if (file_)
+        std::fclose(file_);
+    if (!committed_)
+        ::unlink(tmpPath_.c_str());
+}
+
+void
+RecordFileWriter::append(std::string_view payload)
+{
+    if (!ok_)
+        return;
+    std::string frame;
+    putLe(frame, static_cast<uint32_t>(payload.size()), 4);
+    putLe(frame, fnv1aBytes(payload.data(), payload.size()), 8);
+    ok_ = std::fwrite(frame.data(), 1, frame.size(), file_) ==
+              frame.size() &&
+          (payload.empty() ||
+           std::fwrite(payload.data(), 1, payload.size(), file_) ==
+               payload.size());
+}
+
+bool
+RecordFileWriter::commit()
+{
+    if (!ok_ || committed_)
+        return false;
+    ok_ = std::fflush(file_) == 0 && ::fsync(::fileno(file_)) == 0;
+    ok_ = std::fclose(file_) == 0 && ok_;
+    file_ = nullptr;
+    if (!ok_)
+        return false;
+    if (std::rename(tmpPath_.c_str(), path_.c_str()) != 0) {
+        ok_ = false;
+        return false;
+    }
+    committed_ = true;
+    return true;
+}
+
+RecordFileReader::RecordFileReader(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        return;
+    // One allocation, one read: cache files reach tens of megabytes
+    // and chunked appends would re-copy the buffer repeatedly.
+    long size = -1;
+    if (std::fseek(file, 0, SEEK_END) == 0)
+        size = std::ftell(file);
+    if (size >= 0 && std::fseek(file, 0, SEEK_SET) == 0) {
+        data_.resize(static_cast<size_t>(size));
+        size_t got = std::fread(data_.data(), 1, data_.size(), file);
+        opened_ = got == data_.size() && std::ferror(file) == 0;
+    }
+    std::fclose(file);
+    if (!opened_)
+        data_.clear();
+}
+
+bool
+RecordFileReader::next(std::string &out)
+{
+    std::string_view view;
+    if (!next(view))
+        return false;
+    out.assign(view.data(), view.size());
+    return true;
+}
+
+bool
+RecordFileReader::next(std::string_view &out)
+{
+    if (!opened_ || corrupt_)
+        return false;
+    if (pos_ == data_.size())
+        return false;  // clean end of file
+    if (data_.size() - pos_ < 12) {
+        corrupt_ = true;  // truncated mid-frame
+        return false;
+    }
+    uint32_t length = 0;
+    uint64_t checksum = 0;
+    for (size_t i = 0; i < 4; ++i)
+        length |= static_cast<uint32_t>(
+                      static_cast<unsigned char>(data_[pos_ + i]))
+                  << (8 * i);
+    for (size_t i = 0; i < 8; ++i)
+        checksum |= static_cast<uint64_t>(
+                        static_cast<unsigned char>(data_[pos_ + 4 + i]))
+                    << (8 * i);
+    if (data_.size() - pos_ - 12 < length) {
+        corrupt_ = true;  // truncated mid-payload
+        return false;
+    }
+    const char *payload = data_.data() + pos_ + 12;
+    if (fnv1aBytes(payload, length) != checksum) {
+        corrupt_ = true;  // bit rot; nothing after is trustworthy
+        return false;
+    }
+    out = std::string_view(payload, length);
+    pos_ += 12 + length;
+    return true;
+}
+
+} // namespace util
+} // namespace mclp

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Framed binary record files: the storage layer under the persistent
+ * frontier cache (core/frontier_cache.h).
+ *
+ * A record file is one header record followed by any number of data
+ * records. Every record is length-framed and checksummed
+ * (u32 payload length, u64 FNV-1a of the payload, payload bytes), so
+ * a reader detects truncation and bit corruption record by record and
+ * can keep everything validated before the damage. Writers never
+ * touch the destination in place: they stream into "<path>.tmp" and
+ * commit() with fsync + atomic rename, so a crash mid-write leaves
+ * the previous file intact. Cross-process exclusion uses a separate
+ * advisory lock file (FileLock), never the data file itself.
+ *
+ * Integers are serialized little-endian regardless of host order;
+ * doubles as their IEEE-754 bit patterns, so values round-trip
+ * bit-exactly — a requirement for the cache's byte-for-byte
+ * disk-warm-vs-cold parity invariant.
+ */
+
+#ifndef MCLP_UTIL_RECORD_FILE_H
+#define MCLP_UTIL_RECORD_FILE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mclp {
+namespace util {
+
+/**
+ * The record checksum: FNV-1a folding eight bytes per step (plus a
+ * byte-wise tail), so checking a multi-megabyte cache file costs
+ * milliseconds, not tens of them. Not the canonical byte-wise FNV —
+ * this is an internal framing checksum, not an interchange hash.
+ */
+uint64_t fnv1aBytes(const void *data, size_t count);
+
+/** Append-only little-endian serializer for record payloads. */
+class ByteWriter
+{
+  public:
+    void u8(uint8_t value);
+    void u32(uint32_t value);
+    void u64(uint64_t value);
+    void i64(int64_t value) { u64(static_cast<uint64_t>(value)); }
+    /** IEEE-754 bit pattern; round-trips bit-exactly. */
+    void f64(double value);
+    /** Bulk little-endian i64 block (one memcpy on LE hosts). */
+    void i64Words(const int64_t *words, size_t count);
+
+    const std::string &bytes() const { return buf_; }
+
+  private:
+    std::string buf_;
+};
+
+/**
+ * Bounds-checked little-endian deserializer. Every read reports
+ * success; once a read runs past the end the reader latches !ok() and
+ * all further reads fail, so decode loops need only one final check.
+ */
+class ByteReader
+{
+  public:
+    explicit ByteReader(std::string_view data) : data_(data) {}
+
+    bool u8(uint8_t &value);
+    bool u32(uint32_t &value);
+    bool u64(uint64_t &value);
+    bool i64(int64_t &value);
+    bool f64(double &value);
+    /** Bulk little-endian i64 block (one memcpy on LE hosts) — the
+     * fast path for staircase arrays, where per-field reads would
+     * dominate cache load time. */
+    bool i64Words(int64_t *words, size_t count);
+
+    bool ok() const { return ok_; }
+    bool atEnd() const { return ok_ && pos_ == data_.size(); }
+
+  private:
+    bool take(void *out, size_t count);
+
+    std::string_view data_;
+    size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+/**
+ * Blocking advisory file lock (flock) for cross-process exclusion.
+ * The lock file is created if absent and never deleted; the lock is
+ * released on destruction (or process death — kernel-managed, so a
+ * crashed holder never wedges other CLIs).
+ */
+class FileLock
+{
+  public:
+    explicit FileLock(const std::string &path);
+    ~FileLock();
+
+    FileLock(const FileLock &) = delete;
+    FileLock &operator=(const FileLock &) = delete;
+
+    /** False when the lock file could not be created or locked. */
+    bool locked() const { return fd_ >= 0; }
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Writes a record file to "<path>.tmp"; commit() fsyncs and renames
+ * it over @p path atomically. Without commit(), the destructor
+ * removes the temporary and the previous file survives untouched.
+ */
+class RecordFileWriter
+{
+  public:
+    RecordFileWriter(std::string path, std::string_view header);
+    ~RecordFileWriter();
+
+    RecordFileWriter(const RecordFileWriter &) = delete;
+    RecordFileWriter &operator=(const RecordFileWriter &) = delete;
+
+    /** False after any I/O error; append/commit then do nothing. */
+    bool ok() const { return ok_; }
+
+    void append(std::string_view payload);
+
+    /** Flush, fsync, rename into place. False on any failure. */
+    bool commit();
+
+  private:
+    std::string path_;
+    std::string tmpPath_;
+    std::FILE *file_ = nullptr;
+    bool ok_ = false;
+    bool committed_ = false;
+};
+
+/**
+ * Reads a record file written by RecordFileWriter. The whole file is
+ * slurped at construction (cache files are small); header() and
+ * next() then iterate validated records. A framing or checksum
+ * mismatch stops iteration and latches sawCorruption() — records
+ * already returned were individually validated and stay trustworthy.
+ */
+class RecordFileReader
+{
+  public:
+    explicit RecordFileReader(const std::string &path);
+
+    /** False when the file does not exist or could not be read. */
+    bool opened() const { return opened_; }
+
+    /** The header record; false on a missing/corrupt header. */
+    bool header(std::string &out) { return next(out); }
+
+    /** The next data record; false at end of file or on corruption. */
+    bool next(std::string &out);
+
+    /**
+     * Zero-copy variant: the view aliases the reader's buffer and
+     * stays valid until the reader dies — the hot path for loading
+     * multi-megabyte cache files.
+     */
+    bool next(std::string_view &out);
+
+    /** True when iteration ended on a framing/checksum error. */
+    bool sawCorruption() const { return corrupt_; }
+
+  private:
+    std::string data_;
+    size_t pos_ = 0;
+    bool opened_ = false;
+    bool corrupt_ = false;
+};
+
+} // namespace util
+} // namespace mclp
+
+#endif // MCLP_UTIL_RECORD_FILE_H

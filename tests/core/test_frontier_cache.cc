@@ -1,0 +1,378 @@
+/**
+ * @file
+ * The persistent frontier cache must trade only process-start warmth,
+ * never correctness: designs answered from a disk-warm cache diff
+ * byte for byte against cold runs (fixed and random networks), and
+ * every way a cache file can be wrong — truncated, bit-rotted, stale
+ * format version, stale model fingerprint, concurrent writers — must
+ * degrade to a cold build: never a crash, never different bytes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/dse_request.h"
+#include "core/frontier_cache.h"
+#include "core/session_registry.h"
+#include "nn/zoo.h"
+#include "service/dse_codec.h"
+#include "service/dse_service.h"
+#include "test_helpers.h"
+#include "util/math.h"
+#include "util/record_file.h"
+#include "util/string_utils.h"
+
+namespace mclp {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** A fresh cache directory, removed on destruction. */
+struct ScratchDir
+{
+    fs::path path;
+
+    ScratchDir()
+    {
+        static int counter = 0;
+        path = fs::temp_directory_path() /
+               ("mclp_frontier_cache_" + std::to_string(::getpid()) +
+                "_" + std::to_string(counter++));
+        fs::create_directories(path);
+    }
+
+    ~ScratchDir() { fs::remove_all(path); }
+
+    std::string dir() const { return path.string(); }
+
+    std::string cacheFile() const
+    {
+        return (path / core::kFrontierCacheFileName).string();
+    }
+};
+
+/** Wire-encode a request answered through a cache-backed registry. */
+std::string
+cachedResponse(const std::string &line, const std::string &cache_dir)
+{
+    auto cache = std::make_shared<core::FrontierCache>(cache_dir);
+    core::SessionRegistry registry(4, 0, 1, cache);
+    core::DseRequest request = service::decodeRequest(line);
+    return service::encodeResponse(
+        service::answerRequest(request, &registry));
+    // Registry destruction flushes the cache.
+}
+
+std::string
+coldResponse(const std::string &line)
+{
+    core::DseRequest request = service::decodeRequest(line);
+    return service::encodeResponse(
+        service::answerRequest(request, nullptr));
+}
+
+TEST(FrontierCache, DiskWarmMatchesColdByteForByte)
+{
+    ScratchDir scratch;
+    std::vector<std::string> requests{
+        "dse id=a net=alexnet device=690t budgets=500,1000,2880",
+        "dse id=s net=squeezenet device=690t type=fixed mhz=170 "
+        "budgets=1000,2880",
+        "dse id=l net=alexnet budgets=500,2000 mode=latency",
+    };
+    for (const std::string &line : requests) {
+        std::string cold = coldResponse(line);
+        // Populating pass (cold cache) and disk-warm pass (fresh
+        // FrontierCache instance, fresh registry, fresh sessions —
+        // only the directory survives) must both match cold bytes.
+        EXPECT_EQ(cachedResponse(line, scratch.dir()), cold) << line;
+        EXPECT_EQ(cachedResponse(line, scratch.dir()), cold) << line;
+    }
+
+    // The disk-warm pass really came from disk: a fresh cache on the
+    // populated directory loads rows and a replayed request hits them.
+    auto cache = std::make_shared<core::FrontierCache>(scratch.dir());
+    core::FrontierCache::Stats before = cache->stats();
+    EXPECT_TRUE(before.loadedClean);
+    EXPECT_GT(before.rowsLoaded, 0u);
+    EXPECT_GT(before.tracesLoaded, 0u);
+    {
+        core::SessionRegistry registry(4, 0, 1, cache);
+        core::DseRequest request = service::decodeRequest(requests[0]);
+        service::answerRequest(request, &registry);
+        // The store's own accounting sees the same disk hits (this is
+        // what the mclp-serve stats verb reports as row_disk_hits).
+        EXPECT_GT(registry.rowStore()->stats().diskHits, 0u);
+    }
+    core::FrontierCache::Stats after = cache->stats();
+    EXPECT_GT(after.rowHits, 0u);
+    EXPECT_GT(after.traceHits, 0u);
+}
+
+TEST(FrontierCache, DiskWarmMatchesColdOnRandomNetworks)
+{
+    util::SplitMix64 rng(20170627);
+    for (int trial = 0; trial < 3; ++trial) {
+        ScratchDir scratch;
+        std::vector<std::string> layer_specs;
+        int count = static_cast<int>(rng.nextInt(3, 6));
+        for (int i = 0; i < count; ++i) {
+            layer_specs.push_back(util::strprintf(
+                "L%d:%lld:%lld:%lld:%lld:3:1", i,
+                static_cast<long long>(rng.nextInt(1, 64)),
+                static_cast<long long>(rng.nextInt(1, 64)),
+                static_cast<long long>(rng.nextInt(3, 14)),
+                static_cast<long long>(rng.nextInt(3, 14))));
+        }
+        std::string line = util::strprintf(
+            "dse id=r%d net=rand layers=%s budgets=%lld,%lld "
+            "maxclps=3%s",
+            trial, util::join(layer_specs, ";").c_str(),
+            static_cast<long long>(rng.nextInt(100, 900)),
+            static_cast<long long>(rng.nextInt(900, 2400)),
+            trial % 2 == 1 ? " type=fixed" : "");
+        std::string cold = coldResponse(line);
+        EXPECT_EQ(cachedResponse(line, scratch.dir()), cold) << line;
+        EXPECT_EQ(cachedResponse(line, scratch.dir()), cold) << line;
+    }
+}
+
+/** Populate a cache directory with one AlexNet ladder. */
+std::string
+populate(const ScratchDir &scratch)
+{
+    std::string line =
+        "dse id=p net=alexnet device=690t budgets=500,1500";
+    std::string cold = coldResponse(line);
+    EXPECT_EQ(cachedResponse(line, scratch.dir()), cold);
+    EXPECT_TRUE(fs::exists(scratch.cacheFile()));
+    return cold;
+}
+
+TEST(FrontierCache, TruncatedFileFallsBackToColdBuild)
+{
+    ScratchDir scratch;
+    std::string cold = populate(scratch);
+    fs::resize_file(scratch.cacheFile(),
+                    fs::file_size(scratch.cacheFile()) / 2);
+
+    auto cache = std::make_shared<core::FrontierCache>(scratch.dir());
+    EXPECT_FALSE(cache->stats().loadedClean);
+    core::SessionRegistry registry(4, 0, 1, cache);
+    core::DseRequest request = service::decodeRequest(
+        "dse id=p net=alexnet device=690t budgets=500,1500");
+    EXPECT_EQ(service::encodeResponse(
+                  service::answerRequest(request, &registry)),
+              cold);
+}
+
+TEST(FrontierCache, CorruptPayloadByteFallsBackToColdBuild)
+{
+    ScratchDir scratch;
+    std::string cold = populate(scratch);
+    {
+        // Flip a byte deep in the file: record checksums catch it.
+        std::FILE *file =
+            std::fopen(scratch.cacheFile().c_str(), "r+b");
+        ASSERT_NE(file, nullptr);
+        ASSERT_EQ(std::fseek(file, -40, SEEK_END), 0);
+        int byte = std::fgetc(file);
+        ASSERT_EQ(std::fseek(file, -1, SEEK_CUR), 0);
+        std::fputc(byte ^ 0x5a, file);
+        std::fclose(file);
+    }
+    EXPECT_EQ(cachedResponse(
+                  "dse id=p net=alexnet device=690t budgets=500,1500",
+                  scratch.dir()),
+              cold);
+}
+
+/** Write a header-only cache file with the given version/fingerprint. */
+void
+writeHeaderOnly(const std::string &path, uint64_t magic,
+                uint32_t version, uint64_t fingerprint)
+{
+    util::ByteWriter header;
+    header.u64(magic);
+    header.u32(version);
+    header.u64(fingerprint);
+    util::RecordFileWriter writer(path, header.bytes());
+    // One garbage record: it must never be read under a bad header.
+    util::ByteWriter bogus;
+    bogus.u8(1);
+    bogus.u32(1);
+    bogus.i64(-7);
+    writer.append(bogus.bytes());
+    ASSERT_TRUE(writer.commit());
+}
+
+TEST(FrontierCache, WrongVersionOrFingerprintIsIgnoredWholesale)
+{
+    for (int variant = 0; variant < 3; ++variant) {
+        ScratchDir scratch;
+        uint64_t magic = core::kFrontierCacheMagic;
+        uint32_t version = core::kFrontierCacheFormatVersion;
+        uint64_t fingerprint = core::modelFormulaFingerprint();
+        if (variant == 0)
+            version += 1;
+        else if (variant == 1)
+            fingerprint ^= 1;
+        else
+            magic ^= 0xff;
+        writeHeaderOnly(scratch.cacheFile(), magic, version,
+                        fingerprint);
+
+        auto cache =
+            std::make_shared<core::FrontierCache>(scratch.dir());
+        EXPECT_EQ(cache->stats().rowsLoaded, 0u);
+        EXPECT_EQ(cache->stats().tracesLoaded, 0u);
+        // A stale header is an *expected* invalidation, not damage —
+        // except the wrong-magic case, which is not our file at all.
+        if (variant != 2) {
+            EXPECT_TRUE(cache->stats().loadedClean);
+        }
+
+        // The stale file is replaced by a valid one on flush.
+        std::string line =
+            "dse id=v net=alexnet device=690t budgets=500";
+        std::string cold = coldResponse(line);
+        {
+            core::SessionRegistry registry(4, 0, 1, cache);
+            core::DseRequest request = service::decodeRequest(line);
+            EXPECT_EQ(service::encodeResponse(
+                          service::answerRequest(request, &registry)),
+                      cold);
+        }
+        auto reloaded =
+            std::make_shared<core::FrontierCache>(scratch.dir());
+        EXPECT_TRUE(reloaded->stats().loadedClean);
+        EXPECT_GT(reloaded->stats().rowsLoaded, 0u);
+    }
+}
+
+TEST(FrontierCache, ConcurrentWritersMergeInsteadOfClobbering)
+{
+    ScratchDir scratch;
+    // Two cache instances on one directory (two CLIs), each learning
+    // a different network, flushing in either order: both contribute.
+    std::string alexnet_line =
+        "dse id=a net=alexnet device=690t budgets=800";
+    std::string squeeze_line =
+        "dse id=s net=squeezenet device=690t budgets=800";
+    std::string alexnet_cold = coldResponse(alexnet_line);
+    std::string squeeze_cold = coldResponse(squeeze_line);
+
+    auto cache_a = std::make_shared<core::FrontierCache>(scratch.dir());
+    auto cache_b = std::make_shared<core::FrontierCache>(scratch.dir());
+    std::thread writer_a([&] {
+        core::SessionRegistry registry(4, 0, 1, cache_a);
+        core::DseRequest request =
+            service::decodeRequest(alexnet_line);
+        EXPECT_EQ(service::encodeResponse(
+                      service::answerRequest(request, &registry)),
+                  alexnet_cold);
+    });
+    std::thread writer_b([&] {
+        core::SessionRegistry registry(4, 0, 1, cache_b);
+        core::DseRequest request =
+            service::decodeRequest(squeeze_line);
+        EXPECT_EQ(service::encodeResponse(
+                      service::answerRequest(request, &registry)),
+                  squeeze_cold);
+    });
+    writer_a.join();
+    writer_b.join();
+
+    // A third process sees the union, loads clean, and answers both
+    // requests disk-warm with cold bytes. Whichever CLI flushed last
+    // re-read the file under the lock and merged, so the earlier
+    // flush survives alongside it.
+    auto merged = std::make_shared<core::FrontierCache>(scratch.dir());
+    EXPECT_TRUE(merged->stats().loadedClean);
+    EXPECT_GT(merged->stats().rowsLoaded, 0u);
+    {
+        core::SessionRegistry registry(4, 0, 1, merged);
+        EXPECT_EQ(
+            service::encodeResponse(service::answerRequest(
+                service::decodeRequest(alexnet_line), &registry)),
+            alexnet_cold);
+        EXPECT_EQ(
+            service::encodeResponse(service::answerRequest(
+                service::decodeRequest(squeeze_line), &registry)),
+            squeeze_cold);
+    }
+    EXPECT_GT(merged->stats().rowHits, 0u);
+}
+
+TEST(FrontierCache, StaircaseValidationRejectsCorruptRows)
+{
+    // A checksummed-but-nonsensical staircase must not become a
+    // frontier.
+    std::vector<core::FrontierPoint> increasing_cycles(2);
+    increasing_cycles[0].shape = {2, 2};
+    increasing_cycles[0].dsp = 10;
+    increasing_cycles[0].cycles = 100;
+    increasing_cycles[1].shape = {4, 4};
+    increasing_cycles[1].dsp = 20;
+    increasing_cycles[1].cycles = 200;  // must decrease
+    EXPECT_FALSE(
+        core::ShapeFrontier::fromPoints(increasing_cycles).has_value());
+
+    std::vector<core::FrontierPoint> bad_shape(1);
+    bad_shape[0].shape = {0, 4};
+    bad_shape[0].dsp = 10;
+    bad_shape[0].cycles = 100;
+    EXPECT_FALSE(core::ShapeFrontier::fromPoints(bad_shape).has_value());
+
+    std::vector<core::FrontierPoint> good(2);
+    good[0].shape = {2, 2};
+    good[0].dsp = 10;
+    good[0].cycles = 200;
+    good[1].shape = {4, 4};
+    good[1].dsp = 20;
+    good[1].cycles = 100;
+    EXPECT_TRUE(core::ShapeFrontier::fromPoints(good).has_value());
+}
+
+TEST(FrontierCache, PinnedRowsAreExcludedFromEvictableBytes)
+{
+    // With a cache attached every row is pinned by the cache's mirror
+    // (disk-loaded or pending write-back), so eviction cannot free
+    // it; the byte budget must therefore not count row payloads, or a
+    // --max-bytes-mb server with --cache-dir would thrash sessions
+    // forever against a floor it can never get under.
+    ScratchDir scratch;
+    std::string line = "dse id=p net=alexnet device=690t budgets=1500";
+
+    size_t uncached_bytes;
+    {
+        core::SessionRegistry registry(4, 0, 1);
+        service::answerRequest(service::decodeRequest(line), &registry);
+        uncached_bytes = registry.rowStore()->memoryBytes();
+    }
+    auto cache = std::make_shared<core::FrontierCache>(scratch.dir());
+    core::SessionRegistry registry(4, 0, 1, cache);
+    service::answerRequest(service::decodeRequest(line), &registry);
+    core::FrontierRowStore::Stats stats =
+        registry.rowStore()->stats();
+    EXPECT_GT(stats.rows, 0u);
+    EXPECT_LT(registry.rowStore()->memoryBytes(), uncached_bytes)
+        << "pinned staircase payloads must not count as evictable";
+}
+
+TEST(FrontierCache, FingerprintIsStableWithinAProcess)
+{
+    EXPECT_EQ(core::modelFormulaFingerprint(),
+              core::modelFormulaFingerprint());
+    EXPECT_NE(core::modelFormulaFingerprint(), 0u);
+}
+
+} // namespace
+} // namespace mclp

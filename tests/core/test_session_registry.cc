@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "core/session_registry.h"
 #include "nn/zoo.h"
 #include "test_helpers.h"
+#include "util/logging.h"
 
 namespace mclp {
 namespace {
@@ -145,6 +147,92 @@ TEST(SessionRegistry, ByteBudgetTriggersEviction)
                      coldRun(squeezenet, fpga::DataType::Float32,
                              budgets[0]),
                      "post byte-cap eviction");
+}
+
+TEST(SessionRegistry, AdmissionEstimateScalesWithLayersAndBudget)
+{
+    nn::Network alexnet = nn::makeAlexNet();
+    nn::Network googlenet = nn::makeGoogLeNet();
+    size_t small = core::SessionRegistry::estimateSessionBytes(
+        alexnet, fpga::DataType::Float32, 500);
+    size_t big = core::SessionRegistry::estimateSessionBytes(
+        alexnet, fpga::DataType::Float32, 5000);
+    size_t wide = core::SessionRegistry::estimateSessionBytes(
+        googlenet, fpga::DataType::Float32, 500);
+    EXPECT_GT(small, 0u);
+    EXPECT_GT(big, small) << "more DSP => bigger staircases";
+    EXPECT_GT(wide, small) << "more layers => more rows";
+    // No budget hint means no estimate (admission is then post-hoc
+    // only, the pre-PR behaviour).
+    EXPECT_EQ(core::SessionRegistry::estimateSessionBytes(
+                  googlenet, fpga::DataType::Float32, 0),
+              0u);
+}
+
+TEST(SessionRegistry, AdmissionEvictsBeforeBuildingAndRejectsGiants)
+{
+    nn::Network alexnet = nn::makeAlexNet();
+    nn::Network googlenet = nn::makeGoogLeNet();
+    std::vector<fpga::ResourceBudget> budgets =
+        core::dspLadder({800}, 100.0);
+
+    // Budget sized so the resident AlexNet session plus GoogLeNet's
+    // estimate cannot coexist, but either alone fits: admission must
+    // evict AlexNet *before* building GoogLeNet instead of letting
+    // the pair transiently blow the cap.
+    size_t google_est = core::SessionRegistry::estimateSessionBytes(
+        googlenet, fpga::DataType::Float32, 800);
+    core::SessionRegistry registry(8, google_est + 96 * 1024, 1);
+    registry.session(alexnet, "690t", fpga::DataType::Float32, 800)
+        ->sweep(budgets, {});
+    ASSERT_EQ(registry.stats().evictions, 0u);
+
+    auto session = registry.session(googlenet, "690t",
+                                    fpga::DataType::Float32, 800);
+    core::SessionRegistry::Stats stats = registry.stats();
+    EXPECT_GE(stats.evictions, 1u)
+        << "bytes=" << stats.bytes << " est=" << google_est;
+    // The admitted session answers bit-identically to a cold run.
+    auto warm = session->sweep(budgets, {});
+    expectSameResult(warm[0],
+                     coldRun(googlenet, fpga::DataType::Float32,
+                             budgets[0]),
+                     "admitted-after-eviction session");
+
+    // A single network whose estimate exceeds the *whole* byte budget
+    // can never be held: reject it as a user error up front (the
+    // service turns this into an err line), rather than building a
+    // session the cap cannot hold.
+    core::SessionRegistry tiny(8, 4 * 1024, 1);
+    EXPECT_THROW(tiny.session(googlenet, "690t",
+                              fpga::DataType::Float32, 2880),
+                 util::FatalError);
+    // The codec accepts budgets up to INT64_MAX; the estimate must
+    // saturate instead of wrapping past the check (a wrapped product
+    // would admit exactly the request admission control exists for).
+    EXPECT_EQ(core::SessionRegistry::estimateSessionBytes(
+                  alexnet, fpga::DataType::Float32,
+                  std::numeric_limits<int64_t>::max()),
+              std::numeric_limits<size_t>::max());
+    EXPECT_THROW(tiny.session(alexnet, "690t",
+                              fpga::DataType::Float32,
+                              std::numeric_limits<int64_t>::max()),
+                 util::FatalError);
+    // Warmth must not bypass admission: the GoogLeNet session is
+    // resident in `registry` (admitted at 800 DSP above), but
+    // re-acquiring it with an over-budget ladder hint is rejected all
+    // the same — answers never depend on whether the session happens
+    // to be resident.
+    EXPECT_THROW(registry.session(googlenet, "690t",
+                                  fpga::DataType::Float32,
+                                  std::numeric_limits<int64_t>::max()),
+                 util::FatalError);
+    // Without a hint (or without a byte budget) nothing is rejected.
+    core::SessionRegistry unlimited(8, 0, 1);
+    EXPECT_NO_THROW(unlimited.session(
+        googlenet, "690t", fpga::DataType::Float32, 2880));
+    EXPECT_NO_THROW(
+        tiny.session(alexnet, "690t", fpga::DataType::Float32));
 }
 
 /** Two SqueezeNet variants: v1.1 and a copy with a tweaked conv10. */

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "service/dse_codec.h"
 #include "test_helpers.h"
 #include "util/logging.h"
@@ -87,6 +89,52 @@ TEST(DseCodec, MalformedRequestsAreRejected)
     EXPECT_THROW(service::decodeRequest(
                      "dse id=a net=mini layers=bad:1:2:3 budgets=100"),
                  util::FatalError);
+}
+
+TEST(DseCodec, OutOfRangeWireValuesAreRejectedNotSaturated)
+{
+    // strtoll/strtod saturate silently on overflow (LLONG_MAX,
+    // +-HUGE_VAL) and only report it via errno; the codec must turn
+    // that into a parse error, never a plausible-looking bogus
+    // request.
+    EXPECT_THROW(
+        service::decodeRequest("dse id=a net=alexnet "
+                               "budgets=9223372036854775808"),
+        util::FatalError);
+    EXPECT_THROW(
+        service::decodeRequest(
+            "dse id=a net=alexnet budgets=500,"
+            "99999999999999999999999999999999999999"),
+        util::FatalError);
+    EXPECT_THROW(service::decodeRequest("dse id=a net=alexnet "
+                                        "device=690t mhz=1e999"),
+                 util::FatalError);
+    EXPECT_THROW(service::decodeRequest("dse id=a net=alexnet "
+                                        "device=690t bw=-1e999"),
+                 util::FatalError);
+    // Underflow is ERANGE too: a wire value the double cannot
+    // represent is rejected rather than flushed toward zero.
+    EXPECT_THROW(service::decodeRequest("dse id=a net=alexnet "
+                                        "device=690t mhz=1e-999"),
+                 util::FatalError);
+    EXPECT_THROW(
+        service::decodeRequest(
+            "dse id=a net=mini "
+            "layers=conv1:99999999999999999999:16:7:7:3:1 "
+            "budgets=100"),
+        util::FatalError);
+    // Response decoding takes the same path.
+    EXPECT_THROW(
+        service::decodeResponse("ok id=a net=x points=1 point "
+                                "dsp=99999999999999999999999999"),
+        util::FatalError);
+
+    // The extremes that *do* fit are still accepted exactly.
+    core::DseRequest request = service::decodeRequest(
+        "dse id=a net=alexnet budgets=9223372036854775807");
+    ASSERT_EQ(request.dspBudgets.size(), 1u);
+    EXPECT_EQ(request.dspBudgets[0],
+              std::numeric_limits<int64_t>::max());
 }
 
 TEST(DseCodec, DesignRoundTrips)

@@ -215,5 +215,94 @@ TEST(DseService, UnixSocketServesABatch)
                                       "budgets=500 mode=single"));
 }
 
+TEST(DseService, ClientDroppingMidResponseDoesNotKillTheServer)
+{
+    std::string path = util::strprintf("/tmp/mclp_test_drop_%d.sock",
+                                       static_cast<int>(::getpid()));
+    service::DseService dse{service::ServiceOptions{}};
+    std::thread server(
+        [&] { EXPECT_EQ(dse.serveSocket(path, 2), 0); });
+
+    auto connect_to = [&]() -> int {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, path.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        for (int attempt = 0; attempt < 200; ++attempt) {
+            int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+            if (fd < 0)
+                return -1;
+            if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                          sizeof(addr)) == 0)
+                return fd;
+            ::close(fd);
+            ::usleep(10000);
+        }
+        return -1;
+    };
+
+    // First client: send a ladder big enough that its response fills
+    // socket buffers, then vanish without reading a byte. The write
+    // path must see EPIPE/ECONNRESET (never SIGPIPE) and treat it as
+    // a per-connection failure.
+    int fd = connect_to();
+    ASSERT_GE(fd, 0) << "could not connect to " << path;
+    std::string batch =
+        "dse id=d1 net=squeezenet device=690t "
+        "budgets=500,1000,1500,2000,2500,2880\n";
+    ASSERT_EQ(::write(fd, batch.data(), batch.size()),
+              static_cast<ssize_t>(batch.size()));
+    ::shutdown(fd, SHUT_WR);
+    ::close(fd);  // gone before the response is written
+
+    // Second client: the server must still be alive and correct.
+    fd = connect_to();
+    ASSERT_GE(fd, 0) << "server died after the dropped client";
+    std::string ok_batch = "dse id=d2 net=alexnet budgets=500\n";
+    ASSERT_EQ(::write(fd, ok_batch.data(), ok_batch.size()),
+              static_cast<ssize_t>(ok_batch.size()));
+    ::shutdown(fd, SHUT_WR);
+    std::string reply;
+    char buffer[4096];
+    ssize_t got;
+    while ((got = ::read(fd, buffer, sizeof(buffer))) > 0)
+        reply.append(buffer, static_cast<size_t>(got));
+    ::close(fd);
+    server.join();
+
+    std::vector<std::string> lines = util::split(reply, '\n');
+    ASSERT_GE(lines.size(), 1u);
+    EXPECT_EQ(lines[0],
+              coldReference("dse id=d2 net=alexnet budgets=500"));
+}
+
+TEST(DseService, CacheStatsVerbReportsDisabledWithoutCacheDir)
+{
+    service::DseService dse{service::ServiceOptions{}};
+    EXPECT_EQ(dse.handleLine("cache-stats"),
+              "ok cache-stats enabled=0");
+}
+
+TEST(DseService, OversizedRequestAnswersWithErrLineNotACrash)
+{
+    // Admission control surfaces as a per-request err line: a
+    // network whose estimated warm state exceeds the registry's
+    // whole byte budget is rejected, and the batch keeps going.
+    service::ServiceOptions options;
+    options.maxBytes = 64 * 1024;
+    service::DseService dse(options);
+    std::vector<std::string> responses = dse.handleBatch({
+        "dse id=g net=googlenet device=690t budgets=2880",
+        "dse id=a net=alexnet budgets=300",
+    });
+    ASSERT_EQ(responses.size(), 2u);
+    EXPECT_TRUE(util::startsWith(responses[0], "err id=g "));
+    EXPECT_TRUE(responses[0].find("registry budget") !=
+                std::string::npos)
+        << responses[0];
+    EXPECT_EQ(responses[1],
+              coldReference("dse id=a net=alexnet budgets=300"));
+}
+
 } // namespace
 } // namespace mclp

@@ -25,12 +25,14 @@
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/dse_request.h"
 #include "core/dse_session.h"
+#include "core/frontier_cache.h"
 #include "core/session_registry.h"
 #include "nn/parser.h"
 #include "nn/zoo.h"
@@ -77,6 +79,9 @@ printUsage()
         "                       print the latency/throughput tradeoff\n"
         "  --threads N          sweep worker threads (0 = all cores;\n"
         "                       default 1; never changes results)\n"
+        "  --cache-dir DIR      persistent frontier cache: start the\n"
+        "                       sweep disk-warm from DIR and flush new\n"
+        "                       state on exit (bit-identical designs)\n"
         "  --csv FILE           write the full series to FILE\n"
         "  --compare-cold       also run per-budget cold optimizations,\n"
         "                       check bit-identical designs, and report\n"
@@ -88,6 +93,7 @@ struct Options
 {
     core::DseRequest request;
     bool adjacent = false;
+    std::optional<std::string> cacheDir;
     std::optional<std::string> csvFile;
     bool compareCold = false;
 };
@@ -135,6 +141,8 @@ parseArgs(int argc, char **argv)
             opts.adjacent = true;
         } else if (arg == "--threads") {
             request.threads = std::atoi(need_value(i, "--threads"));
+        } else if (arg == "--cache-dir") {
+            opts.cacheDir = need_value(i, "--cache-dir");
         } else if (arg == "--csv") {
             opts.csvFile = need_value(i, "--csv");
         } else if (arg == "--compare-cold") {
@@ -217,8 +225,12 @@ runTool(const Options &opts)
                 opts.adjacent ? ", + adjacent-layers ladder" : "");
 
     // Both ladders (and --compare-cold reruns) share one registry
-    // session: one frontier build for the whole tool invocation.
-    core::SessionRegistry registry(1, 0, request.threads);
+    // session: one frontier build for the whole tool invocation —
+    // loaded from, and flushed back to, --cache-dir when given.
+    std::shared_ptr<core::FrontierCache> cache;
+    if (opts.cacheDir)
+        cache = std::make_shared<core::FrontierCache>(*opts.cacheDir);
+    core::SessionRegistry registry(1, 0, request.threads, cache);
     auto warm_start = std::chrono::steady_clock::now();
     core::DseResponse response =
         service::answerRequest(request, &registry);

@@ -16,6 +16,7 @@
  *   mclp-serve --threads 8 --max-sessions 16 --max-bytes-mb 256
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -46,7 +47,12 @@ printUsage()
         "                       responses)\n"
         "  --max-sessions N     warm-session LRU capacity (default 8)\n"
         "  --max-bytes-mb N     evict sessions beyond a rough resident\n"
-        "                       byte budget (default: unlimited)\n"
+        "                       byte budget (default: unlimited);\n"
+        "                       oversized requests are rejected up\n"
+        "                       front with an err line\n"
+        "  --cache-dir DIR      persistent frontier cache: restart\n"
+        "                       disk-warm from DIR, flush new state on\n"
+        "                       shutdown (responses never change)\n"
         "  --cold               bypass the registry; every request\n"
         "                       runs cold (parity baseline)\n"
         "  --help               this text\n\n"
@@ -54,8 +60,9 @@ printUsage()
         "  dse id=ID net=NAME [device=D] [type=float|fixed] [mhz=F]\n"
         "      [bw=GBPS] [maxclps=N] [mode=throughput|latency|single]\n"
         "      [budgets=A,B,C] [layers=name:n:m:r:c:k:s;...]\n"
-        "  stats      registry / frontier-row-store counters\n"
-        "  shutdown   stop the server after this batch\n");
+        "  stats        registry / frontier-row-store counters\n"
+        "  cache-stats  persistent-cache counters\n"
+        "  shutdown     stop the server after this batch\n");
 }
 
 struct Options
@@ -94,6 +101,8 @@ parseArgs(int argc, char **argv)
                 static_cast<size_t>(
                     std::atoll(need_value(i, "--max-bytes-mb"))) *
                 1024 * 1024;
+        } else if (arg == "--cache-dir") {
+            opts.service.cacheDir = need_value(i, "--cache-dir");
         } else if (arg == "--cold") {
             opts.service.cold = true;
         } else {
@@ -109,6 +118,11 @@ parseArgs(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
+    // A client that disconnects while we stream its response must not
+    // kill the server: socket sends already use MSG_NOSIGNAL, and
+    // ignoring SIGPIPE covers the stdout path too (EPIPE surfaces as
+    // an ordinary write error instead of a fatal signal).
+    std::signal(SIGPIPE, SIG_IGN);
     try {
         auto opts = parseArgs(argc, argv);
         if (!opts)
