@@ -44,6 +44,36 @@ std::string dseModeName(DseMode mode);
 DseMode dseModeByName(const std::string &name);
 
 /**
+ * One constituent of a joint multi-network request (Section 4.3).
+ * Joint optimization concatenates the sub-networks into one workload
+ * (nn::concatenateNetworks), so a single design partitions the FPGA's
+ * DSP slices across all of them and one epoch advances @ref weight
+ * images of every network.
+ */
+struct DseSubNet
+{
+    /** Unique display name; attribution spans refer back to it. */
+    std::string name;
+
+    /** Zoo network supplying the layers; empty means @ref layers. */
+    std::string network;
+
+    /** Inline layer list, used when @ref network is empty. */
+    std::vector<nn::ConvLayer> layers;
+
+    /**
+     * Images of this network advanced per joint epoch, implemented as
+     * @ref weight copies of the layer list in the concatenation
+     * (copies are named "name.0", "name.1", ... when weight > 1 —
+     * '.' because copy names must survive every surface that
+     * round-trips layer names, and '#' is the network-file
+     * comment character).
+     * Must be >= 1.
+     */
+    int64_t weight = 1;
+};
+
+/**
  * One self-contained optimization request. Defaults mirror the CLI
  * defaults, so an empty request plus a network name is runnable.
  */
@@ -52,11 +82,26 @@ struct DseRequest
     /** Client-chosen tag echoed in the response (batch correlation). */
     std::string id;
 
-    /** Zoo network name, or the display name of @ref layers. */
+    /**
+     * Zoo network name, or the display name of @ref layers. Ignored
+     * by joint requests (see @ref subnets), whose resolved name is
+     * always the '+'-join of the sub-network names so two routes to
+     * the same joint workload stay byte-identical on the wire.
+     */
     std::string network = "alexnet";
 
     /** Inline layer list; when non-empty it overrides the zoo. */
     std::vector<nn::ConvLayer> layers;
+
+    /**
+     * Joint multi-network request (Section 4.3): when non-empty, the
+     * request optimizes the concatenation of these sub-networks
+     * instead of @ref network / @ref layers (which must then be
+     * empty/defaulted — a joint request's layers live inside its
+     * subnets). The response carries attribution spans mapping the
+     * concatenated layer indices back to each sub-network.
+     */
+    std::vector<DseSubNet> subnets;
 
     /**
      * Device catalog short name supplying the BRAM/bandwidth context
@@ -105,6 +150,20 @@ struct DsePoint
     ScheduleInfo schedule;
 };
 
+/**
+ * Attribution span of a joint response: which contiguous run of
+ * global layer indices (in the concatenated network) came from which
+ * sub-network copy. A design's CLP layer assignments are expressed in
+ * global indices, so spans are all a client needs to attribute every
+ * CLP's layer ranges back to the originating sub-networks.
+ */
+struct DseSubNetSpan
+{
+    std::string name;       ///< sub-network copy name (a, a.1, ...)
+    size_t firstLayer = 0;  ///< first global layer index of the span
+    size_t numLayers = 0;   ///< span length
+};
+
 /** The complete answer to one DseRequest. */
 struct DseResponse
 {
@@ -112,11 +171,42 @@ struct DseResponse
     bool ok = false;
     std::string error;    ///< set when !ok; points is then empty
     std::string network;  ///< resolved network name
+    /** Joint requests only: one span per sub-network copy, covering
+     * the concatenated network end to end in request order. */
+    std::vector<DseSubNetSpan> subnets;
     std::vector<DsePoint> points;  ///< one per budget, ladder order
 };
 
-/** Resolve the request's network (inline layers or the zoo). */
-nn::Network resolveNetwork(const DseRequest &request);
+/**
+ * Resolve the request's network: the concatenation of its subnets for
+ * a joint request (weight-expanded, named by the '+'-join of subnet
+ * names), inline layers or the zoo otherwise. When @p spans is given
+ * it receives the joint attribution spans (cleared for single-network
+ * requests) — computed during the one expansion, so callers needing
+ * both never resolve twice.
+ */
+nn::Network resolveNetwork(const DseRequest &request,
+                           std::vector<DseSubNetSpan> *spans = nullptr);
+
+/**
+ * Parse the CLI --joint spec: comma-separated "[NAME:]REF" entries.
+ * A REF containing '/' or '.' is a network file path (parsed via
+ * nn::parseNetworkFile, so hand-written concatenations and joint
+ * requests meet in the same layer lists; use "./file" for a bare
+ * filename); any other REF is a zoo network name — deterministic
+ * regardless of what happens to exist in the working directory. NAME
+ * defaults to REF for zoo entries and to the file's network name for
+ * files. fatal() on malformed input.
+ */
+std::vector<DseSubNet> parseJointSpec(const std::string &spec);
+
+/**
+ * Apply a CLI --joint-weights spec ("2,1,...": one positive integer
+ * per sub-network, in --joint order) to @p subnets; fatal() on a
+ * count mismatch or a non-positive weight.
+ */
+void applyJointWeights(std::vector<DseSubNet> &subnets,
+                       const std::string &spec);
 
 /**
  * The request's budget ladder: the device's standard budget as the

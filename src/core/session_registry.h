@@ -9,7 +9,14 @@
  * one session; and every session shares one FrontierRowStore, so
  * dims-identical layer ranges (fire modules repeated across
  * SqueezeNet variants, inception twins across GoogLeNet tweaks) are
- * built once process-wide even across *different* networks. The
+ * built once process-wide even across *different* networks. Joint
+ * multi-network requests (Section 4.3) key their session by the
+ * *concatenated* dims signature — distinct from every constituent's
+ * key — while their layer ranges that fall inside one sub-network
+ * are dims-identical to that network's solo ranges, so a joint
+ * session reuses frontier rows (and on-disk FrontierCache records)
+ * built by earlier single-network sessions, and vice versa
+ * (tests/core/test_session_registry.cc pins both directions). The
  * registry evicts least-recently-used sessions beyond a session-count
  * cap or a resident-byte budget; eviction never changes results, only
  * how warm the next request starts (which

@@ -132,6 +132,80 @@ encodeBudgetList(const std::vector<int64_t> &budgets)
     return util::join(parts, ",");
 }
 
+/**
+ * The joint-request nets= field: one entry per sub-network —
+ * "NAME" (zoo network NAME), "NAME:ZOO" (zoo network ZOO), or
+ * "NAME:#COUNT" (the next COUNT entries of the shared layers= field).
+ * Inline layers are appended to @p inline_layers in entry order.
+ */
+std::string
+encodeSubnets(const std::vector<core::DseSubNet> &subnets,
+              std::vector<nn::ConvLayer> &inline_layers)
+{
+    std::vector<std::string> entries;
+    entries.reserve(subnets.size());
+    for (const core::DseSubNet &sub : subnets) {
+        checkToken(sub.name, "sub-network name");
+        if (!sub.network.empty()) {
+            checkToken(sub.network, "sub-network zoo reference");
+            entries.push_back(sub.name == sub.network
+                                  ? sub.name
+                                  : sub.name + ":" + sub.network);
+        } else {
+            entries.push_back(
+                sub.name + ":#" + std::to_string(sub.layers.size()));
+            inline_layers.insert(inline_layers.end(),
+                                 sub.layers.begin(),
+                                 sub.layers.end());
+        }
+    }
+    return util::join(entries, ",");
+}
+
+/**
+ * Parse a nets= value. Inline entries ("NAME:#COUNT") record their
+ * layer count in @p inline_counts (parallel to the returned subnets,
+ * -1 for zoo entries); decodeRequest distributes the shared layers=
+ * field afterwards, because field order on the line is free.
+ */
+std::vector<core::DseSubNet>
+decodeSubnets(const std::string &value,
+              std::vector<int64_t> &inline_counts)
+{
+    std::vector<core::DseSubNet> subnets;
+    for (const std::string &entry : util::split(value, ',')) {
+        if (entry.empty())
+            util::fatal("dse codec: nets= has an empty sub-network "
+                        "entry");
+        core::DseSubNet sub;
+        int64_t count = -1;
+        size_t colon = entry.find(':');
+        if (colon == std::string::npos) {
+            sub.name = entry;
+            sub.network = entry;
+        } else {
+            sub.name = entry.substr(0, colon);
+            std::string ref = entry.substr(colon + 1);
+            if (sub.name.empty() || ref.empty())
+                util::fatal("dse codec: bad nets= entry '%s' (want "
+                            "NAME, NAME:ZOO, or NAME:#COUNT)",
+                            entry.c_str());
+            if (ref[0] == '#') {
+                count = parseInt(ref.substr(1), "inline layer count");
+                if (count < 1)
+                    util::fatal("dse codec: sub-network '%s' wants a "
+                                "positive inline layer count",
+                                sub.name.c_str());
+            } else {
+                sub.network = ref;
+            }
+        }
+        inline_counts.push_back(count);
+        subnets.push_back(std::move(sub));
+    }
+    return subnets;
+}
+
 } // namespace
 
 std::string
@@ -140,10 +214,32 @@ encodeRequest(const core::DseRequest &request)
     std::string id = request.id.empty() ? "-" : request.id;
     checkToken(id, "id");
     std::string line = "dse id=" + id;
-    checkToken(request.network, "network name");
-    line += " net=" + request.network;
-    if (!request.layers.empty())
-        line += " layers=" + encodeLayers(request.layers);
+    if (!request.subnets.empty()) {
+        // Joint request: nets= replaces net=; inline sub-network
+        // layers ride in the shared layers= field, consumed in entry
+        // order (the resolved joint name is derived from the subnet
+        // names, so net= would be redundant on the wire).
+        std::vector<nn::ConvLayer> inline_layers;
+        line += " nets=" + encodeSubnets(request.subnets,
+                                         inline_layers);
+        bool weighted = false;
+        for (const core::DseSubNet &sub : request.subnets)
+            weighted = weighted || sub.weight != 1;
+        if (weighted) {
+            std::vector<std::string> weights;
+            weights.reserve(request.subnets.size());
+            for (const core::DseSubNet &sub : request.subnets)
+                weights.push_back(std::to_string(sub.weight));
+            line += " weights=" + util::join(weights, ",");
+        }
+        if (!inline_layers.empty())
+            line += " layers=" + encodeLayers(inline_layers);
+    } else {
+        checkToken(request.network, "network name");
+        line += " net=" + request.network;
+        if (!request.layers.empty())
+            line += " layers=" + encodeLayers(request.layers);
+    }
     if (!request.device.empty()) {
         checkToken(request.device, "device name");
         line += " device=" + request.device;
@@ -171,12 +267,26 @@ decodeRequest(const std::string &line)
         util::fatal("dse codec: request line must start with 'dse'");
     core::DseRequest request;
     request.network.clear();
+    std::vector<int64_t> inline_counts;  // parallel to subnets
+    std::vector<int64_t> weights;        // raw weights= values
+    bool saw_weights = false;
     for (size_t t = 1; t < tokens.size(); ++t) {
         auto [key, value] = keyValue(tokens[t]);
         if (key == "id") {
             request.id = value;
         } else if (key == "net") {
             request.network = value;
+        } else if (key == "nets") {
+            // Last occurrence wins, like every other key — which
+            // means the counts of an overridden nets= must not leak
+            // into the layers-vs-counts validation below.
+            inline_counts.clear();
+            request.subnets = decodeSubnets(value, inline_counts);
+        } else if (key == "weights") {
+            saw_weights = true;
+            weights.clear();
+            for (const std::string &item : util::split(value, ','))
+                weights.push_back(parseInt(item, "subnet weight"));
         } else if (key == "layers") {
             request.layers = decodeLayers(value);
         } else if (key == "device") {
@@ -210,6 +320,47 @@ decodeRequest(const std::string &line)
             util::fatal("dse codec: unknown request field '%s'",
                         key.c_str());
         }
+    }
+    if (!request.subnets.empty()) {
+        // Joint post-processing happens after the token loop because
+        // field order on the line is free: net= is redundant (and
+        // rejected), weights= pairs up with nets= positionally, and
+        // the shared layers= field is sliced into the inline subnets.
+        if (!request.network.empty())
+            util::fatal("dse codec: net= and nets= are mutually "
+                        "exclusive (a joint request is named by its "
+                        "sub-networks)");
+        if (saw_weights) {
+            if (weights.size() != request.subnets.size())
+                util::fatal("dse codec: weights= has %zu entries for "
+                            "%zu sub-networks", weights.size(),
+                            request.subnets.size());
+            for (size_t i = 0; i < weights.size(); ++i)
+                request.subnets[i].weight = weights[i];
+        }
+        size_t expected_layers = 0;
+        for (int64_t count : inline_counts) {
+            if (count > 0)
+                expected_layers += static_cast<size_t>(count);
+        }
+        if (request.layers.size() != expected_layers)
+            util::fatal("dse codec: joint request wants %zu inline "
+                        "layers (per its nets= counts) but layers= "
+                        "carries %zu", expected_layers,
+                        request.layers.size());
+        size_t next = 0;
+        for (size_t i = 0; i < request.subnets.size(); ++i) {
+            if (inline_counts[i] < 0)
+                continue;
+            size_t count = static_cast<size_t>(inline_counts[i]);
+            request.subnets[i].layers.assign(
+                request.layers.begin() + next,
+                request.layers.begin() + next + count);
+            next += count;
+        }
+        request.layers.clear();
+    } else if (saw_weights) {
+        util::fatal("dse codec: weights= needs nets=");
     }
     request.validate();
     return request;
@@ -280,6 +431,20 @@ encodeResponse(const core::DseResponse &response)
     }
     std::string line = "ok id=" + response.id;
     line += " net=" + response.network;
+    if (!response.subnets.empty()) {
+        // Joint attribution: name:first:count spans over the
+        // concatenated network's global layer indices (the indices
+        // the design= specs use), in request order.
+        std::vector<std::string> spans;
+        spans.reserve(response.subnets.size());
+        for (const core::DseSubNetSpan &span : response.subnets) {
+            checkToken(span.name, "sub-network span name");
+            spans.push_back(util::strprintf(
+                "%s:%zu:%zu", span.name.c_str(), span.firstLayer,
+                span.numLayers));
+        }
+        line += " subnets=" + util::join(spans, ";");
+    }
     line += util::strprintf(" points=%zu", response.points.size());
     for (const core::DsePoint &point : response.points) {
         line += util::strprintf(
@@ -337,7 +502,25 @@ decodeResponse(const std::string &line)
                 response.id = value;
             else if (key == "net")
                 response.network = value;
-            else if (key == "points")
+            else if (key == "subnets") {
+                // Last occurrence wins, like every other key.
+                response.subnets.clear();
+                for (const std::string &item :
+                     util::split(value, ';')) {
+                    auto fields = util::split(item, ':');
+                    if (fields.size() != 3)
+                        util::fatal("dse codec: bad subnet span '%s' "
+                                    "(want name:first:count)",
+                                    item.c_str());
+                    core::DseSubNetSpan span;
+                    span.name = fields[0];
+                    span.firstLayer = static_cast<size_t>(
+                        parseInt(fields[1], "span first layer"));
+                    span.numLayers = static_cast<size_t>(
+                        parseInt(fields[2], "span layer count"));
+                    response.subnets.push_back(std::move(span));
+                }
+            } else if (key == "points")
                 expected =
                     static_cast<size_t>(parseInt(value, "points"));
             else

@@ -17,6 +17,18 @@
  *   dse id=s1 net=squeezenet device=690t type=fixed budgets=1000,2880
  *   dse id=c1 net=mini layers=conv1:3:64:55:55:11:4;conv2:64:16:27:27:1:1 \
  *       budgets=500 mode=latency
+ *   dse id=j1 nets=alexnet,squeezenet device=690t budgets=2880
+ *   dse id=j2 nets=a:alexnet,m:#2 weights=2,1 budgets=1000 \
+ *       layers=c1:3:16:14:14:3:1;c2:16:24:7:7:3:1
+ *
+ * Joint requests (Section 4.3) replace net= with nets= — named
+ * sub-networks drawn from the zoo or from the shared layers= field
+ * ("NAME:#COUNT" entries consume COUNT layers in order) — plus an
+ * optional per-network weights= ratio list; their responses carry a
+ * subnets= field of name:first:count spans attributing the
+ * concatenated network's global layer indices (the indices design=
+ * uses) back to each sub-network copy. The full grammar lives in
+ * docs/PROTOCOL.md.
  */
 
 #ifndef MCLP_SERVICE_DSE_CODEC_H

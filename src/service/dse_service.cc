@@ -58,7 +58,16 @@ answerRequest(const core::DseRequest &request,
     response.id = request.id.empty() ? "-" : request.id;
     try {
         request.validate();
-        nn::Network network = core::resolveNetwork(request);
+        // Joint requests (Section 4.3): resolveNetwork() returns the
+        // weight-expanded concatenation, so from here the run is
+        // indistinguishable from a single-network request over the
+        // same layers — the registry keys it by the concatenated dims
+        // signature, and the shared FrontierRowStore answers any
+        // layer range already built by a constituent network's solo
+        // session. The spans let clients attribute each CLP's global
+        // layer indices back to the originating sub-network.
+        nn::Network network =
+            core::resolveNetwork(request, &response.subnets);
         response.network = network.name();
         std::vector<fpga::ResourceBudget> budgets =
             core::requestBudgets(request);
@@ -107,6 +116,10 @@ answerRequest(const core::DseRequest &request,
     } catch (const util::FatalError &err) {
         response.ok = false;
         response.points.clear();
+        // Spans may have been filled before a later step threw; an
+        // error response must not attribute a network it never
+        // optimized.
+        response.subnets.clear();
         response.error = err.what();
     }
     return response;

@@ -10,12 +10,16 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
 #include <limits>
 #include <string>
 #include <vector>
 
 #include "core/dse_request.h"
 #include "core/dse_session.h"
+#include "core/frontier_cache.h"
 #include "core/optimizer.h"
 #include "core/session_registry.h"
 #include "nn/zoo.h"
@@ -283,6 +287,119 @@ TEST(SessionRegistry, SqueezeNetVariantsShareFrontierRows)
                      coldRun(v512, fpga::DataType::Fixed16,
                              budgets[0]),
                      "variant shared-store vs private");
+}
+
+/** The joint workload of a Section-4.3 request, via the plan layer. */
+nn::Network
+jointAlexSqueeze()
+{
+    core::DseRequest request;
+    request.network.clear();
+    core::DseSubNet a;
+    a.name = "alexnet";
+    a.network = "alexnet";
+    core::DseSubNet s;
+    s.name = "squeezenet";
+    s.network = "squeezenet";
+    request.subnets = {a, s};
+    request.dspBudgets = {1000};
+    return core::resolveNetwork(request);
+}
+
+TEST(SessionRegistry, JointSessionSharesRowsWithSoloSessions)
+{
+    // Section 4.3: a joint request is keyed by the *concatenated*
+    // dims signature (its own session, distinct from every
+    // constituent), but its layer ranges that fall inside one
+    // sub-network are dims-identical to that network's solo ranges —
+    // so rows built by earlier single-network sessions answer them
+    // through the shared FrontierRowStore.
+    core::SessionRegistry registry(4);
+    nn::Network alexnet = nn::makeAlexNet();
+    nn::Network squeezenet = nn::makeSqueezeNet();
+    nn::Network joint = jointAlexSqueeze();
+    std::vector<fpga::ResourceBudget> budgets =
+        core::dspLadder({1000}, 100.0);
+
+    registry.session(alexnet, "", fpga::DataType::Float32)
+        ->sweep(budgets, {});
+    registry.session(squeezenet, "", fpga::DataType::Float32)
+        ->sweep(budgets, {});
+    core::FrontierRowStore::Stats solo = registry.rowStore()->stats();
+
+    auto result = registry.session(joint, "", fpga::DataType::Float32)
+                      ->sweep(budgets, {});
+    core::SessionRegistry::Stats reg = registry.stats();
+    EXPECT_EQ(reg.sessions, 3u) << "joint key must be distinct";
+    EXPECT_EQ(reg.misses, 3u);
+
+    core::FrontierRowStore::Stats after = registry.rowStore()->stats();
+    EXPECT_GT(after.hits, solo.hits)
+        << "joint ranges inside one sub-network must reuse solo rows";
+
+    // Sharing never changes answers: the joint design matches a cold
+    // run of the same concatenated network bit for bit.
+    expectSameResult(result[0],
+                     coldRun(joint, fpga::DataType::Float32,
+                             budgets[0]),
+                     "joint shared-store vs cold");
+
+    // And the reverse direction: a fresh registry answering the joint
+    // request first shares its rows with a later solo request.
+    core::SessionRegistry reversed(4);
+    reversed.session(joint, "", fpga::DataType::Float32)
+        ->sweep(budgets, {});
+    core::FrontierRowStore::Stats joint_only =
+        reversed.rowStore()->stats();
+    reversed.session(alexnet, "", fpga::DataType::Float32)
+        ->sweep(budgets, {});
+    core::FrontierRowStore::Stats with_solo =
+        reversed.rowStore()->stats();
+    EXPECT_GT(with_solo.hits, joint_only.hits)
+        << "solo ranges must reuse joint rows";
+}
+
+TEST(SessionRegistry, JointSessionStartsDiskWarmFromSoloCaches)
+{
+    // The fire-module twins of a joint request must hit frontier rows
+    // a previous *process* built for the solo networks: solo sessions
+    // flush to the persistent cache, and the joint session's in-range
+    // lookups come back as disk hits.
+    namespace fs = std::filesystem;
+    fs::path dir = fs::temp_directory_path() /
+                   ("mclp_joint_cache_" +
+                    std::to_string(::getpid()));
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    std::vector<fpga::ResourceBudget> budgets =
+        core::dspLadder({1000}, 100.0);
+    nn::Network joint = jointAlexSqueeze();
+
+    {
+        auto cache =
+            std::make_shared<core::FrontierCache>(dir.string());
+        core::SessionRegistry solo(4, 0, 1, cache);
+        solo.session(nn::makeAlexNet(), "", fpga::DataType::Float32)
+            ->sweep(budgets, {});
+        solo.session(nn::makeSqueezeNet(), "",
+                     fpga::DataType::Float32)
+            ->sweep(budgets, {});
+        // Registry destruction flushes the cache to disk.
+    }
+
+    auto cache = std::make_shared<core::FrontierCache>(dir.string());
+    core::SessionRegistry registry(4, 0, 1, cache);
+    auto result = registry.session(joint, "", fpga::DataType::Float32)
+                      ->sweep(budgets, {});
+    core::FrontierRowStore::Stats stats = registry.rowStore()->stats();
+    EXPECT_GT(stats.diskHits, 0u)
+        << "joint ranges inside one sub-network must load from the "
+           "solo networks' disk cache";
+    expectSameResult(result[0],
+                     coldRun(joint, fpga::DataType::Float32,
+                             budgets[0]),
+                     "disk-warm joint vs cold");
+    fs::remove_all(dir);
 }
 
 } // namespace

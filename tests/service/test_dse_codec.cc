@@ -137,6 +137,163 @@ TEST(DseCodec, OutOfRangeWireValuesAreRejectedNotSaturated)
               std::numeric_limits<int64_t>::max());
 }
 
+TEST(DseCodec, JointRequestRoundTripsZooInlineAndWeights)
+{
+    core::DseRequest request;
+    request.id = "j1";
+    request.network.clear();
+    core::DseSubNet zoo;
+    zoo.name = "a";
+    zoo.network = "alexnet";
+    zoo.weight = 2;
+    core::DseSubNet inline_net;
+    inline_net.name = "mini";
+    inline_net.layers = {test::layer(3, 16, 14, 14, 3, 1, "c1"),
+                         test::layer(16, 24, 7, 7, 3, 1, "c2")};
+    core::DseSubNet same_name;
+    same_name.name = "squeezenet";  // NAME == ZOO encodes bare
+    same_name.network = "squeezenet";
+    request.subnets = {zoo, inline_net, same_name};
+    request.dspBudgets = {500};
+
+    std::string line = service::encodeRequest(request);
+    // nets= replaces net=; the bare entry stays compact.
+    EXPECT_NE(line.find(" nets=a:alexnet,mini:#2,squeezenet"),
+              std::string::npos)
+        << line;
+    EXPECT_NE(line.find(" weights=2,1,1"), std::string::npos) << line;
+    EXPECT_EQ(line.find(" net="), std::string::npos) << line;
+
+    core::DseRequest decoded = service::decodeRequest(line);
+    ASSERT_EQ(decoded.subnets.size(), 3u);
+    EXPECT_EQ(decoded.subnets[0].name, "a");
+    EXPECT_EQ(decoded.subnets[0].network, "alexnet");
+    EXPECT_EQ(decoded.subnets[0].weight, 2);
+    EXPECT_EQ(decoded.subnets[1].name, "mini");
+    EXPECT_TRUE(decoded.subnets[1].network.empty());
+    EXPECT_EQ(decoded.subnets[1].weight, 1);
+    ASSERT_EQ(decoded.subnets[1].layers.size(), 2u);
+    EXPECT_EQ(decoded.subnets[1].layers[0].name, "c1");
+    EXPECT_TRUE(decoded.subnets[1].layers[1].sameShape(
+        inline_net.layers[1]));
+    EXPECT_EQ(decoded.subnets[2].network, "squeezenet");
+    // The shared layers= field was distributed into the subnets.
+    EXPECT_TRUE(decoded.layers.empty());
+
+    // Deterministic: re-encoding the decoded request is a fixpoint.
+    EXPECT_EQ(service::encodeRequest(decoded), line);
+}
+
+TEST(DseCodec, JointRequestErrorsAreRejected)
+{
+    // Duplicate sub-network names.
+    EXPECT_THROW(service::decodeRequest(
+                     "dse id=j nets=a:alexnet,a:squeezenet "
+                     "budgets=100"),
+                 util::FatalError);
+    // Zero networks.
+    EXPECT_THROW(service::decodeRequest("dse id=j nets= budgets=100"),
+                 util::FatalError);
+    // Mismatched weight count.
+    EXPECT_THROW(service::decodeRequest(
+                     "dse id=j nets=alexnet,squeezenet weights=1 "
+                     "budgets=100"),
+                 util::FatalError);
+    // Non-positive weights.
+    EXPECT_THROW(service::decodeRequest(
+                     "dse id=j nets=alexnet,squeezenet weights=0,1 "
+                     "budgets=100"),
+                 util::FatalError);
+    // weights= without nets=.
+    EXPECT_THROW(service::decodeRequest(
+                     "dse id=j net=alexnet weights=2 budgets=100"),
+                 util::FatalError);
+    // net= and nets= are mutually exclusive.
+    EXPECT_THROW(service::decodeRequest(
+                     "dse id=j net=alexnet nets=squeezenet "
+                     "budgets=100"),
+                 util::FatalError);
+    // Inline counts must match the shared layers= field exactly.
+    EXPECT_THROW(service::decodeRequest(
+                     "dse id=j nets=m:#3 budgets=100 "
+                     "layers=c1:3:16:14:14:3:1;c2:16:24:7:7:3:1"),
+                 util::FatalError);
+    // layers= with no inline subnet to consume it.
+    EXPECT_THROW(service::decodeRequest(
+                     "dse id=j nets=alexnet budgets=100 "
+                     "layers=c1:3:16:14:14:3:1"),
+                 util::FatalError);
+    // Malformed nets= entries.
+    EXPECT_THROW(service::decodeRequest(
+                     "dse id=j nets=a: budgets=100"),
+                 util::FatalError);
+    EXPECT_THROW(service::decodeRequest(
+                     "dse id=j nets=m:#0 budgets=100"),
+                 util::FatalError);
+    // A literal sub-network named like another's weight-expanded
+    // copy would duplicate attribution span names: rejected.
+    EXPECT_THROW(service::decodeRequest(
+                     "dse id=j nets=a:alexnet,a.0:squeezenet "
+                     "weights=2,1 budgets=100"),
+                 util::FatalError);
+}
+
+TEST(DseCodec, RepeatedNetsKeyLastWinsWithoutStaleCounts)
+{
+    // Last occurrence wins, like every other key — and the overridden
+    // occurrence's inline counts must not leak into the
+    // layers-vs-counts validation.
+    core::DseRequest decoded = service::decodeRequest(
+        "dse id=c nets=x:#1 nets=y:#2 budgets=100 "
+        "layers=c1:3:16:14:14:3:1;c2:16:24:7:7:3:1");
+    ASSERT_EQ(decoded.subnets.size(), 1u);
+    EXPECT_EQ(decoded.subnets[0].name, "y");
+    EXPECT_EQ(decoded.subnets[0].layers.size(), 2u);
+
+    // Four layers against the surviving occurrence's count of two
+    // must be rejected as drift, not sliced by the stale counts.
+    EXPECT_THROW(service::decodeRequest(
+                     "dse id=c nets=x:#2,z:#2 nets=y:#2 budgets=100 "
+                     "layers=c1:3:16:14:14:3:1;c2:16:24:7:7:3:1;"
+                     "c3:3:16:14:14:3:1;c4:16:24:7:7:3:1"),
+                 util::FatalError);
+}
+
+TEST(DseCodec, ResponseSubnetSpansRoundTrip)
+{
+    core::DseResponse response;
+    response.id = "j1";
+    response.ok = true;
+    response.network = "a+b";
+    response.subnets = {{"a", 0, 10}, {"a.1", 10, 10}, {"b", 20, 26}};
+
+    std::string line = service::encodeResponse(response);
+    EXPECT_NE(line.find(" subnets=a:0:10;a.1:10:10;b:20:26"),
+              std::string::npos)
+        << line;
+    core::DseResponse decoded = service::decodeResponse(line);
+    ASSERT_EQ(decoded.subnets.size(), 3u);
+    EXPECT_EQ(decoded.subnets[0].name, "a");
+    EXPECT_EQ(decoded.subnets[0].firstLayer, 0u);
+    EXPECT_EQ(decoded.subnets[0].numLayers, 10u);
+    EXPECT_EQ(decoded.subnets[2].name, "b");
+    EXPECT_EQ(decoded.subnets[2].firstLayer, 20u);
+    EXPECT_EQ(decoded.subnets[2].numLayers, 26u);
+    EXPECT_EQ(service::encodeResponse(decoded), line);
+
+    EXPECT_THROW(service::decodeResponse(
+                     "ok id=j net=a+b subnets=a:0 points=0"),
+                 util::FatalError);
+
+    // A repeated subnets= key last-wins like every other field,
+    // never accumulates.
+    core::DseResponse repeated = service::decodeResponse(
+        "ok id=j net=a+b subnets=x:0:5;y:5:5 subnets=a:0:10 "
+        "points=0");
+    ASSERT_EQ(repeated.subnets.size(), 1u);
+    EXPECT_EQ(repeated.subnets[0].name, "a");
+}
+
 TEST(DseCodec, DesignRoundTrips)
 {
     model::MultiClpDesign design;

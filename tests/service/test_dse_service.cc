@@ -23,6 +23,7 @@
 #include "core/optimizer.h"
 #include "core/schedule.h"
 #include "model/metrics.h"
+#include "nn/zoo.h"
 #include "service/dse_codec.h"
 #include "service/dse_service.h"
 #include "util/string_utils.h"
@@ -274,6 +275,124 @@ TEST(DseService, ClientDroppingMidResponseDoesNotKillTheServer)
     ASSERT_GE(lines.size(), 1u);
     EXPECT_EQ(lines[0],
               coldReference("dse id=d2 net=alexnet budgets=500"));
+}
+
+/** Drop the joint-only attribution field for byte comparisons. */
+std::string
+stripSubnets(const std::string &line)
+{
+    std::string out = line;
+    size_t pos = out.find(" subnets=");
+    if (pos == std::string::npos)
+        return out;
+    size_t end = out.find(' ', pos + 1);
+    out.erase(pos, end == std::string::npos ? std::string::npos
+                                            : end - pos);
+    return out;
+}
+
+TEST(DseService, JointRequestMatchesHandConcatenatedNetwork)
+{
+    // Section 4.3 cold parity: a joint request must be byte-identical
+    // to optimizing the hand-concatenated network — same designs,
+    // same metrics, same wire bytes — modulo the attribution field
+    // only joint responses carry.
+    service::DseService dse{service::ServiceOptions{}};
+    std::string joint = dse.handleLine(
+        "dse id=j nets=alexnet,squeezenet device=690t budgets=1000");
+    ASSERT_TRUE(util::startsWith(joint, "ok id=j ")) << joint;
+
+    nn::Network concat = nn::concatenateNetworks(
+        {nn::networkByName("alexnet"), nn::networkByName("squeezenet")},
+        "alexnet+squeezenet");
+    core::DseRequest hand;
+    hand.id = "j";
+    hand.network = concat.name();
+    hand.layers = concat.layers();
+    hand.device = "690t";
+    hand.dspBudgets = {1000};
+    std::string hand_response = service::encodeResponse(
+        service::answerRequest(hand, nullptr));
+    EXPECT_EQ(stripSubnets(joint), hand_response);
+
+    // The attribution spans partition the concatenation in order.
+    core::DseResponse decoded = service::decodeResponse(joint);
+    ASSERT_EQ(decoded.subnets.size(), 2u);
+    EXPECT_EQ(decoded.subnets[0].name, "alexnet");
+    EXPECT_EQ(decoded.subnets[0].firstLayer, 0u);
+    EXPECT_EQ(decoded.subnets[0].numLayers,
+              nn::networkByName("alexnet").numLayers());
+    EXPECT_EQ(decoded.subnets[1].name, "squeezenet");
+    EXPECT_EQ(decoded.subnets[1].firstLayer,
+              decoded.subnets[0].numLayers);
+    EXPECT_EQ(decoded.subnets[0].numLayers +
+                  decoded.subnets[1].numLayers,
+              concat.numLayers());
+}
+
+TEST(DseService, WeightedJointMatchesHandExpandedConcatenation)
+{
+    // weight=2 means two copies of the sub-network in the
+    // concatenation (two images of it per joint epoch); the hand
+    // expansion spells the copies out.
+    service::DseService dse{service::ServiceOptions{}};
+    std::string joint = dse.handleLine(
+        "dse id=w nets=x:#2,y:#1 weights=2,1 budgets=200 "
+        "layers=c1:3:16:14:14:3:1;c2:16:24:7:7:3:1;d1:8:8:10:10:3:1");
+    ASSERT_TRUE(util::startsWith(joint, "ok id=w ")) << joint;
+
+    std::vector<nn::ConvLayer> x_layers{
+        nn::makeConvLayer("c1", 3, 16, 14, 14, 3, 1),
+        nn::makeConvLayer("c2", 16, 24, 7, 7, 3, 1)};
+    std::vector<nn::ConvLayer> y_layers{
+        nn::makeConvLayer("d1", 8, 8, 10, 10, 3, 1)};
+    nn::Network concat = nn::concatenateNetworks(
+        {nn::Network("x.0", x_layers), nn::Network("x.1", x_layers),
+         nn::Network("y", y_layers)},
+        "x+y");
+    core::DseRequest hand;
+    hand.id = "w";
+    hand.network = concat.name();
+    hand.layers = concat.layers();
+    hand.dspBudgets = {200};
+    EXPECT_EQ(stripSubnets(joint),
+              service::encodeResponse(
+                  service::answerRequest(hand, nullptr)));
+
+    core::DseResponse decoded = service::decodeResponse(joint);
+    ASSERT_EQ(decoded.subnets.size(), 3u);
+    EXPECT_EQ(decoded.subnets[0].name, "x.0");
+    EXPECT_EQ(decoded.subnets[1].name, "x.1");
+    EXPECT_EQ(decoded.subnets[1].firstLayer, 2u);
+    EXPECT_EQ(decoded.subnets[2].name, "y");
+    EXPECT_EQ(decoded.subnets[2].firstLayer, 4u);
+}
+
+TEST(DseService, JointErrorPathsAnswerErrLinesNotFatal)
+{
+    // Malformed joint requests are user errors: the batch answers
+    // them in place with err lines and keeps serving.
+    service::DseService dse{service::ServiceOptions{}};
+    std::vector<std::string> responses = dse.handleBatch({
+        "dse id=dup nets=a:alexnet,a:squeezenet budgets=100",
+        "dse id=none nets= budgets=100",
+        "dse id=wmis nets=alexnet,squeezenet weights=2 budgets=100",
+        "dse id=ok nets=alexnet,squeezenet budgets=300",
+    });
+    ASSERT_EQ(responses.size(), 4u);
+    EXPECT_TRUE(util::startsWith(responses[0], "err id=dup "))
+        << responses[0];
+    EXPECT_NE(responses[0].find("duplicate sub-network"),
+              std::string::npos)
+        << responses[0];
+    EXPECT_TRUE(util::startsWith(responses[1], "err id=none "))
+        << responses[1];
+    EXPECT_TRUE(util::startsWith(responses[2], "err id=wmis "))
+        << responses[2];
+    EXPECT_NE(responses[2].find("weights="), std::string::npos)
+        << responses[2];
+    EXPECT_TRUE(util::startsWith(responses[3], "ok id=ok "))
+        << responses[3];
 }
 
 TEST(DseService, CacheStatsVerbReportsDisabledWithoutCacheDir)

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Help-text audit: <binary> --help must exit 0 and mention every flag
+# the tool's main() actually parses. The flag inventory is scraped
+# from the source ("--flag" string literals), so adding a flag without
+# documenting it fails this test.
+#
+# usage: check_help.sh <binary> <source.cc>
+set -eu
+
+binary="$1"
+source="$2"
+
+help_text="$("$binary" --help)" || {
+    echo "FAIL: $binary --help exited non-zero" >&2
+    exit 1
+}
+
+status=0
+for flag in $(grep -o '"--[a-z][a-z-]*"' "$source" | tr -d '"' |
+              sort -u); do
+    case "$help_text" in
+      *"$flag"*) ;;
+      *)
+        echo "FAIL: $binary --help does not mention $flag" >&2
+        status=1
+        ;;
+    esac
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "OK: $binary --help documents every parsed flag"
+fi
+exit "$status"

@@ -21,6 +21,8 @@
  *   dse-sweep --network squeezenet --device 690t --budgets 1000,2880 \
  *             --max-clps 6 --compare-cold
  *   dse-sweep --network alexnet --budgets 500,1000,2880 --adjacent
+ *   dse-sweep --joint alexnet,squeezenet --device 690t \
+ *             --budgets 1000,2000,2880
  */
 
 #include <chrono>
@@ -64,6 +66,14 @@ printUsage()
         "                       squeezenet, googlenet (default alexnet)\n"
         "  --layers FILE        custom network file (name N M R C K S\n"
         "                       per line)\n"
+        "  --joint LIST         sweep a joint multi-network workload\n"
+        "                       (Section 4.3): comma-separated\n"
+        "                       [NAME:]REF entries (REFs with '/' or\n"
+        "                       '.' are network files, others zoo\n"
+        "                       networks), concatenated into one\n"
+        "                       partitioning problem per rung\n"
+        "  --joint-weights LIST images per epoch for each --joint\n"
+        "                       entry (default all 1)\n"
         "  --budgets A,B,C      explicit DSP-slice ladder\n"
         "  --sweep LO:HI:STEP   arithmetic DSP-slice ladder\n"
         "  --device NAME        485t | 690t | vu9p | vu11p: take BRAM\n"
@@ -108,6 +118,9 @@ parseArgs(int argc, char **argv)
             util::fatal("%s needs a value", flag);
         return argv[++i];
     };
+    bool network_given = false;
+    std::optional<std::string> joint_spec;
+    std::optional<std::string> joint_weights;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
@@ -115,11 +128,16 @@ parseArgs(int argc, char **argv)
             return std::nullopt;
         } else if (arg == "--network") {
             request.network = need_value(i, "--network");
+            network_given = true;
         } else if (arg == "--layers") {
             nn::Network parsed =
                 nn::parseNetworkFile(need_value(i, "--layers"));
             request.network = parsed.name();
             request.layers = parsed.layers();
+        } else if (arg == "--joint") {
+            joint_spec = need_value(i, "--joint");
+        } else if (arg == "--joint-weights") {
+            joint_weights = need_value(i, "--joint-weights");
         } else if (arg == "--budgets" || arg == "--sweep") {
             request.dspBudgets =
                 core::parseDspLadderSpec(need_value(i, arg.c_str()));
@@ -151,6 +169,18 @@ parseArgs(int argc, char **argv)
             util::fatal("unknown option '%s' (try --help)",
                         arg.c_str());
         }
+    }
+    if (joint_spec) {
+        if (network_given || !request.layers.empty())
+            util::fatal("--joint names the networks; drop --network/"
+                        "--layers");
+        request.subnets = core::parseJointSpec(*joint_spec);
+        if (joint_weights)
+            core::applyJointWeights(request.subnets, *joint_weights);
+        request.network.clear();
+        request.layers.clear();
+    } else if (joint_weights) {
+        util::fatal("--joint-weights needs --joint");
     }
     if (request.dspBudgets.empty())
         util::fatal("one of --budgets or --sweep is required "
@@ -282,6 +312,38 @@ runTool(const Options &opts)
         csv_row("throughput", point);
     }
     std::printf("%s\n", table.render().c_str());
+
+    if (!response.subnets.empty()) {
+        // Joint sweep (Section 4.3): attribute the largest rung's
+        // design back to the sub-networks. One joint epoch advances
+        // one image of every sub-network copy, so the img/s column
+        // above is per network, not aggregate.
+        const core::DsePoint &top = response.points.back();
+        util::TextTable joint(
+            {"sub-network", "global layers", "CLPs serving"});
+        joint.setTitle(util::strprintf(
+            "joint attribution at %lld DSP slices",
+            static_cast<long long>(top.budget.dspSlices)));
+        for (const core::DseSubNetSpan &span : response.subnets) {
+            size_t clps = 0;
+            for (const model::ClpConfig &clp : top.design.clps) {
+                for (const model::LayerBinding &binding : clp.layers) {
+                    if (binding.layerIdx >= span.firstLayer &&
+                        binding.layerIdx <
+                            span.firstLayer + span.numLayers) {
+                        ++clps;
+                        break;
+                    }
+                }
+            }
+            joint.addRow(
+                {span.name,
+                 util::strprintf("%zu..%zu", span.firstLayer,
+                                 span.firstLayer + span.numLayers - 1),
+                 std::to_string(clps)});
+        }
+        std::printf("%s\n", joint.render().c_str());
+    }
 
     if (opts.adjacent) {
         // Section 4.1: constraining CLPs to adjacent layers cuts

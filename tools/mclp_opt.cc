@@ -16,8 +16,11 @@
  *   mclp-opt --layers mynet.txt --device 485t --single
  *   mclp-opt --network alexnet --device 485t --hls-out out_dir
  *   mclp-opt --network alexnet --device 690t --request-id a1 --response
+ *   mclp-opt --joint alexnet,squeezenet --device 690t
+ *   mclp-opt --joint alexnet,squeezenet --dump-layers
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -57,6 +60,19 @@ printUsage()
         "                       squeezenet, googlenet\n"
         "  --layers FILE        custom network file (name N M R C K S\n"
         "                       per line)\n"
+        "  --joint LIST         joint multi-network optimization\n"
+        "                       (Section 4.3): comma-separated\n"
+        "                       [NAME:]REF entries; a REF with '/' or\n"
+        "                       '.' is a network file, otherwise a zoo\n"
+        "                       network. One design partitions the\n"
+        "                       FPGA across the concatenated layers,\n"
+        "                       and each epoch advances one image of\n"
+        "                       every network\n"
+        "  --joint-weights LIST images per epoch for each --joint\n"
+        "                       entry (e.g. 2,1; default all 1)\n"
+        "  --dump-layers        print the resolved network (joint\n"
+        "                       concatenation included) in the --layers\n"
+        "                       file format and exit\n"
         "  --device NAME        485t | 690t | vu9p | vu11p "
         "(default 690t)\n"
         "  --type T             float | fixed (default float)\n"
@@ -100,6 +116,7 @@ struct Options
     std::optional<std::string> cacheDir;
     bool response = false;
     bool sim = false;
+    bool dumpLayers = false;
     std::optional<std::string> hlsOut;
 };
 
@@ -117,6 +134,9 @@ parseArgs(int argc, char **argv)
     };
     bool single = false;
     bool adjacent = false;
+    bool network_given = false;
+    std::optional<std::string> joint_spec;
+    std::optional<std::string> joint_weights;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
@@ -124,8 +144,15 @@ parseArgs(int argc, char **argv)
             return std::nullopt;
         } else if (arg == "--network") {
             request.network = need_value(i, "--network");
+            network_given = true;
         } else if (arg == "--layers") {
             opts.layersFile = need_value(i, "--layers");
+        } else if (arg == "--joint") {
+            joint_spec = need_value(i, "--joint");
+        } else if (arg == "--joint-weights") {
+            joint_weights = need_value(i, "--joint-weights");
+        } else if (arg == "--dump-layers") {
+            opts.dumpLayers = true;
         } else if (arg == "--device") {
             request.device = need_value(i, "--device");
         } else if (arg == "--type") {
@@ -183,7 +210,90 @@ parseArgs(int argc, char **argv)
         request.network = parsed.name();
         request.layers = parsed.layers();
     }
+    if (joint_spec) {
+        if (network_given || opts.layersFile)
+            util::fatal("--joint names the networks; drop --network/"
+                        "--layers");
+        request.subnets = core::parseJointSpec(*joint_spec);
+        if (joint_weights)
+            core::applyJointWeights(request.subnets, *joint_weights);
+        // The resolved joint name comes from the sub-network names.
+        request.network.clear();
+    } else if (joint_weights) {
+        util::fatal("--joint-weights needs --joint");
+    }
     return opts;
+}
+
+/** Render the resolved network in the --layers file format. */
+void
+dumpLayers(const nn::Network &network)
+{
+    std::printf("network %s\n", network.name().c_str());
+    for (const nn::ConvLayer &layer : network.layers()) {
+        std::printf("%s %lld %lld %lld %lld %lld %lld\n",
+                    layer.name.c_str(),
+                    static_cast<long long>(layer.n),
+                    static_cast<long long>(layer.m),
+                    static_cast<long long>(layer.r),
+                    static_cast<long long>(layer.c),
+                    static_cast<long long>(layer.k),
+                    static_cast<long long>(layer.s));
+    }
+}
+
+/**
+ * "name[lo..hi]" segments of one CLP's layer assignment, grouped by
+ * the sub-network spans (local layer indices within each span).
+ */
+std::string
+clpSubnetSegments(const model::ClpConfig &clp,
+                  const std::vector<core::DseSubNetSpan> &spans)
+{
+    std::vector<std::string> segments;
+    for (const core::DseSubNetSpan &span : spans) {
+        size_t lo = 0, hi = 0, count = 0;
+        for (const model::LayerBinding &binding : clp.layers) {
+            if (binding.layerIdx < span.firstLayer ||
+                binding.layerIdx >= span.firstLayer + span.numLayers)
+                continue;
+            size_t local = binding.layerIdx - span.firstLayer;
+            lo = count == 0 ? local : std::min(lo, local);
+            hi = count == 0 ? local : std::max(hi, local);
+            ++count;
+        }
+        if (count == 0)
+            continue;
+        segments.push_back(
+            lo == hi
+                ? util::strprintf("%s[%zu]", span.name.c_str(), lo)
+                : util::strprintf("%s[%zu..%zu]", span.name.c_str(),
+                                  lo, hi));
+    }
+    return util::join(segments, ", ");
+}
+
+/** Joint requests: per-CLP attribution back to the sub-networks. */
+void
+printJointAttribution(const core::DseResponse &response,
+                      const core::DsePoint &point)
+{
+    util::TextTable table({"CLP", "shape", "layers", "serves"});
+    table.setTitle(util::strprintf(
+        "sub-network attribution at %lld DSP slices (one epoch = one "
+        "image of each sub-network copy)",
+        static_cast<long long>(point.budget.dspSlices)));
+    for (size_t ci = 0; ci < point.design.clps.size(); ++ci) {
+        const model::ClpConfig &clp = point.design.clps[ci];
+        table.addRow({std::to_string(ci),
+                      util::strprintf(
+                          "%lldx%lld",
+                          static_cast<long long>(clp.shape.tn),
+                          static_cast<long long>(clp.shape.tm)),
+                      std::to_string(clp.layers.size()),
+                      clpSubnetSegments(clp, response.subnets)});
+    }
+    std::printf("%s\n", table.render().c_str());
 }
 
 int
@@ -192,6 +302,15 @@ runTool(const Options &opts)
     const core::DseRequest &request = opts.request;
     nn::Network network = core::resolveNetwork(request);
     fpga::Device device = fpga::deviceByName(request.device);
+
+    if (opts.dumpLayers) {
+        // The hand-concatenation escape hatch: what --joint optimizes
+        // is exactly this layer list, so feeding the dump back through
+        // --layers must reproduce the joint designs byte for byte
+        // (the CI smoke diffs the two).
+        dumpLayers(network);
+        return 0;
+    }
 
     // One shared persistent cache per invocation (results never
     // change; only how warm this process starts). The registry dtor
@@ -267,6 +386,8 @@ runTool(const Options &opts)
                  util::withCommas(point.bramUsed)});
         }
         std::printf("%s\n", table.render().c_str());
+        if (!response.subnets.empty())
+            printJointAttribution(response, response.points.back());
         return 0;
     }
 
@@ -295,6 +416,11 @@ runTool(const Options &opts)
                 1e3 * point.schedule.latencySeconds(
                           metrics.epochCycles, request.mhz),
                 static_cast<long long>(point.schedule.imagesInFlight));
+
+    if (!response.subnets.empty()) {
+        std::printf("\n");
+        printJointAttribution(response, point);
+    }
 
     if (opts.sim) {
         sim::MultiClpSystem system(design, network, point.budget);

@@ -56,10 +56,13 @@ printUsage()
         "  --cold               bypass the registry; every request\n"
         "                       runs cold (parity baseline)\n"
         "  --help               this text\n\n"
-        "protocol: one request per line --\n"
+        "protocol: one request per line (full spec: docs/PROTOCOL.md)\n"
         "  dse id=ID net=NAME [device=D] [type=float|fixed] [mhz=F]\n"
         "      [bw=GBPS] [maxclps=N] [mode=throughput|latency|single]\n"
         "      [budgets=A,B,C] [layers=name:n:m:r:c:k:s;...]\n"
+        "  dse id=ID nets=NAME[:ZOO|:#COUNT],... [weights=W,...]\n"
+        "      ...          joint multi-network request (Section 4.3);\n"
+        "                   responses add subnets= attribution spans\n"
         "  stats        registry / frontier-row-store counters\n"
         "  cache-stats  persistent-cache counters\n"
         "  shutdown     stop the server after this batch\n");
