@@ -7,6 +7,7 @@
 #include "model/dsp_model.h"
 #include "util/logging.h"
 #include "util/math.h"
+#include "util/prof.h"
 
 namespace mclp {
 namespace core {
@@ -175,6 +176,10 @@ ComputeOptimizer::fillRangesFrontier(
     // help-while-waiting pool cannot re-enter a held mutex.
     table->prepare(dsp_budget, cycle_target, pool_);
 
+    // Frontier-build work triggered from inside choose() (a row the
+    // prepare pass stopped short of) charges FrontierBuild, not this
+    // scope — the profiler attributes self time.
+    util::prof::Scope prof_scope(util::prof::Phase::FrontierQuery);
     size_t count = order_.size();
     for (size_t i = 0; i < count; ++i) {
         for (size_t j = i; j < count; ++j) {

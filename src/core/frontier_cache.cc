@@ -101,13 +101,6 @@ headerPayload(uint64_t fingerprint)
     return out.bytes();
 }
 
-// Staircases serialize/deserialize as flat i64 blocks (tn, tm, dsp,
-// cycles per point), so the hot load path is one bounds-checked
-// memcpy per row instead of four field reads per point.
-static_assert(sizeof(FrontierPoint) == 4 * sizeof(int64_t) &&
-              offsetof(FrontierPoint, dsp) == 2 * sizeof(int64_t) &&
-              offsetof(FrontierPoint, cycles) == 3 * sizeof(int64_t));
-
 bool
 readKey(util::ByteReader &in, std::vector<int64_t> &key)
 {
@@ -128,13 +121,24 @@ writeKey(util::ByteWriter &out, const std::vector<int64_t> &key)
 std::string
 encodeRow(const std::vector<int64_t> &key, const ShapeFrontier &row)
 {
+    // Format v2 stores the staircase in its SoA form — four i64 lane
+    // blocks (tn, tm, dsp, cycles) — so the i64 lanes stream straight
+    // from the frontier's storage; only the int32 shape lanes widen
+    // through a scratch buffer.
     util::ByteWriter out;
     out.u8(kKindRow);
     writeKey(out, key);
-    out.u32(static_cast<uint32_t>(row.points().size()));
-    out.i64Words(
-        reinterpret_cast<const int64_t *>(row.points().data()),
-        row.points().size() * 4);
+    size_t count = row.size();
+    out.u32(static_cast<uint32_t>(count));
+    std::vector<int64_t> lane(count);
+    for (size_t i = 0; i < count; ++i)
+        lane[i] = row.tnData()[i];
+    out.i64Words(lane.data(), count);
+    for (size_t i = 0; i < count; ++i)
+        lane[i] = row.tmData()[i];
+    out.i64Words(lane.data(), count);
+    out.i64Words(row.dspData(), count);
+    out.i64Words(row.cyclesData(), count);
     return out.bytes();
 }
 
@@ -238,9 +242,18 @@ FrontierCache::loadLocked()
                 loadedClean_ = false;
                 break;
             }
-            std::vector<FrontierPoint> points(count);
-            in.i64Words(reinterpret_cast<int64_t *>(points.data()),
-                        static_cast<size_t>(count) * 4);
+            size_t n = count;
+            std::vector<int64_t> tn(n), tm(n), dsp(n), cycles(n);
+            in.i64Words(tn.data(), n);
+            in.i64Words(tm.data(), n);
+            in.i64Words(dsp.data(), n);
+            in.i64Words(cycles.data(), n);
+            std::vector<FrontierPoint> points(n);
+            for (size_t i = 0; i < n; ++i) {
+                points[i].shape = model::ClpShape{tn[i], tm[i]};
+                points[i].dsp = dsp[i];
+                points[i].cycles = cycles[i];
+            }
             auto frontier = in.ok() && in.atEnd()
                                 ? ShapeFrontier::fromPoints(
                                       std::move(points))
@@ -343,7 +356,7 @@ FrontierCache::seedTrace(const std::vector<int64_t> &key,
     trace.initialized = true;
     trace.initialBram = image.initialBram;
     trace.initialPeak = image.initialPeak;
-    trace.steps = image.steps;
+    trace.steps.assign(image.steps.data(), image.steps.size());
     trace.complete = image.complete;
     ++traceHits_;
     return true;
@@ -399,7 +412,7 @@ FrontierCache::flush()
         image.complete = trace->complete;
         image.initialBram = trace->initialBram;
         image.initialPeak = trace->initialPeak;
-        image.steps = trace->steps;
+        image.steps.assign(trace->steps.begin(), trace->steps.end());
         trace_images.emplace(key, std::move(image));
     }
 

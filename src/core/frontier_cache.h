@@ -63,8 +63,10 @@ namespace core {
 /** First bytes of a cache file ("MCLPFC01", little-endian u64). */
 constexpr uint64_t kFrontierCacheMagic = 0x31304346504C434DULL;
 
-/** Bump on any change to the record layout below. */
-constexpr uint32_t kFrontierCacheFormatVersion = 1;
+/** Bump on any change to the record layout below. v2: staircases
+ * stored as four SoA lane blocks (tn, tm, dsp, cycles) instead of
+ * interleaved points. */
+constexpr uint32_t kFrontierCacheFormatVersion = 2;
 
 /** Cache file and lock file names inside the cache directory. */
 constexpr const char *kFrontierCacheFileName = "frontier_cache.bin";

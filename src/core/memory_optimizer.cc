@@ -14,6 +14,8 @@
 #include "model/metrics.h"
 #include "util/logging.h"
 #include "util/math.h"
+#include "util/prof.h"
+#include "util/simd.h"
 
 namespace mclp {
 namespace core {
@@ -22,6 +24,7 @@ std::vector<TilingOption>
 paretoTilingOptions(const nn::ConvLayer &layer,
                     const model::ClpShape &shape)
 {
+    util::prof::Scope prof_scope(util::prof::Phase::TilingEnum);
     // Bank costs are non-decreasing step functions of the tile sizes,
     // and within a run of Tc sharing identical bank costs the peak is
     // monotone: peak(Tc) = A + B / (k^2*Tr*Tc) with the per-row
@@ -176,8 +179,18 @@ TilingOptionCache::get(const nn::ConvLayer &layer,
     }
     // Compute outside the lock; a concurrent duplicate computation is
     // harmless (the function is pure) and the first insert wins.
-    auto options = std::make_shared<const std::vector<TilingOption>>(
-        paretoTilingOptions(layer, shape));
+    auto set = std::make_shared<TilingOptionSet>();
+    set->options = paretoTilingOptions(layer, shape);
+    size_t count = set->options.size();
+    set->inBrams.reserve(count);
+    set->outBrams.reserve(count);
+    set->peaks.reserve(count);
+    for (const TilingOption &opt : set->options) {
+        set->inBrams.push_back(opt.inputBankBrams);
+        set->outBrams.push_back(opt.outputBankBrams);
+        set->peaks.push_back(opt.peakWordsPerCycle);
+    }
+    Options options = std::move(set);
     std::lock_guard<std::mutex> lock(mutex_);
     return table_.emplace(key, std::move(options)).first->second;
 }
@@ -298,8 +311,12 @@ TilingOptionCache::memoryBytes()
     std::lock_guard<std::mutex> lock(mutex_);
     size_t bytes = table_.size() * (sizeof(Key) + 4 * sizeof(void *));
     for (const auto &entry : table_) {
-        bytes += sizeof(std::vector<TilingOption>) +
-                 entry.second->capacity() * sizeof(TilingOption);
+        bytes += sizeof(TilingOptionSet) +
+                 entry.second->options.capacity() * sizeof(TilingOption) +
+                 (entry.second->inBrams.capacity() +
+                  entry.second->outBrams.capacity()) *
+                     sizeof(int64_t) +
+                 entry.second->peaks.capacity() * sizeof(double);
     }
     return bytes;
 }
@@ -339,7 +356,7 @@ TradeoffCurveCache::memoryBytes()
     for (const auto &trace_ptr : traces) {
         PartitionTrace &trace = *trace_ptr;
         std::lock_guard<std::mutex> trace_lock(trace.mutex);
-        bytes += trace.steps.capacity() * sizeof(PartitionStep);
+        bytes += trace.arena.bytesReserved();
         // Options vectors are shared with TilingOptionCache and the
         // curves are counted above; only the pointer tables are new.
         for (const auto &group : trace.groupOptions)
@@ -416,61 +433,58 @@ class MemoryOptimizer::ClpState
     /**
      * Evaluate shrinking the input or output per-bank cost to the next
      * lower achievable level. Returns nullopt when no lower level
-     * exists.
+     * exists. All candidate levels of a layer are evaluated in one
+     * batched pass over the option set's contiguous cost lanes: a
+     * fused capScanI64 answers both the floor (lowest level reachable
+     * under the other cap) and the next step down (largest level
+     * strictly below the current cap) per layer, then a
+     * firstWithinCapsI64 pass picks each layer's new minimum-peak
+     * option. Integer comparisons only — bit-identical to the former
+     * option-by-option loops.
      */
     std::optional<Move>
     probeMove(bool input) const
     {
         int64_t cap = input ? inCap_ : outCap_;
+        int64_t other_cap = input ? outCap_ : inCap_;
         // The layers' options bound how low the cap can go: every
         // layer must retain at least one option under both caps.
         int64_t floor_cap = 0;
+        int64_t next_below = std::numeric_limits<int64_t>::min();
         for (size_t li = 0; li < layers_.size(); ++li) {
-            int64_t layer_min = std::numeric_limits<int64_t>::max();
-            for (const TilingOption &opt : *options_[li]) {
-                int64_t other =
-                    input ? opt.outputBankBrams : opt.inputBankBrams;
-                int64_t other_cap = input ? outCap_ : inCap_;
-                if (other > other_cap)
-                    continue;
-                layer_min = std::min(layer_min, input
-                                                    ? opt.inputBankBrams
-                                                    : opt.outputBankBrams);
-            }
+            const TilingOptionSet &set = *options_[li];
+            const int64_t *levels =
+                input ? set.inBrams.data() : set.outBrams.data();
+            const int64_t *gates =
+                input ? set.outBrams.data() : set.inBrams.data();
+            int64_t layer_min, layer_below;
+            util::simd::capScanI64(levels, gates, other_cap, cap,
+                                   set.options.size(), layer_min,
+                                   layer_below);
             if (layer_min == std::numeric_limits<int64_t>::max())
                 return std::nullopt;  // should not happen: cap covers it
             floor_cap = std::max(floor_cap, layer_min);
+            next_below = std::max(next_below, layer_below);
         }
         if (cap <= floor_cap)
             return std::nullopt;
 
         // Largest achievable level strictly below the current cap.
-        int64_t new_cap = floor_cap;
-        for (size_t li = 0; li < layers_.size(); ++li) {
-            for (const TilingOption &opt : *options_[li]) {
-                int64_t level =
-                    input ? opt.inputBankBrams : opt.outputBankBrams;
-                if (level < cap)
-                    new_cap = std::max(new_cap, level);
-            }
-        }
+        int64_t new_cap = std::max(floor_cap, next_below);
 
         int64_t in_cap = input ? new_cap : inCap_;
         int64_t out_cap = input ? outCap_ : new_cap;
         double peak_after = 0.0;
         for (size_t li = 0; li < layers_.size(); ++li) {
-            bool found = false;
-            for (const TilingOption &opt : *options_[li]) {
-                if (opt.inputBankBrams <= in_cap &&
-                    opt.outputBankBrams <= out_cap) {
-                    peak_after =
-                        std::max(peak_after, opt.peakWordsPerCycle);
-                    found = true;
-                    break;  // options sorted by ascending peak
-                }
-            }
-            if (!found)
+            const TilingOptionSet &set = *options_[li];
+            size_t oi = util::simd::firstWithinCapsI64(
+                set.inBrams.data(), set.outBrams.data(), in_cap,
+                out_cap, set.options.size());
+            if (oi == set.options.size())
                 return std::nullopt;
+            // Options sorted by ascending peak: the first fit is the
+            // layer's minimum-peak choice.
+            peak_after = std::max(peak_after, set.peaks[oi]);
         }
         Move move;
         move.input = input;
@@ -518,7 +532,7 @@ class MemoryOptimizer::ClpState
     const model::Tiling &
     tiling(size_t li) const
     {
-        return (*options_[li])[chosen_[li]].tiling;
+        return options_[li]->options[chosen_[li]].tiling;
     }
 
   private:
@@ -530,18 +544,13 @@ class MemoryOptimizer::ClpState
     repick()
     {
         for (size_t li = 0; li < layers_.size(); ++li) {
-            bool found = false;
-            for (size_t oi = 0; oi < options_[li]->size(); ++oi) {
-                const TilingOption &opt = (*options_[li])[oi];
-                if (opt.inputBankBrams <= inCap_ &&
-                    opt.outputBankBrams <= outCap_) {
-                    chosen_[li] = oi;  // options sorted by peak
-                    found = true;
-                    break;
-                }
-            }
-            if (!found)
+            const TilingOptionSet &set = *options_[li];
+            size_t oi = util::simd::firstWithinCapsI64(
+                set.inBrams.data(), set.outBrams.data(), inCap_,
+                outCap_, set.options.size());
+            if (oi == set.options.size())
                 return false;
+            chosen_[li] = oi;  // options sorted by peak
         }
         return true;
     }
@@ -557,7 +566,7 @@ class MemoryOptimizer::ClpState
         int64_t out_max = 0;
         double peak = 0.0;
         for (size_t li = 0; li < layers_.size(); ++li) {
-            const TilingOption &opt = (*options_[li])[chosen_[li]];
+            const TilingOption &opt = options_[li]->options[chosen_[li]];
             in_max = std::max(in_max, opt.inputBankBrams);
             out_max = std::max(out_max, opt.outputBankBrams);
             peak = std::max(peak, opt.peakWordsPerCycle);
@@ -670,6 +679,7 @@ MemoryOptimizer::extendTrace(const ComputePartition &partition,
                              TradeoffCurveCache::PartitionTrace &trace,
                              int64_t bram_budget) const
 {
+    util::prof::Scope prof_scope(util::prof::Phase::MemoryWalk);
     if (trace.complete)
         return;
     if (trace.initialized) {
@@ -808,6 +818,7 @@ MemoryOptimizer::optimize(const ComputePartition &partition,
     // deep enough), then rebuild that point's design.
     std::optional<model::MultiClpDesign> design;
     {
+        util::prof::Scope prof_scope(util::prof::Phase::MemoryWalk);
         auto trace = curves_->partitionTrace(type_, network_, partition);
         std::lock_guard<std::mutex> lock(trace->mutex);
         extendTrace(partition, *trace, budget.bram18k);
@@ -844,6 +855,7 @@ MemoryOptimizer::optimize(const ComputePartition &partition,
 std::vector<TradeoffPoint>
 MemoryOptimizer::tradeoffCurve(const ComputePartition &partition) const
 {
+    util::prof::Scope prof_scope(util::prof::Phase::MemoryWalk);
     auto trace = curves_->partitionTrace(type_, network_, partition);
     std::lock_guard<std::mutex> lock(trace->mutex);
     extendTrace(partition, *trace, -1);

@@ -62,7 +62,8 @@ SessionRegistry::estimateSessionBytes(const nn::Network &network,
     uint64_t units =
         static_cast<uint64_t>(model::macBudget(max_dsp_budget, type));
     uint64_t bytes;
-    if (__builtin_mul_overflow(units, uint64_t{sizeof(FrontierPoint)},
+    if (__builtin_mul_overflow(units,
+                               uint64_t{ShapeFrontier::kBytesPerPoint},
                                &bytes) ||
         __builtin_mul_overflow(
             bytes, static_cast<uint64_t>(network.numLayers()), &bytes) ||

@@ -1,11 +1,14 @@
 #include "core/shape_frontier.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "core/frontier_cache.h"
 #include "model/dsp_model.h"
 #include "util/logging.h"
 #include "util/math.h"
+#include "util/prof.h"
+#include "util/simd.h"
 
 namespace mclp {
 namespace core {
@@ -42,10 +45,43 @@ ShapeFrontier::Builder::reset()
     seenM_.clear();
     maxN_ = 0;
     maxM_ = 0;
+    unitsCap_ = kUnboundedResources;
     tnBps_.clear();
     tmBps_.clear();
-    grid_.clear();
-    cands_.clear();
+    geomInit_ = false;
+    live_.clear();
+    liveW_.clear();
+    livePk_.clear();
+    liveTi_.clear();
+    liveMi_.clear();
+    livePacked_ = true;
+    pending_ = false;
+}
+
+void
+ShapeFrontier::Builder::setUnitsCap(int64_t cap)
+{
+    if (!layers_.empty())
+        util::panic("ShapeFrontier::Builder: units cap must be set "
+                    "before the first layer");
+    unitsCap_ = cap < 1 ? 1 : cap;
+}
+
+void
+ShapeFrontier::Builder::seedDimensions(int64_t n, int64_t m,
+                                       BreakpointCache &scratch)
+{
+    if (geomInit_)
+        util::panic("ShapeFrontier::Builder: dimensions must be seeded "
+                    "before the first layer");
+    if (std::find(seenN_.begin(), seenN_.end(), n) == seenN_.end()) {
+        seenN_.push_back(n);
+        mergeBps(tnBps_, scratch.table(n).bps);
+    }
+    if (std::find(seenM_.begin(), seenM_.end(), m) == seenM_.end()) {
+        seenM_.push_back(m);
+        mergeBps(tmBps_, scratch.table(m).bps);
+    }
 }
 
 bool
@@ -63,33 +99,204 @@ ShapeFrontier::Builder::mergeBps(std::vector<int64_t> &into,
 }
 
 void
-ShapeFrontier::Builder::expandGrid(const std::vector<int64_t> &old_tn,
+ShapeFrontier::Builder::expandLive(const std::vector<int64_t> &old_tn,
                                    const std::vector<int64_t> &old_tm)
 {
-    // Cycle counts are constant between breakpoints, so the value at a
-    // new breakpoint is the value at the largest old breakpoint at or
-    // under it. Old lists are subsets of the new ones, so a moving
-    // cursor maps every new index.
+    // Cycle counts are constant between breakpoints, so a new cell's
+    // value is the value at the largest old breakpoint pair at or
+    // under it. Old lists are subsets of the new ones, so ascending
+    // cursors map every new row and column once.
+    //
+    // live_ holds the old values in the old units-ascending order and
+    // must end up holding the new values in the new one — two sorted
+    // orders with no structural relation. The remap goes through a
+    // grid-shaped scratch: scatter the old values to their old grid
+    // offsets (liveTi_/liveMi_ still describe the old geometry here),
+    // then gather each new cell's source. A new live cell's source is live
+    // too (its old tn and tm are at most the new ones, so its units
+    // are under the same cap), so dead scratch cells are never read
+    // and the scratch needs no clearing.
+    size_t new_t = tnBps_.size();
     size_t new_w = tmBps_.size();
+    size_t old_t = old_tn.size();
     size_t old_w = old_tm.size();
-    scratch_.assign(grid_.begin(), grid_.end());
-    grid_.assign(tnBps_.size() * new_w, 0);
-    if (old_w == 0)
-        return;
 
-    std::vector<size_t> mcol(new_w, 0);
+    grid_.resize(old_t * old_w);
+    {
+        int64_t *grid = grid_.data();
+        const int64_t *vals = live_.data();
+        size_t old_live = live_.size();
+        if (livePacked_) {
+            const uint32_t *pk = livePk_.data();
+            for (size_t k = 0; k < old_live; ++k) {
+                uint32_t p = pk[k];
+                grid[(p >> 16) * old_w + (p & 0xFFFFu)] = vals[k];
+            }
+        } else {
+            const int32_t *ti_arr = liveTi_.data();
+            const int32_t *mi_arr = liveMi_.data();
+            for (size_t k = 0; k < old_live; ++k)
+                grid[static_cast<size_t>(ti_arr[k]) * old_w +
+                     static_cast<size_t>(mi_arr[k])] = vals[k];
+        }
+    }
+
+    recomputeLiveGeometry();
+
+    mcolScratch_.resize(new_w);
     for (size_t mi = 0, o = 0; mi < new_w; ++mi) {
         while (o + 1 < old_w && old_tm[o + 1] <= tmBps_[mi])
             ++o;
-        mcol[mi] = o;
+        mcolScratch_[mi] = o;
     }
-    for (size_t ti = 0, o = 0; ti < tnBps_.size(); ++ti) {
-        while (o + 1 < old_tn.size() && old_tn[o + 1] <= tnBps_[ti])
+    rowScratch_.resize(new_t);
+    for (size_t ti = 0, o = 0; ti < new_t; ++ti) {
+        while (o + 1 < old_t && old_tn[o + 1] <= tnBps_[ti])
             ++o;
-        const int64_t *src = scratch_.data() + o * old_w;
-        int64_t *dst = grid_.data() + ti * new_w;
-        for (size_t mi = 0; mi < new_w; ++mi)
-            dst[mi] = src[mcol[mi]];
+        rowScratch_[ti] = o * old_w;
+    }
+
+    size_t new_live = liveCount();
+    live_.resize(new_live);
+    const size_t *mcol = mcolScratch_.data();
+    const size_t *row = rowScratch_.data();
+    const int64_t *grid = grid_.data();
+    int64_t *vals = live_.data();
+    if (livePacked_) {
+        const uint32_t *pk = livePk_.data();
+        for (size_t k = 0; k < new_live; ++k) {
+            uint32_t p = pk[k];
+            vals[k] = grid[row[p >> 16] + mcol[p & 0xFFFFu]];
+        }
+    } else {
+        const int32_t *ti_arr = liveTi_.data();
+        const int32_t *mi_arr = liveMi_.data();
+        for (size_t k = 0; k < new_live; ++k)
+            vals[k] = grid[row[ti_arr[k]] + mcol[mi_arr[k]]];
+    }
+}
+
+namespace {
+
+/**
+ * Up to this unit range the live cells are ordered with a counting
+ * sort over unit counts; above it (budget-free builds of wide
+ * networks) a comparison sort takes over. Every budget-capped build
+ * of a real device sits far below the limit (a 10,000-DSP float
+ * budget is 2,000 units), and budget-free geometries are built once
+ * per session.
+ */
+constexpr int64_t kDenseUnitsLimit = 1 << 16;
+
+} // namespace
+
+void
+ShapeFrontier::Builder::recomputeLiveGeometry()
+{
+    size_t t = tnBps_.size();
+    size_t w = tmBps_.size();
+    liveW_.resize(t);
+    size_t total = 0;
+    int64_t max_units = 0;
+    // cap/tn only shrinks as tn grows, so the live width is
+    // nonincreasing: one descending cursor maps every row without a
+    // per-row binary search.
+    size_t lw = w;
+    for (size_t ti = 0; ti < t; ++ti) {
+        int64_t tn = tnBps_[ti];
+        if (tn > unitsCap_) {
+            // Rows ascend in tn, so this and every later row is dead.
+            for (; ti < t; ++ti)
+                liveW_[ti] = 0;
+            break;
+        }
+        int64_t tm_cap = unitsCap_ / tn;
+        while (lw > 0 && tmBps_[lw - 1] > tm_cap)
+            --lw;
+        liveW_[ti] = lw;
+        total += lw;
+        if (lw > 0)
+            max_units = std::max(max_units, tn * tmBps_[lw - 1]);
+    }
+    // Both indices in 16 bits covers any real geometry (65536 merged
+    // breakpoints per dimension needs channel counts near 2^31); the
+    // hot passes are bandwidth-bound, so half-width indices are a
+    // direct win. The int32 pair lanes remain as the fallback.
+    livePacked_ = t <= (1u << 16) && w <= (1u << 16);
+    if (livePacked_) {
+        livePk_.resize(total);
+        liveTi_.clear();
+        liveMi_.clear();
+    } else {
+        liveTi_.resize(total);
+        liveMi_.resize(total);
+        livePk_.clear();
+    }
+    if (total == 0)
+        return;
+    uint32_t *pk = livePk_.data();
+    int32_t *ti_lane = liveTi_.data();
+    int32_t *mi_lane = liveMi_.data();
+    auto place = [&](size_t pos, size_t ti, size_t mi) {
+        if (livePacked_) {
+            pk[pos] = static_cast<uint32_t>((ti << 16) | mi);
+        } else {
+            ti_lane[pos] = static_cast<int32_t>(ti);
+            mi_lane[pos] = static_cast<int32_t>(mi);
+        }
+    };
+
+    if (max_units <= kDenseUnitsLimit) {
+        // Stable counting sort: count per unit value, prefix-sum into
+        // start offsets, then place cells in discovery order (ti, then
+        // mi) — which is exactly the tie-break order build() wants
+        // within an equal-units group.
+        size_t slots = static_cast<size_t>(max_units) + 1;
+        countScratch_.assign(slots, 0);
+        for (size_t ti = 0; ti < t; ++ti) {
+            int64_t tn = tnBps_[ti];
+            size_t lw = liveW_[ti];
+            for (size_t mi = 0; mi < lw; ++mi)
+                ++countScratch_[static_cast<size_t>(tn * tmBps_[mi])];
+        }
+        int32_t acc = 0;
+        for (size_t u = 0; u < slots; ++u) {
+            int32_t c = countScratch_[u];
+            countScratch_[u] = acc;
+            acc += c;
+        }
+        for (size_t ti = 0; ti < t; ++ti) {
+            int64_t tn = tnBps_[ti];
+            size_t lw = liveW_[ti];
+            for (size_t mi = 0; mi < lw; ++mi) {
+                int64_t u = tn * tmBps_[mi];
+                size_t pos = static_cast<size_t>(
+                    countScratch_[static_cast<size_t>(u)]++);
+                place(pos, ti, mi);
+            }
+        }
+        return;
+    }
+
+    // Huge unit range: comparison sort. stable_sort preserves the
+    // same discovery order within equal units as the counting path.
+    sortScratch_.clear();
+    sortScratch_.reserve(total);
+    for (size_t ti = 0; ti < t; ++ti) {
+        int64_t tn = tnBps_[ti];
+        size_t lw = liveW_[ti];
+        for (size_t mi = 0; mi < lw; ++mi)
+            sortScratch_.emplace_back(tn * tmBps_[mi],
+                                      static_cast<int32_t>(ti * w + mi));
+    }
+    std::stable_sort(sortScratch_.begin(), sortScratch_.end(),
+                     [](const std::pair<int64_t, int32_t> &a,
+                        const std::pair<int64_t, int32_t> &b) {
+                         return a.first < b.first;
+                     });
+    for (size_t p = 0; p < total; ++p) {
+        size_t off = static_cast<size_t>(sortScratch_[p].second);
+        place(p, off / w, off % w);
     }
 }
 
@@ -97,6 +304,9 @@ void
 ShapeFrontier::Builder::addLayer(const nn::ConvLayer &layer,
                                  BreakpointCache &scratch)
 {
+    // The previous layer's staged update must land before the
+    // geometry (and the staging scratch) can change.
+    flushPending();
     layers_.push_back(&layer);
     maxN_ = std::max(maxN_, layer.n);
     maxM_ = std::max(maxM_, layer.m);
@@ -104,8 +314,9 @@ ShapeFrontier::Builder::addLayer(const nn::ConvLayer &layer,
     const BreakpointCache::Table &ntab = scratch.table(layer.n);
     const BreakpointCache::Table &mtab = scratch.table(layer.m);
 
-    // A repeated dimension value adds no new breakpoints; the grid
-    // keeps its geometry and only absorbs the rank-1 update below.
+    // A repeated dimension value adds no new breakpoints; the live
+    // cells keep their geometry and only absorb the rank-1 update
+    // staged below.
     bool n_new = std::find(seenN_.begin(), seenN_.end(), layer.n) ==
                  seenN_.end();
     bool m_new = std::find(seenM_.begin(), seenM_.end(), layer.m) ==
@@ -113,7 +324,7 @@ ShapeFrontier::Builder::addLayer(const nn::ConvLayer &layer,
     if (n_new || m_new) {
         std::vector<int64_t> old_tn;
         std::vector<int64_t> old_tm;
-        if (!grid_.empty()) {
+        if (geomInit_) {
             old_tn = tnBps_;
             old_tm = tmBps_;
         }
@@ -126,15 +337,22 @@ ShapeFrontier::Builder::addLayer(const nn::ConvLayer &layer,
             seenM_.push_back(layer.m);
             changed |= mergeBps(tmBps_, mtab.bps);
         }
-        if (grid_.empty())
-            grid_.assign(tnBps_.size() * tmBps_.size(), 0);
-        else if (changed)
-            expandGrid(old_tn, old_tm);
+        if (geomInit_ && changed)
+            expandLive(old_tn, old_tm);
+    }
+    if (!geomInit_) {
+        // First layer — with seeded dimensions this is the only
+        // geometry computation of the whole run.
+        recomputeLiveGeometry();
+        live_.assign(liveCount(), 0);
+        geomInit_ = true;
     }
 
-    // Rank-1 update: cycles(tn, tm) += R*C*K^2 * ceil(N/tn) *
-    // ceil(M/tm). Per-breakpoint ceilings come from the layer's own
-    // tables with moving cursors — no divisions.
+    // Stage the rank-1 update cycles(tn, tm) += R*C*K^2 * ceil(N/tn)
+    // * ceil(M/tm): per-column M ceilings and per-row areas come from
+    // the layer's own tables with moving cursors — no divisions. The
+    // live values are untouched until flushPending() or a fused
+    // build() applies the staged update.
     size_t w = tmBps_.size();
     scratch_.resize(w);
     for (size_t mi = 0, k = 0; mi < w; ++mi) {
@@ -143,29 +361,45 @@ ShapeFrontier::Builder::addLayer(const nn::ConvLayer &layer,
         scratch_[mi] = mtab.ceils[k];
     }
     int64_t rck2 = layer.r * layer.c * layer.k * layer.k;
+    areas_.resize(tnBps_.size());
     for (size_t ti = 0, k = 0; ti < tnBps_.size(); ++ti) {
-        while (k + 1 < ntab.bps.size() && ntab.bps[k + 1] <= tnBps_[ti])
+        if (liveW_[ti] == 0)
+            break;  // no affordable shape in this or any later row
+        int64_t tn = tnBps_[ti];
+        while (k + 1 < ntab.bps.size() && ntab.bps[k + 1] <= tn)
             ++k;
-        int64_t area = rck2 * ntab.ceils[k];
-        int64_t *row = grid_.data() + ti * w;
-        const int64_t *cm = scratch_.data();
-        for (size_t mi = 0; mi < w; ++mi)
-            row[mi] += area * cm[mi];
+        areas_[ti] = rck2 * ntab.ceils[k];
     }
+    pending_ = true;
 }
 
-namespace {
-
-/**
- * Above this unit range the dense staircase sweep's O(max_units) scan
- * and bucket storage stop paying off and the sparse sort takes over.
- * Every budget-capped build of a real device sits far below it (a
- * 10,000-DSP float budget is 2,000 units); only budget-free builds of
- * wide networks go sparse, and those are built once per session.
- */
-constexpr int64_t kDenseUnitsLimit = 1 << 16;
-
-} // namespace
+void
+ShapeFrontier::Builder::flushPending()
+{
+    if (!pending_)
+        return;
+    pending_ = false;
+    // Same per-cell update a fused build() performs, minus the
+    // staircase test. The staged arrays are indexed in the current
+    // geometry: addLayer() flushes before any breakpoint merge, so a
+    // staged update never crosses a remap.
+    int64_t *vals = live_.data();
+    const int64_t *areas = areas_.data();
+    const int64_t *mceil = scratch_.data();
+    size_t n_live = live_.size();
+    if (livePacked_) {
+        const uint32_t *pk = livePk_.data();
+        for (size_t k = 0; k < n_live; ++k) {
+            uint32_t p = pk[k];
+            vals[k] += areas[p >> 16] * mceil[p & 0xFFFFu];
+        }
+    } else {
+        const int32_t *ti_arr = liveTi_.data();
+        const int32_t *mi_arr = liveMi_.data();
+        for (size_t k = 0; k < n_live; ++k)
+            vals[k] += areas[ti_arr[k]] * mceil[mi_arr[k]];
+    }
+}
 
 ShapeFrontier
 ShapeFrontier::Builder::build(fpga::DataType type, int64_t units_budget)
@@ -173,110 +407,120 @@ ShapeFrontier::Builder::build(fpga::DataType type, int64_t units_budget)
     ShapeFrontier frontier;
     if (layers_.empty())
         util::panic("ShapeFrontier: empty layer range");
+    if (units_budget > unitsCap_)
+        util::panic("ShapeFrontier: units budget %lld above the "
+                    "builder's cap %lld (cells beyond the cap were "
+                    "never maintained)",
+                    static_cast<long long>(units_budget),
+                    static_cast<long long>(unitsCap_));
     if (units_budget < 1)
         return frontier;  // not a single MAC unit
 
     int64_t per_mac = fpga::dspPerMac(type);
-    int64_t tn_cap = std::min(maxN_, units_budget);
-    int64_t max_units = std::min(units_budget, tn_cap * maxM_);
-    size_t w = tmBps_.size();
+    // At most one staircase point per live cell: grow-only sizing lets
+    // the walk emit through raw pointers with no growth checks.
+    if (outDsp_.size() < live_.size()) {
+        outTn_.resize(live_.size());
+        outTm_.resize(live_.size());
+        outDsp_.resize(live_.size());
+        outCycles_.resize(live_.size());
+    }
+    int32_t *out_tn = outTn_.data();
+    int32_t *out_tm = outTm_.data();
+    int64_t *out_dsp = outDsp_.data();
+    int64_t *out_cycles = outCycles_.data();
+    size_t out_count = 0;
 
-    if (max_units <= kDenseUnitsLimit) {
-        // Dense sweep: per MAC count keep the best (fewest cycles;
-        // ties toward the first, i.e. smallest, Tn) shape within the
-        // budget, then walk unit counts in order.
-        if (buckets_.size() < static_cast<size_t>(max_units) + 1)
-            buckets_.resize(static_cast<size_t>(max_units) + 1);
-        for (size_t ti = 0; ti < tnBps_.size(); ++ti) {
-            int64_t tn = tnBps_[ti];
-            if (tn > tn_cap)
-                break;
-            int64_t tm_cap = units_budget / tn;
-            size_t hi = static_cast<size_t>(
-                std::upper_bound(tmBps_.begin(), tmBps_.end(), tm_cap) -
-                tmBps_.begin());
-            const int64_t *row = grid_.data() + ti * w;
-            for (size_t mi = 0; mi < hi; ++mi) {
-                size_t units = static_cast<size_t>(tn * tmBps_[mi]);
-                int64_t cycles = row[mi];
-                Bucket &slot = buckets_[units];
-                if (slot.cycles < 0 || cycles < slot.cycles) {
-                    slot.cycles = cycles;
-                    slot.tn = static_cast<int32_t>(tn);
-                    slot.tm = static_cast<int32_t>(tmBps_[mi]);
+    // One pass over the live cells in the precomputed units-ascending
+    // order, keeping a running cycle minimum. A cell emits only when
+    // it strictly beats the minimum, which leaves exactly the Pareto
+    // staircase: strictly increasing DSP, strictly decreasing cycles.
+    // Two strict improvements inside one equal-units run would emit
+    // the same DSP twice; the later one overwrites the first in
+    // place, so per unit count the fewest-cycles shape wins — ties
+    // toward the first cell in discovery order (ti, then mi), i.e.
+    // the smallest Tn, because later equal cycles never beat the
+    // running minimum. The common case (no improvement) is a single
+    // rarely-taken branch per cell; reinterpreting the initial -1 as
+    // UINT64_MAX folds "first emission" into the same compare (cycle
+    // counts are positive). A budget below the cap is a prefix of the
+    // walk — units ascend, so the first over-budget improvement ends
+    // it.
+    size_t n_live = live_.size();
+    int64_t best_cycles = -1;
+    auto improve = [&](size_t ti, size_t mi, int64_t cycles) {
+        int64_t tn = tnBps_[ti];
+        int64_t tm = tmBps_[mi];
+        int64_t u = tn * tm;
+        if (u > units_budget) {
+            // Nothing past the budget may emit; cycle counts are
+            // positive, so a zero minimum mutes every later cell
+            // without stopping a fused pass's value writes.
+            best_cycles = 0;
+            return;
+        }
+        best_cycles = cycles;
+        int64_t dsp = per_mac * u;
+        // A strict improvement inside the same equal-units run would
+        // repeat a DSP value: overwrite that point instead of
+        // appending a second one.
+        size_t slot = out_count;
+        if (out_count > 0 && out_dsp[out_count - 1] == dsp)
+            slot = out_count - 1;
+        else
+            ++out_count;
+        out_tn[slot] = static_cast<int32_t>(tn);
+        out_tm[slot] = static_cast<int32_t>(tm);
+        out_dsp[slot] = dsp;
+        out_cycles[slot] = cycles;
+    };
+    // The walk body is generic over the index encoding (packed 16-bit
+    // halves or int32 pair lanes); both instantiations inline.
+    auto walk = [&](auto cell) {
+        if (pending_) {
+            // The newest layer's staged rank-1 update rides the walk:
+            // one streaming pass updates each live value and tests
+            // it, instead of an update pass followed by a read pass.
+            pending_ = false;
+            int64_t *vals = live_.data();
+            const int64_t *areas = areas_.data();
+            const int64_t *mceil = scratch_.data();
+            for (size_t k = 0; k < n_live; ++k) {
+                auto [ti, mi] = cell(k);
+                int64_t cycles = vals[k] + areas[ti] * mceil[mi];
+                vals[k] = cycles;
+                if (static_cast<uint64_t>(cycles) <
+                    static_cast<uint64_t>(best_cycles)) [[unlikely]]
+                    improve(ti, mi, cycles);
+            }
+        } else {
+            const int64_t *vals = live_.data();
+            for (size_t k = 0; k < n_live; ++k) {
+                int64_t cycles = vals[k];
+                if (static_cast<uint64_t>(cycles) <
+                    static_cast<uint64_t>(best_cycles)) [[unlikely]] {
+                    auto [ti, mi] = cell(k);
+                    improve(ti, mi, cycles);
                 }
             }
         }
-
-        // Ascending-units sweep keeps only the Pareto staircase:
-        // strictly increasing DSP, strictly decreasing cycles.
-        // Buckets reset along the way.
-        int64_t best_cycles = -1;
-        for (int64_t units = 1; units <= max_units; ++units) {
-            Bucket &slot = buckets_[static_cast<size_t>(units)];
-            if (slot.cycles < 0)
-                continue;
-            if (best_cycles < 0 || slot.cycles < best_cycles) {
-                best_cycles = slot.cycles;
-                FrontierPoint point;
-                point.shape = model::ClpShape{slot.tn, slot.tm};
-                point.dsp = per_mac * units;
-                point.cycles = slot.cycles;
-                frontier.points_.push_back(point);
-            }
-            slot.cycles = -1;  // reset for the next build
-        }
-        return frontier;
+    };
+    if (livePacked_) {
+        const uint32_t *pk = livePk_.data();
+        walk([pk](size_t k) {
+            uint32_t p = pk[k];
+            return std::pair<size_t, size_t>(p >> 16, p & 0xFFFFu);
+        });
+    } else {
+        const int32_t *ti_arr = liveTi_.data();
+        const int32_t *mi_arr = liveMi_.data();
+        walk([ti_arr, mi_arr](size_t k) {
+            return std::pair<size_t, size_t>(
+                static_cast<size_t>(ti_arr[k]),
+                static_cast<size_t>(mi_arr[k]));
+        });
     }
-
-    // Sparse sweep for huge unit ranges (budget-free builds of wide
-    // networks): the candidate count is bounded by the breakpoint
-    // products, not by the unit count. The (units, cycles, tn) sort
-    // replicates the dense sweep's tie-breaks exactly: per unit count
-    // the fewest-cycles shape wins, ties toward the smallest Tn.
-    cands_.clear();
-    for (size_t ti = 0; ti < tnBps_.size(); ++ti) {
-        int64_t tn = tnBps_[ti];
-        if (tn > tn_cap)
-            break;
-        int64_t tm_cap = units_budget / tn;
-        size_t hi = static_cast<size_t>(
-            std::upper_bound(tmBps_.begin(), tmBps_.end(), tm_cap) -
-            tmBps_.begin());
-        const int64_t *row = grid_.data() + ti * w;
-        for (size_t mi = 0; mi < hi; ++mi) {
-            Candidate cand;
-            cand.units = tn * tmBps_[mi];
-            cand.cycles = row[mi];
-            cand.tn = static_cast<int32_t>(tn);
-            cand.tm = static_cast<int32_t>(tmBps_[mi]);
-            cands_.push_back(cand);
-        }
-    }
-    std::sort(cands_.begin(), cands_.end(),
-              [](const Candidate &a, const Candidate &b) {
-                  if (a.units != b.units)
-                      return a.units < b.units;
-                  if (a.cycles != b.cycles)
-                      return a.cycles < b.cycles;
-                  return a.tn < b.tn;
-              });
-    int64_t best_cycles = -1;
-    int64_t last_units = 0;
-    for (const Candidate &cand : cands_) {
-        if (cand.units == last_units)
-            continue;  // only the best shape per unit count competes
-        if (best_cycles < 0 || cand.cycles < best_cycles) {
-            best_cycles = cand.cycles;
-            last_units = cand.units;
-            FrontierPoint point;
-            point.shape = model::ClpShape{cand.tn, cand.tm};
-            point.dsp = per_mac * cand.units;
-            point.cycles = cand.cycles;
-            frontier.points_.push_back(point);
-        }
-    }
-    cands_.clear();
+    frontier.adopt(out_tn, out_tm, out_dsp, out_cycles, out_count);
     return frontier;
 }
 
@@ -285,12 +529,51 @@ ShapeFrontier::ShapeFrontier(
     int64_t units_budget, BreakpointCache &scratch)
 {
     Builder builder;
+    builder.setUnitsCap(units_budget);
+    for (const nn::ConvLayer *layer : layers)
+        builder.seedDimensions(layer->n, layer->m, scratch);
     for (const nn::ConvLayer *layer : layers)
         builder.addLayer(*layer, scratch);
     *this = builder.build(type, units_budget);
 }
 
-const FrontierPoint *
+void
+ShapeFrontier::adopt(const int32_t *tn, const int32_t *tm,
+                     const int64_t *dsp, const int64_t *cycles,
+                     size_t count)
+{
+    size_ = count;
+    if (count == 0) {
+        tn_ = tm_ = nullptr;
+        dsp_ = cycles_ = nullptr;
+        return;
+    }
+    // One exact-size block: the int64 lanes first (the block is
+    // 8-aligned), then the int32 lanes — kBytesPerPoint per point,
+    // nothing else.
+    unsigned char *block = static_cast<unsigned char *>(
+        arena_.allocate(count * kBytesPerPoint, alignof(int64_t)));
+    dsp_ = reinterpret_cast<int64_t *>(block);
+    cycles_ = dsp_ + count;
+    tn_ = reinterpret_cast<int32_t *>(cycles_ + count);
+    tm_ = tn_ + count;
+    std::memcpy(dsp_, dsp, count * sizeof(int64_t));
+    std::memcpy(cycles_, cycles, count * sizeof(int64_t));
+    std::memcpy(tn_, tn, count * sizeof(int32_t));
+    std::memcpy(tm_, tm, count * sizeof(int32_t));
+}
+
+std::vector<FrontierPoint>
+ShapeFrontier::points() const
+{
+    std::vector<FrontierPoint> out;
+    out.reserve(size_);
+    for (size_t i = 0; i < size_; ++i)
+        out.push_back(point(i));
+    return out;
+}
+
+std::optional<FrontierPoint>
 ShapeFrontier::query(int64_t cycle_target, int64_t max_dsp) const
 {
     // DSP increases strictly along the frontier, so the shapes
@@ -298,27 +581,30 @@ ShapeFrontier::query(int64_t cycle_target, int64_t max_dsp) const
     // first prefix point at or under the target is the cheapest one
     // (ties already resolved toward fewer cycles, then smaller Tn,
     // during construction).
-    auto end = std::partition_point(
-        points_.begin(), points_.end(), [&](const FrontierPoint &p) {
-            return p.dsp <= max_dsp;
-        });
-    auto it = std::partition_point(
-        points_.begin(), end, [&](const FrontierPoint &p) {
-            return p.cycles > cycle_target;
-        });
-    return it == end ? nullptr : &*it;
+    size_t end = static_cast<size_t>(
+        std::partition_point(dsp_, dsp_ + size_,
+                             [&](int64_t d) { return d <= max_dsp; }) -
+        dsp_);
+    size_t i = static_cast<size_t>(
+        std::partition_point(
+            cycles_, cycles_ + end,
+            [&](int64_t c) { return c > cycle_target; }) -
+        cycles_);
+    if (i == end)
+        return std::nullopt;
+    return point(i);
 }
 
 int64_t
 ShapeFrontier::minCycles(int64_t max_dsp) const
 {
-    auto end = std::partition_point(
-        points_.begin(), points_.end(), [&](const FrontierPoint &p) {
-            return p.dsp <= max_dsp;
-        });
-    if (end == points_.begin())
+    size_t end = static_cast<size_t>(
+        std::partition_point(dsp_, dsp_ + size_,
+                             [&](int64_t d) { return d <= max_dsp; }) -
+        dsp_);
+    if (end == 0)
         return kUnboundedResources;  // nothing affordable
-    return (end - 1)->cycles;
+    return cycles_[end - 1];
 }
 
 size_t
@@ -327,27 +613,46 @@ ShapeFrontier::Builder::memoryBytes() const
     return sizeof(*this) +
            (layers_.capacity() + seenN_.capacity() + seenM_.capacity()) *
                sizeof(int64_t) +
-           (tnBps_.capacity() + tmBps_.capacity() + grid_.capacity() +
-            scratch_.capacity()) *
+           (tnBps_.capacity() + tmBps_.capacity() + live_.capacity() +
+            grid_.capacity() + scratch_.capacity() + areas_.capacity() +
+            outDsp_.capacity() + outCycles_.capacity()) *
                sizeof(int64_t) +
-           buckets_.capacity() * sizeof(Bucket) +
-           cands_.capacity() * sizeof(Candidate);
+           (mcolScratch_.capacity() + rowScratch_.capacity() +
+            liveW_.capacity()) *
+               sizeof(size_t) +
+           (livePk_.capacity() + liveTi_.capacity() +
+            liveMi_.capacity() + countScratch_.capacity() +
+            outTn_.capacity() + outTm_.capacity()) *
+               sizeof(int32_t) +
+           sortScratch_.capacity() *
+               sizeof(std::pair<int64_t, int32_t>);
 }
 
 std::optional<ShapeFrontier>
 ShapeFrontier::fromPoints(std::vector<FrontierPoint> points)
 {
+    constexpr int64_t kShapeMax = std::numeric_limits<int32_t>::max();
     for (size_t i = 0; i < points.size(); ++i) {
         const FrontierPoint &point = points[i];
         if (point.shape.tn < 1 || point.shape.tm < 1 ||
+            point.shape.tn > kShapeMax || point.shape.tm > kShapeMax ||
             point.dsp < 1 || point.cycles < 1)
             return std::nullopt;
         if (i > 0 && (point.dsp <= points[i - 1].dsp ||
                       point.cycles >= points[i - 1].cycles))
             return std::nullopt;  // not a staircase
     }
+    std::vector<int32_t> tn(points.size()), tm(points.size());
+    std::vector<int64_t> dsp(points.size()), cycles(points.size());
+    for (size_t i = 0; i < points.size(); ++i) {
+        tn[i] = static_cast<int32_t>(points[i].shape.tn);
+        tm[i] = static_cast<int32_t>(points[i].shape.tm);
+        dsp[i] = points[i].dsp;
+        cycles[i] = points[i].cycles;
+    }
     ShapeFrontier frontier;
-    frontier.points_ = std::move(points);
+    frontier.adopt(tn.data(), tm.data(), dsp.data(), cycles.data(),
+                   points.size());
     return frontier;
 }
 
@@ -499,6 +804,7 @@ void
 FrontierTable::extendRowLocked(size_t i, int64_t dsp_budget,
                                int64_t cycle_target)
 {
+    util::prof::Scope prof_scope(util::prof::Phase::FrontierBuild);
     Row &row = rows_[i];
     int64_t needed = model::macBudget(dsp_budget, type_);
     if (row.builtUnits < needed) {
@@ -512,6 +818,10 @@ FrontierTable::extendRowLocked(size_t i, int64_t dsp_budget,
         row.frontiers.clear();
         row.exhausted = false;
         row.builtUnits = std::max(buildUnits_.load(), needed);
+        // Every build of this row uses exactly builtUnits, so the
+        // builder can skip maintaining cells beyond it (most of the
+        // grid under a real budget).
+        row.builder.setUnitsCap(row.builtUnits);
     }
     if (row.exhausted)
         return;
@@ -625,11 +935,7 @@ FrontierTable::choose(size_t i, size_t j, int64_t dsp_budget,
         frontier = row.frontiers[idx];
     }
     // The frontier itself is immutable; query outside the row lock.
-    const FrontierPoint *point =
-        frontier->query(cycle_target, dsp_budget);
-    if (!point)
-        return std::nullopt;
-    return *point;
+    return frontier->query(cycle_target, dsp_budget);
 }
 
 size_t

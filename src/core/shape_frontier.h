@@ -45,11 +45,13 @@
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "fpga/data_type.h"
 #include "model/clp_config.h"
 #include "nn/network.h"
+#include "util/arena.h"
 #include "util/hash.h"
 #include "util/thread_pool.h"
 
@@ -102,11 +104,23 @@ struct FrontierPoint
 /**
  * The (dsp, cycles) Pareto frontier over all CLP shapes for one run of
  * layers, under a fixed DSP budget.
+ *
+ * Storage is structure-of-arrays in one arena block sized exactly at
+ * build time: dsp[] and cycles[] are contiguous int64 arrays (what the
+ * binary searches and serialization read), tn[]/tm[] contiguous int32.
+ * The frontier owns its arena — rows are shared through
+ * FrontierRowStore and pinned by the persistent cache beyond any
+ * FrontierTable's lifetime, so the storage must travel with the
+ * object, not with the table that built it.
  */
 class ShapeFrontier
 {
   public:
     class Builder;
+
+    /** Stored bytes per frontier point (two i64 + two i32 lanes). */
+    static constexpr size_t kBytesPerPoint =
+        2 * sizeof(int64_t) + 2 * sizeof(int32_t);
 
     /**
      * Rebuild a frontier from stored points — the decode path of the
@@ -138,18 +152,20 @@ class ShapeFrontier
      * frontier), so a budget-free frontier answers any budget without
      * a rebuild.
      */
-    const FrontierPoint *
+    std::optional<FrontierPoint>
     query(int64_t cycle_target,
           int64_t max_dsp = kUnboundedResources) const;
 
     /** True when not even the largest affordable shape can help. */
-    bool empty() const { return points_.empty(); }
+    bool empty() const { return size_ == 0; }
+
+    size_t size() const { return size_; }
 
     /** Fewest cycles any affordable shape achieves on this range. */
     int64_t
     minCycles() const
     {
-        return points_.empty() ? 0 : points_.back().cycles;
+        return size_ == 0 ? 0 : cycles_[size_ - 1];
     }
 
     /**
@@ -159,13 +175,65 @@ class ShapeFrontier
      */
     int64_t minCycles(int64_t max_dsp) const;
 
-    const std::vector<FrontierPoint> &points() const { return points_; }
+    /** Materialize the @p i-th staircase point. */
+    FrontierPoint
+    point(size_t i) const
+    {
+        FrontierPoint p;
+        p.shape = model::ClpShape{tn_[i], tm_[i]};
+        p.dsp = dsp_[i];
+        p.cycles = cycles_[i];
+        return p;
+    }
 
-    /** Resident bytes of the stored staircase. */
+    /** Materialize every point (tests / debugging; hot paths use the
+     * SoA accessors below). */
+    std::vector<FrontierPoint> points() const;
+
+    // Raw SoA lanes — contiguous, sorted by strictly increasing DSP /
+    // strictly decreasing cycles. Serialization and the scan kernels
+    // read these directly.
+    const int32_t *tnData() const { return tn_; }
+    const int32_t *tmData() const { return tm_; }
+    const int64_t *dspData() const { return dsp_; }
+    const int64_t *cyclesData() const { return cycles_; }
+
+    /** Resident bytes of the stored staircase (arena block totals). */
     size_t
     memoryBytes() const
     {
-        return sizeof(*this) + points_.capacity() * sizeof(FrontierPoint);
+        return sizeof(*this) + arena_.bytesReserved();
+    }
+
+    ShapeFrontier(ShapeFrontier &&other) noexcept { *this = std::move(other); }
+    ShapeFrontier &
+    operator=(ShapeFrontier &&other) noexcept
+    {
+        arena_ = std::move(other.arena_);
+        size_ = other.size_;
+        tn_ = other.tn_;
+        tm_ = other.tm_;
+        dsp_ = other.dsp_;
+        cycles_ = other.cycles_;
+        other.size_ = 0;
+        other.tn_ = other.tm_ = nullptr;
+        other.dsp_ = other.cycles_ = nullptr;
+        return *this;
+    }
+    ShapeFrontier(const ShapeFrontier &other)
+    {
+        adopt(other.tn_, other.tm_, other.dsp_, other.cycles_,
+              other.size_);
+    }
+    ShapeFrontier &
+    operator=(const ShapeFrontier &other)
+    {
+        if (this != &other) {
+            arena_.clear();
+            adopt(other.tn_, other.tm_, other.dsp_, other.cycles_,
+                  other.size_);
+        }
+        return *this;
     }
 
   private:
@@ -173,28 +241,66 @@ class ShapeFrontier
 
     ShapeFrontier() = default;
 
-    std::vector<FrontierPoint> points_;
+    /** Copy the four lanes into one exact-size arena block. */
+    void adopt(const int32_t *tn, const int32_t *tm, const int64_t *dsp,
+               const int64_t *cycles, size_t count);
+
+    util::Arena arena_{1};  ///< chunk floor 1: every block exact-fit
+    size_t size_ = 0;
+    int32_t *tn_ = nullptr;      ///< into arena_
+    int32_t *tm_ = nullptr;      ///< into arena_
+    int64_t *dsp_ = nullptr;     ///< into arena_, strictly increasing
+    int64_t *cycles_ = nullptr;  ///< into arena_, strictly decreasing
 };
 
 /**
  * Reusable frontier constructor for one growing run of layers. A row
  * of the range table extends one layer at a time ([i..j] to [i..j+1]).
  *
- * Shape cost is additive over layers, so the builder keeps a dense
- * grid of exact cycle counts over (merged Tn breakpoints x merged Tm
- * breakpoints): appending a layer is one rank-1 update
- * (grid += area[tn] * mceil[tm]) and building a frontier is a pure
- * read of the grid — no per-extension re-enumeration at all. When a
- * layer introduces new breakpoints the grid re-expands by run-length
- * copying (cycle counts are constant between breakpoints); layers
- * repeating already-seen channel counts (grouped convolutions,
- * inception modules) add no breakpoints and skip that entirely.
+ * Shape cost is additive over layers, so the builder keeps exact
+ * cycle counts for every *live* cell of the (merged Tn breakpoints x
+ * merged Tm breakpoints) grid — the cells with tn*tm under the units
+ * cap — stored as one flat array in units-ascending order. Appending
+ * a layer is one rank-1 update (cell += area[tn] * mceil[tm]) over
+ * that array, and building a frontier is a single sequential
+ * running-minimum pass over it — no per-extension re-enumeration at
+ * all. When a layer introduces new breakpoints the array is remapped
+ * by run-length copying (cycle counts are constant between
+ * breakpoints); layers repeating already-seen channel counts (grouped
+ * convolutions, inception modules) add no breakpoints and skip that
+ * entirely.
  */
 class ShapeFrontier::Builder
 {
   public:
-    /** Forget all layers (scratch capacity is kept). */
+    /** Forget all layers (scratch capacity is kept; the units cap
+     * resets to unbounded). */
     void reset();
+
+    /**
+     * Declare the largest units budget any build() of this run will
+     * use. Cells with tn*tm above the cap can never be read — build()
+     * bounds its sweep by the budget — so the rank-1 updates and grid
+     * expansions skip them entirely; on a budget-capped grid that is
+     * most of the area (the live region is hyperbolic). Set it after
+     * reset() and before the first addLayer(); build() refuses larger
+     * budgets. Default: unbounded (every cell maintained).
+     */
+    void setUnitsCap(int64_t cap);
+
+    /**
+     * Pre-merge the breakpoints of a dimension pair the run may reach,
+     * before any layer is added. A caller that knows the run's maximal
+     * extent (a table row extends toward the full suffix) seeds every
+     * layer's dimensions up front, so the grid geometry is final from
+     * the first addLayer() — no mid-run re-expansions or re-sorts.
+     * Extra breakpoints never change a built frontier: a foreign
+     * breakpoint's cycle count equals the breakpoint below it at
+     * strictly fewer units, so it can never strictly improve the
+     * staircase's running minimum. Seeding is optional; unseeded
+     * dimensions merge lazily as layers arrive.
+     */
+    void seedDimensions(int64_t n, int64_t m, BreakpointCache &scratch);
 
     /** Append the next layer of the run. */
     void addLayer(const nn::ConvLayer &layer, BreakpointCache &scratch);
@@ -206,43 +312,101 @@ class ShapeFrontier::Builder
     size_t memoryBytes() const;
 
   private:
-    /** Per-unit-count slot of the dense staircase sweep. */
-    struct Bucket
-    {
-        int64_t cycles = -1;
-        int32_t tn = 0;
-        int32_t tm = 0;
-    };
-
-    /** One enumerated shape, keyed for the sparse staircase sweep. */
-    struct Candidate
-    {
-        int64_t units = 0;   ///< Tn * Tm
-        int64_t cycles = 0;  ///< exact range cycles from the grid
-        int32_t tn = 0;
-        int32_t tm = 0;
-    };
-
     /** Merge a table's breakpoints into a sorted union; true if new. */
     static bool mergeBps(std::vector<int64_t> &into,
                          const std::vector<int64_t> &from);
 
-    /** Re-expand grid_ after the breakpoint lists changed. */
-    void expandGrid(const std::vector<int64_t> &old_tn,
+    /**
+     * Remap live_ to the new geometry after the breakpoint lists
+     * changed: scatter the old values out to a grid-shaped scratch,
+     * then gather each new live cell's value from the largest old
+     * breakpoint pair at or under it. Runs recomputeLiveGeometry()
+     * itself, between the scatter (old geometry) and the gather (new).
+     */
+    void expandLive(const std::vector<int64_t> &old_tn,
                     const std::vector<int64_t> &old_tm);
+
+    /**
+     * Rebuild the live-cell geometry (liveW_, liveTi_, liveMi_) after
+     * the breakpoint lists changed. Grid
+     * geometry changes only when a layer brings new breakpoints, but
+     * build() runs once per range extension — precomputing the
+     * per-row live widths and the units-ascending order of the live
+     * cells here moves every per-build binary search and bucket pass
+     * out of the hot path.
+     */
+    void recomputeLiveGeometry();
+
+    /**
+     * Apply the deferred rank-1 update of the most recent layer to
+     * live_. addLayer() only stages its update (per-row areas, per-
+     * column ceilings): when the very next call is build() — the
+     * common rhythm of a range extension — the update is fused into
+     * the build walk, one pass over the live cells instead of two.
+     * Anything else that needs the values complete (the next
+     * addLayer, a remap) flushes first — which also means a staged
+     * update never crosses a geometry change, so the staged arrays
+     * are always indexed in the current geometry.
+     */
+    void flushPending();
 
     std::vector<const nn::ConvLayer *> layers_;
     std::vector<int64_t> seenN_;  ///< distinct N values so far
     std::vector<int64_t> seenM_;  ///< distinct M values so far
     int64_t maxN_ = 0;
     int64_t maxM_ = 0;
+    int64_t unitsCap_ = kUnboundedResources;  ///< live-cell bound
     std::vector<int64_t> tnBps_;  ///< merged Tn breakpoints, ascending
     std::vector<int64_t> tmBps_;  ///< merged Tm breakpoints, ascending
-    /** cycles of the range at (tnBps_[ti], tmBps_[mi]), row-major. */
+    bool geomInit_ = false;  ///< live geometry exists (first layer seen)
+    /** Cycle counts of the live cells, in the units-ascending order
+     * of liveTi_/liveMi_ — the only persistent value storage.
+     * Sequential in the build walk's own iteration order, so the hot
+     * pass streams instead of gathering. */
+    std::vector<int64_t> live_;
+    /** Expansion scratch: old-geometry grid the old values scatter
+     * into so the remap gather has random access (row-major,
+     * old_t * old_w, dead cells never written or read). */
     std::vector<int64_t> grid_;
-    std::vector<int64_t> scratch_;   ///< expansion / per-bp ceilings
-    std::vector<Bucket> buckets_;    ///< dense sweep; reset after use
-    std::vector<Candidate> cands_;   ///< sparse sweep scratch
+    std::vector<int64_t> scratch_;   ///< per-breakpoint M ceilings
+    std::vector<size_t> mcolScratch_;  ///< old-column map for expansion
+    std::vector<size_t> rowScratch_;   ///< old-row map for expansion
+    /** Per-row count of live cells (tn*tm <= unitsCap_): rank-1
+     * updates, remaps, and builds all stop there. */
+    std::vector<size_t> liveW_;
+    /** (row, column) of the live cells, units-ascending; within
+     * equal units, discovery order (ti, then mi) — the staircase
+     * walk's tie-break order. Rebuilt per geometry. The hot passes
+     * are bandwidth-bound, so index lane width is a direct lever:
+     * when both breakpoint lists fit 16 bits (any real geometry),
+     * livePk_ packs (ti << 16 | mi) into one lane; otherwise the
+     * int32 pair lanes hold the same order. */
+    bool livePacked_ = true;
+    std::vector<uint32_t> livePk_;
+    std::vector<int32_t> liveTi_;
+    std::vector<int32_t> liveMi_;
+
+    /** Live-cell count of the current geometry (whichever index
+     * encoding is active). */
+    size_t
+    liveCount() const
+    {
+        return livePacked_ ? livePk_.size() : liveTi_.size();
+    }
+    /** Staged rank-1 update of the most recent layer: per-row areas
+     * (R*C*K^2 * ceil(N/tn)); the per-column ceilings are scratch_. */
+    std::vector<int64_t> areas_;
+    bool pending_ = false;
+    std::vector<int32_t> countScratch_;  ///< counting-sort workspace
+    /** (units, offset) pairs for the comparison sort of uncapped
+     * geometries (counting sort needs a small units range). */
+    std::vector<std::pair<int64_t, int32_t>> sortScratch_;
+    // Output staircase lanes, reused across build() calls; build()
+    // copies them into the frontier's exact-size arena block.
+    std::vector<int32_t> outTn_;
+    std::vector<int32_t> outTm_;
+    std::vector<int64_t> outDsp_;
+    std::vector<int64_t> outCycles_;
 };
 
 /**

@@ -16,6 +16,7 @@
 #include "model/dsp_model.h"
 #include "service/dse_codec.h"
 #include "util/logging.h"
+#include "util/prof.h"
 #include "util/string_utils.h"
 
 namespace mclp {
@@ -136,6 +137,9 @@ DseService::DseService(ServiceOptions options)
 {
     if (util::resolveThreads(options_.threads) > 1)
         pool_ = std::make_unique<util::ThreadPool>(options_.threads);
+    // Phase counters feed the stats verb; the scopes cost two clock
+    // reads per coarse phase, so always-on is fine for a server.
+    util::prof::setEnabled(true);
 }
 
 std::string
@@ -149,12 +153,13 @@ DseService::handleLine(const std::string &line)
         core::FrontierRowStore::Stats rows =
             registry_.rowStore()->stats();
         return util::strprintf(
-            "ok stats sessions=%zu bytes=%zu hits=%zu misses=%zu "
-            "evictions=%zu rows=%zu row_hits=%zu row_misses=%zu "
-            "row_disk_hits=%zu",
-            reg.sessions, reg.bytes, reg.hits, reg.misses,
-            reg.evictions, rows.rows, rows.hits, rows.misses,
-            rows.diskHits);
+                   "ok stats sessions=%zu bytes=%zu hits=%zu misses=%zu "
+                   "evictions=%zu rows=%zu row_hits=%zu row_misses=%zu "
+                   "row_disk_hits=%zu",
+                   reg.sessions, reg.bytes, reg.hits, reg.misses,
+                   reg.evictions, rows.rows, rows.hits, rows.misses,
+                   rows.diskHits) +
+               " " + util::prof::statsTokens();
     }
     if (text == "cache-stats") {
         if (!cache_)

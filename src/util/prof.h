@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Lightweight phase profiler for the DSE hot paths.
+ *
+ * Four phases cover where optimizer time goes: building Pareto
+ * staircases, querying them, enumerating tiling options, and walking
+ * the memory tradeoff curve. Scopes are placed at coarse boundaries
+ * (one per row build, one per probe batch — never per point), so the
+ * two clock reads per scope are noise even when profiling stays on
+ * for a server's whole lifetime.
+ *
+ * Attribution is *self time*: a scope's nested child scopes subtract
+ * their elapsed time from the parent before the parent records, so
+ * the per-phase totals add up to wall time spent in instrumented code
+ * with no double counting — a frontier build triggered from inside a
+ * query charges the build phase, not both. The nesting bookkeeping is
+ * thread local; only the final accumulate touches the shared relaxed
+ * atomics, so concurrent optimizer threads never contend here.
+ *
+ * Zero-cost when disabled: a Scope constructed while profiling is off
+ * is one relaxed load and a branch.
+ */
+
+#ifndef MCLP_UTIL_PROF_H
+#define MCLP_UTIL_PROF_H
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace mclp {
+namespace util {
+namespace prof {
+
+enum class Phase : int
+{
+    FrontierBuild = 0,  ///< staircase construction (grid + sweeps)
+    FrontierQuery,      ///< range-table prepare/choose answering
+    TilingEnum,         ///< paretoTilingOptions enumeration
+    MemoryWalk,         ///< greedy BRAM/bandwidth walk + rebuilds
+};
+
+constexpr size_t kPhaseCount = 4;
+
+inline const char *
+phaseName(Phase phase)
+{
+    switch (phase) {
+    case Phase::FrontierBuild: return "frontier_build";
+    case Phase::FrontierQuery: return "frontier_query";
+    case Phase::TilingEnum:    return "tiling_enum";
+    case Phase::MemoryWalk:    return "memory_walk";
+    }
+    return "?";
+}
+
+/** Accumulated self time and scope count of one phase. */
+struct Counter
+{
+    uint64_t ns = 0;
+    uint64_t calls = 0;
+};
+
+namespace detail {
+
+struct State
+{
+    std::atomic<bool> enabled{false};
+    std::array<std::atomic<uint64_t>, kPhaseCount> ns{};
+    std::array<std::atomic<uint64_t>, kPhaseCount> calls{};
+};
+
+inline State &
+state()
+{
+    static State s;
+    return s;
+}
+
+class Scope;
+inline thread_local Scope *tlsCurrent = nullptr;
+
+} // namespace detail
+
+inline bool
+enabled()
+{
+    return detail::state().enabled.load(std::memory_order_relaxed);
+}
+
+inline void
+setEnabled(bool on)
+{
+    detail::state().enabled.store(on, std::memory_order_relaxed);
+}
+
+inline void
+reset()
+{
+    detail::State &s = detail::state();
+    for (size_t p = 0; p < kPhaseCount; ++p) {
+        s.ns[p].store(0, std::memory_order_relaxed);
+        s.calls[p].store(0, std::memory_order_relaxed);
+    }
+}
+
+inline std::array<Counter, kPhaseCount>
+snapshot()
+{
+    detail::State &s = detail::state();
+    std::array<Counter, kPhaseCount> out;
+    for (size_t p = 0; p < kPhaseCount; ++p) {
+        out[p].ns = s.ns[p].load(std::memory_order_relaxed);
+        out[p].calls = s.calls[p].load(std::memory_order_relaxed);
+    }
+    return out;
+}
+
+namespace detail {
+
+/** RAII phase scope with self-time attribution (see file comment). */
+class Scope
+{
+  public:
+    explicit Scope(Phase phase)
+    {
+        if (!enabled())
+            return;
+        active_ = true;
+        phase_ = phase;
+        parent_ = tlsCurrent;
+        tlsCurrent = this;
+        start_ = std::chrono::steady_clock::now();
+    }
+
+    ~Scope()
+    {
+        if (!active_)
+            return;
+        uint64_t elapsed = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start_)
+                .count());
+        tlsCurrent = parent_;
+        if (parent_)
+            parent_->childNs_ += elapsed;
+        uint64_t self = elapsed > childNs_ ? elapsed - childNs_ : 0;
+        State &s = state();
+        size_t p = static_cast<size_t>(phase_);
+        s.ns[p].fetch_add(self, std::memory_order_relaxed);
+        s.calls[p].fetch_add(1, std::memory_order_relaxed);
+    }
+
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    bool active_ = false;
+    Phase phase_ = Phase::FrontierBuild;
+    Scope *parent_ = nullptr;
+    uint64_t childNs_ = 0;
+    std::chrono::steady_clock::time_point start_{};
+};
+
+} // namespace detail
+
+using Scope = detail::Scope;
+
+/**
+ * Human-readable phase breakdown, one line per phase:
+ * "  frontier_build   12.345 ms   41 scopes".
+ */
+inline std::string
+report()
+{
+    auto counters = snapshot();
+    std::string out;
+    for (size_t p = 0; p < kPhaseCount; ++p) {
+        char line[128];
+        std::snprintf(line, sizeof(line), "  %-15s %10.3f ms %8llu scopes\n",
+                      phaseName(static_cast<Phase>(p)),
+                      static_cast<double>(counters[p].ns) / 1e6,
+                      static_cast<unsigned long long>(counters[p].calls));
+        out += line;
+    }
+    return out;
+}
+
+/**
+ * Wire-friendly one-token-per-phase form for the serve stats verb:
+ * "prof_frontier_build_ms=1.234 prof_frontier_build_calls=41 ...".
+ */
+inline std::string
+statsTokens()
+{
+    auto counters = snapshot();
+    std::string out;
+    for (size_t p = 0; p < kPhaseCount; ++p) {
+        char tok[128];
+        std::snprintf(tok, sizeof(tok), "%sprof_%s_ms=%.3f prof_%s_calls=%llu",
+                      p == 0 ? "" : " ",
+                      phaseName(static_cast<Phase>(p)),
+                      static_cast<double>(counters[p].ns) / 1e6,
+                      phaseName(static_cast<Phase>(p)),
+                      static_cast<unsigned long long>(counters[p].calls));
+        out += tok;
+    }
+    return out;
+}
+
+} // namespace prof
+} // namespace util
+} // namespace mclp
+
+#endif // MCLP_UTIL_PROF_H

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Portable SIMD kernels for the optimizer's integer hot loops.
+ *
+ * All four kernels are pure int64 reductions/updates over contiguous
+ * arrays — the exact shapes of the ShapeFrontier rank-1 grid update,
+ * the dense-sweep occupancy scan, and the MemoryOptimizer batched
+ * probe passes. Integer math means the vector and scalar paths are
+ * bit-identical by construction; no floating point ever enters a
+ * kernel.
+ *
+ * The vector path uses GCC/Clang vector extensions (selected at
+ * compile time; no runtime CPU dispatch) and falls back to the scalar
+ * twins when the compiler lacks them or when -DMCLP_NO_SIMD is set.
+ * The scalar twins are compiled unconditionally and exposed under
+ * scalar::, so tests fuzz vector vs scalar in one binary; the
+ * setForceScalar() hook routes the public entry points through the
+ * twins at runtime for whole-pipeline parity tests (set it only from
+ * single-threaded test setup).
+ *
+ * Loads and stores go through std::memcpy: int64 arrays are only
+ * 8-byte aligned, and memcpy is the UB-free unaligned access idiom —
+ * compilers lower it to plain vector load/store instructions.
+ */
+
+#ifndef MCLP_UTIL_SIMD_H
+#define MCLP_UTIL_SIMD_H
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#if !defined(MCLP_NO_SIMD) && (defined(__GNUC__) || defined(__clang__))
+#define MCLP_SIMD_VECTOR_EXT 1
+#endif
+
+namespace mclp {
+namespace util {
+namespace simd {
+
+/** Lanes per vector op; tests cover every tail length 0..kLanes. */
+constexpr size_t kLanes = 4;
+
+namespace scalar {
+
+/** dst[i] += scale * src[i] — the staircase grid's rank-1 update. */
+inline void
+addScaledI64(int64_t *dst, const int64_t *src, int64_t scale, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        dst[i] += scale * src[i];
+}
+
+/**
+ * dst[i] += src[i] — the rank-1 update's run form: consecutive Tn
+ * breakpoints sharing one ceil(N/Tn) add the same precomputed row, so
+ * the hot loop is a pure add (SSE2 paddq) instead of an emulated
+ * 64-bit vector multiply.
+ */
+inline void
+addI64(int64_t *dst, const int64_t *src, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        dst[i] += src[i];
+}
+
+/** First index with v[i] >= 0, or n — the dense-sweep bucket skip. */
+inline size_t
+findNonNegativeI64(const int64_t *v, size_t n)
+{
+    for (size_t i = 0; i < n; ++i) {
+        if (v[i] >= 0)
+            return i;
+    }
+    return n;
+}
+
+/**
+ * One fused probe pass: min of levels[i] over gates[i] <= gate_cap
+ * (INT64_MAX when no gate admits), and max of levels[i] strictly
+ * below cap (INT64_MIN when none is below).
+ */
+inline void
+capScanI64(const int64_t *levels, const int64_t *gates,
+           int64_t gate_cap, int64_t cap, size_t n,
+           int64_t &min_gated, int64_t &max_below)
+{
+    int64_t lo = std::numeric_limits<int64_t>::max();
+    int64_t hi = std::numeric_limits<int64_t>::min();
+    for (size_t i = 0; i < n; ++i) {
+        if (gates[i] <= gate_cap && levels[i] < lo)
+            lo = levels[i];
+        if (levels[i] < cap && levels[i] > hi)
+            hi = levels[i];
+    }
+    min_gated = lo;
+    max_below = hi;
+}
+
+/** First index with a[i] <= cap_a && b[i] <= cap_b, or n. */
+inline size_t
+firstWithinCapsI64(const int64_t *a, const int64_t *b, int64_t cap_a,
+                   int64_t cap_b, size_t n)
+{
+    for (size_t i = 0; i < n; ++i) {
+        if (a[i] <= cap_a && b[i] <= cap_b)
+            return i;
+    }
+    return n;
+}
+
+} // namespace scalar
+
+namespace detail {
+
+inline std::atomic<bool> g_forceScalar{false};
+
+#if MCLP_SIMD_VECTOR_EXT
+typedef int64_t V4 __attribute__((vector_size(4 * sizeof(int64_t))));
+
+inline V4
+load(const int64_t *p)
+{
+    V4 v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+inline void
+store(int64_t *p, V4 v)
+{
+    std::memcpy(p, &v, sizeof(v));
+}
+
+inline V4
+splat(int64_t x)
+{
+    return V4{x, x, x, x};
+}
+
+/** Lane-wise select: mask lanes are all-ones / all-zeros. */
+inline V4
+select(V4 mask, V4 a, V4 b)
+{
+    return (a & mask) | (b & ~mask);
+}
+#endif
+
+} // namespace detail
+
+/**
+ * Route the public kernels through the scalar twins at runtime (for
+ * in-binary SIMD-vs-scalar parity tests). Not for concurrent use:
+ * flip it only while no optimizer threads run.
+ */
+inline void
+setForceScalar(bool on)
+{
+    detail::g_forceScalar.store(on, std::memory_order_relaxed);
+}
+
+inline bool
+forceScalar()
+{
+    return detail::g_forceScalar.load(std::memory_order_relaxed);
+}
+
+inline void
+addScaledI64(int64_t *dst, const int64_t *src, int64_t scale, size_t n)
+{
+#if MCLP_SIMD_VECTOR_EXT
+    if (!forceScalar()) {
+        using detail::V4;
+        V4 vscale = detail::splat(scale);
+        size_t i = 0;
+        for (; i + kLanes <= n; i += kLanes) {
+            V4 d = detail::load(dst + i);
+            V4 s = detail::load(src + i);
+            detail::store(dst + i, d + s * vscale);
+        }
+        scalar::addScaledI64(dst + i, src + i, scale, n - i);
+        return;
+    }
+#endif
+    scalar::addScaledI64(dst, src, scale, n);
+}
+
+inline void
+addI64(int64_t *dst, const int64_t *src, size_t n)
+{
+#if MCLP_SIMD_VECTOR_EXT
+    if (!forceScalar()) {
+        using detail::V4;
+        size_t i = 0;
+        for (; i + kLanes <= n; i += kLanes) {
+            V4 d = detail::load(dst + i);
+            V4 s = detail::load(src + i);
+            detail::store(dst + i, d + s);
+        }
+        scalar::addI64(dst + i, src + i, n - i);
+        return;
+    }
+#endif
+    scalar::addI64(dst, src, n);
+}
+
+inline size_t
+findNonNegativeI64(const int64_t *v, size_t n)
+{
+#if MCLP_SIMD_VECTOR_EXT
+    if (!forceScalar()) {
+        using detail::V4;
+        size_t i = 0;
+        for (; i + kLanes <= n; i += kLanes) {
+            V4 x = detail::load(v + i);
+            V4 ge = x >= detail::splat(0);
+            if (ge[0] | ge[1] | ge[2] | ge[3]) {
+                for (size_t l = 0; l < kLanes; ++l) {
+                    if (v[i + l] >= 0)
+                        return i + l;
+                }
+            }
+        }
+        size_t tail = scalar::findNonNegativeI64(v + i, n - i);
+        return tail == n - i ? n : i + tail;
+    }
+#endif
+    return scalar::findNonNegativeI64(v, n);
+}
+
+inline void
+capScanI64(const int64_t *levels, const int64_t *gates, int64_t gate_cap,
+           int64_t cap, size_t n, int64_t &min_gated, int64_t &max_below)
+{
+#if MCLP_SIMD_VECTOR_EXT
+    if (!forceScalar()) {
+        using detail::V4;
+        V4 vgate_cap = detail::splat(gate_cap);
+        V4 vcap = detail::splat(cap);
+        V4 vlo = detail::splat(std::numeric_limits<int64_t>::max());
+        V4 vhi = detail::splat(std::numeric_limits<int64_t>::min());
+        size_t i = 0;
+        for (; i + kLanes <= n; i += kLanes) {
+            V4 lv = detail::load(levels + i);
+            V4 gt = detail::load(gates + i);
+            V4 gated = detail::select(gt <= vgate_cap, lv, vlo);
+            vlo = detail::select(gated < vlo, gated, vlo);
+            V4 below = detail::select(lv < vcap, lv, vhi);
+            vhi = detail::select(below > vhi, below, vhi);
+        }
+        int64_t lo = std::numeric_limits<int64_t>::max();
+        int64_t hi = std::numeric_limits<int64_t>::min();
+        for (size_t l = 0; l < kLanes; ++l) {
+            lo = vlo[l] < lo ? vlo[l] : lo;
+            hi = vhi[l] > hi ? vhi[l] : hi;
+        }
+        int64_t tlo, thi;
+        scalar::capScanI64(levels + i, gates + i, gate_cap, cap, n - i,
+                           tlo, thi);
+        min_gated = tlo < lo ? tlo : lo;
+        max_below = thi > hi ? thi : hi;
+        return;
+    }
+#endif
+    scalar::capScanI64(levels, gates, gate_cap, cap, n, min_gated,
+                       max_below);
+}
+
+inline size_t
+firstWithinCapsI64(const int64_t *a, const int64_t *b, int64_t cap_a,
+                   int64_t cap_b, size_t n)
+{
+#if MCLP_SIMD_VECTOR_EXT
+    if (!forceScalar()) {
+        using detail::V4;
+        V4 vcap_a = detail::splat(cap_a);
+        V4 vcap_b = detail::splat(cap_b);
+        size_t i = 0;
+        for (; i + kLanes <= n; i += kLanes) {
+            V4 ok = (detail::load(a + i) <= vcap_a) &
+                    (detail::load(b + i) <= vcap_b);
+            if (ok[0] | ok[1] | ok[2] | ok[3]) {
+                for (size_t l = 0; l < kLanes; ++l) {
+                    if (a[i + l] <= cap_a && b[i + l] <= cap_b)
+                        return i + l;
+                }
+            }
+        }
+        size_t tail =
+            scalar::firstWithinCapsI64(a + i, b + i, cap_a, cap_b, n - i);
+        return tail == n - i ? n : i + tail;
+    }
+#endif
+    return scalar::firstWithinCapsI64(a, b, cap_a, cap_b, n);
+}
+
+} // namespace simd
+} // namespace util
+} // namespace mclp
+
+#endif // MCLP_UTIL_SIMD_H

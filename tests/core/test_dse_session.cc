@@ -266,9 +266,9 @@ TEST(DseSession, BudgetFreeFrontierAnswersCappedQueriesByTruncation)
                             layers[0].m * layers[0].k * layers[0].k;
             for (int64_t target :
                  {int64_t{1}, tight / 4 + 1, tight / 2 + 1, tight * 4}) {
-                const core::FrontierPoint *a = free.query(target, dsp_cap);
-                const core::FrontierPoint *b = capped.query(target);
-                ASSERT_EQ(a != nullptr, b != nullptr)
+                auto a = free.query(target, dsp_cap);
+                auto b = capped.query(target);
+                ASSERT_EQ(a.has_value(), b.has_value())
                     << "trial " << trial << " cap " << units_cap
                     << " target " << target;
                 if (!a)

@@ -111,8 +111,8 @@ TEST(ShapeFrontier, MatchesBruteForceOnRandomRanges)
                                  : tight * (probe + 1) / 3 + probe;
             auto expect =
                 bruteForce(layers, type, units_budget, target);
-            const core::FrontierPoint *got = frontier.query(target);
-            ASSERT_EQ(expect.has_value(), got != nullptr)
+            auto got = frontier.query(target);
+            ASSERT_EQ(expect.has_value(), got.has_value())
                 << "feasibility mismatch at target " << target;
             if (!expect)
                 continue;
@@ -135,7 +135,7 @@ TEST(ShapeFrontier, PointsFormStrictStaircase)
     core::ShapeFrontier frontier(ptrs, fpga::DataType::Float32, 500,
                                  cache);
     ASSERT_FALSE(frontier.empty());
-    const auto &points = frontier.points();
+    const auto points = frontier.points();
     for (size_t i = 1; i < points.size(); ++i) {
         EXPECT_GT(points[i].dsp, points[i - 1].dsp);
         EXPECT_LT(points[i].cycles, points[i - 1].cycles);

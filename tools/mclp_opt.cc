@@ -42,6 +42,7 @@
 #include "service/dse_codec.h"
 #include "service/dse_service.h"
 #include "sim/system.h"
+#include "util/prof.h"
 #include "util/string_utils.h"
 #include "util/table.h"
 
@@ -106,6 +107,11 @@ printUsage()
         "                       (byte-identical either way)\n"
         "  --sim                run the cycle-level epoch simulation\n"
         "  --hls-out DIR        emit HLS template sources into DIR\n"
+        "  --profile            print the optimizer phase breakdown\n"
+        "                       (frontier build/query, tiling enum,\n"
+        "                       memory walk) to stderr on exit; stdout\n"
+        "                       is unchanged, so --response parity\n"
+        "                       diffs still hold\n"
         "  --help               this text\n");
 }
 
@@ -117,6 +123,7 @@ struct Options
     bool response = false;
     bool sim = false;
     bool dumpLayers = false;
+    bool profile = false;
     std::optional<std::string> hlsOut;
 };
 
@@ -190,6 +197,8 @@ parseArgs(int argc, char **argv)
             opts.response = true;
         } else if (arg == "--sim") {
             opts.sim = true;
+        } else if (arg == "--profile") {
+            opts.profile = true;
         } else if (arg == "--hls-out") {
             opts.hlsOut = need_value(i, "--hls-out");
         } else {
@@ -469,7 +478,15 @@ main(int argc, char **argv)
         auto opts = parseArgs(argc, argv);
         if (!opts)
             return 0;
-        return runTool(*opts);
+        if (opts->profile)
+            util::prof::setEnabled(true);
+        int rc = runTool(*opts);
+        if (opts->profile) {
+            // stderr, so --response stdout parity diffs still hold.
+            std::fprintf(stderr, "phase breakdown (self time):\n%s",
+                         util::prof::report().c_str());
+        }
+        return rc;
     } catch (const util::FatalError &err) {
         std::fprintf(stderr, "mclp-opt: %s\n", err.what());
         return 1;
