@@ -21,6 +21,8 @@
 #include "core/optimizer.h"
 #include "fpga/device.h"
 #include "nn/zoo.h"
+#include "util/flags.h"
+#include "util/logging.h"
 #include "util/prof.h"
 
 namespace {
@@ -181,11 +183,12 @@ runThreadSweep(const std::string &list, bool profile)
         size_t comma = list.find(',', pos);
         if (comma == std::string::npos)
             comma = list.size();
-        int value = std::atoi(list.substr(pos, comma - pos).c_str());
-        if (value < 0) {
-            std::fprintf(stderr,
-                         "perf_optimizer: bad --threads entry '%s'\n",
-                         list.substr(pos, comma - pos).c_str());
+        int value;
+        try {
+            value = static_cast<int>(util::parseIntFlag(
+                "--threads", list.substr(pos, comma - pos), 0, 4096));
+        } catch (const util::FatalError &err) {
+            std::fprintf(stderr, "perf_optimizer: %s\n", err.what());
             return 1;
         }
         counts.push_back(value);

@@ -111,7 +111,8 @@ SessionRegistry::session(const nn::Network &network,
         key.signature += "+";
         it = entries_.find(key);
     }
-    if (it == entries_.end()) {
+    bool warm = it != entries_.end();
+    if (!warm) {
         // Enforcing the byte budget only after the build would let a
         // burst of giant networks transiently blow it: evict up
         // front until the estimated newcomer fits. Pre-eviction only
@@ -134,6 +135,7 @@ SessionRegistry::session(const nn::Network &network,
         ++hits_;
     }
     it->second->lastUse = ++tick_;
+    ++it->second->uses;
     std::shared_ptr<Entry> entry = it->second;
     enforceCapsLocked(entry.get());
     // Alias the entry so the handle pins the network the session
@@ -193,6 +195,24 @@ SessionRegistry::memoryBytes()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return memoryBytesLocked();
+}
+
+std::vector<SessionRegistry::SessionInfo>
+SessionRegistry::sessionInfos()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<SessionInfo> infos;
+    infos.reserve(entries_.size());
+    for (const auto &kv : entries_) {
+        SessionInfo info;
+        info.network = kv.second->network.name();
+        info.device = kv.first.device;
+        info.type = kv.first.type;
+        info.uses = kv.second->uses;
+        info.hits = kv.second->uses > 0 ? kv.second->uses - 1 : 0;
+        infos.push_back(std::move(info));
+    }
+    return infos;
 }
 
 SessionRegistry::Stats

@@ -32,6 +32,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "core/dse_session.h"
 #include "fpga/data_type.h"
@@ -67,6 +68,18 @@ class SessionRegistry
         size_t evictions = 0;  ///< sessions dropped by LRU/byte caps
         size_t sessions = 0;   ///< currently resident sessions
         size_t bytes = 0;      ///< rough resident bytes (with store)
+    };
+
+    /** Per-resident-session acquisition counters (the `stats` verb's
+     * session_rates= field). An eviction takes its counters with it:
+     * these describe what is warm *now*. */
+    struct SessionInfo
+    {
+        std::string network;  ///< resolved network name
+        std::string device;   ///< "" = ladder rule
+        fpga::DataType type = fpga::DataType::Float32;
+        size_t uses = 0;      ///< acquisitions of this session
+        size_t hits = 0;      ///< of those, answered warm (uses - 1)
     };
 
     /**
@@ -139,6 +152,10 @@ class SessionRegistry
 
     Stats stats();
 
+    /** One SessionInfo per resident session, ordered by key (so the
+     * `stats` verb's session_rates= field is deterministic). */
+    std::vector<SessionInfo> sessionInfos();
+
     /** Rough resident bytes (sessions + shared row store). */
     size_t memoryBytes();
 
@@ -148,6 +165,7 @@ class SessionRegistry
         nn::Network network;  ///< owned; the session references it
         std::unique_ptr<DseSession> session;
         uint64_t lastUse = 0;
+        size_t uses = 0;  ///< acquisitions (first one is the miss)
     };
 
     /** Enforce the caps; caller holds mutex_. @p keep is never

@@ -1,0 +1,124 @@
+#include "service/connection.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mclp {
+namespace service {
+
+void
+Connection::ingest(const char *data, size_t size)
+{
+    touch();
+    while (discarding_ && size > 0) {
+        // Swallow the tail of an overlong line; everything after its
+        // terminating newline is honest input again.
+        const char *newline =
+            static_cast<const char *>(std::memchr(data, '\n', size));
+        if (!newline)
+            return;
+        size -= static_cast<size_t>(newline - data) + 1;
+        data = newline + 1;
+        discarding_ = false;
+    }
+    if (size == 0)
+        return;
+    if (!hasPartialLine())
+        lineStartMs_ = util::monotonicMs();
+    rbuf_.append(data, size);
+}
+
+Connection::LineStatus
+Connection::nextLine(std::string *line)
+{
+    size_t end = rbuf_.find('\n', rpos_);
+    if (end == std::string::npos) {
+        size_t pending = rbuf_.size() - rpos_;
+        if (pending <= maxLineBytes_)
+            return LineStatus::None;
+        // Surrender a bounded prefix (enough to scavenge an id=),
+        // then drop the rest of the line as it arrives.
+        line->assign(rbuf_, rpos_, std::min<size_t>(pending, 4096));
+        rbuf_.clear();
+        rpos_ = 0;
+        discarding_ = true;
+        return LineStatus::Overlong;
+    }
+    // A line whose newline arrived in the same read burst as its
+    // oversized body is just as overlong as one still dripping in.
+    bool overlong = end - rpos_ > maxLineBytes_;
+    line->assign(rbuf_, rpos_,
+                 overlong ? std::min<size_t>(end - rpos_, 4096)
+                          : end - rpos_);
+    rpos_ = end + 1;
+    if (rpos_ >= rbuf_.size()) {
+        rbuf_.clear();
+        rpos_ = 0;
+    } else {
+        // More pipelined bytes follow: restart the partial-line clock
+        // so a burst of requests is not charged the first line's age,
+        // and keep the buffer compact once the dead prefix dominates.
+        lineStartMs_ = util::monotonicMs();
+        if (rpos_ > 64 * 1024 && rpos_ > rbuf_.size() / 2) {
+            rbuf_.erase(0, rpos_);
+            rpos_ = 0;
+        }
+    }
+    return overlong ? LineStatus::Overlong : LineStatus::Line;
+}
+
+bool
+Connection::takeEofRemainder(std::string *line)
+{
+    if (discarding_) {
+        // The overlong line was already answered when it blew the
+        // cap; its never-terminated tail is not a request.
+        discarding_ = false;
+        return false;
+    }
+    if (rpos_ >= rbuf_.size())
+        return false;
+    line->assign(rbuf_, rpos_, rbuf_.size() - rpos_);
+    rbuf_.clear();
+    rpos_ = 0;
+    return true;
+}
+
+void
+Connection::complete(uint64_t seq, std::string response)
+{
+    done_.emplace(seq, std::move(response));
+}
+
+size_t
+Connection::flushReady()
+{
+    size_t queued = 0;
+    for (auto it = done_.find(nextFlush_); it != done_.end();
+         it = done_.find(nextFlush_)) {
+        if (!it->second.empty()) {
+            wbuf_ += it->second;
+            wbuf_ += '\n';
+            queued += it->second.size() + 1;
+        }
+        done_.erase(it);
+        ++nextFlush_;
+    }
+    return queued;
+}
+
+void
+Connection::consumeWritten(size_t bytes)
+{
+    woff_ += bytes;
+    if (woff_ >= wbuf_.size()) {
+        wbuf_.clear();
+        woff_ = 0;
+    } else if (woff_ > 256 * 1024 && woff_ > wbuf_.size() / 2) {
+        wbuf_.erase(0, woff_);
+        woff_ = 0;
+    }
+}
+
+} // namespace service
+} // namespace mclp

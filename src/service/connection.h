@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Per-connection state of the event-driven DSE server: buffered line
+ * framing with a hard length cap, the pipelining reorder buffer, and
+ * the write-side byte queue.
+ *
+ * A Connection owns no sockets calls and no locks — it is the passive
+ * state the server's poll loop (src/service/server.h) drives. The
+ * contract that makes pipelining safe:
+ *
+ *  - every answered request line gets a monotonically increasing
+ *    per-connection sequence number in *parse order* (allocSeq());
+ *  - responses complete in any order (complete()), park in the
+ *    reorder buffer, and only flushReady() moves them to the write
+ *    queue — strictly in sequence order. A client therefore reads
+ *    responses in exactly the order it wrote requests, no matter how
+ *    the worker pool interleaved them.
+ *
+ * Line framing is bounded: a line longer than the cap is surrendered
+ * once as LineStatus::Overlong (with its truncated prefix, so the
+ * server can scavenge an id= for the err response) and the remainder
+ * is discarded up to the next newline — the connection stays usable,
+ * and the read buffer never grows past cap + one read chunk.
+ */
+
+#ifndef MCLP_SERVICE_CONNECTION_H
+#define MCLP_SERVICE_CONNECTION_H
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/net.h"
+
+namespace mclp {
+namespace service {
+
+class Connection
+{
+  public:
+    enum class LineStatus
+    {
+        None,     ///< no complete line buffered
+        Line,     ///< *line holds the next complete line
+        Overlong  ///< *line holds the truncated prefix of a line
+                  ///< past the cap; the rest is being discarded
+    };
+
+    Connection(int fd, uint64_t id, size_t max_line_bytes)
+        : fd_(fd), id_(id), maxLineBytes_(max_line_bytes),
+          lastActivityMs_(util::monotonicMs())
+    {
+    }
+
+    int fd() const { return fd_.get(); }
+    uint64_t id() const { return id_; }
+
+    // ---------------------------------------------------- read side
+
+    /** Buffer @p size freshly read bytes (drops them while an
+     * overlong line is being discarded). */
+    void ingest(const char *data, size_t size);
+
+    /** Extract the next complete request line (newline stripped), or
+     * report an overlong one. Call until LineStatus::None. */
+    LineStatus nextLine(std::string *line);
+
+    /**
+     * The trailing unterminated line once the peer half-closed: the
+     * batch protocol has always answered a final line without a
+     * newline, and a torn line at close is answered (as the err it
+     * usually is) rather than dropped. False when nothing remains.
+     */
+    bool takeEofRemainder(std::string *line);
+
+    /** True while a partial line is buffered (read-timeout clock);
+     * an overlong line still being discarded counts — the client is
+     * mid-line either way. */
+    bool hasPartialLine() const
+    {
+        return rpos_ < rbuf_.size() || discarding_;
+    }
+
+    // ------------------------------------------- pipelining / order
+
+    /** Sequence number for the next answered line (parse order). */
+    uint64_t allocSeq() { return nextSeq_++; }
+
+    /** Park @p response for slot @p seq (any completion order). */
+    void complete(uint64_t seq, std::string response);
+
+    /** Move consecutive completed responses, in sequence order, into
+     * the write queue. Returns the number of bytes queued. */
+    size_t flushReady();
+
+    /** Responses parked or still being computed. */
+    bool hasUnanswered() const { return nextFlush_ < nextSeq_; }
+
+    // ----------------------------------------------------- write side
+
+    bool wantsWrite() const { return woff_ < wbuf_.size(); }
+    size_t writeBacklog() const { return wbuf_.size() - woff_; }
+    const char *writeData() const { return wbuf_.data() + woff_; }
+    void consumeWritten(size_t bytes);
+
+    // ------------------------------------------------------- status
+
+    bool peerClosed = false;  ///< read side saw EOF
+    bool closing = false;     ///< fatal error/timeout: drop when drained
+    int inflight = 0;         ///< dispatched, not yet complete()d
+
+    int64_t lastActivityMs() const { return lastActivityMs_; }
+    void touch() { lastActivityMs_ = util::monotonicMs(); }
+
+    /** Start of the currently buffered partial line, -1 when none
+     * (the read-timeout deadline anchors here, so a slow-loris drip
+     * cannot extend its own deadline byte by byte). */
+    int64_t lineStartMs() const
+    {
+        return hasPartialLine() ? lineStartMs_ : -1;
+    }
+
+  private:
+    util::ScopedFd fd_;
+    uint64_t id_ = 0;
+    size_t maxLineBytes_;
+
+    std::string rbuf_;        ///< bytes of the (partial) current lines
+    size_t rpos_ = 0;         ///< scan offset into rbuf_
+    bool discarding_ = false; ///< swallowing an overlong line
+    int64_t lineStartMs_ = 0;
+
+    uint64_t nextSeq_ = 0;    ///< next sequence to hand out
+    uint64_t nextFlush_ = 0;  ///< next sequence to write out
+    std::map<uint64_t, std::string> done_;  ///< reorder buffer
+
+    std::string wbuf_;
+    size_t woff_ = 0;
+
+    int64_t lastActivityMs_ = 0;
+};
+
+} // namespace service
+} // namespace mclp
+
+#endif // MCLP_SERVICE_CONNECTION_H

@@ -1,13 +1,8 @@
 #include "service/dse_service.h"
 
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <cerrno>
-#include <cstring>
 #include <istream>
+#include <map>
 #include <ostream>
 
 #include "core/frontier_cache.h"
@@ -15,6 +10,7 @@
 #include "model/bram_model.h"
 #include "model/dsp_model.h"
 #include "service/dse_codec.h"
+#include "service/server.h"
 #include "util/logging.h"
 #include "util/prof.h"
 #include "util/string_utils.h"
@@ -22,9 +18,6 @@
 namespace mclp {
 namespace service {
 
-namespace {
-
-/** Best-effort id recovery from a line that failed to decode. */
 std::string
 scavengeId(const std::string &line)
 {
@@ -40,7 +33,7 @@ scavengeId(const std::string &line)
 }
 
 std::string
-trimmed(const std::string &line)
+trimmedLine(const std::string &line)
 {
     size_t begin = line.find_first_not_of(" \t\r");
     if (begin == std::string::npos)
@@ -48,8 +41,6 @@ trimmed(const std::string &line)
     size_t end = line.find_last_not_of(" \t\r");
     return line.substr(begin, end - begin + 1);
 }
-
-} // namespace
 
 core::DseResponse
 answerRequest(const core::DseRequest &request,
@@ -145,21 +136,52 @@ DseService::DseService(ServiceOptions options)
 std::string
 DseService::handleLine(const std::string &line)
 {
-    std::string text = trimmed(line);
+    std::string text = trimmedLine(line);
     if (text.empty() || text[0] == '#')
         return "";
     if (text == "stats") {
         core::SessionRegistry::Stats reg = registry_.stats();
         core::FrontierRowStore::Stats rows =
             registry_.rowStore()->stats();
-        return util::strprintf(
-                   "ok stats sessions=%zu bytes=%zu hits=%zu misses=%zu "
-                   "evictions=%zu rows=%zu row_hits=%zu row_misses=%zu "
-                   "row_disk_hits=%zu",
-                   reg.sessions, reg.bytes, reg.hits, reg.misses,
-                   reg.evictions, rows.rows, rows.hits, rows.misses,
-                   rows.diskHits) +
-               " " + util::prof::statsTokens();
+        std::string stats = util::strprintf(
+            "ok stats sessions=%zu bytes=%zu hits=%zu misses=%zu "
+            "evictions=%zu rows=%zu row_hits=%zu row_misses=%zu "
+            "row_disk_hits=%zu",
+            reg.sessions, reg.bytes, reg.hits, reg.misses,
+            reg.evictions, rows.rows, rows.hits, rows.misses,
+            rows.diskHits);
+        // Per-session hit rates: NETWORK[@DEVICE]:HITS:USES per
+        // resident session, '-' when nothing is warm. Deterministic
+        // order (registry key order).
+        stats += " session_rates=";
+        std::vector<core::SessionRegistry::SessionInfo> infos =
+            registry_.sessionInfos();
+        if (infos.empty()) {
+            stats += "-";
+        } else {
+            for (size_t i = 0; i < infos.size(); ++i) {
+                if (i > 0)
+                    stats += ",";
+                stats += infos[i].network;
+                if (!infos[i].device.empty())
+                    stats += "@" + infos[i].device;
+                stats += util::strprintf(":%zu:%zu", infos[i].hits,
+                                         infos[i].uses);
+            }
+        }
+        if (transportStats_) {
+            const TransportStats &t = *transportStats_;
+            stats += util::strprintf(
+                " conns_accepted=%llu conns_open=%llu requests=%llu "
+                "shed_busy=%llu shed_oversize=%llu timeouts=%llu",
+                static_cast<unsigned long long>(t.connsAccepted.load()),
+                static_cast<unsigned long long>(t.connsOpen.load()),
+                static_cast<unsigned long long>(t.requests.load()),
+                static_cast<unsigned long long>(t.shedBusy.load()),
+                static_cast<unsigned long long>(t.shedOversize.load()),
+                static_cast<unsigned long long>(t.timeouts.load()));
+        }
+        return stats + " " + util::prof::statsTokens();
     }
     if (text == "cache-stats") {
         if (!cache_)
@@ -217,14 +239,60 @@ DseService::handleBatch(const std::vector<std::string> &lines)
     return responses;
 }
 
+namespace {
+
+/**
+ * getline with a hard cap: reads the next input line into @p line; a
+ * line past @p cap bytes is truncated to cap + 1 bytes (the caller's
+ * overlong signal, with enough prefix to scavenge an id=) and the
+ * rest is discarded up to its newline, so hostile input can never
+ * balloon the buffer. False at EOF with nothing read.
+ */
+bool
+readCappedLine(std::istream &in, std::string *line, size_t cap)
+{
+    line->clear();
+    bool any = false;
+    bool discarding = false;
+    char ch;
+    while (in.get(ch)) {
+        any = true;
+        if (ch == '\n')
+            return true;
+        if (discarding)
+            continue;
+        line->push_back(ch);
+        if (line->size() > cap)
+            discarding = true;
+    }
+    return any;
+}
+
+} // namespace
+
 void
 DseService::serveStream(std::istream &in, std::ostream &out)
 {
     std::vector<std::string> lines;
+    // Overlong rejections, pinned to their input slot so the batch
+    // still answers strictly in input order (same cap and same wire
+    // answer as the socket path).
+    std::map<size_t, std::string> rejected;
     std::string line;
-    while (std::getline(in, line))
-        lines.push_back(line);
-    for (const std::string &response : handleBatch(lines)) {
+    while (readCappedLine(in, &line, options_.maxLineBytes)) {
+        if (line.size() > options_.maxLineBytes) {
+            rejected[lines.size()] =
+                "err id=" + scavengeId(line) + " msg=line-too-long";
+            lines.push_back("");
+        } else {
+            lines.push_back(line);
+        }
+    }
+    std::vector<std::string> responses = handleBatch(lines);
+    for (size_t i = 0; i < responses.size(); ++i) {
+        auto it = rejected.find(i);
+        const std::string &response =
+            it != rejected.end() ? it->second : responses[i];
         if (!response.empty())
             out << response << '\n';
     }
@@ -234,116 +302,26 @@ DseService::serveStream(std::istream &in, std::ostream &out)
 int
 DseService::serveSocket(const std::string &path, int max_connections)
 {
-    sockaddr_un addr{};
-    if (path.size() >= sizeof(addr.sun_path)) {
-        util::warn("mclp-serve: socket path '%s' too long",
-                   path.c_str());
+    // The event-driven server subsumes the old one-batch-at-a-time
+    // accept loop: batch clients see identical bytes (per-connection
+    // request order is preserved), they just start receiving answers
+    // before their batch is complete.
+    Server::Options options;
+    options.unixPath = path;
+    options.acceptLimit = max_connections;
+    options.workers = options_.threads;
+    options.maxLineBytes = options_.maxLineBytes;
+    Server server(*this, options);
+    if (!server.listening())
         return 1;
-    }
-    int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (listen_fd < 0) {
-        util::warn("mclp-serve: socket(): %s", std::strerror(errno));
-        return 1;
-    }
-    ::unlink(path.c_str());
-    addr.sun_family = AF_UNIX;
-    std::strncpy(addr.sun_path, path.c_str(),
-                 sizeof(addr.sun_path) - 1);
-    if (::bind(listen_fd, reinterpret_cast<sockaddr *>(&addr),
-               sizeof(addr)) < 0 ||
-        ::listen(listen_fd, 8) < 0) {
-        util::warn("mclp-serve: bind/listen on '%s': %s", path.c_str(),
-                   std::strerror(errno));
-        ::close(listen_fd);
-        return 1;
-    }
+    return server.run();
+}
 
-    bool shutdown_seen = false;
-    int served = 0;
-    while (!shutdown_seen &&
-           (max_connections < 0 || served < max_connections)) {
-        int conn = ::accept(listen_fd, nullptr, nullptr);
-        if (conn < 0) {
-            if (errno == EINTR)
-                continue;
-            util::warn("mclp-serve: accept(): %s",
-                       std::strerror(errno));
-            break;
-        }
-        // One connection = one batch: read until the client shuts
-        // down its write side, answer every line in order, close.
-        std::string input;
-        char buffer[4096];
-        bool conn_dead = false;
-        while (true) {
-            ssize_t got = ::read(conn, buffer, sizeof(buffer));
-            if (got > 0) {
-                input.append(buffer, static_cast<size_t>(got));
-            } else if (got < 0 && errno == EINTR) {
-                continue;  // a signal mid-read is not end-of-batch
-            } else {
-                if (got < 0) {
-                    // A dying client (ECONNRESET et al.) costs only
-                    // its own connection, never the server.
-                    util::warn("mclp-serve: read(): %s",
-                               std::strerror(errno));
-                    conn_dead = true;
-                }
-                break;
-            }
-        }
-        if (conn_dead) {
-            ::close(conn);
-            ++served;
-            continue;
-        }
-
-        std::vector<std::string> lines;
-        size_t pos = 0;
-        while (pos < input.size()) {
-            size_t end = input.find('\n', pos);
-            if (end == std::string::npos)
-                end = input.size();
-            lines.push_back(input.substr(pos, end - pos));
-            pos = end + 1;
-        }
-        for (const std::string &request : lines) {
-            if (trimmed(request) == "shutdown")
-                shutdown_seen = true;
-        }
-        std::string output;
-        for (const std::string &response : handleBatch(lines)) {
-            if (!response.empty()) {
-                output += response;
-                output += '\n';
-            }
-        }
-        // MSG_NOSIGNAL: a client that disconnected mid-response turns
-        // the write into EPIPE instead of a process-killing SIGPIPE
-        // (the library must not rely on the front end's signal
-        // disposition). Any write error is a per-connection failure:
-        // log it, drop the connection, keep serving.
-        size_t written = 0;
-        while (written < output.size()) {
-            ssize_t put = ::send(conn, output.data() + written,
-                                 output.size() - written, MSG_NOSIGNAL);
-            if (put < 0 && errno == EINTR)
-                continue;
-            if (put <= 0) {
-                util::warn("mclp-serve: client dropped mid-response "
-                           "(%zu of %zu bytes sent): %s",
-                           written, output.size(),
-                           put < 0 ? std::strerror(errno) : "EOF");
-                break;
-            }
-            written += static_cast<size_t>(put);
-        }
-        ::close(conn);
-        ++served;
-    }
-    ::close(listen_fd);
-    ::unlink(path.c_str());
-    return 0;
+void
+DseService::flushCache()
+{
+    if (cache_)
+        cache_->flush();
 }
 
 } // namespace service

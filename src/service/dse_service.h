@@ -17,6 +17,8 @@
 #ifndef MCLP_SERVICE_DSE_SERVICE_H
 #define MCLP_SERVICE_DSE_SERVICE_H
 
+#include <atomic>
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -41,6 +43,31 @@ namespace service {
 core::DseResponse answerRequest(const core::DseRequest &request,
                                 core::SessionRegistry *registry);
 
+/** Best-effort id= recovery from a line that never decoded (shed,
+ * overlong, or malformed lines still answer with the client's id
+ * when one is visible); "-" otherwise. */
+std::string scavengeId(const std::string &line);
+
+/** The line with leading/trailing spaces, tabs, and CRs removed. */
+std::string trimmedLine(const std::string &line);
+
+/**
+ * Transport-level counters of the event-driven server
+ * (service::Server): published here so the `stats` verb — which the
+ * service layer answers — can report them when a server attaches
+ * them. All relaxed atomics: these are monitoring counters, not
+ * synchronization.
+ */
+struct TransportStats
+{
+    std::atomic<uint64_t> connsAccepted{0};  ///< lifetime accepts
+    std::atomic<uint64_t> connsOpen{0};      ///< currently open
+    std::atomic<uint64_t> requests{0};       ///< lines dispatched
+    std::atomic<uint64_t> shedBusy{0};       ///< admission rejections
+    std::atomic<uint64_t> shedOversize{0};   ///< line-too-long sheds
+    std::atomic<uint64_t> timeouts{0};       ///< read/idle closes
+};
+
 /** Dispatcher knobs (mclp-serve flags map onto these). */
 struct ServiceOptions
 {
@@ -57,6 +84,12 @@ struct ServiceOptions
     /** Threads each session spends on its own budget ladder; kept at
      * 1 under concurrent serving so the pool is not oversubscribed. */
     int sessionThreads = 1;
+
+    /** Request lines longer than this are rejected with
+     * `err ... msg=line-too-long` instead of buffering unboundedly;
+     * applies to the stream path here and is the default for the
+     * socket server (service/server.h). */
+    size_t maxLineBytes = 1 << 20;
 
     /** Bypass the registry: every request runs cold (the parity
      * baseline the warm path is diffed against). */
@@ -101,18 +134,31 @@ class DseService
     void serveStream(std::istream &in, std::ostream &out);
 
     /**
-     * Listen on a Unix stream socket at @p path. Each connection is
-     * one batch: the client writes request lines and shuts down its
-     * write side; the server answers them in order and closes. Serves
-     * until @p max_connections connections were handled (-1 =
-     * forever) or a connection sends a "shutdown" line. A client that
-     * dies mid-batch (read error, or the response write hitting
-     * EPIPE/ECONNRESET) costs only its own connection — sends use
-     * MSG_NOSIGNAL, so no SIGPIPE ever reaches the process, and the
-     * accept loop keeps serving. Returns 0 on clean exit, 1 on
-     * listener-level socket errors.
+     * Listen on a Unix stream socket at @p path through the
+     * event-driven server (service/server.h) with its defaults:
+     * many concurrent connections, pipelined per-line answers in
+     * request order, bounded buffers, overload shedding, graceful
+     * drain on a "shutdown" line. Batch clients keep working
+     * unchanged — write lines, shutdown(SHUT_WR), read responses
+     * until EOF — they simply start receiving answers earlier.
+     * Serves until @p max_connections connections were handled (-1 =
+     * until drained). A client that dies mid-batch costs only its
+     * own connection. Returns 0 on clean exit, 1 on listener errors.
+     * Front ends needing the TCP listener or tuned limits construct
+     * a service::Server directly.
      */
     int serveSocket(const std::string &path, int max_connections = -1);
+
+    /** Attach (or detach, with nullptr) a server's transport
+     * counters; the `stats` verb reports them while attached. */
+    void attachTransportStats(const TransportStats *stats)
+    {
+        transportStats_ = stats;
+    }
+
+    /** Flush the persistent frontier cache now (drain path); a no-op
+     * without --cache-dir. Also happens at destruction. */
+    void flushCache();
 
     core::SessionRegistry &registry() { return registry_; }
 
@@ -127,6 +173,7 @@ class DseService
     std::shared_ptr<core::FrontierCache> cache_;  ///< before registry_
     core::SessionRegistry registry_;
     std::unique_ptr<util::ThreadPool> pool_;
+    const TransportStats *transportStats_ = nullptr;
 };
 
 } // namespace service

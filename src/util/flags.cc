@@ -1,0 +1,47 @@
+#include "util/flags.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace mclp {
+namespace util {
+
+int64_t
+parseIntFlag(const char *flag, const std::string &value, int64_t min,
+             int64_t max)
+{
+    errno = 0;
+    char *end = nullptr;
+    long long parsed = std::strtoll(value.c_str(), &end, 10);
+    if (value.empty() || end != value.c_str() + value.size())
+        fatal("%s: '%s' is not an integer", flag, value.c_str());
+    if (errno == ERANGE || parsed < min || parsed > max)
+        fatal("%s: %s is out of range [%lld, %lld]", flag,
+              value.c_str(), static_cast<long long>(min),
+              static_cast<long long>(max));
+    return parsed;
+}
+
+double
+parseDoubleFlag(const char *flag, const std::string &value, double min,
+                double max)
+{
+    errno = 0;
+    char *end = nullptr;
+    double parsed = std::strtod(value.c_str(), &end);
+    if (value.empty() || end != value.c_str() + value.size())
+        fatal("%s: '%s' is not a number", flag, value.c_str());
+    // ERANGE covers overflow to +-HUGE_VAL and underflow to denormal
+    // territory; both are garbage as flag values.
+    if (errno == ERANGE || !std::isfinite(parsed) || parsed < min ||
+        parsed > max)
+        fatal("%s: %s is out of range [%g, %g]", flag, value.c_str(),
+              min, max);
+    return parsed;
+}
+
+} // namespace util
+} // namespace mclp

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Checked numeric parsing for command-line flag values.
+ *
+ * Every tool used to route flag values through bare atoi()/atoll(),
+ * which silently turns garbage ("abc"), trailing junk ("8x"), and
+ * out-of-range values into 0 or saturated numbers — exactly the
+ * inputs a production front end must reject loudly. These helpers
+ * parse the *entire* value with strtoll/strtod, range-check it, and
+ * fatal() naming the offending flag and value, so a typo dies at the
+ * command line instead of becoming a zero-thread server.
+ */
+
+#ifndef MCLP_UTIL_FLAGS_H
+#define MCLP_UTIL_FLAGS_H
+
+#include <cstdint>
+#include <string>
+
+namespace mclp {
+namespace util {
+
+/**
+ * Parse @p value as a decimal integer in [@p min, @p max]. The whole
+ * string must be consumed (no trailing junk, no empty value); fatal()
+ * names @p flag and the rejected value otherwise.
+ */
+int64_t parseIntFlag(const char *flag, const std::string &value,
+                     int64_t min, int64_t max);
+
+/**
+ * Parse @p value as a finite double in [@p min, @p max], with the
+ * same whole-string and error discipline as parseIntFlag().
+ */
+double parseDoubleFlag(const char *flag, const std::string &value,
+                       double min, double max);
+
+} // namespace util
+} // namespace mclp
+
+#endif // MCLP_UTIL_FLAGS_H

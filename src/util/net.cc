@@ -1,0 +1,225 @@
+#include "util/net.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace mclp {
+namespace util {
+
+void
+ScopedFd::reset(int fd)
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    fd_ = fd;
+}
+
+bool
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0)
+        return false;
+    return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+int
+listenUnix(const std::string &path, std::string *error)
+{
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path)) {
+        if (error)
+            *error = "socket path '" + path + "' too long";
+        return -1;
+    }
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (error)
+            *error = std::string("socket(): ") + std::strerror(errno);
+        return -1;
+    }
+    ::unlink(path.c_str());
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) <
+            0 ||
+        ::listen(fd, 64) < 0) {
+        if (error)
+            *error = "bind/listen on '" + path +
+                     "': " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+listenTcp(uint16_t port, uint16_t *bound_port, std::string *error)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (error)
+            *error = std::string("socket(): ") + std::strerror(errno);
+        return -1;
+    }
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) <
+            0 ||
+        ::listen(fd, 64) < 0) {
+        if (error)
+            *error = strprintf("bind/listen on 127.0.0.1:%u: %s",
+                               static_cast<unsigned>(port),
+                               std::strerror(errno));
+        ::close(fd);
+        return -1;
+    }
+    if (bound_port) {
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                          &len) == 0)
+            *bound_port = ntohs(bound.sin_port);
+        else
+            *bound_port = port;
+    }
+    return fd;
+}
+
+int
+connectUnix(const std::string &path)
+{
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path)) {
+        errno = ENAMETOOLONG;
+        return -1;
+    }
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        int saved = errno;
+        ::close(fd);
+        errno = saved;
+        return -1;
+    }
+    return fd;
+}
+
+int
+connectTcp(uint16_t port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        int saved = errno;
+        ::close(fd);
+        errno = saved;
+        return -1;
+    }
+    return fd;
+}
+
+SelfPipe::SelfPipe()
+{
+    int fds[2];
+    if (::pipe(fds) != 0)
+        return;
+    read_.reset(fds[0]);
+    write_.reset(fds[1]);
+    setNonBlocking(read_.get());
+    setNonBlocking(write_.get());
+}
+
+void
+SelfPipe::notify() const
+{
+    // Async-signal-safe by construction (one write() on a
+    // non-blocking fd). EAGAIN means the pipe already holds pending
+    // wakeups — the loop will drain them; dropping this one is fine.
+    char byte = 1;
+    ssize_t rc [[maybe_unused]] =
+        ::write(write_.get(), &byte, 1);
+}
+
+void
+SelfPipe::drain() const
+{
+    char buffer[256];
+    while (::read(read_.get(), buffer, sizeof(buffer)) > 0) {
+    }
+}
+
+bool
+writeAll(int fd, const void *data, size_t size)
+{
+    const char *bytes = static_cast<const char *>(data);
+    size_t written = 0;
+    while (written < size) {
+        ssize_t put =
+            ::send(fd, bytes + written, size - written, MSG_NOSIGNAL);
+        if (put < 0 && errno == ENOTSOCK)
+            put = ::write(fd, bytes + written, size - written);
+        if (put < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (put == 0)
+            return false;
+        written += static_cast<size_t>(put);
+    }
+    return true;
+}
+
+bool
+readAll(int fd, std::string *out)
+{
+    char buffer[4096];
+    while (true) {
+        ssize_t got = ::read(fd, buffer, sizeof(buffer));
+        if (got > 0) {
+            out->append(buffer, static_cast<size_t>(got));
+        } else if (got == 0) {
+            return true;
+        } else if (errno != EINTR) {
+            return false;
+        }
+    }
+}
+
+int64_t
+monotonicMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace util
+} // namespace mclp

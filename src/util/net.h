@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Small file-descriptor and socket helpers shared by the event-driven
+ * server (src/service/server.h), its tests, the chaos client, and the
+ * concurrent-serving benchmark.
+ *
+ * Everything here is a thin, error-string-returning wrapper over the
+ * POSIX calls: no framework, no ownership magic beyond ScopedFd. The
+ * server's event loop itself lives in the service layer — these are
+ * just the primitives it (and the clients poking at it) need: listen
+ * and connect on Unix/TCP stream sockets, non-blocking mode, a
+ * self-pipe for cross-thread/signal wakeups, and blocking write-all /
+ * read-all loops for simple clients.
+ */
+
+#ifndef MCLP_UTIL_NET_H
+#define MCLP_UTIL_NET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace mclp {
+namespace util {
+
+/** Close-on-destruction fd owner (movable, non-copyable). */
+class ScopedFd
+{
+  public:
+    ScopedFd() = default;
+    explicit ScopedFd(int fd) : fd_(fd) {}
+    ~ScopedFd() { reset(); }
+    ScopedFd(ScopedFd &&other) noexcept : fd_(other.release()) {}
+    ScopedFd &operator=(ScopedFd &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            fd_ = other.release();
+        }
+        return *this;
+    }
+    ScopedFd(const ScopedFd &) = delete;
+    ScopedFd &operator=(const ScopedFd &) = delete;
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+    int release()
+    {
+        int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+    void reset(int fd = -1);
+
+  private:
+    int fd_ = -1;
+};
+
+/** Put @p fd into non-blocking mode; false + errno on failure. */
+bool setNonBlocking(int fd);
+
+/**
+ * Create, bind, and listen on a Unix stream socket at @p path
+ * (unlinking any stale socket first). Returns the listener fd, or -1
+ * with a human-readable reason in @p error.
+ */
+int listenUnix(const std::string &path, std::string *error);
+
+/**
+ * Create, bind, and listen on a loopback TCP socket (127.0.0.1:@p
+ * port; port 0 asks the kernel for an ephemeral port). On success the
+ * actually bound port lands in @p bound_port. Returns the listener
+ * fd, or -1 with a reason in @p error. Loopback only by design: the
+ * serving protocol has no authentication, so exposure beyond the
+ * host is a deployment's (proxy's) decision, not a default.
+ */
+int listenTcp(uint16_t port, uint16_t *bound_port, std::string *error);
+
+/** Blocking connect to a Unix stream socket; -1 + errno on failure. */
+int connectUnix(const std::string &path);
+
+/** Blocking connect to 127.0.0.1:@p port; -1 + errno on failure. */
+int connectTcp(uint16_t port);
+
+/**
+ * A non-blocking self-pipe: the poll loop watches readFd(); any
+ * thread (or signal handler — write() is async-signal-safe) calls
+ * notify() to wake it. Coalesces naturally: a full pipe means wakeups
+ * are already pending, so the failed write is harmless.
+ */
+class SelfPipe
+{
+  public:
+    SelfPipe();
+    ~SelfPipe() = default;
+    SelfPipe(const SelfPipe &) = delete;
+    SelfPipe &operator=(const SelfPipe &) = delete;
+
+    bool valid() const { return read_.valid() && write_.valid(); }
+    int readFd() const { return read_.get(); }
+    void notify() const;
+    /** Drain pending wakeup bytes (call when readFd() polls ready). */
+    void drain() const;
+
+  private:
+    ScopedFd read_;
+    ScopedFd write_;
+};
+
+/**
+ * Blocking write of the whole buffer (retrying on EINTR and short
+ * writes; sockets are sent with MSG_NOSIGNAL so a dead peer surfaces
+ * as EPIPE, never SIGPIPE). False + errno on failure.
+ */
+bool writeAll(int fd, const void *data, size_t size);
+
+/** Read until EOF into @p out (client-side response slurp). False +
+ * errno on a read error. */
+bool readAll(int fd, std::string *out);
+
+/** Monotonic milliseconds (deadline arithmetic for the event loop). */
+int64_t monotonicMs();
+
+} // namespace util
+} // namespace mclp
+
+#endif // MCLP_UTIL_NET_H

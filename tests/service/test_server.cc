@@ -1,0 +1,459 @@
+/**
+ * @file
+ * Failure-path proofs for the event-driven serving loop
+ * (src/service/server.h): pipelining before EOF, concurrent-client
+ * parity against cold runs, overload shedding (`err ... msg=busy`),
+ * request-line caps (`err ... msg=line-too-long`), slow-loris and
+ * idle timeouts, torn lines at close, mid-response disconnects, and
+ * graceful drain while work is in flight. The transport must be
+ * invisible in results: every surviving response is byte-identical
+ * to a cold run of the same request, no matter what the other
+ * clients were doing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/dse_codec.h"
+#include "service/dse_service.h"
+#include "service/server.h"
+#include "util/net.h"
+#include "util/string_utils.h"
+
+namespace mclp {
+namespace {
+
+/** The reference answer: an independent cold run, wire-encoded. */
+std::string
+coldReference(const std::string &request_line)
+{
+    core::DseRequest request = service::decodeRequest(request_line);
+    return service::encodeResponse(
+        service::answerRequest(request, nullptr));
+}
+
+std::string
+socketPath(const char *tag)
+{
+    return util::strprintf("/tmp/mclp_srv_%s_%d.sock", tag,
+                           static_cast<int>(::getpid()));
+}
+
+/** Blocking read of one newline-terminated line; false on EOF. */
+bool
+readLine(int fd, std::string *line)
+{
+    line->clear();
+    char ch;
+    while (true) {
+        ssize_t got = ::read(fd, &ch, 1);
+        if (got == 1) {
+            if (ch == '\n')
+                return true;
+            line->push_back(ch);
+        } else if (got == 0) {
+            return false;
+        } else if (errno != EINTR) {
+            return false;
+        }
+    }
+}
+
+/** Write a whole batch, half-close, slurp the reply. */
+std::string
+batchOverFd(int fd, const std::string &batch)
+{
+    EXPECT_TRUE(util::writeAll(fd, batch.data(), batch.size()));
+    ::shutdown(fd, SHUT_WR);
+    std::string reply;
+    EXPECT_TRUE(util::readAll(fd, &reply));
+    return reply;
+}
+
+/** Response lines, without the trailing empty element a final
+ * newline leaves behind in util::split(). */
+std::vector<std::string>
+splitLines(const std::string &reply)
+{
+    std::vector<std::string> lines = util::split(reply, '\n');
+    if (!lines.empty() && lines.back().empty())
+        lines.pop_back();
+    return lines;
+}
+
+const char *kCheap =
+    "dse id=c net=mini layers=conv1:3:16:14:14:3:1 budgets=200";
+
+TEST(Server, PipelinedAnswersArriveBeforeConnectionEof)
+{
+    // The old loop answered only at client EOF; the event loop must
+    // answer each line as it completes, on a connection that stays
+    // open — a request/response conversation, not a batch.
+    service::DseService dse{service::ServiceOptions{}};
+    service::Server::Options options;
+    options.unixPath = socketPath("pipe");
+    options.acceptLimit = 1;
+    service::Server server(dse, options);
+    ASSERT_TRUE(server.listening());
+    std::thread run([&] { EXPECT_EQ(server.run(), 0); });
+
+    util::ScopedFd fd(util::connectUnix(options.unixPath));
+    ASSERT_TRUE(fd.valid());
+    std::string line1 = std::string(kCheap) + "\n";
+    ASSERT_TRUE(util::writeAll(fd.get(), line1.data(), line1.size()));
+    std::string reply;
+    ASSERT_TRUE(readLine(fd.get(), &reply)) << "no pipelined answer";
+    EXPECT_EQ(reply, coldReference(kCheap));
+
+    // A second round on the same still-open connection.
+    std::string line2 = "dse id=c2 net=alexnet budgets=500\n";
+    ASSERT_TRUE(util::writeAll(fd.get(), line2.data(), line2.size()));
+    ASSERT_TRUE(readLine(fd.get(), &reply));
+    EXPECT_EQ(reply, coldReference("dse id=c2 net=alexnet budgets=500"));
+    fd.reset();
+    run.join();
+}
+
+TEST(Server, ConcurrentInterleavedClientsMatchSerialAnswers)
+{
+    service::ServiceOptions service_options;
+    service_options.threads = 4;
+    service::DseService dse(service_options);
+    service::Server::Options options;
+    options.unixPath = socketPath("concurrent");
+    options.acceptLimit = 4;
+    options.workers = 4;
+    service::Server server(dse, options);
+    ASSERT_TRUE(server.listening());
+    std::thread run([&] { EXPECT_EQ(server.run(), 0); });
+
+    const std::vector<std::string> requests{
+        "dse id=k0 net=alexnet budgets=500",
+        "dse id=k1 net=alexnet budgets=500 mode=single",
+        "dse id=k2 net=squeezenet device=690t budgets=1000",
+        "dse id=k3 net=mini layers=conv1:3:16:14:14:3:1 budgets=200",
+    };
+    std::vector<std::string> replies(requests.size());
+    std::vector<std::thread> clients;
+    for (size_t i = 0; i < requests.size(); ++i) {
+        clients.emplace_back([&, i] {
+            util::ScopedFd fd(util::connectUnix(options.unixPath));
+            ASSERT_TRUE(fd.valid());
+            // Two lines per client, written separately with a yield
+            // between them so the four conversations interleave.
+            std::string first = requests[i] + "\n";
+            ASSERT_TRUE(util::writeAll(fd.get(), first.data(),
+                                       first.size()));
+            std::this_thread::yield();
+            replies[i] = batchOverFd(fd.get(), requests[i] + "\n");
+        });
+    }
+    for (std::thread &client : clients)
+        client.join();
+    run.join();
+
+    for (size_t i = 0; i < requests.size(); ++i) {
+        std::vector<std::string> lines =
+            splitLines(replies[i]);
+        ASSERT_GE(lines.size(), 2u) << requests[i];
+        // Both copies of the request answered identically, and
+        // byte-identical to a serial cold run — no cross-client
+        // bleed, no reordering.
+        EXPECT_EQ(lines[0], coldReference(requests[i]));
+        EXPECT_EQ(lines[1], coldReference(requests[i]));
+    }
+}
+
+TEST(Server, FloodPastAdmissionLimitShedsErrBusyInOrder)
+{
+    service::DseService dse{service::ServiceOptions{}};
+    service::Server::Options options;
+    options.unixPath = socketPath("flood");
+    options.acceptLimit = 1;
+    options.workers = 1;
+    options.maxInflight = 1;  // one admitted request at a time
+    service::Server server(dse, options);
+    ASSERT_TRUE(server.listening());
+    std::thread run([&] { EXPECT_EQ(server.run(), 0); });
+
+    // One write carries a slow request plus a flood behind it: every
+    // flood line is parsed while the slow one still executes, so the
+    // admission check sheds each deterministically.
+    std::string heavy = "dse id=h net=squeezenet device=690t "
+                        "budgets=500,1000,1500,2000,2880";
+    std::string batch = heavy + "\n";
+    for (int i = 0; i < 6; ++i)
+        batch += util::strprintf("dse id=f%d net=alexnet budgets=500\n",
+                                 i);
+    util::ScopedFd fd(util::connectUnix(options.unixPath));
+    ASSERT_TRUE(fd.valid());
+    std::vector<std::string> lines =
+        splitLines(batchOverFd(fd.get(), batch));
+    fd.reset();
+    run.join();
+
+    ASSERT_EQ(lines.size(), 7u);
+    // The admitted request still answers correctly — shedding is
+    // load-dependent, the answer never is.
+    EXPECT_EQ(lines[0], coldReference(heavy));
+    for (int i = 0; i < 6; ++i)
+        EXPECT_EQ(lines[i + 1],
+                  util::strprintf("err id=f%d msg=busy", i));
+    EXPECT_EQ(server.stats().shedBusy.load(), 6u);
+}
+
+TEST(Server, OverlongLineAnswersErrAndConnectionStaysUsable)
+{
+    service::DseService dse{service::ServiceOptions{}};
+    service::Server::Options options;
+    options.unixPath = socketPath("overlong");
+    options.acceptLimit = 1;
+    options.maxLineBytes = 256;
+    service::Server server(dse, options);
+    ASSERT_TRUE(server.listening());
+    std::thread run([&] { EXPECT_EQ(server.run(), 0); });
+
+    std::string batch = "dse id=big net=alexnet " +
+                        std::string(4096, 'x') + "\n" +
+                        std::string(kCheap) + "\n";
+    util::ScopedFd fd(util::connectUnix(options.unixPath));
+    ASSERT_TRUE(fd.valid());
+    std::vector<std::string> lines =
+        splitLines(batchOverFd(fd.get(), batch));
+    fd.reset();
+    run.join();
+
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0], "err id=big msg=line-too-long");
+    EXPECT_EQ(lines[1], coldReference(kCheap));
+    EXPECT_EQ(server.stats().shedOversize.load(), 1u);
+}
+
+TEST(Server, TornLineAtCloseIsStillAnswered)
+{
+    // A final line without its newline has always been answered by
+    // the batch protocol; through the event loop it must still be.
+    service::DseService dse{service::ServiceOptions{}};
+    service::Server::Options options;
+    options.unixPath = socketPath("torn");
+    options.acceptLimit = 1;
+    service::Server server(dse, options);
+    ASSERT_TRUE(server.listening());
+    std::thread run([&] { EXPECT_EQ(server.run(), 0); });
+
+    util::ScopedFd fd(util::connectUnix(options.unixPath));
+    ASSERT_TRUE(fd.valid());
+    std::vector<std::string> lines = splitLines(batchOverFd(fd.get(), std::string(kCheap)));
+    fd.reset();
+    run.join();
+
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], coldReference(kCheap));
+}
+
+TEST(Server, SlowLorisTripsReadTimeoutWithoutHurtingOthers)
+{
+    service::DseService dse{service::ServiceOptions{}};
+    service::Server::Options options;
+    options.unixPath = socketPath("loris");
+    options.acceptLimit = 2;
+    options.readTimeoutMs = 80;
+    service::Server server(dse, options);
+    ASSERT_TRUE(server.listening());
+    std::thread run([&] { EXPECT_EQ(server.run(), 0); });
+
+    // The attacker drips a never-finished line one byte at a time;
+    // the deadline anchors at the line's first byte, so the drip
+    // cannot keep itself alive.
+    util::ScopedFd loris(util::connectUnix(options.unixPath));
+    ASSERT_TRUE(loris.valid());
+    std::thread drip([&] {
+        for (int i = 0; i < 40; ++i) {
+            if (::send(loris.get(), "d", 1, MSG_NOSIGNAL) != 1)
+                return;  // server already dropped us
+            ::usleep(10 * 1000);
+        }
+    });
+
+    // A well-behaved client on the same server is unaffected.
+    util::ScopedFd good(util::connectUnix(options.unixPath));
+    ASSERT_TRUE(good.valid());
+    std::vector<std::string> lines = splitLines(batchOverFd(good.get(), std::string(kCheap) + "\n"));
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], coldReference(kCheap));
+
+    drip.join();
+    // The attacker's socket reads EOF: the server hung up on it.
+    std::string leftovers;
+    EXPECT_TRUE(util::readAll(loris.get(), &leftovers));
+    EXPECT_TRUE(leftovers.empty());
+    loris.reset();
+    good.reset();
+    run.join();
+    EXPECT_GE(server.stats().timeouts.load(), 1u);
+}
+
+TEST(Server, IdleConnectionsAreReapedByTheIdleTimeout)
+{
+    service::DseService dse{service::ServiceOptions{}};
+    service::Server::Options options;
+    options.unixPath = socketPath("idle");
+    options.acceptLimit = 1;
+    options.idleTimeoutMs = 50;
+    service::Server server(dse, options);
+    ASSERT_TRUE(server.listening());
+    std::thread run([&] { EXPECT_EQ(server.run(), 0); });
+
+    util::ScopedFd fd(util::connectUnix(options.unixPath));
+    ASSERT_TRUE(fd.valid());
+    std::string nothing;
+    // Blocking read returns EOF once the server reaps the idler.
+    EXPECT_TRUE(util::readAll(fd.get(), &nothing));
+    EXPECT_TRUE(nothing.empty());
+    fd.reset();
+    run.join();
+    EXPECT_EQ(server.stats().timeouts.load(), 1u);
+}
+
+TEST(Server, DrainWhileInFlightFinishesWorkThenExitsZero)
+{
+    service::DseService dse{service::ServiceOptions{}};
+    service::Server::Options options;
+    options.unixPath = socketPath("drain");
+    service::Server server(dse, options);  // no accept limit
+    ASSERT_TRUE(server.listening());
+    std::thread run([&] { EXPECT_EQ(server.run(), 0); });
+
+    // The shutdown verb rides *behind* real work on an open
+    // connection: the admitted request must finish and flush before
+    // the server exits.
+    util::ScopedFd fd(util::connectUnix(options.unixPath));
+    ASSERT_TRUE(fd.valid());
+    std::string batch = std::string(kCheap) + "\nshutdown\n";
+    ASSERT_TRUE(util::writeAll(fd.get(), batch.data(), batch.size()));
+    std::string first, second, eof_probe;
+    ASSERT_TRUE(readLine(fd.get(), &first));
+    ASSERT_TRUE(readLine(fd.get(), &second));
+    EXPECT_EQ(first, coldReference(kCheap));
+    EXPECT_EQ(second, "ok shutdown");
+    // Then the server hangs up (we never half-closed) and run()
+    // returns 0: graceful drain, not abandonment.
+    EXPECT_FALSE(readLine(fd.get(), &eof_probe));
+    fd.reset();
+    run.join();
+}
+
+TEST(Server, RequestDrainStopsAnAcceptUnlimitedServer)
+{
+    service::DseService dse{service::ServiceOptions{}};
+    service::Server::Options options;
+    options.unixPath = socketPath("reqdrain");
+    service::Server server(dse, options);
+    ASSERT_TRUE(server.listening());
+    std::thread run([&] { EXPECT_EQ(server.run(), 0); });
+    server.requestDrain();
+    run.join();
+}
+
+TEST(Server, TcpLoopbackServesWithByteParity)
+{
+    service::DseService dse{service::ServiceOptions{}};
+    service::Server::Options options;
+    options.tcpPort = 0;  // ephemeral
+    options.acceptLimit = 1;
+    service::Server server(dse, options);
+    ASSERT_TRUE(server.listening());
+    ASSERT_GT(server.tcpPort(), 0);
+    std::thread run([&] { EXPECT_EQ(server.run(), 0); });
+
+    util::ScopedFd fd(util::connectTcp(server.tcpPort()));
+    ASSERT_TRUE(fd.valid());
+    std::string batch = std::string(kCheap) + "\n" +
+                        "dse id=t2 net=alexnet budgets=500\n";
+    std::vector<std::string> lines =
+        splitLines(batchOverFd(fd.get(), batch));
+    fd.reset();
+    run.join();
+
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0], coldReference(kCheap));
+    EXPECT_EQ(lines[1],
+              coldReference("dse id=t2 net=alexnet budgets=500"));
+}
+
+TEST(Server, StatsVerbReportsTransportCountersWhileAttached)
+{
+    service::DseService dse{service::ServiceOptions{}};
+    service::Server::Options options;
+    options.unixPath = socketPath("stats");
+    options.acceptLimit = 1;
+    service::Server server(dse, options);
+    ASSERT_TRUE(server.listening());
+    std::thread run([&] { EXPECT_EQ(server.run(), 0); });
+
+    util::ScopedFd fd(util::connectUnix(options.unixPath));
+    ASSERT_TRUE(fd.valid());
+    std::string batch = std::string(kCheap) + "\nstats\n";
+    std::vector<std::string> lines =
+        splitLines(batchOverFd(fd.get(), batch));
+    fd.reset();
+    run.join();
+
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_TRUE(util::startsWith(lines[1], "ok stats sessions=1 "))
+        << lines[1];
+    EXPECT_NE(lines[1].find(" session_rates=mini:0:1"),
+              std::string::npos)
+        << lines[1];
+    EXPECT_NE(lines[1].find(" conns_accepted=1 conns_open=1 "),
+              std::string::npos)
+        << lines[1];
+    EXPECT_NE(lines[1].find(" shed_busy=0 shed_oversize=0 timeouts=0"),
+              std::string::npos)
+        << lines[1];
+}
+
+TEST(Server, MidResponseDisconnectCostsOnlyThatConnection)
+{
+    service::DseService dse{service::ServiceOptions{}};
+    service::Server::Options options;
+    options.unixPath = socketPath("vanish");
+    options.acceptLimit = 2;
+    service::Server server(dse, options);
+    ASSERT_TRUE(server.listening());
+    std::thread run([&] { EXPECT_EQ(server.run(), 0); });
+
+    // First client requests a big ladder response, then vanishes
+    // without reading a byte of it: the server's write path sees
+    // EPIPE/ECONNRESET (never SIGPIPE) and treats it as a
+    // per-connection failure.
+    {
+        util::ScopedFd fd(util::connectUnix(options.unixPath));
+        ASSERT_TRUE(fd.valid());
+        std::string heavy = "dse id=v net=squeezenet device=690t "
+                            "budgets=500,1000,1500,2000,2500,2880\n";
+        ASSERT_TRUE(util::writeAll(fd.get(), heavy.data(),
+                                   heavy.size()));
+        ::shutdown(fd.get(), SHUT_WR);
+        fd.reset();  // gone before the response is written
+    }
+
+    // The server is still alive and still correct.
+    util::ScopedFd fd(util::connectUnix(options.unixPath));
+    ASSERT_TRUE(fd.valid());
+    std::vector<std::string> lines = splitLines(batchOverFd(fd.get(), std::string(kCheap) + "\n"));
+    fd.reset();
+    run.join();
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], coldReference(kCheap));
+}
+
+} // namespace
+} // namespace mclp

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "util/flags.h"
+#include "util/logging.h"
+
+namespace mclp {
+namespace {
+
+TEST(ParseIntFlag, AcceptsWholeDecimalValues)
+{
+    EXPECT_EQ(util::parseIntFlag("--n", "0", 0, 100), 0);
+    EXPECT_EQ(util::parseIntFlag("--n", "42", 0, 100), 42);
+    EXPECT_EQ(util::parseIntFlag("--n", "-3", -10, 10), -3);
+    EXPECT_EQ(util::parseIntFlag("--n", "100", 0, 100), 100);
+}
+
+TEST(ParseIntFlag, RejectsGarbageAndTrailingJunk)
+{
+    // The whole point over atoi(): garbage must die loudly, not
+    // silently become 0 (a zero-thread server) or a truncated prefix.
+    EXPECT_THROW(util::parseIntFlag("--n", "", 0, 100),
+                 util::FatalError);
+    EXPECT_THROW(util::parseIntFlag("--n", "abc", 0, 100),
+                 util::FatalError);
+    EXPECT_THROW(util::parseIntFlag("--n", "8x", 0, 100),
+                 util::FatalError);
+    EXPECT_THROW(util::parseIntFlag("--n", "1 2", 0, 100),
+                 util::FatalError);
+    EXPECT_THROW(util::parseIntFlag("--n", "1.5", 0, 100),
+                 util::FatalError);
+}
+
+TEST(ParseIntFlag, RejectsOutOfRange)
+{
+    EXPECT_THROW(util::parseIntFlag("--n", "101", 0, 100),
+                 util::FatalError);
+    EXPECT_THROW(util::parseIntFlag("--n", "-1", 0, 100),
+                 util::FatalError);
+    // Past int64: strtoll saturates and sets ERANGE.
+    EXPECT_THROW(util::parseIntFlag("--n", "99999999999999999999", 0,
+                                    INT64_MAX),
+                 util::FatalError);
+}
+
+TEST(ParseIntFlag, ErrorNamesTheFlagAndValue)
+{
+    try {
+        util::parseIntFlag("--max-inflight", "lots", 0, 100);
+        FAIL() << "expected FatalError";
+    } catch (const util::FatalError &err) {
+        std::string what = err.what();
+        EXPECT_NE(what.find("--max-inflight"), std::string::npos);
+        EXPECT_NE(what.find("lots"), std::string::npos);
+    }
+}
+
+TEST(ParseDoubleFlag, AcceptsFiniteValuesInRange)
+{
+    EXPECT_DOUBLE_EQ(util::parseDoubleFlag("--mhz", "100", 0, 1e6),
+                     100.0);
+    EXPECT_DOUBLE_EQ(util::parseDoubleFlag("--mhz", "4.5", 0, 1e6),
+                     4.5);
+    EXPECT_DOUBLE_EQ(util::parseDoubleFlag("--mhz", "1e3", 0, 1e6),
+                     1000.0);
+}
+
+TEST(ParseDoubleFlag, RejectsGarbageInfinitiesAndRange)
+{
+    EXPECT_THROW(util::parseDoubleFlag("--mhz", "", 0, 1e6),
+                 util::FatalError);
+    EXPECT_THROW(util::parseDoubleFlag("--mhz", "fast", 0, 1e6),
+                 util::FatalError);
+    EXPECT_THROW(util::parseDoubleFlag("--mhz", "4.5GHz", 0, 1e6),
+                 util::FatalError);
+    EXPECT_THROW(util::parseDoubleFlag("--mhz", "inf", 0, 1e6),
+                 util::FatalError);
+    EXPECT_THROW(util::parseDoubleFlag("--mhz", "nan", 0, 1e6),
+                 util::FatalError);
+    EXPECT_THROW(util::parseDoubleFlag("--mhz", "-1", 0, 1e6),
+                 util::FatalError);
+    EXPECT_THROW(util::parseDoubleFlag("--mhz", "1e9999", 0, 1e6),
+                 util::FatalError);
+}
+
+} // namespace
+} // namespace mclp

@@ -42,6 +42,7 @@
 #include "service/dse_codec.h"
 #include "service/dse_service.h"
 #include "sim/system.h"
+#include "util/flags.h"
 #include "util/prof.h"
 #include "util/string_utils.h"
 #include "util/table.h"
@@ -166,14 +167,18 @@ parseArgs(int argc, char **argv)
             request.type =
                 fpga::dataTypeByName(need_value(i, "--type"));
         } else if (arg == "--mhz") {
-            request.mhz = std::atof(need_value(i, "--mhz"));
+            request.mhz = util::parseDoubleFlag(
+                "--mhz", need_value(i, "--mhz"), 1e-3, 1e6);
         } else if (arg == "--bandwidth-gbps") {
-            request.bandwidthGbps =
-                std::atof(need_value(i, "--bandwidth-gbps"));
+            request.bandwidthGbps = util::parseDoubleFlag(
+                "--bandwidth-gbps", need_value(i, "--bandwidth-gbps"),
+                1e-6, 1e9);
         } else if (arg == "--max-clps") {
-            request.maxClps = std::atoi(need_value(i, "--max-clps"));
+            request.maxClps = static_cast<int>(util::parseIntFlag(
+                "--max-clps", need_value(i, "--max-clps"), 1, 1 << 20));
         } else if (arg == "--threads") {
-            request.threads = std::atoi(need_value(i, "--threads"));
+            request.threads = static_cast<int>(util::parseIntFlag(
+                "--threads", need_value(i, "--threads"), 0, 4096));
         } else if (arg == "--engine") {
             std::string engine = need_value(i, "--engine");
             if (engine == "reference")

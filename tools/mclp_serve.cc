@@ -1,18 +1,22 @@
 /**
  * @file
  * mclp-serve — the batch DSE service front end: one long-lived
- * process, many networks, shared frontiers.
+ * process, many networks, shared frontiers, many concurrent clients.
  *
  * Reads DseRequest lines (see src/service/dse_codec.h) from stdin or
- * a Unix stream socket, answers them in input order through a warm
- * SessionRegistry, and prints one response line per request.
- * Responses are bit-identical to cold mclp-opt runs of the same
- * requests (mclp-opt --response emits the same wire form, which CI
- * diffs against).
+ * serves them over Unix/TCP stream sockets through the event-driven
+ * server (src/service/server.h): pipelined per-line answers in
+ * request order, bounded buffers, overload shedding (`err ...
+ * msg=busy`), slow-client timeouts, and graceful drain on a
+ * `shutdown` line or SIGTERM. Responses are bit-identical to cold
+ * mclp-opt runs of the same requests (mclp-opt --response emits the
+ * same wire form, which CI diffs against) no matter how many clients
+ * interleave.
  *
  * Examples:
  *   printf 'dse id=a net=alexnet device=690t\n' | mclp-serve
  *   mclp-serve --socket /tmp/mclp.sock --accept 4
+ *   mclp-serve --socket /tmp/mclp.sock --tcp-port 0 --threads 8
  *   mclp-serve --threads 8 --max-sessions 16 --max-bytes-mb 256
  */
 
@@ -24,6 +28,8 @@
 #include <string>
 
 #include "service/dse_service.h"
+#include "service/server.h"
+#include "util/flags.h"
 #include "util/logging.h"
 
 using namespace mclp;
@@ -34,15 +40,19 @@ void
 printUsage()
 {
     std::printf(
-        "mclp-serve: batch DSE service over stdin/stdout or a Unix "
-        "socket\n\n"
+        "mclp-serve: batch DSE service over stdin/stdout or stream "
+        "sockets\n\n"
         "usage: mclp-serve [options]\n"
-        "  --socket PATH        listen on a Unix stream socket instead\n"
-        "                       of stdin/stdout (one batch per\n"
-        "                       connection)\n"
-        "  --accept N           exit after N connections (socket mode;\n"
-        "                       default: serve until a 'shutdown' line)\n"
-        "  --threads N          request fan-out threads (0 = all\n"
+        "transport:\n"
+        "  --socket PATH        listen on a Unix stream socket\n"
+        "  --tcp-port N         also listen on loopback TCP port N\n"
+        "                       (0 = ephemeral; the bound port is\n"
+        "                       printed to stderr)\n"
+        "  --accept N           stop accepting after N connections and\n"
+        "                       exit once they drain (default: serve\n"
+        "                       until a 'shutdown' line or SIGTERM)\n"
+        "service:\n"
+        "  --threads N          request execution threads (0 = all\n"
         "                       cores; default 1; never changes\n"
         "                       responses)\n"
         "  --max-sessions N     warm-session LRU capacity (default 8)\n"
@@ -55,6 +65,21 @@ printUsage()
         "                       shutdown (responses never change)\n"
         "  --cold               bypass the registry; every request\n"
         "                       runs cold (parity baseline)\n"
+        "robustness (socket mode):\n"
+        "  --max-line-bytes N   request lines past N bytes answer\n"
+        "                       'err ... msg=line-too-long' (default\n"
+        "                       1048576); applies to stdin mode too\n"
+        "  --max-pipeline N     per-connection in-flight cap; excess\n"
+        "                       lines shed 'err ... msg=busy'\n"
+        "                       (default 64)\n"
+        "  --max-inflight N     global in-flight cap across all\n"
+        "                       connections (default 256)\n"
+        "  --read-timeout-ms N  drop a connection whose partial\n"
+        "                       request line is older than N ms\n"
+        "                       (slow-loris guard; default 30000;\n"
+        "                       0 = off)\n"
+        "  --idle-timeout-ms N  drop a fully idle connection after\n"
+        "                       N ms (default 0 = off)\n"
         "  --help               this text\n\n"
         "protocol: one request per line (full spec: docs/PROTOCOL.md)\n"
         "  dse id=ID net=NAME [device=D] [type=float|fixed] [mhz=F]\n"
@@ -63,15 +88,21 @@ printUsage()
         "  dse id=ID nets=NAME[:ZOO|:#COUNT],... [weights=W,...]\n"
         "      ...          joint multi-network request (Section 4.3);\n"
         "                   responses add subnets= attribution spans\n"
-        "  stats        registry / frontier-row-store counters\n"
+        "  stats        registry / row-store / transport counters\n"
         "  cache-stats  persistent-cache counters\n"
-        "  shutdown     stop the server after this batch\n");
+        "  shutdown     graceful drain: stop accepting, finish\n"
+        "               in-flight work, flush the cache, exit 0\n");
 }
 
 struct Options
 {
     std::optional<std::string> socketPath;
+    int tcpPort = -1;
     int accept = -1;
+    int maxPipeline = 64;
+    int maxInflight = 256;
+    int readTimeoutMs = 30000;
+    int idleTimeoutMs = 0;
     service::ServiceOptions service;
 };
 
@@ -84,6 +115,10 @@ parseArgs(int argc, char **argv)
             util::fatal("%s needs a value", flag);
         return argv[++i];
     };
+    auto int_flag = [&](int &i, const char *flag, int64_t min,
+                        int64_t max) {
+        return util::parseIntFlag(flag, need_value(i, flag), min, max);
+    };
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
@@ -91,19 +126,38 @@ parseArgs(int argc, char **argv)
             return std::nullopt;
         } else if (arg == "--socket") {
             opts.socketPath = need_value(i, "--socket");
+        } else if (arg == "--tcp-port") {
+            opts.tcpPort =
+                static_cast<int>(int_flag(i, "--tcp-port", 0, 65535));
         } else if (arg == "--accept") {
-            opts.accept = std::atoi(need_value(i, "--accept"));
+            opts.accept = static_cast<int>(
+                int_flag(i, "--accept", -1, 1 << 30));
         } else if (arg == "--threads") {
-            opts.service.threads =
-                std::atoi(need_value(i, "--threads"));
+            opts.service.threads = static_cast<int>(
+                int_flag(i, "--threads", 0, 4096));
         } else if (arg == "--max-sessions") {
             opts.service.maxSessions = static_cast<size_t>(
-                std::atoll(need_value(i, "--max-sessions")));
+                int_flag(i, "--max-sessions", 1, 1 << 20));
         } else if (arg == "--max-bytes-mb") {
             opts.service.maxBytes =
-                static_cast<size_t>(
-                    std::atoll(need_value(i, "--max-bytes-mb"))) *
+                static_cast<size_t>(int_flag(i, "--max-bytes-mb", 0,
+                                             int64_t{1} << 40)) *
                 1024 * 1024;
+        } else if (arg == "--max-line-bytes") {
+            opts.service.maxLineBytes = static_cast<size_t>(
+                int_flag(i, "--max-line-bytes", 64, int64_t{1} << 30));
+        } else if (arg == "--max-pipeline") {
+            opts.maxPipeline = static_cast<int>(
+                int_flag(i, "--max-pipeline", 1, 1 << 20));
+        } else if (arg == "--max-inflight") {
+            opts.maxInflight = static_cast<int>(
+                int_flag(i, "--max-inflight", 1, 1 << 20));
+        } else if (arg == "--read-timeout-ms") {
+            opts.readTimeoutMs = static_cast<int>(
+                int_flag(i, "--read-timeout-ms", 0, 1 << 30));
+        } else if (arg == "--idle-timeout-ms") {
+            opts.idleTimeoutMs = static_cast<int>(
+                int_flag(i, "--idle-timeout-ms", 0, 1 << 30));
         } else if (arg == "--cache-dir") {
             opts.service.cacheDir = need_value(i, "--cache-dir");
         } else if (arg == "--cold") {
@@ -131,9 +185,31 @@ main(int argc, char **argv)
         if (!opts)
             return 0;
         service::DseService service(opts->service);
-        if (opts->socketPath)
-            return service.serveSocket(*opts->socketPath,
-                                       opts->accept);
+        if (opts->socketPath || opts->tcpPort >= 0) {
+            service::Server::Options server_opts;
+            if (opts->socketPath)
+                server_opts.unixPath = *opts->socketPath;
+            server_opts.tcpPort = opts->tcpPort;
+            server_opts.acceptLimit = opts->accept;
+            server_opts.workers = opts->service.threads;
+            server_opts.maxLineBytes = opts->service.maxLineBytes;
+            server_opts.maxPipeline = opts->maxPipeline;
+            server_opts.maxInflight = opts->maxInflight;
+            server_opts.readTimeoutMs = opts->readTimeoutMs;
+            server_opts.idleTimeoutMs = opts->idleTimeoutMs;
+            server_opts.handleSigterm = true;
+            service::Server server(service, server_opts);
+            if (!server.listening())
+                return 1;
+            if (opts->tcpPort >= 0) {
+                // Ephemeral ports (--tcp-port 0) are useless unless
+                // announced; stderr keeps stdout a pure response
+                // stream.
+                std::fprintf(stderr, "mclp-serve: tcp port %u\n",
+                             server.tcpPort());
+            }
+            return server.run();
+        }
         service.serveStream(std::cin, std::cout);
         return 0;
     } catch (const util::FatalError &err) {
