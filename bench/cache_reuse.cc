@@ -1,6 +1,6 @@
 /**
  * @file
- * Persistent-cache benchmark: the three warmth tiers of the DSE
+ * Persistent-cache benchmark: the warmth tier ladder of the DSE
  * engine, measured on one mixed request set.
  *
  *   cold          nothing shared: every request through a fresh
@@ -10,11 +10,20 @@
  *                 (PR 2/3 behaviour: sessions + row store resident).
  *   disk-warm     a *fresh* process image — new FrontierCache, new
  *                 registry, new sessions — on a populated cache
- *                 directory, so all reuse comes from disk.
+ *                 directory with the mmap segment disabled, so all
+ *                 reuse comes from the eager record-file decode.
+ *   mmap-warm     the same fresh-image setup serving lazily from the
+ *                 published read-only segment: startup skips the
+ *                 eager decode entirely and staircases stream out of
+ *                 the mapping on demand.
  *
- * All three tiers must produce byte-identical responses (the exit
- * code enforces it); the timings land in BENCH_optimizer.json under
- * "cache".
+ * The run also measures the delta compaction: the v3 record file on
+ * disk against the bytes the same records would occupy in the legacy
+ * v2 SoA encoding (re-encoded record for record, framing included).
+ *
+ * All tiers must produce byte-identical responses (the exit code
+ * enforces it); the numbers land in BENCH_optimizer.json under
+ * "cache" / "cache_tiers".
  */
 
 #include <cstdio>
@@ -24,9 +33,11 @@
 
 #include "bench_common.h"
 #include "core/frontier_cache.h"
+#include "core/frontier_codec.h"
 #include "core/session_registry.h"
 #include "service/dse_codec.h"
 #include "service/dse_service.h"
+#include "util/record_file.h"
 #include "util/string_utils.h"
 #include "util/table.h"
 
@@ -64,14 +75,60 @@ answerAll(core::SessionRegistry &registry,
     return responses;
 }
 
+/**
+ * The bytes the v3 record file's contents would occupy in the legacy
+ * v2 SoA encoding: every record decoded and re-encoded through the
+ * legacy encoder, record framing (12-byte frame per record) included
+ * on both sides of the comparison.
+ */
+size_t
+legacyEquivalentBytes(const std::string &path, size_t *records)
+{
+    util::RecordFileReader reader(path);
+    std::string header;
+    if (!reader.opened() || !reader.header(header))
+        return 0;
+    size_t legacy =
+        12 + core::legacyCacheHeaderPayload(
+                 core::modelFormulaFingerprint())
+                 .size();
+    std::string_view record;
+    while (reader.next(record)) {
+        util::ByteReader in(record);
+        uint8_t kind = 0;
+        uint32_t hits = 0, last_gen = 0;
+        std::vector<int64_t> key;
+        if (!in.u8(kind) || !core::readCacheKey(in, key) ||
+            !in.u32(hits) || !in.u32(last_gen))
+            continue;
+        std::string_view payload = in.rest();
+        if (kind == core::kCacheRecordRow) {
+            auto row = core::decodeRowPayload(payload);
+            if (row)
+                legacy +=
+                    12 + core::encodeLegacyRowRecord(key, *row).size();
+        } else if (kind == core::kCacheRecordTrace) {
+            core::FrontierTraceImage image;
+            if (core::decodeTracePayload(
+                    payload, core::traceKeyGroups(key), image))
+                legacy += 12 +
+                          core::encodeLegacyTraceRecord(key, image)
+                              .size();
+        }
+        ++*records;
+    }
+    return legacy;
+}
+
 } // namespace
 
 int
 main()
 {
     bench::printBenchHeader(
-        "Persistent frontier cache: cold vs process-warm vs disk-warm",
-        "ROADMAP 'persist warm state' (PR 4)");
+        "Persistent frontier cache: cold vs process-warm vs disk-warm "
+        "vs mmap-warm",
+        "ROADMAP 'persist warm state' (PR 4) + shared cache tier (PR 8)");
 
     namespace fs = std::filesystem;
     fs::path dir = fs::temp_directory_path() / "mclp_cache_reuse_bench";
@@ -106,53 +163,103 @@ main()
     double populate_ms =
         bench::msSince(populate_start) - process_warm_ms;
 
+    // Compaction: the delta-encoded v3 file on disk vs the bytes the
+    // same records would occupy as legacy v2 SoA lanes.
+    std::string record_file =
+        (dir / core::kFrontierCacheFileName).string();
+    size_t compact_bytes = fs::file_size(record_file);
+    size_t record_count = 0;
+    size_t legacy_bytes =
+        legacyEquivalentBytes(record_file, &record_count);
+    size_t segment_bytes =
+        fs::file_size(dir / core::kFrontierSegmentFileName);
+
     // Tier 3: disk-warm (fresh cache + registry on the populated
-    // directory — only the files survive from the passes above).
+    // directory, mmap tier off — only the record file serves). The
+    // cache-open time is the eager decode of every record.
     auto disk_start = std::chrono::steady_clock::now();
     std::vector<std::string> disk_warm;
     core::FrontierCache::Stats disk_stats;
+    double disk_load_ms;
     {
-        auto cache =
-            std::make_shared<core::FrontierCache>(dir.string());
+        core::FrontierCacheOptions no_mmap;
+        no_mmap.mmapSegment = false;
+        auto cache = std::make_shared<core::FrontierCache>(
+            dir.string(), no_mmap);
+        disk_load_ms = bench::msSince(disk_start);
         core::SessionRegistry registry(8, 0, 1, cache);
         disk_warm = answerAll(registry, lines);
         disk_stats = cache->stats();
     }
     double disk_ms = bench::msSince(disk_start);
+
+    // Tier 4: mmap-warm (same fresh-image setup, segment mapped:
+    // startup validates a checksum instead of decoding records, and
+    // only the staircases the requests actually touch are decoded).
+    auto mmap_start = std::chrono::steady_clock::now();
+    std::vector<std::string> mmap_warm;
+    core::FrontierCache::Stats mmap_stats;
+    double mmap_load_ms;
+    {
+        auto cache =
+            std::make_shared<core::FrontierCache>(dir.string());
+        mmap_load_ms = bench::msSince(mmap_start);
+        core::SessionRegistry registry(8, 0, 1, cache);
+        mmap_warm = answerAll(registry, lines);
+        mmap_stats = cache->stats();
+    }
+    double mmap_ms = bench::msSince(mmap_start);
     fs::remove_all(dir);
 
     size_t mismatched = 0;
     for (size_t i = 0; i < lines.size(); ++i) {
         if (cold[i] != populate[i] || cold[i] != process_warm[i] ||
-            cold[i] != disk_warm[i])
+            cold[i] != disk_warm[i] || cold[i] != mmap_warm[i])
             ++mismatched;
     }
 
-    util::TextTable table(
-        {"tier", "wallclock (ms)", "vs cold", "reuse source"});
+    util::TextTable table({"tier", "open (ms)", "total (ms)",
+                           "vs cold", "reuse source"});
     table.setTitle("4 mixed requests (AlexNet / SqueezeNet / "
                    "latency ladders + GoogLeNet rung)");
     auto speedup = [&](double ms) {
         return util::strprintf("%.1fx", cold_ms / ms);
     };
-    table.addRow({"cold", util::strprintf("%.1f", cold_ms), "1.0x",
-                  "none"});
-    table.addRow({"populate (+flush)",
+    table.addRow({"cold", "-", util::strprintf("%.1f", cold_ms),
+                  "1.0x", "none"});
+    table.addRow({"populate (+flush)", "-",
                   util::strprintf("%.1f", populate_ms),
                   speedup(populate_ms), "none; writes cache dir"});
-    table.addRow({"process-warm",
+    table.addRow({"process-warm", "-",
                   util::strprintf("%.1f", process_warm_ms),
                   speedup(process_warm_ms),
                   "resident sessions (PR 3)"});
-    table.addRow({"disk-warm", util::strprintf("%.1f", disk_ms),
-                  speedup(disk_ms), "cache dir only (PR 4)"});
+    table.addRow({"disk-warm", util::strprintf("%.1f", disk_load_ms),
+                  util::strprintf("%.1f", disk_ms), speedup(disk_ms),
+                  "record file, eager decode (PR 4)"});
+    table.addRow({"mmap-warm", util::strprintf("%.1f", mmap_load_ms),
+                  util::strprintf("%.1f", mmap_ms), speedup(mmap_ms),
+                  "mmap'd segment, lazy decode (PR 8)"});
     table.addNote(util::strprintf(
-        "disk-warm loaded %zu rows / %zu traces, hit %zu / %zu; "
+        "compaction: %zu records, v3 delta file %.2f MB vs legacy v2 "
+        "SoA %.2f MB (%.1fx smaller); segment image %.2f MB",
+        record_count, compact_bytes / 1e6, legacy_bytes / 1e6,
+        static_cast<double>(legacy_bytes) / compact_bytes,
+        segment_bytes / 1e6));
+    table.addNote(util::strprintf(
+        "disk-warm decoded %zu rows eagerly; mmap-warm decoded %zu "
+        "rows / %zu traces on demand (%zu / %zu segment hits); "
         "responses %s",
-        disk_stats.rowsLoaded, disk_stats.tracesLoaded,
-        disk_stats.rowHits, disk_stats.traceHits,
+        disk_stats.rowsLoaded, mmap_stats.segmentRowHits,
+        mmap_stats.segmentTraceHits, mmap_stats.rowHits,
+        mmap_stats.traceHits,
         mismatched == 0 ? "byte-identical across all tiers"
                         : "MISMATCHED (bug!)"));
     std::printf("%s\n", table.render().c_str());
-    return mismatched == 0 ? 0 : 1;
+
+    bool compaction_ok = compact_bytes * 2 <= legacy_bytes;
+    if (!compaction_ok)
+        std::printf("FAIL: v3 file is not 2x smaller than the v2 "
+                    "encoding\n");
+    return mismatched == 0 && compaction_ok ? 0 : 1;
 }

@@ -1,8 +1,8 @@
 #include "core/frontier_cache.h"
 
 #include <algorithm>
-#include <cmath>
 #include <cstddef>
+#include <cstdio>
 #include <cstring>
 #include <deque>
 #include <filesystem>
@@ -16,6 +16,7 @@
 #include "nn/conv_layer.h"
 #include "util/logging.h"
 #include "util/record_file.h"
+#include "util/shm.h"
 
 namespace mclp {
 namespace core {
@@ -84,104 +85,71 @@ modelFormulaFingerprint()
 
 namespace {
 
-constexpr uint8_t kKindRow = 1;
-constexpr uint8_t kKindTrace = 2;
-
-/** Keys and payloads are capped to reject absurd corrupt lengths. */
-constexpr uint32_t kMaxKeyWords = 1 << 20;
-constexpr uint32_t kMaxListEntries = 1 << 24;
-
-std::string
-headerPayload(uint64_t fingerprint)
+/** What the record-file header says about the file, read without
+ * slurping the record log (the lazy segment path's whole point is to
+ * skip that read). */
+enum class HeaderProbe
 {
-    util::ByteWriter out;
-    out.u64(kFrontierCacheMagic);
-    out.u32(kFrontierCacheFormatVersion);
-    out.u64(fingerprint);
-    return out.bytes();
-}
+    Missing,  ///< no file: clean cold start
+    Damaged,  ///< truncated/corrupt header frame: dirty cold start
+    Foreign,  ///< checksummed but not a frontier cache: dirty cold
+    Stale,    ///< other version or fingerprint: clean invalidation
+    LegacyV2, ///< SoA file, our fingerprint: eager load + upgrade
+    CurrentV3,///< delta file, our fingerprint
+};
 
-bool
-readKey(util::ByteReader &in, std::vector<int64_t> &key)
+HeaderProbe
+probeHeader(const std::string &path, uint64_t fingerprint,
+            uint64_t *generation)
 {
-    uint32_t count = 0;
-    if (!in.u32(count) || count == 0 || count > kMaxKeyWords)
-        return false;
-    key.resize(count);
-    return in.i64Words(key.data(), count);
-}
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        return HeaderProbe::Missing;
+    unsigned char frame[12];
+    unsigned char payload[64];
+    size_t got = std::fread(frame, 1, sizeof(frame), file);
+    uint32_t length = 0;
+    uint64_t checksum = 0;
+    for (size_t i = 0; i < 4; ++i)
+        length |= static_cast<uint32_t>(frame[i]) << (8 * i);
+    for (size_t i = 0; i < 8; ++i)
+        checksum |= static_cast<uint64_t>(frame[4 + i]) << (8 * i);
+    bool framed = got == sizeof(frame) && length <= sizeof(payload) &&
+                  std::fread(payload, 1, length, file) == length;
+    std::fclose(file);
+    if (!framed || util::fnv1aBytes(payload, length) != checksum)
+        return HeaderProbe::Damaged;
 
-void
-writeKey(util::ByteWriter &out, const std::vector<int64_t> &key)
-{
-    out.u32(static_cast<uint32_t>(key.size()));
-    out.i64Words(key.data(), key.size());
-}
-
-std::string
-encodeRow(const std::vector<int64_t> &key, const ShapeFrontier &row)
-{
-    // Format v2 stores the staircase in its SoA form — four i64 lane
-    // blocks (tn, tm, dsp, cycles) — so the i64 lanes stream straight
-    // from the frontier's storage; only the int32 shape lanes widen
-    // through a scratch buffer.
-    util::ByteWriter out;
-    out.u8(kKindRow);
-    writeKey(out, key);
-    size_t count = row.size();
-    out.u32(static_cast<uint32_t>(count));
-    std::vector<int64_t> lane(count);
-    for (size_t i = 0; i < count; ++i)
-        lane[i] = row.tnData()[i];
-    out.i64Words(lane.data(), count);
-    for (size_t i = 0; i < count; ++i)
-        lane[i] = row.tmData()[i];
-    out.i64Words(lane.data(), count);
-    out.i64Words(row.dspData(), count);
-    out.i64Words(row.cyclesData(), count);
-    return out.bytes();
-}
-
-std::string
-encodeTrace(const std::vector<int64_t> &key, bool complete,
-            int64_t initial_bram, double initial_peak,
-            const std::vector<TradeoffCurveCache::PartitionStep> &steps)
-{
-    util::ByteWriter out;
-    out.u8(kKindTrace);
-    writeKey(out, key);
-    out.u8(complete ? 1 : 0);
-    out.i64(initial_bram);
-    out.f64(initial_peak);
-    out.u32(static_cast<uint32_t>(steps.size()));
-    for (const TradeoffCurveCache::PartitionStep &step : steps) {
-        out.u32(step.clp);
-        out.i64(step.inCap);
-        out.i64(step.outCap);
-        out.i64(step.totalBram);
-        out.f64(step.totalPeak);
-    }
-    return out.bytes();
-}
-
-/** Groups in a partition-trace key = the -1 delimiters it contains. */
-size_t
-traceKeyGroups(const std::vector<int64_t> &key)
-{
-    return static_cast<size_t>(
-        std::count(key.begin(), key.end(), int64_t{-1}));
+    util::ByteReader in(
+        {reinterpret_cast<const char *>(payload), length});
+    uint64_t magic = 0, fp = 0;
+    uint32_t version = 0;
+    if (!in.u64(magic) || magic != kFrontierCacheMagic)
+        return HeaderProbe::Foreign;
+    if (!in.u32(version) || !in.u64(fp) || fp != fingerprint)
+        return HeaderProbe::Stale;
+    if (version == kFrontierCacheFormatVersion)
+        return in.u64(*generation) && in.atEnd()
+                   ? HeaderProbe::CurrentV3
+                   : HeaderProbe::Damaged;
+    if (version == kFrontierCacheLegacyFormatVersion && in.atEnd())
+        return HeaderProbe::LegacyV2;
+    return HeaderProbe::Stale;
 }
 
 } // namespace
 
-FrontierCache::FrontierCache(std::string dir)
-    : dir_(std::move(dir)), fingerprint_(modelFormulaFingerprint())
+FrontierCache::FrontierCache(std::string dir,
+                             FrontierCacheOptions options)
+    : dir_(std::move(dir)), options_(options),
+      fingerprint_(modelFormulaFingerprint())
 {
     namespace fs = std::filesystem;
     std::error_code ec;
     fs::create_directories(dir_, ec);  // best effort; load just misses
     filePath_ = (fs::path(dir_) / kFrontierCacheFileName).string();
     lockPath_ = (fs::path(dir_) / kFrontierCacheLockName).string();
+    segmentPath_ = (fs::path(dir_) / kFrontierSegmentFileName).string();
     // Loading under the advisory lock keeps the sequence simple to
     // reason about when several CLIs share the directory; the lock is
     // held only for the read.
@@ -192,39 +160,64 @@ FrontierCache::FrontierCache(std::string dir)
 void
 FrontierCache::loadLocked()
 {
-    util::RecordFileReader reader(filePath_);
-    if (!reader.opened())
+    switch (probeHeader(filePath_, fingerprint_, &generation_)) {
+    case HeaderProbe::Missing:
         return;  // no cache yet: clean cold start
-
-    std::string payload;
-    if (!reader.header(payload)) {
-        loadedClean_ = !reader.sawCorruption();
-        if (!loadedClean_)
-            util::warn("frontier cache: %s has a corrupt header; "
-                       "starting cold", filePath_.c_str());
+    case HeaderProbe::Damaged:
+        loadedClean_ = false;
+        util::warn("frontier cache: %s has a corrupt header; "
+                   "starting cold", filePath_.c_str());
+        return;
+    case HeaderProbe::Foreign:
+        loadedClean_ = false;
+        util::warn("frontier cache: %s is not a frontier cache file; "
+                   "starting cold", filePath_.c_str());
+        return;
+    case HeaderProbe::Stale:
+        // Expected invalidation (older binary, changed model
+        // formulas): stay clean and quiet; the next flush rewrites
+        // the file under the current header.
+        util::inform("frontier cache: %s was written under a "
+                     "different format/model version; rebuilding",
+                     filePath_.c_str());
+        return;
+    case HeaderProbe::CurrentV3:
+        if (options_.mmapSegment) {
+            segment_ =
+                FrontierCacheSegment::open(segmentPath_, fingerprint_);
+            if (segment_.valid() &&
+                segment_.generation() == generation_) {
+                // Lazy mode: the segment is this exact record set,
+                // hash-indexed and shared host-wide. Skip the eager
+                // decode entirely; rows and traces stream out of the
+                // mapping on demand.
+                return;
+            }
+            // Absent, damaged, or generation-skewed (e.g. a publish
+            // torn between record-file commit and segment rename):
+            // the record file is authoritative, so fall back to it.
+            segment_ = FrontierCacheSegment();
+        }
+        loadRecordsLocked(kFrontierCacheFormatVersion);
+        return;
+    case HeaderProbe::LegacyV2:
+        upgradePending_ = true;
+        util::inform("frontier cache: %s uses the SoA v2 format; it "
+                     "will be rewritten delta-compacted on the next "
+                     "flush", filePath_.c_str());
+        loadRecordsLocked(kFrontierCacheLegacyFormatVersion);
         return;
     }
-    {
-        util::ByteReader in(payload);
-        uint64_t magic = 0;
-        uint32_t version = 0;
-        uint64_t fingerprint = 0;
-        if (!in.u64(magic) || magic != kFrontierCacheMagic) {
-            loadedClean_ = false;
-            util::warn("frontier cache: %s is not a frontier cache "
-                       "file; starting cold", filePath_.c_str());
-            return;
-        }
-        if (!in.u32(version) || version != kFrontierCacheFormatVersion ||
-            !in.u64(fingerprint) || fingerprint != fingerprint_) {
-            // Expected invalidation (older binary, changed model
-            // formulas): stay clean and quiet; the next flush
-            // rewrites the file under the current header.
-            util::inform("frontier cache: %s was written under a "
-                         "different format/model version; rebuilding",
-                         filePath_.c_str());
-            return;
-        }
+}
+
+void
+FrontierCache::loadRecordsLocked(uint32_t version)
+{
+    util::RecordFileReader reader(filePath_);
+    std::string header;
+    if (!reader.opened() || !reader.header(header)) {
+        loadedClean_ = !reader.sawCorruption();
+        return;  // probe validated the header; a race truncated it
     }
 
     std::string_view record;
@@ -232,32 +225,22 @@ FrontierCache::loadLocked()
         util::ByteReader in(record);
         uint8_t kind = 0;
         std::vector<int64_t> key;
-        if (!in.u8(kind) || !readKey(in, key)) {
+        if (!in.u8(kind) || !readCacheKey(in, key)) {
             loadedClean_ = false;
             break;
         }
-        if (kind == kKindRow) {
-            uint32_t count = 0;
-            if (!in.u32(count) || count > kMaxListEntries) {
+        if (version == kFrontierCacheFormatVersion) {
+            uint32_t hits = 0, last_gen = 0;
+            if (!in.u32(hits) || !in.u32(last_gen)) {
                 loadedClean_ = false;
                 break;
             }
-            size_t n = count;
-            std::vector<int64_t> tn(n), tm(n), dsp(n), cycles(n);
-            in.i64Words(tn.data(), n);
-            in.i64Words(tm.data(), n);
-            in.i64Words(dsp.data(), n);
-            in.i64Words(cycles.data(), n);
-            std::vector<FrontierPoint> points(n);
-            for (size_t i = 0; i < n; ++i) {
-                points[i].shape = model::ClpShape{tn[i], tm[i]};
-                points[i].dsp = dsp[i];
-                points[i].cycles = cycles[i];
-            }
-            auto frontier = in.ok() && in.atEnd()
-                                ? ShapeFrontier::fromPoints(
-                                      std::move(points))
-                                : std::nullopt;
+        }
+        if (kind == kCacheRecordRow) {
+            auto frontier =
+                version == kFrontierCacheFormatVersion
+                    ? decodeRowPayload(in.rest())
+                    : decodeLegacyRowBody(in);
             if (!frontier) {
                 loadedClean_ = false;
                 break;
@@ -266,43 +249,13 @@ FrontierCache::loadLocked()
                 std::make_shared<const ShapeFrontier>(
                     std::move(*frontier));
             ++rowsLoaded_;
-        } else if (kind == kKindTrace) {
-            TraceImage image;
-            uint8_t complete = 0;
-            uint32_t count = 0;
-            if (!in.u8(complete) || !in.i64(image.initialBram) ||
-                !in.f64(image.initialPeak) || !in.u32(count) ||
-                count > kMaxListEntries) {
-                loadedClean_ = false;
-                break;
-            }
-            image.complete = complete != 0;
-            image.steps.resize(count);
-            for (uint32_t i = 0; i < count; ++i) {
-                TradeoffCurveCache::PartitionStep &step = image.steps[i];
-                if (!in.u32(step.clp) || !in.i64(step.inCap) ||
-                    !in.i64(step.outCap) || !in.i64(step.totalBram) ||
-                    !in.f64(step.totalPeak))
-                    break;
-            }
-            // Semantic validation: the walk's invariants (strictly
-            // decreasing total BRAM, finite peaks, mover indices
-            // within the key's group count) must hold or the trace is
-            // untrustworthy regardless of its checksum.
-            bool valid = in.ok() && in.atEnd() &&
-                         image.initialBram >= 0 &&
-                         std::isfinite(image.initialPeak);
+        } else if (kind == kCacheRecordTrace) {
+            FrontierTraceImage image;
             size_t groups = traceKeyGroups(key);
-            int64_t prev_bram = image.initialBram;
-            for (const auto &step : image.steps) {
-                if (!valid)
-                    break;
-                valid = step.clp < groups && step.inCap >= 0 &&
-                        step.outCap >= 0 && step.totalBram >= 0 &&
-                        step.totalBram < prev_bram &&
-                        std::isfinite(step.totalPeak);
-                prev_bram = step.totalBram;
-            }
+            bool valid =
+                version == kFrontierCacheFormatVersion
+                    ? decodeTracePayload(in.rest(), groups, image)
+                    : decodeLegacyTraceBody(in, groups, image);
             if (!valid) {
                 loadedClean_ = false;
                 break;
@@ -324,13 +277,41 @@ FrontierCache::loadLocked()
 }
 
 std::shared_ptr<const ShapeFrontier>
-FrontierCache::loadRow(const std::vector<int64_t> &key)
+FrontierCache::loadRow(const std::vector<int64_t> &key, CacheTier *tier)
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (tier)
+        *tier = CacheTier::None;
     auto it = diskRows_.find(key);
-    if (it == diskRows_.end())
+    if (it != diskRows_.end()) {
+        ++rowHits_;
+        ++rowHitDelta_[key];
+        if (tier)
+            *tier = CacheTier::Disk;
+        return it->second;
+    }
+    it = mmapRows_.find(key);
+    if (it == mmapRows_.end() && segment_.valid()) {
+        std::string_view payload = segment_.find(kCacheRecordRow, key);
+        if (!payload.empty()) {
+            // Decode straight out of the mapping and memoize: the
+            // second lookup of a hot row costs a map probe, and the
+            // decoded object is shared process-wide like any other.
+            if (auto row = decodeRowPayload(payload))
+                it = mmapRows_
+                         .emplace(key,
+                                  std::make_shared<const ShapeFrontier>(
+                                      std::move(*row)))
+                         .first;
+        }
+    }
+    if (it == mmapRows_.end())
         return nullptr;
     ++rowHits_;
+    ++segmentRowHits_;
+    ++rowHitDelta_[key];
+    if (tier)
+        *tier = CacheTier::Mmap;
     return it->second;
 }
 
@@ -339,26 +320,57 @@ FrontierCache::noteRow(const std::vector<int64_t> &key,
                        std::shared_ptr<const ShapeFrontier> row)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (diskRows_.count(key))
+    if (diskRows_.count(key) || mmapRows_.count(key))
         return;  // already persistent
+    if (segment_.valid() &&
+        !segment_.find(kCacheRecordRow, key).empty())
+        return;  // persistent, just never decoded by this process
     pendingRows_.emplace(key, std::move(row));
 }
 
 bool
 FrontierCache::seedTrace(const std::vector<int64_t> &key,
-                         TradeoffCurveCache::PartitionTrace &trace)
+                         TradeoffCurveCache::PartitionTrace &trace,
+                         CacheTier *tier)
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (tier)
+        *tier = CacheTier::None;
+    const FrontierTraceImage *image = nullptr;
+    bool from_mmap = false;
     auto it = diskTraces_.find(key);
-    if (it == diskTraces_.end())
+    if (it != diskTraces_.end()) {
+        image = &it->second;
+    } else {
+        auto mit = mmapTraces_.find(key);
+        if (mit == mmapTraces_.end() && segment_.valid()) {
+            std::string_view payload =
+                segment_.find(kCacheRecordTrace, key);
+            FrontierTraceImage decoded;
+            if (!payload.empty() &&
+                decodeTracePayload(payload, traceKeyGroups(key),
+                                   decoded))
+                mit = mmapTraces_.emplace(key, std::move(decoded))
+                          .first;
+        }
+        if (mit != mmapTraces_.end()) {
+            image = &mit->second;
+            from_mmap = true;
+        }
+    }
+    if (!image)
         return false;
-    const TraceImage &image = it->second;
     trace.initialized = true;
-    trace.initialBram = image.initialBram;
-    trace.initialPeak = image.initialPeak;
-    trace.steps.assign(image.steps.data(), image.steps.size());
-    trace.complete = image.complete;
+    trace.initialBram = image->initialBram;
+    trace.initialPeak = image->initialPeak;
+    trace.steps.assign(image->steps.data(), image->steps.size());
+    trace.complete = image->complete;
     ++traceHits_;
+    if (from_mmap)
+        ++segmentTraceHits_;
+    ++traceHitDelta_[key];
+    if (tier)
+        *tier = from_mmap ? CacheTier::Mmap : CacheTier::Disk;
     return true;
 }
 
@@ -386,6 +398,8 @@ FrontierCache::flush()
     std::unordered_map<std::vector<int64_t>, std::pair<size_t, bool>,
                        util::Int64VectorHash>
         known;
+    HitMap row_deltas, trace_deltas;
+    bool upgrade_pending;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         pending_rows = pendingRows_;
@@ -393,6 +407,12 @@ FrontierCache::flush()
         for (const auto &[key, image] : diskTraces_)
             known.emplace(key, std::make_pair(image.steps.size(),
                                               image.complete));
+        for (const auto &[key, image] : mmapTraces_)
+            known.emplace(key, std::make_pair(image.steps.size(),
+                                              image.complete));
+        row_deltas = rowHitDelta_;
+        trace_deltas = traceHitDelta_;
+        upgrade_pending = upgradePending_;
     }
 
     // Phase 2: snapshot each live trace under its own mutex, keeping
@@ -408,7 +428,7 @@ FrontierCache::flush()
              (it->second.first == trace->steps.size() &&
               it->second.second == trace->complete)))
             continue;
-        TraceImage image;
+        FrontierTraceImage image;
         image.complete = trace->complete;
         image.initialBram = trace->initialBram;
         image.initialPeak = trace->initialPeak;
@@ -418,10 +438,13 @@ FrontierCache::flush()
 
     // Nothing new? Then the file — whatever concurrent CLIs did to it
     // since — holds at least everything we could add: skip the lock
-    // and the whole read-merge-write round trip. This keeps a
-    // disk-warm process's shutdown free instead of re-parsing the
-    // file it never changed.
-    if (pending_rows.empty() && trace_images.empty())
+    // and the whole read-merge-write round trip. Hit-counter deltas
+    // alone never force a rewrite either — they stay in memory and
+    // ride the next flush that rewrites the file for a real reason
+    // (tests/core/test_frontier_cache.cc pins the no-op). A pending
+    // v2->v3 upgrade is a real reason.
+    if (pending_rows.empty() && trace_images.empty() &&
+        !upgrade_pending)
         return true;
 
     // Phase 3: merge with the file's *current* contents under the
@@ -438,10 +461,13 @@ FrontierCache::flush()
 
     struct DiskRecord
     {
-        /** Views into the (still-alive) reader's buffer for existing
+        /** Delta payload only (no kind/key/counter framing): views
+         * into the (still-alive) reader's buffer for existing
          * records, or into `fresh` for newly encoded ones — the
          * merge never copies a multi-megabyte file's payloads. */
         std::string_view payload;
+        uint32_t hits = 0;
+        uint32_t lastGen = 0;
         size_t steps = 0;     ///< traces only
         bool complete = false;
     };
@@ -450,50 +476,89 @@ FrontierCache::flush()
         rows, traces;
     std::deque<std::string> fresh;  ///< owns newly encoded payloads
     bool rewrite = false;  // anything to change on disk?
+    uint64_t file_gen = 0;
     util::RecordFileReader reader(filePath_);  // alive through the write
     {
+        uint32_t file_version = 0;
         std::string header;
-        bool header_ok = reader.opened() && reader.header(header) &&
-                         header == headerPayload(fingerprint_);
-        if (header_ok) {
-            std::string_view payload;
-            while (reader.next(payload)) {
-                util::ByteReader in(payload);
-                uint8_t kind = 0;
-                std::vector<int64_t> key;
-                if (!in.u8(kind) || !readKey(in, key))
-                    break;
-                DiskRecord record;
-                record.payload = payload;
-                if (kind == kKindTrace) {
-                    uint8_t complete = 0;
-                    int64_t bram;
-                    double peak;
-                    uint32_t count = 0;
-                    if (!in.u8(complete) || !in.i64(bram) ||
-                        !in.f64(peak) || !in.u32(count))
-                        break;
-                    record.steps = count;
-                    record.complete = complete != 0;
-                    traces.emplace(std::move(key), record);
-                } else if (kind == kKindRow) {
-                    rows.emplace(std::move(key), record);
-                } else {
-                    break;
-                }
+        if (reader.opened() && reader.header(header)) {
+            util::ByteReader in(header);
+            uint64_t magic = 0, fp = 0;
+            uint32_t version = 0;
+            if (in.u64(magic) && magic == kFrontierCacheMagic &&
+                in.u32(version) && in.u64(fp) && fp == fingerprint_) {
+                if (version == kFrontierCacheFormatVersion &&
+                    in.u64(file_gen) && in.atEnd())
+                    file_version = kFrontierCacheFormatVersion;
+                else if (version == kFrontierCacheLegacyFormatVersion &&
+                         in.atEnd())
+                    file_version = kFrontierCacheLegacyFormatVersion;
             }
-            // A corrupt tail is dropped by rewriting the valid set.
-            rewrite = reader.sawCorruption();
-        } else if (reader.opened()) {
-            rewrite = true;  // stale or damaged file: replace wholesale
         }
+        if (reader.opened() && file_version == 0)
+            rewrite = true;  // stale or damaged file: replace wholesale
+        if (file_version == kFrontierCacheLegacyFormatVersion)
+            rewrite = true;  // upgrade-on-flush: rewrite delta-compacted
+
+        std::string_view record;
+        while (file_version != 0 && reader.next(record)) {
+            util::ByteReader in(record);
+            uint8_t kind = 0;
+            std::vector<int64_t> key;
+            if (!in.u8(kind) || !readCacheKey(in, key))
+                break;
+            DiskRecord disk;
+            if (file_version == kFrontierCacheFormatVersion) {
+                if (!in.u32(disk.hits) || !in.u32(disk.lastGen))
+                    break;
+                disk.payload = in.rest();
+                if (kind == kCacheRecordTrace &&
+                    !peekTraceMeta(disk.payload, &disk.complete,
+                                   &disk.steps))
+                    break;
+            } else if (kind == kCacheRecordRow) {
+                auto row = decodeLegacyRowBody(in);
+                if (!row)
+                    break;
+                util::ByteWriter out;
+                encodeRowPayload(out, *row);
+                fresh.push_back(out.bytes());
+                disk.payload = fresh.back();
+            } else if (kind == kCacheRecordTrace) {
+                FrontierTraceImage image;
+                if (!decodeLegacyTraceBody(in, traceKeyGroups(key),
+                                           image))
+                    break;
+                util::ByteWriter out;
+                encodeTracePayload(out, image);
+                fresh.push_back(out.bytes());
+                disk.payload = fresh.back();
+                disk.steps = image.steps.size();
+                disk.complete = image.complete;
+            }
+            if (kind == kCacheRecordRow)
+                rows.emplace(std::move(key), disk);
+            else if (kind == kCacheRecordTrace)
+                traces.emplace(std::move(key), disk);
+            else
+                break;
+        }
+        // A corrupt tail is dropped by rewriting the valid set.
+        rewrite = rewrite || reader.sawCorruption();
     }
+    // Every rewrite advances the generation; the segment published
+    // below carries the same stamp, which is how readers know the
+    // pair is coherent.
+    uint64_t new_gen = file_gen + 1;
 
     for (const auto &[key, row] : pending_rows) {
         if (rows.count(key))
             continue;  // a concurrent CLI beat us to an identical row
-        fresh.push_back(encodeRow(key, *row));
-        rows[key] = {fresh.back(), 0, false};
+        util::ByteWriter out;
+        encodeRowPayload(out, *row);
+        fresh.push_back(out.bytes());
+        rows[key] = {fresh.back(), 0, static_cast<uint32_t>(new_gen),
+                     0, false};
         rewrite = true;
     }
     std::vector<const std::vector<int64_t> *> written_traces;
@@ -505,25 +570,122 @@ FrontierCache::flush()
         // below — recording it as "what disk holds" would make later
         // seedTrace() calls hand out less warmth than disk has.
         bool ours_deeper =
-            it == traces.end() || image.steps.size() > it->second.steps ||
+            it == traces.end() ||
+            image.steps.size() > it->second.steps ||
             (image.steps.size() == it->second.steps && image.complete &&
              !it->second.complete);
         if (!ours_deeper)
             continue;
-        fresh.push_back(encodeTrace(key, image.complete,
-                                    image.initialBram,
-                                    image.initialPeak, image.steps));
-        traces[key] = {fresh.back(), image.steps.size(),
-                       image.complete};
+        util::ByteWriter out;
+        encodeTracePayload(out, image);
+        fresh.push_back(out.bytes());
+        DiskRecord disk;
+        disk.payload = fresh.back();
+        disk.steps = image.steps.size();
+        disk.complete = image.complete;
+        if (it != traces.end()) {
+            // A deeper prefix of the same walk keeps the record's
+            // hit history — it is the same logical entry.
+            disk.hits = it->second.hits;
+            disk.lastGen = it->second.lastGen;
+        } else {
+            disk.lastGen = static_cast<uint32_t>(new_gen);
+        }
+        traces[key] = disk;
         written_traces.push_back(&key);
         rewrite = true;
+    }
+
+    // Fold this process's hit counts into the record counters — but
+    // only when the file is being rewritten for a real reason. A hit
+    // also stamps the record with the new generation: "recently hit"
+    // is what the byte-budget eviction below spares.
+    size_t evicted = 0;
+    if (rewrite) {
+        for (const auto &[key, delta] : row_deltas) {
+            auto it = rows.find(key);
+            if (it == rows.end())
+                continue;
+            it->second.hits += delta;
+            it->second.lastGen = static_cast<uint32_t>(new_gen);
+        }
+        for (const auto &[key, delta] : trace_deltas) {
+            auto it = traces.find(key);
+            if (it == traces.end())
+                continue;
+            it->second.hits += delta;
+            it->second.lastGen = static_cast<uint32_t>(new_gen);
+        }
+
+        if (options_.maxBytes > 0) {
+            // Least-recently-hit eviction: drop records whose last
+            // hit is oldest (then fewest hits, then larger first —
+            // freeing the budget with the fewest casualties) until
+            // the rewrite fits. Fresh and just-hit records carry
+            // new_gen, so they are the last candidates.
+            auto recordBytes = [](const std::vector<int64_t> &key,
+                                  const DiskRecord &disk) {
+                return 12 + 1 + 4 + 8 * key.size() + 8 +
+                       disk.payload.size();
+            };
+            size_t total = 12 + 28;  // header frame + v3 payload
+            for (const auto &[key, disk] : rows)
+                total += recordBytes(key, disk);
+            for (const auto &[key, disk] : traces)
+                total += recordBytes(key, disk);
+            if (total > options_.maxBytes) {
+                struct Victim
+                {
+                    uint32_t lastGen;
+                    uint32_t hits;
+                    size_t bytes;
+                    uint8_t kind;
+                    const std::vector<int64_t> *key;
+                };
+                std::vector<Victim> victims;
+                victims.reserve(rows.size() + traces.size());
+                for (const auto &[key, disk] : rows)
+                    victims.push_back({disk.lastGen, disk.hits,
+                                       recordBytes(key, disk),
+                                       kCacheRecordRow, &key});
+                for (const auto &[key, disk] : traces)
+                    victims.push_back({disk.lastGen, disk.hits,
+                                       recordBytes(key, disk),
+                                       kCacheRecordTrace, &key});
+                std::sort(victims.begin(), victims.end(),
+                          [](const Victim &a, const Victim &b) {
+                              if (a.lastGen != b.lastGen)
+                                  return a.lastGen < b.lastGen;
+                              if (a.hits != b.hits)
+                                  return a.hits < b.hits;
+                              if (a.bytes != b.bytes)
+                                  return a.bytes > b.bytes;
+                              return *a.key < *b.key;  // determinism
+                          });
+                for (const Victim &victim : victims) {
+                    if (total <= options_.maxBytes)
+                        break;
+                    if (victim.kind == kCacheRecordRow)
+                        rows.erase(*victim.key);
+                    else
+                        traces.erase(*victim.key);
+                    total -= victim.bytes;
+                    ++evicted;
+                }
+                util::inform("frontier cache: byte budget evicted "
+                             "%zu least-recently-hit records",
+                             evicted);
+            }
+        }
     }
 
     // Absorb everything this flush made persistent — whether we wrote
     // it or found a concurrent CLI already had — so the next flush
     // only considers genuinely new state (and stats stop reporting it
     // as pending).
-    auto absorb = [&](bool wrote) {
+    auto absorb = [&](bool wrote,
+                      FrontierCacheSegment new_segment =
+                          FrontierCacheSegment()) {
         std::lock_guard<std::mutex> lock_state(mutex_);
         for (auto &[key, row] : pending_rows) {
             diskRows_.emplace(key, std::move(row));
@@ -531,8 +693,31 @@ FrontierCache::flush()
         }
         for (const std::vector<int64_t> *key : written_traces)
             diskTraces_[*key] = std::move(trace_images[*key]);
-        if (wrote)
-            ++flushes_;
+        // The file is current-format now (either we rewrote it or a
+        // concurrent CLI upgraded it first) — stop forcing rewrites.
+        upgradePending_ = false;
+        if (!wrote)
+            return;
+        ++flushes_;
+        generation_ = new_gen;
+        evictedLastFlush_ = evicted;
+        // The folded counters are on disk; drop exactly the folded
+        // amounts (hits scored since the snapshot stay pending).
+        auto settle = [](HitMap &live, const HitMap &folded) {
+            for (const auto &[key, delta] : folded) {
+                auto it = live.find(key);
+                if (it == live.end())
+                    continue;
+                if (it->second <= delta)
+                    live.erase(it);
+                else
+                    it->second -= delta;
+            }
+        };
+        settle(rowHitDelta_, row_deltas);
+        settle(traceHitDelta_, trace_deltas);
+        if (options_.mmapSegment)
+            segment_ = std::move(new_segment);
     };
 
     if (!rewrite) {
@@ -543,18 +728,52 @@ FrontierCache::flush()
         return true;
     }
 
-    util::RecordFileWriter writer(filePath_,
-                                  headerPayload(fingerprint_));
-    for (const auto &[key, record] : rows)
-        writer.append(record.payload);
-    for (const auto &[key, record] : traces)
-        writer.append(record.payload);
+    util::RecordFileWriter writer(
+        filePath_, cacheHeaderPayload(fingerprint_, new_gen));
+    auto appendRecord = [&](uint8_t kind,
+                            const std::vector<int64_t> &key,
+                            const DiskRecord &disk) {
+        util::ByteWriter out;
+        out.u8(kind);
+        writeCacheKey(out, key);
+        out.u32(disk.hits);
+        out.u32(disk.lastGen);
+        out.raw(disk.payload);
+        writer.append(out.bytes());
+    };
+    for (const auto &[key, disk] : rows)
+        appendRecord(kCacheRecordRow, key, disk);
+    for (const auto &[key, disk] : traces)
+        appendRecord(kCacheRecordTrace, key, disk);
     if (!writer.commit()) {
         util::warn("frontier cache: writing %s failed; previous cache "
                    "file kept", filePath_.c_str());
         return false;
     }
-    absorb(true);
+
+    // Publish the segment from the exact record set just committed —
+    // record file first, segment second, so a crash in between leaves
+    // a generation mismatch (old segment distrusted, file read
+    // eagerly), never a segment claiming records the file lost.
+    FrontierCacheSegment new_segment;
+    if (options_.mmapSegment) {
+        std::vector<SegmentRecord> records;
+        records.reserve(rows.size() + traces.size());
+        for (const auto &[key, disk] : rows)
+            records.push_back({kCacheRecordRow, &key, disk.payload});
+        for (const auto &[key, disk] : traces)
+            records.push_back({kCacheRecordTrace, &key, disk.payload});
+        std::string image =
+            FrontierCacheSegment::build(fingerprint_, new_gen, records);
+        if (util::publishFileAtomic(segmentPath_, image))
+            new_segment =
+                FrontierCacheSegment::open(segmentPath_, fingerprint_);
+        else
+            util::warn("frontier cache: publishing %s failed; workers "
+                       "will load the record file eagerly",
+                       segmentPath_.c_str());
+    }
+    absorb(true, std::move(new_segment));
     return true;
 }
 
@@ -571,6 +790,13 @@ FrontierCache::stats() const
     stats.tracesNoted = notedTraces_.size();
     stats.flushes = flushes_;
     stats.loadedClean = loadedClean_;
+    stats.generation = generation_;
+    stats.segmentMapped = segment_.valid();
+    stats.segmentEntries = segment_.entryCount();
+    stats.segmentBytes = segment_.bytes();
+    stats.segmentRowHits = segmentRowHits_;
+    stats.segmentTraceHits = segmentTraceHits_;
+    stats.evictedLastFlush = evictedLastFlush_;
     return stats;
 }
 

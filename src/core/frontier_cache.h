@@ -1,7 +1,7 @@
 /**
  * @file
  * The persistent frontier cache: warm DSE state that survives the
- * process.
+ * process, shared across processes through an mmap'd segment.
  *
  * PR 2/3 made warm state the engine's superpower — one frontier build
  * answers a whole budget ladder, one registry serves many networks —
@@ -18,6 +18,22 @@
  *    TradeoffCurveCache partition signatures (type, per-group shape
  *    and layer tiling dims).
  *
+ * Storage is tiered. The **record file** (frontier_cache.bin) is the
+ * authoritative, crash-safe merge log: delta-compacted records
+ * (core/frontier_codec.h — format v3, several-fold smaller than the
+ * SoA v2 lanes it replaces; v2 files upgrade in place on their first
+ * flush), each carrying a hit counter and the generation of its last
+ * hit so a byte budget (FrontierCacheOptions::maxBytes) can evict the
+ * least-recently-hit records at flush time. The **segment**
+ * (frontier_cache.seg, core/frontier_cache_segment.h) is a
+ * hash-indexed immutable image of the same records, published after
+ * every flush; when its generation stamp matches the record file's,
+ * startup maps it read-only and skips the eager decode entirely —
+ * rows and traces then decode lazily, straight out of the mapping,
+ * and N worker processes share one page-cache copy. Lookups report
+ * which tier answered (CacheTier), so cache-stats can show the full
+ * ladder: process -> mmap -> disk -> cold.
+ *
  * Invalidation is versioned, never heuristic: the file header carries
  * a format version and a *model-formula fingerprint* — a hash over
  * probe evaluations of the cycle/DSP/BRAM/bandwidth models — so a
@@ -25,7 +41,12 @@
  * rejected wholesale and rebuilt, rather than silently corrupting
  * results. Within a valid file, every record is checksummed; a
  * truncated or bit-rotted tail degrades to a cold build of exactly
- * the affected entries.
+ * the affected entries. A damaged or stale segment merely degrades to
+ * the eager record-file load — the segment is an accelerator, never
+ * a source of truth, which is also why flush() commits the record
+ * file *before* publishing the segment: a crash between the two
+ * leaves a generation mismatch, and the next process distrusts the
+ * old segment instead of serving stale entries.
  *
  * The cache is a read-through/write-back layer: FrontierRowStore and
  * TradeoffCurveCache consult it on a miss and note fresh builds, and
@@ -34,12 +55,14 @@
  * writes are staged in a temp file and renamed atomically, so a crash
  * never leaves a half-written cache). SessionRegistry flushes on
  * destruction, which covers mclp-opt, dse-sweep, and mclp-serve
- * shutdown alike.
+ * shutdown alike. A flush with nothing new — including one where only
+ * hit counters moved — is a no-op; counter updates piggyback on the
+ * next flush that rewrites the file anyway.
  *
  * The project invariant extends to disk: designs answered from a
- * disk-warm cache are byte-for-byte identical to cold runs
- * (tests/core/test_frontier_cache.cc pins this on fixed and random
- * networks; the CI smoke diffs whole mclp-opt responses).
+ * disk-warm or mmap-warm cache are byte-for-byte identical to cold
+ * runs (tests/core/test_frontier_cache.cc pins this on fixed and
+ * random networks; the CI smoke diffs whole mclp-opt responses).
  */
 
 #ifndef MCLP_CORE_FRONTIER_CACHE_H
@@ -53,6 +76,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/frontier_cache_segment.h"
+#include "core/frontier_codec.h"
 #include "core/memory_optimizer.h"
 #include "core/shape_frontier.h"
 #include "util/hash.h"
@@ -63,10 +88,15 @@ namespace core {
 /** First bytes of a cache file ("MCLPFC01", little-endian u64). */
 constexpr uint64_t kFrontierCacheMagic = 0x31304346504C434DULL;
 
-/** Bump on any change to the record layout below. v2: staircases
- * stored as four SoA lane blocks (tn, tm, dsp, cycles) instead of
- * interleaved points. */
-constexpr uint32_t kFrontierCacheFormatVersion = 2;
+/** Bump on any change to the record layout. v3: delta-compacted
+ * payloads (core/frontier_codec.h) with per-record hit counters and a
+ * header generation stamp the mmap'd segment revalidates against. */
+constexpr uint32_t kFrontierCacheFormatVersion = 3;
+
+/** The SoA format v3 replaced. Still readable: a v2 file with a
+ * matching fingerprint loads eagerly and is rewritten as v3 on the
+ * first flush (upgrade-on-flush, never in place). */
+constexpr uint32_t kFrontierCacheLegacyFormatVersion = 2;
 
 /** Cache file and lock file names inside the cache directory. */
 constexpr const char *kFrontierCacheFileName = "frontier_cache.bin";
@@ -80,6 +110,27 @@ constexpr const char *kFrontierCacheLockName = "frontier_cache.lock";
  * cache file written under the old formulas self-invalidates.
  */
 uint64_t modelFormulaFingerprint();
+
+/** Which storage tier answered a cache lookup. */
+enum class CacheTier
+{
+    None,  ///< not in the persistent cache at all (cold build)
+    Mmap,  ///< decoded on demand from the mmap'd segment
+    Disk,  ///< decoded from the record file at load
+};
+
+struct FrontierCacheOptions
+{
+    /** Map the published segment and load lazily from it when its
+     * generation matches the record file. Off = always eager-load
+     * the record file (the pre-segment behavior). */
+    bool mmapSegment = true;
+    /** Byte budget for the record file (0 = unbounded). When a flush
+     * would exceed it, the least-recently-hit records (oldest
+     * last-hit generation, then fewest hits) are evicted until the
+     * rewrite fits; records touched this session survive first. */
+    size_t maxBytes = 0;
+};
 
 /**
  * One process's view of an on-disk cache directory. Thread safe; one
@@ -101,6 +152,13 @@ class FrontierCache
          * version/fingerprint also counts as clean (expected
          * invalidation); truncation and bit rot do not. */
         bool loadedClean = true;
+        uint64_t generation = 0;   ///< record-file generation
+        bool segmentMapped = false;   ///< serving from the mmap tier
+        size_t segmentEntries = 0;    ///< records in the mapped image
+        size_t segmentBytes = 0;      ///< bytes of the mapped image
+        size_t segmentRowHits = 0;    ///< row hits decoded from mmap
+        size_t segmentTraceHits = 0;  ///< trace hits decoded from mmap
+        size_t evictedLastFlush = 0;  ///< records the budget dropped
     };
 
     /**
@@ -108,18 +166,23 @@ class FrontierCache
      * cache file. Any defect — missing directory, stale version or
      * fingerprint, truncation, checksum mismatch — degrades to an
      * empty (cold) cache; construction never throws for file reasons.
+     * When a published segment matches the record file's generation,
+     * the eager decode is skipped and entries stream from the mapping
+     * on demand instead.
      */
-    explicit FrontierCache(std::string dir);
+    explicit FrontierCache(std::string dir,
+                           FrontierCacheOptions options = {});
 
     const std::string &dir() const { return dir_; }
 
     /**
-     * The disk-loaded staircase for a FrontierRowStore key, or null.
+     * The persisted staircase for a FrontierRowStore key, or null.
      * Loaded rows stay resident for the process lifetime (they mirror
      * the file), so repeated lookups share one immutable object.
+     * @p tier, when given, reports which tier answered.
      */
     std::shared_ptr<const ShapeFrontier>
-    loadRow(const std::vector<int64_t> &key);
+    loadRow(const std::vector<int64_t> &key, CacheTier *tier = nullptr);
 
     /** Record a freshly built staircase for the next flush(). */
     void noteRow(const std::vector<int64_t> &key,
@@ -132,7 +195,8 @@ class FrontierCache
      * absent or the stored trace fails validation.
      */
     bool seedTrace(const std::vector<int64_t> &key,
-                   TradeoffCurveCache::PartitionTrace &trace);
+                   TradeoffCurveCache::PartitionTrace &trace,
+                   CacheTier *tier = nullptr);
 
     /**
      * Track a live trace for write-back: at flush() time its current
@@ -147,40 +211,44 @@ class FrontierCache
     /**
      * Write-back: merge pending rows and grown traces with the file's
      * *current* contents under the advisory lock (a concurrent CLI
-     * may have flushed since we loaded), stage to a temp file, and
-     * rename atomically. No-op (returning true) when nothing new
-     * exists. False on I/O failure — the previous file survives.
+     * may have flushed since we loaded), fold this process's hit
+     * counts into the record counters, evict past the byte budget,
+     * stage to a temp file, rename atomically, and republish the
+     * segment. No-op (returning true) when nothing but hit counters
+     * changed — counter updates ride the next real rewrite. False on
+     * I/O failure — the previous file survives.
      */
     bool flush();
 
     Stats stats() const;
 
   private:
-    struct TraceImage
-    {
-        bool complete = false;
-        int64_t initialBram = 0;
-        double initialPeak = 0.0;
-        std::vector<TradeoffCurveCache::PartitionStep> steps;
-    };
-
     using RowMap =
         std::unordered_map<std::vector<int64_t>,
                            std::shared_ptr<const ShapeFrontier>,
                            util::Int64VectorHash>;
-    using TraceMap = std::unordered_map<std::vector<int64_t>, TraceImage,
+    using TraceMap = std::unordered_map<std::vector<int64_t>,
+                                        FrontierTraceImage,
                                         util::Int64VectorHash>;
+    using HitMap = std::unordered_map<std::vector<int64_t>, uint32_t,
+                                      util::Int64VectorHash>;
 
     void loadLocked();
+    void loadRecordsLocked(uint32_t version);
 
     std::string dir_;
     std::string filePath_;
     std::string lockPath_;
+    std::string segmentPath_;
+    FrontierCacheOptions options_;
     uint64_t fingerprint_;
 
     mutable std::mutex mutex_;
-    RowMap diskRows_;    ///< rows as loaded from (or flushed to) disk
-    TraceMap diskTraces_;  ///< trace images the file holds
+    FrontierCacheSegment segment_;  ///< invalid when distrusted
+    RowMap diskRows_;    ///< rows decoded from the record file
+    TraceMap diskTraces_;  ///< trace images decoded from the file
+    RowMap mmapRows_;      ///< rows decoded on demand from segment_
+    TraceMap mmapTraces_;  ///< traces decoded on demand from segment_
     RowMap pendingRows_;   ///< built this process, not yet flushed
     /** Live traces to serialize at flush; deduped by key, first noted
      * wins (concurrent sessions converge on one trace per key in
@@ -190,10 +258,19 @@ class FrontierCache
         std::shared_ptr<TradeoffCurveCache::PartitionTrace>,
         util::Int64VectorHash>
         notedTraces_;
+    /** Hits this process scored per key, folded into the on-disk
+     * counters by the next flush that rewrites the file anyway. */
+    HitMap rowHitDelta_;
+    HitMap traceHitDelta_;
+    uint64_t generation_ = 0;  ///< of the record file as loaded
+    bool upgradePending_ = false;  ///< legacy v2 file awaiting rewrite
     size_t rowsLoaded_ = 0;
     size_t tracesLoaded_ = 0;
     size_t rowHits_ = 0;
     size_t traceHits_ = 0;
+    size_t segmentRowHits_ = 0;
+    size_t segmentTraceHits_ = 0;
+    size_t evictedLastFlush_ = 0;
     size_t flushes_ = 0;
     bool loadedClean_ = true;
 };

@@ -1,0 +1,227 @@
+#include "core/frontier_cache_segment.h"
+
+#include <cstring>
+
+#include "util/hash.h"
+#include "util/record_file.h"
+
+namespace mclp {
+namespace core {
+
+namespace {
+
+/** Fixed header size; the layout below must stay within it. */
+constexpr size_t kHeaderBytes = 64;
+/** Slot: u64 hash | u32 keyOff | u32 kind<<24|keyWords | u32
+ * payloadOff | u32 payloadLen. kindWords == 0 marks an empty slot
+ * (keys are never empty). */
+constexpr size_t kSlotBytes = 24;
+
+uint64_t
+slotHash(uint8_t kind, const int64_t *words, size_t count)
+{
+    // Prefix the kind so a row and a trace with identical key words
+    // (impossible today, cheap to rule out forever) never collide.
+    uint64_t hash = 1469598103934665603ULL;
+    hash ^= kind;
+    hash *= 1099511628211ULL;
+    for (size_t i = 0; i < count; ++i) {
+        hash ^= static_cast<uint64_t>(words[i]);
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
+uint64_t
+loadU64(const unsigned char *bytes)
+{
+    uint64_t value = 0;
+    for (size_t i = 0; i < 8; ++i)
+        value |= static_cast<uint64_t>(bytes[i]) << (8 * i);
+    return value;
+}
+
+uint32_t
+loadU32(const unsigned char *bytes)
+{
+    uint32_t value = 0;
+    for (size_t i = 0; i < 4; ++i)
+        value |= static_cast<uint32_t>(bytes[i]) << (8 * i);
+    return value;
+}
+
+int64_t
+loadI64(const unsigned char *bytes)
+{
+    return static_cast<int64_t>(loadU64(bytes));
+}
+
+} // namespace
+
+FrontierCacheSegment
+FrontierCacheSegment::open(const std::string &path, uint64_t fingerprint)
+{
+    FrontierCacheSegment segment;
+    util::MappedFile map = util::MappedFile::map(path);
+    if (!map.valid() || map.size() < kHeaderBytes)
+        return segment;
+    const unsigned char *base = map.data();
+    if (loadU64(base) != kFrontierSegmentMagic ||
+        loadU32(base + 8) != kFrontierSegmentVersion ||
+        loadU64(base + 16) != fingerprint)
+        return segment;
+    uint32_t slot_count = loadU32(base + 12);
+    uint64_t generation = loadU64(base + 24);
+    uint64_t entry_count = loadU64(base + 32);
+    uint64_t key_words = loadU64(base + 40);
+    uint64_t file_bytes = loadU64(base + 48);
+    uint64_t checksum = loadU64(base + 56);
+    if (file_bytes != map.size())
+        return segment;
+    if (util::fnv1aBytes(base + kHeaderBytes,
+                         map.size() - kHeaderBytes) != checksum)
+        return segment;
+    // Geometry: power-of-two slot table, then 8-aligned key blob,
+    // then payloads to end of file.
+    if (slot_count == 0 || (slot_count & (slot_count - 1)) != 0)
+        return segment;
+    size_t slots_off = kHeaderBytes;
+    size_t key_off = slots_off + size_t{slot_count} * kSlotBytes;
+    if (key_off > map.size() || key_words > (map.size() - key_off) / 8)
+        return segment;
+    size_t payload_off = key_off + static_cast<size_t>(key_words) * 8;
+    size_t payload_bytes = map.size() - payload_off;
+
+    // Validate every slot once so find() can trust offsets blindly.
+    size_t live = 0;
+    for (uint32_t s = 0; s < slot_count; ++s) {
+        const unsigned char *slot = base + slots_off + s * kSlotBytes;
+        uint32_t kind_words = loadU32(slot + 12);
+        if (kind_words == 0)
+            continue;
+        uint32_t words = kind_words & 0xffffff;
+        uint32_t k_off = loadU32(slot + 8);
+        uint32_t p_off = loadU32(slot + 16);
+        uint32_t p_len = loadU32(slot + 20);
+        if (words == 0 || k_off > key_words ||
+            words > key_words - k_off || p_off > payload_bytes ||
+            p_len > payload_bytes - p_off)
+            return segment;
+        ++live;
+    }
+    if (live != entry_count)
+        return segment;
+
+    segment.map_ = std::move(map);
+    segment.generation_ = generation;
+    segment.slotCount_ = slot_count;
+    segment.entryCount_ = static_cast<size_t>(entry_count);
+    segment.keyWordsOff_ = key_off;
+    segment.keyWords_ = static_cast<size_t>(key_words);
+    segment.payloadOff_ = payload_off;
+    segment.payloadBytes_ = payload_bytes;
+    return segment;
+}
+
+std::string_view
+FrontierCacheSegment::find(uint8_t kind,
+                           const std::vector<int64_t> &key) const
+{
+    if (!valid() || key.empty() || key.size() > 0xffffff)
+        return {};
+    const unsigned char *base = map_.data();
+    uint64_t hash = slotHash(kind, key.data(), key.size());
+    uint32_t mask = slotCount_ - 1;
+    for (uint32_t probe = 0; probe < slotCount_; ++probe) {
+        const unsigned char *slot =
+            base + kHeaderBytes +
+            ((static_cast<uint32_t>(hash) + probe) & mask) * kSlotBytes;
+        uint32_t kind_words = loadU32(slot + 12);
+        if (kind_words == 0)
+            return {};  // empty slot terminates the probe chain
+        if (loadU64(slot) != hash ||
+            (kind_words >> 24) != kind ||
+            (kind_words & 0xffffff) != key.size())
+            continue;
+        const unsigned char *stored =
+            base + keyWordsOff_ + size_t{loadU32(slot + 8)} * 8;
+        bool match = true;
+        for (size_t i = 0; match && i < key.size(); ++i)
+            match = loadI64(stored + i * 8) == key[i];
+        if (!match)
+            continue;
+        return {reinterpret_cast<const char *>(base) + payloadOff_ +
+                    loadU32(slot + 16),
+                loadU32(slot + 20)};
+    }
+    return {};
+}
+
+std::string
+FrontierCacheSegment::build(uint64_t fingerprint, uint64_t generation,
+                            const std::vector<SegmentRecord> &records)
+{
+    uint32_t slot_count = 8;
+    while (slot_count < 2 * records.size())
+        slot_count *= 2;
+
+    struct Slot
+    {
+        uint64_t hash = 0;
+        uint32_t keyOff = 0;
+        uint32_t kindWords = 0;
+        uint32_t payloadOff = 0;
+        uint32_t payloadLen = 0;
+    };
+    std::vector<Slot> slots(slot_count);
+    util::ByteWriter keys;
+    util::ByteWriter payloads;
+    uint32_t mask = slot_count - 1;
+    for (const SegmentRecord &record : records) {
+        const std::vector<int64_t> &key = *record.key;
+        Slot slot;
+        slot.hash = slotHash(record.kind, key.data(), key.size());
+        slot.keyOff = static_cast<uint32_t>(keys.bytes().size() / 8);
+        slot.kindWords = (static_cast<uint32_t>(record.kind) << 24) |
+                         static_cast<uint32_t>(key.size());
+        slot.payloadOff =
+            static_cast<uint32_t>(payloads.bytes().size());
+        slot.payloadLen = static_cast<uint32_t>(record.payload.size());
+        keys.i64Words(key.data(), key.size());
+        payloads.raw(record.payload);
+        uint32_t s = static_cast<uint32_t>(slot.hash) & mask;
+        while (slots[s].kindWords != 0)
+            s = (s + 1) & mask;
+        slots[s] = slot;
+    }
+
+    util::ByteWriter body;
+    for (const Slot &slot : slots) {
+        body.u64(slot.hash);
+        body.u32(slot.keyOff);
+        body.u32(slot.kindWords);
+        body.u32(slot.payloadOff);
+        body.u32(slot.payloadLen);
+    }
+    body.raw(keys.bytes());
+    body.raw(payloads.bytes());
+
+    util::ByteWriter header;
+    header.u64(kFrontierSegmentMagic);
+    header.u32(kFrontierSegmentVersion);
+    header.u32(slot_count);
+    header.u64(fingerprint);
+    header.u64(generation);
+    header.u64(records.size());
+    header.u64(keys.bytes().size() / 8);
+    header.u64(kHeaderBytes + body.bytes().size());
+    header.u64(util::fnv1aBytes(body.bytes().data(),
+                                body.bytes().size()));
+
+    std::string image = header.bytes();
+    image += body.bytes();
+    return image;
+}
+
+} // namespace core
+} // namespace mclp

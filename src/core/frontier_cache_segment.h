@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The mmap'd cache segment: an immutable, checksummed, hash-indexed
+ * image of the frontier cache that every worker process on a host
+ * maps read-only.
+ *
+ * The record file (core/frontier_cache.h) is a merge log — perfect
+ * for crash-safe write-back, wrong for sharing: every process that
+ * opens it re-reads and re-decodes the whole thing into a private
+ * heap. The segment is the same record set laid out for readers:
+ *
+ *   [64-byte header | slot table | key blob | payload blob]
+ *
+ * The slot table is an open-addressed, linearly probed hash table
+ * over (kind, key words) — util::hashInt64Words, the same hash every
+ * memo table in the stack keys by — so find() is a probe walk plus
+ * one key memcmp, no allocation, no decode. Payloads are the delta
+ * staircase encodings of core/frontier_codec.h, decoded lazily by
+ * whoever actually needs the row; N workers mapping one segment share
+ * one page-cache copy of the bytes and decode only what they touch.
+ *
+ * Publication order makes torn states safe: flush() commits the
+ * record file first, then publishes the segment image with an atomic
+ * tmp+rename (util::publishFileAtomic). The header carries the
+ * model-formula fingerprint and the *generation* stamp of the record
+ * file it was built from; a reader trusts the segment only when both
+ * match, so a crash between the two writes (segment one generation
+ * behind) simply degrades that process to the eager record-file load.
+ * Every byte after the header is covered by one FNV-1a checksum,
+ * checked once at open; all slot offsets are bounds-validated then
+ * too, so find() never reads outside the mapping however the file was
+ * damaged.
+ */
+
+#ifndef MCLP_CORE_FRONTIER_CACHE_SEGMENT_H
+#define MCLP_CORE_FRONTIER_CACHE_SEGMENT_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/shm.h"
+
+namespace mclp {
+namespace core {
+
+/** First bytes of a segment file ("MCLPSG01", little-endian u64). */
+constexpr uint64_t kFrontierSegmentMagic = 0x3130475350434C4DULL;
+
+/** Bump on any change to the segment layout. */
+constexpr uint32_t kFrontierSegmentVersion = 1;
+
+/** Segment file name inside the cache directory. */
+constexpr const char *kFrontierSegmentFileName = "frontier_cache.seg";
+
+/** One record of a segment image under construction. The key is
+ * borrowed (build() runs inside flush(), whose merge maps own the
+ * keys); the payload is a delta encoding from core/frontier_codec.h. */
+struct SegmentRecord
+{
+    uint8_t kind = 0;
+    const std::vector<int64_t> *key = nullptr;
+    std::string_view payload;
+};
+
+/**
+ * A validated read-only mapping of a segment file. Invalid (absent,
+ * foreign, corrupt, fingerprint-mismatched) segments yield
+ * !valid() — callers treat that as "no segment", never an error.
+ * Movable; the mapping pins the published inode even after a newer
+ * generation renames over the path.
+ */
+class FrontierCacheSegment
+{
+  public:
+    FrontierCacheSegment() = default;
+
+    /**
+     * Map and validate @p path: magic, version, fingerprint,
+     * whole-body checksum, and every slot's offsets in bounds. Any
+     * defect yields an invalid segment.
+     */
+    static FrontierCacheSegment open(const std::string &path,
+                                     uint64_t fingerprint);
+
+    /**
+     * Serialize @p records as a complete segment image for
+     * util::publishFileAtomic. @p generation must be the record-file
+     * generation the records were read from — readers revalidate
+     * against it.
+     */
+    static std::string build(uint64_t fingerprint, uint64_t generation,
+                             const std::vector<SegmentRecord> &records);
+
+    bool valid() const { return map_.valid(); }
+    uint64_t generation() const { return generation_; }
+    size_t entryCount() const { return entryCount_; }
+    /** Mapped bytes of the whole image (what cache-stats reports). */
+    size_t bytes() const { return map_.size(); }
+
+    /**
+     * The stored delta payload for (kind, key), or an empty view.
+     * The view aliases the mapping and stays valid for the segment's
+     * lifetime. Lock-free and allocation-free — the image is
+     * immutable, so concurrent finds need no coordination.
+     */
+    std::string_view find(uint8_t kind,
+                          const std::vector<int64_t> &key) const;
+
+  private:
+    util::MappedFile map_;
+    uint64_t generation_ = 0;
+    uint32_t slotCount_ = 0;
+    size_t entryCount_ = 0;
+    size_t keyWordsOff_ = 0;   ///< byte offset of the key blob
+    size_t keyWords_ = 0;      ///< i64 words in the key blob
+    size_t payloadOff_ = 0;    ///< byte offset of the payload blob
+    size_t payloadBytes_ = 0;
+};
+
+} // namespace core
+} // namespace mclp
+
+#endif // MCLP_CORE_FRONTIER_CACHE_SEGMENT_H

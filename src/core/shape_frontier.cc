@@ -673,13 +673,20 @@ FrontierRowStore::lookup(const std::vector<int64_t> &key)
         return it->second;
     }
     if (cache_) {
-        // Read through to disk: a loaded staircase is as good as a
-        // resident one (immutable, validated at load), so it joins
-        // the store and counts as a hit — no build happened.
-        if (auto row = cache_->loadRow(key)) {
+        // Read through to the persistent tiers: a loaded staircase is
+        // as good as a resident one (immutable, validated at decode),
+        // so it joins the store and counts as a hit — no build
+        // happened. The tier the cache answered from (mmap'd segment
+        // vs eagerly decoded record file) splits the hit counters so
+        // cache-stats can show the whole ladder.
+        CacheTier tier = CacheTier::None;
+        if (auto row = cache_->loadRow(key, &tier)) {
             rows_.emplace(key, row);
             ++hits_;
-            ++diskHits_;
+            if (tier == CacheTier::Mmap)
+                ++mmapHits_;
+            else
+                ++diskHits_;
             return row;
         }
     }
@@ -710,6 +717,7 @@ FrontierRowStore::stats() const
     stats.misses = misses_;
     stats.rows = rows_.size();
     stats.diskHits = diskHits_;
+    stats.mmapHits = mmapHits_;
     return stats;
 }
 

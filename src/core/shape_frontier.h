@@ -431,7 +431,8 @@ class FrontierRowStore
         size_t hits = 0;      ///< lookups answered by an existing row
         size_t misses = 0;    ///< lookups that forced a build
         size_t rows = 0;      ///< rows currently resident
-        size_t diskHits = 0;  ///< hits answered by the disk cache
+        size_t diskHits = 0;  ///< hits decoded from the record file
+        size_t mmapHits = 0;  ///< hits decoded from the mmap'd segment
     };
 
     /**
@@ -476,6 +477,7 @@ class FrontierRowStore
     size_t hits_ = 0;
     size_t misses_ = 0;
     size_t diskHits_ = 0;
+    size_t mmapHits_ = 0;
 };
 
 /**

@@ -122,7 +122,9 @@ DseService::DseService(ServiceOptions options)
       cache_(options.cacheDir.empty()
                  ? nullptr
                  : std::make_shared<core::FrontierCache>(
-                       options.cacheDir)),
+                       options.cacheDir,
+                       core::FrontierCacheOptions{
+                           options.cacheMmap, options.cacheMaxBytes})),
       registry_(options.maxSessions, options.maxBytes,
                 options.sessionThreads, cache_)
 {
@@ -146,10 +148,10 @@ DseService::handleLine(const std::string &line)
         std::string stats = util::strprintf(
             "ok stats sessions=%zu bytes=%zu hits=%zu misses=%zu "
             "evictions=%zu rows=%zu row_hits=%zu row_misses=%zu "
-            "row_disk_hits=%zu",
+            "row_disk_hits=%zu row_mmap_hits=%zu",
             reg.sessions, reg.bytes, reg.hits, reg.misses,
             reg.evictions, rows.rows, rows.hits, rows.misses,
-            rows.diskHits);
+            rows.diskHits, rows.mmapHits);
         // Per-session hit rates: NETWORK[@DEVICE]:HITS:USES per
         // resident session, '-' when nothing is warm. Deterministic
         // order (registry key order).
@@ -187,13 +189,30 @@ DseService::handleLine(const std::string &line)
         if (!cache_)
             return "ok cache-stats enabled=0";
         core::FrontierCache::Stats stats = cache_->stats();
+        core::FrontierRowStore::Stats rows =
+            registry_.rowStore()->stats();
+        // The tier ladder, cheapest first: process = answered from
+        // the row store's in-memory map, mmap = decoded on demand
+        // from the shared read-only segment, disk = decoded from the
+        // record file, cold = built from scratch.
+        size_t process_hits =
+            rows.hits - rows.mmapHits - rows.diskHits;
         return util::strprintf(
-            "ok cache-stats enabled=1 rows_loaded=%zu "
-            "traces_loaded=%zu row_hits=%zu trace_hits=%zu "
-            "rows_pending=%zu traces_noted=%zu flushes=%zu clean=%d",
-            stats.rowsLoaded, stats.tracesLoaded, stats.rowHits,
-            stats.traceHits, stats.rowsPending, stats.tracesNoted,
-            stats.flushes, stats.loadedClean ? 1 : 0);
+            "ok cache-stats enabled=1 generation=%llu "
+            "segment_mapped=%d segment_entries=%zu segment_bytes=%zu "
+            "tier_process=%zu tier_mmap=%zu tier_disk=%zu "
+            "tier_cold=%zu rows_loaded=%zu traces_loaded=%zu "
+            "row_hits=%zu trace_hits=%zu segment_row_hits=%zu "
+            "segment_trace_hits=%zu rows_pending=%zu traces_noted=%zu "
+            "flushes=%zu evicted_last_flush=%zu clean=%d",
+            static_cast<unsigned long long>(stats.generation),
+            stats.segmentMapped ? 1 : 0, stats.segmentEntries,
+            stats.segmentBytes, process_hits, rows.mmapHits,
+            rows.diskHits, rows.misses, stats.rowsLoaded,
+            stats.tracesLoaded, stats.rowHits, stats.traceHits,
+            stats.segmentRowHits, stats.segmentTraceHits,
+            stats.rowsPending, stats.tracesNoted, stats.flushes,
+            stats.evictedLastFlush, stats.loadedClean ? 1 : 0);
     }
     if (text == "shutdown")
         return "ok shutdown";

@@ -49,6 +49,12 @@ ByteWriter::u8(uint8_t value)
 }
 
 void
+ByteWriter::u16(uint16_t value)
+{
+    putLe(buf_, value, 2);
+}
+
+void
 ByteWriter::u32(uint32_t value)
 {
     putLe(buf_, value, 4);
@@ -81,6 +87,22 @@ ByteWriter::i64Words(const int64_t *words, size_t count)
     }
 }
 
+void
+ByteWriter::varint(uint64_t value)
+{
+    while (value >= 0x80) {
+        buf_.push_back(static_cast<char>((value & 0x7f) | 0x80));
+        value >>= 7;
+    }
+    buf_.push_back(static_cast<char>(value));
+}
+
+void
+ByteWriter::raw(std::string_view bytes)
+{
+    buf_.append(bytes.data(), bytes.size());
+}
+
 bool
 ByteReader::take(void *out, size_t count)
 {
@@ -97,6 +119,17 @@ bool
 ByteReader::u8(uint8_t &value)
 {
     return take(&value, 1);
+}
+
+bool
+ByteReader::u16(uint16_t &value)
+{
+    unsigned char raw[2];
+    if (!take(raw, sizeof(raw)))
+        return false;
+    value = static_cast<uint16_t>(raw[0] |
+                                  (static_cast<uint16_t>(raw[1]) << 8));
+    return true;
 }
 
 bool
@@ -153,6 +186,32 @@ ByteReader::i64Words(int64_t *words, size_t count)
             return false;
     }
     return true;
+}
+
+bool
+ByteReader::varint(uint64_t &value)
+{
+    value = 0;
+    for (int shift = 0; shift < 70; shift += 7) {
+        uint8_t byte;
+        if (!take(&byte, 1))
+            return false;
+        value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            return true;
+    }
+    ok_ = false;  // 11+ continuation bytes: not a valid varint
+    return false;
+}
+
+std::string_view
+ByteReader::rest()
+{
+    if (!ok_)
+        return {};
+    std::string_view tail = data_.substr(pos_);
+    pos_ = data_.size();
+    return tail;
 }
 
 FileLock::FileLock(const std::string &path)

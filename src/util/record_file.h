@@ -38,11 +38,32 @@ namespace util {
  */
 uint64_t fnv1aBytes(const void *data, size_t count);
 
+/**
+ * ZigZag mapping for signed deltas: small magnitudes of either sign
+ * become small unsigned values, so a varint of a staircase delta
+ * (strictly positive DSP steps, strictly negative cycle steps) costs
+ * one or two bytes instead of eight.
+ */
+constexpr uint64_t
+zigzagEncode(int64_t value)
+{
+    return (static_cast<uint64_t>(value) << 1) ^
+           static_cast<uint64_t>(value >> 63);
+}
+
+constexpr int64_t
+zigzagDecode(uint64_t value)
+{
+    return static_cast<int64_t>(value >> 1) ^
+           -static_cast<int64_t>(value & 1);
+}
+
 /** Append-only little-endian serializer for record payloads. */
 class ByteWriter
 {
   public:
     void u8(uint8_t value);
+    void u16(uint16_t value);
     void u32(uint32_t value);
     void u64(uint64_t value);
     void i64(int64_t value) { u64(static_cast<uint64_t>(value)); }
@@ -50,6 +71,10 @@ class ByteWriter
     void f64(double value);
     /** Bulk little-endian i64 block (one memcpy on LE hosts). */
     void i64Words(const int64_t *words, size_t count);
+    /** LEB128 varint, 1-10 bytes (the delta codec's workhorse). */
+    void varint(uint64_t value);
+    /** Raw byte block (pre-encoded payload tails spliced through). */
+    void raw(std::string_view bytes);
 
     const std::string &bytes() const { return buf_; }
 
@@ -68,6 +93,7 @@ class ByteReader
     explicit ByteReader(std::string_view data) : data_(data) {}
 
     bool u8(uint8_t &value);
+    bool u16(uint16_t &value);
     bool u32(uint32_t &value);
     bool u64(uint64_t &value);
     bool i64(int64_t &value);
@@ -76,6 +102,10 @@ class ByteReader
      * fast path for staircase arrays, where per-field reads would
      * dominate cache load time. */
     bool i64Words(int64_t *words, size_t count);
+    /** LEB128 varint; fails (latching !ok()) past 10 bytes. */
+    bool varint(uint64_t &value);
+    /** Consume everything left as one view (aliases the input). */
+    std::string_view rest();
 
     bool ok() const { return ok_; }
     bool atEnd() const { return ok_ && pos_ == data_.size(); }

@@ -1,0 +1,66 @@
+#include "util/shm.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace mclp {
+namespace util {
+
+MappedFile
+MappedFile::map(const std::string &path)
+{
+    MappedFile mapped;
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0)
+        return mapped;
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+        ::close(fd);
+        return mapped;
+    }
+    size_t size = static_cast<size_t>(st.st_size);
+    void *addr = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+    ::close(fd);  // the mapping pins the inode; the fd is done
+    if (addr == MAP_FAILED)
+        return mapped;
+    mapped.addr_ = addr;
+    mapped.size_ = size;
+    return mapped;
+}
+
+void
+MappedFile::unmap()
+{
+    if (addr_) {
+        ::munmap(addr_, size_);
+        addr_ = nullptr;
+        size_ = 0;
+    }
+}
+
+bool
+publishFileAtomic(const std::string &path, std::string_view bytes)
+{
+    std::string tmp = path + ".tmp";
+    std::FILE *file = std::fopen(tmp.c_str(), "wb");
+    if (!file)
+        return false;
+    bool ok = bytes.empty() ||
+              std::fwrite(bytes.data(), 1, bytes.size(), file) ==
+                  bytes.size();
+    ok = std::fflush(file) == 0 && ok;
+    ok = ::fsync(::fileno(file)) == 0 && ok;
+    ok = std::fclose(file) == 0 && ok;
+    if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace util
+} // namespace mclp

@@ -20,6 +20,7 @@
 
 #include "core/dse_request.h"
 #include "core/frontier_cache.h"
+#include "core/frontier_codec.h"
 #include "core/session_registry.h"
 #include "nn/zoo.h"
 #include "service/dse_codec.h"
@@ -55,6 +56,11 @@ struct ScratchDir
     std::string cacheFile() const
     {
         return (path / core::kFrontierCacheFileName).string();
+    }
+
+    std::string segmentFile() const
+    {
+        return (path / core::kFrontierSegmentFileName).string();
     }
 };
 
@@ -96,24 +102,48 @@ TEST(FrontierCache, DiskWarmMatchesColdByteForByte)
         EXPECT_EQ(cachedResponse(line, scratch.dir()), cold) << line;
     }
 
-    // The disk-warm pass really came from disk: a fresh cache on the
-    // populated directory loads rows and a replayed request hits them.
+    // The warm pass really came from the persistent tiers. With the
+    // segment published by the earlier flushes, a fresh cache maps it
+    // and loads lazily — nothing decoded eagerly, hits stream from
+    // the mapping on demand.
     auto cache = std::make_shared<core::FrontierCache>(scratch.dir());
     core::FrontierCache::Stats before = cache->stats();
     EXPECT_TRUE(before.loadedClean);
-    EXPECT_GT(before.rowsLoaded, 0u);
-    EXPECT_GT(before.tracesLoaded, 0u);
+    EXPECT_TRUE(before.segmentMapped);
+    EXPECT_GT(before.segmentEntries, 0u);
+    EXPECT_EQ(before.rowsLoaded, 0u);  // lazy: no eager decode
     {
         core::SessionRegistry registry(4, 0, 1, cache);
         core::DseRequest request = service::decodeRequest(requests[0]);
         service::answerRequest(request, &registry);
-        // The store's own accounting sees the same disk hits (this is
-        // what the mclp-serve stats verb reports as row_disk_hits).
-        EXPECT_GT(registry.rowStore()->stats().diskHits, 0u);
+        // The store's own accounting sees the same mmap hits (this is
+        // what the cache-stats verb reports as row_mmap_hits).
+        EXPECT_GT(registry.rowStore()->stats().mmapHits, 0u);
     }
     core::FrontierCache::Stats after = cache->stats();
     EXPECT_GT(after.rowHits, 0u);
     EXPECT_GT(after.traceHits, 0u);
+    EXPECT_GT(after.segmentRowHits, 0u);
+    EXPECT_GT(after.segmentTraceHits, 0u);
+
+    // With the mmap tier disabled, the same directory serves the same
+    // warmth through the eager record-file load (the disk tier).
+    core::FrontierCacheOptions no_mmap;
+    no_mmap.mmapSegment = false;
+    auto disk_cache = std::make_shared<core::FrontierCache>(
+        scratch.dir(), no_mmap);
+    core::FrontierCache::Stats disk_before = disk_cache->stats();
+    EXPECT_TRUE(disk_before.loadedClean);
+    EXPECT_FALSE(disk_before.segmentMapped);
+    EXPECT_GT(disk_before.rowsLoaded, 0u);
+    EXPECT_GT(disk_before.tracesLoaded, 0u);
+    {
+        core::SessionRegistry registry(4, 0, 1, disk_cache);
+        core::DseRequest request = service::decodeRequest(requests[0]);
+        service::answerRequest(request, &registry);
+        EXPECT_GT(registry.rowStore()->stats().diskHits, 0u);
+        EXPECT_EQ(registry.rowStore()->stats().mmapHits, 0u);
+    }
 }
 
 TEST(FrontierCache, DiskWarmMatchesColdOnRandomNetworks)
@@ -162,6 +192,10 @@ TEST(FrontierCache, TruncatedFileFallsBackToColdBuild)
     std::string cold = populate(scratch);
     fs::resize_file(scratch.cacheFile(),
                     fs::file_size(scratch.cacheFile()) / 2);
+    // Drop the segment too: a valid matching segment would (by
+    // design) rescue the truncated record file; this test pins the
+    // record-file degradation path itself.
+    fs::remove(scratch.segmentFile());
 
     auto cache = std::make_shared<core::FrontierCache>(scratch.dir());
     EXPECT_FALSE(cache->stats().loadedClean);
@@ -253,7 +287,10 @@ TEST(FrontierCache, WrongVersionOrFingerprintIsIgnoredWholesale)
         auto reloaded =
             std::make_shared<core::FrontierCache>(scratch.dir());
         EXPECT_TRUE(reloaded->stats().loadedClean);
-        EXPECT_GT(reloaded->stats().rowsLoaded, 0u);
+        // The flush published a segment alongside the record file, so
+        // the reload serves lazily from the mapping (no eager rows).
+        EXPECT_TRUE(reloaded->stats().segmentMapped);
+        EXPECT_GT(reloaded->stats().segmentEntries, 0u);
     }
 }
 
@@ -296,7 +333,8 @@ TEST(FrontierCache, ConcurrentWritersMergeInsteadOfClobbering)
     // flush survives alongside it.
     auto merged = std::make_shared<core::FrontierCache>(scratch.dir());
     EXPECT_TRUE(merged->stats().loadedClean);
-    EXPECT_GT(merged->stats().rowsLoaded, 0u);
+    EXPECT_TRUE(merged->stats().segmentMapped);
+    EXPECT_GT(merged->stats().segmentEntries, 0u);
     {
         core::SessionRegistry registry(4, 0, 1, merged);
         EXPECT_EQ(
@@ -372,6 +410,247 @@ TEST(FrontierCache, FingerprintIsStableWithinAProcess)
     EXPECT_EQ(core::modelFormulaFingerprint(),
               core::modelFormulaFingerprint());
     EXPECT_NE(core::modelFormulaFingerprint(), 0u);
+}
+
+/** A small deterministic staircase (direct-cache tests below bypass
+ * the optimizer entirely). */
+std::shared_ptr<const core::ShapeFrontier>
+makeRow(int seed, size_t count = 30)
+{
+    std::vector<core::FrontierPoint> points(count);
+    for (size_t i = 0; i < count; ++i) {
+        points[i].shape = {static_cast<int64_t>(1 + (seed + i) % 64),
+                           static_cast<int64_t>(1 + (seed * 7 + i) % 64)};
+        points[i].dsp = static_cast<int64_t>(10 + seed + i * 13);
+        points[i].cycles =
+            static_cast<int64_t>(100000 - seed - i * 17);
+    }
+    auto row = core::ShapeFrontier::fromPoints(std::move(points));
+    EXPECT_TRUE(row.has_value());
+    return std::make_shared<const core::ShapeFrontier>(
+        std::move(*row));
+}
+
+std::string
+readFileBytes(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(file, nullptr) << path;
+    std::string bytes;
+    char buf[4096];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof buf, file)) > 0)
+        bytes.append(buf, got);
+    std::fclose(file);
+    return bytes;
+}
+
+TEST(FrontierCache, LegacyV2FileUpgradesToV3OnFirstFlush)
+{
+    ScratchDir scratch;
+    std::vector<int64_t> row_key = {3, 64, 2880, 17};
+    auto row = makeRow(5);
+    std::vector<int64_t> trace_key = {1, 4, 4, -1, 8, 8, -1};
+    core::FrontierTraceImage trace;
+    trace.complete = true;
+    trace.initialBram = 5000;
+    trace.initialPeak = 12.5;
+    for (int i = 0; i < 6; ++i) {
+        core::TradeoffCurveCache::PartitionStep step;
+        step.clp = static_cast<uint32_t>(i % 2);
+        step.inCap = 100 - i;
+        step.outCap = 200 - i;
+        step.totalBram = 4000 - i * 300;
+        step.totalPeak = 13.0 + i;
+        trace.steps.push_back(step);
+    }
+    {
+        // Exactly what a v2 binary left behind: SoA records under the
+        // legacy header.
+        util::RecordFileWriter writer(
+            scratch.cacheFile(), core::legacyCacheHeaderPayload(
+                                     core::modelFormulaFingerprint()));
+        writer.append(core::encodeLegacyRowRecord(row_key, *row));
+        writer.append(
+            core::encodeLegacyTraceRecord(trace_key, trace));
+        ASSERT_TRUE(writer.commit());
+    }
+    size_t legacy_bytes = fs::file_size(scratch.cacheFile());
+
+    // The v2 file loads eagerly (no segment exists for it), clean.
+    auto cache = std::make_shared<core::FrontierCache>(scratch.dir());
+    EXPECT_TRUE(cache->stats().loadedClean);
+    EXPECT_FALSE(cache->stats().segmentMapped);
+    EXPECT_EQ(cache->stats().rowsLoaded, 1u);
+    EXPECT_EQ(cache->stats().tracesLoaded, 1u);
+    core::CacheTier tier = core::CacheTier::None;
+    auto loaded = cache->loadRow(row_key, &tier);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(tier, core::CacheTier::Disk);
+    ASSERT_EQ(loaded->size(), row->size());
+    for (size_t i = 0; i < row->size(); ++i) {
+        EXPECT_EQ(loaded->point(i).shape, row->point(i).shape);
+        EXPECT_EQ(loaded->point(i).dsp, row->point(i).dsp);
+        EXPECT_EQ(loaded->point(i).cycles, row->point(i).cycles);
+    }
+
+    // First flush rewrites as v3 even with nothing new pending.
+    ASSERT_TRUE(cache->flush());
+    EXPECT_LT(fs::file_size(scratch.cacheFile()), legacy_bytes)
+        << "the delta rewrite must shrink the legacy SoA file";
+    EXPECT_TRUE(fs::exists(scratch.segmentFile()));
+
+    // A fresh open maps the published segment (v3 path) and serves
+    // the upgraded records unchanged.
+    auto upgraded = std::make_shared<core::FrontierCache>(scratch.dir());
+    EXPECT_TRUE(upgraded->stats().loadedClean);
+    EXPECT_TRUE(upgraded->stats().segmentMapped);
+    EXPECT_EQ(upgraded->stats().segmentEntries, 2u);
+    EXPECT_GE(upgraded->stats().generation, 1u);
+    tier = core::CacheTier::None;
+    auto reloaded = upgraded->loadRow(row_key, &tier);
+    ASSERT_NE(reloaded, nullptr);
+    EXPECT_EQ(tier, core::CacheTier::Mmap);
+    ASSERT_EQ(reloaded->size(), row->size());
+    for (size_t i = 0; i < row->size(); ++i) {
+        EXPECT_EQ(reloaded->point(i).dsp, row->point(i).dsp);
+        EXPECT_EQ(reloaded->point(i).cycles, row->point(i).cycles);
+    }
+}
+
+TEST(FrontierCache, ByteBudgetEvictsTheLeastRecentlyHitRecords)
+{
+    ScratchDir scratch;
+    std::vector<std::vector<int64_t>> keys;
+    for (int i = 0; i < 20; ++i)
+        keys.push_back({i, 100 + i, 200 + i});
+    {
+        auto cache = std::make_shared<core::FrontierCache>(
+            scratch.dir());
+        for (int i = 0; i < 20; ++i)
+            cache->noteRow(keys[i], makeRow(i));
+        ASSERT_TRUE(cache->flush());
+    }
+    size_t full_bytes = fs::file_size(scratch.cacheFile());
+
+    // A budgeted process hits five records, learns one new row, and
+    // flushes: the rewrite must fit the budget by evicting
+    // least-recently-hit records — never the ones touched this
+    // session, never the fresh one.
+    core::FrontierCacheOptions budgeted;
+    budgeted.maxBytes = full_bytes / 2;
+    {
+        auto cache = std::make_shared<core::FrontierCache>(
+            scratch.dir(), budgeted);
+        for (int i = 0; i < 5; ++i)
+            ASSERT_NE(cache->loadRow(keys[i]), nullptr);
+        cache->noteRow({999, 999, 999}, makeRow(99));
+        ASSERT_TRUE(cache->flush());
+        EXPECT_GE(cache->stats().evictedLastFlush, 5u);
+        EXPECT_LE(fs::file_size(scratch.cacheFile()),
+                  budgeted.maxBytes);
+    }
+
+    // Survivors: all five hot keys and the fresh row; the evicted
+    // cold keys answer null (a cold rebuild, not wrong bytes).
+    auto reopened = std::make_shared<core::FrontierCache>(scratch.dir());
+    EXPECT_TRUE(reopened->stats().loadedClean);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_NE(reopened->loadRow(keys[i]), nullptr) << i;
+    EXPECT_NE(reopened->loadRow({999, 999, 999}), nullptr);
+    size_t cold_survivors = 0;
+    for (int i = 5; i < 20; ++i)
+        if (reopened->loadRow(keys[i]) != nullptr)
+            ++cold_survivors;
+    EXPECT_LT(cold_survivors, 15u);
+}
+
+TEST(FrontierCache, CounterOnlyFlushLeavesTheFileUntouched)
+{
+    ScratchDir scratch;
+    std::vector<int64_t> key = {4, 8, 15};
+    {
+        auto cache = std::make_shared<core::FrontierCache>(
+            scratch.dir());
+        cache->noteRow(key, makeRow(1));
+        ASSERT_TRUE(cache->flush());
+    }
+    std::string file_before = readFileBytes(scratch.cacheFile());
+    std::string segment_before = readFileBytes(scratch.segmentFile());
+
+    // Hits move counters, but counters alone never earn a rewrite:
+    // the flush is a no-op and both files keep their exact bytes
+    // (the deltas ride the next real rewrite).
+    {
+        auto cache = std::make_shared<core::FrontierCache>(
+            scratch.dir());
+        for (int i = 0; i < 3; ++i)
+            ASSERT_NE(cache->loadRow(key), nullptr);
+        ASSERT_TRUE(cache->flush());
+        EXPECT_EQ(cache->stats().flushes, 0u);
+    }
+    EXPECT_EQ(readFileBytes(scratch.cacheFile()), file_before);
+    EXPECT_EQ(readFileBytes(scratch.segmentFile()), segment_before);
+
+    // A real change still rewrites (and bumps the generation).
+    {
+        auto cache = std::make_shared<core::FrontierCache>(
+            scratch.dir());
+        cache->noteRow({16, 23, 42}, makeRow(2));
+        ASSERT_TRUE(cache->flush());
+        EXPECT_EQ(cache->stats().flushes, 1u);
+        EXPECT_GE(cache->stats().generation, 2u);
+    }
+    EXPECT_NE(readFileBytes(scratch.cacheFile()), file_before);
+}
+
+TEST(FrontierCache, StaleSegmentGenerationFallsBackToEagerLoad)
+{
+    // Simulate a crash between the record file's atomic rename and
+    // the segment publish (flush commits the record file *first*):
+    // the surviving segment carries an older generation, so a fresh
+    // process must distrust it and eager-load the record file — the
+    // old segment must never shadow newer records.
+    ScratchDir scratch;
+    std::vector<int64_t> old_key = {1, 2, 3};
+    std::vector<int64_t> new_key = {7, 8, 9};
+    {
+        auto cache = std::make_shared<core::FrontierCache>(
+            scratch.dir());
+        cache->noteRow(old_key, makeRow(3));
+        ASSERT_TRUE(cache->flush());
+    }
+    std::string old_segment = readFileBytes(scratch.segmentFile());
+    {
+        auto cache = std::make_shared<core::FrontierCache>(
+            scratch.dir());
+        cache->noteRow(new_key, makeRow(4));
+        ASSERT_TRUE(cache->flush());
+    }
+    {
+        // Torn publish: the new segment never landed.
+        std::FILE *file =
+            std::fopen(scratch.segmentFile().c_str(), "wb");
+        ASSERT_NE(file, nullptr);
+        std::fwrite(old_segment.data(), 1, old_segment.size(), file);
+        std::fclose(file);
+    }
+
+    auto cache = std::make_shared<core::FrontierCache>(scratch.dir());
+    EXPECT_TRUE(cache->stats().loadedClean);
+    EXPECT_FALSE(cache->stats().segmentMapped);
+    EXPECT_EQ(cache->stats().rowsLoaded, 2u);
+    core::CacheTier tier = core::CacheTier::None;
+    EXPECT_NE(cache->loadRow(new_key, &tier), nullptr);
+    EXPECT_EQ(tier, core::CacheTier::Disk);
+    EXPECT_NE(cache->loadRow(old_key), nullptr);
+
+    // The next flush with real changes republishes a trusted segment.
+    cache->noteRow({11, 12, 13}, makeRow(5));
+    ASSERT_TRUE(cache->flush());
+    auto healed = std::make_shared<core::FrontierCache>(scratch.dir());
+    EXPECT_TRUE(healed->stats().segmentMapped);
+    EXPECT_EQ(healed->stats().segmentEntries, 3u);
 }
 
 } // namespace

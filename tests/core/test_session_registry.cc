@@ -392,9 +392,12 @@ TEST(SessionRegistry, JointSessionStartsDiskWarmFromSoloCaches)
     auto result = registry.session(joint, "", fpga::DataType::Float32)
                       ->sweep(budgets, {});
     core::FrontierRowStore::Stats stats = registry.rowStore()->stats();
-    EXPECT_GT(stats.diskHits, 0u)
+    // A fresh process loads through whichever persistent tier is
+    // available — the mmap'd segment when the solo flush published
+    // one, the record file otherwise.
+    EXPECT_GT(stats.diskHits + stats.mmapHits, 0u)
         << "joint ranges inside one sub-network must load from the "
-           "solo networks' disk cache";
+           "solo networks' persistent cache";
     expectSameResult(result[0],
                      coldRun(joint, fpga::DataType::Float32,
                              budgets[0]),

@@ -1,0 +1,727 @@
+/**
+ * @file
+ * mclp-front — the sharded serving front: one listening socket, K
+ * mclp-serve worker processes, requests routed by network identity.
+ *
+ * The front spawns K workers (each on its own Unix socket and, with
+ * --cache-dir, its own cache shard directory), accepts client
+ * connections itself, and forwards each request line to the worker
+ * chosen by hashing the request's network-dims signature
+ * (core::networkSignature). The same network therefore always lands
+ * on the same worker, so each shard's warm sessions and persistent
+ * frontier cache only ever hold its own slice of the traffic — K
+ * workers warm K disjoint caches instead of K copies of one.
+ *
+ * Wire behavior is byte-identical to a single mclp-serve worker:
+ * responses are delivered strictly in per-connection request order
+ * (the same reorder machinery the server itself uses), err lines pass
+ * through unchanged, and a line that fails to decode is routed by its
+ * raw bytes so the worker it lands on produces the very err answer a
+ * lone worker would. The CI sharded smoke diffs a front-of-2 against
+ * a single cold worker line for line.
+ *
+ * Verbs: `stats` and `cache-stats` go to worker 0 (per-shard counters;
+ * clients wanting every shard connect to the worker sockets, which
+ * stay nameable at SOCKET.w0..w{K-1}). `shutdown` (or SIGTERM) drains
+ * the front: stop accepting, deliver every in-flight answer, then
+ * cascade SIGTERM to the workers so each flushes its cache shard and
+ * exits; the front exits 0 only when every worker exited 0.
+ *
+ * Examples:
+ *   mclp-front --socket /tmp/mclp.sock --workers 2 --cache-dir /tmp/fc
+ *   mclp-front --socket /tmp/mclp.sock --workers 4 --threads 2
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <cerrno>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "core/dse_request.h"
+#include "service/connection.h"
+#include "service/dse_codec.h"
+#include "service/dse_service.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/net.h"
+#include "util/record_file.h"
+#include "util/string_utils.h"
+
+using namespace mclp;
+
+namespace {
+
+void
+printUsage()
+{
+    std::printf(
+        "mclp-front: sharded serving front over K mclp-serve workers\n\n"
+        "usage: mclp-front --socket PATH [options]\n"
+        "  --socket PATH        listen on this Unix stream socket;\n"
+        "                       worker w gets PATH.wN (also reachable\n"
+        "                       directly, e.g. for per-shard stats)\n"
+        "  --workers K          worker process count (default 2)\n"
+        "  --serve-bin PATH     mclp-serve binary (default: next to\n"
+        "                       this binary, else $PATH)\n"
+        "worker passthrough (each applies to every worker):\n"
+        "  --cache-dir DIR      persistent frontier cache root; worker\n"
+        "                       w uses DIR/shard-N, so shards never\n"
+        "                       contend on one record file\n"
+        "  --cache-mmap 0|1     forward mclp-serve's segment-mapping\n"
+        "                       switch (default 1)\n"
+        "  --cache-max-mb N     forward the per-shard record-file byte\n"
+        "                       budget (default 0 = unbounded)\n"
+        "  --threads N          request threads per worker (default 1)\n"
+        "  --max-sessions N     warm-session LRU capacity per worker\n"
+        "  --cold               workers answer every request cold\n"
+        "front robustness:\n"
+        "  --max-line-bytes N   request lines past N bytes answer\n"
+        "                       'err ... msg=line-too-long' (default\n"
+        "                       1048576; also forwarded to workers)\n"
+        "  --help               this text\n\n"
+        "protocol: identical to mclp-serve (docs/PROTOCOL.md); routing\n"
+        "is by network-dims signature, so equal-dims requests share a\n"
+        "shard. 'stats'/'cache-stats' report worker 0; 'shutdown' or\n"
+        "SIGTERM drains the front and SIGTERMs the workers.\n");
+}
+
+struct Options
+{
+    std::string socketPath;
+    int workers = 2;
+    std::string serveBin;
+    std::string cacheDir;
+    bool cacheMmap = true;
+    int64_t cacheMaxMb = 0;
+    int threads = 1;
+    int64_t maxSessions = 0;  // 0 = leave at worker default
+    bool cold = false;
+    size_t maxLineBytes = 1 << 20;
+};
+
+std::optional<Options>
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    auto need_value = [&](int &i, const char *flag) -> const char * {
+        if (i + 1 >= argc)
+            util::fatal("%s needs a value", flag);
+        return argv[++i];
+    };
+    auto int_flag = [&](int &i, const char *flag, int64_t min,
+                        int64_t max) {
+        return util::parseIntFlag(flag, need_value(i, flag), min, max);
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            printUsage();
+            return std::nullopt;
+        } else if (arg == "--socket") {
+            opts.socketPath = need_value(i, "--socket");
+        } else if (arg == "--workers") {
+            opts.workers =
+                static_cast<int>(int_flag(i, "--workers", 1, 256));
+        } else if (arg == "--serve-bin") {
+            opts.serveBin = need_value(i, "--serve-bin");
+        } else if (arg == "--cache-dir") {
+            opts.cacheDir = need_value(i, "--cache-dir");
+        } else if (arg == "--cache-mmap") {
+            opts.cacheMmap = int_flag(i, "--cache-mmap", 0, 1) != 0;
+        } else if (arg == "--cache-max-mb") {
+            opts.cacheMaxMb =
+                int_flag(i, "--cache-max-mb", 0, int64_t{1} << 30);
+        } else if (arg == "--threads") {
+            opts.threads =
+                static_cast<int>(int_flag(i, "--threads", 0, 4096));
+        } else if (arg == "--max-sessions") {
+            opts.maxSessions = int_flag(i, "--max-sessions", 1, 1 << 20);
+        } else if (arg == "--cold") {
+            opts.cold = true;
+        } else if (arg == "--max-line-bytes") {
+            opts.maxLineBytes = static_cast<size_t>(
+                int_flag(i, "--max-line-bytes", 64, int64_t{1} << 30));
+        } else {
+            util::fatal("unknown option '%s' (try --help)",
+                        arg.c_str());
+        }
+    }
+    if (opts.socketPath.empty())
+        util::fatal("--socket is required (try --help)");
+    return opts;
+}
+
+/** mclp-serve next to our own binary when argv[0] has a directory
+ * part; otherwise rely on $PATH (execvp). */
+std::string
+defaultServeBin(const char *argv0)
+{
+    std::string self = argv0;
+    size_t slash = self.rfind('/');
+    if (slash == std::string::npos)
+        return "mclp-serve";
+    return self.substr(0, slash + 1) + "mclp-serve";
+}
+
+/**
+ * One spawned mclp-serve worker: the child process, the front's
+ * connection to its socket, and the FIFO of (client id, seq) slots
+ * whose answers are still inside it. The worker answers its
+ * connection strictly in request order (the server's own pipelining
+ * contract), so the FIFO head always names the response line that
+ * arrives next — no request ids needed on the trunk.
+ */
+struct Worker
+{
+    pid_t pid = -1;
+    std::string socketPath;
+    std::unique_ptr<service::Connection> link;
+    std::deque<std::pair<uint64_t, uint64_t>> pending;
+    bool dead = false;
+};
+
+volatile std::sig_atomic_t g_sigterm = 0;
+const util::SelfPipe *g_wake = nullptr;
+
+void
+onSigterm(int)
+{
+    g_sigterm = 1;
+    if (g_wake)
+        g_wake->notify();
+}
+
+class Front
+{
+  public:
+    Front(Options opts, std::string serve_bin)
+        : opts_(std::move(opts)), serveBin_(std::move(serve_bin))
+    {
+    }
+
+    int run();
+
+  private:
+    bool spawnWorkers();
+    bool connectWorkers();
+    void acceptPending();
+    void routeLine(const std::shared_ptr<service::Connection> &conn,
+                   const std::string &line, bool overlong);
+    size_t shardFor(const std::string &text) const;
+    void sendToWorker(size_t shard,
+                      const std::shared_ptr<service::Connection> &conn,
+                      const std::string &line);
+    void readClient(const std::shared_ptr<service::Connection> &conn);
+    void readWorker(Worker &worker);
+    void failWorkerPending(Worker &worker);
+    void pumpClient(const std::shared_ptr<service::Connection> &conn);
+    void pumpWorker(Worker &worker);
+    void beginDrain();
+    int reapWorkers();
+
+    Options opts_;
+    std::string serveBin_;
+    std::vector<Worker> workers_;
+    util::ScopedFd listener_;
+    util::SelfPipe wake_;
+    std::map<uint64_t, std::shared_ptr<service::Connection>> clients_;
+    uint64_t nextClientId_ = 1;
+    bool draining_ = false;
+    bool workerFailed_ = false;
+};
+
+bool
+Front::spawnWorkers()
+{
+    for (int w = 0; w < opts_.workers; ++w) {
+        Worker worker;
+        worker.socketPath =
+            opts_.socketPath + ".w" + std::to_string(w);
+        std::vector<std::string> args = {serveBin_, "--socket",
+                                         worker.socketPath};
+        if (!opts_.cacheDir.empty()) {
+            std::string shard_dir =
+                opts_.cacheDir + "/shard-" + std::to_string(w);
+            std::error_code ec;
+            std::filesystem::create_directories(shard_dir, ec);
+            if (ec) {
+                util::warn("mclp-front: cannot create %s: %s",
+                           shard_dir.c_str(), ec.message().c_str());
+                return false;
+            }
+            args.push_back("--cache-dir");
+            args.push_back(shard_dir);
+            if (!opts_.cacheMmap) {
+                args.push_back("--cache-mmap");
+                args.push_back("0");
+            }
+            if (opts_.cacheMaxMb > 0) {
+                args.push_back("--cache-max-mb");
+                args.push_back(std::to_string(opts_.cacheMaxMb));
+            }
+        }
+        args.push_back("--threads");
+        args.push_back(std::to_string(opts_.threads));
+        if (opts_.maxSessions > 0) {
+            args.push_back("--max-sessions");
+            args.push_back(std::to_string(opts_.maxSessions));
+        }
+        if (opts_.cold)
+            args.push_back("--cold");
+        args.push_back("--max-line-bytes");
+        args.push_back(std::to_string(opts_.maxLineBytes));
+
+        pid_t pid = fork();
+        if (pid < 0) {
+            util::warn("mclp-front: fork: %s", std::strerror(errno));
+            return false;
+        }
+        if (pid == 0) {
+            std::vector<char *> argv;
+            argv.reserve(args.size() + 1);
+            for (std::string &arg : args)
+                argv.push_back(arg.data());
+            argv.push_back(nullptr);
+            execvp(argv[0], argv.data());
+            std::fprintf(stderr, "mclp-front: exec %s: %s\n",
+                         argv[0], std::strerror(errno));
+            _exit(127);
+        }
+        worker.pid = pid;
+        workers_.push_back(std::move(worker));
+    }
+    return true;
+}
+
+bool
+Front::connectWorkers()
+{
+    // A worker's socket appears once its listener is bound; retry
+    // briefly, and fail fast when the child died (bad binary, bind
+    // failure) instead of spinning the full deadline.
+    int64_t deadline = util::monotonicMs() + 10000;
+    for (Worker &worker : workers_) {
+        int fd = -1;
+        while (fd < 0) {
+            fd = util::connectUnix(worker.socketPath);
+            if (fd >= 0)
+                break;
+            int status = 0;
+            if (waitpid(worker.pid, &status, WNOHANG) == worker.pid) {
+                util::warn("mclp-front: worker %s exited during "
+                           "startup",
+                           worker.socketPath.c_str());
+                worker.pid = -1;
+                return false;
+            }
+            if (util::monotonicMs() > deadline) {
+                util::warn("mclp-front: worker %s never came up",
+                           worker.socketPath.c_str());
+                return false;
+            }
+            usleep(20 * 1000);
+        }
+        util::setNonBlocking(fd);
+        // A Connection gives the trunk exactly what it needs: line
+        // framing on the read side and an ordered write queue
+        // (alloc+complete+flushReady appends "line\n") on the other.
+        // The line cap is effectively off: response lines are bounded
+        // by the optimizer's output, not by the request-line cap.
+        worker.link = std::make_unique<service::Connection>(
+            fd, 0, size_t{1} << 40);
+    }
+    return true;
+}
+
+void
+Front::acceptPending()
+{
+    while (true) {
+        int fd = accept(listener_.get(), nullptr, nullptr);
+        if (fd < 0)
+            return;
+        util::setNonBlocking(fd);
+        uint64_t id = nextClientId_++;
+        clients_[id] = std::make_shared<service::Connection>(
+            fd, id, opts_.maxLineBytes);
+    }
+}
+
+size_t
+Front::shardFor(const std::string &text) const
+{
+    // Identity-based routing: equal layer dims → same shard, so a
+    // network's warm session and cache shard are never split across
+    // workers. Anything that fails to resolve routes by raw bytes —
+    // still deterministic, and the worker it lands on emits exactly
+    // the err line a lone worker would.
+    try {
+        core::DseRequest request = service::decodeRequest(text);
+        std::string sig =
+            core::networkSignature(core::resolveNetwork(request));
+        return util::fnv1aBytes(sig.data(), sig.size()) %
+               workers_.size();
+    } catch (const std::exception &) {
+        return util::fnv1aBytes(text.data(), text.size()) %
+               workers_.size();
+    }
+}
+
+void
+Front::sendToWorker(size_t shard,
+                    const std::shared_ptr<service::Connection> &conn,
+                    const std::string &line)
+{
+    Worker &worker = workers_[shard];
+    uint64_t seq = conn->allocSeq();
+    if (worker.dead) {
+        conn->complete(seq, "err id=" + service::scavengeId(line) +
+                                " msg=worker-exited");
+        return;
+    }
+    worker.pending.emplace_back(conn->id(), seq);
+    worker.link->complete(worker.link->allocSeq(), line);
+    worker.link->flushReady();
+    pumpWorker(worker);
+}
+
+void
+Front::routeLine(const std::shared_ptr<service::Connection> &conn,
+                 const std::string &line, bool overlong)
+{
+    if (overlong) {
+        conn->complete(conn->allocSeq(),
+                       "err id=" + service::scavengeId(line) +
+                           " msg=line-too-long");
+        return;
+    }
+    std::string text = service::trimmedLine(line);
+    if (text.empty() || text[0] == '#')
+        return;
+    if (text == "shutdown") {
+        conn->complete(conn->allocSeq(), "ok shutdown");
+        beginDrain();
+        return;
+    }
+    if (text == "stats" || text == "cache-stats") {
+        sendToWorker(0, conn, line);
+        return;
+    }
+    sendToWorker(shardFor(text), conn, line);
+}
+
+void
+Front::readClient(const std::shared_ptr<service::Connection> &conn)
+{
+    char buf[64 * 1024];
+    while (true) {
+        ssize_t got = read(conn->fd(), buf, sizeof buf);
+        if (got > 0) {
+            conn->ingest(buf, static_cast<size_t>(got));
+            continue;
+        }
+        if (got == 0) {
+            conn->peerClosed = true;
+        } else if (errno == EAGAIN || errno == EWOULDBLOCK ||
+                   errno == EINTR) {
+            break;
+        } else {
+            conn->closing = true;
+        }
+        break;
+    }
+    std::string line;
+    service::Connection::LineStatus status;
+    while ((status = conn->nextLine(&line)) !=
+           service::Connection::LineStatus::None)
+        routeLine(conn, line,
+                  status == service::Connection::LineStatus::Overlong);
+    if (conn->peerClosed && conn->takeEofRemainder(&line))
+        routeLine(conn, line, false);
+    conn->flushReady();
+    pumpClient(conn);
+}
+
+void
+Front::readWorker(Worker &worker)
+{
+    char buf[64 * 1024];
+    bool eof = false;
+    while (true) {
+        ssize_t got = read(worker.link->fd(), buf, sizeof buf);
+        if (got > 0) {
+            worker.link->ingest(buf, static_cast<size_t>(got));
+            continue;
+        }
+        if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
+                        errno == EINTR))
+            break;
+        eof = true;
+        break;
+    }
+    std::string line;
+    while (worker.link->nextLine(&line) ==
+           service::Connection::LineStatus::Line) {
+        if (worker.pending.empty()) {
+            util::warn("mclp-front: unsolicited worker line dropped");
+            continue;
+        }
+        auto [client_id, seq] = worker.pending.front();
+        worker.pending.pop_front();
+        auto it = clients_.find(client_id);
+        if (it == clients_.end())
+            continue;  // client already gone; drop its answer
+        it->second->complete(seq, line);
+        it->second->flushReady();
+        pumpClient(it->second);
+    }
+    if (eof && !draining_) {
+        worker.dead = true;
+        workerFailed_ = true;
+        util::warn("mclp-front: worker %s closed its connection",
+                   worker.socketPath.c_str());
+        failWorkerPending(worker);
+    }
+}
+
+void
+Front::failWorkerPending(Worker &worker)
+{
+    // Answers that died inside the worker still answer: every owed
+    // slot gets an err line so no client hangs on a hole in its
+    // response order.
+    for (auto [client_id, seq] : worker.pending) {
+        auto it = clients_.find(client_id);
+        if (it == clients_.end())
+            continue;
+        it->second->complete(seq, "err id=- msg=worker-exited");
+        it->second->flushReady();
+        pumpClient(it->second);
+    }
+    worker.pending.clear();
+    worker.link.reset();
+}
+
+void
+Front::pumpClient(const std::shared_ptr<service::Connection> &conn)
+{
+    while (conn->wantsWrite()) {
+        ssize_t sent = send(conn->fd(), conn->writeData(),
+                            conn->writeBacklog(), MSG_NOSIGNAL);
+        if (sent > 0) {
+            conn->consumeWritten(static_cast<size_t>(sent));
+            continue;
+        }
+        if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
+                         errno == EINTR))
+            return;
+        conn->closing = true;
+        return;
+    }
+}
+
+void
+Front::pumpWorker(Worker &worker)
+{
+    if (!worker.link)
+        return;
+    while (worker.link->wantsWrite()) {
+        ssize_t sent =
+            send(worker.link->fd(), worker.link->writeData(),
+                 worker.link->writeBacklog(), MSG_NOSIGNAL);
+        if (sent > 0) {
+            worker.link->consumeWritten(static_cast<size_t>(sent));
+            continue;
+        }
+        if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
+                         errno == EINTR))
+            return;
+        if (!draining_) {
+            worker.dead = true;
+            workerFailed_ = true;
+            util::warn("mclp-front: write to worker %s failed",
+                       worker.socketPath.c_str());
+            failWorkerPending(worker);
+        }
+        return;
+    }
+}
+
+void
+Front::beginDrain()
+{
+    if (draining_)
+        return;
+    draining_ = true;
+    listener_.reset();
+    std::error_code ec;
+    std::filesystem::remove(opts_.socketPath, ec);
+}
+
+int
+Front::reapWorkers()
+{
+    // Close the trunks first (the worker sees a clean client EOF),
+    // then cascade the drain signal: each worker finishes in-flight
+    // work, flushes its cache shard, and exits 0; any other exit —
+    // or an earlier unexpected death — fails the front.
+    for (Worker &worker : workers_) {
+        worker.link.reset();
+        if (worker.pid > 0)
+            kill(worker.pid, SIGTERM);
+    }
+    bool all_clean = !workerFailed_;
+    for (Worker &worker : workers_) {
+        if (worker.pid <= 0)
+            continue;
+        int status = 0;
+        if (waitpid(worker.pid, &status, 0) != worker.pid ||
+            !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+            util::warn("mclp-front: worker %s exited unclean",
+                       worker.socketPath.c_str());
+            all_clean = false;
+        }
+    }
+    return all_clean ? 0 : 1;
+}
+
+int
+Front::run()
+{
+    if (!spawnWorkers() || !connectWorkers()) {
+        reapWorkers();
+        return 1;
+    }
+
+    std::string error;
+    int listen_fd = util::listenUnix(opts_.socketPath, &error);
+    if (listen_fd < 0) {
+        util::warn("mclp-front: %s", error.c_str());
+        reapWorkers();
+        return 1;
+    }
+    listener_.reset(listen_fd);
+    util::setNonBlocking(listener_.get());
+
+    g_wake = &wake_;
+    std::signal(SIGTERM, onSigterm);
+
+    while (true) {
+        if (g_sigterm)
+            beginDrain();
+
+        // Closed / finished clients leave between poll rounds; a
+        // client is finished once its peer half-closed and every
+        // answer it is owed has been flushed to the wire.
+        for (auto it = clients_.begin(); it != clients_.end();) {
+            service::Connection &conn = *it->second;
+            bool done = conn.closing ||
+                        (conn.peerClosed && !conn.hasUnanswered() &&
+                         !conn.wantsWrite());
+            it = done ? clients_.erase(it) : std::next(it);
+        }
+
+        bool idle = true;
+        for (const Worker &worker : workers_)
+            if (!worker.pending.empty())
+                idle = false;
+        for (auto &entry : clients_)
+            if (entry.second->hasUnanswered() ||
+                entry.second->wantsWrite())
+                idle = false;
+        if (draining_ && idle)
+            break;
+
+        std::vector<pollfd> fds;
+        fds.push_back({wake_.readFd(), POLLIN, 0});
+        if (listener_.valid())
+            fds.push_back({listener_.get(), POLLIN, 0});
+        size_t worker_base = fds.size();
+        for (Worker &worker : workers_) {
+            short events = 0;
+            if (worker.link) {
+                events = POLLIN;
+                if (worker.link->wantsWrite())
+                    events |= POLLOUT;
+            }
+            fds.push_back(
+                {worker.link ? worker.link->fd() : -1, events, 0});
+        }
+        size_t client_base = fds.size();
+        std::vector<std::shared_ptr<service::Connection>> polled;
+        for (auto &entry : clients_) {
+            short events = 0;
+            if (!draining_ && !entry.second->peerClosed)
+                events |= POLLIN;
+            if (entry.second->wantsWrite())
+                events |= POLLOUT;
+            fds.push_back({entry.second->fd(), events, 0});
+            polled.push_back(entry.second);
+        }
+
+        if (poll(fds.data(), fds.size(), 1000) < 0 && errno != EINTR)
+            break;
+
+        if (fds[0].revents & POLLIN)
+            wake_.drain();
+        if (listener_.valid() &&
+            (fds[worker_base - 1].revents & POLLIN))
+            acceptPending();
+        for (size_t w = 0; w < workers_.size(); ++w) {
+            short revents = fds[worker_base + w].revents;
+            if (!workers_[w].link || revents == 0)
+                continue;
+            if (revents & POLLOUT)
+                pumpWorker(workers_[w]);
+            if (workers_[w].link &&
+                (revents & (POLLIN | POLLHUP | POLLERR)))
+                readWorker(workers_[w]);
+        }
+        for (size_t c = 0; c < polled.size(); ++c) {
+            short revents = fds[client_base + c].revents;
+            if (revents == 0)
+                continue;
+            if (revents & POLLOUT)
+                pumpClient(polled[c]);
+            if (revents & (POLLIN | POLLHUP | POLLERR))
+                readClient(polled[c]);
+        }
+    }
+
+    clients_.clear();
+    return reapWorkers();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::signal(SIGPIPE, SIG_IGN);
+    try {
+        auto opts = parseArgs(argc, argv);
+        if (!opts)
+            return 0;
+        std::string serve_bin = opts->serveBin.empty()
+                                    ? defaultServeBin(argv[0])
+                                    : opts->serveBin;
+        Front front(std::move(*opts), std::move(serve_bin));
+        return front.run();
+    } catch (const util::FatalError &err) {
+        std::fprintf(stderr, "mclp-front: %s\n", err.what());
+        return 1;
+    }
+}
