@@ -53,8 +53,11 @@ ComputeOptimizer::bestShapeForRange(size_t i, size_t j,
     for (size_t p = i; p <= j; ++p) {
         const nn::ConvLayer &layer = network_.layer(order_[p]);
         layers.push_back(&layer);
-        max_n = std::max(max_n, layer.n);
-        max_m = std::max(max_m, layer.m);
+        // Shapes never profit from exceeding the per-group extents: a
+        // grouped layer only ever convolves N/G inputs to M/G outputs
+        // at a time.
+        max_n = std::max(max_n, layer.groupN());
+        max_m = std::max(max_m, layer.groupM());
         range_macs += layer.macs();
     }
 
@@ -68,9 +71,10 @@ ComputeOptimizer::bestShapeForRange(size_t i, size_t j,
     auto rangeCycles = [&](int64_t tn, int64_t tm) {
         int64_t total = 0;
         for (const nn::ConvLayer *layer : layers) {
-            total += layer->r * layer->c *
-                     util::ceilDiv(layer->n, tn) *
-                     util::ceilDiv(layer->m, tm) * layer->k * layer->k;
+            total += layer->g * layer->r * layer->c *
+                     util::ceilDiv(layer->groupN(), tn) *
+                     util::ceilDiv(layer->groupM(), tm) * layer->k *
+                     layer->k;
             if (total > cycle_target)
                 return kInfinity;
         }
@@ -85,8 +89,8 @@ ComputeOptimizer::bestShapeForRange(size_t i, size_t j,
         if (tn > 1) {
             bool changes = false;
             for (const nn::ConvLayer *layer : layers) {
-                if (util::ceilDiv(layer->n, tn) !=
-                    util::ceilDiv(layer->n, tn - 1)) {
+                if (util::ceilDiv(layer->groupN(), tn) !=
+                    util::ceilDiv(layer->groupN(), tn - 1)) {
                     changes = true;
                     break;
                 }

@@ -278,7 +278,7 @@ std::string
 networkSignature(const nn::Network &network)
 {
     std::vector<int64_t> words;
-    words.reserve(network.numLayers() * 6);
+    words.reserve(network.numLayers() * 7);
     for (const nn::ConvLayer &layer : network.layers()) {
         words.push_back(layer.n);
         words.push_back(layer.m);
@@ -286,6 +286,7 @@ networkSignature(const nn::Network &network)
         words.push_back(layer.c);
         words.push_back(layer.k);
         words.push_back(layer.s);
+        words.push_back(layer.g);
     }
     return util::strprintf(
         "%zuL:%016llx", network.numLayers(),

@@ -45,6 +45,14 @@ modelFormulaFingerprint()
             nn::makeConvLayer("fingerprint", 48, 128, 27, 27, 5, 1);
         nn::ConvLayer strided =
             nn::makeConvLayer("fingerprint-s", 3, 96, 55, 55, 11, 4);
+        // Grouped probes (PR 9): the g factor reshapes the cycle,
+        // traffic, and peak formulas, so grouped evaluations must be
+        // part of the digest — and their addition invalidates every
+        // pre-groups cache, whose keys lack the g lane.
+        nn::ConvLayer grouped =
+            nn::makeConvLayer("fingerprint-g", 48, 128, 27, 27, 3, 1, 4);
+        nn::ConvLayer depthwise =
+            nn::makeConvLayer("fingerprint-dw", 96, 96, 27, 27, 3, 1, 96);
         model::ClpShape shape{7, 64};
         model::Tiling tiling{13, 14};
 
@@ -76,6 +84,15 @@ modelFormulaFingerprint()
         put(traffic.outputWords);
         putf(model::layerPeakWordsPerCycle(probe, shape, tiling));
         putf(model::layerPeakWordsPerCycle(strided, shape, tiling));
+        for (const nn::ConvLayer &layer : {grouped, depthwise}) {
+            put(model::layerCycles(layer, shape));
+            model::LayerTraffic t =
+                model::layerTraffic(layer, shape, tiling);
+            put(t.inputWords);
+            put(t.weightWords);
+            put(t.outputWords);
+            putf(model::layerPeakWordsPerCycle(layer, shape, tiling));
+        }
 
         return static_cast<uint64_t>(
             util::hashInt64Words(words.data(), words.size()));
@@ -95,7 +112,8 @@ enum class HeaderProbe
     Foreign,  ///< checksummed but not a frontier cache: dirty cold
     Stale,    ///< other version or fingerprint: clean invalidation
     LegacyV2, ///< SoA file, our fingerprint: eager load + upgrade
-    CurrentV3,///< delta file, our fingerprint
+    LegacyV3, ///< delta file, 3-lane row keys: eager load + upgrade
+    Current,  ///< current-format delta file, our fingerprint
 };
 
 HeaderProbe
@@ -130,11 +148,45 @@ probeHeader(const std::string &path, uint64_t fingerprint,
         return HeaderProbe::Stale;
     if (version == kFrontierCacheFormatVersion)
         return in.u64(*generation) && in.atEnd()
-                   ? HeaderProbe::CurrentV3
+                   ? HeaderProbe::Current
                    : HeaderProbe::Damaged;
+    // A v3 header carries the generation stamp too. Real pre-groups
+    // files never reach here — their fingerprint lacks the grouped
+    // probes, so they go Stale above — but the upgrade path stays
+    // live for files the format tests author deliberately.
+    if (version == kFrontierCacheLegacyV3FormatVersion &&
+        in.u64(*generation) && in.atEnd())
+        return HeaderProbe::LegacyV3;
     if (version == kFrontierCacheLegacyFormatVersion && in.atEnd())
         return HeaderProbe::LegacyV2;
     return HeaderProbe::Stale;
+}
+
+/**
+ * Upgrade a v3 staircase row key (three lanes per layer: {n, m,
+ * r*c*k^2} after the two header words) to the v4 shape by appending
+ * the group lane to every triple. Every v3-era layer was plain
+ * convolution, so g=1 throughout. Empty on a malformed length —
+ * the caller treats that like any other corrupt record.
+ * Trace keys are untouched by v4 (their n lane was already a
+ * per-group ceiling, and g=1 makes it the same number).
+ */
+std::vector<int64_t>
+upgradeV3RowKey(const std::vector<int64_t> &key)
+{
+    std::vector<int64_t> upgraded;
+    if (key.size() < 2 || (key.size() - 2) % 3 != 0)
+        return upgraded;
+    upgraded.reserve(2 + (key.size() - 2) / 3 * 4);
+    upgraded.push_back(key[0]);
+    upgraded.push_back(key[1]);
+    for (size_t i = 2; i < key.size(); i += 3) {
+        upgraded.push_back(key[i]);
+        upgraded.push_back(key[i + 1]);
+        upgraded.push_back(key[i + 2]);
+        upgraded.push_back(1);
+    }
+    return upgraded;
 }
 
 } // namespace
@@ -181,7 +233,7 @@ FrontierCache::loadLocked()
                      "different format/model version; rebuilding",
                      filePath_.c_str());
         return;
-    case HeaderProbe::CurrentV3:
+    case HeaderProbe::Current:
         if (options_.mmapSegment) {
             segment_ =
                 FrontierCacheSegment::open(segmentPath_, fingerprint_);
@@ -199,6 +251,17 @@ FrontierCache::loadLocked()
             segment_ = FrontierCacheSegment();
         }
         loadRecordsLocked(kFrontierCacheFormatVersion);
+        return;
+    case HeaderProbe::LegacyV3:
+        // Never serve a v3-generation segment: it indexes the same
+        // records under 3-lane row keys, so the lazy path would miss
+        // every upgraded lookup while claiming to be warm. Eager-load
+        // with key upgrade; the next flush rewrites file and segment.
+        upgradePending_ = true;
+        util::inform("frontier cache: %s uses the 3-lane v3 row keys; "
+                     "it will be rewritten with group lanes on the "
+                     "next flush", filePath_.c_str());
+        loadRecordsLocked(kFrontierCacheLegacyV3FormatVersion);
         return;
     case HeaderProbe::LegacyV2:
         upgradePending_ = true;
@@ -220,6 +283,10 @@ FrontierCache::loadRecordsLocked(uint32_t version)
         return;  // probe validated the header; a race truncated it
     }
 
+    // v3 and v4 records are framed identically (kind, key, counters,
+    // delta payload); only the row-key lane count differs. v2 lacks
+    // counters and carries the SoA bodies.
+    bool delta = version != kFrontierCacheLegacyFormatVersion;
     std::string_view record;
     while (reader.next(record)) {
         util::ByteReader in(record);
@@ -229,7 +296,7 @@ FrontierCache::loadRecordsLocked(uint32_t version)
             loadedClean_ = false;
             break;
         }
-        if (version == kFrontierCacheFormatVersion) {
+        if (delta) {
             uint32_t hits = 0, last_gen = 0;
             if (!in.u32(hits) || !in.u32(last_gen)) {
                 loadedClean_ = false;
@@ -237,10 +304,15 @@ FrontierCache::loadRecordsLocked(uint32_t version)
             }
         }
         if (kind == kCacheRecordRow) {
-            auto frontier =
-                version == kFrontierCacheFormatVersion
-                    ? decodeRowPayload(in.rest())
-                    : decodeLegacyRowBody(in);
+            if (version == kFrontierCacheLegacyV3FormatVersion) {
+                key = upgradeV3RowKey(key);
+                if (key.empty()) {
+                    loadedClean_ = false;
+                    break;
+                }
+            }
+            auto frontier = delta ? decodeRowPayload(in.rest())
+                                  : decodeLegacyRowBody(in);
             if (!frontier) {
                 loadedClean_ = false;
                 break;
@@ -252,8 +324,7 @@ FrontierCache::loadRecordsLocked(uint32_t version)
         } else if (kind == kCacheRecordTrace) {
             FrontierTraceImage image;
             size_t groups = traceKeyGroups(key);
-            bool valid =
-                version == kFrontierCacheFormatVersion
+            bool valid = delta
                     ? decodeTracePayload(in.rest(), groups, image)
                     : decodeLegacyTraceBody(in, groups, image);
             if (!valid) {
@@ -442,7 +513,7 @@ FrontierCache::flush()
     // alone never force a rewrite either — they stay in memory and
     // ride the next flush that rewrites the file for a real reason
     // (tests/core/test_frontier_cache.cc pins the no-op). A pending
-    // v2->v3 upgrade is a real reason.
+    // v2/v3 format upgrade is a real reason.
     if (pending_rows.empty() && trace_images.empty() &&
         !upgrade_pending)
         return true;
@@ -490,6 +561,9 @@ FrontierCache::flush()
                 if (version == kFrontierCacheFormatVersion &&
                     in.u64(file_gen) && in.atEnd())
                     file_version = kFrontierCacheFormatVersion;
+                else if (version == kFrontierCacheLegacyV3FormatVersion &&
+                         in.u64(file_gen) && in.atEnd())
+                    file_version = kFrontierCacheLegacyV3FormatVersion;
                 else if (version == kFrontierCacheLegacyFormatVersion &&
                          in.atEnd())
                     file_version = kFrontierCacheLegacyFormatVersion;
@@ -497,8 +571,9 @@ FrontierCache::flush()
         }
         if (reader.opened() && file_version == 0)
             rewrite = true;  // stale or damaged file: replace wholesale
-        if (file_version == kFrontierCacheLegacyFormatVersion)
-            rewrite = true;  // upgrade-on-flush: rewrite delta-compacted
+        if (file_version == kFrontierCacheLegacyFormatVersion ||
+            file_version == kFrontierCacheLegacyV3FormatVersion)
+            rewrite = true;  // upgrade-on-flush: rewrite current-format
 
         std::string_view record;
         while (file_version != 0 && reader.next(record)) {
@@ -508,7 +583,7 @@ FrontierCache::flush()
             if (!in.u8(kind) || !readCacheKey(in, key))
                 break;
             DiskRecord disk;
-            if (file_version == kFrontierCacheFormatVersion) {
+            if (file_version != kFrontierCacheLegacyFormatVersion) {
                 if (!in.u32(disk.hits) || !in.u32(disk.lastGen))
                     break;
                 disk.payload = in.rest();
@@ -536,12 +611,19 @@ FrontierCache::flush()
                 disk.steps = image.steps.size();
                 disk.complete = image.complete;
             }
-            if (kind == kCacheRecordRow)
+            if (kind == kCacheRecordRow) {
+                if (file_version ==
+                    kFrontierCacheLegacyV3FormatVersion) {
+                    key = upgradeV3RowKey(key);
+                    if (key.empty())
+                        break;  // corrupt tail: rewrite the valid set
+                }
                 rows.emplace(std::move(key), disk);
-            else if (kind == kCacheRecordTrace)
+            } else if (kind == kCacheRecordTrace) {
                 traces.emplace(std::move(key), disk);
-            else
+            } else {
                 break;
+            }
         }
         // A corrupt tail is dropped by rewriting the valid set.
         rewrite = rewrite || reader.sawCorruption();
@@ -628,7 +710,7 @@ FrontierCache::flush()
                 return 12 + 1 + 4 + 8 * key.size() + 8 +
                        disk.payload.size();
             };
-            size_t total = 12 + 28;  // header frame + v3 payload
+            size_t total = 12 + 28;  // header frame + v4 payload
             for (const auto &[key, disk] : rows)
                 total += recordBytes(key, disk);
             for (const auto &[key, disk] : traces)

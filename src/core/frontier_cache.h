@@ -20,9 +20,10 @@
  *
  * Storage is tiered. The **record file** (frontier_cache.bin) is the
  * authoritative, crash-safe merge log: delta-compacted records
- * (core/frontier_codec.h — format v3, several-fold smaller than the
- * SoA v2 lanes it replaces; v2 files upgrade in place on their first
- * flush), each carrying a hit counter and the generation of its last
+ * (core/frontier_codec.h — format v4, several-fold smaller than the
+ * SoA v2 lanes it replaces; v2 and 3-lane-key v3 files upgrade in
+ * place on their first flush), each carrying a hit counter and the
+ * generation of its last
  * hit so a byte budget (FrontierCacheOptions::maxBytes) can evict the
  * least-recently-hit records at flush time. The **segment**
  * (frontier_cache.seg, core/frontier_cache_segment.h) is a
@@ -88,14 +89,22 @@ namespace core {
 /** First bytes of a cache file ("MCLPFC01", little-endian u64). */
 constexpr uint64_t kFrontierCacheMagic = 0x31304346504C434DULL;
 
-/** Bump on any change to the record layout. v3: delta-compacted
- * payloads (core/frontier_codec.h) with per-record hit counters and a
- * header generation stamp the mmap'd segment revalidates against. */
-constexpr uint32_t kFrontierCacheFormatVersion = 3;
+/** Bump on any change to the record layout. v4: identical delta
+ * payloads to v3, but staircase row keys carry four lanes per layer
+ * ({n, m, r*c*k^2, groups}) instead of three — without the version
+ * bump a 3-lane key of one range and a 4-lane key of another could
+ * collide byte-for-byte. */
+constexpr uint32_t kFrontierCacheFormatVersion = 4;
+
+/** The delta format v4 replaced: same record layout, 3-lane row keys
+ * (every layer was plain conv, g=1). Still readable: row keys gain
+ * their g=1 lanes on load and the file is rewritten as v4 on the
+ * first flush (upgrade-on-flush, never in place). */
+constexpr uint32_t kFrontierCacheLegacyV3FormatVersion = 3;
 
 /** The SoA format v3 replaced. Still readable: a v2 file with a
- * matching fingerprint loads eagerly and is rewritten as v3 on the
- * first flush (upgrade-on-flush, never in place). */
+ * matching fingerprint loads eagerly and is rewritten in the current
+ * format on the first flush (upgrade-on-flush, never in place). */
 constexpr uint32_t kFrontierCacheLegacyFormatVersion = 2;
 
 /** Cache file and lock file names inside the cache directory. */
@@ -263,7 +272,7 @@ class FrontierCache
     HitMap rowHitDelta_;
     HitMap traceHitDelta_;
     uint64_t generation_ = 0;  ///< of the record file as loaded
-    bool upgradePending_ = false;  ///< legacy v2 file awaiting rewrite
+    bool upgradePending_ = false;  ///< legacy v2/v3 file awaiting rewrite
     size_t rowsLoaded_ = 0;
     size_t tracesLoaded_ = 0;
     size_t rowHits_ = 0;

@@ -44,6 +44,17 @@ cacheHeaderPayload(uint64_t fingerprint, uint64_t generation)
 }
 
 std::string
+legacyV3CacheHeaderPayload(uint64_t fingerprint, uint64_t generation)
+{
+    util::ByteWriter out;
+    out.u64(kFrontierCacheMagic);
+    out.u32(kFrontierCacheLegacyV3FormatVersion);
+    out.u64(fingerprint);
+    out.u64(generation);
+    return out.bytes();
+}
+
+std::string
 legacyCacheHeaderPayload(uint64_t fingerprint)
 {
     util::ByteWriter out;

@@ -7,7 +7,8 @@
  *
  * Two staircase encodings live here:
  *
- *  - **Delta (format v3, current).** Staircase points are stored in
+ *  - **Delta (formats v3/v4; v4 changed only the row-key lane count,
+ *    never these payloads).** Staircase points are stored in
  *    their units-sorted order (the order the frontier keeps them in:
  *    strictly increasing DSP, strictly decreasing cycles), which
  *    makes every lane delta-friendly: Tn/Tm fit 16 bits on any real
@@ -78,10 +79,13 @@ bool readCacheKey(util::ByteReader &in, std::vector<int64_t> &key);
  * (trace semantic validation needs the bound). */
 size_t traceKeyGroups(const std::vector<int64_t> &key);
 
-/** Record-file header payloads. The v3 header adds the generation
- * stamp the mmap'd segment revalidates against. */
+/** Record-file header payloads. The v3+ headers add the generation
+ * stamp the mmap'd segment revalidates against; the v3 variant exists
+ * so tests can author 3-lane-row-key files and pin the upgrade. */
 std::string cacheHeaderPayload(uint64_t fingerprint,
                                uint64_t generation);
+std::string legacyV3CacheHeaderPayload(uint64_t fingerprint,
+                                       uint64_t generation);
 std::string legacyCacheHeaderPayload(uint64_t fingerprint);
 
 // ------------------------------------------- delta payloads (v3)

@@ -166,11 +166,13 @@ TilingOptionCache::get(const nn::ConvLayer &layer,
 {
     // Everything paretoTilingOptions consumes: the enumeration bounds
     // (R, C), the buffer geometry (K, S), the shape, and N only
-    // through ceil(N/Tn) in the peak formula — M not at all. Layers
-    // repeating this signature (fire modules, inception branches,
-    // grouped convolutions) share one entry even when N and M differ.
+    // through the per-group ceil((N/G)/Tn) in the peak formula — M
+    // not at all. Layers repeating this signature (fire modules,
+    // inception branches, grouped convolutions and their plain
+    // per-group twins) share one entry even when N and M differ.
     Key key{layer.r, layer.c,  layer.k,  layer.s,
-            shape.tn, shape.tm, util::ceilDiv(layer.n, shape.tn), 0};
+            shape.tn, shape.tm,
+            util::ceilDiv(layer.groupN(), shape.tn), 0};
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = table_.find(key);
@@ -236,7 +238,7 @@ TradeoffCurveCache::curve(fpga::DataType type,
         key.push_back(layer.c);
         key.push_back(layer.k);
         key.push_back(layer.s);
-        key.push_back(util::ceilDiv(layer.n, shape.tn));
+        key.push_back(util::ceilDiv(layer.groupN(), shape.tn));
     }
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = curves_.find(key);
@@ -268,7 +270,7 @@ TradeoffCurveCache::partitionTrace(fpga::DataType type,
             key.push_back(layer.c);
             key.push_back(layer.k);
             key.push_back(layer.s);
-            key.push_back(util::ceilDiv(layer.n, group.shape.tn));
+            key.push_back(util::ceilDiv(layer.groupN(), group.shape.tn));
         }
     }
     std::shared_ptr<FrontierCache> cache;

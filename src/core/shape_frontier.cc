@@ -308,18 +308,25 @@ ShapeFrontier::Builder::addLayer(const nn::ConvLayer &layer,
     // geometry (and the staging scratch) can change.
     flushPending();
     layers_.push_back(&layer);
-    maxN_ = std::max(maxN_, layer.n);
-    maxM_ = std::max(maxM_, layer.m);
+    // A grouped layer contributes exactly like a plain layer over its
+    // per-group extents (N/G, M/G) with its cycle area scaled by G —
+    // the G groups run sequentially on the same shape. Everything
+    // below therefore works in per-group dimensions; G=1 reduces to
+    // the original math untouched.
+    const int64_t group_n = layer.groupN();
+    const int64_t group_m = layer.groupM();
+    maxN_ = std::max(maxN_, group_n);
+    maxM_ = std::max(maxM_, group_m);
 
-    const BreakpointCache::Table &ntab = scratch.table(layer.n);
-    const BreakpointCache::Table &mtab = scratch.table(layer.m);
+    const BreakpointCache::Table &ntab = scratch.table(group_n);
+    const BreakpointCache::Table &mtab = scratch.table(group_m);
 
     // A repeated dimension value adds no new breakpoints; the live
     // cells keep their geometry and only absorb the rank-1 update
     // staged below.
-    bool n_new = std::find(seenN_.begin(), seenN_.end(), layer.n) ==
+    bool n_new = std::find(seenN_.begin(), seenN_.end(), group_n) ==
                  seenN_.end();
-    bool m_new = std::find(seenM_.begin(), seenM_.end(), layer.m) ==
+    bool m_new = std::find(seenM_.begin(), seenM_.end(), group_m) ==
                  seenM_.end();
     if (n_new || m_new) {
         std::vector<int64_t> old_tn;
@@ -330,11 +337,11 @@ ShapeFrontier::Builder::addLayer(const nn::ConvLayer &layer,
         }
         bool changed = false;
         if (n_new) {
-            seenN_.push_back(layer.n);
+            seenN_.push_back(group_n);
             changed |= mergeBps(tnBps_, ntab.bps);
         }
         if (m_new) {
-            seenM_.push_back(layer.m);
+            seenM_.push_back(group_m);
             changed |= mergeBps(tmBps_, mtab.bps);
         }
         if (geomInit_ && changed)
@@ -348,11 +355,11 @@ ShapeFrontier::Builder::addLayer(const nn::ConvLayer &layer,
         geomInit_ = true;
     }
 
-    // Stage the rank-1 update cycles(tn, tm) += R*C*K^2 * ceil(N/tn)
-    // * ceil(M/tm): per-column M ceilings and per-row areas come from
-    // the layer's own tables with moving cursors — no divisions. The
-    // live values are untouched until flushPending() or a fused
-    // build() applies the staged update.
+    // Stage the rank-1 update cycles(tn, tm) += G*R*C*K^2 *
+    // ceil((N/G)/tn) * ceil((M/G)/tm): per-column M ceilings and
+    // per-row areas come from the layer's own tables with moving
+    // cursors — no divisions. The live values are untouched until
+    // flushPending() or a fused build() applies the staged update.
     size_t w = tmBps_.size();
     scratch_.resize(w);
     for (size_t mi = 0, k = 0; mi < w; ++mi) {
@@ -360,7 +367,7 @@ ShapeFrontier::Builder::addLayer(const nn::ConvLayer &layer,
             ++k;
         scratch_[mi] = mtab.ceils[k];
     }
-    int64_t rck2 = layer.r * layer.c * layer.k * layer.k;
+    int64_t rck2 = layer.g * layer.r * layer.c * layer.k * layer.k;
     areas_.resize(tnBps_.size());
     for (size_t ti = 0, k = 0; ti < tnBps_.size(); ++ti) {
         if (liveW_[ti] == 0)
@@ -531,7 +538,8 @@ ShapeFrontier::ShapeFrontier(
     Builder builder;
     builder.setUnitsCap(units_budget);
     for (const nn::ConvLayer *layer : layers)
-        builder.seedDimensions(layer->n, layer->m, scratch);
+        builder.seedDimensions(layer->groupN(), layer->groupM(),
+                               scratch);
     for (const nn::ConvLayer *layer : layers)
         builder.addLayer(*layer, scratch);
     *this = builder.build(type, units_budget);
@@ -774,8 +782,8 @@ FrontierTable::FrontierTable(const nn::Network &network,
     // Warm the breakpoint tables for every dimension the builders will
     // touch, so the parallel phase only reads them.
     for (size_t idx : order_) {
-        breakpoints_.breakpoints(network_.layer(idx).n);
-        breakpoints_.breakpoints(network_.layer(idx).m);
+        breakpoints_.breakpoints(network_.layer(idx).groupN());
+        breakpoints_.breakpoints(network_.layer(idx).groupM());
     }
 }
 
@@ -792,11 +800,13 @@ FrontierTable::rangeKey(size_t i, size_t j, int64_t units_cap) const
 {
     // Everything a range frontier depends on: data type (DSP per MAC),
     // the cap it was built under, and per layer the two breakpoint
-    // dimensions plus the per-ceiling cycle weight R*C*K^2. Network
-    // identity and layer indices never enter, so dims-identical ranges
-    // of different networks share one row.
+    // dimensions plus the per-ceiling cycle weight R*C*K^2 and the
+    // group count (cache key format v4: the g lane makes grouped and
+    // plain layers distinct rows). Network identity and layer indices
+    // never enter, so dims-identical ranges of different networks
+    // share one row.
     std::vector<int64_t> key;
-    key.reserve(2 + 3 * (j - i + 1));
+    key.reserve(2 + 4 * (j - i + 1));
     key.push_back(static_cast<int64_t>(type_));
     key.push_back(units_cap);
     for (size_t p = i; p <= j; ++p) {
@@ -804,6 +814,7 @@ FrontierTable::rangeKey(size_t i, size_t j, int64_t units_cap) const
         key.push_back(layer.n);
         key.push_back(layer.m);
         key.push_back(layer.r * layer.c * layer.k * layer.k);
+        key.push_back(layer.g);
     }
     return key;
 }

@@ -65,11 +65,27 @@ ultrascale_vu11p()
                   1296000};
 }
 
+Device
+ultrascale_vu13p()
+{
+    // 80% budgets: 9,830 DSP and 4,300 BRAM-18K — roughly 3.4x the
+    // 690T's compute, which is what lets depthwise-heavy nets keep
+    // several CLPs busy at once.
+    return Device{"Virtex UltraScale+ VU13P", 12288, 5376, 3456000,
+                  1728000};
+}
+
+Device
+alveo_u280()
+{
+    return Device{"Alveo U280", 9024, 4032, 2607360, 1303680};
+}
+
 std::vector<Device>
 deviceCatalog()
 {
-    return {virtex7_485t(), virtex7_690t(), ultrascale_vu9p(),
-            ultrascale_vu11p()};
+    return {virtex7_485t(),    virtex7_690t(), ultrascale_vu9p(),
+            ultrascale_vu11p(), ultrascale_vu13p(), alveo_u280()};
 }
 
 Device
@@ -87,8 +103,12 @@ deviceByName(const std::string &name)
         return ultrascale_vu9p();
     if (lower == "vu11p")
         return ultrascale_vu11p();
-    util::fatal("unknown device '%s' (known: 485t, 690t, vu9p, vu11p)",
-                name.c_str());
+    if (lower == "vu13p")
+        return ultrascale_vu13p();
+    if (lower == "u280" || lower == "alveo-u280" || lower == "xcu280")
+        return alveo_u280();
+    util::fatal("unknown device '%s' (known: 485t, 690t, vu9p, vu11p, "
+                "vu13p, u280)", name.c_str());
 }
 
 ResourceBudget

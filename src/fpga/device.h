@@ -3,8 +3,10 @@
  * FPGA device catalog and accelerator resource budgets.
  *
  * The paper evaluates on Xilinx Virtex-7 485T and 690T and projects to
- * Virtex UltraScale+ 9P/11P (Section 6.6). Budgets for optimization are
- * 80% of chip DSP/BRAM capacity (Section 6.1).
+ * Virtex UltraScale+ 9P/11P (Section 6.6). The catalog extends the
+ * projection to two larger parts — VU13P and the Alveo U280 card —
+ * for modern-net (grouped/depthwise) studies. Budgets for optimization
+ * are 80% of chip DSP/BRAM capacity (Section 6.1).
  */
 
 #ifndef MCLP_FPGA_DEVICE_H
@@ -80,10 +82,19 @@ Device ultrascale_vu9p();
 /** Virtex UltraScale+ VU11P: 9,216 DSP. */
 Device ultrascale_vu11p();
 
+/** Virtex UltraScale+ VU13P: 12,288 DSP, 5,376 BRAM-18K — the largest
+ * monolithic-logic UltraScale+ part, for modern-net headroom studies. */
+Device ultrascale_vu13p();
+
+/** Alveo U280 (XCU280): 9,024 DSP, 4,032 BRAM-18K — a datacenter
+ * accelerator card part with HBM-class off-chip bandwidth. */
+Device alveo_u280();
+
 /** All catalog devices. */
 std::vector<Device> deviceCatalog();
 
-/** Look up a device by short name ("485t", "690t", "vu9p", "vu11p"). */
+/** Look up a device by short name ("485t", "690t", "vu9p", "vu11p",
+ * "vu13p", "u280"). */
 Device deviceByName(const std::string &name);
 
 /**

@@ -19,16 +19,17 @@ ArgumentDescriptor::fromLayer(const nn::ConvLayer &layer,
     desc.s = static_cast<uint32_t>(layer.s);
     desc.tr = static_cast<uint32_t>(tiling.tr);
     desc.tc = static_cast<uint32_t>(tiling.tc);
+    desc.g = static_cast<uint32_t>(layer.g);
     desc.validate();
     return desc;
 }
 
-std::array<uint8_t, 32>
+std::array<uint8_t, 36>
 ArgumentDescriptor::encode() const
 {
-    std::array<uint8_t, 32> raw{};
-    const uint32_t fields[8] = {r, c, m, n, k, s, tr, tc};
-    for (size_t f = 0; f < 8; ++f) {
+    std::array<uint8_t, 36> raw{};
+    const uint32_t fields[9] = {r, c, m, n, k, s, tr, tc, g};
+    for (size_t f = 0; f < 9; ++f) {
         for (size_t b = 0; b < 4; ++b) {
             raw[f * 4 + b] =
                 static_cast<uint8_t>((fields[f] >> (8 * b)) & 0xff);
@@ -38,10 +39,10 @@ ArgumentDescriptor::encode() const
 }
 
 ArgumentDescriptor
-ArgumentDescriptor::decode(const std::array<uint8_t, 32> &raw)
+ArgumentDescriptor::decode(const std::array<uint8_t, 36> &raw)
 {
-    uint32_t fields[8] = {};
-    for (size_t f = 0; f < 8; ++f) {
+    uint32_t fields[9] = {};
+    for (size_t f = 0; f < 9; ++f) {
         for (size_t b = 0; b < 4; ++b) {
             fields[f] |= static_cast<uint32_t>(raw[f * 4 + b])
                          << (8 * b);
@@ -56,6 +57,7 @@ ArgumentDescriptor::decode(const std::array<uint8_t, 32> &raw)
     desc.s = fields[5];
     desc.tr = fields[6];
     desc.tc = fields[7];
+    desc.g = fields[8];
     desc.validate();
     return desc;
 }
@@ -78,7 +80,7 @@ ArgumentDescriptor::msteps(int64_t tm) const
     if (tm <= 0)
         util::panic("ArgumentDescriptor::msteps: non-positive Tm");
     return static_cast<uint32_t>(
-        util::ceilDiv<int64_t>(m, tm));
+        util::ceilDiv<int64_t>(m / g, tm));
 }
 
 uint32_t
@@ -87,18 +89,21 @@ ArgumentDescriptor::nsteps(int64_t tn) const
     if (tn <= 0)
         util::panic("ArgumentDescriptor::nsteps: non-positive Tn");
     return static_cast<uint32_t>(
-        util::ceilDiv<int64_t>(n, tn));
+        util::ceilDiv<int64_t>(n / g, tn));
 }
 
 void
 ArgumentDescriptor::validate() const
 {
     if (r == 0 || c == 0 || m == 0 || n == 0 || k == 0 || s == 0 ||
-        tr == 0 || tc == 0) {
+        tr == 0 || tc == 0 || g == 0) {
         util::fatal("ArgumentDescriptor: all fields must be non-zero");
     }
     if (tr > r || tc > c)
         util::fatal("ArgumentDescriptor: tile exceeds output extent");
+    if (m % g != 0 || n % g != 0)
+        util::fatal("ArgumentDescriptor: groups must divide both map "
+                    "counts (M=%u N=%u G=%u)", m, n, g);
 }
 
 } // namespace hlsgen

@@ -2,12 +2,15 @@
  * @file
  * The CLP argument descriptor (Section 5.1).
  *
- * At the start of CLP operation one AXI4 burst transfers a 32-byte
- * descriptor holding the layer arguments (R, C, M, N, K, S, Tr, Tc) as
- * eight 32-bit words; the CLP then derives its loop trip counts
- * (rsteps, csteps, msteps, nsteps) from them. This module provides the
- * host-side encoder and the device-side decoder used by the generated
- * template and the simulator.
+ * At the start of CLP operation one AXI4 burst transfers a 36-byte
+ * descriptor holding the layer arguments (R, C, M, N, K, S, Tr, Tc, G)
+ * as nine 32-bit words; the CLP then derives its loop trip counts
+ * (rsteps, csteps, and the per-group msteps and nsteps) from them.
+ * The G word (PR 9) carries the convolution group count — 1 for
+ * plain layers, N for depthwise — and widened the burst from the
+ * original eight-word form. This module provides the host-side
+ * encoder and the device-side decoder used by the generated template
+ * and the simulator.
  */
 
 #ifndef MCLP_HLSGEN_DESCRIPTOR_H
@@ -22,7 +25,7 @@
 namespace mclp {
 namespace hlsgen {
 
-/** Decoded layer arguments, exactly the fields of Section 5.1. */
+/** Decoded layer arguments, the fields of Section 5.1 plus groups. */
 struct ArgumentDescriptor
 {
     uint32_t r = 0;   ///< output rows (R)
@@ -33,16 +36,17 @@ struct ArgumentDescriptor
     uint32_t s = 0;   ///< stride (S)
     uint32_t tr = 0;  ///< row tile (Tr)
     uint32_t tc = 0;  ///< column tile (Tc)
+    uint32_t g = 1;   ///< convolution groups (G)
 
     /** Build a descriptor for one layer binding. */
     static ArgumentDescriptor fromLayer(const nn::ConvLayer &layer,
                                         const model::Tiling &tiling);
 
-    /** Serialize to the 32-byte little-endian burst payload. */
-    std::array<uint8_t, 32> encode() const;
+    /** Serialize to the 36-byte little-endian burst payload. */
+    std::array<uint8_t, 36> encode() const;
 
-    /** Parse a 32-byte burst payload (fatal on zero dimensions). */
-    static ArgumentDescriptor decode(const std::array<uint8_t, 32> &raw);
+    /** Parse a 36-byte burst payload (fatal on zero dimensions). */
+    static ArgumentDescriptor decode(const std::array<uint8_t, 36> &raw);
 
     /** Derived trip count: ceil(R / Tr). */
     uint32_t rsteps() const;
@@ -50,13 +54,13 @@ struct ArgumentDescriptor
     /** Derived trip count: ceil(C / Tc). */
     uint32_t csteps() const;
 
-    /** Derived trip count over output maps for a Tm-wide CLP. */
+    /** Trip count over one group's M/G output maps for a Tm-wide CLP. */
     uint32_t msteps(int64_t tm) const;
 
-    /** Derived trip count over input maps for a Tn-wide CLP. */
+    /** Trip count over one group's N/G input maps for a Tn-wide CLP. */
     uint32_t nsteps(int64_t tn) const;
 
-    /** Basic sanity checks (positive dims, tiles within bounds). */
+    /** Sanity checks (positive dims, tiles in bounds, G | M and N). */
     void validate() const;
 
     bool operator==(const ArgumentDescriptor &other) const = default;

@@ -38,22 +38,24 @@ layerTraffic(const nn::ConvLayer &layer, const ClpShape &shape,
                     static_cast<long long>(tiling.tc), layer.name.c_str());
     }
 
-    int64_t msteps = util::ceilDiv(layer.m, shape.tm);
+    int64_t msteps = util::ceilDiv(layer.groupM(), shape.tm);
     int64_t rsteps = util::ceilDiv(layer.r, tiling.tr);
     int64_t csteps = util::ceilDiv(layer.c, tiling.tc);
 
     // Input tiles are reloaded for every m step (Listing 2 refills
     // Ibuf inside the m loop); across the n loop the valid input maps
-    // sum to N, and across (r,c) the touched rows/cols sum to the
-    // per-step extents below.
+    // sum to N/G — each group only ever streams its own inputs — and
+    // across (r,c) the touched rows/cols sum to the per-step extents
+    // below. The G groups run back to back, hence the leading factor.
     int64_t sum_rows = sumInputExtent(layer.r, tiling.tr, layer.s, layer.k);
     int64_t sum_cols = sumInputExtent(layer.c, tiling.tc, layer.s, layer.k);
 
     LayerTraffic traffic;
-    traffic.inputWords = msteps * layer.n * sum_rows * sum_cols;
+    traffic.inputWords =
+        layer.g * msteps * layer.groupN() * sum_rows * sum_cols;
     // Weights are reloaded for every (r,c) tile; valid (m,n) pairs sum
-    // to M*N.
-    traffic.weightWords = rsteps * csteps * layer.m * layer.n *
+    // to M*N/G (each output map convolves only its group's inputs).
+    traffic.weightWords = rsteps * csteps * layer.m * layer.groupN() *
                           layer.k * layer.k;
     // Each output word is written exactly once.
     traffic.outputWords = layer.m * layer.r * layer.c;
@@ -64,7 +66,10 @@ double
 layerPeakWordsPerCycle(const nn::ConvLayer &layer, const ClpShape &shape,
                        const Tiling &tiling)
 {
-    int64_t nsteps = util::ceilDiv(layer.n, shape.tn);
+    // Per-group n steps: a grouped layer's accumulation chain only
+    // spans its own N/G inputs, so the output tile drains that much
+    // sooner. Per-round tile sizes are shape geometry and unchanged.
+    int64_t nsteps = util::ceilDiv(layer.groupN(), shape.tn);
     int64_t comp_cycles = layer.k * layer.k * tiling.tr * tiling.tc;
     int64_t input_tile = shape.tn * inputBankWords(layer, tiling);
     int64_t weight_tile = shape.tn * shape.tm * layer.k * layer.k;

@@ -11,8 +11,13 @@ layerCycles(const nn::ConvLayer &layer, const ClpShape &shape)
 {
     if (shape.tn <= 0 || shape.tm <= 0)
         util::panic("layerCycles: non-positive CLP shape");
-    return layer.r * layer.c * util::ceilDiv(layer.n, shape.tn) *
-           util::ceilDiv(layer.m, shape.tm) * layer.k * layer.k;
+    // Grouped convolution runs the G groups sequentially, each over
+    // its own N/G x M/G slice: cycles scale by G while the ceil()
+    // terms shrink to the per-group extents. G=1 is the paper's
+    // Listing-1 count unchanged.
+    return layer.g * layer.r * layer.c *
+           util::ceilDiv(layer.groupN(), shape.tn) *
+           util::ceilDiv(layer.groupM(), shape.tm) * layer.k * layer.k;
 }
 
 int64_t

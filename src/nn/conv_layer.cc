@@ -9,31 +9,51 @@ namespace nn {
 void
 ConvLayer::validate() const
 {
-    if (n <= 0 || m <= 0 || r <= 0 || c <= 0 || k <= 0 || s <= 0) {
+    if (n <= 0 || m <= 0 || r <= 0 || c <= 0 || k <= 0 || s <= 0 ||
+        g <= 0) {
         util::fatal("layer %s: all dimensions must be positive "
-                    "(N=%lld M=%lld R=%lld C=%lld K=%lld S=%lld)",
+                    "(N=%lld M=%lld R=%lld C=%lld K=%lld S=%lld "
+                    "G=%lld)",
                     name.c_str(), static_cast<long long>(n),
                     static_cast<long long>(m), static_cast<long long>(r),
                     static_cast<long long>(c), static_cast<long long>(k),
-                    static_cast<long long>(s));
+                    static_cast<long long>(s), static_cast<long long>(g));
+    }
+    if (n % g != 0 || m % g != 0) {
+        util::fatal("layer %s: groups must divide both map counts "
+                    "(N=%lld M=%lld G=%lld)",
+                    name.c_str(), static_cast<long long>(n),
+                    static_cast<long long>(m),
+                    static_cast<long long>(g));
     }
 }
 
 std::string
 ConvLayer::toString() const
 {
-    return util::strprintf("%s N=%lld M=%lld R=%lld C=%lld K=%lld S=%lld",
-                           name.c_str(), static_cast<long long>(n),
-                           static_cast<long long>(m),
-                           static_cast<long long>(r),
-                           static_cast<long long>(c),
-                           static_cast<long long>(k),
-                           static_cast<long long>(s));
+    std::string text = util::strprintf(
+        "%s N=%lld M=%lld R=%lld C=%lld K=%lld S=%lld", name.c_str(),
+        static_cast<long long>(n), static_cast<long long>(m),
+        static_cast<long long>(r), static_cast<long long>(c),
+        static_cast<long long>(k), static_cast<long long>(s));
+    // G is appended only when it carries information, so plain-conv
+    // summaries are byte-identical to what they were before groups
+    // existed.
+    if (g != 1)
+        text += util::strprintf(" G=%lld", static_cast<long long>(g));
+    return text;
 }
 
 ConvLayer
 makeConvLayer(std::string name, int64_t n, int64_t m, int64_t r, int64_t c,
               int64_t k, int64_t s)
+{
+    return makeConvLayer(std::move(name), n, m, r, c, k, s, 1);
+}
+
+ConvLayer
+makeConvLayer(std::string name, int64_t n, int64_t m, int64_t r, int64_t c,
+              int64_t k, int64_t s, int64_t g)
 {
     ConvLayer layer;
     layer.name = std::move(name);
@@ -43,6 +63,7 @@ makeConvLayer(std::string name, int64_t n, int64_t m, int64_t r, int64_t c,
     layer.c = c;
     layer.k = k;
     layer.s = s;
+    layer.g = g;
     layer.validate();
     return layer;
 }

@@ -6,6 +6,13 @@
  * (Section 2, Figure 3): N input feature maps, M output feature maps,
  * R x C output spatial size, K x K filters, stride S. Input spatial
  * size is derived as (R-1)*S+K per Listing 1.
+ *
+ * A seventh dimension G (groups, default 1) generalizes the plain
+ * convolution to grouped convolution: the N inputs and M outputs are
+ * split into G independent groups of N/G and M/G maps, and each
+ * output map only reads the inputs of its own group. G=1 is exactly
+ * the paper's convolution; G=N (with M a multiple of N) is depthwise
+ * convolution, the dominant shape in MobileNet-style networks.
  */
 
 #ifndef MCLP_NN_CONV_LAYER_H
@@ -33,6 +40,13 @@ struct ConvLayer
     int64_t c = 0;  ///< output feature map columns (C)
     int64_t k = 0;  ///< filter kernel size (K x K)
     int64_t s = 1;  ///< convolution stride (S)
+    int64_t g = 1;  ///< groups (G); must divide both N and M
+
+    /** Input feature maps seen by one output map: N/G. */
+    int64_t groupN() const { return n / g; }
+
+    /** Output feature maps produced per group: M/G. */
+    int64_t groupM() const { return m / g; }
 
     /** Input feature map height: (R-1)*S + K. */
     int64_t inputRows() const { return (r - 1) * s + k; }
@@ -40,8 +54,8 @@ struct ConvLayer
     /** Input feature map width: (C-1)*S + K. */
     int64_t inputCols() const { return (c - 1) * s + k; }
 
-    /** Total multiply-accumulate operations: R*C*K^2*N*M. */
-    int64_t macs() const { return r * c * k * k * n * m; }
+    /** Total multiply-accumulate operations: R*C*K^2*N*M/G. */
+    int64_t macs() const { return r * c * k * k * (n / g) * m; }
 
     /** Floating-point operations (2 per MAC). */
     int64_t flops() const { return 2 * macs(); }
@@ -52,8 +66,8 @@ struct ConvLayer
     /** Total output words: M * R * C. */
     int64_t outputWords() const { return m * r * c; }
 
-    /** Total weight words: M * N * K * K. */
-    int64_t weightWords() const { return m * n * k * k; }
+    /** Total weight words: M * (N/G) * K * K. */
+    int64_t weightWords() const { return m * (n / g) * k * k; }
 
     /**
      * Compute-to-data ratio: MACs per word moved if every word is
@@ -76,16 +90,22 @@ struct ConvLayer
     sameShape(const ConvLayer &other) const
     {
         return n == other.n && m == other.m && r == other.r &&
-               c == other.c && k == other.k && s == other.s;
+               c == other.c && k == other.k && s == other.s &&
+               g == other.g;
     }
 
-    /** One-line summary, e.g. "conv1a N=3 M=48 R=55 C=55 K=11 S=4". */
+    /** One-line summary, e.g. "conv1a N=3 M=48 R=55 C=55 K=11 S=4";
+     * grouped layers append " G=g" (omitted at G=1). */
     std::string toString() const;
 };
 
 /** Convenience constructor used by the network zoo. */
 ConvLayer makeConvLayer(std::string name, int64_t n, int64_t m, int64_t r,
                         int64_t c, int64_t k, int64_t s);
+
+/** Grouped-convolution variant; g must divide n and m. */
+ConvLayer makeConvLayer(std::string name, int64_t n, int64_t m, int64_t r,
+                        int64_t c, int64_t k, int64_t s, int64_t g);
 
 } // namespace nn
 } // namespace mclp

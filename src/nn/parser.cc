@@ -47,17 +47,25 @@ parseNetwork(const std::string &text, const std::string &default_name)
         for (int d = 0; d < 6; ++d) {
             if (!(fields >> dims[d])) {
                 util::fatal("parseNetwork: line %d: layer '%s' needs "
-                            "six integers (N M R C K S)", line_no,
+                            "six integers (N M R C K S [G])", line_no,
                             first.c_str());
             }
         }
+        // Optional seventh integer: groups (grouped/depthwise conv);
+        // absent means 1, the plain convolution. A non-integer token
+        // falls through to the unexpected-token report below.
+        int64_t groups = 1;
+        int64_t parsed = 0;
+        if (fields >> parsed)
+            groups = parsed;
+        fields.clear();
         std::string extra;
         if (fields >> extra) {
             util::fatal("parseNetwork: line %d: unexpected token '%s'",
                         line_no, extra.c_str());
         }
         net.addLayer(makeConvLayer(first, dims[0], dims[1], dims[2],
-                                   dims[3], dims[4], dims[5]));
+                                   dims[3], dims[4], dims[5], groups));
     }
     if (net.numLayers() == 0)
         util::fatal("parseNetwork: no layers found");

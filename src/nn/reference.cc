@@ -7,7 +7,10 @@ namespace nn {
 
 namespace {
 
-/** Check tensor shapes against the layer description. */
+/** Check tensor shapes against the layer description. Weights are
+ * packed per output map over its own group's inputs:
+ * (M * N/G) x K x K, indexed (m * N/G + local_n, i, j). At G=1 this
+ * is the familiar (M*N) x K x K layout. */
 template <typename T>
 void
 checkShapes(const ConvLayer &layer, const Tensor3<T> &input,
@@ -18,8 +21,8 @@ checkShapes(const ConvLayer &layer, const Tensor3<T> &input,
         util::fatal("referenceConv: input shape mismatch for layer %s",
                     layer.name.c_str());
     }
-    if (weights.dim0() != layer.m * layer.n || weights.dim1() != layer.k ||
-        weights.dim2() != layer.k) {
+    if (weights.dim0() != layer.m * layer.groupN() ||
+        weights.dim1() != layer.k || weights.dim2() != layer.k) {
         util::fatal("referenceConv: weight shape mismatch for layer %s",
                     layer.name.c_str());
     }
@@ -32,15 +35,20 @@ referenceConv(const ConvLayer &layer, const Tensor3<float> &input,
               const Tensor3<float> &weights)
 {
     checkShapes(layer, input, weights);
+    const int64_t group_n = layer.groupN();
+    const int64_t group_m = layer.groupM();
     Tensor3<float> output(layer.m, layer.r, layer.c);
     for (int64_t m = 0; m < layer.m; ++m) {
-        for (int64_t n = 0; n < layer.n; ++n) {
+        const int64_t n_base = (m / group_m) * group_n;
+        for (int64_t ln = 0; ln < group_n; ++ln) {
+            const int64_t n = n_base + ln;
             for (int64_t r = 0; r < layer.r; ++r) {
                 for (int64_t c = 0; c < layer.c; ++c) {
                     float acc = output.at(m, r, c);
                     for (int64_t i = 0; i < layer.k; ++i) {
                         for (int64_t j = 0; j < layer.k; ++j) {
-                            float wx = weights.at(m * layer.n + n, i, j);
+                            float wx =
+                                weights.at(m * group_n + ln, i, j);
                             float ix = input.at(n, layer.s * r + i,
                                                 layer.s * c + j);
                             acc += wx * ix;
@@ -59,15 +67,19 @@ referenceConv(const ConvLayer &layer, const Tensor3<Fixed16> &input,
               const Tensor3<Fixed16> &weights)
 {
     checkShapes(layer, input, weights);
+    const int64_t group_n = layer.groupN();
+    const int64_t group_m = layer.groupM();
     Tensor3<Fixed16> output(layer.m, layer.r, layer.c);
     for (int64_t m = 0; m < layer.m; ++m) {
+        const int64_t n_base = (m / group_m) * group_n;
         for (int64_t r = 0; r < layer.r; ++r) {
             for (int64_t c = 0; c < layer.c; ++c) {
                 Fixed16Accumulator acc;
-                for (int64_t n = 0; n < layer.n; ++n) {
+                for (int64_t ln = 0; ln < group_n; ++ln) {
+                    const int64_t n = n_base + ln;
                     for (int64_t i = 0; i < layer.k; ++i) {
                         for (int64_t j = 0; j < layer.k; ++j) {
-                            acc.mac(weights.at(m * layer.n + n, i, j),
+                            acc.mac(weights.at(m * group_n + ln, i, j),
                                     input.at(n, layer.s * r + i,
                                              layer.s * c + j));
                         }

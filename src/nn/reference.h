@@ -17,7 +17,10 @@ namespace nn {
 
 /**
  * Direct convolution, float. @p input is N x inputRows x inputCols,
- * @p weights is (M*N) x K x K (index m*N+n), result is M x R x C.
+ * @p weights is (M*N/G) x K x K — kernel (m, local n) at row
+ * m*(N/G)+ln, since output map m only reads its own group's N/G
+ * inputs — and the result is M x R x C. G=1 gives the familiar
+ * (M*N) x K x K layout with index m*N+n.
  */
 Tensor3<float> referenceConv(const ConvLayer &layer,
                              const Tensor3<float> &input,
@@ -41,12 +44,13 @@ makeRandomInput(const ConvLayer &layer, uint64_t seed)
     return t;
 }
 
-/** Allocate a random weight tensor shaped for @p layer. */
+/** Allocate a random weight tensor shaped for @p layer (grouped
+ * layers carry M*N/G kernels, not M*N). */
 template <typename T>
 Tensor3<T>
 makeRandomWeights(const ConvLayer &layer, uint64_t seed)
 {
-    Tensor3<T> t(layer.m * layer.n, layer.k, layer.k);
+    Tensor3<T> t(layer.m * layer.groupN(), layer.k, layer.k);
     t.fillRandom(seed, 0.25);
     return t;
 }

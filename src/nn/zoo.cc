@@ -144,10 +144,134 @@ makeGoogLeNet()
     return Network("GoogLeNet", std::move(layers));
 }
 
+Network
+makeResNet50()
+{
+    // ResNet-50 on 224x224 input: conv1 (7x7/2) then four stages of
+    // bottleneck blocks (1x1 reduce, 3x3, 1x1 expand) at 56/28/14/7
+    // spatial size with [3, 4, 6, 3] blocks per stage. Projection
+    // shortcuts (the 1x1 downsample convs) are included; identity
+    // shortcuts and the element-wise adds carry no MACs and are
+    // invisible to the optimizer.
+    std::vector<ConvLayer> layers;
+    layers.push_back(makeConvLayer("conv1", 3, 64, 112, 112, 7, 2));
+    struct Stage
+    {
+        const char *tag;
+        int64_t size;     // output spatial size of the stage
+        int64_t in;       // input maps of the first block
+        int64_t mid;      // bottleneck width
+        int64_t out;      // expanded output maps
+        int blocks;
+    };
+    const Stage stages[] = {{"res2", 56, 64, 64, 256, 3},
+                            {"res3", 28, 256, 128, 512, 4},
+                            {"res4", 14, 512, 256, 1024, 6},
+                            {"res5", 7, 1024, 512, 2048, 3}};
+    for (const Stage &stage : stages) {
+        for (int b = 0; b < stage.blocks; ++b) {
+            std::string tag =
+                std::string(stage.tag) + static_cast<char>('a' + b);
+            int64_t in = b == 0 ? stage.in : stage.out;
+            // The first block of stages 3-5 halves the spatial size in
+            // its 3x3 conv (and in the projection shortcut).
+            bool down = b == 0 && stage.size != 56;
+            int64_t in_size = down ? stage.size * 2 : stage.size;
+            layers.push_back(makeConvLayer(tag + "/branch2a", in,
+                                           stage.mid, in_size, in_size,
+                                           1, 1));
+            layers.push_back(makeConvLayer(tag + "/branch2b", stage.mid,
+                                           stage.mid, stage.size,
+                                           stage.size, 3, down ? 2 : 1));
+            layers.push_back(makeConvLayer(tag + "/branch2c", stage.mid,
+                                           stage.out, stage.size,
+                                           stage.size, 1, 1));
+            if (b == 0)
+                layers.push_back(makeConvLayer(tag + "/branch1", in,
+                                               stage.out, stage.size,
+                                               stage.size, 1,
+                                               down ? 2 : 1));
+        }
+    }
+    return Network("ResNet-50", std::move(layers));
+}
+
+Network
+makeMobileNetV1()
+{
+    // MobileNet-v1 (width 1.0) on 224x224 input: a full 3x3 stem, then
+    // 13 depthwise-separable pairs — a depthwise 3x3 (G = N = M) and a
+    // pointwise 1x1 — ending at 7x7x1024.
+    std::vector<ConvLayer> layers;
+    layers.push_back(makeConvLayer("conv0", 3, 32, 112, 112, 3, 2));
+    struct Pair
+    {
+        int64_t in;    // depthwise maps (N = M = G)
+        int64_t out;   // pointwise output maps
+        int64_t size;  // output spatial size
+        int64_t s;     // depthwise stride
+    };
+    const Pair pairs[] = {
+        {32, 64, 112, 1},   {64, 128, 56, 2},   {128, 128, 56, 1},
+        {128, 256, 28, 2},  {256, 256, 28, 1},  {256, 512, 14, 2},
+        {512, 512, 14, 1},  {512, 512, 14, 1},  {512, 512, 14, 1},
+        {512, 512, 14, 1},  {512, 512, 14, 1},  {512, 1024, 7, 2},
+        {1024, 1024, 7, 1},
+    };
+    int idx = 1;
+    for (const Pair &pair : pairs) {
+        std::string tag = "conv" + std::to_string(idx++);
+        layers.push_back(makeConvLayer(tag + "/dw", pair.in, pair.in,
+                                       pair.size, pair.size, 3, pair.s,
+                                       pair.in));
+        layers.push_back(makeConvLayer(tag + "/pw", pair.in, pair.out,
+                                       pair.size, pair.size, 1, 1));
+    }
+    return Network("MobileNet-v1", std::move(layers));
+}
+
+Network
+makeResNextTiny()
+{
+    // A compact ResNeXt-style stack: bottleneck blocks whose 3x3 conv
+    // is a 32-way grouped convolution (cardinality 32), the
+    // "aggregated transformations" shape of Xie et al. Small enough to
+    // optimize quickly, grouped enough (1 < G < N) to exercise every
+    // grouped code path that depthwise (G = N) does not.
+    std::vector<ConvLayer> layers;
+    layers.push_back(makeConvLayer("conv1", 3, 64, 56, 56, 7, 2));
+    struct Block
+    {
+        const char *tag;
+        int64_t size;
+        int64_t in;
+        int64_t mid;
+        int64_t out;
+    };
+    const Block blocks[] = {{"block2a", 28, 64, 128, 256},
+                            {"block2b", 28, 256, 128, 256},
+                            {"block3a", 14, 256, 256, 512},
+                            {"block3b", 14, 512, 256, 512}};
+    for (const Block &block : blocks) {
+        std::string tag = block.tag;
+        layers.push_back(makeConvLayer(tag + "/reduce", block.in,
+                                       block.mid, block.size, block.size,
+                                       1, 1));
+        layers.push_back(makeConvLayer(tag + "/group3x3", block.mid,
+                                       block.mid, block.size, block.size,
+                                       3, 1, 32));
+        layers.push_back(makeConvLayer(tag + "/expand", block.mid,
+                                       block.out, block.size, block.size,
+                                       1, 1));
+    }
+    return Network("ResNeXt-tiny", std::move(layers));
+}
+
 std::vector<std::string>
 zooNetworkNames()
 {
-    return {"alexnet", "vggnet-e", "squeezenet", "googlenet"};
+    return {"alexnet",  "vggnet-e",     "squeezenet",  "googlenet",
+            "resnet50", "mobilenet-v1", "resnext-tiny"};
 }
 
 Network
@@ -167,8 +291,17 @@ networkByName(const std::string &name)
         return makeSqueezeNet();
     if (lower == "googlenet")
         return makeGoogLeNet();
+    if (lower == "resnet50" || lower == "resnet-50")
+        return makeResNet50();
+    if (lower == "mobilenet-v1" || lower == "mobilenet" ||
+        lower == "mobilenetv1") {
+        return makeMobileNetV1();
+    }
+    if (lower == "resnext-tiny" || lower == "resnext")
+        return makeResNextTiny();
     util::fatal("unknown network '%s' (known: alexnet, vggnet-e, "
-                "squeezenet, googlenet)", name.c_str());
+                "squeezenet, googlenet, resnet50, mobilenet-v1, "
+                "resnext-tiny)", name.c_str());
 }
 
 } // namespace nn

@@ -1,6 +1,8 @@
 /**
  * @file
- * The network zoo: the four CNNs the paper evaluates (Section 6).
+ * The network zoo: the four CNNs the paper evaluates (Section 6) plus
+ * three modern stacks that exercise residual and grouped/depthwise
+ * convolution shapes.
  *
  * - AlexNet: grouped convolutions are split into their two halves
  *   (1a/1b .. 5a/5b), 10 conv layers, exactly as in Figure 2.
@@ -10,6 +12,12 @@
  *   paper's quoted dimensions (layer 1 N,M = 3,64; layer 2 N,M = 64,16).
  * - GoogLeNet v1: 57 conv layers (stem + 9 inception modules of 6
  *   convolutions each).
+ * - ResNet-50: 53 conv layers (stem + bottleneck blocks incl.
+ *   projection shortcuts; identity adds carry no MACs).
+ * - MobileNet-v1: 27 conv layers (stem + 13 depthwise-separable
+ *   pairs; the depthwise 3x3s have G = N).
+ * - ResNeXt-tiny: a compact 13-layer grouped-bottleneck stack
+ *   (cardinality-32 3x3s, 1 < G < N).
  */
 
 #ifndef MCLP_NN_ZOO_H
@@ -35,12 +43,22 @@ Network makeSqueezeNet();
 /** GoogLeNet (Inception v1): 57 conv layers. */
 Network makeGoogLeNet();
 
+/** ResNet-50: 53 conv layers incl. projection shortcuts. */
+Network makeResNet50();
+
+/** MobileNet-v1 (width 1.0): 27 conv layers, depthwise G = N. */
+Network makeMobileNetV1();
+
+/** Compact ResNeXt-style grouped-bottleneck stack (G = 32). */
+Network makeResNextTiny();
+
 /** Names accepted by networkByName(). */
 std::vector<std::string> zooNetworkNames();
 
 /**
  * Look up a zoo network by name ("alexnet", "vggnet-e", "squeezenet",
- * "googlenet"; case-insensitive). fatal() on unknown names.
+ * "googlenet", "resnet50", "mobilenet-v1", "resnext-tiny";
+ * case-insensitive). fatal() on unknown names.
  */
 Network networkByName(const std::string &name);
 

@@ -90,14 +90,21 @@ encodeLayers(const std::vector<nn::ConvLayer> &layers)
     parts.reserve(layers.size());
     for (const nn::ConvLayer &layer : layers) {
         checkToken(layer.name, "layer name");
-        parts.push_back(util::strprintf(
+        std::string part = util::strprintf(
             "%s:%lld:%lld:%lld:%lld:%lld:%lld", layer.name.c_str(),
             static_cast<long long>(layer.n),
             static_cast<long long>(layer.m),
             static_cast<long long>(layer.r),
             static_cast<long long>(layer.c),
             static_cast<long long>(layer.k),
-            static_cast<long long>(layer.s)));
+            static_cast<long long>(layer.s));
+        // The groups field rides only on grouped layers: every plain
+        // request line stays byte-identical to the pre-groups wire
+        // format (the cross-version parity the CI smoke diffs).
+        if (layer.g != 1)
+            part += util::strprintf(
+                ":%lld", static_cast<long long>(layer.g));
+        parts.push_back(std::move(part));
     }
     return util::join(parts, ";");
 }
@@ -108,16 +115,17 @@ decodeLayers(const std::string &spec)
     std::vector<nn::ConvLayer> layers;
     for (const std::string &part : util::split(spec, ';')) {
         auto fields = util::split(part, ':');
-        if (fields.size() != 7)
+        if (fields.size() != 7 && fields.size() != 8)
             util::fatal("dse codec: layer spec '%s' wants "
-                        "name:n:m:r:c:k:s", part.c_str());
+                        "name:n:m:r:c:k:s[:g]", part.c_str());
         layers.push_back(nn::makeConvLayer(
             fields[0], parseInt(fields[1], "layer N"),
             parseInt(fields[2], "layer M"),
             parseInt(fields[3], "layer R"),
             parseInt(fields[4], "layer C"),
             parseInt(fields[5], "layer K"),
-            parseInt(fields[6], "layer S")));
+            parseInt(fields[6], "layer S"),
+            fields.size() == 8 ? parseInt(fields[7], "layer G") : 1));
     }
     return layers;
 }

@@ -17,6 +17,12 @@
  *   dse id=s1 net=squeezenet device=690t type=fixed budgets=1000,2880
  *   dse id=c1 net=mini layers=conv1:3:64:55:55:11:4;conv2:64:16:27:27:1:1 \
  *       budgets=500 mode=latency
+ *   dse id=d1 net=dw layers=dw3:32:32:56:56:3:1:32 budgets=500
+ *
+ * A layer spec is name:n:m:r:c:k:s with an optional :g group count
+ * (depthwise/grouped convolution). Encoding emits the g field only
+ * when g > 1, so plain-conv request lines — and therefore their
+ * responses — stay byte-identical to the pre-groups wire format.
  *   dse id=j1 nets=alexnet,squeezenet device=690t budgets=2880
  *   dse id=j2 nets=a:alexnet,m:#2 weights=2,1 budgets=1000 \
  *       layers=c1:3:16:14:14:3:1;c2:16:24:7:7:3:1

@@ -72,10 +72,16 @@ runTiled(const nn::ConvLayer &layer, const model::ClpShape &shape,
         util::fatal("runLayerFunctional: input shape mismatch for %s",
                     layer.name.c_str());
     }
-    if (weights.dim0() != layer.m * layer.n ||
+    // Grouped weight layout: (M * N/G) x K x K, kernel (m, ln) at
+    // row m * N/G + ln — each output map stores kernels only for its
+    // own group's N/G inputs (depthwise degenerates to M x K x K).
+    if (weights.dim0() != layer.m * layer.groupN() ||
         weights.dim1() != layer.k || weights.dim2() != layer.k) {
-        util::fatal("runLayerFunctional: weight shape mismatch for %s",
-                    layer.name.c_str());
+        util::fatal("runLayerFunctional: weight shape mismatch for %s "
+                    "(want (M*N/G)=%lld kernel rows, got %lld)",
+                    layer.name.c_str(),
+                    static_cast<long long>(layer.m * layer.groupN()),
+                    static_cast<long long>(weights.dim0()));
     }
     if (tiling.tr <= 0 || tiling.tc <= 0 || tiling.tr > layer.r ||
         tiling.tc > layer.c) {
@@ -116,70 +122,96 @@ runTiled(const nn::ConvLayer &layer, const model::ClpShape &shape,
             (om * tiling.tr + tr) * tiling.tc + tc)];
     };
 
+    const int64_t group_n = layer.groupN();
+    const int64_t group_m = layer.groupM();
+
     for (int64_t r = 0; r < layer.r; r += tiling.tr) {
         int64_t rloops = std::min(tiling.tr, layer.r - r);
         for (int64_t c = 0; c < layer.c; c += tiling.tc) {
             int64_t cloops = std::min(tiling.tc, layer.c - c);
-            for (int64_t m = 0; m < layer.m; m += tm) {
-                int64_t mvalid = std::min(tm, layer.m - m);
-                std::fill(obuf.begin(), obuf.end(), Traits::zero());
-                for (int64_t n = 0; n < layer.n; n += tn) {
-                    int64_t nvalid = std::min(tn, layer.n - n);
+            // Groups run back to back on the one grid: each group's
+            // M/G output maps tile independently and accumulate over
+            // only the group's own N/G input maps (the cycle model's
+            // leading G factor is exactly this loop).
+            for (int64_t grp = 0; grp < layer.g; ++grp) {
+                const int64_t m_base = grp * group_m;
+                const int64_t n_base = grp * group_n;
+                for (int64_t m = 0; m < group_m; m += tm) {
+                    int64_t mvalid = std::min(tm, group_m - m);
+                    std::fill(obuf.begin(), obuf.end(), Traits::zero());
+                    for (int64_t n = 0; n < group_n; n += tn) {
+                        int64_t nvalid = std::min(tn, group_n - n);
 
-                    // Load phase: refill Ibuf and Wbuf for this round.
-                    for (int64_t t = 0; t < nvalid; ++t)
-                        for (int64_t row = 0;
-                             row < (rloops - 1) * layer.s + layer.k;
-                             ++row)
-                            for (int64_t col = 0;
-                                 col < (cloops - 1) * layer.s + layer.k;
-                                 ++col)
-                                ibufAt(t, row, col) = input.at(
-                                    n + t, r * layer.s + row,
-                                    c * layer.s + col);
-                    for (int64_t om = 0; om < mvalid; ++om)
-                        for (int64_t in = 0; in < nvalid; ++in)
-                            for (int64_t i = 0; i < layer.k; ++i)
-                                for (int64_t j = 0; j < layer.k; ++j)
-                                    wbufAt(om, in, i, j) = weights.at(
-                                        (m + om) * layer.n + (n + in),
-                                        i, j);
+                        // Load phase: refill Ibuf and Wbuf.
+                        for (int64_t t = 0; t < nvalid; ++t)
+                            for (int64_t row = 0;
+                                 row < (rloops - 1) * layer.s + layer.k;
+                                 ++row)
+                                for (int64_t col = 0;
+                                     col < (cloops - 1) * layer.s +
+                                               layer.k;
+                                     ++col)
+                                    ibufAt(t, row, col) = input.at(
+                                        n_base + n + t,
+                                        r * layer.s + row,
+                                        c * layer.s + col);
+                        for (int64_t om = 0; om < mvalid; ++om)
+                            for (int64_t in = 0; in < nvalid; ++in)
+                                for (int64_t i = 0; i < layer.k; ++i)
+                                    for (int64_t j = 0; j < layer.k;
+                                         ++j)
+                                        wbufAt(om, in, i, j) =
+                                            weights.at(
+                                                (m_base + m + om) *
+                                                        group_n +
+                                                    (n + in),
+                                                i, j);
 
-                    // Compute phase: K*K outermost to avoid a
-                    // loop-carried dependence, (tm, tn) innermost as
-                    // the unrolled grid.
-                    for (int64_t i = 0; i < layer.k; ++i) {
-                        for (int64_t j = 0; j < layer.k; ++j) {
-                            for (int64_t tr = 0; tr < rloops; ++tr) {
-                                for (int64_t tc = 0; tc < cloops; ++tc) {
-                                    for (int64_t om = 0; om < mvalid;
-                                         ++om) {
-                                        Acc &acc = obufAt(om, tr, tc);
-                                        for (int64_t in = 0; in < nvalid;
-                                             ++in) {
-                                            Traits::mac(
-                                                acc,
-                                                wbufAt(om, in, i, j),
-                                                ibufAt(in,
-                                                       layer.s * tr + i,
-                                                       layer.s * tc + j));
-                                            ++result.macsPerformed;
+                        // Compute phase: K*K outermost to avoid a
+                        // loop-carried dependence, (tm, tn) innermost
+                        // as the unrolled grid.
+                        for (int64_t i = 0; i < layer.k; ++i) {
+                            for (int64_t j = 0; j < layer.k; ++j) {
+                                for (int64_t tr = 0; tr < rloops;
+                                     ++tr) {
+                                    for (int64_t tc = 0; tc < cloops;
+                                         ++tc) {
+                                        for (int64_t om = 0;
+                                             om < mvalid; ++om) {
+                                            Acc &acc =
+                                                obufAt(om, tr, tc);
+                                            for (int64_t in = 0;
+                                                 in < nvalid; ++in) {
+                                                Traits::mac(
+                                                    acc,
+                                                    wbufAt(om, in, i,
+                                                           j),
+                                                    ibufAt(
+                                                        in,
+                                                        layer.s * tr +
+                                                            i,
+                                                        layer.s * tc +
+                                                            j));
+                                                ++result.macsPerformed;
+                                            }
                                         }
                                     }
                                 }
                             }
                         }
+                        result.computeCycles +=
+                            layer.k * layer.k * rloops * cloops;
+                        ++result.rounds;
                     }
-                    result.computeCycles +=
-                        layer.k * layer.k * rloops * cloops;
-                    ++result.rounds;
+                    // Store phase: drain Obuf to the output maps.
+                    for (int64_t om = 0; om < mvalid; ++om)
+                        for (int64_t tr = 0; tr < rloops; ++tr)
+                            for (int64_t tc = 0; tc < cloops; ++tc)
+                                result.output.at(m_base + m + om,
+                                                 r + tr, c + tc) =
+                                    Traits::finalize(
+                                        obufAt(om, tr, tc));
                 }
-                // Store phase: drain Obuf to the output maps.
-                for (int64_t om = 0; om < mvalid; ++om)
-                    for (int64_t tr = 0; tr < rloops; ++tr)
-                        for (int64_t tc = 0; tc < cloops; ++tc)
-                            result.output.at(m + om, r + tr, c + tc) =
-                                Traits::finalize(obufAt(om, tr, tc));
             }
         }
     }

@@ -18,7 +18,14 @@ roundsForLayer(const nn::ConvLayer &layer, const model::ClpShape &shape,
                     layer.name.c_str());
     }
 
-    int64_t nsteps = util::ceilDiv(layer.n, shape.tn);
+    // Per convolution group: a grouped layer's accumulation chain
+    // spans only its own N/G inputs, and its M/G output maps tile
+    // separately. The G groups run back to back, emitting identical
+    // round patterns over distinct maps. (Round::groupStart is the
+    // unrelated accumulation-tile start below, not a conv group.)
+    int64_t group_n = layer.groupN();
+    int64_t group_m = layer.groupM();
+    int64_t nsteps = util::ceilDiv(group_n, shape.tn);
     std::vector<Round> rounds;
     for (int64_t r = 0; r < layer.r; r += tiling.tr) {
         int64_t rloops = std::min(tiling.tr, layer.r - r);
@@ -26,24 +33,27 @@ roundsForLayer(const nn::ConvLayer &layer, const model::ClpShape &shape,
         for (int64_t c = 0; c < layer.c; c += tiling.tc) {
             int64_t cloops = std::min(tiling.tc, layer.c - c);
             int64_t in_cols = (cloops - 1) * layer.s + layer.k;
-            for (int64_t m = 0; m < layer.m; m += shape.tm) {
-                int64_t mvalid = std::min(shape.tm, layer.m - m);
-                for (int64_t nstep = 0; nstep < nsteps; ++nstep) {
-                    int64_t n = nstep * shape.tn;
-                    int64_t nvalid = std::min(shape.tn, layer.n - n);
-                    Round round;
-                    round.layerIdx = layer_idx;
-                    round.groupStart = (nstep == 0);
-                    round.inputWords = nvalid * in_rows * in_cols;
-                    round.weightWords =
-                        mvalid * nvalid * layer.k * layer.k;
-                    round.loadWords =
-                        round.inputWords + round.weightWords;
-                    round.computeCycles =
-                        layer.k * layer.k * rloops * cloops;
-                    if (nstep == nsteps - 1)
-                        round.storeWords = mvalid * rloops * cloops;
-                    rounds.push_back(round);
+            for (int64_t grp = 0; grp < layer.g; ++grp) {
+                for (int64_t m = 0; m < group_m; m += shape.tm) {
+                    int64_t mvalid = std::min(shape.tm, group_m - m);
+                    for (int64_t nstep = 0; nstep < nsteps; ++nstep) {
+                        int64_t n = nstep * shape.tn;
+                        int64_t nvalid =
+                            std::min(shape.tn, group_n - n);
+                        Round round;
+                        round.layerIdx = layer_idx;
+                        round.groupStart = (nstep == 0);
+                        round.inputWords = nvalid * in_rows * in_cols;
+                        round.weightWords =
+                            mvalid * nvalid * layer.k * layer.k;
+                        round.loadWords =
+                            round.inputWords + round.weightWords;
+                        round.computeCycles =
+                            layer.k * layer.k * rloops * cloops;
+                        if (nstep == nsteps - 1)
+                            round.storeWords = mvalid * rloops * cloops;
+                        rounds.push_back(round);
+                    }
                 }
             }
         }

@@ -445,7 +445,7 @@ readFileBytes(const std::string &path)
     return bytes;
 }
 
-TEST(FrontierCache, LegacyV2FileUpgradesToV3OnFirstFlush)
+TEST(FrontierCache, LegacyV2FileUpgradesOnFirstFlush)
 {
     ScratchDir scratch;
     std::vector<int64_t> row_key = {3, 64, 2880, 17};
@@ -494,14 +494,15 @@ TEST(FrontierCache, LegacyV2FileUpgradesToV3OnFirstFlush)
         EXPECT_EQ(loaded->point(i).cycles, row->point(i).cycles);
     }
 
-    // First flush rewrites as v3 even with nothing new pending.
+    // First flush rewrites delta-compacted under the current header
+    // even with nothing new pending.
     ASSERT_TRUE(cache->flush());
     EXPECT_LT(fs::file_size(scratch.cacheFile()), legacy_bytes)
         << "the delta rewrite must shrink the legacy SoA file";
     EXPECT_TRUE(fs::exists(scratch.segmentFile()));
 
-    // A fresh open maps the published segment (v3 path) and serves
-    // the upgraded records unchanged.
+    // A fresh open maps the published segment and serves the
+    // upgraded records unchanged.
     auto upgraded = std::make_shared<core::FrontierCache>(scratch.dir());
     EXPECT_TRUE(upgraded->stats().loadedClean);
     EXPECT_TRUE(upgraded->stats().segmentMapped);
@@ -516,6 +517,130 @@ TEST(FrontierCache, LegacyV2FileUpgradesToV3OnFirstFlush)
         EXPECT_EQ(reloaded->point(i).dsp, row->point(i).dsp);
         EXPECT_EQ(reloaded->point(i).cycles, row->point(i).cycles);
     }
+}
+
+TEST(FrontierCache, LegacyV3FileUpgradesToV4OnFirstFlush)
+{
+    // v4 added the per-layer group lane to row keys; payload framing
+    // is untouched. A v3 file must eager-load (its segment, if any,
+    // indexes 3-lane keys and would miss every lookup), answer under
+    // the upgraded 4-lane keys, and be rewritten as v4 on the first
+    // flush with the generation advancing monotonically.
+    ScratchDir scratch;
+    // Two header words, then (n, m, r*c*k^2) per layer; the upgrade
+    // appends G=1 to each layer triple.
+    std::vector<int64_t> v3_row_key = {2, 2880, 3, 64, 121};
+    std::vector<int64_t> v4_row_key = {2, 2880, 3, 64, 121, 1};
+    auto row = makeRow(9);
+    std::vector<int64_t> trace_key = {1, 4, 4, -1, 8, 8, -1};
+    core::FrontierTraceImage trace;
+    trace.complete = false;
+    trace.initialBram = 7000;
+    trace.initialPeak = 9.25;
+    for (int i = 0; i < 4; ++i) {
+        core::TradeoffCurveCache::PartitionStep step;
+        step.clp = static_cast<uint32_t>(i % 2);
+        step.inCap = 90 - i;
+        step.outCap = 180 - i;
+        step.totalBram = 6000 - i * 400;
+        step.totalPeak = 10.0 + i;
+        trace.steps.push_back(step);
+    }
+    {
+        // Exactly what a v3 binary left behind: delta records with
+        // hit counters, 3-lane row keys, generation 7 in the header.
+        util::RecordFileWriter writer(
+            scratch.cacheFile(),
+            core::legacyV3CacheHeaderPayload(
+                core::modelFormulaFingerprint(), 7));
+        util::ByteWriter rrec;
+        rrec.u8(core::kCacheRecordRow);
+        core::writeCacheKey(rrec, v3_row_key);
+        rrec.u32(12);  // hits
+        rrec.u32(7);   // lastGen
+        core::encodeRowPayload(rrec, *row);
+        writer.append(rrec.bytes());
+        util::ByteWriter trec;
+        trec.u8(core::kCacheRecordTrace);
+        core::writeCacheKey(trec, trace_key);
+        trec.u32(3);
+        trec.u32(6);
+        core::encodeTracePayload(trec, trace);
+        writer.append(trec.bytes());
+        ASSERT_TRUE(writer.commit());
+    }
+
+    // Eager clean load; the row answers only under its 4-lane key.
+    auto cache = std::make_shared<core::FrontierCache>(scratch.dir());
+    EXPECT_TRUE(cache->stats().loadedClean);
+    EXPECT_FALSE(cache->stats().segmentMapped);
+    EXPECT_EQ(cache->stats().rowsLoaded, 1u);
+    EXPECT_EQ(cache->stats().tracesLoaded, 1u);
+    EXPECT_EQ(cache->stats().generation, 7u);
+    core::CacheTier tier = core::CacheTier::None;
+    EXPECT_EQ(cache->loadRow(v3_row_key, &tier), nullptr)
+        << "3-lane keys must not answer after the upgrade";
+    auto loaded = cache->loadRow(v4_row_key, &tier);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(tier, core::CacheTier::Disk);
+    ASSERT_EQ(loaded->size(), row->size());
+    for (size_t i = 0; i < row->size(); ++i) {
+        EXPECT_EQ(loaded->point(i).shape, row->point(i).shape);
+        EXPECT_EQ(loaded->point(i).dsp, row->point(i).dsp);
+        EXPECT_EQ(loaded->point(i).cycles, row->point(i).cycles);
+    }
+    // Trace keys carry no layer lanes, so they pass through as-is.
+    core::TradeoffCurveCache::PartitionTrace seeded;
+    EXPECT_TRUE(cache->seedTrace(trace_key, seeded, &tier));
+    EXPECT_EQ(tier, core::CacheTier::Disk);
+    EXPECT_EQ(seeded.steps.size(), trace.steps.size());
+
+    // First flush rewrites as v4 even with nothing new pending.
+    ASSERT_TRUE(cache->flush());
+    EXPECT_TRUE(fs::exists(scratch.segmentFile()));
+
+    // A fresh open maps the published segment under 4-lane keys.
+    auto upgraded = std::make_shared<core::FrontierCache>(scratch.dir());
+    EXPECT_TRUE(upgraded->stats().loadedClean);
+    EXPECT_TRUE(upgraded->stats().segmentMapped);
+    EXPECT_EQ(upgraded->stats().segmentEntries, 2u);
+    EXPECT_GT(upgraded->stats().generation, 7u)
+        << "the rewrite must advance the v3 header's generation";
+    tier = core::CacheTier::None;
+    EXPECT_EQ(upgraded->loadRow(v3_row_key, &tier), nullptr);
+    auto reloaded = upgraded->loadRow(v4_row_key, &tier);
+    ASSERT_NE(reloaded, nullptr);
+    EXPECT_EQ(tier, core::CacheTier::Mmap);
+    ASSERT_EQ(reloaded->size(), row->size());
+    for (size_t i = 0; i < row->size(); ++i) {
+        EXPECT_EQ(reloaded->point(i).dsp, row->point(i).dsp);
+        EXPECT_EQ(reloaded->point(i).cycles, row->point(i).cycles);
+    }
+}
+
+TEST(FrontierCache, CorruptV3RowKeyLoadsUnclean)
+{
+    // A v3 row key whose layer lanes are not a multiple of three
+    // cannot be upgraded; the load keeps the valid prefix and goes
+    // unclean instead of inventing group lanes.
+    ScratchDir scratch;
+    {
+        util::RecordFileWriter writer(
+            scratch.cacheFile(),
+            core::legacyV3CacheHeaderPayload(
+                core::modelFormulaFingerprint(), 1));
+        util::ByteWriter rec;
+        rec.u8(core::kCacheRecordRow);
+        core::writeCacheKey(rec, {2, 2880, 3, 64});  // truncated triple
+        rec.u32(0);
+        rec.u32(1);
+        core::encodeRowPayload(rec, *makeRow(3));
+        writer.append(rec.bytes());
+        ASSERT_TRUE(writer.commit());
+    }
+    auto cache = std::make_shared<core::FrontierCache>(scratch.dir());
+    EXPECT_FALSE(cache->stats().loadedClean);
+    EXPECT_EQ(cache->stats().rowsLoaded, 0u);
 }
 
 TEST(FrontierCache, ByteBudgetEvictsTheLeastRecentlyHitRecords)

@@ -20,17 +20,26 @@ TEST(Device, PaperBudgets)
 
 TEST(Device, UltrascaleCapacities)
 {
-    // Figure 7's dashed lines: VU9P and VU11P DSP capacities.
+    // Figure 7's dashed lines: VU9P and VU11P DSP capacities, plus
+    // the wider parts the catalog projects beyond the paper.
     EXPECT_EQ(fpga::ultrascale_vu9p().dspSlices, 6840);
     EXPECT_EQ(fpga::ultrascale_vu11p().dspSlices, 9216);
+    EXPECT_EQ(fpga::ultrascale_vu13p().dspSlices, 12288);
+    EXPECT_EQ(fpga::ultrascale_vu13p().bram18k, 5376);
+    EXPECT_EQ(fpga::alveo_u280().dspSlices, 9024);
+    EXPECT_EQ(fpga::alveo_u280().bram18k, 4032);
 }
 
 TEST(Device, CatalogAndLookup)
 {
-    EXPECT_EQ(fpga::deviceCatalog().size(), 4u);
+    EXPECT_EQ(fpga::deviceCatalog().size(), 6u);
     EXPECT_EQ(fpga::deviceByName("485t").name, "Virtex-7 485T");
     EXPECT_EQ(fpga::deviceByName("690T").name, "Virtex-7 690T");
     EXPECT_EQ(fpga::deviceByName("vu9p").dspSlices, 6840);
+    EXPECT_EQ(fpga::deviceByName("vu13p").name,
+              "Virtex UltraScale+ VU13P");
+    EXPECT_EQ(fpga::deviceByName("u280").name, "Alveo U280");
+    EXPECT_EQ(fpga::deviceByName("XCU280").dspSlices, 9024);
     EXPECT_THROW(fpga::deviceByName("arria10"), util::FatalError);
 }
 

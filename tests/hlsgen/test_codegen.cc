@@ -82,6 +82,7 @@ struct ExecCase
     fpga::DataType type;
     int64_t n, m, r, c, k, s, tn, tm, tr, tc;
     const char *tag;
+    int64_t g = 1;
 };
 
 class CodegenExecution : public ::testing::TestWithParam<ExecCase>
@@ -92,7 +93,8 @@ TEST_P(CodegenExecution, GeneratedTemplateMatchesDirectConvolution)
 {
     ExecCase p = GetParam();
     fpga::DataType type = p.type;
-    nn::ConvLayer l = test::layer(p.n, p.m, p.r, p.c, p.k, p.s);
+    nn::ConvLayer l =
+        test::groupedLayer(p.n, p.m, p.r, p.c, p.k, p.s, p.g);
     model::Tiling tiling{p.tr, p.tc};
     auto params = smallParams(type, "clp_t", l, tiling, p.tn, p.tm);
     auto desc = hlsgen::ArgumentDescriptor::fromLayer(l, tiling);
@@ -144,7 +146,15 @@ INSTANTIATE_TEST_SUITE_P(
                  4, "float_bigk"},
         // Multiple output ports: Tm > 64 forces MP = 2.
         ExecCase{fpga::DataType::Fixed16, 4, 96, 6, 6, 3, 1, 2, 96, 3,
-                 3, "fixed_multiport"}),
+                 3, "fixed_multiport"},
+        // Grouped: 2 groups of 4 maps; Tn=3 does not divide the
+        // 4-map group span, so group boundaries exercise the same
+        // partial-tile paths layer edges do.
+        ExecCase{fpga::DataType::Float32, 8, 8, 6, 6, 3, 1, 3, 3, 4,
+                 6, "float_grouped", 2},
+        // Depthwise: one input map per output map (G == N == M).
+        ExecCase{fpga::DataType::Fixed16, 6, 6, 7, 7, 3, 1, 2, 2, 4,
+                 5, "fixed_depthwise", 6}),
     [](const ::testing::TestParamInfo<ExecCase> &info) {
         return std::string(info.param.tag);
     });

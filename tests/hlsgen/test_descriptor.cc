@@ -19,14 +19,22 @@ TEST(Descriptor, FromLayerCapturesAllFields)
     EXPECT_EQ(desc.s, 1u);
     EXPECT_EQ(desc.tr, 14u);
     EXPECT_EQ(desc.tc, 27u);
+    EXPECT_EQ(desc.g, 1u);
 }
 
-TEST(Descriptor, EncodeIs32ByteLittleEndian)
+TEST(Descriptor, FromLayerCapturesGroups)
+{
+    nn::ConvLayer l = test::groupedLayer(96, 96, 28, 28, 3, 1, 96);
+    auto desc = hlsgen::ArgumentDescriptor::fromLayer(l, {14, 14});
+    EXPECT_EQ(desc.g, 96u);
+}
+
+TEST(Descriptor, EncodeIs36ByteLittleEndian)
 {
     nn::ConvLayer l = test::layer(3, 48, 55, 55, 11, 4);
     auto desc = hlsgen::ArgumentDescriptor::fromLayer(l, {8, 8});
     auto raw = desc.encode();
-    static_assert(sizeof(raw) == 32);
+    static_assert(sizeof(raw) == 36);
     // R = 55 in the first word, little-endian.
     EXPECT_EQ(raw[0], 55);
     EXPECT_EQ(raw[1], 0);
@@ -34,12 +42,24 @@ TEST(Descriptor, EncodeIs32ByteLittleEndian)
     EXPECT_EQ(raw[8], 48);
     // K = 11 in the fifth word.
     EXPECT_EQ(raw[16], 11);
+    // G = 1 in the ninth word.
+    EXPECT_EQ(raw[32], 1);
+    EXPECT_EQ(raw[33], 0);
 }
 
 TEST(Descriptor, RoundTripsThroughEncoding)
 {
     nn::ConvLayer l = test::layer(256, 192, 13, 13, 3, 1);
     auto desc = hlsgen::ArgumentDescriptor::fromLayer(l, {13, 13});
+    auto decoded = hlsgen::ArgumentDescriptor::decode(desc.encode());
+    EXPECT_EQ(decoded, desc);
+}
+
+TEST(Descriptor, GroupedRoundTripsThroughEncoding)
+{
+    nn::ConvLayer l = test::groupedLayer(256, 256, 13, 13, 3, 1, 32);
+    auto desc = hlsgen::ArgumentDescriptor::fromLayer(l, {13, 13});
+    EXPECT_EQ(desc.g, 32u);
     auto decoded = hlsgen::ArgumentDescriptor::decode(desc.encode());
     EXPECT_EQ(decoded, desc);
 }
@@ -53,6 +73,16 @@ TEST(Descriptor, DerivedStepsMatchCeil)
     EXPECT_EQ(desc.msteps(19), 7u);
     EXPECT_EQ(desc.nsteps(8), 6u);
     EXPECT_THROW(desc.msteps(0), util::PanicError);
+}
+
+TEST(Descriptor, GroupedStepsArePerGroup)
+{
+    // 256 maps in 32 groups = 8 maps per group on each side, so the
+    // step counts divide by the group's span, not the layer's.
+    nn::ConvLayer l = test::groupedLayer(256, 256, 13, 13, 3, 1, 32);
+    auto desc = hlsgen::ArgumentDescriptor::fromLayer(l, {13, 13});
+    EXPECT_EQ(desc.msteps(3), 3u);  // ceil(8 / 3)
+    EXPECT_EQ(desc.nsteps(8), 1u);  // ceil(8 / 8)
 }
 
 TEST(Descriptor, ValidationRejectsBadFields)
@@ -70,6 +100,11 @@ TEST(Descriptor, ValidationRejectsBadFields)
     desc.tr = 8;
     desc.k = 0;
     EXPECT_THROW(desc.validate(), util::FatalError);
+    desc.k = 3;
+    desc.g = 3;  // does not divide M=4 / N=4
+    EXPECT_THROW(desc.validate(), util::FatalError);
+    desc.g = 2;
+    EXPECT_NO_THROW(desc.validate());
 }
 
 } // namespace

@@ -14,6 +14,7 @@ namespace {
 struct TrafficCase
 {
     int64_t n, m, r, c, k, s, tn, tm, tr, tc;
+    int64_t g = 1;
 };
 
 class TrafficAgainstRounds : public ::testing::TestWithParam<TrafficCase>
@@ -26,7 +27,8 @@ TEST_P(TrafficAgainstRounds, ClosedFormMatchesRoundEnumeration)
     // brute-force enumeration of the tile rounds (boundary tiles
     // included).
     TrafficCase p = GetParam();
-    nn::ConvLayer l = test::layer(p.n, p.m, p.r, p.c, p.k, p.s);
+    nn::ConvLayer l =
+        test::groupedLayer(p.n, p.m, p.r, p.c, p.k, p.s, p.g);
     model::ClpShape shape{p.tn, p.tm};
     model::Tiling tiling{p.tr, p.tc};
 
@@ -54,7 +56,13 @@ INSTANTIATE_TEST_SUITE_P(
         TrafficCase{16, 64, 56, 56, 3, 1, 8, 16, 56, 56},
         TrafficCase{7, 9, 11, 13, 3, 2, 2, 4, 3, 5},
         TrafficCase{5, 5, 5, 5, 1, 1, 5, 5, 5, 5},
-        TrafficCase{10, 20, 8, 8, 3, 1, 4, 8, 5, 7}));
+        TrafficCase{10, 20, 8, 8, 3, 1, 4, 8, 5, 7},
+        // Grouped: Tn/Tm straddle the 8-map group spans.
+        TrafficCase{32, 64, 14, 14, 3, 1, 3, 5, 9, 14, 4},
+        // Depthwise: every group is a single map on each side.
+        TrafficCase{16, 16, 12, 12, 3, 2, 4, 8, 7, 12, 16},
+        // Grouped pointwise (ResNeXt reduce next to group3x3).
+        TrafficCase{24, 48, 10, 10, 1, 1, 4, 6, 10, 10, 8}));
 
 TEST(BandwidthModel, InputReloadedPerMStep)
 {

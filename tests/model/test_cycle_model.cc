@@ -21,6 +21,30 @@ TEST(CycleModel, FormulaOnSimpleLayer)
     EXPECT_EQ(model::layerCycles(l, {16, 32}), 576);
 }
 
+TEST(CycleModel, GroupedFormulaScalesByGroups)
+{
+    // 4 groups of 8-in/16-out maps on a 4x8 grid: each group takes
+    // ceil(8/4)*ceil(16/8) = 4 tile rounds of R*C*K^2 cycles, and the
+    // groups run back to back.
+    nn::ConvLayer l = test::groupedLayer(32, 64, 8, 8, 3, 1, 4);
+    EXPECT_EQ(model::layerCycles(l, {4, 8}),
+              4 * 8 * 8 * 2 * 2 * 9);
+    // A grid sized for one whole group finishes in G rounds.
+    EXPECT_EQ(model::layerCycles(l, {8, 16}), 4 * 8 * 8 * 9);
+    // An oversized grid cannot merge groups: still G rounds, so the
+    // grouped layer can never beat G * R*C*K^2.
+    EXPECT_EQ(model::layerCycles(l, {32, 64}), 4 * 8 * 8 * 9);
+}
+
+TEST(CycleModel, DepthwiseCyclesIndependentOfGrid)
+{
+    // Depthwise: every group is 1x1 maps, so any grid runs it in
+    // G * R*C*K^2 cycles — the shape that starves wide CLPs.
+    nn::ConvLayer l = test::groupedLayer(96, 96, 14, 14, 3, 1, 96);
+    EXPECT_EQ(model::layerCycles(l, {1, 1}), 96 * 14 * 14 * 9);
+    EXPECT_EQ(model::layerCycles(l, {9, 64}), 96 * 14 * 14 * 9);
+}
+
 TEST(CycleModel, AlexNetSingleClp485MatchesTable2a)
 {
     // Table 2(a): Tn=7, Tm=64 computes layer pairs in 732/510/338/

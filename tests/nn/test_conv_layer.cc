@@ -39,6 +39,64 @@ TEST(ConvLayer, ComputeToDataRatioMatchesDefinition)
     EXPECT_GT(l.computeToDataRatio(), 0.0);
 }
 
+TEST(ConvLayer, GroupedDerivedDimensions)
+{
+    // ResNeXt-style: 32 groups over 256 maps each side, so each
+    // output map only reads its group's 8 input maps.
+    nn::ConvLayer l = test::groupedLayer(256, 256, 14, 14, 3, 1, 32);
+    EXPECT_EQ(l.groupN(), 8);
+    EXPECT_EQ(l.groupM(), 8);
+    EXPECT_EQ(l.macs(), 14LL * 14 * 9 * 8 * 256);
+    EXPECT_EQ(l.weightWords(), 256LL * 8 * 3 * 3);
+    EXPECT_EQ(l.inputWords(), 256LL * 16 * 16);
+    EXPECT_EQ(l.outputWords(), 256LL * 14 * 14);
+}
+
+TEST(ConvLayer, DepthwiseDerivedDimensions)
+{
+    // MobileNet-style depthwise: G == N == M, one kernel per map.
+    nn::ConvLayer l = test::groupedLayer(96, 96, 28, 28, 3, 1, 96);
+    EXPECT_EQ(l.groupN(), 1);
+    EXPECT_EQ(l.groupM(), 1);
+    EXPECT_EQ(l.macs(), 28LL * 28 * 9 * 96);
+    EXPECT_EQ(l.weightWords(), 96LL * 3 * 3);
+}
+
+TEST(ConvLayer, GroupsDefaultToOne)
+{
+    nn::ConvLayer l = test::layer(16, 64, 56, 56, 3, 1);
+    EXPECT_EQ(l.g, 1);
+    EXPECT_EQ(l.groupN(), 16);
+    EXPECT_EQ(l.groupM(), 64);
+}
+
+TEST(ConvLayer, ValidateRejectsBadGroups)
+{
+    EXPECT_THROW(test::groupedLayer(16, 64, 8, 8, 3, 1, 0),
+                 util::FatalError);
+    EXPECT_THROW(test::groupedLayer(16, 64, 8, 8, 3, 1, 3),
+                 util::FatalError);
+    EXPECT_THROW(test::groupedLayer(15, 60, 8, 8, 3, 1, 4),
+                 util::FatalError);
+}
+
+TEST(ConvLayer, GroupsDistinguishShape)
+{
+    nn::ConvLayer a = test::layer(32, 64, 8, 8, 3, 1);
+    nn::ConvLayer b = test::groupedLayer(32, 64, 8, 8, 3, 1, 4);
+    EXPECT_FALSE(a.sameShape(b));
+    EXPECT_TRUE(b.sameShape(b));
+}
+
+TEST(ConvLayer, ToStringShowsGroupsOnlyWhenGrouped)
+{
+    std::string plain = test::layer(3, 48, 55, 55, 11, 4).toString();
+    EXPECT_EQ(plain.find("G="), std::string::npos);
+    std::string grouped =
+        test::groupedLayer(32, 64, 8, 8, 3, 1, 4).toString();
+    EXPECT_NE(grouped.find("G=4"), std::string::npos);
+}
+
 TEST(ConvLayer, ValidateRejectsNonPositiveDims)
 {
     EXPECT_THROW(test::layer(0, 1, 1, 1, 1, 1), util::FatalError);

@@ -40,9 +40,36 @@ TEST(Parser, RejectsShortLines)
                  util::FatalError);
 }
 
+TEST(Parser, ParsesOptionalGroups)
+{
+    nn::Network net = nn::parseNetwork(
+        "gconv 32 64 16 16 3 1 4\n"
+        "dw 32 32 16 16 3 1 32\n"
+        "plain 32 64 16 16 3 1\n");
+    ASSERT_EQ(net.numLayers(), 3u);
+    EXPECT_EQ(net.layer(0).g, 4);
+    EXPECT_EQ(net.layer(1).g, 32);
+    EXPECT_EQ(net.layer(2).g, 1);
+}
+
 TEST(Parser, RejectsTrailingGarbage)
 {
-    EXPECT_THROW(nn::parseNetwork("conv1 3 16 32 32 5 2 9\n"),
+    // An eighth integer has no meaning (seven = N M R C K S G).
+    EXPECT_THROW(nn::parseNetwork("conv1 3 16 32 32 5 2 1 9\n"),
+                 util::FatalError);
+    // A non-integer token in the G slot is garbage, not groups.
+    EXPECT_THROW(nn::parseNetwork("conv1 3 16 32 32 5 2 x\n"),
+                 util::FatalError);
+}
+
+TEST(Parser, RejectsGroupsNotDividingMaps)
+{
+    // G must divide both the input and output map counts.
+    EXPECT_THROW(nn::parseNetwork("conv1 32 64 16 16 3 1 3\n"),
+                 util::FatalError);
+    EXPECT_THROW(nn::parseNetwork("conv1 30 64 16 16 3 1 4\n"),
+                 util::FatalError);
+    EXPECT_THROW(nn::parseNetwork("conv1 32 64 16 16 3 1 0\n"),
                  util::FatalError);
 }
 

@@ -14,6 +14,79 @@ TEST(Zoo, LayerCountsMatchPaper)
     EXPECT_EQ(nn::makeVggNetE().numLayers(), 16u);
     EXPECT_EQ(nn::makeSqueezeNet().numLayers(), 26u);
     EXPECT_EQ(nn::makeGoogLeNet().numLayers(), 57u);
+    EXPECT_EQ(nn::makeResNet50().numLayers(), 53u);
+    EXPECT_EQ(nn::makeMobileNetV1().numLayers(), 27u);
+    EXPECT_EQ(nn::makeResNextTiny().numLayers(), 13u);
+}
+
+TEST(Zoo, PaperNetworksAreUngrouped)
+{
+    // The four paper networks predate the G dimension; every layer
+    // must stay a plain convolution so pre-groups results (and the
+    // g=1 wire parity the CI checks) are untouched.
+    for (const char *name :
+         {"alexnet", "vggnet-e", "squeezenet", "googlenet"}) {
+        for (const auto &layer : nn::networkByName(name).layers())
+            EXPECT_EQ(layer.g, 1) << name << " " << layer.name;
+    }
+}
+
+TEST(Zoo, ResNet50BottleneckStructure)
+{
+    nn::Network net = nn::makeResNet50();
+    EXPECT_EQ(net.layer(0).k, 7);
+    EXPECT_EQ(net.layer(0).s, 2);
+    // First bottleneck: 64 -> 64 (1x1), 64 -> 64 (3x3), 64 -> 256
+    // (1x1), plus the 256-map projection shortcut.
+    EXPECT_EQ(net.layer(1).k, 1);
+    EXPECT_EQ(net.layer(2).k, 3);
+    EXPECT_EQ(net.layer(3).m, 256);
+    EXPECT_EQ(net.layer(4).m, 256);
+    // Final stage works at 7x7 with 2048 expanded maps.
+    const auto &last = net.layer(net.numLayers() - 1);
+    EXPECT_EQ(last.r, 7);
+    EXPECT_EQ(last.m, 2048);
+}
+
+TEST(Zoo, MobileNetDepthwisePairs)
+{
+    nn::Network net = nn::makeMobileNetV1();
+    EXPECT_EQ(net.layer(0).g, 1);  // full-conv stem
+    // 13 depthwise/pointwise pairs: dw has G = N = M and K = 3, pw is
+    // an ungrouped 1x1 reading the dw output.
+    for (size_t p = 0; p < 13; ++p) {
+        const auto &dw = net.layer(1 + 2 * p);
+        const auto &pw = net.layer(2 + 2 * p);
+        EXPECT_EQ(dw.g, dw.n) << dw.name;
+        EXPECT_EQ(dw.n, dw.m) << dw.name;
+        EXPECT_EQ(dw.k, 3) << dw.name;
+        EXPECT_EQ(pw.g, 1) << pw.name;
+        EXPECT_EQ(pw.k, 1) << pw.name;
+        EXPECT_EQ(pw.n, dw.m) << pw.name;
+    }
+    // Ends at 7x7x1024.
+    const auto &last = net.layer(net.numLayers() - 1);
+    EXPECT_EQ(last.r, 7);
+    EXPECT_EQ(last.m, 1024);
+}
+
+TEST(Zoo, ResNextTinyCardinality32)
+{
+    nn::Network net = nn::makeResNextTiny();
+    // Each block: ungrouped reduce, 32-way grouped 3x3, ungrouped
+    // expand — the 1 < G < N shape depthwise never exercises.
+    for (size_t b = 0; b < 4; ++b) {
+        const auto &reduce = net.layer(1 + 3 * b);
+        const auto &grouped = net.layer(2 + 3 * b);
+        const auto &expand = net.layer(3 + 3 * b);
+        EXPECT_EQ(reduce.g, 1) << reduce.name;
+        EXPECT_EQ(grouped.g, 32) << grouped.name;
+        EXPECT_EQ(grouped.k, 3) << grouped.name;
+        EXPECT_GT(grouped.groupN(), 1) << grouped.name;
+        EXPECT_EQ(expand.g, 1) << expand.name;
+        EXPECT_EQ(grouped.n, reduce.m) << grouped.name;
+        EXPECT_EQ(expand.n, grouped.m) << expand.name;
+    }
 }
 
 TEST(Zoo, AlexNetDimensions)
@@ -169,6 +242,9 @@ TEST(Zoo, NetworkByNameLookups)
     EXPECT_EQ(nn::networkByName("vggnet-e").numLayers(), 16u);
     EXPECT_EQ(nn::networkByName("SQUEEZENET").numLayers(), 26u);
     EXPECT_EQ(nn::networkByName("googlenet").numLayers(), 57u);
+    EXPECT_EQ(nn::networkByName("resnet50").numLayers(), 53u);
+    EXPECT_EQ(nn::networkByName("MobileNet").numLayers(), 27u);
+    EXPECT_EQ(nn::networkByName("resnext").numLayers(), 13u);
     EXPECT_THROW(nn::networkByName("resnet"), util::FatalError);
 }
 

@@ -91,6 +91,46 @@ TEST(DseCodec, MalformedRequestsAreRejected)
                  util::FatalError);
 }
 
+TEST(DseCodec, LayerGroupsOnTheWire)
+{
+    // Plain layers keep the pre-groups seven-field wire form byte for
+    // byte; grouped layers append :g as an eighth field.
+    core::DseRequest request;
+    request.id = "g1";
+    request.network = "mini";
+    request.layers = {test::layer(3, 16, 14, 14, 3, 1, "c1"),
+                      test::groupedLayer(16, 32, 7, 7, 3, 1, 4, "gc"),
+                      test::groupedLayer(32, 32, 7, 7, 3, 1, 32, "dw")};
+    request.dspBudgets = {100};
+
+    std::string line = service::encodeRequest(request);
+    EXPECT_NE(line.find("c1:3:16:14:14:3:1;"), std::string::npos)
+        << line;
+    EXPECT_NE(line.find("gc:16:32:7:7:3:1:4;"), std::string::npos)
+        << line;
+    EXPECT_NE(line.find("dw:32:32:7:7:3:1:32"), std::string::npos)
+        << line;
+
+    core::DseRequest decoded = service::decodeRequest(line);
+    ASSERT_EQ(decoded.layers.size(), 3u);
+    EXPECT_EQ(decoded.layers[0].g, 1);
+    EXPECT_EQ(decoded.layers[1].g, 4);
+    EXPECT_EQ(decoded.layers[2].g, 32);
+    EXPECT_TRUE(decoded.layers[1].sameShape(request.layers[1]));
+    EXPECT_EQ(service::encodeRequest(decoded), line);
+
+    // Groups that do not divide N/M are rejected at decode, as is a
+    // ninth field.
+    EXPECT_THROW(service::decodeRequest(
+                     "dse id=g net=mini layers=c:3:16:14:14:3:1:2 "
+                     "budgets=100"),
+                 util::FatalError);
+    EXPECT_THROW(service::decodeRequest(
+                     "dse id=g net=mini layers=c:4:16:14:14:3:1:2:9 "
+                     "budgets=100"),
+                 util::FatalError);
+}
+
 TEST(DseCodec, OutOfRangeWireValuesAreRejectedNotSaturated)
 {
     // strtoll/strtod saturate silently on overflow (LLONG_MAX,

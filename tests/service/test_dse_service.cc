@@ -14,7 +14,9 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -400,6 +402,58 @@ TEST(DseService, CacheStatsVerbReportsDisabledWithoutCacheDir)
     service::DseService dse{service::ServiceOptions{}};
     EXPECT_EQ(dse.handleLine("cache-stats"),
               "ok cache-stats enabled=0");
+}
+
+TEST(DseService, GroupedRequestsMatchColdRunsWarmOrNot)
+{
+    // Depthwise/grouped layers ride the same wire, registry, and
+    // optimizer paths as plain ones; a repeated request (warm
+    // session) must still answer byte-identically to a cold run.
+    std::vector<std::string> lines = {
+        "dse id=dw net=gmini "
+        "layers=dw:8:8:7:7:3:1:8;pw:8:16:7:7:1:1 budgets=200",
+        "dse id=mb net=mobilenet-v1 budgets=500",
+        "dse id=mb2 net=mobilenet-v1 budgets=500",
+    };
+    service::DseService dse{service::ServiceOptions{}};
+    std::vector<std::string> responses = dse.handleBatch(lines);
+    ASSERT_EQ(responses.size(), lines.size());
+    for (size_t i = 0; i < lines.size(); ++i)
+        EXPECT_EQ(responses[i], coldReference(lines[i])) << lines[i];
+}
+
+TEST(DseService, MidLifeFlushHandsWarmSegmentToANewService)
+{
+    // What mclp-serve --cache-flush-interval-ms buys: flushCache() on
+    // a live service publishes the record file and segment, so a
+    // service opened afterwards (a new shard, a second host process)
+    // starts mmap-warm without waiting for the first one to exit —
+    // and still answers byte-identically.
+    char tmpl[] = "/tmp/mclp-flush-test-XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    std::string dir = tmpl;
+    std::string line = "dse id=f net=alexnet device=690t budgets=1500";
+    std::string cold = coldReference(line);
+
+    service::ServiceOptions options;
+    options.cacheDir = dir;
+    service::DseService first(options);
+    EXPECT_EQ(first.handleLine(line), cold);
+    first.flushCache();  // mid-life: `first` keeps serving below
+
+    {
+        service::DseService second(options);
+        std::string stats = second.handleLine("cache-stats");
+        EXPECT_NE(stats.find(" segment_mapped=1"), std::string::npos)
+            << stats;
+        EXPECT_EQ(second.handleLine(line), cold);
+    }
+
+    // The flushed service is still live: same answers, flushable
+    // again (the periodic flusher fires many times per lifetime).
+    EXPECT_EQ(first.handleLine(line), cold);
+    first.flushCache();
+    std::filesystem::remove_all(dir);
 }
 
 TEST(DseService, OversizedRequestAnswersWithErrLineNotACrash)

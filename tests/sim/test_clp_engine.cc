@@ -14,6 +14,7 @@ namespace {
 struct EngineCase
 {
     int64_t n, m, r, c, k, s, tn, tm, tr, tc;
+    int64_t g = 1;
 };
 
 class EngineSweep : public ::testing::TestWithParam<EngineCase>
@@ -23,7 +24,8 @@ class EngineSweep : public ::testing::TestWithParam<EngineCase>
 TEST_P(EngineSweep, FloatMatchesReference)
 {
     EngineCase p = GetParam();
-    nn::ConvLayer l = test::layer(p.n, p.m, p.r, p.c, p.k, p.s);
+    nn::ConvLayer l =
+        test::groupedLayer(p.n, p.m, p.r, p.c, p.k, p.s, p.g);
     model::ClpShape shape{p.tn, p.tm};
     model::Tiling tiling{p.tr, p.tc};
 
@@ -48,7 +50,8 @@ TEST_P(EngineSweep, FloatMatchesReference)
 TEST_P(EngineSweep, FixedIsBitExactWithReference)
 {
     EngineCase p = GetParam();
-    nn::ConvLayer l = test::layer(p.n, p.m, p.r, p.c, p.k, p.s);
+    nn::ConvLayer l =
+        test::groupedLayer(p.n, p.m, p.r, p.c, p.k, p.s, p.g);
     model::ClpShape shape{p.tn, p.tm};
     model::Tiling tiling{p.tr, p.tc};
 
@@ -79,7 +82,15 @@ INSTANTIATE_TEST_SUITE_P(
         // 1x1 kernels (SqueezeNet squeeze / GoogLeNet reducers).
         EngineCase{16, 12, 9, 9, 1, 1, 5, 7, 4, 9},
         // AlexNet layer 1a shrunk spatially, same N/M/K/S structure.
-        EngineCase{3, 48, 13, 13, 11, 4, 3, 24, 8, 8}));
+        EngineCase{3, 48, 13, 13, 11, 4, 3, 24, 8, 8},
+        // Grouped: Tn/Tm straddle the 4-map group spans.
+        EngineCase{8, 8, 6, 6, 3, 1, 3, 3, 4, 6, 2},
+        // Grouped with asymmetric group sizes (2 in, 6 out per group).
+        EngineCase{8, 24, 7, 7, 3, 1, 2, 4, 4, 5, 4},
+        // Depthwise (G = N = M), awkward tiling and stride 2.
+        EngineCase{6, 6, 5, 5, 3, 2, 2, 2, 3, 4, 6},
+        // Depthwise pointwise-expanded (M = 2N, one input per group).
+        EngineCase{5, 10, 6, 6, 3, 1, 4, 4, 6, 6, 5}));
 
 TEST(ClpEngine, SingleElementLayer)
 {

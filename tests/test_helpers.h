@@ -25,6 +25,14 @@ layer(int64_t n, int64_t m, int64_t r, int64_t c, int64_t k, int64_t s,
     return nn::makeConvLayer(name, n, m, r, c, k, s);
 }
 
+/** Terse grouped-layer constructor for tests. */
+inline nn::ConvLayer
+groupedLayer(int64_t n, int64_t m, int64_t r, int64_t c, int64_t k,
+             int64_t s, int64_t g, const std::string &name = "G")
+{
+    return nn::makeConvLayer(name, n, m, r, c, k, s, g);
+}
+
 /** A single-layer network. */
 inline nn::Network
 singleLayerNet(const nn::ConvLayer &conv)

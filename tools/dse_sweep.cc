@@ -77,8 +77,9 @@ printUsage()
         "                       entry (default all 1)\n"
         "  --budgets A,B,C      explicit DSP-slice ladder\n"
         "  --sweep LO:HI:STEP   arithmetic DSP-slice ladder\n"
-        "  --device NAME        485t | 690t | vu9p | vu11p: take BRAM\n"
-        "                       and clock context from this part\n"
+        "  --device NAME        485t | 690t | vu9p | vu11p | vu13p |\n"
+        "                       u280: take BRAM and clock context\n"
+        "                       from this part\n"
         "                       (default: BRAM = DSP / 1.3, Figure 7)\n"
         "  --type T             float | fixed (default float)\n"
         "  --mhz F              clock frequency (default 100)\n"

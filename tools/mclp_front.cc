@@ -20,9 +20,11 @@
  * lone worker would. The CI sharded smoke diffs a front-of-2 against
  * a single cold worker line for line.
  *
- * Verbs: `stats` and `cache-stats` go to worker 0 (per-shard counters;
- * clients wanting every shard connect to the worker sockets, which
- * stay nameable at SOCKET.w0..w{K-1}). `shutdown` (or SIGTERM) drains
+ * Verbs: `stats` and `cache-stats` broadcast to every worker; the
+ * front answers one line with the counters summed across shards
+ * (enabled/clean are ANDed, generation is the max) followed by each
+ * worker's verbatim line as a per-shard breakdown. Workers also stay
+ * directly reachable at SOCKET.w0..w{K-1}. `shutdown` (or SIGTERM) drains
  * the front: stop accepting, deliver every in-flight answer, then
  * cascade SIGTERM to the workers so each flushes its cache shard and
  * exits; the front exits 0 only when every worker exited 0.
@@ -32,6 +34,7 @@
  *   mclp-front --socket /tmp/mclp.sock --workers 4 --threads 2
  */
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -41,6 +44,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -94,8 +98,11 @@ printUsage()
         "  --help               this text\n\n"
         "protocol: identical to mclp-serve (docs/PROTOCOL.md); routing\n"
         "is by network-dims signature, so equal-dims requests share a\n"
-        "shard. 'stats'/'cache-stats' report worker 0; 'shutdown' or\n"
-        "SIGTERM drains the front and SIGTERMs the workers.\n");
+        "shard. 'stats'/'cache-stats' broadcast to every worker and\n"
+        "answer one line: counters summed across shards (enabled/clean\n"
+        "ANDed, generation maxed), then each worker's verbatim line\n"
+        "after ' | shardN: ' separators. 'shutdown' or SIGTERM drains\n"
+        "the front and SIGTERMs the workers.\n");
 }
 
 struct Options
@@ -177,21 +184,117 @@ defaultServeBin(const char *argv0)
 }
 
 /**
+ * One response slot owed by a worker. Direct slots (aggId == 0) are a
+ * (client id, seq) pair and the worker's answer is forwarded
+ * verbatim; aggregate slots name a pending stats/cache-stats
+ * broadcast instead, and the answer becomes that shard's part of the
+ * merged response.
+ */
+struct PendingSlot
+{
+    uint64_t clientId = 0;
+    uint64_t seq = 0;
+    uint64_t aggId = 0;  ///< 0 = direct forward
+};
+
+/**
  * One spawned mclp-serve worker: the child process, the front's
- * connection to its socket, and the FIFO of (client id, seq) slots
- * whose answers are still inside it. The worker answers its
- * connection strictly in request order (the server's own pipelining
- * contract), so the FIFO head always names the response line that
- * arrives next — no request ids needed on the trunk.
+ * connection to its socket, and the FIFO of slots whose answers are
+ * still inside it. The worker answers its connection strictly in
+ * request order (the server's own pipelining contract), so the FIFO
+ * head always names the response line that arrives next — no request
+ * ids needed on the trunk.
  */
 struct Worker
 {
     pid_t pid = -1;
+    size_t index = 0;  ///< shard number (position in workers_)
     std::string socketPath;
     std::unique_ptr<service::Connection> link;
-    std::deque<std::pair<uint64_t, uint64_t>> pending;
+    std::deque<PendingSlot> pending;
     bool dead = false;
 };
+
+/**
+ * A stats/cache-stats broadcast in flight: the client slot that owes
+ * the merged answer plus the per-shard parts still being collected.
+ */
+struct Aggregate
+{
+    uint64_t clientId = 0;
+    uint64_t seq = 0;
+    std::string verb;
+    std::vector<std::string> parts;  ///< one per shard
+    size_t remaining = 0;
+};
+
+/**
+ * Merge per-shard stats/cache-stats lines into one front-level
+ * response: `ok VERB shards=K` followed by every k=v counter summed
+ * across the shards that answered `ok VERB ...` (enabled/clean are
+ * ANDed, generation is maxed — a sum means nothing for those), then
+ * each worker's verbatim line after ' | shardN: ' separators so
+ * per-shard numbers stay inspectable. Non-numeric values (e.g.
+ * session_rates) appear only in the breakdown.
+ */
+std::string
+mergeStatsParts(const std::string &verb,
+                const std::vector<std::string> &parts)
+{
+    std::string prefix = "ok " + verb;
+    std::vector<std::string> order;
+    std::map<std::string, double> value;
+    std::map<std::string, bool> integral;
+    for (const std::string &part : parts) {
+        if (part.compare(0, prefix.size(), prefix) != 0)
+            continue;  // err line; it still shows in the breakdown
+        std::istringstream in(part.substr(prefix.size()));
+        std::string token;
+        while (in >> token) {
+            size_t eq = token.find('=');
+            if (eq == std::string::npos || eq == 0)
+                continue;
+            std::string key = token.substr(0, eq);
+            std::string val = token.substr(eq + 1);
+            char *end = nullptr;
+            double v = std::strtod(val.c_str(), &end);
+            if (val.empty() || end == val.c_str() || *end != '\0')
+                continue;  // non-numeric: breakdown only
+            auto it = value.find(key);
+            if (it == value.end()) {
+                order.push_back(key);
+                value[key] = v;
+                integral[key] =
+                    val.find('.') == std::string::npos &&
+                    val.find('e') == std::string::npos;
+                continue;
+            }
+            if (key == "enabled" || key == "clean")
+                it->second = std::min(it->second, v);
+            else if (key == "generation")
+                it->second = std::max(it->second, v);
+            else
+                it->second += v;
+            if (val.find('.') != std::string::npos ||
+                val.find('e') != std::string::npos)
+                integral[key] = false;
+        }
+    }
+    std::string out =
+        prefix + " shards=" + std::to_string(parts.size());
+    for (const std::string &key : order) {
+        if (integral[key])
+            out += util::strprintf(
+                " %s=%lld", key.c_str(),
+                static_cast<long long>(value[key]));
+        else
+            out += util::strprintf(" %s=%.3f", key.c_str(),
+                                   value[key]);
+    }
+    for (size_t w = 0; w < parts.size(); ++w)
+        out += " | shard" + std::to_string(w) + ": " + parts[w];
+    return out;
+}
 
 volatile std::sig_atomic_t g_sigterm = 0;
 const util::SelfPipe *g_wake = nullptr;
@@ -224,6 +327,11 @@ class Front
     void sendToWorker(size_t shard,
                       const std::shared_ptr<service::Connection> &conn,
                       const std::string &line);
+    void broadcastStats(const std::shared_ptr<service::Connection> &conn,
+                        const std::string &line,
+                        const std::string &verb);
+    void settleAggregatePart(uint64_t agg_id, size_t shard,
+                             const std::string &line);
     void readClient(const std::shared_ptr<service::Connection> &conn);
     void readWorker(Worker &worker);
     void failWorkerPending(Worker &worker);
@@ -238,7 +346,9 @@ class Front
     util::ScopedFd listener_;
     util::SelfPipe wake_;
     std::map<uint64_t, std::shared_ptr<service::Connection>> clients_;
+    std::map<uint64_t, Aggregate> aggregates_;
     uint64_t nextClientId_ = 1;
+    uint64_t nextAggId_ = 1;
     bool draining_ = false;
     bool workerFailed_ = false;
 };
@@ -248,6 +358,7 @@ Front::spawnWorkers()
 {
     for (int w = 0; w < opts_.workers; ++w) {
         Worker worker;
+        worker.index = static_cast<size_t>(w);
         worker.socketPath =
             opts_.socketPath + ".w" + std::to_string(w);
         std::vector<std::string> args = {serveBin_, "--socket",
@@ -392,10 +503,63 @@ Front::sendToWorker(size_t shard,
                                 " msg=worker-exited");
         return;
     }
-    worker.pending.emplace_back(conn->id(), seq);
+    worker.pending.push_back(PendingSlot{conn->id(), seq, 0});
     worker.link->complete(worker.link->allocSeq(), line);
     worker.link->flushReady();
     pumpWorker(worker);
+}
+
+void
+Front::broadcastStats(const std::shared_ptr<service::Connection> &conn,
+                      const std::string &line, const std::string &verb)
+{
+    // Every shard owns a disjoint slice of the traffic, so a
+    // front-level answer has to hear from all of them; dead workers
+    // contribute an err part instead of stalling the merge.
+    uint64_t seq = conn->allocSeq();
+    uint64_t agg_id = nextAggId_++;
+    Aggregate agg;
+    agg.clientId = conn->id();
+    agg.seq = seq;
+    agg.verb = verb;
+    agg.parts.assign(workers_.size(), "err id=- msg=worker-exited");
+    for (size_t w = 0; w < workers_.size(); ++w) {
+        Worker &worker = workers_[w];
+        if (worker.dead || !worker.link)
+            continue;
+        worker.pending.push_back(
+            PendingSlot{conn->id(), seq, agg_id});
+        worker.link->complete(worker.link->allocSeq(), line);
+        worker.link->flushReady();
+        ++agg.remaining;
+        pumpWorker(worker);
+    }
+    if (agg.remaining == 0) {
+        conn->complete(seq, mergeStatsParts(verb, agg.parts));
+        return;
+    }
+    aggregates_[agg_id] = std::move(agg);
+}
+
+void
+Front::settleAggregatePart(uint64_t agg_id, size_t shard,
+                           const std::string &line)
+{
+    auto agg_it = aggregates_.find(agg_id);
+    if (agg_it == aggregates_.end())
+        return;
+    Aggregate &agg = agg_it->second;
+    agg.parts[shard] = line;
+    if (--agg.remaining > 0)
+        return;
+    auto it = clients_.find(agg.clientId);
+    if (it != clients_.end()) {
+        it->second->complete(agg.seq,
+                             mergeStatsParts(agg.verb, agg.parts));
+        it->second->flushReady();
+        pumpClient(it->second);
+    }
+    aggregates_.erase(agg_it);
 }
 
 void
@@ -417,7 +581,7 @@ Front::routeLine(const std::shared_ptr<service::Connection> &conn,
         return;
     }
     if (text == "stats" || text == "cache-stats") {
-        sendToWorker(0, conn, line);
+        broadcastStats(conn, line, text);
         return;
     }
     sendToWorker(shardFor(text), conn, line);
@@ -479,12 +643,16 @@ Front::readWorker(Worker &worker)
             util::warn("mclp-front: unsolicited worker line dropped");
             continue;
         }
-        auto [client_id, seq] = worker.pending.front();
+        PendingSlot slot = worker.pending.front();
         worker.pending.pop_front();
-        auto it = clients_.find(client_id);
+        if (slot.aggId != 0) {
+            settleAggregatePart(slot.aggId, worker.index, line);
+            continue;
+        }
+        auto it = clients_.find(slot.clientId);
         if (it == clients_.end())
             continue;  // client already gone; drop its answer
-        it->second->complete(seq, line);
+        it->second->complete(slot.seq, line);
         it->second->flushReady();
         pumpClient(it->second);
     }
@@ -501,18 +669,26 @@ void
 Front::failWorkerPending(Worker &worker)
 {
     // Answers that died inside the worker still answer: every owed
-    // slot gets an err line so no client hangs on a hole in its
-    // response order.
-    for (auto [client_id, seq] : worker.pending) {
-        auto it = clients_.find(client_id);
+    // direct slot gets an err line, and every owed aggregate part
+    // settles as one, so no client hangs on a hole in its response
+    // order. Drain the FIFO before settling (settling the final part
+    // of an aggregate touches this worker's own pending state).
+    std::deque<PendingSlot> owed;
+    owed.swap(worker.pending);
+    worker.link.reset();
+    for (const PendingSlot &slot : owed) {
+        if (slot.aggId != 0) {
+            settleAggregatePart(slot.aggId, worker.index,
+                                "err id=- msg=worker-exited");
+            continue;
+        }
+        auto it = clients_.find(slot.clientId);
         if (it == clients_.end())
             continue;
-        it->second->complete(seq, "err id=- msg=worker-exited");
+        it->second->complete(slot.seq, "err id=- msg=worker-exited");
         it->second->flushReady();
         pumpClient(it->second);
     }
-    worker.pending.clear();
-    worker.link.reset();
 }
 
 void

@@ -59,9 +59,10 @@ printUsage()
         "(Shen/Ferdman/Milder, ISCA 2017)\n\n"
         "usage: mclp-opt [options]\n"
         "  --network NAME       zoo network: alexnet, vggnet-e,\n"
-        "                       squeezenet, googlenet\n"
+        "                       squeezenet, googlenet, resnet50,\n"
+        "                       mobilenet-v1, resnext-tiny\n"
         "  --layers FILE        custom network file (name N M R C K S\n"
-        "                       per line)\n"
+        "                       [G] per line; G>1 = grouped/depthwise)\n"
         "  --joint LIST         joint multi-network optimization\n"
         "                       (Section 4.3): comma-separated\n"
         "                       [NAME:]REF entries; a REF with '/' or\n"
@@ -75,8 +76,8 @@ printUsage()
         "  --dump-layers        print the resolved network (joint\n"
         "                       concatenation included) in the --layers\n"
         "                       file format and exit\n"
-        "  --device NAME        485t | 690t | vu9p | vu11p "
-        "(default 690t)\n"
+        "  --device NAME        485t | 690t | vu9p | vu11p | vu13p |\n"
+        "                       u280 (default 690t)\n"
         "  --type T             float | fixed (default float)\n"
         "  --mhz F              clock frequency (default 100)\n"
         "  --bandwidth-gbps X   off-chip bandwidth cap (default: "
@@ -239,13 +240,16 @@ parseArgs(int argc, char **argv)
     return opts;
 }
 
-/** Render the resolved network in the --layers file format. */
+/** Render the resolved network in the --layers file format. The G
+ * column appears only on grouped layers, so plain-network dumps stay
+ * byte-identical to the pre-groups format (CI round-trips the dump
+ * back through --layers). */
 void
 dumpLayers(const nn::Network &network)
 {
     std::printf("network %s\n", network.name().c_str());
     for (const nn::ConvLayer &layer : network.layers()) {
-        std::printf("%s %lld %lld %lld %lld %lld %lld\n",
+        std::printf("%s %lld %lld %lld %lld %lld %lld",
                     layer.name.c_str(),
                     static_cast<long long>(layer.n),
                     static_cast<long long>(layer.m),
@@ -253,6 +257,9 @@ dumpLayers(const nn::Network &network)
                     static_cast<long long>(layer.c),
                     static_cast<long long>(layer.k),
                     static_cast<long long>(layer.s));
+        if (layer.g != 1)
+            std::printf(" %lld", static_cast<long long>(layer.g));
+        std::printf("\n");
     }
 }
 
