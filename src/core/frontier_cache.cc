@@ -1,5 +1,7 @@
 #include "core/frontier_cache.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <cstddef>
 #include <cstdio>
@@ -202,6 +204,16 @@ FrontierCache::FrontierCache(std::string dir,
     filePath_ = (fs::path(dir_) / kFrontierCacheFileName).string();
     lockPath_ = (fs::path(dir_) / kFrontierCacheLockName).string();
     segmentPath_ = (fs::path(dir_) / kFrontierSegmentFileName).string();
+    // Sibling shards attach lazily: a sibling may not have published
+    // anything yet (or even exist yet) — findInSiblings() maps each
+    // segment the first time its file shows up on a miss.
+    siblings_.reserve(options_.siblingDirs.size());
+    for (const std::string &sibling : options_.siblingDirs) {
+        SiblingSegment entry;
+        entry.path =
+            (fs::path(sibling) / kFrontierSegmentFileName).string();
+        siblings_.push_back(std::move(entry));
+    }
     // Loading under the advisory lock keeps the sequence simple to
     // reason about when several CLIs share the directory; the lock is
     // held only for the read.
@@ -347,6 +359,46 @@ FrontierCache::loadRecordsLocked(uint32_t version)
                    filePath_.c_str(), rowsLoaded_, tracesLoaded_);
 }
 
+std::string_view
+FrontierCache::findInSiblings(uint8_t kind,
+                              const std::vector<int64_t> &key)
+{
+    for (SiblingSegment &sibling : siblings_) {
+        // Refresh on a changed stat signature: the sibling republishes
+        // with an atomic rename, so the path flips to a new inode when
+        // (and only when) there is a new complete image. The stat is
+        // nanoseconds against a miss that otherwise costs a cold
+        // build, so probing on every miss is fine. The old mapping
+        // survives an invalid or older replacement (generation guard):
+        // serving it is always correct, merely less warm.
+        struct stat st{};
+        if (::stat(sibling.path.c_str(), &st) == 0 &&
+            (static_cast<int64_t>(st.st_ino) != sibling.statIno ||
+             static_cast<int64_t>(st.st_size) != sibling.statSize ||
+             static_cast<int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+                     st.st_mtim.tv_nsec !=
+                 sibling.statMtimeNs)) {
+            sibling.statIno = static_cast<int64_t>(st.st_ino);
+            sibling.statSize = static_cast<int64_t>(st.st_size);
+            sibling.statMtimeNs =
+                static_cast<int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+                st.st_mtim.tv_nsec;
+            FrontierCacheSegment mapped =
+                FrontierCacheSegment::open(sibling.path, fingerprint_);
+            if (mapped.valid() &&
+                (!sibling.segment.valid() ||
+                 mapped.generation() >= sibling.segment.generation()))
+                sibling.segment = std::move(mapped);
+        }
+        if (!sibling.segment.valid())
+            continue;
+        std::string_view payload = sibling.segment.find(kind, key);
+        if (!payload.empty())
+            return payload;
+    }
+    return {};
+}
+
 std::shared_ptr<const ShapeFrontier>
 FrontierCache::loadRow(const std::vector<int64_t> &key, CacheTier *tier)
 {
@@ -376,8 +428,33 @@ FrontierCache::loadRow(const std::vector<int64_t> &key, CacheTier *tier)
                          .first;
         }
     }
-    if (it == mmapRows_.end())
-        return nullptr;
+    if (it == mmapRows_.end()) {
+        // Sideways before cold: a sibling shard may have published
+        // this row. Its hit is not folded into rowHitDelta_ — the
+        // record belongs to the sibling's file, and our flush cannot
+        // update counters it does not own.
+        auto sit = siblingRows_.find(key);
+        if (sit == siblingRows_.end() && !siblings_.empty()) {
+            std::string_view payload =
+                findInSiblings(kCacheRecordRow, key);
+            if (!payload.empty()) {
+                if (auto row = decodeRowPayload(payload))
+                    sit = siblingRows_
+                              .emplace(
+                                  key,
+                                  std::make_shared<const ShapeFrontier>(
+                                      std::move(*row)))
+                              .first;
+            }
+        }
+        if (sit == siblingRows_.end())
+            return nullptr;
+        ++rowHits_;
+        ++siblingRowHits_;
+        if (tier)
+            *tier = CacheTier::Sibling;
+        return sit->second;
+    }
     ++rowHits_;
     ++segmentRowHits_;
     ++rowHitDelta_[key];
@@ -408,7 +485,7 @@ FrontierCache::seedTrace(const std::vector<int64_t> &key,
     if (tier)
         *tier = CacheTier::None;
     const FrontierTraceImage *image = nullptr;
-    bool from_mmap = false;
+    CacheTier source = CacheTier::Disk;
     auto it = diskTraces_.find(key);
     if (it != diskTraces_.end()) {
         image = &it->second;
@@ -426,7 +503,26 @@ FrontierCache::seedTrace(const std::vector<int64_t> &key,
         }
         if (mit != mmapTraces_.end()) {
             image = &mit->second;
-            from_mmap = true;
+            source = CacheTier::Mmap;
+        }
+    }
+    if (!image && !siblings_.empty()) {
+        // Sideways before cold, same as rows: a sibling's published
+        // walk prefix seeds this shard's trace too.
+        auto sit = siblingTraces_.find(key);
+        if (sit == siblingTraces_.end()) {
+            std::string_view payload =
+                findInSiblings(kCacheRecordTrace, key);
+            FrontierTraceImage decoded;
+            if (!payload.empty() &&
+                decodeTracePayload(payload, traceKeyGroups(key),
+                                   decoded))
+                sit = siblingTraces_.emplace(key, std::move(decoded))
+                          .first;
+        }
+        if (sit != siblingTraces_.end()) {
+            image = &sit->second;
+            source = CacheTier::Sibling;
         }
     }
     if (!image)
@@ -437,11 +533,14 @@ FrontierCache::seedTrace(const std::vector<int64_t> &key,
     trace.steps.assign(image->steps.data(), image->steps.size());
     trace.complete = image->complete;
     ++traceHits_;
-    if (from_mmap)
+    if (source == CacheTier::Mmap)
         ++segmentTraceHits_;
-    ++traceHitDelta_[key];
+    if (source == CacheTier::Sibling)
+        ++siblingTraceHits_;
+    else
+        ++traceHitDelta_[key];
     if (tier)
-        *tier = from_mmap ? CacheTier::Mmap : CacheTier::Disk;
+        *tier = source;
     return true;
 }
 
@@ -879,6 +978,12 @@ FrontierCache::stats() const
     stats.segmentRowHits = segmentRowHits_;
     stats.segmentTraceHits = segmentTraceHits_;
     stats.evictedLastFlush = evictedLastFlush_;
+    stats.siblingDirs = siblings_.size();
+    for (const SiblingSegment &sibling : siblings_)
+        if (sibling.segment.valid())
+            ++stats.siblingSegments;
+    stats.siblingRowHits = siblingRowHits_;
+    stats.siblingTraceHits = siblingTraceHits_;
     return stats;
 }
 

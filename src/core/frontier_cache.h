@@ -31,9 +31,12 @@
  * every flush; when its generation stamp matches the record file's,
  * startup maps it read-only and skips the eager decode entirely —
  * rows and traces then decode lazily, straight out of the mapping,
- * and N worker processes share one page-cache copy. Lookups report
- * which tier answered (CacheTier), so cache-stats can show the full
- * ladder: process -> mmap -> disk -> cold.
+ * and N worker processes share one page-cache copy. Sharded fronts
+ * extend the ladder sideways: FrontierCacheOptions::siblingDirs
+ * attaches the *other* shards' published segments read-only, so a
+ * row any shard on the host flushed warms every shard. Lookups
+ * report which tier answered (CacheTier), so cache-stats can show
+ * the full ladder: process -> mmap -> disk -> sibling -> cold.
  *
  * Invalidation is versioned, never heuristic: the file header carries
  * a format version and a *model-formula fingerprint* — a hash over
@@ -123,9 +126,10 @@ uint64_t modelFormulaFingerprint();
 /** Which storage tier answered a cache lookup. */
 enum class CacheTier
 {
-    None,  ///< not in the persistent cache at all (cold build)
-    Mmap,  ///< decoded on demand from the mmap'd segment
-    Disk,  ///< decoded from the record file at load
+    None,     ///< not in the persistent cache at all (cold build)
+    Mmap,     ///< decoded on demand from the mmap'd segment
+    Disk,     ///< decoded from the record file at load
+    Sibling,  ///< decoded from a sibling shard's published segment
 };
 
 struct FrontierCacheOptions
@@ -139,6 +143,19 @@ struct FrontierCacheOptions
      * last-hit generation, then fewest hits) are evicted until the
      * rewrite fits; records touched this session survive first. */
     size_t maxBytes = 0;
+    /**
+     * Cache directories of sibling shards (mclp-serve
+     * --cache-sibling, one per other worker of a sharded front).
+     * Their published segments are attached read-only and consulted
+     * after this shard's own tiers miss, before a cold build — K
+     * shards on one host then form a shared warm tier instead of K
+     * cold silos. Safe by construction: segments are immutable,
+     * checksummed, fingerprint-validated images, and every record is
+     * a deterministic function of its key, so a sibling hit is
+     * byte-identical to a local build. Sibling records are never
+     * written back into this shard's record file.
+     */
+    std::vector<std::string> siblingDirs;
 };
 
 /**
@@ -168,6 +185,10 @@ class FrontierCache
         size_t segmentRowHits = 0;    ///< row hits decoded from mmap
         size_t segmentTraceHits = 0;  ///< trace hits decoded from mmap
         size_t evictedLastFlush = 0;  ///< records the budget dropped
+        size_t siblingDirs = 0;       ///< sibling shards configured
+        size_t siblingSegments = 0;   ///< sibling segments mapped now
+        size_t siblingRowHits = 0;    ///< rows decoded from siblings
+        size_t siblingTraceHits = 0;  ///< traces decoded from siblings
     };
 
     /**
@@ -242,8 +263,31 @@ class FrontierCache
     using HitMap = std::unordered_map<std::vector<int64_t>, uint32_t,
                                       util::Int64VectorHash>;
 
+    /**
+     * One sibling shard's published segment, attached lazily and
+     * re-attached when the sibling republishes. The mapping pins the
+     * inode, so a rename-over by the sibling never tears a reader; a
+     * stat snapshot of the path detects republication cheaply, and
+     * the generation stamp guards against replacing a newer mapping
+     * with an older image (a wiped-and-recreated sibling restarts at
+     * generation 1 — staleness only costs warmth, never correctness,
+     * because records are pure functions of their keys).
+     */
+    struct SiblingSegment
+    {
+        std::string path;  ///< DIR/frontier_cache.seg
+        FrontierCacheSegment segment;
+        int64_t statIno = -1;
+        int64_t statSize = -1;
+        int64_t statMtimeNs = -1;
+    };
+
     void loadLocked();
     void loadRecordsLocked(uint32_t version);
+    /** Probe every sibling segment for (kind, key), refreshing stale
+     * mappings first. Empty view on a miss. Call under mutex_. */
+    std::string_view findInSiblings(uint8_t kind,
+                                    const std::vector<int64_t> &key);
 
     std::string dir_;
     std::string filePath_;
@@ -258,6 +302,9 @@ class FrontierCache
     TraceMap diskTraces_;  ///< trace images decoded from the file
     RowMap mmapRows_;      ///< rows decoded on demand from segment_
     TraceMap mmapTraces_;  ///< traces decoded on demand from segment_
+    std::vector<SiblingSegment> siblings_;  ///< other shards' tiers
+    RowMap siblingRows_;     ///< rows decoded from sibling segments
+    TraceMap siblingTraces_; ///< traces decoded from sibling segments
     RowMap pendingRows_;   ///< built this process, not yet flushed
     /** Live traces to serialize at flush; deduped by key, first noted
      * wins (concurrent sessions converge on one trace per key in
@@ -279,6 +326,8 @@ class FrontierCache
     size_t traceHits_ = 0;
     size_t segmentRowHits_ = 0;
     size_t segmentTraceHits_ = 0;
+    size_t siblingRowHits_ = 0;
+    size_t siblingTraceHits_ = 0;
     size_t evictedLastFlush_ = 0;
     size_t flushes_ = 0;
     bool loadedClean_ = true;

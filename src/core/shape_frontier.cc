@@ -693,6 +693,8 @@ FrontierRowStore::lookup(const std::vector<int64_t> &key)
             ++hits_;
             if (tier == CacheTier::Mmap)
                 ++mmapHits_;
+            else if (tier == CacheTier::Sibling)
+                ++siblingHits_;
             else
                 ++diskHits_;
             return row;
@@ -726,6 +728,7 @@ FrontierRowStore::stats() const
     stats.rows = rows_.size();
     stats.diskHits = diskHits_;
     stats.mmapHits = mmapHits_;
+    stats.siblingHits = siblingHits_;
     return stats;
 }
 

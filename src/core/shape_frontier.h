@@ -433,6 +433,9 @@ class FrontierRowStore
         size_t rows = 0;      ///< rows currently resident
         size_t diskHits = 0;  ///< hits decoded from the record file
         size_t mmapHits = 0;  ///< hits decoded from the mmap'd segment
+        /** Hits decoded from a sibling shard's published segment
+         * (cross-shard sharing under a sharded front). */
+        size_t siblingHits = 0;
     };
 
     /**
@@ -478,6 +481,7 @@ class FrontierRowStore
     size_t misses_ = 0;
     size_t diskHits_ = 0;
     size_t mmapHits_ = 0;
+    size_t siblingHits_ = 0;
 };
 
 /**

@@ -1,9 +1,13 @@
 #include "service/dse_service.h"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
 #include <istream>
 #include <map>
+#include <mutex>
 #include <ostream>
+#include <thread>
 
 #include "core/frontier_cache.h"
 #include "core/schedule.h"
@@ -117,6 +121,58 @@ answerRequest(const core::DseRequest &request,
     return response;
 }
 
+/**
+ * Periodically publishes the persistent frontier cache while the
+ * service lives, so a second process (mmap reader, warm restart, or a
+ * sharded front's sibling workers) can pick up new state mid-life
+ * instead of waiting for this process to drain. flush() snapshots
+ * under the cache's own mutex and merges under the advisory file
+ * lock, so it is safe alongside request execution and alongside the
+ * drain-path flushCache() call.
+ */
+class CacheFlushTimer
+{
+  public:
+    CacheFlushTimer(DseService &service, int interval_ms)
+        : service_(service), intervalMs_(interval_ms)
+    {
+        thread_ = std::thread([this] { run(); });
+    }
+
+    ~CacheFlushTimer()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        wake_.notify_all();
+        thread_.join();
+    }
+
+  private:
+    void
+    run()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (!stop_) {
+            if (wake_.wait_for(lock,
+                               std::chrono::milliseconds(intervalMs_),
+                               [this] { return stop_; }))
+                break;
+            lock.unlock();
+            service_.flushCache();
+            lock.lock();
+        }
+    }
+
+    DseService &service_;
+    int intervalMs_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stop_ = false;
+    std::thread thread_;
+};
+
 DseService::DseService(ServiceOptions options)
     : options_(options),
       cache_(options.cacheDir.empty()
@@ -124,15 +180,29 @@ DseService::DseService(ServiceOptions options)
                  : std::make_shared<core::FrontierCache>(
                        options.cacheDir,
                        core::FrontierCacheOptions{
-                           options.cacheMmap, options.cacheMaxBytes})),
+                           options.cacheMmap, options.cacheMaxBytes,
+                           options.cacheSiblingDirs})),
       registry_(options.maxSessions, options.maxBytes,
                 options.sessionThreads, cache_)
 {
     if (util::resolveThreads(options_.threads) > 1)
         pool_ = std::make_unique<util::ThreadPool>(options_.threads);
+    if (cache_ && options_.cacheFlushIntervalMs > 0)
+        flushTimer_ = std::make_unique<CacheFlushTimer>(
+            *this, options_.cacheFlushIntervalMs);
     // Phase counters feed the stats verb; the scopes cost two clock
     // reads per coarse phase, so always-on is fine for a server.
     util::prof::setEnabled(true);
+}
+
+DseService::~DseService()
+{
+    // Stop the timer explicitly before any member teardown begins:
+    // flushTimer_ is the last-declared member, but being explicit
+    // here keeps the invariant obvious — no flush can start after
+    // this line, and one already in flush() completes safely (the
+    // cache outlives the registry's own shutdown flush).
+    flushTimer_.reset();
 }
 
 std::string
@@ -148,10 +218,11 @@ DseService::handleLine(const std::string &line)
         std::string stats = util::strprintf(
             "ok stats sessions=%zu bytes=%zu hits=%zu misses=%zu "
             "evictions=%zu rows=%zu row_hits=%zu row_misses=%zu "
-            "row_disk_hits=%zu row_mmap_hits=%zu",
+            "row_disk_hits=%zu row_mmap_hits=%zu "
+            "row_sibling_hits=%zu",
             reg.sessions, reg.bytes, reg.hits, reg.misses,
             reg.evictions, rows.rows, rows.hits, rows.misses,
-            rows.diskHits, rows.mmapHits);
+            rows.diskHits, rows.mmapHits, rows.siblingHits);
         // Per-session hit rates: NETWORK[@DEVICE]:HITS:USES per
         // resident session, '-' when nothing is warm. Deterministic
         // order (registry key order).
@@ -194,25 +265,32 @@ DseService::handleLine(const std::string &line)
         // The tier ladder, cheapest first: process = answered from
         // the row store's in-memory map, mmap = decoded on demand
         // from the shared read-only segment, disk = decoded from the
-        // record file, cold = built from scratch.
-        size_t process_hits =
-            rows.hits - rows.mmapHits - rows.diskHits;
+        // record file, sibling = decoded from another shard's
+        // published segment, cold = built from scratch.
+        size_t process_hits = rows.hits - rows.mmapHits -
+                              rows.diskHits - rows.siblingHits;
         return util::strprintf(
             "ok cache-stats enabled=1 generation=%llu "
             "segment_mapped=%d segment_entries=%zu segment_bytes=%zu "
             "tier_process=%zu tier_mmap=%zu tier_disk=%zu "
-            "tier_cold=%zu rows_loaded=%zu traces_loaded=%zu "
-            "row_hits=%zu trace_hits=%zu segment_row_hits=%zu "
-            "segment_trace_hits=%zu rows_pending=%zu traces_noted=%zu "
-            "flushes=%zu evicted_last_flush=%zu clean=%d",
+            "tier_sibling=%zu tier_cold=%zu rows_loaded=%zu "
+            "traces_loaded=%zu row_hits=%zu trace_hits=%zu "
+            "segment_row_hits=%zu segment_trace_hits=%zu "
+            "sibling_dirs=%zu sibling_segments=%zu "
+            "sibling_row_hits=%zu sibling_trace_hits=%zu "
+            "rows_pending=%zu traces_noted=%zu flushes=%zu "
+            "evicted_last_flush=%zu clean=%d",
             static_cast<unsigned long long>(stats.generation),
             stats.segmentMapped ? 1 : 0, stats.segmentEntries,
             stats.segmentBytes, process_hits, rows.mmapHits,
-            rows.diskHits, rows.misses, stats.rowsLoaded,
-            stats.tracesLoaded, stats.rowHits, stats.traceHits,
-            stats.segmentRowHits, stats.segmentTraceHits,
-            stats.rowsPending, stats.tracesNoted, stats.flushes,
-            stats.evictedLastFlush, stats.loadedClean ? 1 : 0);
+            rows.diskHits, rows.siblingHits, rows.misses,
+            stats.rowsLoaded, stats.tracesLoaded, stats.rowHits,
+            stats.traceHits, stats.segmentRowHits,
+            stats.segmentTraceHits, stats.siblingDirs,
+            stats.siblingSegments, stats.siblingRowHits,
+            stats.siblingTraceHits, stats.rowsPending,
+            stats.tracesNoted, stats.flushes, stats.evictedLastFlush,
+            stats.loadedClean ? 1 : 0);
     }
     if (text == "shutdown")
         return "ok shutdown";

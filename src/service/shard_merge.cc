@@ -1,0 +1,80 @@
+#include "service/shard_merge.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "util/string_utils.h"
+
+namespace mclp {
+namespace service {
+
+std::string
+mergeStatsParts(const std::string &verb,
+                const std::vector<std::string> &parts)
+{
+    std::string prefix = "ok " + verb;
+    std::vector<std::string> order;
+    std::map<std::string, double> value;
+    std::map<std::string, bool> integral;
+    for (const std::string &part : parts) {
+        if (part.compare(0, prefix.size(), prefix) != 0)
+            continue;  // err line; it still shows in the breakdown
+        std::istringstream in(part.substr(prefix.size()));
+        std::string token;
+        while (in >> token) {
+            size_t eq = token.find('=');
+            if (eq == std::string::npos || eq == 0)
+                continue;
+            std::string key = token.substr(0, eq);
+            std::string val = token.substr(eq + 1);
+            char *end = nullptr;
+            double v = std::strtod(val.c_str(), &end);
+            if (val.empty() || end == val.c_str() || *end != '\0')
+                continue;  // non-numeric: breakdown only
+            auto it = value.find(key);
+            if (it == value.end()) {
+                order.push_back(key);
+                value[key] = v;
+                integral[key] =
+                    val.find('.') == std::string::npos &&
+                    val.find('e') == std::string::npos &&
+                    val.find('n') == std::string::npos &&
+                    val.find('N') == std::string::npos;
+                continue;
+            }
+            if (key == "enabled" || key == "clean")
+                it->second = std::min(it->second, v);
+            else if (key == "generation")
+                it->second = std::max(it->second, v);
+            else
+                it->second += v;
+            if (val.find('.') != std::string::npos ||
+                val.find('e') != std::string::npos)
+                integral[key] = false;
+        }
+    }
+    std::string out =
+        prefix + " shards=" + std::to_string(parts.size());
+    for (const std::string &key : order) {
+        double v = value[key];
+        // A hostile worker can claim any magnitude ("hits=9e99"); a
+        // float-to-int cast outside the representable range is UB, so
+        // sums that left the safe window print as decimals instead.
+        bool in_range =
+            std::isfinite(v) && v > -9.2e18 && v < 9.2e18;
+        if (integral[key] && in_range)
+            out += util::strprintf(" %s=%lld", key.c_str(),
+                                   static_cast<long long>(v));
+        else
+            out += util::strprintf(" %s=%.3f", key.c_str(), v);
+    }
+    for (size_t w = 0; w < parts.size(); ++w)
+        out += " | shard" + std::to_string(w) + ": " + parts[w];
+    return out;
+}
+
+} // namespace service
+} // namespace mclp

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The sharded front's stats-aggregation parser: merge per-shard
+ * `stats` / `cache-stats` response lines into one front-level line.
+ *
+ * Extracted from tools/mclp_front.cc so the parser is testable on its
+ * own: the front feeds it whatever bytes its workers answered, and a
+ * worker is a separate process — possibly crashed mid-line, possibly
+ * a different (buggy) build — so the merge must treat every part as
+ * hostile input. tests/service/test_shard_merge.cc fuzzes it with
+ * malformed parts, embedded `| shardN:` separators, dead-worker err
+ * parts, and empty shard lists; none may crash or emit a line that
+ * fails to start with `ok VERB shards=K`.
+ */
+
+#ifndef MCLP_SERVICE_SHARD_MERGE_H
+#define MCLP_SERVICE_SHARD_MERGE_H
+
+#include <string>
+#include <vector>
+
+namespace mclp {
+namespace service {
+
+/**
+ * Merge per-shard stats/cache-stats lines into one front-level
+ * response: `ok VERB shards=K` followed by every k=v counter summed
+ * across the shards that answered `ok VERB ...` (enabled/clean are
+ * ANDed, generation is maxed — a sum means nothing for those), then
+ * each worker's verbatim line after ' | shardN: ' separators so
+ * per-shard numbers stay inspectable. Non-numeric values (e.g.
+ * session_rates) appear only in the breakdown; parts that are not
+ * `ok VERB` lines (a dead shard's err part) contribute nothing to the
+ * sums but still show in the breakdown. Total-ordering guarantees for
+ * hostile parts: never throws, never reads out of bounds, and sums
+ * that overflow the integral range degrade to decimal notation
+ * instead of invoking undefined float-to-int casts.
+ */
+std::string mergeStatsParts(const std::string &verb,
+                            const std::vector<std::string> &parts);
+
+} // namespace service
+} // namespace mclp
+
+#endif // MCLP_SERVICE_SHARD_MERGE_H

@@ -14,9 +14,12 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -453,6 +456,77 @@ TEST(DseService, MidLifeFlushHandsWarmSegmentToANewService)
     // again (the periodic flusher fires many times per lifetime).
     EXPECT_EQ(first.handleLine(line), cold);
     first.flushCache();
+    std::filesystem::remove_all(dir);
+}
+
+/** Every file in @p dir, name -> exact bytes (the cache dir is flat). */
+std::map<std::string, std::string>
+dirBytes(const std::string &dir)
+{
+    std::map<std::string, std::string> files;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir)) {
+        std::ifstream in(entry.path(), std::ios::binary);
+        std::ostringstream bytes;
+        bytes << in.rdbuf();
+        files[entry.path().filename().string()] = bytes.str();
+    }
+    return files;
+}
+
+TEST(DseService, TimerFlushRacingDrainNeverTearsTheCache)
+{
+    // --cache-flush-interval-ms puts a background flush on a timer
+    // that can fire at any moment during SIGTERM drain: the timer
+    // thread and the shutdown flush may both be in flushCache() at
+    // once. FrontierCache::flush() makes that safe by construction
+    // (state snapshot under its mutex, merge under the advisory file
+    // lock, atomic rename) — this pins it end to end: a service
+    // hammered by a 1 ms timer through its whole life, including
+    // destruction, leaves a cache a fresh service loads clean and
+    // answers from byte-identically, and a second lifetime that
+    // learns nothing new leaves every cache file byte-untouched (no
+    // double-flush, no torn segment, no gratuitous generation bump).
+    char tmpl[] = "/tmp/mclp-flushrace-test-XXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    std::string dir = tmpl;
+    std::vector<std::string> lines = {
+        "dse id=r1 net=alexnet device=690t budgets=500,1500",
+        "dse id=r2 net=mini layers=conv1:3:16:14:14:3:1 budgets=200",
+    };
+
+    service::ServiceOptions options;
+    options.cacheDir = dir;
+    options.cacheFlushIntervalMs = 1;
+    {
+        service::DseService racy(options);
+        for (const std::string &line : lines)
+            EXPECT_EQ(racy.handleLine(line), coldReference(line));
+        // Let the timer fire many times over live state, then
+        // destroy with it still armed: the drain flush races the
+        // last timer flush right here.
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+
+    std::map<std::string, std::string> after_drain = dirBytes(dir);
+    ASSERT_TRUE(after_drain.count("frontier_cache.bin"));
+    ASSERT_TRUE(after_drain.count("frontier_cache.seg"));
+
+    {
+        service::DseService second(options);
+        std::string stats = second.handleLine("cache-stats");
+        EXPECT_NE(stats.find(" segment_mapped=1"), std::string::npos)
+            << stats;
+        EXPECT_NE(stats.find(" clean=1"), std::string::npos) << stats;
+        for (const std::string &line : lines)
+            EXPECT_EQ(second.handleLine(line), coldReference(line));
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+
+    // The second lifetime replayed the same requests from the cache:
+    // nothing new to persist, so its timer flushes and its shutdown
+    // flush must all no-op — byte-identical files, same generation.
+    EXPECT_EQ(dirBytes(dir), after_drain);
     std::filesystem::remove_all(dir);
 }
 

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Hostile-input proofs for the front's shard-aggregation merge
+ * (src/service/shard_merge.h). The parts fed to mergeStatsParts come
+ * off worker sockets — a crashed, wedged, or adversarial worker can
+ * hand it literally any bytes, and the front must still answer one
+ * well-formed line and never crash, hang, or hit UB. Exact merges of
+ * well-formed parts are pinned first (the format mclp-front actually
+ * serves, which docs/PROTOCOL.md documents), then a deterministic
+ * fuzz loop hammers the parser with the pathologies we know about
+ * and randomized garbage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "service/shard_merge.h"
+
+namespace mclp {
+namespace {
+
+using service::mergeStatsParts;
+
+TEST(ShardMerge, SumsCountersAcrossWellFormedParts)
+{
+    std::string merged = mergeStatsParts(
+        "stats", {"ok stats sessions=2 hits=10 misses=1",
+                  "ok stats sessions=3 hits=5 misses=0"});
+    EXPECT_EQ(merged,
+              "ok stats shards=2 sessions=5 hits=15 misses=1"
+              " | shard0: ok stats sessions=2 hits=10 misses=1"
+              " | shard1: ok stats sessions=3 hits=5 misses=0");
+}
+
+TEST(ShardMerge, EnabledCleanAndTheMinGenerationTheMax)
+{
+    // enabled/clean report "every shard agrees" (AND via min);
+    // generation reports the newest segment any shard published.
+    std::string merged = mergeStatsParts(
+        "cache-stats",
+        {"ok cache-stats enabled=1 generation=7 clean=0",
+         "ok cache-stats enabled=0 generation=9 clean=1"});
+    EXPECT_EQ(merged.rfind("ok cache-stats shards=2 enabled=0 "
+                           "generation=9 clean=0 | shard0: ", 0), 0u)
+        << merged;
+}
+
+TEST(ShardMerge, DeadWorkerPartsStayInTheBreakdownOnly)
+{
+    // The form the front actually emits for a dead shard: counters
+    // come from the living shard alone, the err rides the breakdown.
+    std::string merged = mergeStatsParts(
+        "stats", {"ok stats sessions=4", "err id=- msg=worker-died"});
+    EXPECT_EQ(merged, "ok stats shards=2 sessions=4"
+                      " | shard0: ok stats sessions=4"
+                      " | shard1: err id=- msg=worker-died");
+}
+
+TEST(ShardMerge, EmptyPartsListStillAnswersWellFormed)
+{
+    EXPECT_EQ(mergeStatsParts("stats", {}), "ok stats shards=0");
+    EXPECT_EQ(mergeStatsParts("stats", {"", ""}),
+              "ok stats shards=2 | shard0:  | shard1: ");
+}
+
+TEST(ShardMerge, NonNumericValuesAreBreakdownOnly)
+{
+    // session_rates=- and friends must not produce a merged key.
+    std::string merged = mergeStatsParts(
+        "stats", {"ok stats session_rates=- sessions=1",
+                  "ok stats session_rates=0.5;2 sessions=1"});
+    EXPECT_EQ(merged.rfind("ok stats shards=2 sessions=2 | ", 0), 0u)
+        << merged;
+}
+
+TEST(ShardMerge, HostileMagnitudesNeverHitUndefinedCasts)
+{
+    // 9e99 summed is far outside long long; the merge must degrade
+    // to a decimal print, not cast out of range (UB).
+    std::string merged = mergeStatsParts(
+        "stats",
+        {"ok stats hits=9e99", "ok stats hits=9e99"});
+    EXPECT_EQ(merged.find("hits=-"), std::string::npos) << merged;
+    EXPECT_NE(merged.find("hits="), std::string::npos) << merged;
+
+    // Same for a plain decimal integer past the window, and for the
+    // strtod specials ("nan"/"inf" parse as doubles).
+    for (const char *hostile :
+         {"ok stats hits=99999999999999999999",
+          "ok stats hits=nan", "ok stats hits=inf",
+          "ok stats hits=-inf", "ok stats hits=1e308"}) {
+        std::string out =
+            mergeStatsParts("stats", {hostile, "ok stats hits=1"});
+        EXPECT_EQ(out.rfind("ok stats shards=2 hits=", 0), 0u) << out;
+    }
+}
+
+TEST(ShardMerge, EmbeddedSeparatorsCannotForgeTheBreakdown)
+{
+    // A worker line containing the breakdown separator is carried
+    // verbatim; the merged counters still only count real parts.
+    std::string evil = "ok stats sessions=1 | shard9: ok stats "
+                       "sessions=100";
+    std::string merged = mergeStatsParts("stats", {evil});
+    // "sessions=100" rides the same istringstream scan, so it sums —
+    // what must NOT happen is a crash or a malformed prefix.
+    EXPECT_EQ(merged.rfind("ok stats shards=1 sessions=101", 0), 0u)
+        << merged;
+    EXPECT_NE(merged.find(" | shard0: " + evil), std::string::npos)
+        << merged;
+}
+
+TEST(ShardMerge, FuzzedPartsNeverBreakTheAnswerShape)
+{
+    // Deterministic fuzz: random parts assembled from the fragments
+    // hostile or buggy workers actually produce — truncated ok
+    // lines, key-only tokens, '=' soup, huge exponents, embedded
+    // separators, NULs are excluded only because the wire protocol
+    // is line-based text. Every answer must start with the verb
+    // header and carry exactly one breakdown entry per part.
+    std::mt19937 rng(0xC0FFEE);
+    const std::vector<std::string> fragments = {
+        "ok stats",
+        "ok stats ",
+        "ok statsx hits=1",
+        "err id=- msg=worker-died",
+        "hits=1",
+        "=1",
+        "a=",
+        "a==b",
+        "hits=9e999",
+        "hits=-9e18",
+        "hits=nan",
+        "hits=NaN(char-sequence)",
+        "hits=inf",
+        "hits=0x10",
+        "hits=1.5.2",
+        "generation=18446744073709551615",
+        "enabled=2",
+        "clean=-1",
+        "| shard0: ok stats hits=5",
+        "sessions=1 sessions=2 sessions=3",
+        "\t \t",
+        std::string(300, '='),
+        std::string(300, '9'),
+        "k" + std::string(200, 'e') + "=1",
+    };
+    for (int round = 0; round < 2000; ++round) {
+        std::vector<std::string> parts(rng() % 5);
+        for (std::string &part : parts) {
+            int pieces = static_cast<int>(rng() % 4);
+            if (rng() % 2)
+                part = "ok stats";
+            for (int p = 0; p < pieces; ++p) {
+                part += part.empty() ? "" : " ";
+                part += fragments[rng() % fragments.size()];
+            }
+        }
+        std::string out = mergeStatsParts("stats", parts);
+        ASSERT_EQ(out.rfind("ok stats shards=" +
+                                std::to_string(parts.size()),
+                            0), 0u)
+            << out;
+        size_t breakdowns = 0;
+        for (size_t pos = 0;
+             (pos = out.find(" | shard", pos)) != std::string::npos;
+             ++pos)
+            ++breakdowns;
+        // Parts may themselves contain " | shard", so the count is
+        // at least one per part — never fewer.
+        ASSERT_GE(breakdowns, parts.size()) << out;
+    }
+}
+
+} // namespace
+} // namespace mclp

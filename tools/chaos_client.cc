@@ -28,6 +28,13 @@
  *                   the admitted request
  *   pipeline-parity pipeline a mixed batch on one connection and
  *                   byte-compare every response to a cold run
+ *   worker-kill     (front-only, excluded from `all`) kill -9 one
+ *                   mclp-front shard mid-request: in-flight lines
+ *                   must answer `err ... msg=worker-died`, the shard
+ *                   must respawn within the backoff window, the
+ *                   respawned shard must answer byte-identical to a
+ *                   cold run, and the client connection stays usable
+ *                   through all of it
  *
  * Exit status: 0 when every requested scenario passes, 1 otherwise.
  *
@@ -37,6 +44,7 @@
  *   chaos-client --socket /tmp/chaos.sock --scenario all
  */
 
+#include <signal.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
@@ -44,17 +52,20 @@
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "core/dse_request.h"
 #include "service/dse_codec.h"
 #include "service/dse_service.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/net.h"
+#include "util/record_file.h"
 #include "util/string_utils.h"
 
 using namespace mclp;
@@ -72,7 +83,9 @@ printUsage()
         "  --tcp-port N      or its loopback TCP port\n"
         "  --scenario NAME   slow-loris | disconnect | torn-line |\n"
         "                    oversized-line | flood | pipeline-parity\n"
-        "                    | all (default all)\n"
+        "                    | all (default all) | worker-kill\n"
+        "                    (front-only: needs mclp-front, so it is\n"
+        "                    not part of 'all')\n"
         "  --request LINE    instead of scenarios: send one request\n"
         "                    line, print the response to stdout, and\n"
         "                    exit 0 (1 when the server never answers)\n"
@@ -368,6 +381,165 @@ scenarioPipelineParity()
     return true;
 }
 
+/** One shard's slice of a `front-stats` answer. */
+struct ShardStatus
+{
+    std::string state;
+    pid_t pid = -1;
+    uint64_t restarts = 0;
+};
+
+/** Parse `ok front-stats ... shardN=STATE:PID:RESTARTS:UPTIME_MS`
+ * into per-shard records; empty on anything that isn't a front-stats
+ * line. */
+std::vector<ShardStatus>
+parseFrontStats(const std::string &line)
+{
+    std::vector<ShardStatus> shards;
+    if (line.rfind("ok front-stats ", 0) != 0)
+        return shards;
+    size_t pos = 0;
+    while ((pos = line.find(" shard", pos)) != std::string::npos) {
+        pos += 6;
+        size_t eq = line.find('=', pos);
+        if (eq == std::string::npos)
+            break;
+        size_t shard = std::strtoul(line.c_str() + pos, nullptr, 10);
+        size_t end = line.find(' ', eq);
+        std::string value = line.substr(
+            eq + 1,
+            (end == std::string::npos ? line.size() : end) - eq - 1);
+        std::vector<std::string> fields = util::split(value, ':');
+        if (fields.size() != 4)
+            break;
+        if (shards.size() <= shard)
+            shards.resize(shard + 1);
+        shards[shard].state = fields[0];
+        shards[shard].pid =
+            fields[1] == "-"
+                ? -1
+                : static_cast<pid_t>(
+                      std::strtol(fields[1].c_str(), nullptr, 10));
+        shards[shard].restarts =
+            std::strtoull(fields[2].c_str(), nullptr, 10);
+    }
+    return shards;
+}
+
+/** The shard mclp-front routes @p request_line to: the same
+ * network-identity hash the front computes, reproduced in-process. */
+size_t
+shardForRequest(const std::string &request_line, size_t workers)
+{
+    core::DseRequest request = service::decodeRequest(request_line);
+    std::string sig =
+        core::networkSignature(core::resolveNetwork(request));
+    return util::fnv1aBytes(sig.data(), sig.size()) % workers;
+}
+
+bool
+scenarioWorkerKill()
+{
+    const char *name = "worker-kill";
+    util::ScopedFd fd = connectToServer();
+    if (!fd.valid())
+        return fail(name, "cannot connect");
+    auto sendLine = [&](const std::string &text) {
+        std::string line = text + "\n";
+        return util::writeAll(fd.get(), line.data(), line.size());
+    };
+
+    // The target under test must be a front: everything below runs
+    // on this ONE connection, which must stay usable through the
+    // whole kill/respawn cycle.
+    if (!sendLine("front-stats"))
+        return fail(name, "front-stats write failed");
+    std::optional<std::string> reply = readLine(fd.get());
+    if (!reply)
+        return fail(name, "no answer to front-stats");
+    std::vector<ShardStatus> before = parseFrontStats(*reply);
+    if (before.empty())
+        return fail(name, "target is not an mclp-front (front-stats "
+                          "answered: " + *reply + ")");
+
+    // Route a request whose shard we can name, so the kill provably
+    // lands on the worker that owes the in-flight answers.
+    std::string heavy = "dse id=%s net=squeezenet device=690t "
+                        "budgets=500,1000";
+    size_t target = shardForRequest(
+        util::strprintf(heavy.c_str(), "k1"), before.size());
+    if (before[target].state != "up" || before[target].pid <= 0)
+        return fail(name, util::strprintf(
+                              "target shard %zu is not up before the "
+                              "kill", target));
+    pid_t victim = before[target].pid;
+    uint64_t restarts_before = before[target].restarts;
+
+    // SIGSTOP first: the two requests pile up inside the worker (the
+    // front has forwarded them, nothing answers), so the SIGKILL
+    // deterministically catches them in flight — no racing against
+    // request completion.
+    if (::kill(victim, SIGSTOP) != 0)
+        return fail(name, "cannot SIGSTOP the target worker (run "
+                          "chaos-client as the front's user)");
+    bool sent = sendLine(util::strprintf(heavy.c_str(), "k1")) &&
+                sendLine(util::strprintf(heavy.c_str(), "k2"));
+    if (!sent) {
+        ::kill(victim, SIGCONT);
+        return fail(name, "in-flight request write failed");
+    }
+    ::usleep(300 * 1000);  // let the front forward both lines
+    if (::kill(victim, SIGKILL) != 0)
+        return fail(name, "cannot SIGKILL the target worker");
+
+    // Both in-flight lines answer the documented err form, in order.
+    for (const char *id : {"k1", "k2"}) {
+        std::optional<std::string> answer = readLine(fd.get());
+        if (!answer)
+            return fail(name, util::strprintf(
+                                  "no answer for in-flight %s after "
+                                  "the kill", id));
+        std::string want =
+            util::strprintf("err id=%s msg=worker-died", id);
+        if (*answer != want)
+            return fail(name, "expected '" + want + "', got: " +
+                                  *answer);
+    }
+
+    // The supervisor must bring the shard back within the backoff
+    // window; poll front-stats on the SAME connection.
+    int64_t deadline = util::monotonicMs() + g_options.timeoutMs;
+    while (true) {
+        if (!sendLine("front-stats"))
+            return fail(name, "front-stats write failed mid-respawn");
+        reply = readLine(fd.get());
+        if (!reply)
+            return fail(name, "connection died while the shard "
+                              "respawned");
+        std::vector<ShardStatus> now = parseFrontStats(*reply);
+        if (now.size() == before.size() &&
+            now[target].state == "up" &&
+            now[target].restarts > restarts_before)
+            break;
+        if (util::monotonicMs() >= deadline)
+            return fail(name, "shard never respawned: " + *reply);
+        ::usleep(50 * 1000);
+    }
+
+    // The respawned shard answers byte-identical to a cold run —
+    // nothing was replayed, the cache tiers did the warming.
+    std::string warm = util::strprintf(heavy.c_str(), "k3");
+    if (!sendLine(warm))
+        return fail(name, "post-respawn request write failed");
+    reply = readLine(fd.get());
+    if (!reply)
+        return fail(name, "no answer from the respawned shard");
+    if (*reply != coldReference(warm))
+        return fail(name, "respawned shard's answer is not "
+                          "byte-identical to a cold run: " + *reply);
+    return true;
+}
+
 std::optional<Options>
 parseArgs(int argc, char **argv)
 {
@@ -430,6 +602,17 @@ main(int argc, char **argv)
             if (!reply)
                 util::fatal("no response before EOF/timeout");
             std::printf("%s\n", reply->c_str());
+            return 0;
+        }
+
+        // worker-kill is front-only (it SIGKILLs a shard of an
+        // mclp-front), so `all` — which CI points at a plain
+        // mclp-serve — never runs it; it must be requested by name.
+        if (g_options.scenario == "worker-kill") {
+            std::fprintf(stderr, "RUN  worker-kill\n");
+            if (!scenarioWorkerKill())
+                return 1;
+            std::fprintf(stderr, "PASS worker-kill\n");
             return 0;
         }
 

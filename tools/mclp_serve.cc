@@ -20,16 +20,12 @@
  *   mclp-serve --threads 8 --max-sessions 16 --max-bytes-mb 256
  */
 
-#include <chrono>
-#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
 #include <optional>
 #include <string>
-#include <thread>
 
 #include "service/dse_service.h"
 #include "service/server.h"
@@ -74,6 +70,12 @@ printUsage()
         "  --cache-max-mb N     evict least-recently-hit cache records\n"
         "                       once the record file would exceed N MiB\n"
         "                       (default 0 = unbounded)\n"
+        "  --cache-sibling DIR  attach a sibling shard's published\n"
+        "                       cache segment read-only (repeatable;\n"
+        "                       the sharded front passes each worker\n"
+        "                       its siblings' shard dirs): lookups\n"
+        "                       missing every local tier consult the\n"
+        "                       siblings before building cold\n"
         "  --cache-flush-interval-ms N\n"
         "                       also flush the persistent cache every\n"
         "                       N ms in the background, so concurrent\n"
@@ -120,62 +122,7 @@ struct Options
     int maxInflight = 256;
     int readTimeoutMs = 30000;
     int idleTimeoutMs = 0;
-    int cacheFlushIntervalMs = 0;
     service::ServiceOptions service;
-};
-
-/**
- * Periodically publishes the persistent frontier cache while the
- * server runs, so a second process (mmap reader, warm restart, or the
- * front's other shards) can pick up new state mid-life instead of
- * waiting for this process to drain. flush() snapshots under the
- * cache's own mutex, so it is safe alongside request execution.
- */
-class PeriodicFlusher
-{
-  public:
-    PeriodicFlusher(service::DseService &service, int interval_ms)
-        : service_(service), intervalMs_(interval_ms)
-    {
-        if (intervalMs_ <= 0)
-            return;
-        thread_ = std::thread([this] { run(); });
-    }
-
-    ~PeriodicFlusher()
-    {
-        if (!thread_.joinable())
-            return;
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            stop_ = true;
-        }
-        wake_.notify_all();
-        thread_.join();
-    }
-
-  private:
-    void
-    run()
-    {
-        std::unique_lock<std::mutex> lock(mutex_);
-        while (!stop_) {
-            if (wake_.wait_for(lock,
-                               std::chrono::milliseconds(intervalMs_),
-                               [this] { return stop_; }))
-                break;
-            lock.unlock();
-            service_.flushCache();
-            lock.lock();
-        }
-    }
-
-    service::DseService &service_;
-    int intervalMs_;
-    std::mutex mutex_;
-    std::condition_variable wake_;
-    bool stop_ = false;
-    std::thread thread_;
 };
 
 std::optional<Options>
@@ -240,8 +187,11 @@ parseArgs(int argc, char **argv)
                 static_cast<size_t>(int_flag(i, "--cache-max-mb", 0,
                                              int64_t{1} << 40)) *
                 1024 * 1024;
+        } else if (arg == "--cache-sibling") {
+            opts.service.cacheSiblingDirs.push_back(
+                need_value(i, "--cache-sibling"));
         } else if (arg == "--cache-flush-interval-ms") {
-            opts.cacheFlushIntervalMs = static_cast<int>(
+            opts.service.cacheFlushIntervalMs = static_cast<int>(
                 int_flag(i, "--cache-flush-interval-ms", 0, 1 << 30));
         } else if (arg == "--cold") {
             opts.service.cold = true;
@@ -268,7 +218,6 @@ main(int argc, char **argv)
         if (!opts)
             return 0;
         service::DseService service(opts->service);
-        PeriodicFlusher flusher(service, opts->cacheFlushIntervalMs);
         if (opts->socketPath || opts->tcpPort >= 0) {
             service::Server::Options server_opts;
             if (opts->socketPath)
